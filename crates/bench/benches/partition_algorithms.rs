@@ -1,0 +1,117 @@
+//! Decision-algorithm ablation: the paper's O(n) linear scan with
+//! precomputed prefix/suffix sums, vs a naive quadratic re-evaluation, vs
+//! the DADS-style min-cut over all DAG cuts (the O(n^3)-class comparator
+//! that motivates Algorithm 1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use loadpart::{min_cut_partition, PartitionSolver};
+use lp_graph::transmission_series;
+use std::hint::black_box;
+
+fn setup(name: &str) -> (lp_graph::ComputationGraph, PartitionSolver, Vec<f64>, Vec<f64>) {
+    let graph = lp_models::by_name(name, 1).expect("model");
+    // Synthetic but realistic per-node times: device ~100x slower.
+    let device: Vec<f64> = graph
+        .nodes()
+        .iter()
+        .map(|n| 1e-12 * lp_graph::flops::cnode_flops(&graph, n) as f64 * 300.0 + 30e-6)
+        .collect();
+    let edge: Vec<f64> = device.iter().map(|d| d / 120.0).collect();
+    let solver = PartitionSolver::from_times(
+        &device,
+        &edge,
+        transmission_series(&graph),
+        graph.output().size_bytes(),
+    );
+    (graph, solver, device, edge)
+}
+
+fn naive_decide(device: &[f64], edge: &[f64], trans: &[u64], bw_mbps: f64, k: f64) -> usize {
+    // Recomputes both sums from scratch for every candidate p: O(n^2).
+    let n = device.len();
+    let bytes_per_sec = bw_mbps * 1e6 / 8.0;
+    let mut best = (f64::INFINITY, 0usize);
+    for p in 0..=n {
+        let dev: f64 = device[..p].iter().sum();
+        let (up, srv) = if p == n {
+            (0.0, 0.0)
+        } else {
+            (
+                trans[p] as f64 / bytes_per_sec,
+                k * edge[p..].iter().sum::<f64>(),
+            )
+        };
+        let t = dev + up + srv;
+        if t <= best.0 {
+            best = (t, p);
+        }
+    }
+    best.1
+}
+
+fn bench_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition_decision");
+    for name in ["alexnet", "resnet50", "resnet152"] {
+        let (graph, solver, device, edge) = setup(name);
+        let trans = transmission_series(&graph);
+        let n = graph.len();
+
+        group.bench_with_input(BenchmarkId::new("algorithm1_linear", n), &n, |b, _| {
+            b.iter(|| black_box(solver.decide(black_box(8.0), black_box(2.0))))
+        });
+        group.bench_with_input(BenchmarkId::new("naive_quadratic", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(naive_decide(
+                    black_box(&device),
+                    black_box(&edge),
+                    &trans,
+                    8.0,
+                    2.0,
+                ))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("dads_min_cut", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(min_cut_partition(
+                    black_box(&graph),
+                    &device,
+                    &edge,
+                    8.0,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_solver_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver_construction");
+    for name in ["alexnet", "resnet152"] {
+        let (graph, _, device, edge) = setup(name);
+        group.bench_function(BenchmarkId::new("from_times", graph.len()), |b| {
+            b.iter(|| {
+                black_box(PartitionSolver::from_times(
+                    black_box(&device),
+                    black_box(&edge),
+                    transmission_series(&graph),
+                    graph.output().size_bytes(),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn quick_criterion() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench_algorithms, bench_solver_construction
+}
+criterion_main!(benches);

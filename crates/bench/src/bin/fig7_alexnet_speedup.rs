@@ -1,0 +1,12 @@
+//! Figure 7: AlexNet end-to-end latency under each upload bandwidth for
+//! local inference, full offloading and LoADPart, with the paper's speedup
+//! summary (paper: 6.96x avg / 21.98x max vs full offloading; 1.75x avg /
+//! 3.37x max vs local inference).
+
+use lp_bench::{speedup_figure, standard_models};
+
+fn main() {
+    let (user, edge) = standard_models();
+    print!("{}", speedup_figure("alexnet", &user, &edge));
+    println!("(paper: 6.96x avg / up to 21.98x vs full; 1.75x avg / up to 3.37x vs local)");
+}

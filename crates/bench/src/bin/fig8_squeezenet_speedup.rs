@@ -1,0 +1,11 @@
+//! Figure 8: SqueezeNet end-to-end latency under each upload bandwidth for
+//! local inference, full offloading and LoADPart (paper: 7.05x avg /
+//! 23.93x max vs full offloading; 1.41x avg / 2.53x max vs local).
+
+use lp_bench::{speedup_figure, standard_models};
+
+fn main() {
+    let (user, edge) = standard_models();
+    print!("{}", speedup_figure("squeezenet", &user, &edge));
+    println!("(paper: 7.05x avg / up to 23.93x vs full; 1.41x avg / up to 2.53x vs local)");
+}

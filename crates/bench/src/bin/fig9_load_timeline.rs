@@ -1,0 +1,124 @@
+//! Figure 9: end-to-end latencies of the six DNNs over a 260 s timeline of
+//! varying server load (0% -> 30/50/70/90% -> 100%(l) -> 100%(h) -> 0%),
+//! LoADPart against the Neurosurgeon baseline at a fixed 8 Mbps uplink.
+//!
+//! For each model the report shows, per load phase, the average/max latency
+//! of both policies and the partition points chosen, followed by the
+//! paper's headline metric: the latency reduction of LoADPart over the
+//! baseline (paper: 4.95% avg / 39.4% max for AlexNet; 14.2% avg / 32.3%
+//! max for SqueezeNet; VGG16/Xception identical to baseline; ResNet18
+//! always local; ResNet50 flipping between full and local).
+
+use loadpart::scenario::{figure9_phases, load_timeline, TimelinePoint};
+use loadpart::Policy;
+use lp_bench::{standard_models, text_table};
+use lp_sim::SimDuration;
+
+const DURATION: f64 = 260.0;
+
+fn phase_stats(points: &[TimelinePoint]) -> Vec<(String, f64, f64, usize, usize)> {
+    let mut order: Vec<String> = Vec::new();
+    let mut agg: std::collections::HashMap<String, Vec<&TimelinePoint>> =
+        std::collections::HashMap::new();
+    for pt in points {
+        let key = pt.level.to_string();
+        if !agg.contains_key(&key) {
+            order.push(key.clone());
+        }
+        agg.entry(key).or_default().push(pt);
+    }
+    order
+        .into_iter()
+        .map(|key| {
+            let pts = &agg[&key];
+            let mean = pts
+                .iter()
+                .map(|p| p.record.total.as_millis_f64())
+                .sum::<f64>()
+                / pts.len() as f64;
+            let max = pts
+                .iter()
+                .map(|p| p.record.total.as_millis_f64())
+                .fold(0.0, f64::max);
+            let mut ps: Vec<usize> = pts.iter().map(|p| p.record.p).collect();
+            ps.sort_unstable();
+            (key, mean, max, ps[ps.len() / 2], ps[ps.len() - 1])
+        })
+        .collect()
+}
+
+fn main() {
+    let (user, edge) = standard_models();
+    let phases = figure9_phases();
+    for graph in lp_models::evaluation_set(1) {
+        let name = graph.name().to_string();
+        let run = |policy: Policy| {
+            load_timeline(
+                graph.clone(),
+                policy,
+                &phases,
+                8.0,
+                &user,
+                &edge,
+                DURATION,
+                SimDuration::from_millis(400),
+                41,
+            )
+        };
+        let lp = run(Policy::LoadPart);
+        let ns = run(Policy::Neurosurgeon);
+
+        let lp_stats = phase_stats(&lp);
+        let ns_stats = phase_stats(&ns);
+        let mut rows = Vec::new();
+        let mut improvements = Vec::new();
+        for (l, n) in lp_stats.iter().zip(ns_stats.iter()) {
+            let imp = 100.0 * (n.1 - l.1) / n.1;
+            improvements.push(imp);
+            rows.push(vec![
+                l.0.clone(),
+                format!("{:.1}", l.1),
+                format!("{:.1}", l.2),
+                format!("{}..{}", l.3, l.4),
+                format!("{:.1}", n.1),
+                format!("{:.1}", n.2),
+                format!("{}", n.3),
+                format!("{imp:+.1}%"),
+            ]);
+        }
+        println!("{name} (fixed 8 Mbps, {DURATION:.0} s timeline):");
+        println!(
+            "{}",
+            text_table(
+                &[
+                    "load",
+                    "LP avg ms",
+                    "LP max ms",
+                    "LP p",
+                    "NS avg ms",
+                    "NS max ms",
+                    "NS p",
+                    "improvement"
+                ],
+                &rows
+            )
+        );
+        let overall_lp: f64 = lp
+            .iter()
+            .map(|p| p.record.total.as_millis_f64())
+            .sum::<f64>()
+            / lp.len() as f64;
+        let overall_ns: f64 = ns
+            .iter()
+            .map(|p| p.record.total.as_millis_f64())
+            .sum::<f64>()
+            / ns.len() as f64;
+        println!(
+            "overall: LoADPart {:.1} ms vs baseline {:.1} ms -> {:.1}% avg reduction, {:.1}% max phase reduction\n",
+            overall_lp,
+            overall_ns,
+            100.0 * (overall_ns - overall_lp) / overall_ns,
+            improvements.iter().copied().fold(f64::MIN, f64::max),
+        );
+    }
+}

@@ -1,0 +1,66 @@
+//! Extension experiment: N LoADPart clients sharing one edge GPU — the
+//! §II motivation ("tasks offloaded from other user-end devices") played
+//! out with real clients instead of synthetic background processes.
+//!
+//! Sweeps the client population and reports, per population: GPU
+//! utilization, the measured load factor `k`, the settled partition point
+//! and the mean end-to-end latency — for LoADPart and for the
+//! load-oblivious Neurosurgeon baseline.
+
+use loadpart::{multi_client_run, MultiClientConfig, Policy};
+use lp_bench::{standard_models, text_table};
+use lp_sim::SimDuration;
+
+fn main() {
+    let (user, edge) = standard_models();
+    let graph = lp_models::squeezenet(1);
+    println!(
+        "{} clients sharing one simulated T4, 8 Mbps uplinks, 60 s runs:\n",
+        graph.name()
+    );
+    let mut rows = Vec::new();
+    for n_clients in [1usize, 16, 64, 128, 192] {
+        let mut cells = vec![n_clients.to_string()];
+        for policy in [Policy::LoadPart, Policy::Neurosurgeon] {
+            let report = multi_client_run(
+                &graph,
+                &user,
+                &edge,
+                &MultiClientConfig {
+                    n_clients,
+                    duration: SimDuration::from_secs(60),
+                    think_time: SimDuration::from_millis(10),
+                    policy,
+                    ..MultiClientConfig::default()
+                },
+            );
+            if policy == Policy::LoadPart {
+                cells.push(format!("{:.0}%", report.gpu_utilization * 100.0));
+                cells.push(format!("{:.1}", report.final_k));
+                cells.push(format!("{}", report.settled_median_p()));
+            }
+            cells.push(format!("{:.0}", report.mean_latency_secs() * 1e3));
+        }
+        rows.push(cells);
+    }
+    println!(
+        "{}",
+        text_table(
+            &[
+                "clients",
+                "GPU util",
+                "k",
+                "settled p",
+                "LoADPart ms",
+                "baseline ms"
+            ],
+            &rows
+        )
+    );
+    println!(
+        "shape: as the population grows the GPU saturates, the measured k\n\
+         rises, and LoADPart clients shed load by shifting their partition\n\
+         point device-ward — which also frees GPU time, so they beat the\n\
+         baseline population at the same offered load."
+    );
+}

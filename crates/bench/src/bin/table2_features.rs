@@ -1,0 +1,65 @@
+//! Table II: the prediction-model input features per node kind and
+//! platform, plus the GBDT feature-importance study that justifies the
+//! convolution feature choice (§III-B a).
+
+use lp_bench::text_table;
+use lp_graph::features::{features_for, Platform};
+use lp_graph::{Activation, ConvAttrs, DwConvAttrs, NodeKind, PoolAttrs};
+use lp_hardware::{DeviceModel, GpuModel};
+use lp_profiler::dataset::{DeviceSource, EdgeSource};
+use lp_profiler::feature_selection::select_conv_features;
+use lp_tensor::{Shape, TensorDesc};
+
+fn main() {
+    let fm = |c: usize, h: usize| TensorDesc::f32(Shape::nchw(1, c, h, h));
+    let cases: Vec<(&str, NodeKind, TensorDesc)> = vec![
+        ("Conv", NodeKind::Conv(ConvAttrs::same(64, 3)), fm(64, 56)),
+        ("DWConv", NodeKind::DwConv(DwConvAttrs::new(3, 1, 1)), fm(128, 28)),
+        ("Matmul", NodeKind::MatMul { out_features: 1000 }, TensorDesc::f32(Shape::nc(1, 2048))),
+        ("Pooling", NodeKind::Pool(PoolAttrs::max(3, 2)), fm(64, 55)),
+        ("BiasAdd", NodeKind::BiasAdd, fm(64, 56)),
+        ("Element-wise", NodeKind::Add, fm(64, 56)),
+        ("BatchNorm", NodeKind::BatchNorm, fm(64, 56)),
+        ("Activation", NodeKind::Activation(Activation::Relu), fm(64, 56)),
+    ];
+    let mut rows = Vec::new();
+    for (name, kind, input) in cases {
+        let output = match kind {
+            NodeKind::Add => kind
+                .infer_output(&[input.clone(), input.clone()])
+                .expect("valid"),
+            _ => kind.infer_output(std::slice::from_ref(&input)).expect("valid"),
+        };
+        let edge = features_for(&kind, &input, &output, Platform::EdgeServer);
+        let device = features_for(&kind, &input, &output, Platform::UserDevice);
+        rows.push(vec![
+            name.to_string(),
+            edge.names.join(", "),
+            device.names.join(", "),
+        ]);
+    }
+    println!("Table II — input features per node kind:");
+    println!(
+        "{}",
+        text_table(&["node", "edge server", "user-end device"], &rows)
+    );
+
+    println!("GBDT (XGBoost-style) feature-importance study for Conv:");
+    for (label, report) in [
+        (
+            "edge server",
+            select_conv_features(&mut EdgeSource::new(GpuModel::default(), 31), 600, 17),
+        ),
+        (
+            "user device",
+            select_conv_features(&mut DeviceSource::new(DeviceModel::default(), 32), 600, 18),
+        ),
+    ] {
+        println!("  {label}:");
+        for &i in &report.ranking {
+            println!("    {:14} importance {:.3}", report.names[i], report.importance[i]);
+        }
+    }
+    println!("\nFLOPs ranks first on both platforms — the reason every Table II");
+    println!("feature vector leads with it.");
+}

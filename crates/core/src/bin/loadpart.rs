@@ -1,0 +1,267 @@
+//! `loadpart` — command-line front end to the reproduction.
+//!
+//! ```text
+//! loadpart models
+//! loadpart decide    --model alexnet --bandwidth 8 [--k 1.0] [--samples 200] [--seed 42]
+//! loadpart curve     --model alexnet --bandwidth 8 [--k 1.0]
+//! loadpart partition --model alexnet --p 8 [--dot]
+//! ```
+//!
+//! `decide` runs the offline profiler (training the NNLS prediction models
+//! on the calibrated hardware models) and prints Algorithm 1's choice;
+//! `curve` prints the whole `t_p` landscape; `partition` materialises a
+//! Figure 5 split and summarises both sides (optionally as Graphviz DOT).
+
+use loadpart::PartitionSolver;
+use std::collections::HashMap;
+use std::io::Write;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(output) => {
+            // Tolerate a closed pipe (`loadpart ... | head`) instead of
+            // panicking like println! would.
+            let _ = writeln!(std::io::stdout(), "{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  loadpart models
+  loadpart decide    --model <name> --bandwidth <Mbps> [--k <factor>] [--samples <n>] [--seed <n>]
+  loadpart curve     --model <name> --bandwidth <Mbps> [--k <factor>] [--samples <n>] [--seed <n>]
+  loadpart partition --model <name> --p <point> [--dot]";
+
+/// Parses `--key value` pairs (and bare `--flag`s) after the subcommand.
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected a --flag, got {:?}", args[i]))?;
+        if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+            flags.insert(key.to_string(), args[i + 1].clone());
+            i += 2;
+        } else {
+            flags.insert(key.to_string(), String::new());
+            i += 1;
+        }
+    }
+    Ok(flags)
+}
+
+fn get_parsed<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    key: &str,
+    default: Option<T>,
+) -> Result<T, String> {
+    match flags.get(key) {
+        Some(v) => v.parse().map_err(|_| format!("invalid value for --{key}: {v:?}")),
+        None => default.ok_or_else(|| format!("missing required flag --{key}")),
+    }
+}
+
+fn load_model(flags: &HashMap<String, String>) -> Result<lp_graph::ComputationGraph, String> {
+    let name = flags
+        .get("model")
+        .ok_or_else(|| "missing required flag --model".to_string())?;
+    lp_models::by_name(name, 1).ok_or_else(|| {
+        format!("unknown model {name:?}; run `loadpart models` for the zoo")
+    })
+}
+
+fn run(args: &[String]) -> Result<String, String> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Err("no subcommand".to_string());
+    };
+    let flags = parse_flags(rest)?;
+    match cmd.as_str() {
+        "models" => Ok(cmd_models()),
+        "decide" => cmd_decide(&flags, false),
+        "curve" => cmd_decide(&flags, true),
+        "partition" => cmd_partition(&flags),
+        other => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+fn cmd_models() -> String {
+    let mut out = String::from("model        nodes  params(M)  GMACs  input\n");
+    for g in lp_models::full_zoo(1) {
+        out.push_str(&format!(
+            "{:12} {:5}  {:9.1}  {:5.2}  {}\n",
+            g.name().to_lowercase(),
+            g.len(),
+            g.total_param_bytes() as f64 / 4e6,
+            lp_graph::flops::graph_flops(&g) as f64 / 1e9,
+            g.input()
+        ));
+    }
+    out
+}
+
+fn cmd_decide(flags: &HashMap<String, String>, full_curve: bool) -> Result<String, String> {
+    let graph = load_model(flags)?;
+    let bandwidth: f64 = get_parsed(flags, "bandwidth", None)?;
+    let k: f64 = get_parsed(flags, "k", Some(1.0))?;
+    let samples: usize = get_parsed(flags, "samples", Some(200))?;
+    let seed: u64 = get_parsed(flags, "seed", Some(42))?;
+    if bandwidth <= 0.0 {
+        return Err("--bandwidth must be positive".to_string());
+    }
+    if k < 1.0 {
+        return Err("--k must be >= 1 (constraint (1c))".to_string());
+    }
+    let (user, edge) = loadpart::system::trained_models(samples, seed);
+    let solver = PartitionSolver::new(&graph, &user, &edge);
+    let mut out = String::new();
+    if full_curve {
+        out.push_str("  p  after                    upload KiB  predicted ms\n");
+        let curve = solver.latency_curve(bandwidth, k);
+        for d in &curve {
+            let label = if d.p == 0 {
+                "(full offload)".to_string()
+            } else if d.p == graph.len() {
+                format!("{} [local]", graph.nodes()[d.p - 1].name)
+            } else {
+                graph.nodes()[d.p - 1].name.clone()
+            };
+            out.push_str(&format!(
+                "{:3}  {:24} {:10.0}  {:12.1}\n",
+                d.p,
+                label,
+                solver.transmission()[d.p] as f64 / 1024.0,
+                d.predicted.as_millis_f64()
+            ));
+        }
+    }
+    let d = solver.decide(bandwidth, k);
+    out.push_str(&format!(
+        "{} @ {bandwidth} Mbps, k = {k}: partition after L_{} of {} -> predicted {:.1} ms \
+         (device {:.1} + upload {:.1} + server {:.1})",
+        graph.name(),
+        d.p,
+        graph.len(),
+        d.predicted.as_millis_f64(),
+        d.device.as_millis_f64(),
+        d.upload.as_millis_f64(),
+        d.server.as_millis_f64()
+    ));
+    Ok(out)
+}
+
+fn cmd_partition(flags: &HashMap<String, String>) -> Result<String, String> {
+    let graph = load_model(flags)?;
+    let p: usize = get_parsed(flags, "p", None)?;
+    if p > graph.len() {
+        return Err(format!(
+            "--p {p} out of range 0..={} for {}",
+            graph.len(),
+            graph.name()
+        ));
+    }
+    if flags.contains_key("dot") {
+        return Ok(lp_graph::dot::to_dot(&graph, Some(p)));
+    }
+    let part = lp_graph::partition::partition_at(&graph, p).expect("checked range");
+    let mut out = format!("{} partitioned after L_{p}:\n", graph.name());
+    for (side, seg) in [("device", &part.device), ("server", &part.server)] {
+        match seg {
+            Some(s) => out.push_str(&format!(
+                "  {side}: {} nodes, {} parameter(s), outputs {} tensor(s){}, ships {} KiB\n",
+                s.nodes.len(),
+                s.parameters.len(),
+                s.outputs.len(),
+                if s.needs_make_tuple() { " via MakeTuple" } else { "" },
+                s.output_bytes() / 1024
+            )),
+            None => out.push_str(&format!("  {side}: (empty)\n")),
+        }
+    }
+    out.push_str(&format!(
+        "  uplink payload: {} KiB (input {} KiB)",
+        part.upload_bytes(&graph) / 1024,
+        graph.input().size_bytes() / 1024
+    ));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn models_lists_the_zoo() {
+        let out = run(&argv("models")).expect("ok");
+        for name in ["alexnet", "squeezenet", "inceptionv3"] {
+            assert!(out.contains(name), "{out}");
+        }
+    }
+
+    #[test]
+    fn decide_picks_a_point() {
+        let out = run(&argv(
+            "decide --model alexnet --bandwidth 8 --samples 60 --seed 1",
+        ))
+        .expect("ok");
+        assert!(out.contains("partition after L_"), "{out}");
+    }
+
+    #[test]
+    fn curve_prints_all_points() {
+        let out = run(&argv(
+            "curve --model alexnet --bandwidth 8 --samples 60 --seed 1",
+        ))
+        .expect("ok");
+        assert!(out.contains("(full offload)"));
+        assert!(out.contains("[local]"));
+    }
+
+    #[test]
+    fn partition_summarises_both_sides() {
+        let out = run(&argv("partition --model squeezenet --p 36")).expect("ok");
+        assert!(out.contains("device: 36 nodes"));
+        assert!(out.contains("server: 55 nodes"));
+    }
+
+    #[test]
+    fn partition_dot_emits_graphviz() {
+        let out = run(&argv("partition --model alexnet --p 8 --dot")).expect("ok");
+        assert!(out.starts_with("digraph"));
+        assert!(out.contains("lightblue") && out.contains("lightsalmon"));
+    }
+
+    #[test]
+    fn errors_are_helpful() {
+        assert!(run(&argv("decide --bandwidth 8")).unwrap_err().contains("--model"));
+        assert!(run(&argv("decide --model nope --bandwidth 8"))
+            .unwrap_err()
+            .contains("unknown model"));
+        assert!(run(&argv("decide --model alexnet"))
+            .unwrap_err()
+            .contains("--bandwidth"));
+        assert!(run(&argv("decide --model alexnet --bandwidth 0"))
+            .unwrap_err()
+            .contains("positive"));
+        assert!(run(&argv("decide --model alexnet --bandwidth 8 --k 0.5"))
+            .unwrap_err()
+            .contains("constraint"));
+        assert!(run(&argv("partition --model alexnet --p 99"))
+            .unwrap_err()
+            .contains("out of range"));
+        assert!(run(&argv("bogus")).unwrap_err().contains("unknown subcommand"));
+        assert!(run(&[]).unwrap_err().contains("no subcommand"));
+    }
+}

@@ -1,0 +1,195 @@
+//! The partition cache (§III-A).
+//!
+//! Partitioning a graph and preparing the runtime costs real time; the
+//! paper amortises it with a cache keyed by the partition point (≈1% of
+//! inference time when amortised over 100 requests). The cache is shared
+//! between the offloading main thread and the runtime-profiler thread, so
+//! it is guarded by a `parking_lot::RwLock`.
+
+use lp_graph::{partition::partition_at, ComputationGraph, GraphError, PartitionedGraph};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Statistics of cache effectiveness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to partition the graph.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hit ratio in `[0, 1]`; 0 when the cache is unused.
+    #[must_use]
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A partition cache for one DNN: partition point -> partitioned graph.
+#[derive(Debug)]
+pub struct PartitionCache {
+    entries: RwLock<HashMap<usize, Arc<PartitionedGraph>>>,
+    stats: RwLock<CacheStats>,
+}
+
+impl PartitionCache {
+    /// Creates an empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            entries: RwLock::new(HashMap::new()),
+            stats: RwLock::new(CacheStats::default()),
+        }
+    }
+
+    /// Returns the partition at `p`, computing and caching it on a miss.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GraphError`] when `p` is out of range for the graph.
+    pub fn get_or_partition(
+        &self,
+        graph: &ComputationGraph,
+        p: usize,
+    ) -> Result<Arc<PartitionedGraph>, GraphError> {
+        if let Some(found) = self.entries.read().get(&p) {
+            self.stats.write().hits += 1;
+            return Ok(Arc::clone(found));
+        }
+        // Partition outside the lock; insertion races are benign (same value).
+        let part = Arc::new(partition_at(graph, p)?);
+        self.stats.write().misses += 1;
+        self.entries
+            .write()
+            .entry(p)
+            .or_insert_with(|| Arc::clone(&part));
+        Ok(part)
+    }
+
+    /// Current statistics.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        *self.stats.read()
+    }
+
+    /// Number of cached partitions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.read().len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.read().is_empty()
+    }
+
+    /// Drops all cached partitions (e.g. on a model update).
+    pub fn clear(&self) {
+        self.entries.write().clear();
+    }
+}
+
+impl Default for PartitionCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lp_graph::{Activation, GraphBuilder, NodeKind};
+    use lp_tensor::{Shape, TensorDesc};
+
+    fn tiny() -> ComputationGraph {
+        let mut b = GraphBuilder::new("tiny", TensorDesc::f32(Shape::nchw(1, 2, 4, 4)));
+        let a = b
+            .node("a", NodeKind::Activation(Activation::Relu), [b.input()])
+            .unwrap();
+        let c = b
+            .node("b", NodeKind::Activation(Activation::Tanh), [a])
+            .unwrap();
+        b.finish(c).unwrap()
+    }
+
+    #[test]
+    fn first_lookup_misses_then_hits() {
+        let g = tiny();
+        let cache = PartitionCache::new();
+        let a = cache.get_or_partition(&g, 1).unwrap();
+        let b = cache.get_or_partition(&g, 1).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        assert_eq!(s.hit_ratio(), 0.5);
+    }
+
+    #[test]
+    fn distinct_points_cached_separately() {
+        let g = tiny();
+        let cache = PartitionCache::new();
+        for p in 0..=g.len() {
+            cache.get_or_partition(&g, p).unwrap();
+        }
+        assert_eq!(cache.len(), g.len() + 1);
+        assert_eq!(cache.stats().misses, (g.len() + 1) as u64);
+    }
+
+    #[test]
+    fn amortised_hit_ratio_over_100_requests() {
+        // §III-A: overhead amortised over 100 offloading requests.
+        let g = tiny();
+        let cache = PartitionCache::new();
+        for _ in 0..100 {
+            cache.get_or_partition(&g, 1).unwrap();
+        }
+        assert!(cache.stats().hit_ratio() >= 0.99);
+    }
+
+    #[test]
+    fn out_of_range_propagates_error() {
+        let g = tiny();
+        let cache = PartitionCache::new();
+        assert!(cache.get_or_partition(&g, 99).is_err());
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn clear_resets_entries_not_stats() {
+        let g = tiny();
+        let cache = PartitionCache::new();
+        cache.get_or_partition(&g, 0).unwrap();
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let g = tiny();
+        let cache = Arc::new(PartitionCache::new());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let cache = Arc::clone(&cache);
+            let g = g.clone();
+            handles.push(std::thread::spawn(move || {
+                for p in 0..=g.len() {
+                    cache.get_or_partition(&g, p).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(cache.len(), g.len() + 1);
+    }
+}

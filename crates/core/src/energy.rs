@@ -1,0 +1,191 @@
+//! Energy-aware partitioning — the Neurosurgeon objective the paper leaves
+//! aside.
+//!
+//! Neurosurgeon (the paper's baseline, \[4\]) optimises either latency or
+//! *mobile energy*; LoADPart optimises latency only. This module supplies
+//! the missing objective so the two can be compared: the device spends
+//! compute power while executing `L_1..L_p`, radio power while uploading,
+//! and idle power while waiting for the server — so offloading is an energy
+//! win whenever the radio burst is cheaper than the computation it
+//! replaces.
+//!
+//! ```text
+//! E_p = P_compute * Σ_{i<=p} f(L_i)  +  P_tx * s_p/B_u  +  P_idle * k * Σ_{i>p} g(L_i)
+//! ```
+
+use crate::algorithm::PartitionSolver;
+use serde::{Deserialize, Serialize};
+
+/// Device power draw in the three phases of a partitioned inference.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerModel {
+    /// Power while computing locally, watts.
+    pub compute_w: f64,
+    /// Power while the radio transmits, watts.
+    pub tx_w: f64,
+    /// Power while idle-waiting for the server, watts.
+    pub idle_w: f64,
+}
+
+impl Default for PowerModel {
+    /// Raspberry Pi 4 class numbers: ~6 W under full CPU load, ~2.5 W
+    /// transmitting over WiFi, ~1.8 W idle.
+    fn default() -> Self {
+        Self {
+            compute_w: 6.0,
+            tx_w: 2.5,
+            idle_w: 1.8,
+        }
+    }
+}
+
+/// One point of the energy landscape.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyDecision {
+    /// The partition point.
+    pub p: usize,
+    /// Device energy in joules.
+    pub energy_j: f64,
+    /// Predicted end-to-end latency at this point (the latency objective's
+    /// value, for trade-off reporting).
+    pub latency_s: f64,
+}
+
+/// Device energy of partition point `p` under the solver's predictions.
+#[must_use]
+pub fn energy_at(
+    solver: &PartitionSolver,
+    power: &PowerModel,
+    p: usize,
+    bandwidth_mbps: f64,
+    k: f64,
+) -> EnergyDecision {
+    let d = solver.latency_at(p, bandwidth_mbps, k);
+    let energy_j = power.compute_w * d.device.as_secs_f64()
+        + power.tx_w * d.upload.as_secs_f64()
+        + power.idle_w * d.server.as_secs_f64();
+    EnergyDecision {
+        p,
+        energy_j,
+        latency_s: d.predicted.as_secs_f64(),
+    }
+}
+
+/// The minimum-energy partition point (ties resolve to the larger `p`,
+/// matching Algorithm 1's convention).
+///
+/// # Panics
+///
+/// Panics if `bandwidth_mbps <= 0` or `k < 1` (constraints (1c)/(1e)).
+#[must_use]
+pub fn decide_energy(
+    solver: &PartitionSolver,
+    power: &PowerModel,
+    bandwidth_mbps: f64,
+    k: f64,
+) -> EnergyDecision {
+    let mut best = energy_at(solver, power, 0, bandwidth_mbps, k);
+    for p in 1..=solver.len() {
+        let cand = energy_at(solver, power, p, bandwidth_mbps, k);
+        if cand.energy_j <= best.energy_j {
+            best = cand;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 4-node chain: device 10 ms/node, edge 1 ms/node, shrinking uploads.
+    fn toy() -> PartitionSolver {
+        PartitionSolver::from_times(
+            &[0.010; 4],
+            &[0.001; 4],
+            vec![1_000_000, 500_000, 250_000, 125_000, 4_000],
+            4_000,
+        )
+    }
+
+    #[test]
+    fn cheap_radio_prefers_offloading() {
+        // Transmitting is nearly free, computing is expensive: ship early.
+        let power = PowerModel {
+            compute_w: 10.0,
+            tx_w: 0.1,
+            idle_w: 0.1,
+        };
+        let d = decide_energy(&toy(), &power, 8.0, 1.0);
+        assert_eq!(d.p, 0, "energy {:.4} J", d.energy_j);
+    }
+
+    #[test]
+    fn expensive_radio_prefers_local() {
+        // The radio dominates: keep everything on the device.
+        let power = PowerModel {
+            compute_w: 1.0,
+            tx_w: 50.0,
+            idle_w: 0.5,
+        };
+        let d = decide_energy(&toy(), &power, 8.0, 1.0);
+        assert_eq!(d.p, 4);
+        // Local energy = compute power x local latency.
+        assert!((d.energy_j - 1.0 * 0.04).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_and_latency_optima_can_differ() {
+        // At 8 Mbps the latency optimum for the toy chain is local (p=4),
+        // but with a power-hungry CPU and cheap radio the energy optimum
+        // offloads.
+        let solver = toy();
+        let latency_p = solver.decide(8.0, 1.0).p;
+        let power = PowerModel {
+            compute_w: 20.0,
+            tx_w: 0.5,
+            idle_w: 0.1,
+        };
+        let energy_p = decide_energy(&solver, &power, 8.0, 1.0).p;
+        assert_eq!(latency_p, 4);
+        assert!(energy_p < latency_p, "energy p = {energy_p}");
+    }
+
+    #[test]
+    fn server_load_raises_idle_energy_cost() {
+        // Waiting on a loaded server burns idle power: rising k pushes the
+        // energy optimum device-ward too.
+        let solver = PartitionSolver::from_times(
+            &[0.010; 4],
+            &[0.008; 4],
+            vec![1_000_000, 50_000, 25_000, 12_000, 4_000],
+            4_000,
+        );
+        let power = PowerModel::default();
+        let idle_p = decide_energy(&solver, &power, 64.0, 1.0).p;
+        let busy_p = decide_energy(&solver, &power, 64.0, 50.0).p;
+        assert!(busy_p >= idle_p, "{idle_p} -> {busy_p}");
+        assert_eq!(busy_p, 4);
+    }
+
+    #[test]
+    fn decision_matches_exhaustive_search() {
+        let solver = toy();
+        let power = PowerModel::default();
+        for bw in [1.0, 8.0, 64.0] {
+            for k in [1.0, 10.0] {
+                let fast = decide_energy(&solver, &power, bw, k);
+                let slow = (0..=solver.len())
+                    .map(|p| energy_at(&solver, &power, p, bw, k))
+                    .min_by(|a, b| {
+                        a.energy_j
+                            .partial_cmp(&b.energy_j)
+                            .expect("finite")
+                            .then(b.p.cmp(&a.p))
+                    })
+                    .expect("non-empty");
+                assert_eq!(fast.p, slow.p, "bw={bw} k={k}");
+            }
+        }
+    }
+}

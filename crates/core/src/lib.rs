@@ -1,0 +1,52 @@
+//! LoADPart — load-aware dynamic DNN partition for edge offloading.
+//!
+//! This crate is the paper's primary contribution, built on the substrate
+//! crates of the workspace:
+//!
+//! * [`algorithm`] — Problem (1) and Algorithm 1: the O(n) partition
+//!   decision over the topological order with prefix/suffix sums, the load
+//!   factor `k` multiplied onto the suffix sums at query time (§IV).
+//! * [`cache`] — the partition cache keyed by partition point (§III-A).
+//! * [`baselines`] — local inference, full offloading, Neurosurgeon
+//!   (bandwidth-aware, load-oblivious) and a DADS-style min-cut partitioner
+//!   (the O(n³) comparator that motivates the light-weight algorithm).
+//! * [`system`] — the end-to-end co-simulation: device execution, probe-
+//!   based bandwidth estimation, upload over the link, GPU queueing under
+//!   background load, the server-side `k` tracker and GPU watchdog.
+//! * [`scenario`] — drivers that reproduce the paper's experiments
+//!   (bandwidth sweeps for Figures 6–8, load timelines for Figures 2/9).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use loadpart::{PartitionSolver, system::trained_models};
+//! let graph = lp_models::alexnet(1);
+//! let (user, edge) = trained_models(64, 7); // small profile for the doctest
+//! let solver = PartitionSolver::new(&graph, &user, &edge);
+//! // 8 Mbps, idle server: partial offloading wins.
+//! let d = solver.decide(8.0, 1.0);
+//! assert!(d.p < graph.len()); // not local
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algorithm;
+pub mod baselines;
+pub mod cache;
+pub mod energy;
+pub mod multi_client;
+pub mod protocol;
+pub mod scenario;
+pub mod system;
+pub mod threaded;
+
+pub use algorithm::{Decision, PartitionSolver};
+pub use baselines::{min_cut_partition, MinCutResult, Policy};
+pub use cache::PartitionCache;
+pub use energy::{decide_energy, EnergyDecision, PowerModel};
+pub use multi_client::{multi_client_run, ClientPoint, MultiClientConfig, MultiClientReport};
+pub use protocol::{Message, ProtocolError};
+pub use scenario::{bandwidth_sweep, load_timeline, LoadPhase, SweepPoint, TimelinePoint};
+pub use system::{InferenceRecord, OffloadingSystem, SystemConfig, Testbed};
+pub use threaded::{spawn_server, ServerHandle, ThreadedClient, ThreadedRecord};

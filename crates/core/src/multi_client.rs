@@ -1,0 +1,389 @@
+//! Multiple LoADPart clients sharing one edge GPU.
+//!
+//! The paper motivates load awareness with "tasks offloaded from other
+//! user-end devices" (§II) but evaluates against synthetic background
+//! processes. This module closes the loop: N clients run the full LoADPart
+//! stack against a *shared* [`GpuSim`], so each client's offloaded
+//! partitions are exactly the contention every other client experiences.
+//! The server-side load-factor tracker aggregates all observed partition
+//! executions, as a real deployment's monitor would.
+//!
+//! The emergent behaviour reproduces the paper's story at system scale: as
+//! the client population grows, the measured `k` rises and every client
+//! shifts its partition point device-ward, shedding load from the GPU.
+
+use crate::algorithm::PartitionSolver;
+use crate::baselines::Policy;
+use crate::cache::PartitionCache;
+use lp_graph::ComputationGraph;
+use lp_hardware::{DeviceModel, GpuModel, GpuSim, TaskId};
+use lp_net::{BandwidthTrace, Link, ProbeProfiler};
+use lp_profiler::{LoadFactorTracker, PredictionModels};
+use lp_sim::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a multi-client run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiClientConfig {
+    /// Number of concurrent LoADPart clients.
+    pub n_clients: usize,
+    /// Per-client uplink bandwidth (independent links; contention is at
+    /// the GPU).
+    pub bandwidth_mbps: f64,
+    /// Simulated experiment length.
+    pub duration: SimDuration,
+    /// Think time between a client's completion and its next request.
+    pub think_time: SimDuration,
+    /// Device-side profiler period (bandwidth probe + `k` fetch).
+    pub profiler_period: SimDuration,
+    /// Decision policy all clients run.
+    pub policy: Policy,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MultiClientConfig {
+    fn default() -> Self {
+        Self {
+            n_clients: 4,
+            bandwidth_mbps: 8.0,
+            duration: SimDuration::from_secs(60),
+            think_time: SimDuration::from_millis(100),
+            profiler_period: SimDuration::from_secs(5),
+            policy: Policy::LoadPart,
+            seed: 7,
+        }
+    }
+}
+
+/// One completed client inference.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClientPoint {
+    /// Which client issued the request.
+    pub client: usize,
+    /// Request time.
+    pub start: SimTime,
+    /// Chosen partition point.
+    pub p: usize,
+    /// Load factor used for the decision.
+    pub k_used: f64,
+    /// End-to-end latency.
+    pub total: SimDuration,
+}
+
+/// Aggregate results of a multi-client run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiClientReport {
+    /// Every completed inference, in completion order.
+    pub points: Vec<ClientPoint>,
+    /// GPU utilization over the run.
+    pub gpu_utilization: f64,
+    /// The server tracker's final load factor.
+    pub final_k: f64,
+}
+
+impl MultiClientReport {
+    /// Mean end-to-end latency across all clients (seconds).
+    #[must_use]
+    pub fn mean_latency_secs(&self) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        self.points
+            .iter()
+            .map(|p| p.total.as_secs_f64())
+            .sum::<f64>()
+            / self.points.len() as f64
+    }
+
+    /// Median partition point over the second half of the run (after the
+    /// load factor has settled).
+    #[must_use]
+    pub fn settled_median_p(&self) -> usize {
+        let half = self
+            .points
+            .iter()
+            .skip(self.points.len() / 2)
+            .map(|p| p.p)
+            .collect::<Vec<_>>();
+        if half.is_empty() {
+            return 0;
+        }
+        let mut sorted = half;
+        sorted.sort_unstable();
+        sorted[sorted.len() / 2]
+    }
+}
+
+struct Client {
+    ctx: usize,
+    probe: ProbeProfiler,
+    cached_k: f64,
+    last_profile: Option<SimTime>,
+    next_request: Option<SimTime>,
+    pending: Option<Pending>,
+    rng: StdRng,
+}
+
+struct Pending {
+    task: TaskId,
+    start: SimTime,
+    submitted: SimTime,
+    p: usize,
+    k_used: f64,
+}
+
+/// Runs N full LoADPart clients against one shared GPU.
+///
+/// # Panics
+///
+/// Panics if `n_clients == 0`.
+#[must_use]
+pub fn multi_client_run(
+    graph: &ComputationGraph,
+    user_models: &PredictionModels,
+    edge_models: &PredictionModels,
+    config: &MultiClientConfig,
+) -> MultiClientReport {
+    assert!(config.n_clients > 0, "need at least one client");
+    let solver = PartitionSolver::new(graph, user_models, edge_models);
+    let device_model = DeviceModel::default();
+    let gpu_model = GpuModel::default();
+    let link = Link::symmetric(BandwidthTrace::constant(config.bandwidth_mbps));
+    let cache = PartitionCache::new();
+    let mut tracker = LoadFactorTracker::new(SimDuration::from_secs(5));
+    let mut gpu = GpuSim::with_default_slice(config.seed);
+    let n = graph.len();
+
+    let mut clients: Vec<Client> = (0..config.n_clients)
+        .map(|i| Client {
+            ctx: gpu.add_context(),
+            probe: ProbeProfiler::new(8),
+            cached_k: 1.0,
+            last_profile: None,
+            // Stagger arrivals so clients do not lock-step.
+            next_request: Some(
+                SimTime::ZERO + SimDuration::from_millis(50 + 37 * i as u64),
+            ),
+            pending: None,
+            rng: StdRng::seed_from_u64(config.seed ^ (i as u64).wrapping_mul(0x9E37_79B9)),
+        })
+        .collect();
+
+    let end = SimTime::ZERO + config.duration;
+    let mut points = Vec::new();
+
+    loop {
+        // Drain completions first.
+        for (ci, client) in clients.iter_mut().enumerate() {
+            if let Some(pending) = &client.pending {
+                if let Some((_, done)) = gpu.completion(pending.task) {
+                    // The server monitor observes the partition's server-side
+                    // time (queueing + execution), not the client's total.
+                    let predicted =
+                        SimDuration::from_secs_f64(solver.suffix_edge_secs(pending.p));
+                    tracker.record(done, done.since(pending.submitted), predicted);
+                    points.push(ClientPoint {
+                        client: ci,
+                        start: pending.start,
+                        p: pending.p,
+                        k_used: pending.k_used,
+                        total: done.since(pending.start),
+                    });
+                    client.next_request = Some(done + config.think_time);
+                    client.pending = None;
+                }
+            }
+        }
+
+        // Next client ready to issue a request.
+        let next = clients
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| c.next_request.map(|t| (t, i)))
+            .min();
+        let Some((t, ci)) = next else {
+            // Everyone is pending on the GPU: push the earliest one through.
+            let earliest = clients
+                .iter()
+                .filter_map(|c| c.pending.as_ref().map(|p| p.task))
+                .next();
+            match earliest {
+                Some(task) => {
+                    gpu.run_until_complete(task);
+                    continue;
+                }
+                None => break, // nothing pending, nothing scheduled
+            }
+        };
+        if t >= end {
+            break;
+        }
+        gpu.advance_to(t);
+        let client = &mut clients[ci];
+        client.next_request = None;
+
+        // Periodic profiler work for this client.
+        let due = client
+            .last_profile
+            .is_none_or(|prev| t.since(prev) >= config.profiler_period);
+        if due {
+            client.last_profile = Some(t);
+            let (_m, _e) = client.probe.probe(&link, t, &mut client.rng);
+            client.cached_k = tracker.k_at(t);
+        }
+        let bandwidth = client
+            .probe
+            .estimator
+            .estimate_mbps()
+            .expect("probed above on first request");
+
+        let decision = config.policy.decide(&solver, bandwidth, client.cached_k);
+        let p = decision.p;
+        let partition = cache.get_or_partition(graph, p).expect("p in range");
+
+        // Device-side prefix.
+        let mut device_time = SimDuration::ZERO;
+        for node in graph.nodes().iter().take(p) {
+            device_time += device_model.sample(
+                &node.kind,
+                graph.value_desc(node.inputs[0]),
+                &node.output,
+                &mut client.rng,
+            );
+        }
+        if p == n {
+            points.push(ClientPoint {
+                client: ci,
+                start: t,
+                p,
+                k_used: client.cached_k,
+                total: device_time,
+            });
+            client.next_request = Some(t + device_time + config.think_time);
+            continue;
+        }
+        let upload_bytes = partition.upload_bytes(graph);
+        let upload_end = link.upload_end(upload_bytes, t + device_time, &mut client.rng);
+        client
+            .probe
+            .record_passive(upload_bytes, t + device_time, upload_end, link.latency);
+        let kernels: Vec<SimDuration> = graph
+            .nodes()
+            .iter()
+            .take(n)
+            .skip(p)
+            .map(|node| {
+                gpu_model.sample(
+                    &node.kind,
+                    graph.value_desc(node.inputs[0]),
+                    &node.output,
+                    &mut client.rng,
+                )
+            })
+            .collect();
+        let submit_at = upload_end.max(gpu.now());
+        let task = gpu.submit(client.ctx, submit_at, kernels);
+        client.pending = Some(Pending {
+            task,
+            start: t,
+            submitted: submit_at,
+            p,
+            k_used: client.cached_k,
+        });
+    }
+
+    let gpu_utilization = if gpu.now() > SimTime::ZERO {
+        gpu.busy_time().as_secs_f64() / gpu.now().as_secs_f64()
+    } else {
+        0.0
+    };
+    let final_k = tracker.k_at(gpu.now());
+    MultiClientReport {
+        points,
+        gpu_utilization,
+        final_k,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+
+    fn models() -> &'static (PredictionModels, PredictionModels) {
+        static MODELS: OnceLock<(PredictionModels, PredictionModels)> = OnceLock::new();
+        MODELS.get_or_init(|| crate::system::trained_models(150, 42))
+    }
+
+    fn run(n_clients: usize, policy: Policy) -> MultiClientReport {
+        let (user, edge) = models();
+        multi_client_run(
+            &lp_models::squeezenet(1),
+            user,
+            edge,
+            &MultiClientConfig {
+                n_clients,
+                duration: SimDuration::from_secs(45),
+                policy,
+                ..MultiClientConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn single_client_is_effectively_unloaded() {
+        let report = run(1, Policy::LoadPart);
+        assert!(!report.points.is_empty());
+        assert!(report.final_k < 2.0, "k={}", report.final_k);
+        // One SqueezeNet client cannot saturate the GPU.
+        assert!(report.gpu_utilization < 0.2, "{}", report.gpu_utilization);
+    }
+
+    #[test]
+    fn every_client_completes_work() {
+        let report = run(4, Policy::LoadPart);
+        for c in 0..4 {
+            let n = report.points.iter().filter(|p| p.client == c).count();
+            assert!(n >= 5, "client {c} completed only {n} inferences");
+        }
+    }
+
+    #[test]
+    fn crowding_raises_k() {
+        let lone = run(1, Policy::LoadPart);
+        let crowd = run(12, Policy::LoadPart);
+        assert!(
+            crowd.final_k >= lone.final_k,
+            "k: lone {} vs crowd {}",
+            lone.final_k,
+            crowd.final_k
+        );
+        assert!(crowd.gpu_utilization > lone.gpu_utilization);
+    }
+
+    #[test]
+    fn deterministic_given_config() {
+        let a = run(3, Policy::LoadPart);
+        let b = run(3, Policy::LoadPart);
+        assert_eq!(a.points, b.points);
+        assert_eq!(a.final_k, b.final_k);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one client")]
+    fn zero_clients_panics() {
+        let (user, edge) = models();
+        let _ = multi_client_run(
+            &lp_models::alexnet(1),
+            user,
+            edge,
+            &MultiClientConfig {
+                n_clients: 0,
+                ..MultiClientConfig::default()
+            },
+        );
+    }
+}

@@ -1,0 +1,310 @@
+//! The device ↔ edge-server wire protocol (§III-A, §IV).
+//!
+//! After the device executes `L_1..L_p` it ships the intermediate tensors
+//! *together with the partition point* so the server can fetch (or build)
+//! the matching suffix graph from its own partition cache. The runtime
+//! profiler's probe packets and the periodic load-factor query ride the
+//! same connection.
+//!
+//! The encoding is a compact little-endian tag-length-value format over
+//! [`bytes`]; payloads are byte blobs (this reproduction moves simulated
+//! tensors, so payload *sizes* are what matter, but the framing is real and
+//! round-trips byte-exactly).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+
+/// Protocol version carried in every frame.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+const TAG_OFFLOAD_REQUEST: u8 = 1;
+const TAG_OFFLOAD_RESPONSE: u8 = 2;
+const TAG_LOAD_QUERY: u8 = 3;
+const TAG_LOAD_REPLY: u8 = 4;
+const TAG_PROBE: u8 = 5;
+const TAG_PROBE_ACK: u8 = 6;
+const TAG_SHUTDOWN: u8 = 7;
+
+/// A protocol message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Device -> server: partition point plus the crossing tensors.
+    OffloadRequest {
+        /// Client-chosen request id, echoed in the response.
+        request_id: u64,
+        /// The partition point `p`, so the server can partition/cache.
+        partition_point: u32,
+        /// The packed intermediate tensors (MakeTuple output).
+        payload: Bytes,
+    },
+    /// Server -> device: the inference result.
+    OffloadResponse {
+        /// Echoed request id.
+        request_id: u64,
+        /// Observed server-side execution time in microseconds (fed to the
+        /// device's records; the server's own tracker also sees it).
+        server_time_us: u64,
+        /// The result tensor.
+        payload: Bytes,
+    },
+    /// Device -> server: "what is your current load factor?" (periodic).
+    LoadQuery,
+    /// Server -> device: the most recent `k`.
+    LoadReply {
+        /// Load influence factor, `k >= 1`, transported as micro-units to
+        /// keep the frame integer-only.
+        k_micro: u64,
+    },
+    /// Device -> server: bandwidth probe of the given size.
+    Probe {
+        /// Probe payload (size matters, contents do not).
+        payload: Bytes,
+    },
+    /// Server -> device: probe acknowledgement.
+    ProbeAck,
+    /// Device -> server: end of session.
+    Shutdown,
+}
+
+impl Message {
+    /// Encodes the message into a self-delimiting frame.
+    #[must_use]
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(16);
+        b.put_u8(PROTOCOL_VERSION);
+        match self {
+            Message::OffloadRequest {
+                request_id,
+                partition_point,
+                payload,
+            } => {
+                b.put_u8(TAG_OFFLOAD_REQUEST);
+                b.put_u64_le(*request_id);
+                b.put_u32_le(*partition_point);
+                b.put_u32_le(payload.len() as u32);
+                b.put_slice(payload);
+            }
+            Message::OffloadResponse {
+                request_id,
+                server_time_us,
+                payload,
+            } => {
+                b.put_u8(TAG_OFFLOAD_RESPONSE);
+                b.put_u64_le(*request_id);
+                b.put_u64_le(*server_time_us);
+                b.put_u32_le(payload.len() as u32);
+                b.put_slice(payload);
+            }
+            Message::LoadQuery => b.put_u8(TAG_LOAD_QUERY),
+            Message::LoadReply { k_micro } => {
+                b.put_u8(TAG_LOAD_REPLY);
+                b.put_u64_le(*k_micro);
+            }
+            Message::Probe { payload } => {
+                b.put_u8(TAG_PROBE);
+                b.put_u32_le(payload.len() as u32);
+                b.put_slice(payload);
+            }
+            Message::ProbeAck => b.put_u8(TAG_PROBE_ACK),
+            Message::Shutdown => b.put_u8(TAG_SHUTDOWN),
+        }
+        b.freeze()
+    }
+
+    /// Decodes one frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError`] on truncated frames, unknown versions or
+    /// unknown tags.
+    pub fn decode(mut buf: Bytes) -> Result<Message, ProtocolError> {
+        if buf.remaining() < 2 {
+            return Err(ProtocolError::Truncated);
+        }
+        let version = buf.get_u8();
+        if version != PROTOCOL_VERSION {
+            return Err(ProtocolError::BadVersion(version));
+        }
+        let tag = buf.get_u8();
+        let need = |buf: &Bytes, n: usize| -> Result<(), ProtocolError> {
+            if buf.remaining() < n {
+                Err(ProtocolError::Truncated)
+            } else {
+                Ok(())
+            }
+        };
+        match tag {
+            TAG_OFFLOAD_REQUEST => {
+                need(&buf, 16)?;
+                let request_id = buf.get_u64_le();
+                let partition_point = buf.get_u32_le();
+                let len = buf.get_u32_le() as usize;
+                need(&buf, len)?;
+                let payload = buf.copy_to_bytes(len);
+                Ok(Message::OffloadRequest {
+                    request_id,
+                    partition_point,
+                    payload,
+                })
+            }
+            TAG_OFFLOAD_RESPONSE => {
+                need(&buf, 20)?;
+                let request_id = buf.get_u64_le();
+                let server_time_us = buf.get_u64_le();
+                let len = buf.get_u32_le() as usize;
+                need(&buf, len)?;
+                let payload = buf.copy_to_bytes(len);
+                Ok(Message::OffloadResponse {
+                    request_id,
+                    server_time_us,
+                    payload,
+                })
+            }
+            TAG_LOAD_QUERY => Ok(Message::LoadQuery),
+            TAG_LOAD_REPLY => {
+                need(&buf, 8)?;
+                Ok(Message::LoadReply {
+                    k_micro: buf.get_u64_le(),
+                })
+            }
+            TAG_PROBE => {
+                need(&buf, 4)?;
+                let len = buf.get_u32_le() as usize;
+                need(&buf, len)?;
+                Ok(Message::Probe {
+                    payload: buf.copy_to_bytes(len),
+                })
+            }
+            TAG_PROBE_ACK => Ok(Message::ProbeAck),
+            TAG_SHUTDOWN => Ok(Message::Shutdown),
+            other => Err(ProtocolError::UnknownTag(other)),
+        }
+    }
+
+    /// Converts a load factor to its wire representation.
+    #[must_use]
+    pub fn k_to_micro(k: f64) -> u64 {
+        (k.max(1.0) * 1e6).round() as u64
+    }
+
+    /// Converts the wire representation back to a load factor.
+    #[must_use]
+    pub fn micro_to_k(k_micro: u64) -> f64 {
+        (k_micro as f64 / 1e6).max(1.0)
+    }
+}
+
+/// Errors raised while decoding protocol frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// The frame ended before the declared content.
+    Truncated,
+    /// Unsupported protocol version byte.
+    BadVersion(u8),
+    /// Unknown message tag.
+    UnknownTag(u8),
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::Truncated => write!(f, "frame truncated"),
+            ProtocolError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            ProtocolError::UnknownTag(t) => write!(f, "unknown message tag {t}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(m: Message) {
+        let encoded = m.encode();
+        let decoded = Message::decode(encoded).expect("round trip");
+        assert_eq!(decoded, m);
+    }
+
+    #[test]
+    fn all_variants_round_trip() {
+        round_trip(Message::OffloadRequest {
+            request_id: 42,
+            partition_point: 8,
+            payload: Bytes::from(vec![7u8; 129_792]),
+        });
+        round_trip(Message::OffloadResponse {
+            request_id: 42,
+            server_time_us: 1_234,
+            payload: Bytes::from(vec![1u8; 4_000]),
+        });
+        round_trip(Message::LoadQuery);
+        round_trip(Message::LoadReply { k_micro: 2_500_000 });
+        round_trip(Message::Probe {
+            payload: Bytes::from(vec![0u8; 8_192]),
+        });
+        round_trip(Message::ProbeAck);
+        round_trip(Message::Shutdown);
+    }
+
+    #[test]
+    fn empty_payloads_are_fine() {
+        round_trip(Message::Probe {
+            payload: Bytes::new(),
+        });
+        round_trip(Message::OffloadRequest {
+            request_id: 0,
+            partition_point: 0,
+            payload: Bytes::new(),
+        });
+    }
+
+    #[test]
+    fn truncated_frames_error() {
+        let full = Message::OffloadRequest {
+            request_id: 1,
+            partition_point: 2,
+            payload: Bytes::from(vec![0u8; 64]),
+        }
+        .encode();
+        for cut in [0, 1, 2, 10, full.len() - 1] {
+            let err = Message::decode(full.slice(0..cut)).unwrap_err();
+            assert_eq!(err, ProtocolError::Truncated, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn bad_version_and_tag_error() {
+        let mut bad_version = BytesMut::new();
+        bad_version.put_u8(99);
+        bad_version.put_u8(TAG_LOAD_QUERY);
+        assert_eq!(
+            Message::decode(bad_version.freeze()).unwrap_err(),
+            ProtocolError::BadVersion(99)
+        );
+        let mut bad_tag = BytesMut::new();
+        bad_tag.put_u8(PROTOCOL_VERSION);
+        bad_tag.put_u8(200);
+        assert_eq!(
+            Message::decode(bad_tag.freeze()).unwrap_err(),
+            ProtocolError::UnknownTag(200)
+        );
+    }
+
+    #[test]
+    fn k_wire_conversion() {
+        assert_eq!(Message::k_to_micro(1.0), 1_000_000);
+        assert_eq!(Message::micro_to_k(Message::k_to_micro(3.25)), 3.25);
+        // Sub-1 values clamp to the constraint k >= 1 on both paths.
+        assert_eq!(Message::k_to_micro(0.5), 1_000_000);
+        assert_eq!(Message::micro_to_k(5), 1.0);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(!ProtocolError::Truncated.to_string().is_empty());
+        assert!(ProtocolError::BadVersion(3).to_string().contains('3'));
+        assert!(ProtocolError::UnknownTag(9).to_string().contains('9'));
+    }
+}

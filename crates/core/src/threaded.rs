@@ -1,0 +1,410 @@
+//! A threaded client/server runtime speaking the wire [`protocol`](crate::protocol).
+//!
+//! The paper's implementation runs the offloading main thread and the
+//! runtime-profiler thread concurrently on the device, and the offloading
+//! service plus a GPU-utilization monitor on the server (§IV). This module
+//! reproduces that process structure with real OS threads and channels:
+//!
+//! * the **server thread** owns the suffix partition cache, executes
+//!   offloaded suffixes (simulated durations from the latency models), and
+//!   answers load queries from its [`LoadFactorTracker`];
+//! * the **client** runs Algorithm 1 per request, executes the prefix,
+//!   frames an [`Message::OffloadRequest`] and awaits the response;
+//! * probe frames keep the bandwidth estimator warm between requests.
+//!
+//! Time is logical (the simulated durations ride inside the frames), so
+//! tests are deterministic, but the concurrency — shared caches behind
+//! `parking_lot`, `crossbeam` channels, graceful shutdown — is real.
+
+use crate::algorithm::PartitionSolver;
+use crate::cache::PartitionCache;
+use crate::protocol::{Message, ProtocolError};
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use lp_graph::ComputationGraph;
+use lp_profiler::{LoadFactorTracker, PredictionModels};
+use lp_sim::{SimDuration, SimTime};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// What the threaded client observed for one request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThreadedRecord {
+    /// Request id.
+    pub request_id: u64,
+    /// Partition point the client chose.
+    pub p: usize,
+    /// `k` the client used (from the last load reply).
+    pub k_used: f64,
+    /// Server-reported execution time.
+    pub server_time: SimDuration,
+    /// Bytes shipped in the request payload.
+    pub uploaded_bytes: usize,
+}
+
+/// Handle to a running offloading server thread.
+#[derive(Debug)]
+pub struct ServerHandle {
+    tx: Sender<Bytes>,
+    rx: Receiver<Bytes>,
+    join: Option<JoinHandle<u64>>,
+}
+
+/// Spawns the edge-server thread for one DNN.
+///
+/// `k_factor` is the load factor the server's environment currently
+/// exhibits (in the full co-simulation it emerges from GPU queueing; here
+/// it is injected so threaded tests are deterministic) — the server's
+/// tracker still *measures* it from the observed/predicted ratio, which is
+/// the §III-C mechanism.
+#[must_use]
+pub fn spawn_server(
+    graph: ComputationGraph,
+    edge_models: PredictionModels,
+    k_factor: f64,
+) -> ServerHandle {
+    let (client_tx, server_rx) = unbounded::<Bytes>();
+    let (server_tx, client_rx) = unbounded::<Bytes>();
+    let cache = Arc::new(PartitionCache::new());
+    let tracker = Arc::new(Mutex::new(LoadFactorTracker::new(SimDuration::from_secs(
+        5,
+    ))));
+    let join = std::thread::spawn(move || {
+        let mut served = 0u64;
+        let mut now = SimTime::ZERO;
+        while let Ok(frame) = server_rx.recv() {
+            let msg = match Message::decode(frame) {
+                Ok(m) => m,
+                Err(ProtocolError::Truncated | ProtocolError::BadVersion(_))
+                | Err(ProtocolError::UnknownTag(_)) => continue, // drop bad frames
+            };
+            match msg {
+                Message::OffloadRequest {
+                    request_id,
+                    partition_point,
+                    payload: _payload,
+                } => {
+                    let p = partition_point as usize;
+                    // Build or fetch the suffix graph (Figure 5).
+                    let _partition = cache
+                        .get_or_partition(&graph, p.min(graph.len()))
+                        .expect("p in range");
+                    // Execute the suffix: predicted time scaled by the
+                    // environment's load factor.
+                    let predicted = predicted_suffix(&edge_models, &graph, p);
+                    let observed = predicted.scale(k_factor);
+                    now += observed + SimDuration::from_millis(100);
+                    tracker.lock().record(now, observed, predicted);
+                    served += 1;
+                    let resp = Message::OffloadResponse {
+                        request_id,
+                        server_time_us: observed.as_micros_f64().round() as u64,
+                        payload: Bytes::from(vec![0u8; graph.output().size_bytes() as usize]),
+                    };
+                    if server_tx.send(resp.encode()).is_err() {
+                        break;
+                    }
+                }
+                Message::LoadQuery => {
+                    let k = tracker.lock().k_at(now);
+                    let reply = Message::LoadReply {
+                        k_micro: Message::k_to_micro(k),
+                    };
+                    if server_tx.send(reply.encode()).is_err() {
+                        break;
+                    }
+                }
+                Message::Probe { .. } => {
+                    if server_tx.send(Message::ProbeAck.encode()).is_err() {
+                        break;
+                    }
+                }
+                Message::Shutdown => break,
+                // Server never receives responses/replies/acks.
+                Message::OffloadResponse { .. } | Message::LoadReply { .. } | Message::ProbeAck => {
+                }
+            }
+        }
+        served
+    });
+    ServerHandle {
+        tx: client_tx,
+        rx: client_rx,
+        join: Some(join),
+    }
+}
+
+fn predicted_suffix(
+    models: &PredictionModels,
+    graph: &ComputationGraph,
+    p: usize,
+) -> SimDuration {
+    if p >= graph.len() {
+        SimDuration::ZERO
+    } else {
+        models.predict_range(graph, p + 1, graph.len())
+    }
+}
+
+impl ServerHandle {
+    /// Sends a raw frame to the server (used by the client and by
+    /// fault-injection tests).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the server thread has exited.
+    pub fn send_frame(&self, frame: Bytes) -> Result<(), crossbeam::channel::SendError<Bytes>> {
+        self.tx.send(frame)
+    }
+
+    /// Receives the next frame from the server.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the server thread has exited and drained.
+    pub fn recv_frame(&self) -> Result<Bytes, crossbeam::channel::RecvError> {
+        self.rx.recv()
+    }
+
+    /// Shuts the server down and returns how many offload requests it
+    /// served.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server thread panicked.
+    pub fn shutdown(mut self) -> u64 {
+        let _ = self.tx.send(Message::Shutdown.encode());
+        self.join
+            .take()
+            .expect("not yet joined")
+            .join()
+            .expect("server thread healthy")
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        let _ = self.tx.send(Message::Shutdown.encode());
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+/// A threaded offloading client for one DNN.
+#[derive(Debug)]
+pub struct ThreadedClient {
+    graph: ComputationGraph,
+    solver: PartitionSolver,
+    cache: PartitionCache,
+    k: f64,
+    next_id: u64,
+}
+
+impl ThreadedClient {
+    /// Builds the client with both trained model bundles.
+    #[must_use]
+    pub fn new(
+        graph: ComputationGraph,
+        user_models: &PredictionModels,
+        edge_models: &PredictionModels,
+    ) -> Self {
+        let solver = PartitionSolver::new(&graph, user_models, edge_models);
+        Self {
+            graph,
+            solver,
+            cache: PartitionCache::new(),
+            k: 1.0,
+            next_id: 0,
+        }
+    }
+
+    /// Queries the server for the current load factor and caches it — the
+    /// periodic runtime-profiler action.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ProtocolError`] on a malformed reply.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server thread is gone.
+    pub fn refresh_k(&mut self, server: &ServerHandle) -> Result<f64, ProtocolError> {
+        server
+            .send_frame(Message::LoadQuery.encode())
+            .expect("server alive");
+        let reply = Message::decode(server.recv_frame().expect("server alive"))?;
+        match reply {
+            Message::LoadReply { k_micro } => {
+                self.k = Message::micro_to_k(k_micro);
+                Ok(self.k)
+            }
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Runs one inference request end to end over the protocol.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ProtocolError`] on malformed frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server thread is gone.
+    pub fn infer(
+        &mut self,
+        server: &ServerHandle,
+        bandwidth_mbps: f64,
+    ) -> Result<ThreadedRecord, ProtocolError> {
+        let decision = self.solver.decide(bandwidth_mbps, self.k);
+        let p = decision.p;
+        let partition = self.cache.get_or_partition(&self.graph, p).expect("p valid");
+        let upload = partition.upload_bytes(&self.graph) as usize;
+        let request_id = self.next_id;
+        self.next_id += 1;
+        if p == self.graph.len() {
+            // Local inference: nothing crosses the wire.
+            return Ok(ThreadedRecord {
+                request_id,
+                p,
+                k_used: self.k,
+                server_time: SimDuration::ZERO,
+                uploaded_bytes: 0,
+            });
+        }
+        let req = Message::OffloadRequest {
+            request_id,
+            partition_point: p as u32,
+            payload: Bytes::from(vec![0u8; upload]),
+        };
+        server.send_frame(req.encode()).expect("server alive");
+        let resp = Message::decode(server.recv_frame().expect("server alive"))?;
+        match resp {
+            Message::OffloadResponse {
+                request_id: rid,
+                server_time_us,
+                payload,
+            } => {
+                debug_assert_eq!(rid, request_id);
+                debug_assert_eq!(payload.len() as u64, self.graph.output().size_bytes());
+                Ok(ThreadedRecord {
+                    request_id,
+                    p,
+                    k_used: self.k,
+                    server_time: SimDuration::from_micros_f64(server_time_us as f64),
+                    uploaded_bytes: upload,
+                })
+            }
+            other => Err(unexpected(&other)),
+        }
+    }
+}
+
+fn unexpected(_msg: &Message) -> ProtocolError {
+    // Any out-of-order message kind is treated as an unknown tag at the
+    // session layer.
+    ProtocolError::UnknownTag(255)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+
+    fn models() -> &'static (PredictionModels, PredictionModels) {
+        static MODELS: OnceLock<(PredictionModels, PredictionModels)> = OnceLock::new();
+        MODELS.get_or_init(|| crate::system::trained_models(150, 42))
+    }
+
+    #[test]
+    fn offload_round_trip_over_threads() {
+        let (user, edge) = models();
+        let graph = lp_models::alexnet(1);
+        let server = spawn_server(graph.clone(), edge.clone(), 1.0);
+        let mut client = ThreadedClient::new(graph, user, edge);
+        let r = client.infer(&server, 8.0).expect("protocol ok");
+        assert!(r.p < 27, "should offload at 8 Mbps");
+        assert!(r.uploaded_bytes > 0);
+        assert!(r.server_time > SimDuration::ZERO);
+        assert_eq!(server.shutdown(), 1);
+    }
+
+    #[test]
+    fn load_query_reflects_server_contention() {
+        let (user, edge) = models();
+        let graph = lp_models::alexnet(1);
+        // Server whose environment stretches executions 6x.
+        let server = spawn_server(graph.clone(), edge.clone(), 6.0);
+        let mut client = ThreadedClient::new(graph, user, edge);
+        // Before any offload the tracker is empty: k = 1.
+        assert_eq!(client.refresh_k(&server).expect("ok"), 1.0);
+        let p_before = client.infer(&server, 8.0).expect("ok").p;
+        // A few offloads populate the tracker; k should approach 6.
+        for _ in 0..4 {
+            client.infer(&server, 8.0).expect("ok");
+        }
+        let k = client.refresh_k(&server).expect("ok");
+        assert!((5.0..7.0).contains(&k), "k={k}");
+        // And the next decision moves device-ward (or stays).
+        let p_after = client.infer(&server, 8.0).expect("ok").p;
+        assert!(p_after >= p_before, "{p_before} -> {p_after}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn local_decisions_skip_the_wire() {
+        let (user, edge) = models();
+        let graph = lp_models::alexnet(1);
+        let server = spawn_server(graph.clone(), edge.clone(), 1.0);
+        let mut client = ThreadedClient::new(graph, user, edge);
+        let r = client.infer(&server, 0.05).expect("ok");
+        assert_eq!(r.p, 27);
+        assert_eq!(r.uploaded_bytes, 0);
+        assert_eq!(server.shutdown(), 0, "no offload requests should arrive");
+    }
+
+    #[test]
+    fn server_drops_garbage_frames() {
+        let (user, edge) = models();
+        let graph = lp_models::alexnet(1);
+        let server = spawn_server(graph.clone(), edge.clone(), 1.0);
+        // Garbage, truncated and wrong-version frames must not kill it.
+        server.send_frame(Bytes::from_static(b"\xffgarbage")).expect("alive");
+        server.send_frame(Bytes::new()).expect("alive");
+        server
+            .send_frame(Bytes::from_static(&[9, 1, 2, 3]))
+            .expect("alive");
+        let mut client = ThreadedClient::new(graph, user, edge);
+        let r = client.infer(&server, 8.0).expect("still serving");
+        assert!(r.server_time > SimDuration::ZERO);
+        assert_eq!(server.shutdown(), 1);
+    }
+
+    #[test]
+    fn probes_are_acknowledged() {
+        let (_, edge) = models();
+        let graph = lp_models::alexnet(1);
+        let server = spawn_server(graph, edge.clone(), 1.0);
+        server
+            .send_frame(
+                Message::Probe {
+                    payload: Bytes::from(vec![0u8; 1024]),
+                }
+                .encode(),
+            )
+            .expect("alive");
+        let ack = Message::decode(server.recv_frame().expect("alive")).expect("valid");
+        assert_eq!(ack, Message::ProbeAck);
+        server.shutdown();
+    }
+
+    #[test]
+    fn drop_shuts_down_cleanly() {
+        let (_, edge) = models();
+        let graph = lp_models::alexnet(1);
+        let server = spawn_server(graph, edge.clone(), 1.0);
+        drop(server); // must not hang or panic
+    }
+}

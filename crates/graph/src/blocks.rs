@@ -1,0 +1,191 @@
+//! Branch-block detection and the §III-D search-space argument.
+//!
+//! The paper reduces the partition search space from all DAG cuts to cuts of
+//! the topological order by observing that cutting *inside* a multi-branch
+//! block (Residual, Inception, fire) always transmits at least as much as the
+//! block boundary — for the networks studied, more than the network input.
+//!
+//! We operationalise "inside a block" exactly: partition point `p` is inside
+//! a block iff more than one tensor crosses the cut after `L_p` (the cut
+//! severs parallel branches, so several branch tensors must be shipped).
+//! Maximal runs of such points form [`Block`]s. [`BlockAnalysis`] reports,
+//! per block, the cheapest inside-cut and the boundary cuts so the paper's
+//! claim can be checked mechanically for any graph (see the
+//! `block_analysis` example and the model-zoo tests).
+
+use crate::cut::{cut_at, transmission_series};
+use crate::graph::ComputationGraph;
+use serde::{Deserialize, Serialize};
+
+/// A maximal run of partition points lying strictly inside a branch region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Block {
+    /// First partition point inside the block.
+    pub first_inside: usize,
+    /// Last partition point inside the block.
+    pub last_inside: usize,
+}
+
+impl Block {
+    /// Partition points strictly inside this block.
+    pub fn inside_points(&self) -> impl Iterator<Item = usize> {
+        self.first_inside..=self.last_inside
+    }
+
+    /// The single-tensor boundary points hugging the block
+    /// (`first_inside - 1` and `last_inside + 1`).
+    #[must_use]
+    pub fn boundaries(&self) -> (usize, usize) {
+        (self.first_inside - 1, self.last_inside + 1)
+    }
+}
+
+/// Result of analysing one graph's branch blocks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BlockAnalysis {
+    /// Detected blocks in topological order.
+    pub blocks: Vec<Block>,
+    /// Number of crossing tensors at each partition point.
+    pub cut_widths: Vec<usize>,
+    /// Upload bytes at each partition point (`s_p`).
+    pub series: Vec<u64>,
+}
+
+impl BlockAnalysis {
+    /// Analyses a graph.
+    #[must_use]
+    #[allow(clippy::needless_range_loop)]
+    pub fn of(graph: &ComputationGraph) -> Self {
+        let n = graph.len();
+        let series = transmission_series(graph);
+        let cut_widths: Vec<usize> = (0..=n).map(|p| cut_at(graph, p).tensor_count()).collect();
+        let mut blocks = Vec::new();
+        let mut start: Option<usize> = None;
+        for p in 0..=n {
+            if cut_widths[p] > 1 {
+                start.get_or_insert(p);
+            } else if let Some(s) = start.take() {
+                blocks.push(Block {
+                    first_inside: s,
+                    last_inside: p - 1,
+                });
+            }
+        }
+        if let Some(s) = start {
+            blocks.push(Block {
+                first_inside: s,
+                last_inside: n,
+            });
+        }
+        Self {
+            blocks,
+            cut_widths,
+            series,
+        }
+    }
+
+    /// The cheapest upload size among cuts strictly inside any block, if the
+    /// graph has blocks.
+    #[must_use]
+    pub fn min_inside_bytes(&self) -> Option<u64> {
+        self.blocks
+            .iter()
+            .flat_map(|b| b.inside_points())
+            .map(|p| self.series[p])
+            .min()
+    }
+
+    /// Checks the paper's search-space claim for this graph: every cut
+    /// inside a block transmits at least as much as the cheaper of the two
+    /// block boundaries.
+    ///
+    /// When this holds, restricting the search to single-tensor cuts (the
+    /// topological order) cannot lose the optimum for any bandwidth, because
+    /// a boundary cut dominates each inside cut in both bytes and device
+    /// work ordering.
+    #[must_use]
+    pub fn inside_cuts_dominated(&self) -> bool {
+        self.blocks.iter().all(|b| {
+            let (lo, hi) = b.boundaries();
+            let boundary_best = self.series[lo].min(*self.series.get(hi).unwrap_or(&0));
+            b.inside_points().all(|p| self.series[p] >= boundary_best)
+        })
+    }
+
+    /// Partition points with single-tensor cuts — the reduced search space
+    /// actually scanned by the decision algorithm.
+    #[must_use]
+    pub fn single_tensor_points(&self) -> Vec<usize> {
+        self.cut_widths
+            .iter()
+            .enumerate()
+            .filter(|&(_, &w)| w <= 1)
+            .map(|(p, _)| p)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+    use crate::node::{Activation, ConvAttrs, NodeKind};
+    use lp_tensor::{Shape, TensorDesc};
+
+    fn residual_graph() -> ComputationGraph {
+        let mut b = GraphBuilder::new("res", TensorDesc::f32(Shape::nchw(1, 8, 8, 8)));
+        let c1 = b
+            .node("c1", NodeKind::Conv(ConvAttrs::same(8, 3)), [b.input()])
+            .unwrap();
+        let r1 = b
+            .node("r1", NodeKind::Activation(Activation::Relu), [c1])
+            .unwrap();
+        let c2 = b.node("c2", NodeKind::Conv(ConvAttrs::same(8, 3)), [r1]).unwrap();
+        let c3 = b.node("c3", NodeKind::Conv(ConvAttrs::same(8, 3)), [c2]).unwrap();
+        let add = b.node("add", NodeKind::Add, [r1, c3]).unwrap();
+        b.finish(add).unwrap()
+    }
+
+    fn chain_graph() -> ComputationGraph {
+        let mut b = GraphBuilder::new("chain", TensorDesc::f32(Shape::nchw(1, 3, 8, 8)));
+        let c = b
+            .node("c", NodeKind::Conv(ConvAttrs::same(4, 3)), [b.input()])
+            .unwrap();
+        let r = b
+            .node("r", NodeKind::Activation(Activation::Relu), [c])
+            .unwrap();
+        b.finish(r).unwrap()
+    }
+
+    #[test]
+    fn chain_has_no_blocks() {
+        let a = BlockAnalysis::of(&chain_graph());
+        assert!(a.blocks.is_empty());
+        assert_eq!(a.min_inside_bytes(), None);
+        assert!(a.inside_cuts_dominated());
+        assert_eq!(a.single_tensor_points(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn residual_block_detected() {
+        let a = BlockAnalysis::of(&residual_graph());
+        // Cuts after c2 (p=3) and c3 (p=4) sever the skip connection.
+        assert_eq!(
+            a.blocks,
+            vec![Block {
+                first_inside: 3,
+                last_inside: 4
+            }]
+        );
+        assert_eq!(a.blocks[0].boundaries(), (2, 5));
+        // Inside cuts carry 2 equal-size tensors = 2x boundary bytes.
+        assert!(a.inside_cuts_dominated());
+        assert_eq!(a.min_inside_bytes(), Some(2 * 8 * 8 * 8 * 4));
+    }
+
+    #[test]
+    fn single_tensor_points_skip_block_interior() {
+        let a = BlockAnalysis::of(&residual_graph());
+        assert_eq!(a.single_tensor_points(), vec![0, 1, 2, 5]);
+    }
+}

@@ -1,0 +1,224 @@
+//! Transmission-size math for topological-order cuts.
+//!
+//! Partitioning the topological order `{L_0, ..., L_n}` after position `p`
+//! induces a cut `C(S, T)` of the augmented DAG `G'` (§III-D). The bytes
+//! that must cross the uplink are the outputs of prefix nodes (including the
+//! virtual input `L_0`) that are consumed by suffix nodes. This module
+//! computes that series `s_0..s_n` for a whole graph in one pass.
+
+use crate::graph::{ComputationGraph, ValueId};
+use serde::{Deserialize, Serialize};
+
+/// Everything the decision algorithm needs to know about the cut after
+/// position `p`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CutInfo {
+    /// The partition point `p` (0 = full offloading, `n` = local inference).
+    pub p: usize,
+    /// Values crossing the cut, in topological order of their producers.
+    pub crossing: Vec<ValueId>,
+    /// Total bytes crossing the cut (`s_p` of Problem (1) for `p < n`).
+    pub bytes: u64,
+}
+
+impl CutInfo {
+    /// Number of distinct tensors that must be packed (a MakeTuple is needed
+    /// on the device side when this exceeds 1 — Figure 5).
+    #[must_use]
+    pub fn tensor_count(&self) -> usize {
+        self.crossing.len()
+    }
+}
+
+/// Computes [`CutInfo`] for one partition point.
+///
+/// For `p = n` the crossing set is empty (`local inference`): nothing is
+/// uploaded. Note that Problem (1) separately accounts the *download* of the
+/// final output via `s_n`; use [`ComputationGraph::output`] for that size.
+#[must_use]
+pub fn cut_at(graph: &ComputationGraph, p: usize) -> CutInfo {
+    let n = graph.len();
+    assert!(p <= n, "partition point {p} out of range 0..={n}");
+    let mut crossing = Vec::new();
+    let mut bytes = 0u64;
+    if p == n {
+        return CutInfo { p, crossing, bytes };
+    }
+    // A value produced at position <= p crosses iff some consumer sits at
+    // position > p.
+    let consumers = graph.consumer_table();
+    for (pos, users) in consumers.iter().enumerate() {
+        if pos > p {
+            break;
+        }
+        if users.iter().any(|id| id.position() > p) {
+            let v = if pos == 0 {
+                ValueId::Input
+            } else {
+                ValueId::Node(crate::graph::NodeId(pos))
+            };
+            crossing.push(v);
+            bytes += graph.value_desc(v).size_bytes();
+        }
+    }
+    CutInfo { p, crossing, bytes }
+}
+
+/// Computes the full transmission series `s_0..s_n` in one sweep.
+///
+/// `result[p]` is the upload size when partitioning after `L_p`; in
+/// particular `result[0]` is the input tensor size and `result[n]` is zero
+/// (local inference uploads nothing).
+///
+/// The sweep is O(V + E): each edge `(u, v)` contributes its producer's
+/// tensor to every cut in `[pos(u), pos(v))`, which we accumulate with a
+/// difference array keyed by the producer's *last* consumer.
+///
+/// # Examples
+///
+/// ```
+/// use lp_graph::{GraphBuilder, NodeKind, PoolAttrs, transmission_series};
+/// use lp_tensor::{Shape, TensorDesc};
+///
+/// let mut b = GraphBuilder::new("g", TensorDesc::f32(Shape::nchw(1, 4, 8, 8)));
+/// let p = b.node("pool", NodeKind::Pool(PoolAttrs::max(2, 2)), [b.input()])?;
+/// let g = b.finish(p)?;
+/// let s = transmission_series(&g);
+/// assert_eq!(s, vec![4 * 8 * 8 * 4, 0]);
+/// # Ok::<(), lp_graph::GraphError>(())
+/// ```
+#[must_use]
+#[allow(clippy::needless_range_loop)]
+pub fn transmission_series(graph: &ComputationGraph) -> Vec<u64> {
+    let n = graph.len();
+    // diff[p] accumulates the change in crossing bytes between cut p-1 and p.
+    let mut diff = vec![0i64; n + 2];
+    let consumers = graph.consumer_table();
+    for (pos, users) in consumers.iter().enumerate() {
+        let last_use = users.iter().map(|id| id.position()).max();
+        if let Some(last) = last_use {
+            let v = if pos == 0 {
+                ValueId::Input
+            } else {
+                ValueId::Node(crate::graph::NodeId(pos))
+            };
+            let sz = graph.value_desc(v).size_bytes() as i64;
+            // The value crosses cuts p in [pos, last - 1].
+            diff[pos] += sz;
+            diff[last] -= sz;
+        }
+    }
+    let mut out = Vec::with_capacity(n + 1);
+    let mut acc = 0i64;
+    for p in 0..=n {
+        acc += diff[p];
+        debug_assert!(acc >= 0);
+        out.push(acc as u64);
+    }
+    out
+}
+
+/// Partition points whose upload size is smaller than the graph input —
+/// the "available" points in the paper's §V-B terminology (plus `p = 0`
+/// itself, which uploads exactly the input).
+#[must_use]
+pub fn available_points(graph: &ComputationGraph) -> Vec<usize> {
+    let series = transmission_series(graph);
+    let input = series[0];
+    series
+        .iter()
+        .enumerate()
+        .filter(|&(p, &s)| p == 0 || s < input)
+        .map(|(p, _)| p)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+    use crate::node::{Activation, ConvAttrs, NodeKind, PoolAttrs};
+    use lp_tensor::{Shape, TensorDesc};
+
+    fn chain_graph() -> ComputationGraph {
+        let mut b = GraphBuilder::new("chain", TensorDesc::f32(Shape::nchw(1, 3, 8, 8)));
+        let c = b
+            .node("conv", NodeKind::Conv(ConvAttrs::same(16, 3)), [b.input()])
+            .unwrap();
+        let r = b
+            .node("relu", NodeKind::Activation(Activation::Relu), [c])
+            .unwrap();
+        let p = b.node("pool", NodeKind::Pool(PoolAttrs::max(2, 2)), [r]).unwrap();
+        b.finish(p).unwrap()
+    }
+
+    fn residual_graph() -> ComputationGraph {
+        // input -> conv -> relu -> {conv2 -> } add(relu, conv2)
+        let mut b = GraphBuilder::new("res", TensorDesc::f32(Shape::nchw(1, 8, 8, 8)));
+        let c1 = b
+            .node("c1", NodeKind::Conv(ConvAttrs::same(8, 3)), [b.input()])
+            .unwrap();
+        let r1 = b
+            .node("r1", NodeKind::Activation(Activation::Relu), [c1])
+            .unwrap();
+        let c2 = b.node("c2", NodeKind::Conv(ConvAttrs::same(8, 3)), [r1]).unwrap();
+        let add = b.node("add", NodeKind::Add, [r1, c2]).unwrap();
+        b.finish(add).unwrap()
+    }
+
+    #[test]
+    fn chain_series_matches_layer_outputs() {
+        let g = chain_graph();
+        let s = transmission_series(&g);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s[0], 3 * 8 * 8 * 4); // input
+        assert_eq!(s[1], 16 * 8 * 8 * 4); // conv output
+        assert_eq!(s[2], 16 * 8 * 8 * 4); // relu output
+        assert_eq!(s[3], 0); // local inference uploads nothing
+    }
+
+    #[test]
+    fn series_agrees_with_cut_at() {
+        for g in [chain_graph(), residual_graph()] {
+            let s = transmission_series(&g);
+            for (p, &bytes) in s.iter().enumerate() {
+                assert_eq!(bytes, cut_at(&g, p).bytes, "graph {} p={p}", g.name());
+            }
+        }
+    }
+
+    #[test]
+    fn residual_cut_inside_block_carries_two_tensors() {
+        let g = residual_graph();
+        // Cutting after c2 (p=3): both r1's output (needed by add) and c2's
+        // output cross -> 2 tensors.
+        let cut = cut_at(&g, 3);
+        assert_eq!(cut.tensor_count(), 2);
+        assert_eq!(cut.bytes, 2 * 8 * 8 * 8 * 4);
+        // Cutting after r1 (p=2): only r1's output crosses (used by both).
+        let cut = cut_at(&g, 2);
+        assert_eq!(cut.tensor_count(), 1);
+    }
+
+    #[test]
+    fn local_inference_cut_is_empty() {
+        let g = residual_graph();
+        let cut = cut_at(&g, g.len());
+        assert_eq!(cut.tensor_count(), 0);
+        assert_eq!(cut.bytes, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn cut_past_end_panics() {
+        let _ = cut_at(&chain_graph(), 99);
+    }
+
+    #[test]
+    fn available_points_shrink_with_pooling() {
+        let g = chain_graph();
+        // Input is 3ch, conv makes 16ch (bigger), pool at p=3 = local.
+        let pts = available_points(&g);
+        assert_eq!(pts, vec![0, 3]);
+    }
+}

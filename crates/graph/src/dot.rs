@@ -1,0 +1,93 @@
+//! Graphviz DOT export for computation graphs and partitions.
+
+use crate::graph::{ComputationGraph, ValueId};
+use std::fmt::Write as _;
+
+/// Renders the graph in Graphviz DOT format.
+///
+/// Each node is labelled `name\nkind\nshape`; the virtual input appears as a
+/// gray ellipse. Handy for debugging model builders and for documentation.
+///
+/// ```
+/// # use lp_graph::{GraphBuilder, NodeKind, Activation};
+/// # use lp_tensor::{Shape, TensorDesc};
+/// let mut b = GraphBuilder::new("g", TensorDesc::f32(Shape::nchw(1, 3, 4, 4)));
+/// let r = b.node("relu", NodeKind::Activation(Activation::Relu), [b.input()])?;
+/// let g = b.finish(r)?;
+/// let dot = lp_graph::dot::to_dot(&g, None);
+/// assert!(dot.contains("digraph"));
+/// assert!(dot.contains("relu"));
+/// # Ok::<(), lp_graph::GraphError>(())
+/// ```
+#[must_use]
+pub fn to_dot(graph: &ComputationGraph, partition_point: Option<usize>) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph \"{}\" {{", graph.name());
+    let _ = writeln!(s, "  rankdir=TB;");
+    let _ = writeln!(
+        s,
+        "  input [shape=ellipse, style=filled, fillcolor=gray90, label=\"input\\n{}\"];",
+        graph.input()
+    );
+    for (id, n) in graph.iter() {
+        let color = match partition_point {
+            Some(p) if id.position() <= p => "lightblue", // device side
+            Some(_) => "lightsalmon",                     // server side
+            None => "white",
+        };
+        let _ = writeln!(
+            s,
+            "  n{} [shape=box, style=filled, fillcolor={color}, label=\"{}\\n{}\\n{}\"];",
+            id.position(),
+            n.name,
+            n.kind,
+            n.output
+        );
+    }
+    for (id, n) in graph.iter() {
+        for &v in &n.inputs {
+            let from = match v {
+                ValueId::Input => "input".to_string(),
+                ValueId::Node(p) => format!("n{}", p.position()),
+            };
+            let _ = writeln!(s, "  {from} -> n{};", id.position());
+        }
+    }
+    let _ = writeln!(s, "}}");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+    use crate::node::{Activation, NodeKind};
+    use lp_tensor::{Shape, TensorDesc};
+
+    fn tiny() -> ComputationGraph {
+        let mut b = GraphBuilder::new("tiny", TensorDesc::f32(Shape::nchw(1, 3, 4, 4)));
+        let a = b
+            .node("a", NodeKind::Activation(Activation::Relu), [b.input()])
+            .unwrap();
+        let c = b
+            .node("b", NodeKind::Activation(Activation::Tanh), [a])
+            .unwrap();
+        b.finish(c).unwrap()
+    }
+
+    #[test]
+    fn dot_contains_nodes_and_edges() {
+        let dot = to_dot(&tiny(), None);
+        assert!(dot.starts_with("digraph \"tiny\""));
+        assert!(dot.contains("input -> n1"));
+        assert!(dot.contains("n1 -> n2"));
+        assert!(dot.contains("ReLU"));
+    }
+
+    #[test]
+    fn partition_colors_sides() {
+        let dot = to_dot(&tiny(), Some(1));
+        assert!(dot.contains("lightblue"));
+        assert!(dot.contains("lightsalmon"));
+    }
+}

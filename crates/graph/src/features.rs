@@ -1,0 +1,222 @@
+//! Prediction-model input features — Table II of the paper.
+//!
+//! Each of the 8 node categories has a hand-designed feature vector whose
+//! first entry is always the Table I FLOPs; convolution-family nodes add
+//! memory-access-related features selected offline by gradient-boosted-tree
+//! feature importance (XGBoost in the paper; `lp_linalg::gbdt` here).
+//!
+//! | Node     | Edge server                              | User-end device      |
+//! |----------|------------------------------------------|----------------------|
+//! | Conv     | `FLOPs, s_f, H_in*s_f, C_out*s_f`        | (same)               |
+//! | DWConv   | `FLOPs, s_f, padded_size`                | `FLOPs, N*C_out*s_f` |
+//! | Matmul   | `FLOPs, N*C_in, N*C_out, C_in*C_out`     | (same)               |
+//! | Pooling  | `FLOPs, N*C_in*H_in*W_in, N*C_out*H_out*W_out, H_out*W_out` | (same) |
+//! | others   | `FLOPs`                                  | `FLOPs`              |
+//!
+//! where `s_f = C_in*K_H*K_W` for Conv (the single-filter size) and
+//! `s_f = K_H*K_W` for DWConv (one filter covers one channel).
+
+use crate::flops::node_flops;
+use crate::node::NodeKind;
+use lp_tensor::TensorDesc;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which side's model the features feed (`M_edge` vs `M_user`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Platform {
+    /// The edge server (Tesla T4 in the paper's testbed).
+    EdgeServer,
+    /// The user-end device (Raspberry Pi 4 in the paper's testbed).
+    UserDevice,
+}
+
+impl fmt::Display for Platform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Platform::EdgeServer => f.write_str("Edge Server"),
+            Platform::UserDevice => f.write_str("User-End Device"),
+        }
+    }
+}
+
+/// A named feature vector ready for the linear-regression models.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct FeatureVector {
+    /// Feature names, parallel to `values`.
+    pub names: Vec<&'static str>,
+    /// Feature values.
+    pub values: Vec<f64>,
+}
+
+impl FeatureVector {
+    /// Number of features.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the vector is empty (never true for modelled nodes).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+/// Computes the Table II feature vector of a node for the given platform.
+///
+/// Structural nodes (`Concat`, `Flatten`) carry no prediction model; they
+/// still get a (FLOPs = 0) vector so callers need not special-case them,
+/// matching §IV's "assign 0" rule.
+#[must_use]
+pub fn features_for(
+    kind: &NodeKind,
+    input: &TensorDesc,
+    output: &TensorDesc,
+    platform: Platform,
+) -> FeatureVector {
+    let flops = node_flops(kind, input, output) as f64;
+    let n = input.shape().batch().unwrap_or(1) as f64;
+    match kind {
+        NodeKind::Conv(a) => {
+            let c_in = input.shape().channels().unwrap_or(1) as f64;
+            let h_in = input.shape().height().unwrap_or(1) as f64;
+            let s_f = c_in * (a.kernel.0 * a.kernel.1) as f64;
+            FeatureVector {
+                names: vec!["FLOPs", "s_f", "H_in*s_f", "C_out*s_f"],
+                values: vec![flops, s_f, h_in * s_f, a.out_channels as f64 * s_f],
+            }
+        }
+        NodeKind::DwConv(a) => {
+            let s_f = (a.kernel.0 * a.kernel.1) as f64;
+            match platform {
+                Platform::EdgeServer => FeatureVector {
+                    names: vec!["FLOPs", "s_f", "padded_size"],
+                    values: vec![flops, s_f, a.padded_size(input.shape()) as f64],
+                },
+                Platform::UserDevice => {
+                    let c_out = output.shape().channels().unwrap_or(1) as f64;
+                    FeatureVector {
+                        names: vec!["FLOPs", "N*C_out*s_f"],
+                        values: vec![flops, n * c_out * s_f],
+                    }
+                }
+            }
+        }
+        NodeKind::MatMul { out_features } => {
+            let c_in = input.shape().dims().get(1).copied().unwrap_or(1) as f64;
+            let c_out = *out_features as f64;
+            FeatureVector {
+                names: vec!["FLOPs", "N*C_in", "N*C_out", "C_in*C_out"],
+                values: vec![flops, n * c_in, n * c_out, c_in * c_out],
+            }
+        }
+        NodeKind::Pool(_) | NodeKind::GlobalAvgPool => {
+            let c_in = input.shape().channels().unwrap_or(1) as f64;
+            let h_in = input.shape().height().unwrap_or(1) as f64;
+            let w_in = input.shape().width().unwrap_or(1) as f64;
+            let c_out = output.shape().channels().unwrap_or(1) as f64;
+            let h_out = output.shape().height().unwrap_or(1) as f64;
+            let w_out = output.shape().width().unwrap_or(1) as f64;
+            FeatureVector {
+                names: vec![
+                    "FLOPs",
+                    "N*C_in*H_in*W_in",
+                    "N*C_out*H_out*W_out",
+                    "H_out*W_out",
+                ],
+                values: vec![
+                    flops,
+                    n * c_in * h_in * w_in,
+                    n * c_out * h_out * w_out,
+                    h_out * w_out,
+                ],
+            }
+        }
+        NodeKind::BiasAdd
+        | NodeKind::Add
+        | NodeKind::BatchNorm
+        | NodeKind::Activation(_)
+        | NodeKind::Concat
+        | NodeKind::Flatten => FeatureVector {
+            names: vec!["FLOPs"],
+            values: vec![flops],
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::{Activation, ConvAttrs, DwConvAttrs, PoolAttrs};
+    use lp_tensor::Shape;
+
+    fn fm(c: usize, h: usize, w: usize) -> TensorDesc {
+        TensorDesc::f32(Shape::nchw(1, c, h, w))
+    }
+
+    #[test]
+    fn conv_features_same_on_both_platforms() {
+        let k = NodeKind::Conv(ConvAttrs::new(64, 11, 4, 2));
+        let input = fm(3, 224, 224);
+        let out = k.infer_output(std::slice::from_ref(&input)).unwrap();
+        let e = features_for(&k, &input, &out, Platform::EdgeServer);
+        let d = features_for(&k, &input, &out, Platform::UserDevice);
+        assert_eq!(e, d);
+        assert_eq!(e.len(), 4);
+        let s_f = 3.0 * 121.0;
+        assert_eq!(e.values[1], s_f);
+        assert_eq!(e.values[2], 224.0 * s_f);
+        assert_eq!(e.values[3], 64.0 * s_f);
+    }
+
+    #[test]
+    fn dwconv_features_differ_by_platform() {
+        let k = NodeKind::DwConv(DwConvAttrs::new(3, 1, 1));
+        let input = fm(32, 10, 10);
+        let out = k.infer_output(std::slice::from_ref(&input)).unwrap();
+        let e = features_for(&k, &input, &out, Platform::EdgeServer);
+        let d = features_for(&k, &input, &out, Platform::UserDevice);
+        assert_eq!(e.names, vec!["FLOPs", "s_f", "padded_size"]);
+        assert_eq!(e.values[2], 32.0 * 12.0 * 12.0);
+        assert_eq!(d.names, vec!["FLOPs", "N*C_out*s_f"]);
+        assert_eq!(d.values[1], 32.0 * 9.0);
+    }
+
+    #[test]
+    fn matmul_features() {
+        let k = NodeKind::MatMul { out_features: 1000 };
+        let input = TensorDesc::f32(Shape::nc(1, 2048));
+        let out = k.infer_output(std::slice::from_ref(&input)).unwrap();
+        let v = features_for(&k, &input, &out, Platform::EdgeServer);
+        assert_eq!(v.values, vec![2048.0 * 1000.0, 2048.0, 1000.0, 2048.0 * 1000.0]);
+    }
+
+    #[test]
+    fn pooling_features() {
+        let k = NodeKind::Pool(PoolAttrs::max(3, 2));
+        let input = fm(64, 55, 55);
+        let out = k.infer_output(std::slice::from_ref(&input)).unwrap();
+        let v = features_for(&k, &input, &out, Platform::UserDevice);
+        assert_eq!(v.len(), 4);
+        assert_eq!(v.values[1], 64.0 * 55.0 * 55.0);
+        assert_eq!(v.values[2], 64.0 * 27.0 * 27.0);
+        assert_eq!(v.values[3], 27.0 * 27.0);
+    }
+
+    #[test]
+    fn elementwise_features_flops_only() {
+        let k = NodeKind::Activation(Activation::Relu);
+        let input = fm(8, 4, 4);
+        let out = k.infer_output(std::slice::from_ref(&input)).unwrap();
+        let v = features_for(&k, &input, &out, Platform::EdgeServer);
+        assert_eq!(v.names, vec!["FLOPs"]);
+        assert_eq!(v.values, vec![8.0 * 16.0]);
+    }
+
+    #[test]
+    fn platform_display() {
+        assert_eq!(Platform::EdgeServer.to_string(), "Edge Server");
+        assert_eq!(Platform::UserDevice.to_string(), "User-End Device");
+    }
+}

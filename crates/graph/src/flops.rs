@@ -1,0 +1,169 @@
+//! FLOPs formulas for the 8 node categories — Table I of the paper.
+//!
+//! | Node          | FLOPs                                    |
+//! |---------------|------------------------------------------|
+//! | Conv          | `N * C_in * H_out * W_out * K_H * K_W * C_out` |
+//! | DWConv        | `N * C_in * H_out * W_out * K_H * K_W`   |
+//! | Matmul        | `N * C_in * C_out`                       |
+//! | Pooling       | `N * C_out * H_out * W_out * K_H * K_W`  |
+//! | BiasAdd, Element-wise, BatchNorm, Activation | `prod S_i` (input numel) |
+
+use crate::graph::{CNode, ComputationGraph};
+use crate::node::NodeKind;
+use lp_tensor::TensorDesc;
+
+/// Computes the Table I FLOPs of a node given its first input and output.
+///
+/// Structural nodes (`Concat`, `Flatten`) move data without arithmetic and
+/// return 0.
+#[must_use]
+pub fn node_flops(kind: &NodeKind, input: &TensorDesc, output: &TensorDesc) -> u64 {
+    let n = output.shape().batch().unwrap_or(1) as u64;
+    match kind {
+        NodeKind::Conv(a) => {
+            let c_in = input.shape().channels().unwrap_or(1) as u64;
+            let h_out = output.shape().height().unwrap_or(1) as u64;
+            let w_out = output.shape().width().unwrap_or(1) as u64;
+            n * c_in
+                * h_out
+                * w_out
+                * (a.kernel.0 * a.kernel.1) as u64
+                * a.out_channels as u64
+        }
+        NodeKind::DwConv(a) => {
+            let c_in = input.shape().channels().unwrap_or(1) as u64;
+            let h_out = output.shape().height().unwrap_or(1) as u64;
+            let w_out = output.shape().width().unwrap_or(1) as u64;
+            n * c_in * h_out * w_out * (a.kernel.0 * a.kernel.1) as u64
+        }
+        NodeKind::MatMul { out_features } => {
+            let c_in = input.shape().dims().get(1).copied().unwrap_or(1) as u64;
+            n * c_in * *out_features as u64
+        }
+        NodeKind::Pool(a) => {
+            let c_out = output.shape().channels().unwrap_or(1) as u64;
+            let h_out = output.shape().height().unwrap_or(1) as u64;
+            let w_out = output.shape().width().unwrap_or(1) as u64;
+            n * c_out * h_out * w_out * (a.kernel.0 * a.kernel.1) as u64
+        }
+        NodeKind::GlobalAvgPool => {
+            // Window covers the whole input map: K_H*K_W = H_in*W_in,
+            // H_out = W_out = 1.
+            let c_out = output.shape().channels().unwrap_or(1) as u64;
+            let h_in = input.shape().height().unwrap_or(1) as u64;
+            let w_in = input.shape().width().unwrap_or(1) as u64;
+            n * c_out * h_in * w_in
+        }
+        NodeKind::BiasAdd
+        | NodeKind::Add
+        | NodeKind::BatchNorm
+        | NodeKind::Activation(_) => input.numel(),
+        NodeKind::Concat | NodeKind::Flatten => 0,
+    }
+}
+
+/// FLOPs of one graph node.
+#[must_use]
+pub fn cnode_flops(graph: &ComputationGraph, node: &CNode) -> u64 {
+    let input = graph.value_desc(node.inputs[0]);
+    node_flops(&node.kind, input, &node.output)
+}
+
+/// Total FLOPs of a graph (sum over nodes).
+///
+/// ```
+/// # use lp_graph::{GraphBuilder, NodeKind, ConvAttrs};
+/// # use lp_tensor::{Shape, TensorDesc};
+/// let mut b = GraphBuilder::new("g", TensorDesc::f32(Shape::nchw(1, 3, 8, 8)));
+/// let c = b.node("c", NodeKind::Conv(ConvAttrs::same(4, 3)), [b.input()])?;
+/// let g = b.finish(c)?;
+/// assert_eq!(lp_graph::flops::graph_flops(&g), 3 * 8 * 8 * 9 * 4);
+/// # Ok::<(), lp_graph::GraphError>(())
+/// ```
+#[must_use]
+pub fn graph_flops(graph: &ComputationGraph) -> u64 {
+    graph.nodes().iter().map(|n| cnode_flops(graph, n)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::{Activation, ConvAttrs, DwConvAttrs, PoolAttrs};
+    use lp_tensor::Shape;
+
+    fn fm(c: usize, h: usize, w: usize) -> TensorDesc {
+        TensorDesc::f32(Shape::nchw(1, c, h, w))
+    }
+
+    #[test]
+    fn conv_flops_table1() {
+        // N=1, C_in=3, H_out=W_out=55, K=11, C_out=64.
+        let k = NodeKind::Conv(ConvAttrs::new(64, 11, 4, 2));
+        let input = fm(3, 224, 224);
+        let out = k.infer_output(std::slice::from_ref(&input)).unwrap();
+        assert_eq!(
+            node_flops(&k, &input, &out),
+            3 * 55 * 55 * 11 * 11 * 64
+        );
+    }
+
+    #[test]
+    fn dwconv_flops_drops_cout() {
+        let k = NodeKind::DwConv(DwConvAttrs::new(3, 1, 1));
+        let input = fm(32, 10, 10);
+        let out = k.infer_output(std::slice::from_ref(&input)).unwrap();
+        assert_eq!(node_flops(&k, &input, &out), 32 * 10 * 10 * 9);
+    }
+
+    #[test]
+    fn matmul_flops() {
+        let k = NodeKind::MatMul { out_features: 4096 };
+        let input = TensorDesc::f32(Shape::nc(1, 9216));
+        let out = k.infer_output(std::slice::from_ref(&input)).unwrap();
+        assert_eq!(node_flops(&k, &input, &out), 9216 * 4096);
+    }
+
+    #[test]
+    fn pooling_flops_use_output_extent() {
+        let k = NodeKind::Pool(PoolAttrs::max(3, 2));
+        let input = fm(64, 55, 55);
+        let out = k.infer_output(std::slice::from_ref(&input)).unwrap();
+        // N * C_out * 27 * 27 * 3 * 3
+        assert_eq!(node_flops(&k, &input, &out), 64 * 27 * 27 * 9);
+    }
+
+    #[test]
+    fn global_pool_flops_cover_input_window() {
+        let k = NodeKind::GlobalAvgPool;
+        let input = fm(512, 7, 7);
+        let out = k.infer_output(std::slice::from_ref(&input)).unwrap();
+        assert_eq!(node_flops(&k, &input, &out), 512 * 7 * 7);
+    }
+
+    #[test]
+    fn elementwise_flops_are_input_numel() {
+        let input = fm(64, 56, 56);
+        for k in [
+            NodeKind::BiasAdd,
+            NodeKind::Add,
+            NodeKind::BatchNorm,
+            NodeKind::Activation(Activation::Relu),
+        ] {
+            let out = match k {
+                NodeKind::Add => k
+                    .infer_output(&[input.clone(), input.clone()])
+                    .unwrap(),
+                _ => k.infer_output(std::slice::from_ref(&input)).unwrap(),
+            };
+            assert_eq!(node_flops(&k, &input, &out), 64 * 56 * 56);
+        }
+    }
+
+    #[test]
+    fn structural_nodes_are_free() {
+        let input = fm(64, 6, 6);
+        let flat = NodeKind::Flatten;
+        let out = flat.infer_output(std::slice::from_ref(&input)).unwrap();
+        assert_eq!(node_flops(&flat, &input, &out), 0);
+    }
+}

@@ -1,0 +1,547 @@
+//! The computation graph and its builder.
+
+use crate::node::{NodeKind, ShapeInferenceError};
+use lp_tensor::TensorDesc;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::fmt;
+
+/// Identifier of a computation node.
+///
+/// The wrapped value is the node's 1-based position in the topological
+/// order, i.e. `NodeId(i)` is the paper's `L_i`. The virtual input `L_0`
+/// is *not* a node — it is [`ValueId::Input`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// The node's 1-based position in the topological order (`i` of `L_i`).
+    #[must_use]
+    pub fn position(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// A value flowing along a graph edge: either the graph input tensor
+/// (produced by the virtual node `L_0`) or the output of a computation node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ValueId {
+    /// The graph's input tensor (`L_0`'s output).
+    Input,
+    /// The output tensor of node `L_i`.
+    Node(NodeId),
+}
+
+impl ValueId {
+    /// Topological position of the producer: 0 for the input, `i` for `L_i`.
+    #[must_use]
+    pub fn producer_position(self) -> usize {
+        match self {
+            ValueId::Input => 0,
+            ValueId::Node(id) => id.position(),
+        }
+    }
+}
+
+impl From<NodeId> for ValueId {
+    fn from(id: NodeId) -> Self {
+        ValueId::Node(id)
+    }
+}
+
+/// A computation node (`CNode` in MindIR terms): an operation applied to one
+/// or more upstream values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CNode {
+    /// Human-readable name, e.g. `"conv2"` or `"fire3/expand3x3"`.
+    pub name: String,
+    /// The operation.
+    pub kind: NodeKind,
+    /// Data inputs (Parameters such as weights are implicit in `kind`).
+    pub inputs: Vec<ValueId>,
+    /// Inferred output tensor.
+    pub output: TensorDesc,
+    /// Bytes of FP32 weights attached to this node.
+    pub param_bytes: u64,
+}
+
+/// An immutable DNN computation graph.
+///
+/// Nodes are stored in a valid topological order (the builder enforces that
+/// every input refers to an earlier node), so the storage order *is* the
+/// `{L_1, ..., L_n}` order the partition-decision algorithm searches.
+///
+/// # Examples
+///
+/// ```
+/// use lp_graph::{GraphBuilder, NodeKind, ConvAttrs};
+/// use lp_tensor::{Shape, TensorDesc};
+///
+/// let mut b = GraphBuilder::new("g", TensorDesc::f32(Shape::nchw(1, 3, 32, 32)));
+/// let c = b.node("c", NodeKind::Conv(ConvAttrs::same(8, 3)), [b.input()])?;
+/// let g = b.finish(c)?;
+/// assert_eq!(g.len(), 1);
+/// assert_eq!(g.output().shape().dims(), &[1, 8, 32, 32]);
+/// # Ok::<(), lp_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComputationGraph {
+    name: String,
+    input: TensorDesc,
+    nodes: Vec<CNode>,
+    output: ValueId,
+}
+
+impl ComputationGraph {
+    /// The model name, e.g. `"AlexNet"`.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The graph input tensor descriptor (`s_0` of Problem (1) is its size).
+    #[must_use]
+    pub fn input(&self) -> &TensorDesc {
+        &self.input
+    }
+
+    /// The value designated as the graph output.
+    #[must_use]
+    pub fn output_value(&self) -> ValueId {
+        self.output
+    }
+
+    /// The output tensor descriptor (`s_n` of Problem (1) is its size).
+    #[must_use]
+    pub fn output(&self) -> &TensorDesc {
+        self.value_desc(self.output)
+    }
+
+    /// Number of computation nodes `n = |V|`.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph has no computation nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The nodes in topological order.
+    #[must_use]
+    pub fn nodes(&self) -> &[CNode] {
+        &self.nodes
+    }
+
+    /// Iterates over `(NodeId, &CNode)` pairs in topological order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &CNode)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NodeId(i + 1), n))
+    }
+
+    /// Looks up a node by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not issued for this graph (positions are 1-based
+    /// and bounded by [`len`](Self::len)).
+    #[must_use]
+    pub fn node(&self, id: NodeId) -> &CNode {
+        &self.nodes[id.0 - 1]
+    }
+
+    /// The tensor descriptor carried by a value.
+    #[must_use]
+    pub fn value_desc(&self, v: ValueId) -> &TensorDesc {
+        match v {
+            ValueId::Input => &self.input,
+            ValueId::Node(id) => &self.node(id).output,
+        }
+    }
+
+    /// Consumers of each value: `consumers[i]` lists the nodes reading the
+    /// value produced at topological position `i` (0 = graph input).
+    #[must_use]
+    pub fn consumer_table(&self) -> Vec<Vec<NodeId>> {
+        let mut t = vec![Vec::new(); self.len() + 1];
+        for (id, n) in self.iter() {
+            for &v in &n.inputs {
+                t[v.producer_position()].push(id);
+            }
+        }
+        t
+    }
+
+    /// Total FP32 weight bytes across all nodes.
+    #[must_use]
+    pub fn total_param_bytes(&self) -> u64 {
+        self.nodes.iter().map(|n| n.param_bytes).sum()
+    }
+
+    /// Checks the structural invariants: every input of `L_i` is produced at
+    /// a strictly earlier position, the designated output exists, and node
+    /// outputs match re-run shape inference.
+    ///
+    /// The builder guarantees these, so this is primarily a test/debug aid
+    /// (and the property-test oracle).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    pub fn validate(&self) -> Result<(), GraphError> {
+        for (id, n) in self.iter() {
+            if n.inputs.is_empty() {
+                return Err(GraphError::NoInputs { node: n.name.clone() });
+            }
+            for &v in &n.inputs {
+                if v.producer_position() >= id.position() {
+                    return Err(GraphError::NotTopological {
+                        node: n.name.clone(),
+                    });
+                }
+            }
+            let descs: Vec<TensorDesc> =
+                n.inputs.iter().map(|&v| self.value_desc(v).clone()).collect();
+            let inferred = n
+                .kind
+                .infer_output(&descs)
+                .map_err(|e| GraphError::Shape {
+                    node: n.name.clone(),
+                    source: e,
+                })?;
+            if inferred != n.output {
+                return Err(GraphError::OutputMismatch {
+                    node: n.name.clone(),
+                });
+            }
+        }
+        if self.output.producer_position() > self.len() {
+            return Err(GraphError::DanglingOutput);
+        }
+        Ok(())
+    }
+}
+
+/// Incremental builder for [`ComputationGraph`].
+///
+/// Nodes must be added in dependency order; each `node` call infers the
+/// output shape immediately, so shape errors surface at the offending layer.
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    name: String,
+    input: TensorDesc,
+    nodes: Vec<CNode>,
+    names: HashSet<String>,
+}
+
+impl GraphBuilder {
+    /// Starts a graph with the given model name and input tensor.
+    #[must_use]
+    pub fn new(name: impl Into<String>, input: TensorDesc) -> Self {
+        Self {
+            name: name.into(),
+            input,
+            nodes: Vec::new(),
+            names: HashSet::new(),
+        }
+    }
+
+    /// The graph-input value, for wiring the first node(s).
+    #[must_use]
+    pub fn input(&self) -> ValueId {
+        ValueId::Input
+    }
+
+    /// Adds a node and returns the [`ValueId`] of its output.
+    ///
+    /// # Errors
+    ///
+    /// Fails if an input refers to a node that has not been added, if the
+    /// name is a duplicate, or if shape inference rejects the inputs.
+    pub fn node<I>(
+        &mut self,
+        name: impl Into<String>,
+        kind: NodeKind,
+        inputs: I,
+    ) -> Result<ValueId, GraphError>
+    where
+        I: IntoIterator<Item = ValueId>,
+    {
+        let name = name.into();
+        let inputs: Vec<ValueId> = inputs.into_iter().collect();
+        if !self.names.insert(name.clone()) {
+            return Err(GraphError::DuplicateName { node: name });
+        }
+        let next_pos = self.nodes.len() + 1;
+        let mut descs = Vec::with_capacity(inputs.len());
+        for &v in &inputs {
+            let pos = v.producer_position();
+            if pos >= next_pos {
+                return Err(GraphError::UnknownValue { node: name });
+            }
+            let desc = match v {
+                ValueId::Input => self.input.clone(),
+                ValueId::Node(id) => self.nodes[id.0 - 1].output.clone(),
+            };
+            descs.push(desc);
+        }
+        let output = kind.infer_output(&descs).map_err(|e| GraphError::Shape {
+            node: name.clone(),
+            source: e,
+        })?;
+        let param_bytes = if descs.is_empty() {
+            0
+        } else {
+            kind.param_bytes(&descs[0])
+        };
+        self.nodes.push(CNode {
+            name,
+            kind,
+            inputs,
+            output,
+            param_bytes,
+        });
+        Ok(ValueId::Node(NodeId(next_pos)))
+    }
+
+    /// Convenience: chains a `(op, name)` onto a single upstream value.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`node`](Self::node).
+    pub fn chain(
+        &mut self,
+        name: impl Into<String>,
+        kind: NodeKind,
+        input: ValueId,
+    ) -> Result<ValueId, GraphError> {
+        self.node(name, kind, [input])
+    }
+
+    /// Finalises the graph with `output` as the designated output value.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `output` does not refer to an added node (or the input) or
+    /// if the graph is empty.
+    pub fn finish(self, output: ValueId) -> Result<ComputationGraph, GraphError> {
+        if self.nodes.is_empty() {
+            return Err(GraphError::Empty);
+        }
+        if output.producer_position() > self.nodes.len() {
+            return Err(GraphError::DanglingOutput);
+        }
+        let g = ComputationGraph {
+            name: self.name,
+            input: self.input,
+            nodes: self.nodes,
+            output,
+        };
+        debug_assert!(g.validate().is_ok());
+        Ok(g)
+    }
+}
+
+/// Errors raised while building or validating a computation graph.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// A node referenced a value that does not exist yet.
+    UnknownValue {
+        /// Offending node name.
+        node: String,
+    },
+    /// Two nodes share a name.
+    DuplicateName {
+        /// Duplicated name.
+        node: String,
+    },
+    /// A node has no inputs.
+    NoInputs {
+        /// Offending node name.
+        node: String,
+    },
+    /// Storage order is not a topological order.
+    NotTopological {
+        /// Offending node name.
+        node: String,
+    },
+    /// Shape inference failed.
+    Shape {
+        /// Offending node name.
+        node: String,
+        /// Underlying inference error.
+        source: ShapeInferenceError,
+    },
+    /// Stored output differs from re-inferred output.
+    OutputMismatch {
+        /// Offending node name.
+        node: String,
+    },
+    /// The designated graph output refers to a missing node.
+    DanglingOutput,
+    /// The graph has no nodes.
+    Empty,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownValue { node } => {
+                write!(f, "node {node} references a value that is not yet defined")
+            }
+            GraphError::DuplicateName { node } => write!(f, "duplicate node name {node}"),
+            GraphError::NoInputs { node } => write!(f, "node {node} has no inputs"),
+            GraphError::NotTopological { node } => {
+                write!(f, "node {node} breaks the topological order")
+            }
+            GraphError::Shape { node, source } => write!(f, "node {node}: {source}"),
+            GraphError::OutputMismatch { node } => {
+                write!(f, "node {node} stored output differs from inference")
+            }
+            GraphError::DanglingOutput => write!(f, "graph output refers to a missing node"),
+            GraphError::Empty => write!(f, "graph has no computation nodes"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Shape { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::{Activation, ConvAttrs, PoolAttrs};
+    use lp_tensor::Shape;
+
+    fn input() -> TensorDesc {
+        TensorDesc::f32(Shape::nchw(1, 3, 32, 32))
+    }
+
+    #[test]
+    fn build_chain() {
+        let mut b = GraphBuilder::new("chain", input());
+        let c = b
+            .node("conv", NodeKind::Conv(ConvAttrs::same(8, 3)), [b.input()])
+            .unwrap();
+        let r = b
+            .node("relu", NodeKind::Activation(Activation::Relu), [c])
+            .unwrap();
+        let p = b.node("pool", NodeKind::Pool(PoolAttrs::max(2, 2)), [r]).unwrap();
+        let g = b.finish(p).unwrap();
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.output().shape(), &Shape::nchw(1, 8, 16, 16));
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn node_ids_are_topological_positions() {
+        let mut b = GraphBuilder::new("g", input());
+        let a = b
+            .node("a", NodeKind::Activation(Activation::Relu), [b.input()])
+            .unwrap();
+        let c = b
+            .node("b", NodeKind::Activation(Activation::Relu), [a])
+            .unwrap();
+        match (a, c) {
+            (ValueId::Node(x), ValueId::Node(y)) => {
+                assert_eq!(x.position(), 1);
+                assert_eq!(y.position(), 2);
+            }
+            _ => panic!("expected node values"),
+        }
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut b = GraphBuilder::new("g", input());
+        b.node("x", NodeKind::Activation(Activation::Relu), [b.input()])
+            .unwrap();
+        let err = b
+            .node("x", NodeKind::Activation(Activation::Relu), [b.input()])
+            .unwrap_err();
+        assert!(matches!(err, GraphError::DuplicateName { .. }));
+    }
+
+    #[test]
+    fn shape_errors_surface_at_build_time() {
+        let mut b = GraphBuilder::new("g", input());
+        let err = b
+            .node("fc", NodeKind::MatMul { out_features: 10 }, [b.input()])
+            .unwrap_err();
+        assert!(matches!(err, GraphError::Shape { .. }));
+    }
+
+    #[test]
+    fn empty_graph_rejected() {
+        let b = GraphBuilder::new("g", input());
+        assert_eq!(b.finish(ValueId::Input).unwrap_err(), GraphError::Empty);
+    }
+
+    #[test]
+    fn diamond_consumer_table() {
+        // input -> relu -> {a, b} -> add
+        let mut b = GraphBuilder::new("g", input());
+        let r = b
+            .node("relu", NodeKind::Activation(Activation::Relu), [b.input()])
+            .unwrap();
+        let x = b.node("a", NodeKind::Conv(ConvAttrs::same(3, 3)), [r]).unwrap();
+        let y = b.node("b", NodeKind::Conv(ConvAttrs::same(3, 3)), [r]).unwrap();
+        let s = b.node("add", NodeKind::Add, [x, y]).unwrap();
+        let g = b.finish(s).unwrap();
+        let t = g.consumer_table();
+        assert_eq!(t[0].len(), 1); // input feeds relu
+        assert_eq!(t[1].len(), 2); // relu feeds a and b
+        assert_eq!(t[2].len(), 1);
+        assert_eq!(t[3].len(), 1);
+        assert_eq!(t[4].len(), 0); // add is the sink
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn total_params() {
+        let mut b = GraphBuilder::new("g", input());
+        let c = b
+            .node("conv", NodeKind::Conv(ConvAttrs::same(8, 3)), [b.input()])
+            .unwrap();
+        let g = b.finish(c).unwrap();
+        assert_eq!(g.total_param_bytes(), 8 * 3 * 3 * 3 * 4);
+    }
+
+    #[test]
+    fn display_ids() {
+        assert_eq!(NodeId(3).to_string(), "L3");
+        assert_eq!(ValueId::Input.producer_position(), 0);
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        let errs: Vec<GraphError> = vec![
+            GraphError::UnknownValue { node: "x".into() },
+            GraphError::DuplicateName { node: "x".into() },
+            GraphError::NoInputs { node: "x".into() },
+            GraphError::NotTopological { node: "x".into() },
+            GraphError::OutputMismatch { node: "x".into() },
+            GraphError::DanglingOutput,
+            GraphError::Empty,
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

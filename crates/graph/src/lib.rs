@@ -1,0 +1,57 @@
+//! Computation-graph intermediate representation for the LoADPart
+//! reproduction.
+//!
+//! The paper partitions DNNs at the granularity of *computation nodes* in a
+//! MindIR-style computation graph (§III-D, §IV). This crate provides:
+//!
+//! * the node vocabulary ([`NodeKind`]) covering the 8 node categories the
+//!   paper models (Table I) plus the structural nodes (Concat, Flatten)
+//!   that carry no prediction model;
+//! * the graph itself ([`ComputationGraph`]) with shape inference, validity
+//!   checking and a stable topological order (`L_1..L_n`, with the virtual
+//!   input `L_0` handled by the decision algorithm);
+//! * cut/transmission-size math ([`cut`]) implementing the `s_i` series of
+//!   Problem (1);
+//! * FLOPs formulas ([`flops`], Table I) and prediction-model feature
+//!   vectors ([`features`], Table II);
+//! * branch-block detection ([`blocks`], §III-D's search-space reduction
+//!   argument);
+//! * segment extraction with Parameter/MakeTuple/Return synthesis
+//!   ([`partition`], Figure 5);
+//! * Graphviz DOT export ([`dot`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use lp_graph::{GraphBuilder, NodeKind, ConvAttrs, Activation};
+//! use lp_tensor::{Shape, TensorDesc};
+//!
+//! let mut b = GraphBuilder::new("tiny", TensorDesc::f32(Shape::nchw(1, 3, 8, 8)));
+//! let conv = b.node("conv", NodeKind::Conv(ConvAttrs::same(16, 3)), [b.input()])?;
+//! let relu = b.node("relu", NodeKind::Activation(Activation::Relu), [conv])?;
+//! let g = b.finish(relu)?;
+//! assert_eq!(g.len(), 2);
+//! # Ok::<(), lp_graph::GraphError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod blocks;
+pub mod cut;
+pub mod dot;
+pub mod features;
+pub mod flops;
+pub mod graph;
+pub mod node;
+pub mod partition;
+
+pub use blocks::{Block, BlockAnalysis};
+pub use cut::{transmission_series, CutInfo};
+pub use features::{FeatureVector, Platform};
+pub use flops::node_flops;
+pub use graph::{CNode, ComputationGraph, GraphBuilder, GraphError, NodeId, ValueId};
+pub use node::{
+    Activation, ConvAttrs, DwConvAttrs, ModelKey, NodeKind, PoolAttrs, PoolKind, ShapeInferenceError,
+};
+pub use partition::{PartitionedGraph, Segment, SegmentGraph};

@@ -1,0 +1,719 @@
+//! Node vocabulary and per-node shape inference.
+
+use lp_tensor::{shape::conv_out_dim, shape::conv_out_dim_ceil, Shape, TensorDesc};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Attributes of a standard convolution node.
+///
+/// `in_channels` is inferred from the input tensor; only the filter geometry
+/// is stored here. Following the paper's Table I notation, the single-filter
+/// size is `s_f = C_in * K_H * K_W`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ConvAttrs {
+    /// Number of output channels (`C_out`).
+    pub out_channels: usize,
+    /// Filter height and width (`K_H`, `K_W`).
+    pub kernel: (usize, usize),
+    /// Vertical and horizontal stride.
+    pub stride: (usize, usize),
+    /// Vertical and horizontal zero padding.
+    pub padding: (usize, usize),
+}
+
+impl ConvAttrs {
+    /// Square-kernel convolution with explicit stride and padding.
+    #[must_use]
+    pub fn new(out_channels: usize, kernel: usize, stride: usize, padding: usize) -> Self {
+        Self {
+            out_channels,
+            kernel: (kernel, kernel),
+            stride: (stride, stride),
+            padding: (padding, padding),
+        }
+    }
+
+    /// A "same" convolution: stride 1, padding `kernel / 2`.
+    ///
+    /// This is the ubiquitous 3x3/1x1 configuration of VGG/ResNet trunks.
+    #[must_use]
+    pub fn same(out_channels: usize, kernel: usize) -> Self {
+        Self::new(out_channels, kernel, 1, kernel / 2)
+    }
+}
+
+/// Attributes of a depth-wise convolution node (`DWConv` in the paper).
+///
+/// Output channels equal input channels (channel multiplier 1, as in
+/// Xception's separable convolutions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DwConvAttrs {
+    /// Filter height and width.
+    pub kernel: (usize, usize),
+    /// Vertical and horizontal stride.
+    pub stride: (usize, usize),
+    /// Vertical and horizontal zero padding.
+    pub padding: (usize, usize),
+}
+
+impl DwConvAttrs {
+    /// Square-kernel depth-wise convolution.
+    #[must_use]
+    pub fn new(kernel: usize, stride: usize, padding: usize) -> Self {
+        Self {
+            kernel: (kernel, kernel),
+            stride: (stride, stride),
+            padding: (padding, padding),
+        }
+    }
+
+    /// Total size of the padded input feature map, the `padded_size` feature
+    /// of Table II.
+    #[must_use]
+    pub fn padded_size(&self, input: &Shape) -> u64 {
+        let n = input.batch().unwrap_or(1) as u64;
+        let c = input.channels().unwrap_or(1) as u64;
+        let h = (input.height().unwrap_or(1) + 2 * self.padding.0) as u64;
+        let w = (input.width().unwrap_or(1) + 2 * self.padding.1) as u64;
+        n * c * h * w
+    }
+}
+
+/// Max vs average pooling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PoolKind {
+    /// Max pooling.
+    Max,
+    /// Average pooling.
+    Avg,
+}
+
+/// Attributes of a pooling node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PoolAttrs {
+    /// Max or average pooling.
+    pub kind: PoolKind,
+    /// Window height and width.
+    pub kernel: (usize, usize),
+    /// Vertical and horizontal stride.
+    pub stride: (usize, usize),
+    /// Vertical and horizontal zero padding.
+    pub padding: (usize, usize),
+    /// Whether the output extent rounds up (ceil mode).
+    pub ceil_mode: bool,
+}
+
+impl PoolAttrs {
+    /// Square-window max pooling, floor mode.
+    #[must_use]
+    pub fn max(kernel: usize, stride: usize) -> Self {
+        Self {
+            kind: PoolKind::Max,
+            kernel: (kernel, kernel),
+            stride: (stride, stride),
+            padding: (0, 0),
+            ceil_mode: false,
+        }
+    }
+
+    /// Square-window average pooling, floor mode.
+    #[must_use]
+    pub fn avg(kernel: usize, stride: usize) -> Self {
+        Self {
+            kind: PoolKind::Avg,
+            kernel: (kernel, kernel),
+            stride: (stride, stride),
+            padding: (0, 0),
+            ceil_mode: false,
+        }
+    }
+
+    /// Enables ceil-mode output rounding.
+    #[must_use]
+    pub fn with_ceil(mut self) -> Self {
+        self.ceil_mode = true;
+        self
+    }
+
+    /// Sets symmetric padding.
+    #[must_use]
+    pub fn with_padding(mut self, pad: usize) -> Self {
+        self.padding = (pad, pad);
+        self
+    }
+}
+
+/// Activation functions modelled by the paper (§III-B d).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Activation {
+    /// Rectified linear unit.
+    Relu,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Softmax over the last axis.
+    Softmax,
+    /// Hyperbolic tangent.
+    Tanh,
+}
+
+impl fmt::Display for Activation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Activation::Relu => "ReLU",
+            Activation::Sigmoid => "Sigmoid",
+            Activation::Softmax => "Softmax",
+            Activation::Tanh => "Tanh",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The operation performed by a computation node.
+///
+/// The first eight categories carry inference-time prediction models
+/// (Table I/II of the paper); `Concat` and `Flatten` are structural and are
+/// predicted as zero-cost, exactly as §IV prescribes for nodes "without
+/// developed inference time prediction models".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// Standard convolution.
+    Conv(ConvAttrs),
+    /// Depth-wise convolution.
+    DwConv(DwConvAttrs),
+    /// Matrix multiplication (the core of a fully-connected layer);
+    /// the payload is the number of output features `C_out`.
+    MatMul {
+        /// Number of output features.
+        out_features: usize,
+    },
+    /// Windowed pooling.
+    Pool(PoolAttrs),
+    /// Global average pooling (window = whole feature map).
+    GlobalAvgPool,
+    /// Broadcast bias addition.
+    BiasAdd,
+    /// Element-wise addition of two tensors (residual connections).
+    Add,
+    /// Inference-mode batch normalisation.
+    BatchNorm,
+    /// Element-wise activation.
+    Activation(Activation),
+    /// Channel-axis concatenation (Inception / SqueezeNet fire modules).
+    Concat,
+    /// Collapse to `(N, C*H*W)`.
+    Flatten,
+}
+
+impl NodeKind {
+    /// Short operator mnemonic for display and DOT export.
+    #[must_use]
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            NodeKind::Conv(_) => "Conv",
+            NodeKind::DwConv(_) => "DWConv",
+            NodeKind::MatMul { .. } => "MatMul",
+            NodeKind::Pool(PoolAttrs {
+                kind: PoolKind::Max,
+                ..
+            }) => "MaxPool",
+            NodeKind::Pool(PoolAttrs {
+                kind: PoolKind::Avg,
+                ..
+            }) => "AvgPool",
+            NodeKind::GlobalAvgPool => "GlobalAvgPool",
+            NodeKind::BiasAdd => "BiasAdd",
+            NodeKind::Add => "Add",
+            NodeKind::BatchNorm => "BatchNorm",
+            NodeKind::Activation(Activation::Relu) => "ReLU",
+            NodeKind::Activation(Activation::Sigmoid) => "Sigmoid",
+            NodeKind::Activation(Activation::Softmax) => "Softmax",
+            NodeKind::Activation(Activation::Tanh) => "Tanh",
+            NodeKind::Concat => "Concat",
+            NodeKind::Flatten => "Flatten",
+        }
+    }
+
+    /// Number of inputs this node requires, or `None` for variadic nodes
+    /// (`Concat`).
+    #[must_use]
+    pub fn arity(&self) -> Option<usize> {
+        match self {
+            NodeKind::Add | NodeKind::BiasAdd => Some(2),
+            NodeKind::Concat => None,
+            _ => Some(1),
+        }
+    }
+
+    /// Infers the output tensor of this node from its data inputs.
+    ///
+    /// `BiasAdd` is modelled with a single data input (the bias vector is a
+    /// Parameter, not a CNode, so it does not appear in the backbone DAG);
+    /// `Add` takes its two data inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeInferenceError`] when the number of inputs does not
+    /// match the node arity or when shapes are incompatible with the
+    /// operation.
+    pub fn infer_output(&self, inputs: &[TensorDesc]) -> Result<TensorDesc, ShapeInferenceError> {
+        let need = match self {
+            // BiasAdd's second operand is a Parameter; only one data input.
+            NodeKind::BiasAdd => Some(1),
+            other => other.arity(),
+        };
+        if let Some(n) = need {
+            if inputs.len() != n {
+                return Err(ShapeInferenceError::Arity {
+                    kind: self.mnemonic(),
+                    expected: n,
+                    got: inputs.len(),
+                });
+            }
+        } else if inputs.is_empty() {
+            return Err(ShapeInferenceError::Arity {
+                kind: self.mnemonic(),
+                expected: 1,
+                got: 0,
+            });
+        }
+
+        let first = &inputs[0];
+        let dtype = first.dtype();
+        match self {
+            NodeKind::Conv(a) => {
+                let s = first.shape();
+                let (n, _c, h, w) = nchw(s, self.mnemonic())?;
+                let oh = conv_out_dim(h, a.kernel.0, a.stride.0, a.padding.0);
+                let ow = conv_out_dim(w, a.kernel.1, a.stride.1, a.padding.1);
+                Ok(TensorDesc::new(
+                    Shape::nchw(n, a.out_channels, oh, ow),
+                    dtype,
+                ))
+            }
+            NodeKind::DwConv(a) => {
+                let s = first.shape();
+                let (n, c, h, w) = nchw(s, self.mnemonic())?;
+                let oh = conv_out_dim(h, a.kernel.0, a.stride.0, a.padding.0);
+                let ow = conv_out_dim(w, a.kernel.1, a.stride.1, a.padding.1);
+                Ok(TensorDesc::new(Shape::nchw(n, c, oh, ow), dtype))
+            }
+            NodeKind::MatMul { out_features } => {
+                let s = first.shape();
+                if s.rank() != 2 {
+                    return Err(ShapeInferenceError::Rank {
+                        kind: "MatMul",
+                        expected: 2,
+                        got: s.rank(),
+                    });
+                }
+                Ok(TensorDesc::new(
+                    Shape::nc(s.batch().unwrap_or(1), *out_features),
+                    dtype,
+                ))
+            }
+            NodeKind::Pool(a) => {
+                let s = first.shape();
+                let (n, c, h, w) = nchw(s, self.mnemonic())?;
+                let dim = if a.ceil_mode {
+                    conv_out_dim_ceil
+                } else {
+                    conv_out_dim
+                };
+                let oh = dim(h, a.kernel.0, a.stride.0, a.padding.0);
+                let ow = dim(w, a.kernel.1, a.stride.1, a.padding.1);
+                Ok(TensorDesc::new(Shape::nchw(n, c, oh, ow), dtype))
+            }
+            NodeKind::GlobalAvgPool => {
+                let s = first.shape();
+                let (n, c, _h, _w) = nchw(s, "GlobalAvgPool")?;
+                Ok(TensorDesc::new(Shape::nchw(n, c, 1, 1), dtype))
+            }
+            NodeKind::BiasAdd | NodeKind::BatchNorm | NodeKind::Activation(_) => Ok(first.clone()),
+            NodeKind::Add => {
+                if inputs[0].shape() != inputs[1].shape() {
+                    return Err(ShapeInferenceError::Mismatch {
+                        kind: "Add",
+                        left: inputs[0].shape().to_string(),
+                        right: inputs[1].shape().to_string(),
+                    });
+                }
+                Ok(first.clone())
+            }
+            NodeKind::Concat => {
+                let (n, mut c, h, w) = nchw(first.shape(), "Concat")?;
+                for t in &inputs[1..] {
+                    let (tn, tc, th, tw) = nchw(t.shape(), "Concat")?;
+                    if tn != n || th != h || tw != w {
+                        return Err(ShapeInferenceError::Mismatch {
+                            kind: "Concat",
+                            left: first.shape().to_string(),
+                            right: t.shape().to_string(),
+                        });
+                    }
+                    c += tc;
+                }
+                Ok(TensorDesc::new(Shape::nchw(n, c, h, w), dtype))
+            }
+            NodeKind::Flatten => Ok(TensorDesc::new(first.shape().flattened(), dtype)),
+        }
+    }
+
+    /// Bytes of weights (Parameters) attached to this node, for FP32 models.
+    ///
+    /// This is not used by the decision algorithm (Parameters are deployed on
+    /// both sides ahead of time, per the paper's system model) but the
+    /// per-segment weight volume is reported by the partitioner for
+    /// IONN-style incremental-upload analyses.
+    #[must_use]
+    pub fn param_bytes(&self, input: &TensorDesc) -> u64 {
+        let c_in = input.shape().channels().unwrap_or(1) as u64;
+        match self {
+            NodeKind::Conv(a) => {
+                a.out_channels as u64 * c_in * (a.kernel.0 * a.kernel.1) as u64 * 4
+            }
+            NodeKind::DwConv(a) => c_in * (a.kernel.0 * a.kernel.1) as u64 * 4,
+            NodeKind::MatMul { out_features } => {
+                let in_features = input.shape().dims().get(1).copied().unwrap_or(1) as u64;
+                in_features * *out_features as u64 * 4
+            }
+            NodeKind::BiasAdd => c_in * 4,
+            NodeKind::BatchNorm => 4 * c_in * 4,
+            _ => 0,
+        }
+    }
+
+    /// The prediction-model bucket this node belongs to, or `None` for
+    /// structural nodes that the system predicts as zero-cost (§IV).
+    #[must_use]
+    pub fn model_key(&self) -> Option<ModelKey> {
+        match self {
+            NodeKind::Conv(_) => Some(ModelKey::Conv),
+            NodeKind::DwConv(_) => Some(ModelKey::DwConv),
+            NodeKind::MatMul { .. } => Some(ModelKey::MatMul),
+            NodeKind::Pool(PoolAttrs {
+                kind: PoolKind::Max,
+                ..
+            }) => Some(ModelKey::MaxPool),
+            NodeKind::Pool(PoolAttrs {
+                kind: PoolKind::Avg,
+                ..
+            })
+            | NodeKind::GlobalAvgPool => Some(ModelKey::AvgPool),
+            NodeKind::BiasAdd => Some(ModelKey::BiasAdd),
+            NodeKind::Add => Some(ModelKey::ElemwiseAdd),
+            NodeKind::BatchNorm => Some(ModelKey::BatchNorm),
+            NodeKind::Activation(a) => Some(ModelKey::Activation(*a)),
+            NodeKind::Concat | NodeKind::Flatten => None,
+        }
+    }
+}
+
+impl fmt::Display for NodeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+fn nchw(s: &Shape, kind: &'static str) -> Result<(usize, usize, usize, usize), ShapeInferenceError> {
+    if s.rank() != 4 {
+        return Err(ShapeInferenceError::Rank {
+            kind,
+            expected: 4,
+            got: s.rank(),
+        });
+    }
+    Ok((
+        s.batch().unwrap(),
+        s.channels().unwrap(),
+        s.height().unwrap(),
+        s.width().unwrap(),
+    ))
+}
+
+/// Identifier of one trained inference-time prediction model.
+///
+/// Table III of the paper reports one model per variant listed here, with
+/// each activation function getting its own model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelKey {
+    /// Standard convolution.
+    Conv,
+    /// Depth-wise convolution.
+    DwConv,
+    /// Matrix multiplication.
+    MatMul,
+    /// Average pooling (windowed or global).
+    AvgPool,
+    /// Max pooling.
+    MaxPool,
+    /// Bias addition.
+    BiasAdd,
+    /// Element-wise addition.
+    ElemwiseAdd,
+    /// Batch normalisation.
+    BatchNorm,
+    /// A specific activation function.
+    Activation(Activation),
+}
+
+impl ModelKey {
+    /// All model keys, in Table III row order (ReLU stands for the
+    /// activation category, followed by the remaining activations).
+    #[must_use]
+    pub fn all() -> Vec<ModelKey> {
+        vec![
+            ModelKey::Conv,
+            ModelKey::DwConv,
+            ModelKey::MatMul,
+            ModelKey::AvgPool,
+            ModelKey::MaxPool,
+            ModelKey::BiasAdd,
+            ModelKey::ElemwiseAdd,
+            ModelKey::BatchNorm,
+            ModelKey::Activation(Activation::Relu),
+            ModelKey::Activation(Activation::Sigmoid),
+            ModelKey::Activation(Activation::Softmax),
+            ModelKey::Activation(Activation::Tanh),
+        ]
+    }
+}
+
+impl fmt::Display for ModelKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelKey::Conv => f.write_str("Conv"),
+            ModelKey::DwConv => f.write_str("DWConv"),
+            ModelKey::MatMul => f.write_str("Matmul"),
+            ModelKey::AvgPool => f.write_str("AvgPooling"),
+            ModelKey::MaxPool => f.write_str("MaxPooling"),
+            ModelKey::BiasAdd => f.write_str("BiasAdd"),
+            ModelKey::ElemwiseAdd => f.write_str("Elem-wise Add"),
+            ModelKey::BatchNorm => f.write_str("BatchNorm"),
+            ModelKey::Activation(a) => write!(f, "{a}"),
+        }
+    }
+}
+
+/// Error produced when a node's inputs are incompatible with its operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShapeInferenceError {
+    /// Wrong number of inputs.
+    Arity {
+        /// Operator mnemonic.
+        kind: &'static str,
+        /// Required input count.
+        expected: usize,
+        /// Provided input count.
+        got: usize,
+    },
+    /// Wrong input rank.
+    Rank {
+        /// Operator mnemonic.
+        kind: &'static str,
+        /// Required rank.
+        expected: usize,
+        /// Provided rank.
+        got: usize,
+    },
+    /// Two inputs whose shapes must agree do not.
+    Mismatch {
+        /// Operator mnemonic.
+        kind: &'static str,
+        /// First shape.
+        left: String,
+        /// Second shape.
+        right: String,
+    },
+}
+
+impl fmt::Display for ShapeInferenceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShapeInferenceError::Arity {
+                kind,
+                expected,
+                got,
+            } => write!(f, "{kind} expects {expected} inputs, got {got}"),
+            ShapeInferenceError::Rank {
+                kind,
+                expected,
+                got,
+            } => write!(f, "{kind} expects rank-{expected} input, got rank {got}"),
+            ShapeInferenceError::Mismatch { kind, left, right } => {
+                write!(f, "{kind} input shapes are incompatible: {left} vs {right}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShapeInferenceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lp_tensor::DType;
+
+    fn fm(c: usize, h: usize, w: usize) -> TensorDesc {
+        TensorDesc::f32(Shape::nchw(1, c, h, w))
+    }
+
+    #[test]
+    fn conv_shape() {
+        let k = NodeKind::Conv(ConvAttrs::new(64, 11, 4, 2));
+        let out = k.infer_output(&[fm(3, 224, 224)]).unwrap();
+        assert_eq!(out.shape(), &Shape::nchw(1, 64, 55, 55));
+    }
+
+    #[test]
+    fn conv_same_preserves_spatial() {
+        let k = NodeKind::Conv(ConvAttrs::same(128, 3));
+        let out = k.infer_output(&[fm(64, 56, 56)]).unwrap();
+        assert_eq!(out.shape(), &Shape::nchw(1, 128, 56, 56));
+    }
+
+    #[test]
+    fn dwconv_preserves_channels() {
+        let k = NodeKind::DwConv(DwConvAttrs::new(3, 1, 1));
+        let out = k.infer_output(&[fm(728, 19, 19)]).unwrap();
+        assert_eq!(out.shape(), &Shape::nchw(1, 728, 19, 19));
+    }
+
+    #[test]
+    fn dwconv_padded_size() {
+        let a = DwConvAttrs::new(3, 1, 1);
+        assert_eq!(a.padded_size(&Shape::nchw(1, 4, 6, 6)), 4 * 8 * 8);
+    }
+
+    #[test]
+    fn matmul_shape_and_rank_check() {
+        let k = NodeKind::MatMul { out_features: 4096 };
+        let out = k
+            .infer_output(&[TensorDesc::f32(Shape::nc(1, 9216))])
+            .unwrap();
+        assert_eq!(out.shape(), &Shape::nc(1, 4096));
+        let err = k.infer_output(&[fm(3, 2, 2)]).unwrap_err();
+        assert!(matches!(err, ShapeInferenceError::Rank { .. }));
+    }
+
+    #[test]
+    fn pool_floor_and_ceil() {
+        let p = NodeKind::Pool(PoolAttrs::max(3, 2));
+        assert_eq!(
+            p.infer_output(&[fm(96, 111, 111)]).unwrap().shape(),
+            &Shape::nchw(1, 96, 55, 55)
+        );
+        let pc = NodeKind::Pool(PoolAttrs::max(3, 2).with_ceil());
+        // Ceil mode only differs when the stride does not divide evenly:
+        // 112 -> floor 55, ceil 56.
+        assert_eq!(
+            pc.infer_output(&[fm(96, 112, 112)]).unwrap().shape(),
+            &Shape::nchw(1, 96, 56, 56)
+        );
+    }
+
+    #[test]
+    fn global_avg_pool() {
+        let k = NodeKind::GlobalAvgPool;
+        let out = k.infer_output(&[fm(512, 7, 7)]).unwrap();
+        assert_eq!(out.shape(), &Shape::nchw(1, 512, 1, 1));
+    }
+
+    #[test]
+    fn elementwise_preserve_shape() {
+        for k in [
+            NodeKind::BiasAdd,
+            NodeKind::BatchNorm,
+            NodeKind::Activation(Activation::Relu),
+        ] {
+            let out = k.infer_output(&[fm(64, 56, 56)]).unwrap();
+            assert_eq!(out.shape(), &Shape::nchw(1, 64, 56, 56));
+        }
+    }
+
+    #[test]
+    fn add_requires_matching_shapes() {
+        let k = NodeKind::Add;
+        assert!(k.infer_output(&[fm(64, 8, 8), fm(64, 8, 8)]).is_ok());
+        let err = k.infer_output(&[fm(64, 8, 8), fm(32, 8, 8)]).unwrap_err();
+        assert!(matches!(err, ShapeInferenceError::Mismatch { .. }));
+    }
+
+    #[test]
+    fn concat_sums_channels() {
+        let k = NodeKind::Concat;
+        let out = k
+            .infer_output(&[fm(64, 55, 55), fm(64, 55, 55), fm(32, 55, 55)])
+            .unwrap();
+        assert_eq!(out.shape(), &Shape::nchw(1, 160, 55, 55));
+    }
+
+    #[test]
+    fn concat_rejects_spatial_mismatch() {
+        let k = NodeKind::Concat;
+        assert!(k.infer_output(&[fm(64, 55, 55), fm(64, 54, 55)]).is_err());
+    }
+
+    #[test]
+    fn flatten_shape() {
+        let k = NodeKind::Flatten;
+        let out = k.infer_output(&[fm(256, 6, 6)]).unwrap();
+        assert_eq!(out.shape(), &Shape::nc(1, 9216));
+    }
+
+    #[test]
+    fn arity_errors() {
+        let err = NodeKind::Add.infer_output(&[fm(1, 1, 1)]).unwrap_err();
+        assert!(matches!(err, ShapeInferenceError::Arity { .. }));
+        let err = NodeKind::Concat.infer_output(&[]).unwrap_err();
+        assert!(matches!(err, ShapeInferenceError::Arity { .. }));
+    }
+
+    #[test]
+    fn param_bytes_known_layers() {
+        // AlexNet conv1: 64 x 3 x 11 x 11 fp32 weights.
+        let conv1 = NodeKind::Conv(ConvAttrs::new(64, 11, 4, 2));
+        assert_eq!(conv1.param_bytes(&fm(3, 224, 224)), 64 * 3 * 11 * 11 * 4);
+        // FC 9216 -> 4096.
+        let fc = NodeKind::MatMul { out_features: 4096 };
+        assert_eq!(
+            fc.param_bytes(&TensorDesc::f32(Shape::nc(1, 9216))),
+            9216 * 4096 * 4
+        );
+        // ReLU has no parameters.
+        assert_eq!(
+            NodeKind::Activation(Activation::Relu).param_bytes(&fm(3, 2, 2)),
+            0
+        );
+    }
+
+    #[test]
+    fn model_keys() {
+        assert_eq!(
+            NodeKind::Conv(ConvAttrs::same(8, 3)).model_key(),
+            Some(ModelKey::Conv)
+        );
+        assert_eq!(
+            NodeKind::Pool(PoolAttrs::avg(2, 2)).model_key(),
+            Some(ModelKey::AvgPool)
+        );
+        assert_eq!(NodeKind::GlobalAvgPool.model_key(), Some(ModelKey::AvgPool));
+        assert_eq!(NodeKind::Concat.model_key(), None);
+        assert_eq!(NodeKind::Flatten.model_key(), None);
+        assert_eq!(ModelKey::all().len(), 12);
+    }
+
+    #[test]
+    fn dtype_propagates() {
+        let k = NodeKind::Conv(ConvAttrs::same(8, 3));
+        let input = TensorDesc::new(Shape::nchw(1, 3, 8, 8), DType::F16);
+        assert_eq!(k.infer_output(&[input]).unwrap().dtype(), DType::F16);
+    }
+
+    #[test]
+    fn mnemonics_and_display() {
+        assert_eq!(NodeKind::Pool(PoolAttrs::max(2, 2)).mnemonic(), "MaxPool");
+        assert_eq!(NodeKind::Pool(PoolAttrs::avg(2, 2)).mnemonic(), "AvgPool");
+        assert_eq!(ModelKey::ElemwiseAdd.to_string(), "Elem-wise Add");
+        assert_eq!(ModelKey::Activation(Activation::Relu).to_string(), "ReLU");
+    }
+}

@@ -1,0 +1,594 @@
+//! Discrete-event simulator of a time-multiplexed inference GPU.
+//!
+//! Mechanism (matching §II/§III-C of the paper):
+//!
+//! * the GPU executes **one kernel at a time** and kernels are
+//!   **non-preemptive** — once started, a kernel runs to completion;
+//! * work is organised into *contexts* (one per client process); the
+//!   scheduler round-robins across contexts with a time **slice**
+//!   (default 2 ms), switching only at kernel boundaries;
+//! * each context holds a FIFO queue of *tasks*, a task being the kernel
+//!   sequence of one DNN (partition) inference;
+//! * a context may carry a periodic [`Generator`] that submits background
+//!   tasks — the paper's "7 processes executing AlexNet periodically".
+//!
+//! A single short kernel therefore completes almost unaffected by load,
+//! while a partition of many kernels gets interleaved with background
+//! slices and stretches — exactly the behaviour the load factor `k`
+//! captures.
+
+use lp_sim::{lognormal_factor, EventQueue, SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::{HashMap, VecDeque};
+
+/// Identifier of a submitted task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TaskId(u64);
+
+/// A periodic background-load source attached to one context.
+#[derive(Debug, Clone)]
+pub struct Generator {
+    /// Expected kernel durations of one background task.
+    pub kernels: Vec<SimDuration>,
+    /// Submission period (a new task every `period`, queue permitting).
+    pub period: SimDuration,
+    /// Maximum tasks queued at once; further submissions wait for a
+    /// completion (keeps the event count bounded even at `period = 1 µs`,
+    /// the paper's 100%(h) setting).
+    pub max_outstanding: usize,
+    /// Multiplicative noise applied to each submitted kernel.
+    pub noise_sigma: f64,
+}
+
+#[derive(Debug)]
+struct Task {
+    id: u64,
+    arrival: SimTime,
+    kernels: Vec<SimDuration>,
+    next: usize,
+}
+
+#[derive(Debug)]
+struct Context {
+    queue: VecDeque<Task>,
+    generator: Option<Generator>,
+    gen_waiting: bool,
+    last_fire: SimTime,
+    // Incremented by set_generator/clear_generator so fire events scheduled
+    // by a previous generator are recognised as stale and dropped —
+    // otherwise every load-level switch would leave a second submission
+    // chain running.
+    gen_epoch: u64,
+}
+
+#[derive(Debug)]
+enum Arrival {
+    Task(usize, u64, Vec<SimDuration>),
+    GeneratorFire(usize, u64),
+}
+
+/// The GPU simulator. See the module docs for the scheduling model.
+#[derive(Debug)]
+pub struct GpuSim {
+    now: SimTime,
+    slice: SimDuration,
+    contexts: Vec<Context>,
+    rr_next: usize,
+    arrivals: EventQueue<Arrival>,
+    busy_ns: u64,
+    completions: HashMap<u64, (SimTime, SimTime)>,
+    next_id: u64,
+    kernel_tax: SimDuration,
+    rng: StdRng,
+}
+
+impl GpuSim {
+    /// Creates a GPU with the given scheduling slice and RNG seed.
+    #[must_use]
+    pub fn new(slice: SimDuration, seed: u64) -> Self {
+        Self {
+            now: SimTime::ZERO,
+            slice,
+            contexts: Vec::new(),
+            rr_next: 0,
+            arrivals: EventQueue::new(),
+            busy_ns: 0,
+            completions: HashMap::new(),
+            next_id: 0,
+            kernel_tax: SimDuration::ZERO,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The paper's configuration: 2 ms slices.
+    #[must_use]
+    pub fn with_default_slice(seed: u64) -> Self {
+        Self::new(SimDuration::from_millis(2), seed)
+    }
+
+    /// Current simulation time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Cumulative GPU busy time (for utilization = Δbusy / Δwall).
+    #[must_use]
+    pub fn busy_time(&self) -> SimDuration {
+        SimDuration::from_nanos(self.busy_ns)
+    }
+
+    /// Sets the per-kernel launch tax: extra time every kernel (foreground
+    /// and background alike) spends in the congested launch path.
+    ///
+    /// Under the paper's 100%(h) load — 7 processes submitting ResNet152
+    /// every 1 µs — the driver's launch queues are swamped and *each*
+    /// kernel queues noticeably (§II: "the queueing time of each GPU kernel
+    /// of the background tasks differs in the two cases"). Multi-kernel
+    /// DNN partitions pay this tax per kernel, which is what makes 100%(h)
+    /// qualitatively worse than 100%(l) at identical utilization.
+    pub fn set_kernel_tax(&mut self, tax: SimDuration) {
+        self.kernel_tax = tax;
+    }
+
+    /// The current per-kernel launch tax.
+    #[must_use]
+    pub fn kernel_tax(&self) -> SimDuration {
+        self.kernel_tax
+    }
+
+    /// Adds an empty context and returns its index.
+    pub fn add_context(&mut self) -> usize {
+        self.contexts.push(Context {
+            queue: VecDeque::new(),
+            generator: None,
+            gen_waiting: false,
+            last_fire: SimTime::ZERO,
+            gen_epoch: 0,
+        });
+        self.contexts.len() - 1
+    }
+
+    /// Attaches a background generator to a context, first submission at
+    /// `start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the generator has no kernels or `max_outstanding == 0`.
+    pub fn set_generator(&mut self, ctx: usize, generator: Generator, start: SimTime) {
+        assert!(!generator.kernels.is_empty(), "generator needs kernels");
+        assert!(generator.max_outstanding > 0, "max_outstanding must be > 0");
+        assert!(
+            generator.period > SimDuration::ZERO,
+            "generator period must be positive"
+        );
+        let context = &mut self.contexts[ctx];
+        context.generator = Some(generator);
+        context.gen_waiting = false;
+        context.gen_epoch += 1;
+        let epoch = context.gen_epoch;
+        self.arrivals.push(start, Arrival::GeneratorFire(ctx, epoch));
+    }
+
+    /// Removes the background generator from a context (pending tasks still
+    /// drain; scheduled fires become no-ops).
+    pub fn clear_generator(&mut self, ctx: usize) {
+        self.contexts[ctx].generator = None;
+        self.contexts[ctx].gen_waiting = false;
+        self.contexts[ctx].gen_epoch += 1;
+    }
+
+    /// Submits a task (sequence of kernel durations) to `ctx` at time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernels` is empty or `at` is in the simulated past.
+    pub fn submit(&mut self, ctx: usize, at: SimTime, kernels: Vec<SimDuration>) -> TaskId {
+        assert!(!kernels.is_empty(), "task needs at least one kernel");
+        assert!(at >= self.now, "cannot submit in the past");
+        let id = self.next_id;
+        self.next_id += 1;
+        self.arrivals.push(at, Arrival::Task(ctx, id, kernels));
+        TaskId(id)
+    }
+
+    /// Completion record of a task: `(arrival, completion)` once finished.
+    #[must_use]
+    pub fn completion(&self, id: TaskId) -> Option<(SimTime, SimTime)> {
+        self.completions.get(&id.0).copied()
+    }
+
+    /// Advances the simulation until the task completes and returns its
+    /// completion time. The clock may overshoot slightly (completions are
+    /// recorded exactly).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the task was never submitted or the simulation deadlocks
+    /// (no pending work while waiting).
+    #[allow(clippy::missing_panics_doc)]
+    pub fn run_until_complete(&mut self, id: TaskId) -> SimTime {
+        assert!(id.0 < self.next_id, "unknown task");
+        while !self.completions.contains_key(&id.0) {
+            self.step(None);
+        }
+        self.completions[&id.0].1
+    }
+
+    /// Advances the simulation clock to at least `target` (the last slice
+    /// or kernel may overshoot it).
+    pub fn advance_to(&mut self, target: SimTime) {
+        while self.now < target {
+            self.step(Some(target));
+        }
+    }
+
+    /// One scheduling step: fire due arrivals, then either serve one slice
+    /// or jump to the next arrival / `idle_target`.
+    fn step(&mut self, idle_target: Option<SimTime>) {
+        self.fire_arrivals();
+        if let Some(ci) = self.pick_context() {
+            self.serve_slice(ci);
+            return;
+        }
+        // Idle: jump to the next arrival, or to the target.
+        match (self.arrivals.peek_time(), idle_target) {
+            (Some(t), Some(target)) => self.now = self.now.max(t.min(target)),
+            (Some(t), None) => self.now = self.now.max(t),
+            (None, Some(target)) => self.now = target,
+            (None, None) => panic!("GPU simulation deadlock: waiting with no pending work"),
+        }
+        self.fire_arrivals();
+    }
+
+    fn fire_arrivals(&mut self) {
+        while let Some(t) = self.arrivals.peek_time() {
+            if t > self.now {
+                break;
+            }
+            let (t, arrival) = self.arrivals.pop().expect("peeked");
+            match arrival {
+                Arrival::Task(ci, id, kernels) => {
+                    self.contexts[ci].queue.push_back(Task {
+                        id,
+                        arrival: t,
+                        kernels,
+                        next: 0,
+                    });
+                }
+                Arrival::GeneratorFire(ci, epoch) => self.generator_fire(ci, epoch, t),
+            }
+        }
+    }
+
+    fn generator_fire(&mut self, ci: usize, epoch: u64, t: SimTime) {
+        let ctx = &mut self.contexts[ci];
+        if epoch != ctx.gen_epoch {
+            return; // fire scheduled by a replaced/cleared generator
+        }
+        let Some(generator) = ctx.generator.as_ref() else {
+            return; // generator was cleared; stale fire
+        };
+        ctx.last_fire = t;
+        if ctx.queue.len() >= generator.max_outstanding {
+            // Queue full: re-arm on the next completion in this context.
+            ctx.gen_waiting = true;
+            return;
+        }
+        let sigma = generator.noise_sigma;
+        let period = generator.period;
+        let kernels: Vec<SimDuration> = generator
+            .kernels
+            .clone()
+            .into_iter()
+            .map(|k| k.scale(lognormal_factor(&mut self.rng, sigma)))
+            .collect();
+        let id = self.next_id;
+        self.next_id += 1;
+        self.contexts[ci].queue.push_back(Task {
+            id,
+            arrival: t,
+            kernels,
+            next: 0,
+        });
+        self.arrivals.push(t + period, Arrival::GeneratorFire(ci, epoch));
+    }
+
+    fn pick_context(&mut self) -> Option<usize> {
+        let n = self.contexts.len();
+        if n == 0 {
+            return None;
+        }
+        for off in 0..n {
+            let ci = (self.rr_next + off) % n;
+            if !self.contexts[ci].queue.is_empty() {
+                return Some(ci);
+            }
+        }
+        None
+    }
+
+    fn serve_slice(&mut self, ci: usize) {
+        let slice_end = self.now + self.slice;
+        while let Some(task) = self.contexts[ci].queue.front_mut() {
+            // Run one kernel to completion (non-preemptive), paying the
+            // launch-congestion tax if one is in force.
+            let k = task.kernels[task.next] + self.kernel_tax;
+            task.next += 1;
+            self.now += k;
+            self.busy_ns += k.as_nanos();
+            let finished = task.next == task.kernels.len();
+            if finished {
+                let task = self.contexts[ci].queue.pop_front().expect("front");
+                self.completions.insert(task.id, (task.arrival, self.now));
+                // Closed-loop generator re-arming.
+                let ctx = &mut self.contexts[ci];
+                if ctx.gen_waiting {
+                    if let Some(generator) = ctx.generator.as_ref() {
+                        ctx.gen_waiting = false;
+                        let next = (ctx.last_fire + generator.period).max(self.now);
+                        let epoch = ctx.gen_epoch;
+                        self.arrivals.push(next, Arrival::GeneratorFire(ci, epoch));
+                    }
+                }
+            }
+            // New arrivals land at kernel boundaries.
+            self.fire_arrivals();
+            if self.now >= slice_end {
+                break;
+            }
+        }
+        self.rr_next = (ci + 1) % self.contexts.len().max(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+    fn us(v: u64) -> SimDuration {
+        SimDuration::from_micros(v)
+    }
+    fn at_ms(v: u64) -> SimTime {
+        SimTime::ZERO + ms(v)
+    }
+
+    #[test]
+    fn unloaded_task_runs_back_to_back() {
+        let mut gpu = GpuSim::with_default_slice(0);
+        let ctx = gpu.add_context();
+        let id = gpu.submit(ctx, SimTime::ZERO, vec![us(500); 10]);
+        let done = gpu.run_until_complete(id);
+        assert_eq!(done.as_millis_f64(), 5.0);
+        assert_eq!(gpu.busy_time().as_millis_f64(), 5.0);
+    }
+
+    #[test]
+    fn single_short_kernel_unaffected_by_competition() {
+        // §III-C: a sub-slice kernel completes within its first slice even
+        // when another context is saturated.
+        let mut gpu = GpuSim::with_default_slice(0);
+        let bg = gpu.add_context();
+        let fg = gpu.add_context();
+        gpu.set_generator(
+            bg,
+            Generator {
+                kernels: vec![us(400); 5],
+                period: SimDuration::from_nanos(1),
+                max_outstanding: 2,
+                noise_sigma: 0.0,
+            },
+            SimTime::ZERO,
+        );
+        gpu.advance_to(at_ms(20));
+        let t0 = gpu.now();
+        let id = gpu.submit(fg, t0, vec![us(300)]);
+        let done = gpu.run_until_complete(id);
+        let latency = done.since(t0).as_millis_f64();
+        // Waits at most one slice-ish for the in-flight background work.
+        assert!(latency < 5.0, "latency {latency}ms");
+    }
+
+    #[test]
+    fn saturation_stretches_multi_kernel_tasks() {
+        let mut gpu = GpuSim::with_default_slice(1);
+        // 7 saturated background contexts, as in the paper.
+        let mut bgs = Vec::new();
+        for _ in 0..7 {
+            let c = gpu.add_context();
+            gpu.set_generator(
+                c,
+                Generator {
+                    kernels: vec![us(500); 8], // 4 ms of work per task
+                    period: SimDuration::from_nanos(1000),
+                    max_outstanding: 2,
+                    noise_sigma: 0.0,
+                },
+                SimTime::ZERO,
+            );
+            bgs.push(c);
+        }
+        let fg = gpu.add_context();
+        gpu.advance_to(at_ms(50));
+        let t0 = gpu.now();
+        // A 10 ms foreground partition (20 kernels of 0.5 ms).
+        let id = gpu.submit(fg, t0, vec![us(500); 20]);
+        let done = gpu.run_until_complete(id);
+        let latency = done.since(t0).as_millis_f64();
+        // Fair RR over 8 contexts: ~8x stretch expected; allow a band.
+        assert!(
+            (40.0..160.0).contains(&latency),
+            "latency {latency}ms, want ~80ms"
+        );
+    }
+
+    #[test]
+    fn light_load_barely_stretches() {
+        let mut gpu = GpuSim::with_default_slice(2);
+        let bg = gpu.add_context();
+        // ~10% utilization: 0.5 ms of work every 5 ms.
+        gpu.set_generator(
+            bg,
+            Generator {
+                kernels: vec![us(250); 2],
+                period: ms(5),
+                max_outstanding: 2,
+                noise_sigma: 0.0,
+            },
+            SimTime::ZERO,
+        );
+        let fg = gpu.add_context();
+        gpu.advance_to(at_ms(17));
+        let t0 = gpu.now();
+        let id = gpu.submit(fg, t0, vec![us(500); 10]); // 5 ms of work
+        let done = gpu.run_until_complete(id);
+        let latency = done.since(t0).as_millis_f64();
+        assert!(latency < 7.5, "latency {latency}ms");
+    }
+
+    #[test]
+    fn utilization_accounting() {
+        let mut gpu = GpuSim::with_default_slice(3);
+        let bg = gpu.add_context();
+        // 50% utilization: 2 ms of work every 4 ms.
+        gpu.set_generator(
+            bg,
+            Generator {
+                kernels: vec![us(500); 4],
+                period: ms(4),
+                max_outstanding: 2,
+                noise_sigma: 0.0,
+            },
+            SimTime::ZERO,
+        );
+        gpu.advance_to(at_ms(400));
+        let util = gpu.busy_time().as_secs_f64() / gpu.now().as_secs_f64();
+        assert!((0.4..0.6).contains(&util), "util {util}");
+    }
+
+    #[test]
+    fn oversized_kernel_is_not_preempted() {
+        let mut gpu = GpuSim::with_default_slice(4);
+        let a = gpu.add_context();
+        let b = gpu.add_context();
+        // Context a gets a single 10 ms kernel; b a tiny one right after.
+        let big = gpu.submit(a, SimTime::ZERO, vec![ms(10)]);
+        let small = gpu.submit(b, SimTime::ZERO + us(1), vec![us(100)]);
+        let big_done = gpu.run_until_complete(big);
+        let small_done = gpu.run_until_complete(small);
+        // The big kernel runs to completion despite the 2 ms slice; the
+        // small one only starts after it.
+        assert_eq!(big_done.as_millis_f64(), 10.0);
+        assert!(small_done > big_done);
+    }
+
+    #[test]
+    fn fifo_within_context() {
+        let mut gpu = GpuSim::with_default_slice(5);
+        let c = gpu.add_context();
+        let first = gpu.submit(c, SimTime::ZERO, vec![ms(1)]);
+        let second = gpu.submit(c, SimTime::ZERO, vec![ms(1)]);
+        let f = gpu.run_until_complete(first);
+        let s = gpu.run_until_complete(second);
+        assert!(f < s);
+    }
+
+    #[test]
+    fn clear_generator_stops_new_arrivals() {
+        let mut gpu = GpuSim::with_default_slice(6);
+        let c = gpu.add_context();
+        gpu.set_generator(
+            c,
+            Generator {
+                kernels: vec![us(100)],
+                period: ms(1),
+                max_outstanding: 1,
+                noise_sigma: 0.0,
+            },
+            SimTime::ZERO,
+        );
+        gpu.advance_to(at_ms(10));
+        gpu.clear_generator(c);
+        let busy_before = gpu.busy_time();
+        gpu.advance_to(at_ms(100));
+        let extra = gpu.busy_time().saturating_sub(busy_before);
+        // At most the already-queued task drains.
+        assert!(extra.as_millis_f64() < 0.5, "extra {extra}");
+    }
+
+    #[test]
+    fn advance_without_work_is_idle() {
+        let mut gpu = GpuSim::with_default_slice(7);
+        gpu.add_context();
+        gpu.advance_to(at_ms(123));
+        assert_eq!(gpu.now(), at_ms(123));
+        assert_eq!(gpu.busy_time(), SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot submit in the past")]
+    fn past_submission_panics() {
+        let mut gpu = GpuSim::with_default_slice(8);
+        let c = gpu.add_context();
+        gpu.advance_to(at_ms(10));
+        gpu.submit(c, SimTime::ZERO, vec![ms(1)]);
+    }
+
+    #[test]
+    fn replacing_a_generator_does_not_double_the_load() {
+        // Regression: before the epoch guard, the old generator's pending
+        // fire kept a second submission chain alive after set_generator,
+        // transiently doubling the background load on every level switch.
+        let mut gpu = GpuSim::with_default_slice(10);
+        let c = gpu.add_context();
+        let gen_30pct = || Generator {
+            // 0.6 ms of work every 2 ms = 30% utilization.
+            kernels: vec![us(600)],
+            period: ms(2),
+            max_outstanding: 2,
+            noise_sigma: 0.0,
+        };
+        gpu.set_generator(c, gen_30pct(), SimTime::ZERO);
+        gpu.advance_to(at_ms(1000));
+        // Re-install the same level several times mid-run, as a load
+        // timeline's phase switches do.
+        for i in 1..=3 {
+            gpu.clear_generator(c);
+            gpu.set_generator(c, gen_30pct(), gpu.now());
+            gpu.advance_to(at_ms(1000 + 1000 * i));
+        }
+        let util = gpu.busy_time().as_secs_f64() / gpu.now().as_secs_f64();
+        assert!(
+            (0.25..0.36).contains(&util),
+            "utilization {util:.3} should stay ~0.30 across generator swaps"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let mut gpu = GpuSim::with_default_slice(42);
+            let bg = gpu.add_context();
+            gpu.set_generator(
+                bg,
+                Generator {
+                    kernels: vec![us(300); 4],
+                    period: ms(2),
+                    max_outstanding: 2,
+                    noise_sigma: 0.2,
+                },
+                SimTime::ZERO,
+            );
+            let fg = gpu.add_context();
+            gpu.advance_to(at_ms(9));
+            let t0 = gpu.now();
+            let id = gpu.submit(fg, t0, vec![us(500); 6]);
+            gpu.run_until_complete(id).as_nanos()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,68 @@
+//! Table IV — hardware specifications of the paper's testbed.
+//!
+//! Reproduced verbatim as data so reports can print the configuration the
+//! simulators are calibrated against.
+
+/// One row of Table IV.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HardwareSpec {
+    /// Role in the system.
+    pub role: &'static str,
+    /// System / board.
+    pub system: &'static str,
+    /// CPU description.
+    pub cpu: &'static str,
+    /// Memory description.
+    pub memory: &'static str,
+    /// Storage description.
+    pub disk: &'static str,
+    /// GPU description.
+    pub gpu: &'static str,
+}
+
+/// The edge server of Table IV.
+pub const EDGE_SERVER_SPEC: HardwareSpec = HardwareSpec {
+    role: "Edge Server",
+    system: "Supermicro SYS-7049GP-TRT",
+    cpu: "2x Intel Xeon Gold 6230R, 26C52T, 2.10GHz",
+    memory: "4x 64GB DDR4 3200MHz",
+    disk: "2x 1T SSD + 2x 8T HDD",
+    gpu: "NVIDIA Tesla T4 16GB",
+};
+
+/// The user-end device of Table IV.
+pub const USER_DEVICE_SPEC: HardwareSpec = HardwareSpec {
+    role: "User-End Device",
+    system: "Raspberry Pi 4 Model B",
+    cpu: "ARM Cortex A72, 4C, 1.50GHz",
+    memory: "4GB LPDDR4 1600MHz",
+    disk: "16GB microSD card",
+    gpu: "N/A",
+};
+
+impl HardwareSpec {
+    /// Formats the spec as the rows of Table IV.
+    #[must_use]
+    pub fn table_rows(&self) -> Vec<(&'static str, &'static str)> {
+        vec![
+            ("System", self.system),
+            ("CPU", self.cpu),
+            ("Memory", self.memory),
+            ("Hard Disk", self.disk),
+            ("GPU", self.gpu),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iv_rows() {
+        assert_eq!(EDGE_SERVER_SPEC.table_rows().len(), 5);
+        assert!(EDGE_SERVER_SPEC.gpu.contains("T4"));
+        assert!(USER_DEVICE_SPEC.system.contains("Raspberry Pi 4"));
+        assert_eq!(USER_DEVICE_SPEC.gpu, "N/A");
+    }
+}

@@ -1,0 +1,167 @@
+//! Property-based tests of the GPU scheduler simulator's invariants.
+
+use lp_hardware::gpu::{Generator, GpuSim};
+use lp_sim::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+/// Strategy: a batch of tasks, each (context, arrival µs offset, kernel
+/// durations in µs).
+fn arb_workload() -> impl Strategy<Value = (usize, Vec<(usize, u64, Vec<u64>)>)> {
+    (1usize..5).prop_flat_map(|n_ctx| {
+        let tasks = proptest::collection::vec(
+            (
+                0..n_ctx,
+                0u64..20_000,
+                proptest::collection::vec(10u64..3_000, 1..12),
+            ),
+            1..16,
+        );
+        (Just(n_ctx), tasks)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Work conservation: total busy time equals the sum of all executed
+    /// kernel durations, and never exceeds elapsed wall time.
+    #[test]
+    fn busy_time_is_conserved((n_ctx, tasks) in arb_workload()) {
+        let mut gpu = GpuSim::with_default_slice(1);
+        let ctxs: Vec<usize> = (0..n_ctx).map(|_| gpu.add_context()).collect();
+        let mut ids = Vec::new();
+        let mut total_work = 0u64;
+        for (ctx, at_us, kernels) in &tasks {
+            let ks: Vec<SimDuration> =
+                kernels.iter().map(|&us| SimDuration::from_micros(us)).collect();
+            total_work += kernels.iter().sum::<u64>();
+            ids.push(gpu.submit(
+                ctxs[*ctx],
+                SimTime::ZERO + SimDuration::from_micros(*at_us),
+                ks,
+            ));
+        }
+        for id in &ids {
+            gpu.run_until_complete(*id);
+        }
+        prop_assert_eq!(gpu.busy_time().as_nanos(), total_work * 1_000);
+        prop_assert!(gpu.busy_time().as_nanos() <= gpu.now().as_nanos());
+    }
+
+    /// Every task completes no earlier than its arrival plus its own
+    /// service demand, and completions within a context preserve FIFO.
+    #[test]
+    fn completions_are_causal_and_fifo((n_ctx, tasks) in arb_workload()) {
+        let mut gpu = GpuSim::with_default_slice(2);
+        let ctxs: Vec<usize> = (0..n_ctx).map(|_| gpu.add_context()).collect();
+        let mut ids = Vec::new();
+        for (ctx, at_us, kernels) in &tasks {
+            let ks: Vec<SimDuration> =
+                kernels.iter().map(|&us| SimDuration::from_micros(us)).collect();
+            let id = gpu.submit(
+                ctxs[*ctx],
+                SimTime::ZERO + SimDuration::from_micros(*at_us),
+                ks,
+            );
+            ids.push((*ctx, *at_us, kernels.iter().sum::<u64>(), id));
+        }
+        for (_, _, _, id) in &ids {
+            gpu.run_until_complete(*id);
+        }
+        // Causality.
+        for (_, at_us, work_us, id) in &ids {
+            let (arrival, done) = gpu.completion(*id).expect("completed");
+            prop_assert_eq!(arrival.as_nanos(), at_us * 1_000);
+            prop_assert!(done.as_nanos() >= (at_us + work_us) * 1_000);
+        }
+        // FIFO within each context, by arrival order (ties by submit order).
+        for c in 0..n_ctx {
+            let mut per_ctx: Vec<(u64, usize, SimTime)> = ids
+                .iter()
+                .enumerate()
+                .filter(|(_, (ctx, _, _, _))| *ctx == c)
+                .map(|(i, (_, at, _, id))| (*at, i, gpu.completion(*id).expect("done").1))
+                .collect();
+            per_ctx.sort_by_key(|&(at, i, _)| (at, i));
+            for w in per_ctx.windows(2) {
+                prop_assert!(w[0].2 <= w[1].2, "FIFO violated in ctx {}", c);
+            }
+        }
+    }
+
+    /// With a single context the GPU is effectively FCFS: the last
+    /// completion equals max(arrival chain) with no slicing overhead.
+    #[test]
+    fn single_context_is_fcfs(
+        tasks in proptest::collection::vec(
+            (0u64..5_000, proptest::collection::vec(10u64..2_000, 1..8)), 1..10)
+    ) {
+        let mut gpu = GpuSim::with_default_slice(3);
+        let c = gpu.add_context();
+        let mut ids = Vec::new();
+        for (at_us, kernels) in &tasks {
+            let ks: Vec<SimDuration> =
+                kernels.iter().map(|&us| SimDuration::from_micros(us)).collect();
+            ids.push(gpu.submit(c, SimTime::ZERO + SimDuration::from_micros(*at_us), ks));
+        }
+        let mut done_ns = 0;
+        for id in &ids {
+            done_ns = done_ns.max(gpu.run_until_complete(*id).as_nanos());
+        }
+        // FCFS completion bound: simulate the queue arithmetically.
+        let mut order: Vec<(u64, u64)> = tasks
+            .iter()
+            .map(|(at, ks)| (*at * 1_000, ks.iter().sum::<u64>() * 1_000))
+            .collect();
+        order.sort_by_key(|&(at, _)| at);
+        let mut clock = 0u64;
+        for (at, work) in order {
+            clock = clock.max(at) + work;
+        }
+        prop_assert_eq!(done_ns, clock);
+    }
+
+    /// The kernel tax inflates busy time by exactly (kernel count * tax).
+    #[test]
+    fn kernel_tax_accounting(
+        kernels in proptest::collection::vec(10u64..2_000, 1..20),
+        tax_us in 0u64..500,
+    ) {
+        let run = |tax: u64| {
+            let mut gpu = GpuSim::with_default_slice(4);
+            let c = gpu.add_context();
+            gpu.set_kernel_tax(SimDuration::from_micros(tax));
+            let ks: Vec<SimDuration> =
+                kernels.iter().map(|&us| SimDuration::from_micros(us)).collect();
+            let id = gpu.submit(c, SimTime::ZERO, ks);
+            gpu.run_until_complete(id);
+            gpu.busy_time().as_nanos()
+        };
+        let without = run(0);
+        let with = run(tax_us);
+        prop_assert_eq!(with - without, kernels.len() as u64 * tax_us * 1_000);
+    }
+}
+
+/// Generators at saturation keep at most `max_outstanding` tasks queued —
+/// the event count stays bounded even at a 1 µs period.
+#[test]
+fn generator_queue_stays_bounded() {
+    let mut gpu = GpuSim::with_default_slice(9);
+    let c = gpu.add_context();
+    gpu.set_generator(
+        c,
+        Generator {
+            kernels: vec![SimDuration::from_micros(400); 4],
+            period: SimDuration::from_micros(1),
+            max_outstanding: 2,
+            noise_sigma: 0.0,
+        },
+        SimTime::ZERO,
+    );
+    // Advance 2 simulated seconds; if the queue were unbounded this would
+    // explode in memory/time.
+    gpu.advance_to(SimTime::ZERO + SimDuration::from_secs(2));
+    let util = gpu.busy_time().as_secs_f64() / gpu.now().as_secs_f64();
+    assert!(util > 0.99, "back-to-back generator should saturate, util={util}");
+}

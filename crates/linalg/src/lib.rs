@@ -1,0 +1,43 @@
+//! Small dense linear algebra and learning utilities for the LoADPart
+//! reproduction.
+//!
+//! The paper's offline profiler (§III-B) needs exactly three tools, all
+//! implemented here from scratch:
+//!
+//! * [`nnls()`] — Lawson–Hanson non-negative least squares, the cited \[12\]
+//!   fitting procedure that keeps all regression coefficients positive and
+//!   fits no intercept (so a zero feature vector predicts zero time);
+//! * [`regression`] — the linear prediction models themselves plus plain
+//!   OLS for comparison;
+//! * [`gbdt`] — gradient-boosted regression trees with gain-based feature
+//!   importance, standing in for the XGBoost feature-selection step;
+//! * [`metrics`] — RMSE and MAPE, the Table III accuracy metrics.
+//!
+//! # Examples
+//!
+//! ```
+//! use lp_linalg::{nnls::nnls, matrix::Matrix};
+//!
+//! // Fit y = 2*x0 + 3*x1 from a noise-free system.
+//! let a = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]]);
+//! let b = [2.0, 3.0, 5.0];
+//! let x = nnls(&a, &b, 1e-10, 100);
+//! assert!((x[0] - 2.0).abs() < 1e-8 && (x[1] - 3.0).abs() < 1e-8);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gbdt;
+pub mod matrix;
+pub mod metrics;
+pub mod nnls;
+pub mod regression;
+pub mod split;
+
+pub use gbdt::{Gbdt, GbdtParams};
+pub use matrix::Matrix;
+pub use metrics::{mae, mape, r2, rmse};
+pub use nnls::nnls;
+pub use regression::LinearModel;
+pub use split::train_test_split;

@@ -1,0 +1,302 @@
+//! A minimal row-major dense matrix.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Row-major dense matrix of `f64`.
+///
+/// Sized for the profiler's workloads (a few thousand rows, < 10 columns),
+/// not for general numerical computing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows are empty or ragged.
+    #[must_use]
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        assert!(!rows.is_empty(), "need at least one row");
+        let cols = rows[0].len();
+        assert!(cols > 0, "need at least one column");
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "ragged rows");
+            data.extend_from_slice(r);
+        }
+        Self {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element access.
+    #[must_use]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Element assignment.
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow row `r` as a slice.
+    #[must_use]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// `self * v` for a column vector `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != cols`.
+    #[must_use]
+    pub fn mul_vec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.cols, "dimension mismatch");
+        (0..self.rows)
+            .map(|r| self.row(r).iter().zip(v).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+
+    /// `self^T * v` for a column vector `v` of length `rows`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != rows`.
+    #[must_use]
+    #[allow(clippy::needless_range_loop)]
+    pub fn transpose_mul_vec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.rows, "dimension mismatch");
+        let mut out = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            let row = self.row(r);
+            let vr = v[r];
+            for (o, a) in out.iter_mut().zip(row) {
+                *o += a * vr;
+            }
+        }
+        out
+    }
+
+    /// The Gram matrix `self^T * self` (symmetric positive semi-definite).
+    #[must_use]
+    pub fn gram(&self) -> Matrix {
+        let mut g = Matrix::zeros(self.cols, self.cols);
+        for r in 0..self.rows {
+            let row = self.row(r);
+            for i in 0..self.cols {
+                for j in i..self.cols {
+                    let v = g.get(i, j) + row[i] * row[j];
+                    g.set(i, j, v);
+                }
+            }
+        }
+        for i in 0..self.cols {
+            for j in 0..i {
+                let v = g.get(j, i);
+                g.set(i, j, v);
+            }
+        }
+        g
+    }
+
+    /// Selects a subset of columns into a new matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cols` is empty or contains out-of-range indices.
+    #[must_use]
+    pub fn select_columns(&self, cols: &[usize]) -> Matrix {
+        assert!(!cols.is_empty(), "need at least one column");
+        let mut m = Matrix::zeros(self.rows, cols.len());
+        for r in 0..self.rows {
+            for (k, &c) in cols.iter().enumerate() {
+                m.set(r, k, self.get(r, c));
+            }
+        }
+        m
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in 0..self.rows {
+            writeln!(f, "{:?}", self.row(r))?;
+        }
+        Ok(())
+    }
+}
+
+/// Solves the symmetric positive-definite system `A x = b` by Cholesky
+/// factorisation, adding a tiny ridge on the diagonal when the
+/// factorisation encounters a non-positive pivot (near-collinear features).
+///
+/// # Panics
+///
+/// Panics if `A` is not square or the dimensions disagree with `b`.
+#[must_use]
+#[allow(clippy::needless_range_loop)]
+pub fn solve_spd(a: &Matrix, b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.rows(), a.cols(), "matrix must be square");
+    assert_eq!(a.rows(), b.len(), "dimension mismatch");
+    let n = a.rows();
+    // Try Cholesky with escalating ridge.
+    let mut ridge = 0.0;
+    let scale = (0..n).map(|i| a.get(i, i)).fold(0.0f64, f64::max).max(1e-300);
+    for _ in 0..8 {
+        if let Some(l) = cholesky(a, ridge) {
+            // Forward substitution: L y = b.
+            let mut y = vec![0.0; n];
+            for i in 0..n {
+                let mut s = b[i];
+                for j in 0..i {
+                    s -= l.get(i, j) * y[j];
+                }
+                y[i] = s / l.get(i, i);
+            }
+            // Back substitution: L^T x = y.
+            let mut x = vec![0.0; n];
+            for i in (0..n).rev() {
+                let mut s = y[i];
+                for j in i + 1..n {
+                    s -= l.get(j, i) * x[j];
+                }
+                x[i] = s / l.get(i, i);
+            }
+            return x;
+        }
+        ridge = if ridge == 0.0 { scale * 1e-12 } else { ridge * 100.0 };
+    }
+    // Severely degenerate: fall back to the zero solution.
+    vec![0.0; n]
+}
+
+fn cholesky(a: &Matrix, ridge: f64) -> Option<Matrix> {
+    let n = a.rows();
+    let mut l = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut s = a.get(i, j) + if i == j { ridge } else { 0.0 };
+            for k in 0..j {
+                s -= l.get(i, k) * l.get(j, k);
+            }
+            if i == j {
+                if s <= 0.0 {
+                    return None;
+                }
+                l.set(i, j, s.sqrt());
+            } else {
+                l.set(i, j, s / l.get(j, j));
+            }
+        }
+    }
+    Some(l)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 2);
+        assert_eq!(m.get(1, 0), 3.0);
+        assert_eq!(m.row(0), &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        let _ = Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    fn mul_vec_works() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(m.mul_vec(&[1.0, 1.0]), vec![3.0, 7.0]);
+        assert_eq!(m.transpose_mul_vec(&[1.0, 1.0]), vec![4.0, 6.0]);
+    }
+
+    #[test]
+    fn gram_is_symmetric() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
+        let g = m.gram();
+        assert_eq!(g.get(0, 1), g.get(1, 0));
+        assert_eq!(g.get(0, 0), 1.0 + 9.0 + 25.0);
+        assert_eq!(g.get(0, 1), 2.0 + 12.0 + 30.0);
+    }
+
+    #[test]
+    fn spd_solve_recovers_solution() {
+        // A = [[4,1],[1,3]], x = [1,2] -> b = [6,7].
+        let a = Matrix::from_rows(&[vec![4.0, 1.0], vec![1.0, 3.0]]);
+        let x = solve_spd(&a, &[6.0, 7.0]);
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spd_solve_handles_near_singular() {
+        // Nearly collinear columns: still returns a finite solution.
+        let rows: Vec<Vec<f64>> = (0..10)
+            .map(|i| {
+                let x = i as f64;
+                vec![x, x * (1.0 + 1e-13)]
+            })
+            .collect();
+        let m = Matrix::from_rows(&rows);
+        let g = m.gram();
+        let b = m.transpose_mul_vec(&m.mul_vec(&[1.0, 1.0]));
+        let x = solve_spd(&g, &b);
+        assert!(x.iter().all(|v| v.is_finite()));
+        // The fitted function must still reproduce y ~ 2x.
+        let y = m.mul_vec(&x);
+        assert!((y[9] - 18.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn select_columns_projects() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        let s = m.select_columns(&[2, 0]);
+        assert_eq!(s.row(0), &[3.0, 1.0]);
+        assert_eq!(s.row(1), &[6.0, 4.0]);
+    }
+}

@@ -1,0 +1,132 @@
+//! Regression accuracy metrics — RMSE and MAPE as in Table III.
+
+/// Root mean squared error.
+///
+/// # Panics
+///
+/// Panics on empty or mismatched inputs.
+#[must_use]
+pub fn rmse(truth: &[f64], pred: &[f64]) -> f64 {
+    assert_eq!(truth.len(), pred.len(), "length mismatch");
+    assert!(!truth.is_empty(), "empty input");
+    let mse: f64 = truth
+        .iter()
+        .zip(pred)
+        .map(|(t, p)| (t - p).powi(2))
+        .sum::<f64>()
+        / truth.len() as f64;
+    mse.sqrt()
+}
+
+/// Mean absolute percentage error, in percent (e.g. `16.71` for 16.71%).
+///
+/// Samples whose true value is zero are skipped, as is conventional.
+///
+/// # Panics
+///
+/// Panics on empty or mismatched inputs.
+#[must_use]
+pub fn mape(truth: &[f64], pred: &[f64]) -> f64 {
+    assert_eq!(truth.len(), pred.len(), "length mismatch");
+    assert!(!truth.is_empty(), "empty input");
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for (t, p) in truth.iter().zip(pred) {
+        if *t != 0.0 {
+            total += ((t - p) / t).abs();
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        100.0 * total / count as f64
+    }
+}
+
+/// Mean absolute error.
+///
+/// # Panics
+///
+/// Panics on empty or mismatched inputs.
+#[must_use]
+pub fn mae(truth: &[f64], pred: &[f64]) -> f64 {
+    assert_eq!(truth.len(), pred.len(), "length mismatch");
+    assert!(!truth.is_empty(), "empty input");
+    truth
+        .iter()
+        .zip(pred)
+        .map(|(t, p)| (t - p).abs())
+        .sum::<f64>()
+        / truth.len() as f64
+}
+
+/// Coefficient of determination R².
+///
+/// Returns 1.0 for a perfect fit; can be negative for fits worse than the
+/// mean predictor. Returns 0.0 when the truth is constant.
+///
+/// # Panics
+///
+/// Panics on empty or mismatched inputs.
+#[must_use]
+pub fn r2(truth: &[f64], pred: &[f64]) -> f64 {
+    assert_eq!(truth.len(), pred.len(), "length mismatch");
+    assert!(!truth.is_empty(), "empty input");
+    let mean = truth.iter().sum::<f64>() / truth.len() as f64;
+    let ss_tot: f64 = truth.iter().map(|t| (t - mean).powi(2)).sum();
+    if ss_tot == 0.0 {
+        return 0.0;
+    }
+    let ss_res: f64 = truth.iter().zip(pred).map(|(t, p)| (t - p).powi(2)).sum();
+    1.0 - ss_res / ss_tot
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions() {
+        let y = [1.0, 2.0, 3.0];
+        assert_eq!(rmse(&y, &y), 0.0);
+        assert_eq!(mape(&y, &y), 0.0);
+        assert_eq!(mae(&y, &y), 0.0);
+        assert_eq!(r2(&y, &y), 1.0);
+    }
+
+    #[test]
+    fn known_values() {
+        let truth = [2.0, 4.0];
+        let pred = [1.0, 5.0];
+        assert!((rmse(&truth, &pred) - 1.0).abs() < 1e-12);
+        assert!((mae(&truth, &pred) - 1.0).abs() < 1e-12);
+        // |1/2| and |1/4| -> mean 0.375 -> 37.5%.
+        assert!((mape(&truth, &pred) - 37.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mape_skips_zero_truth() {
+        let truth = [0.0, 10.0];
+        let pred = [5.0, 11.0];
+        assert!((mape(&truth, &pred) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r2_of_mean_predictor_is_zero() {
+        let truth = [1.0, 2.0, 3.0];
+        let pred = [2.0, 2.0, 2.0];
+        assert!(r2(&truth, &pred).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r2_constant_truth() {
+        assert_eq!(r2(&[5.0, 5.0], &[4.0, 6.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = rmse(&[1.0], &[1.0, 2.0]);
+    }
+}

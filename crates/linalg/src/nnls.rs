@@ -1,0 +1,187 @@
+//! Lawson–Hanson active-set non-negative least squares.
+//!
+//! Solves `min ||A x - b||_2` subject to `x >= 0` — the fitting procedure
+//! the paper cites (\[12\], Lawson & Hanson, *Solving Least Squares
+//! Problems*) to keep every regression coefficient of the inference-time
+//! prediction models positive.
+
+use crate::matrix::{solve_spd, Matrix};
+
+/// Solves the NNLS problem `min ||A x - b||` s.t. `x >= 0`.
+///
+/// `tol` bounds the dual-feasibility test (use ~1e-10 relative to the data
+/// scale); `max_iter` bounds outer iterations (the algorithm terminates in
+/// at most `cols` additions absent numerical trouble, so a small multiple
+/// of `cols` is plenty).
+///
+/// # Panics
+///
+/// Panics if `b.len() != a.rows()`.
+#[must_use]
+pub fn nnls(a: &Matrix, b: &[f64], tol: f64, max_iter: usize) -> Vec<f64> {
+    assert_eq!(b.len(), a.rows(), "dimension mismatch");
+    let n = a.cols();
+    let mut x = vec![0.0; n];
+    let mut passive = vec![false; n];
+
+    for _ in 0..max_iter {
+        // Dual vector w = A^T (b - A x).
+        let ax = a.mul_vec(&x);
+        let resid: Vec<f64> = b.iter().zip(&ax).map(|(bi, ai)| bi - ai).collect();
+        let w = a.transpose_mul_vec(&resid);
+
+        // Pick the most violated inactive coordinate.
+        let mut best: Option<(usize, f64)> = None;
+        for j in 0..n {
+            if !passive[j] && w[j] > tol
+                && best.is_none_or(|(_, bw)| w[j] > bw) {
+                    best = Some((j, w[j]));
+                }
+        }
+        let Some((j_star, _)) = best else {
+            break; // KKT satisfied.
+        };
+        passive[j_star] = true;
+
+        // Inner loop: solve the unconstrained problem on the passive set and
+        // walk back along the segment if any coefficient went negative.
+        loop {
+            let idx: Vec<usize> = (0..n).filter(|&j| passive[j]).collect();
+            let ap = a.select_columns(&idx);
+            let z_p = solve_spd(&ap.gram(), &ap.transpose_mul_vec(b));
+            let mut z = vec![0.0; n];
+            for (k, &j) in idx.iter().enumerate() {
+                z[j] = z_p[k];
+            }
+            if idx.iter().all(|&j| z[j] > tol) {
+                x = z;
+                break;
+            }
+            // alpha = min over passive j with z_j <= 0 of x_j / (x_j - z_j).
+            let mut alpha = f64::INFINITY;
+            for &j in &idx {
+                if z[j] <= tol {
+                    let denom = x[j] - z[j];
+                    if denom > 0.0 {
+                        alpha = alpha.min(x[j] / denom);
+                    } else {
+                        alpha = 0.0;
+                    }
+                }
+            }
+            if !alpha.is_finite() {
+                alpha = 0.0;
+            }
+            for j in 0..n {
+                x[j] += alpha * (z[j] - x[j]);
+            }
+            for j in 0..n {
+                if passive[j] && x[j] <= tol {
+                    passive[j] = false;
+                    x[j] = 0.0;
+                }
+            }
+            if !passive.iter().any(|&p| p) {
+                // Everything got kicked out — numerical stalemate; the
+                // outer loop will re-add the best coordinate or stop.
+                break;
+            }
+        }
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fit(a: &Matrix, b: &[f64]) -> Vec<f64> {
+        nnls(a, b, 1e-10, 200)
+    }
+
+    #[test]
+    fn exact_recovery_of_positive_coefficients() {
+        let rows: Vec<Vec<f64>> = (0..20)
+            .map(|i| {
+                let x = i as f64;
+                vec![x, x * x, 1.0]
+            })
+            .collect();
+        let a = Matrix::from_rows(&rows);
+        let truth = [2.0, 0.5, 3.0];
+        let b: Vec<f64> = (0..20)
+            .map(|i| {
+                let x = i as f64;
+                truth[0] * x + truth[1] * x * x + truth[2]
+            })
+            .collect();
+        let x = fit(&a, &b);
+        for (xi, ti) in x.iter().zip(truth.iter()) {
+            assert!((xi - ti).abs() < 1e-8, "{x:?}");
+        }
+    }
+
+    #[test]
+    fn negative_optimum_is_clamped_to_zero() {
+        // y = 3*x0 - 2*x1: the unconstrained fit would need a negative
+        // coefficient; NNLS must zero it and stay non-negative.
+        let rows: Vec<Vec<f64>> = (1..30)
+            .map(|i| {
+                let x = i as f64;
+                vec![x, 0.5 * x + (i % 3) as f64]
+            })
+            .collect();
+        let a = Matrix::from_rows(&rows);
+        let b: Vec<f64> = rows.iter().map(|r| 3.0 * r[0] - 2.0 * r[1]).collect();
+        let x = fit(&a, &b);
+        assert!(x.iter().all(|&v| v >= 0.0), "{x:?}");
+    }
+
+    #[test]
+    fn zero_rhs_gives_zero_solution() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let x = fit(&a, &[0.0, 0.0]);
+        assert_eq!(x, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn residual_not_worse_than_zero_vector() {
+        // NNLS never does worse than x = 0.
+        let rows: Vec<Vec<f64>> = (0..15)
+            .map(|i| vec![(i as f64).sin(), (i as f64).cos(), 1.0])
+            .collect();
+        let a = Matrix::from_rows(&rows);
+        let b: Vec<f64> = (0..15).map(|i| (i as f64) * 0.1 - 0.5).collect();
+        let x = fit(&a, &b);
+        let ax = a.mul_vec(&x);
+        let r2: f64 = b.iter().zip(&ax).map(|(bi, ai)| (bi - ai).powi(2)).sum();
+        let b2: f64 = b.iter().map(|v| v * v).sum();
+        assert!(r2 <= b2 + 1e-9);
+        assert!(x.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn kkt_conditions_hold() {
+        let rows: Vec<Vec<f64>> = (0..40)
+            .map(|i| {
+                let x = i as f64 / 4.0;
+                vec![x, x * x, x.sqrt()]
+            })
+            .collect();
+        let a = Matrix::from_rows(&rows);
+        let b: Vec<f64> = rows.iter().map(|r| 1.5 * r[0] + 0.2 * r[2] - 0.05 * r[1]).collect();
+        let x = fit(&a, &b);
+        let ax = a.mul_vec(&x);
+        let resid: Vec<f64> = b.iter().zip(&ax).map(|(bi, ai)| bi - ai).collect();
+        let w = a.transpose_mul_vec(&resid);
+        for j in 0..3 {
+            if x[j] > 1e-9 {
+                // Active coefficients have zero gradient.
+                assert!(w[j].abs() < 1e-6, "w[{j}]={}", w[j]);
+            } else {
+                // Inactive coefficients must not want to increase.
+                assert!(w[j] < 1e-6, "w[{j}]={}", w[j]);
+            }
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Linear inference-time prediction models (§III-B step 3).
+//!
+//! Models are linear with **no intercept** and **non-negative
+//! coefficients**, so a zero feature vector (e.g. the virtual node `L_0`)
+//! predicts exactly zero time.
+
+use crate::matrix::{solve_spd, Matrix};
+use crate::nnls::nnls;
+use serde::{Deserialize, Serialize};
+
+/// A linear model `y = w . x` with `w >= 0` and no intercept.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinearModel {
+    coefficients: Vec<f64>,
+}
+
+impl LinearModel {
+    /// Builds a model directly from coefficients (e.g. deserialised).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coefficients` is empty.
+    #[must_use]
+    pub fn from_coefficients(coefficients: Vec<f64>) -> Self {
+        assert!(!coefficients.is_empty(), "need at least one coefficient");
+        Self { coefficients }
+    }
+
+    /// Fits by non-negative least squares (the paper's procedure).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` and `y` disagree in length.
+    #[must_use]
+    pub fn fit_nnls(x: &Matrix, y: &[f64]) -> Self {
+        let coefficients = nnls(x, y, 1e-10, 50 * x.cols().max(4));
+        Self { coefficients }
+    }
+
+    /// Fits by ordinary least squares (unconstrained, for ablations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` and `y` disagree in length.
+    #[must_use]
+    pub fn fit_ols(x: &Matrix, y: &[f64]) -> Self {
+        let coefficients = solve_spd(&x.gram(), &x.transpose_mul_vec(y));
+        Self { coefficients }
+    }
+
+    /// The learned coefficients.
+    #[must_use]
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coefficients
+    }
+
+    /// Predicts one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len()` differs from the training width.
+    #[must_use]
+    pub fn predict(&self, features: &[f64]) -> f64 {
+        assert_eq!(
+            features.len(),
+            self.coefficients.len(),
+            "feature width mismatch"
+        );
+        self.coefficients
+            .iter()
+            .zip(features)
+            .map(|(w, x)| w * x)
+            .sum()
+    }
+
+    /// Predicts a batch.
+    #[must_use]
+    pub fn predict_batch(&self, x: &Matrix) -> Vec<f64> {
+        x.mul_vec(&self.coefficients)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{mape, rmse};
+
+    fn synthetic(n: usize) -> (Matrix, Vec<f64>) {
+        let rows: Vec<Vec<f64>> = (1..=n)
+            .map(|i| {
+                let f = i as f64;
+                vec![f * 100.0, f, f * 10.0]
+            })
+            .collect();
+        let y: Vec<f64> = rows.iter().map(|r| 0.01 * r[0] + 2.0 * r[1]).collect();
+        (Matrix::from_rows(&rows), y)
+    }
+
+    #[test]
+    fn nnls_fit_predicts_training_data() {
+        let (x, y) = synthetic(50);
+        let m = LinearModel::fit_nnls(&x, &y);
+        let pred = m.predict_batch(&x);
+        assert!(rmse(&y, &pred) < 1e-6);
+        assert!(mape(&y, &pred) < 1e-6);
+        assert!(m.coefficients().iter().all(|&c| c >= 0.0));
+    }
+
+    #[test]
+    fn zero_features_predict_zero() {
+        let (x, y) = synthetic(10);
+        let m = LinearModel::fit_nnls(&x, &y);
+        assert_eq!(m.predict(&[0.0, 0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn ols_matches_nnls_when_truth_is_positive() {
+        let (x, y) = synthetic(30);
+        let a = LinearModel::fit_nnls(&x, &y);
+        let b = LinearModel::fit_ols(&x, &y);
+        let fa = a.predict(&[1000.0, 10.0, 100.0]);
+        let fb = b.predict(&[1000.0, 10.0, 100.0]);
+        assert!((fa - fb).abs() < 1e-4, "{fa} vs {fb}");
+    }
+
+    #[test]
+    fn round_trip_serialisation() {
+        let m = LinearModel::from_coefficients(vec![1.0, 2.5]);
+        let json = serde_json::to_string(&m).unwrap();
+        let back: LinearModel = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature width mismatch")]
+    fn wrong_width_panics() {
+        let _ = LinearModel::from_coefficients(vec![1.0]).predict(&[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,68 @@
+//! Deterministic train/test splitting.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Splits sample indices `0..n` into (train, test) with the given test
+/// fraction, shuffled deterministically by `seed`.
+///
+/// Guarantees at least one sample on each side for `n >= 2`.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `test_fraction` is outside `(0, 1)`.
+#[must_use]
+pub fn train_test_split(n: usize, test_fraction: f64, seed: u64) -> (Vec<usize>, Vec<usize>) {
+    assert!(n >= 2, "need at least two samples");
+    assert!(
+        test_fraction > 0.0 && test_fraction < 1.0,
+        "test fraction must be in (0, 1)"
+    );
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    idx.shuffle(&mut rng);
+    let n_test = ((n as f64 * test_fraction).round() as usize).clamp(1, n - 1);
+    let test = idx[..n_test].to_vec();
+    let train = idx[n_test..].to_vec();
+    (train, test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_is_complete_and_disjoint() {
+        let (train, test) = train_test_split(100, 0.25, 42);
+        assert_eq!(train.len() + test.len(), 100);
+        assert_eq!(test.len(), 25);
+        let mut all: Vec<usize> = train.iter().chain(test.iter()).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(train_test_split(50, 0.2, 1), train_test_split(50, 0.2, 1));
+        assert_ne!(
+            train_test_split(50, 0.2, 1).1,
+            train_test_split(50, 0.2, 2).1
+        );
+    }
+
+    #[test]
+    fn both_sides_nonempty_at_extremes() {
+        let (train, test) = train_test_split(2, 0.01, 0);
+        assert_eq!(train.len(), 1);
+        assert_eq!(test.len(), 1);
+        let (train, test) = train_test_split(3, 0.99, 0);
+        assert!(!train.is_empty() && !test.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn tiny_n_panics() {
+        let _ = train_test_split(1, 0.5, 0);
+    }
+}

@@ -1,0 +1,92 @@
+//! AlexNet (Krizhevsky et al., 2012), torchvision geometry, 224x224 input.
+//!
+//! The node numbering exactly reproduces the paper's Figure 1/6/9 partition
+//! indices: `p = 4` is after MaxPool-1, `p = 8` after MaxPool-2 (the optimum
+//! of Figure 1 at 8 Mbps), `p = 19` after Flatten (the low-bandwidth choice
+//! of Figure 9) and `p = 27 = n` is local inference.
+
+use crate::common::BuilderExt;
+use lp_graph::{ComputationGraph, ConvAttrs, GraphBuilder, NodeKind, PoolAttrs};
+use lp_tensor::{Shape, TensorDesc};
+
+/// Builds AlexNet for the given batch size (input `batch x 3 x 224 x 224`).
+#[must_use]
+pub fn alexnet(batch: usize) -> ComputationGraph {
+    let mut b = GraphBuilder::new(
+        "AlexNet",
+        TensorDesc::f32(Shape::nchw(batch, 3, 224, 224)),
+    );
+    let x = b.input();
+    let x = b.conv_bias_relu("conv1", ConvAttrs::new(64, 11, 4, 2), x); // L1..L3
+    let x = b
+        .node("pool1", NodeKind::Pool(PoolAttrs::max(3, 2)), [x]) // L4
+        .unwrap();
+    let x = b.conv_bias_relu("conv2", ConvAttrs::new(192, 5, 1, 2), x); // L5..L7
+    let x = b
+        .node("pool2", NodeKind::Pool(PoolAttrs::max(3, 2)), [x]) // L8
+        .unwrap();
+    let x = b.conv_bias_relu("conv3", ConvAttrs::same(384, 3), x); // L9..L11
+    let x = b.conv_bias_relu("conv4", ConvAttrs::same(256, 3), x); // L12..L14
+    let x = b.conv_bias_relu("conv5", ConvAttrs::same(256, 3), x); // L15..L17
+    let x = b
+        .node("pool3", NodeKind::Pool(PoolAttrs::max(3, 2)), [x]) // L18
+        .unwrap();
+    let x = b.node("flatten", NodeKind::Flatten, [x]).unwrap(); // L19
+    let x = b.fc("fc1", 4096, x); // L20, L21
+    let x = b.relu("fc1.relu", x); // L22
+    let x = b.fc("fc2", 4096, x); // L23, L24
+    let x = b.relu("fc2.relu", x); // L25
+    let x = b.fc("fc3", 1000, x); // L26, L27
+    b.finish(x).expect("AlexNet builds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lp_graph::cut::transmission_series;
+    use lp_tensor::Shape;
+
+    #[test]
+    fn node_count_matches_paper() {
+        let g = alexnet(1);
+        assert_eq!(g.len(), 27);
+    }
+
+    #[test]
+    fn landmark_shapes() {
+        let g = alexnet(1);
+        // L4 = MaxPool-1 output 64x27x27.
+        assert_eq!(
+            g.nodes()[3].output.shape(),
+            &Shape::nchw(1, 64, 27, 27)
+        );
+        // L8 = MaxPool-2 output 192x13x13.
+        assert_eq!(
+            g.nodes()[7].output.shape(),
+            &Shape::nchw(1, 192, 13, 13)
+        );
+        // L19 = Flatten output 9216.
+        assert_eq!(g.nodes()[18].output.shape(), &Shape::nc(1, 9216));
+    }
+
+    #[test]
+    fn paper_partition_points_upload_less_than_input() {
+        let g = alexnet(1);
+        let s = transmission_series(&g);
+        let input = s[0];
+        // MaxPool-2 (p=8) and Flatten (p=19) are "available" points.
+        assert!(s[8] < input, "s[8]={} input={input}", s[8]);
+        assert!(s[19] < input);
+        assert!(s[19] < s[8], "Flatten cut is the smallest landmark");
+        // MaxPool-1 (p=4) is bigger than MaxPool-2 but smaller than input.
+        assert!(s[4] < input && s[8] < s[4]);
+    }
+
+    #[test]
+    fn fc_dominates_parameter_bytes() {
+        let g = alexnet(1);
+        // AlexNet famously has ~61M parameters, most in fc1 (9216x4096).
+        let total = g.total_param_bytes();
+        assert!(total > 240_000_000 && total < 250_000_000, "got {total}");
+    }
+}

@@ -1,0 +1,106 @@
+//! Shared building blocks for the model zoo.
+//!
+//! All helpers panic on shape errors: the architectures are fixed, so a
+//! failure is a bug in the builder, not a runtime condition.
+
+use lp_graph::{Activation, ConvAttrs, DwConvAttrs, GraphBuilder, NodeKind, ValueId};
+
+/// Extension helpers over [`GraphBuilder`] for common layer idioms.
+pub(crate) trait BuilderExt {
+    /// `Conv -> BiasAdd -> ReLU` (AlexNet/VGG/SqueezeNet style).
+    fn conv_bias_relu(&mut self, name: &str, attrs: ConvAttrs, x: ValueId) -> ValueId;
+    /// `Conv -> BatchNorm -> ReLU` (ResNet/Inception/Xception style).
+    fn conv_bn_relu(&mut self, name: &str, attrs: ConvAttrs, x: ValueId) -> ValueId;
+    /// `Conv -> BatchNorm` (pre-Add halves of residual blocks).
+    fn conv_bn(&mut self, name: &str, attrs: ConvAttrs, x: ValueId) -> ValueId;
+    /// Separable conv: `DWConv -> Conv1x1 -> BatchNorm` (Xception).
+    fn sep_conv_bn(
+        &mut self,
+        name: &str,
+        out_channels: usize,
+        dw: DwConvAttrs,
+        x: ValueId,
+    ) -> ValueId;
+    /// `MatMul -> BiasAdd` fully-connected layer.
+    fn fc(&mut self, name: &str, out_features: usize, x: ValueId) -> ValueId;
+    /// Single ReLU.
+    fn relu(&mut self, name: &str, x: ValueId) -> ValueId;
+}
+
+impl BuilderExt for GraphBuilder {
+    fn conv_bias_relu(&mut self, name: &str, attrs: ConvAttrs, x: ValueId) -> ValueId {
+        let c = self
+            .node(format!("{name}.conv"), NodeKind::Conv(attrs), [x])
+            .expect(name);
+        let b = self
+            .node(format!("{name}.bias"), NodeKind::BiasAdd, [c])
+            .expect(name);
+        self.node(
+            format!("{name}.relu"),
+            NodeKind::Activation(Activation::Relu),
+            [b],
+        )
+        .expect(name)
+    }
+
+    fn conv_bn_relu(&mut self, name: &str, attrs: ConvAttrs, x: ValueId) -> ValueId {
+        let c = self
+            .node(format!("{name}.conv"), NodeKind::Conv(attrs), [x])
+            .expect(name);
+        let b = self
+            .node(format!("{name}.bn"), NodeKind::BatchNorm, [c])
+            .expect(name);
+        self.node(
+            format!("{name}.relu"),
+            NodeKind::Activation(Activation::Relu),
+            [b],
+        )
+        .expect(name)
+    }
+
+    fn conv_bn(&mut self, name: &str, attrs: ConvAttrs, x: ValueId) -> ValueId {
+        let c = self
+            .node(format!("{name}.conv"), NodeKind::Conv(attrs), [x])
+            .expect(name);
+        self.node(format!("{name}.bn"), NodeKind::BatchNorm, [c])
+            .expect(name)
+    }
+
+    fn sep_conv_bn(
+        &mut self,
+        name: &str,
+        out_channels: usize,
+        dw: DwConvAttrs,
+        x: ValueId,
+    ) -> ValueId {
+        let d = self
+            .node(format!("{name}.dw"), NodeKind::DwConv(dw), [x])
+            .expect(name);
+        let p = self
+            .node(
+                format!("{name}.pw"),
+                NodeKind::Conv(ConvAttrs::new(out_channels, 1, 1, 0)),
+                [d],
+            )
+            .expect(name);
+        self.node(format!("{name}.bn"), NodeKind::BatchNorm, [p])
+            .expect(name)
+    }
+
+    fn fc(&mut self, name: &str, out_features: usize, x: ValueId) -> ValueId {
+        let m = self
+            .node(
+                format!("{name}.matmul"),
+                NodeKind::MatMul { out_features },
+                [x],
+            )
+            .expect(name);
+        self.node(format!("{name}.bias"), NodeKind::BiasAdd, [m])
+            .expect(name)
+    }
+
+    fn relu(&mut self, name: &str, x: ValueId) -> ValueId {
+        self.node(name, NodeKind::Activation(Activation::Relu), [x])
+            .expect(name)
+    }
+}

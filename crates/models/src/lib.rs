@@ -1,0 +1,185 @@
+//! Model zoo for the LoADPart reproduction.
+//!
+//! Shape- and FLOPs-faithful computation-graph builders for every network
+//! the paper touches:
+//!
+//! * evaluation set (§V): AlexNet, VGG16, ResNet18, ResNet50, SqueezeNet
+//!   (v1.0), Xception;
+//! * motivation/background set (§II): ResNet101, ResNet152;
+//! * search-space analysis (§III-D): InceptionV3.
+//!
+//! The builders reproduce each architecture's layer geometry exactly
+//! (torchvision conventions), mapping each layer to the paper's computation
+//! nodes: a convolution becomes `Conv + BiasAdd + ReLU` (AlexNet/VGG/
+//! SqueezeNet style) or `Conv + BatchNorm + ReLU` (ResNet/Xception/
+//! Inception style), fully-connected layers become `MatMul + BiasAdd`, and
+//! so on. Numeric weights are not materialised — partition decisions depend
+//! only on shapes, FLOPs and transmission sizes.
+//!
+//! # Examples
+//!
+//! ```
+//! let g = lp_models::alexnet(1);
+//! assert_eq!(g.len(), 27); // L_1..L_27, exactly the paper's AlexNet order
+//! assert_eq!(g.output().shape().dims(), &[1, 1000]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod alexnet;
+mod common;
+mod inception;
+mod resnet;
+mod squeezenet;
+mod vgg;
+mod xception;
+
+pub use alexnet::alexnet;
+pub use inception::inception_v3;
+pub use resnet::{resnet101, resnet152, resnet18, resnet50};
+pub use squeezenet::squeezenet;
+pub use vgg::vgg16;
+pub use xception::xception;
+
+use lp_graph::ComputationGraph;
+
+/// The six networks of the paper's evaluation (§V-A), in presentation order.
+#[must_use]
+pub fn evaluation_set(batch: usize) -> Vec<ComputationGraph> {
+    vec![
+        alexnet(batch),
+        squeezenet(batch),
+        vgg16(batch),
+        resnet18(batch),
+        resnet50(batch),
+        xception(batch),
+    ]
+}
+
+/// Every model in the zoo, for exhaustive tests and sweeps.
+#[must_use]
+pub fn full_zoo(batch: usize) -> Vec<ComputationGraph> {
+    vec![
+        alexnet(batch),
+        squeezenet(batch),
+        vgg16(batch),
+        resnet18(batch),
+        resnet50(batch),
+        resnet101(batch),
+        resnet152(batch),
+        xception(batch),
+        inception_v3(batch),
+    ]
+}
+
+/// Looks a model up by (case-insensitive) name.
+///
+/// Recognised names: `alexnet`, `squeezenet`, `vgg16`, `resnet18`,
+/// `resnet50`, `resnet101`, `resnet152`, `xception`, `inceptionv3`.
+#[must_use]
+pub fn by_name(name: &str, batch: usize) -> Option<ComputationGraph> {
+    match name.to_ascii_lowercase().as_str() {
+        "alexnet" => Some(alexnet(batch)),
+        "squeezenet" => Some(squeezenet(batch)),
+        "vgg16" => Some(vgg16(batch)),
+        "resnet18" => Some(resnet18(batch)),
+        "resnet50" => Some(resnet50(batch)),
+        "resnet101" => Some(resnet101(batch)),
+        "resnet152" => Some(resnet152(batch)),
+        "xception" => Some(xception(batch)),
+        "inceptionv3" | "inception_v3" => Some(inception_v3(batch)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lp_graph::flops::graph_flops;
+
+    #[test]
+    fn all_models_validate() {
+        for g in full_zoo(1) {
+            g.validate().unwrap_or_else(|e| panic!("{}: {e}", g.name()));
+        }
+    }
+
+    #[test]
+    fn all_models_classify_to_1000() {
+        for g in full_zoo(1) {
+            assert_eq!(
+                g.output().shape().dims(),
+                &[1, 1000],
+                "{} output shape",
+                g.name()
+            );
+        }
+    }
+
+    #[test]
+    fn batch_scales_flops_linearly() {
+        for name in ["alexnet", "resnet18"] {
+            let f1 = graph_flops(&by_name(name, 1).unwrap());
+            let f4 = graph_flops(&by_name(name, 4).unwrap());
+            assert_eq!(f4, 4 * f1, "{name}");
+        }
+    }
+
+    #[test]
+    fn by_name_roundtrip() {
+        for g in full_zoo(1) {
+            let looked = by_name(g.name(), 1).unwrap_or_else(|| panic!("{}", g.name()));
+            assert_eq!(looked.len(), g.len());
+        }
+        assert!(by_name("nonexistent", 1).is_none());
+    }
+
+    #[test]
+    fn evaluation_set_is_the_papers_six() {
+        let names: Vec<String> = evaluation_set(1)
+            .iter()
+            .map(|g| g.name().to_string())
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                "AlexNet",
+                "SqueezeNet",
+                "VGG16",
+                "ResNet18",
+                "ResNet50",
+                "Xception"
+            ]
+        );
+    }
+
+    /// MAC counts (Table I convention counts multiply-accumulates once)
+    /// against commonly published numbers, within 8%.
+    #[test]
+    fn flops_match_published_numbers() {
+        let cases = [
+            ("alexnet", 0.71e9),
+            ("vgg16", 15.5e9),
+            ("resnet18", 1.82e9),
+            ("resnet50", 4.1e9),
+            ("resnet101", 7.8e9),
+            ("resnet152", 11.5e9),
+            ("inceptionv3", 5.7e9),
+            ("xception", 8.4e9),
+            ("squeezenet", 0.85e9), // 0.82 GMACs at 224px, 227px here
+
+        ];
+        for (name, expected) in cases {
+            let g = by_name(name, 1).unwrap();
+            let f = graph_flops(&g) as f64;
+            let rel = (f - expected).abs() / expected;
+            assert!(
+                rel < 0.08,
+                "{name}: got {:.3} GMACs, expected ~{:.3} (rel err {rel:.3})",
+                f / 1e9,
+                expected / 1e9
+            );
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! ResNet family (He et al., 2016), torchvision v1 geometry, 224x224 input.
+//!
+//! ResNet18 uses BasicBlocks; ResNet50/101/152 use Bottlenecks. Convolutions
+//! are bias-free and followed by BatchNorm, as in the original architecture.
+
+use crate::common::BuilderExt;
+use lp_graph::{ComputationGraph, ConvAttrs, GraphBuilder, NodeKind, PoolAttrs, ValueId};
+use lp_tensor::{Shape, TensorDesc};
+
+/// Two 3x3 convolutions plus identity/projection shortcut.
+fn basic_block(
+    b: &mut GraphBuilder,
+    name: &str,
+    out_ch: usize,
+    stride: usize,
+    downsample: bool,
+    x: ValueId,
+) -> ValueId {
+    let main = b.conv_bn_relu(
+        &format!("{name}.conv1"),
+        ConvAttrs {
+            out_channels: out_ch,
+            kernel: (3, 3),
+            stride: (stride, stride),
+            padding: (1, 1),
+        },
+        x,
+    );
+    let main = b.conv_bn(&format!("{name}.conv2"), ConvAttrs::same(out_ch, 3), main);
+    let skip = if downsample {
+        b.conv_bn(
+            &format!("{name}.down"),
+            ConvAttrs {
+                out_channels: out_ch,
+                kernel: (1, 1),
+                stride: (stride, stride),
+                padding: (0, 0),
+            },
+            x,
+        )
+    } else {
+        x
+    };
+    let sum = b.node(format!("{name}.add"), NodeKind::Add, [main, skip]).unwrap();
+    b.relu(&format!("{name}.relu"), sum)
+}
+
+/// 1x1 -> 3x3 -> 1x1 (4x expansion) bottleneck plus shortcut.
+fn bottleneck(
+    b: &mut GraphBuilder,
+    name: &str,
+    mid_ch: usize,
+    stride: usize,
+    downsample: bool,
+    x: ValueId,
+) -> ValueId {
+    let out_ch = mid_ch * 4;
+    let main = b.conv_bn_relu(
+        &format!("{name}.conv1"),
+        ConvAttrs::new(mid_ch, 1, 1, 0),
+        x,
+    );
+    let main = b.conv_bn_relu(
+        &format!("{name}.conv2"),
+        ConvAttrs {
+            out_channels: mid_ch,
+            kernel: (3, 3),
+            stride: (stride, stride),
+            padding: (1, 1),
+        },
+        main,
+    );
+    let main = b.conv_bn(&format!("{name}.conv3"), ConvAttrs::new(out_ch, 1, 1, 0), main);
+    let skip = if downsample {
+        b.conv_bn(
+            &format!("{name}.down"),
+            ConvAttrs {
+                out_channels: out_ch,
+                kernel: (1, 1),
+                stride: (stride, stride),
+                padding: (0, 0),
+            },
+            x,
+        )
+    } else {
+        x
+    };
+    let sum = b.node(format!("{name}.add"), NodeKind::Add, [main, skip]).unwrap();
+    b.relu(&format!("{name}.relu"), sum)
+}
+
+fn resnet(name: &str, batch: usize, layers: [usize; 4], bottlenecks: bool) -> ComputationGraph {
+    let mut b = GraphBuilder::new(name, TensorDesc::f32(Shape::nchw(batch, 3, 224, 224)));
+    let x = b.input();
+    let mut x = b.conv_bn_relu("stem", ConvAttrs::new(64, 7, 2, 3), x);
+    x = b
+        .node(
+            "maxpool",
+            NodeKind::Pool(PoolAttrs::max(3, 2).with_padding(1)),
+            [x],
+        )
+        .unwrap();
+    let widths = [64usize, 128, 256, 512];
+    for (stage, (&blocks, &w)) in layers.iter().zip(widths.iter()).enumerate() {
+        for blk in 0..blocks {
+            let stride = if stage > 0 && blk == 0 { 2 } else { 1 };
+            // First block of each stage projects the shortcut: stage 0
+            // changes channels (bottleneck) and later stages also stride.
+            let downsample = blk == 0 && (stage > 0 || bottlenecks);
+            let bname = format!("layer{}.{blk}", stage + 1);
+            x = if bottlenecks {
+                bottleneck(&mut b, &bname, w, stride, downsample, x)
+            } else {
+                basic_block(&mut b, &bname, w, stride, downsample, x)
+            };
+        }
+    }
+    x = b.node("gap", NodeKind::GlobalAvgPool, [x]).unwrap();
+    x = b.node("flatten", NodeKind::Flatten, [x]).unwrap();
+    x = b.fc("fc", 1000, x);
+    b.finish(x).expect("ResNet builds")
+}
+
+/// Builds ResNet18 (BasicBlocks, `[2, 2, 2, 2]`).
+#[must_use]
+pub fn resnet18(batch: usize) -> ComputationGraph {
+    resnet("ResNet18", batch, [2, 2, 2, 2], false)
+}
+
+/// Builds ResNet50 (Bottlenecks, `[3, 4, 6, 3]`).
+#[must_use]
+pub fn resnet50(batch: usize) -> ComputationGraph {
+    resnet("ResNet50", batch, [3, 4, 6, 3], true)
+}
+
+/// Builds ResNet101 (Bottlenecks, `[3, 4, 23, 3]`).
+#[must_use]
+pub fn resnet101(batch: usize) -> ComputationGraph {
+    resnet("ResNet101", batch, [3, 4, 23, 3], true)
+}
+
+/// Builds ResNet152 (Bottlenecks, `[3, 8, 36, 3]`).
+#[must_use]
+pub fn resnet152(batch: usize) -> ComputationGraph {
+    resnet("ResNet152", batch, [3, 8, 36, 3], true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lp_graph::BlockAnalysis;
+
+    #[test]
+    fn stage_output_shapes() {
+        let g = resnet50(1);
+        let last = |prefix: &str| {
+            g.nodes()
+                .iter().rfind(|n| n.name.starts_with(prefix) && n.name.ends_with(".relu"))
+                .unwrap()
+                .output
+                .shape()
+                .clone()
+        };
+        assert_eq!(last("layer1").dims(), &[1, 256, 56, 56]);
+        assert_eq!(last("layer2").dims(), &[1, 512, 28, 28]);
+        assert_eq!(last("layer3").dims(), &[1, 1024, 14, 14]);
+        assert_eq!(last("layer4").dims(), &[1, 2048, 7, 7]);
+    }
+
+    #[test]
+    fn parameter_counts_match_torchvision() {
+        // (model, params in millions). Ours lack the small BN affine pairs'
+        // duplicates etc., so allow 3%.
+        let cases: [(&str, ComputationGraph, f64); 4] = [
+            ("resnet18", resnet18(1), 11.7e6),
+            ("resnet50", resnet50(1), 25.6e6),
+            ("resnet101", resnet101(1), 44.5e6),
+            ("resnet152", resnet152(1), 60.2e6),
+        ];
+        for (name, g, expected) in cases {
+            let params = (g.total_param_bytes() / 4) as f64;
+            let rel = (params - expected).abs() / expected;
+            assert!(rel < 0.03, "{name}: {params} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn every_residual_is_a_block() {
+        let g = resnet18(1);
+        let a = BlockAnalysis::of(&g);
+        // 8 residual blocks -> 8 branch regions.
+        assert_eq!(a.blocks.len(), 8);
+        assert!(a.inside_cuts_dominated());
+    }
+
+    #[test]
+    fn depth_ordering() {
+        assert!(resnet18(1).len() < resnet50(1).len());
+        assert!(resnet50(1).len() < resnet101(1).len());
+        assert!(resnet101(1).len() < resnet152(1).len());
+    }
+}

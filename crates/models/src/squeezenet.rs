@@ -1,0 +1,128 @@
+//! SqueezeNet v1.0 (Iandola et al., 2016), 227x227 input as in the paper
+//! (§V-A fixes SqueezeNet's input at `1x3x227x227`).
+
+use crate::common::BuilderExt;
+use lp_graph::{ComputationGraph, ConvAttrs, GraphBuilder, NodeKind, PoolAttrs, ValueId};
+use lp_tensor::{Shape, TensorDesc};
+
+/// One fire module: squeeze 1x1 -> expand 1x1 + expand 3x3 -> concat.
+///
+/// 10 computation nodes (3 conv+bias+relu triples and a Concat). The squeeze
+/// output is the narrow waist that makes mid-network partition points cheap
+/// — the `p = 39`-style decisions of Figure 6/9.
+fn fire(
+    b: &mut GraphBuilder,
+    name: &str,
+    squeeze: usize,
+    expand: usize,
+    x: ValueId,
+) -> ValueId {
+    let s = b.conv_bias_relu(
+        &format!("{name}.squeeze"),
+        ConvAttrs::new(squeeze, 1, 1, 0),
+        x,
+    );
+    let e1 = b.conv_bias_relu(
+        &format!("{name}.expand1x1"),
+        ConvAttrs::new(expand, 1, 1, 0),
+        s,
+    );
+    let e3 = b.conv_bias_relu(&format!("{name}.expand3x3"), ConvAttrs::same(expand, 3), s);
+    b.node(format!("{name}.concat"), NodeKind::Concat, [e1, e3])
+        .unwrap()
+}
+
+/// Builds SqueezeNet v1.0 for the given batch size
+/// (input `batch x 3 x 227 x 227`).
+#[must_use]
+pub fn squeezenet(batch: usize) -> ComputationGraph {
+    let mut b = GraphBuilder::new(
+        "SqueezeNet",
+        TensorDesc::f32(Shape::nchw(batch, 3, 227, 227)),
+    );
+    let x = b.input();
+    let x = b.conv_bias_relu("conv1", ConvAttrs::new(96, 7, 2, 0), x); // L1..L3
+    let x = b
+        .node(
+            "pool1",
+            NodeKind::Pool(PoolAttrs::max(3, 2).with_ceil()),
+            [x],
+        )
+        .unwrap(); // L4
+    let x = fire(&mut b, "fire2", 16, 64, x); // L5..L14
+    let x = fire(&mut b, "fire3", 16, 64, x); // L15..L24
+    let x = fire(&mut b, "fire4", 32, 128, x); // L25..L34
+    let x = b
+        .node(
+            "pool4",
+            NodeKind::Pool(PoolAttrs::max(3, 2).with_ceil()),
+            [x],
+        )
+        .unwrap(); // L35
+    let x = fire(&mut b, "fire5", 32, 128, x); // L36..L45
+    let x = fire(&mut b, "fire6", 48, 192, x); // L46..L55
+    let x = fire(&mut b, "fire7", 48, 192, x); // L56..L65
+    let x = fire(&mut b, "fire8", 64, 256, x); // L66..L75
+    let x = b
+        .node(
+            "pool8",
+            NodeKind::Pool(PoolAttrs::max(3, 2).with_ceil()),
+            [x],
+        )
+        .unwrap(); // L76
+    let x = fire(&mut b, "fire9", 64, 256, x); // L77..L86
+    let x = b.conv_bias_relu("conv10", ConvAttrs::new(1000, 1, 1, 0), x); // L87..L89
+    let x = b.node("gap", NodeKind::GlobalAvgPool, [x]).unwrap(); // L90
+    let x = b.node("flatten", NodeKind::Flatten, [x]).unwrap(); // L91
+    b.finish(x).expect("SqueezeNet builds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lp_graph::cut::transmission_series;
+    use lp_graph::BlockAnalysis;
+
+    #[test]
+    fn node_count() {
+        // 3 + 1 + 8*10 + 3 pools' remainder... = 91.
+        assert_eq!(squeezenet(1).len(), 91);
+    }
+
+    #[test]
+    fn fire_waists_are_available_points() {
+        let g = squeezenet(1);
+        let s = transmission_series(&g);
+        let input = s[0];
+        // Squeeze-ReLU of fire2 sits at L7: 16x55x55 = 193 KB < 618 KB input.
+        assert_eq!(g.nodes()[6].name, "fire2.squeeze.relu");
+        assert!(s[7] < input);
+        // fire5's squeeze waist (L38) is the mid-network point LoADPart
+        // favours at 8 Mbps (the paper's p=39 analogue).
+        assert_eq!(g.nodes()[37].name, "fire5.squeeze.relu");
+        assert!(s[38] < s[7]);
+    }
+
+    #[test]
+    fn expand_branches_form_blocks() {
+        let g = squeezenet(1);
+        let a = BlockAnalysis::of(&g);
+        // One block per fire module (the parallel expand branches).
+        assert_eq!(a.blocks.len(), 8);
+        assert!(a.inside_cuts_dominated());
+    }
+
+    #[test]
+    fn output_after_gap_is_tiny() {
+        let g = squeezenet(1);
+        assert_eq!(g.output().size_bytes(), 4000);
+    }
+
+    #[test]
+    fn conv1_output_is_111() {
+        let g = squeezenet(1);
+        assert_eq!(g.nodes()[0].output.shape().height(), Some(111));
+        // ceil-mode pool: 111 -> 55.
+        assert_eq!(g.nodes()[3].output.shape().height(), Some(55));
+    }
+}

@@ -1,0 +1,84 @@
+//! VGG16 (Simonyan & Zisserman, 2015), configuration D, 224x224 input.
+
+use crate::common::BuilderExt;
+use lp_graph::{ComputationGraph, ConvAttrs, GraphBuilder, NodeKind, PoolAttrs};
+use lp_tensor::{Shape, TensorDesc};
+
+/// Builds VGG16 for the given batch size (input `batch x 3 x 224 x 224`).
+///
+/// 13 convolutional layers (each `Conv + BiasAdd + ReLU`), 5 max-pools, a
+/// Flatten and 3 fully-connected layers: 53 computation nodes.
+#[must_use]
+pub fn vgg16(batch: usize) -> ComputationGraph {
+    let mut b = GraphBuilder::new("VGG16", TensorDesc::f32(Shape::nchw(batch, 3, 224, 224)));
+    let mut x = b.input();
+    // (block, [channel per conv])
+    let blocks: [(usize, &[usize]); 5] = [
+        (1, &[64, 64]),
+        (2, &[128, 128]),
+        (3, &[256, 256, 256]),
+        (4, &[512, 512, 512]),
+        (5, &[512, 512, 512]),
+    ];
+    for (bi, chans) in blocks {
+        for (ci, &c) in chans.iter().enumerate() {
+            x = b.conv_bias_relu(&format!("conv{bi}_{}", ci + 1), ConvAttrs::same(c, 3), x);
+        }
+        x = b
+            .node(format!("pool{bi}"), NodeKind::Pool(PoolAttrs::max(2, 2)), [x])
+            .unwrap();
+    }
+    x = b.node("flatten", NodeKind::Flatten, [x]).unwrap();
+    x = b.fc("fc1", 4096, x);
+    x = b.relu("fc1.relu", x);
+    x = b.fc("fc2", 4096, x);
+    x = b.relu("fc2.relu", x);
+    x = b.fc("fc3", 1000, x);
+    b.finish(x).expect("VGG16 builds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lp_graph::cut::transmission_series;
+
+    #[test]
+    fn node_count() {
+        // 13 * 3 + 5 + 1 + (2+1) + (2+1) + 2 = 53.
+        assert_eq!(vgg16(1).len(), 53);
+    }
+
+    #[test]
+    fn feature_map_halves_per_block() {
+        let g = vgg16(1);
+        let pool_shapes: Vec<_> = g
+            .nodes()
+            .iter()
+            .filter(|n| n.name.starts_with("pool"))
+            .map(|n| n.output.shape().height().unwrap())
+            .collect();
+        assert_eq!(pool_shapes, vec![112, 56, 28, 14, 7]);
+    }
+
+    #[test]
+    fn early_cuts_are_larger_than_input() {
+        // §V-B: VGG16's earliest "available" point is deep in the network —
+        // everything before pool4 transmits more than the input.
+        let g = vgg16(1);
+        let s = transmission_series(&g);
+        let input = s[0];
+        let first_available = (1..g.len()).find(|&p| s[p] < input).unwrap();
+        let name = &g.nodes()[first_available - 1].name;
+        assert_eq!(name, "pool4", "first available point is after {name}");
+    }
+
+    #[test]
+    fn vgg_has_138m_params() {
+        let g = vgg16(1);
+        let params = g.total_param_bytes() / 4;
+        assert!(
+            (137_000_000..140_000_000).contains(&params),
+            "got {params}"
+        );
+    }
+}

@@ -1,0 +1,147 @@
+//! Xception (Chollet, 2017), 299x299 input.
+//!
+//! Entry/middle/exit flows with depth-wise separable convolutions — the
+//! network that motivates the paper's dedicated `DWConv` prediction model.
+
+use crate::common::BuilderExt;
+use lp_graph::{
+    ComputationGraph, ConvAttrs, DwConvAttrs, GraphBuilder, NodeKind, PoolAttrs, ValueId,
+};
+use lp_tensor::{Shape, TensorDesc};
+
+const DW3: DwConvAttrs = DwConvAttrs {
+    kernel: (3, 3),
+    stride: (1, 1),
+    padding: (1, 1),
+};
+
+/// Entry/exit downsampling block: optional leading ReLU, two separable
+/// convolutions, a strided max-pool, and a strided 1x1 projection shortcut.
+fn down_block(
+    b: &mut GraphBuilder,
+    name: &str,
+    ch: (usize, usize),
+    leading_relu: bool,
+    x: ValueId,
+) -> ValueId {
+    let mut main = x;
+    if leading_relu {
+        main = b.relu(&format!("{name}.relu1"), main);
+    }
+    main = b.sep_conv_bn(&format!("{name}.sep1"), ch.0, DW3, main);
+    main = b.relu(&format!("{name}.relu2"), main);
+    main = b.sep_conv_bn(&format!("{name}.sep2"), ch.1, DW3, main);
+    main = b
+        .node(
+            format!("{name}.pool"),
+            NodeKind::Pool(PoolAttrs::max(3, 2).with_padding(1)),
+            [main],
+        )
+        .unwrap();
+    let skip = b.conv_bn(
+        &format!("{name}.skip"),
+        ConvAttrs {
+            out_channels: ch.1,
+            kernel: (1, 1),
+            stride: (2, 2),
+            padding: (0, 0),
+        },
+        x,
+    );
+    b.node(format!("{name}.add"), NodeKind::Add, [main, skip])
+        .unwrap()
+}
+
+/// Middle-flow block: three ReLU+separable-conv units with an identity skip.
+fn middle_block(b: &mut GraphBuilder, name: &str, x: ValueId) -> ValueId {
+    let mut main = x;
+    for i in 1..=3 {
+        main = b.relu(&format!("{name}.relu{i}"), main);
+        main = b.sep_conv_bn(&format!("{name}.sep{i}"), 728, DW3, main);
+    }
+    b.node(format!("{name}.add"), NodeKind::Add, [main, x])
+        .unwrap()
+}
+
+/// Builds Xception for the given batch size (input `batch x 3 x 299 x 299`).
+#[must_use]
+pub fn xception(batch: usize) -> ComputationGraph {
+    let mut b = GraphBuilder::new(
+        "Xception",
+        TensorDesc::f32(Shape::nchw(batch, 3, 299, 299)),
+    );
+    let x = b.input();
+    // Entry flow.
+    let x = b.conv_bn_relu("conv1", ConvAttrs::new(32, 3, 2, 0), x); // 299 -> 149
+    let x = b.conv_bn_relu("conv2", ConvAttrs::new(64, 3, 1, 0), x); // -> 147
+    let x = down_block(&mut b, "block1", (128, 128), false, x); // -> 74
+    let x = down_block(&mut b, "block2", (256, 256), true, x); // -> 37
+    let x = down_block(&mut b, "block3", (728, 728), true, x); // -> 19
+    // Middle flow.
+    let mut x = x;
+    for i in 4..=11 {
+        x = middle_block(&mut b, &format!("block{i}"), x);
+    }
+    // Exit flow.
+    let x = down_block(&mut b, "block12", (728, 1024), true, x); // -> 10
+    let x = b.sep_conv_bn("sep3", 1536, DW3, x);
+    let x = b.relu("sep3.relu", x);
+    let x = b.sep_conv_bn("sep4", 2048, DW3, x);
+    let x = b.relu("sep4.relu", x);
+    let x = b.node("gap", NodeKind::GlobalAvgPool, [x]).unwrap();
+    let x = b.node("flatten", NodeKind::Flatten, [x]).unwrap();
+    let x = b.fc("fc", 1000, x);
+    b.finish(x).expect("Xception builds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lp_graph::{BlockAnalysis, ModelKey};
+
+    #[test]
+    fn spatial_pyramid() {
+        let g = xception(1);
+        let shape_of = |name: &str| {
+            g.nodes()
+                .iter()
+                .find(|n| n.name == name)
+                .unwrap_or_else(|| panic!("{name}"))
+                .output
+                .shape()
+                .clone()
+        };
+        assert_eq!(shape_of("conv1.relu").dims(), &[1, 32, 149, 149]);
+        assert_eq!(shape_of("conv2.relu").dims(), &[1, 64, 147, 147]);
+        assert_eq!(shape_of("block1.add").dims(), &[1, 128, 74, 74]);
+        assert_eq!(shape_of("block3.add").dims(), &[1, 728, 19, 19]);
+        assert_eq!(shape_of("block12.add").dims(), &[1, 1024, 10, 10]);
+    }
+
+    #[test]
+    fn has_dwconv_nodes() {
+        let g = xception(1);
+        let dw = g
+            .nodes()
+            .iter()
+            .filter(|n| n.kind.model_key() == Some(ModelKey::DwConv))
+            .count();
+        // 2 per down block (x4), 3 per middle block (x8), 2 exit = 34.
+        assert_eq!(dw, 34);
+    }
+
+    #[test]
+    fn params_are_about_22m() {
+        let g = xception(1);
+        let params = (g.total_param_bytes() / 4) as f64;
+        let rel = (params - 22.9e6).abs() / 22.9e6;
+        assert!(rel < 0.05, "got {params}");
+    }
+
+    #[test]
+    fn twelve_blocks_detected() {
+        let a = BlockAnalysis::of(&xception(1));
+        assert_eq!(a.blocks.len(), 12);
+        assert!(a.inside_cuts_dominated());
+    }
+}

@@ -1,0 +1,216 @@
+//! The runtime bandwidth profiler (§IV).
+//!
+//! The device-side profiler thread measures the available upload bandwidth
+//! in two ways: periodically sending **probe packets** whose size adapts to
+//! the history in a sliding window, and **passively** timing the real
+//! offloading uploads of the main thread. Both feed the same window; the
+//! estimate is the window mean.
+
+use crate::link::Link;
+use lp_sim::{SimDuration, SimTime};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Sliding-window bandwidth estimator (window size is user-defined, §IV).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BandwidthEstimator {
+    window: usize,
+    samples: VecDeque<(SimTime, f64)>,
+}
+
+impl BandwidthEstimator {
+    /// Creates an estimator keeping the most recent `window` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    #[must_use]
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "window must be positive");
+        Self {
+            window,
+            samples: VecDeque::new(),
+        }
+    }
+
+    /// Records one bandwidth sample (Mbps) observed at `t`.
+    pub fn record(&mut self, t: SimTime, mbps: f64) {
+        if self.samples.len() == self.window {
+            self.samples.pop_front();
+        }
+        self.samples.push_back((t, mbps));
+    }
+
+    /// The current estimate (window mean), or `None` before any sample.
+    #[must_use]
+    pub fn estimate_mbps(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        Some(self.samples.iter().map(|&(_, m)| m).sum::<f64>() / self.samples.len() as f64)
+    }
+
+    /// Number of samples currently held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples have been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+}
+
+/// Active probing: sends a probe packet over the link and records the
+/// measured bandwidth. The probe size adapts so the probe costs roughly
+/// `target_probe_time` at the currently estimated bandwidth (§IV: "the
+/// size of the probe package is adjusted according to the historical data
+/// in the sliding window").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProbeProfiler {
+    /// The estimator fed by probes and passive measurements.
+    pub estimator: BandwidthEstimator,
+    /// Desired duration of one probe transfer.
+    pub target_probe_time: SimDuration,
+    /// Probe size bounds in bytes.
+    pub min_probe_bytes: u64,
+    /// Upper probe size bound in bytes.
+    pub max_probe_bytes: u64,
+}
+
+impl ProbeProfiler {
+    /// Creates a profiler with the given sliding-window size.
+    #[must_use]
+    pub fn new(window: usize) -> Self {
+        Self {
+            estimator: BandwidthEstimator::new(window),
+            target_probe_time: SimDuration::from_millis(50),
+            min_probe_bytes: 8 * 1024,
+            max_probe_bytes: 1024 * 1024,
+        }
+    }
+
+    /// Size of the next probe packet given the current estimate.
+    #[must_use]
+    pub fn next_probe_bytes(&self) -> u64 {
+        match self.estimator.estimate_mbps() {
+            Some(mbps) => {
+                let bytes =
+                    crate::mbps_to_bytes_per_sec(mbps) * self.target_probe_time.as_secs_f64();
+                (bytes as u64).clamp(self.min_probe_bytes, self.max_probe_bytes)
+            }
+            None => self.min_probe_bytes,
+        }
+    }
+
+    /// Sends one probe at `now`, records the measured bandwidth, and
+    /// returns `(measured_mbps, probe_end_time)`.
+    pub fn probe<R: Rng + ?Sized>(
+        &mut self,
+        link: &Link,
+        now: SimTime,
+        rng: &mut R,
+    ) -> (f64, SimTime) {
+        let bytes = self.next_probe_bytes();
+        let end = link.upload_end(bytes, now, rng);
+        let mbps = self.measure(bytes, now, end, link.latency);
+        (mbps, end)
+    }
+
+    /// Passively records a real upload of `bytes` that ran from `start` to
+    /// `end` (§IV: "the upload bandwidth is also tested passively").
+    /// Returns the measured Mbps.
+    pub fn record_passive(&mut self, bytes: u64, start: SimTime, end: SimTime, latency: SimDuration) -> f64 {
+        self.measure(bytes, start, end, latency)
+    }
+
+    fn measure(&mut self, bytes: u64, start: SimTime, end: SimTime, latency: SimDuration) -> f64 {
+        let dur = end.since(start).saturating_sub(latency);
+        let secs = dur.as_secs_f64().max(1e-9);
+        let mbps = crate::bytes_per_sec_to_mbps(bytes as f64 / secs);
+        self.estimator.record(end, mbps);
+        mbps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::BandwidthTrace;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn window_evicts_oldest() {
+        let mut e = BandwidthEstimator::new(3);
+        for (i, m) in [1.0, 2.0, 3.0, 10.0].iter().enumerate() {
+            e.record(SimTime::from_nanos(i as u64), *m);
+        }
+        assert_eq!(e.len(), 3);
+        assert!((e.estimate_mbps().unwrap() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_estimator_returns_none() {
+        assert_eq!(BandwidthEstimator::new(4).estimate_mbps(), None);
+        assert!(BandwidthEstimator::new(4).is_empty());
+    }
+
+    #[test]
+    fn probing_converges_to_true_bandwidth() {
+        let link = Link::symmetric(BandwidthTrace::constant(8.0)).with_jitter(0.02);
+        let mut p = ProbeProfiler::new(8);
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut now = SimTime::ZERO;
+        for _ in 0..20 {
+            let (_, end) = p.probe(&link, now, &mut rng);
+            now = end + SimDuration::from_millis(100);
+        }
+        let est = p.estimator.estimate_mbps().unwrap();
+        assert!((est - 8.0).abs() < 0.8, "estimate {est}");
+    }
+
+    #[test]
+    fn probe_size_adapts_to_bandwidth() {
+        let mut p = ProbeProfiler::new(4);
+        assert_eq!(p.next_probe_bytes(), p.min_probe_bytes);
+        p.estimator.record(SimTime::ZERO, 64.0);
+        let big = p.next_probe_bytes();
+        let mut p2 = ProbeProfiler::new(4);
+        p2.estimator.record(SimTime::ZERO, 1.0);
+        let small = p2.next_probe_bytes();
+        assert!(big > small, "{big} vs {small}");
+        assert!(big <= p.max_probe_bytes);
+        assert!(small >= p2.min_probe_bytes);
+    }
+
+    #[test]
+    fn passive_measurement_matches_probe() {
+        let link = Link::symmetric(BandwidthTrace::constant(4.0)).with_jitter(0.0);
+        let mut p = ProbeProfiler::new(4);
+        let start = SimTime::ZERO;
+        let bytes = 250_000;
+        let end = link.expected_upload_end(bytes, start);
+        let mbps = p.record_passive(bytes, start, end, link.latency);
+        assert!((mbps - 4.0).abs() < 0.05, "{mbps}");
+    }
+
+    #[test]
+    fn tracks_bandwidth_change() {
+        // 8 Mbps then 1 Mbps: the window mean must move towards 1.
+        let link = Link::symmetric(BandwidthTrace::steps(&[(0.0, 8.0), (5.0, 1.0)]))
+            .with_jitter(0.0);
+        let mut p = ProbeProfiler::new(4);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut now = SimTime::ZERO;
+        for _ in 0..30 {
+            let (_, end) = p.probe(&link, now, &mut rng);
+            now = end + SimDuration::from_millis(500);
+        }
+        let est = p.estimator.estimate_mbps().unwrap();
+        assert!(est < 1.5, "estimate {est} should have tracked down to ~1");
+    }
+}

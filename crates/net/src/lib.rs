@@ -1,0 +1,49 @@
+//! Network simulation and bandwidth estimation.
+//!
+//! The paper's testbed connects the device and the edge server over WiFi
+//! whose available upload bandwidth varies between 1 and 64 Mbps (§V-B).
+//! This crate provides:
+//!
+//! * [`trace::BandwidthTrace`] — piecewise-constant available bandwidth
+//!   over simulated time (the Figure 6 sweep is literally a trace);
+//! * [`link::Link`] — byte-accurate transfer timing that integrates the
+//!   trace, plus a base propagation latency and multiplicative jitter;
+//! * [`estimator`] — the runtime profiler's view: a sliding window of
+//!   bandwidth samples fed by periodic probe packets (with adaptive size)
+//!   and by passive measurements of real offloading transfers (§IV).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod estimator;
+pub mod link;
+pub mod trace;
+
+pub use estimator::{BandwidthEstimator, ProbeProfiler};
+pub use link::Link;
+pub use trace::BandwidthTrace;
+
+/// Converts megabits per second to bytes per second.
+#[must_use]
+pub fn mbps_to_bytes_per_sec(mbps: f64) -> f64 {
+    mbps * 1e6 / 8.0
+}
+
+/// Converts bytes per second to megabits per second.
+#[must_use]
+pub fn bytes_per_sec_to_mbps(bps: f64) -> f64 {
+    bps * 8.0 / 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_conversions_roundtrip() {
+        assert_eq!(mbps_to_bytes_per_sec(8.0), 1e6);
+        assert_eq!(bytes_per_sec_to_mbps(1e6), 8.0);
+        let x = 13.7;
+        assert!((bytes_per_sec_to_mbps(mbps_to_bytes_per_sec(x)) - x).abs() < 1e-12);
+    }
+}

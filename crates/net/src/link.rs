@@ -1,0 +1,128 @@
+//! The device <-> edge-server link.
+
+use crate::trace::BandwidthTrace;
+use lp_sim::{lognormal_factor, SimDuration, SimTime};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A bidirectional link with separate upload/download bandwidth traces, a
+/// fixed one-way propagation latency and multiplicative transfer jitter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Link {
+    /// Available upload (device -> server) bandwidth over time.
+    pub upload: BandwidthTrace,
+    /// Available download (server -> device) bandwidth over time.
+    pub download: BandwidthTrace,
+    /// One-way propagation latency added to every transfer.
+    pub latency: SimDuration,
+    /// Log-space sigma of the jitter multiplier on transfer durations.
+    pub jitter_sigma: f64,
+}
+
+impl Link {
+    /// A symmetric link (paper §II fixes 8 Mbps for both directions).
+    #[must_use]
+    pub fn symmetric(trace: BandwidthTrace) -> Self {
+        Self {
+            upload: trace.clone(),
+            download: trace,
+            latency: SimDuration::from_millis(2),
+            jitter_sigma: 0.05,
+        }
+    }
+
+    /// Overrides the propagation latency.
+    #[must_use]
+    pub fn with_latency(mut self, latency: SimDuration) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Overrides the jitter sigma (0 disables jitter).
+    #[must_use]
+    pub fn with_jitter(mut self, sigma: f64) -> Self {
+        self.jitter_sigma = sigma;
+        self
+    }
+
+    /// Expected (jitter-free) upload completion time for `bytes` starting
+    /// at `start`.
+    #[must_use]
+    pub fn expected_upload_end(&self, bytes: u64, start: SimTime) -> SimTime {
+        start + self.latency + self.upload.transfer_time(bytes, start)
+    }
+
+    /// Expected (jitter-free) download completion time.
+    #[must_use]
+    pub fn expected_download_end(&self, bytes: u64, start: SimTime) -> SimTime {
+        start + self.latency + self.download.transfer_time(bytes, start)
+    }
+
+    /// One jittered upload; returns the completion time.
+    #[must_use]
+    pub fn upload_end<R: Rng + ?Sized>(&self, bytes: u64, start: SimTime, rng: &mut R) -> SimTime {
+        let base = self.upload.transfer_time(bytes, start);
+        start + self.latency + base.scale(lognormal_factor(rng, self.jitter_sigma))
+    }
+
+    /// One jittered download; returns the completion time.
+    #[must_use]
+    pub fn download_end<R: Rng + ?Sized>(
+        &self,
+        bytes: u64,
+        start: SimTime,
+        rng: &mut R,
+    ) -> SimTime {
+        let base = self.download.transfer_time(bytes, start);
+        start + self.latency + base.scale(lognormal_factor(rng, self.jitter_sigma))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn expected_upload_includes_latency() {
+        let link = Link::symmetric(BandwidthTrace::constant(8.0))
+            .with_latency(SimDuration::from_millis(10));
+        let end = link.expected_upload_end(1_000_000, SimTime::ZERO);
+        assert!((end.as_secs_f64() - 1.010).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jitter_perturbs_but_tracks_expectation() {
+        let link = Link::symmetric(BandwidthTrace::constant(8.0)).with_jitter(0.1);
+        let mut rng = StdRng::seed_from_u64(5);
+        let expected = link.expected_upload_end(1_000_000, SimTime::ZERO).as_secs_f64();
+        let mean: f64 = (0..200)
+            .map(|_| link.upload_end(1_000_000, SimTime::ZERO, &mut rng).as_secs_f64())
+            .sum::<f64>()
+            / 200.0;
+        assert!((mean / expected - 1.0).abs() < 0.05, "{mean} vs {expected}");
+    }
+
+    #[test]
+    fn zero_jitter_is_deterministic() {
+        let link = Link::symmetric(BandwidthTrace::constant(4.0)).with_jitter(0.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let a = link.upload_end(250_000, SimTime::ZERO, &mut rng);
+        let b = link.expected_upload_end(250_000, SimTime::ZERO);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn asymmetric_traces() {
+        let link = Link {
+            upload: BandwidthTrace::constant(1.0),
+            download: BandwidthTrace::constant(64.0),
+            latency: SimDuration::ZERO,
+            jitter_sigma: 0.0,
+        };
+        let up = link.expected_upload_end(125_000, SimTime::ZERO);
+        let down = link.expected_download_end(125_000, SimTime::ZERO);
+        assert!(up.as_secs_f64() / down.as_secs_f64() > 50.0);
+    }
+}

@@ -1,0 +1,192 @@
+//! Piecewise-constant bandwidth traces.
+
+use lp_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Available bandwidth (in Mbps) as a piecewise-constant function of
+/// simulated time.
+///
+/// # Examples
+///
+/// ```
+/// use lp_net::BandwidthTrace;
+/// use lp_sim::{SimTime, SimDuration};
+///
+/// // 8 Mbps for 10 s, then 1 Mbps.
+/// let t = BandwidthTrace::steps(&[(0.0, 8.0), (10.0, 1.0)]);
+/// assert_eq!(t.mbps_at(SimTime::ZERO + SimDuration::from_secs(5)), 8.0);
+/// assert_eq!(t.mbps_at(SimTime::ZERO + SimDuration::from_secs(15)), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BandwidthTrace {
+    /// `(start, mbps)` segments sorted by start time; the first segment
+    /// must start at time zero.
+    segments: Vec<(SimTime, f64)>,
+}
+
+impl BandwidthTrace {
+    /// A constant-bandwidth trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mbps` is not positive.
+    #[must_use]
+    pub fn constant(mbps: f64) -> Self {
+        assert!(mbps > 0.0, "bandwidth must be positive");
+        Self {
+            segments: vec![(SimTime::ZERO, mbps)],
+        }
+    }
+
+    /// Builds a trace from `(start_seconds, mbps)` steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the steps are empty, unsorted, do not start at zero, or
+    /// contain non-positive bandwidth.
+    #[must_use]
+    pub fn steps(steps: &[(f64, f64)]) -> Self {
+        assert!(!steps.is_empty(), "trace needs at least one segment");
+        assert!(steps[0].0 == 0.0, "first segment must start at t=0");
+        let mut segments = Vec::with_capacity(steps.len());
+        let mut prev = -1.0;
+        for &(start, mbps) in steps {
+            assert!(start > prev, "segment starts must be increasing");
+            assert!(mbps > 0.0, "bandwidth must be positive");
+            prev = start;
+            segments.push((SimTime::ZERO + SimDuration::from_secs_f64(start), mbps));
+        }
+        Self { segments }
+    }
+
+    /// The paper's Figure 6 sweep: 8 Mbps decreasing to 1, then increasing
+    /// to 64, holding each level for `hold_secs`.
+    #[must_use]
+    pub fn figure6_sweep(hold_secs: f64) -> Self {
+        let levels = [8.0, 4.0, 2.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0];
+        let steps: Vec<(f64, f64)> = levels
+            .iter()
+            .enumerate()
+            .map(|(i, &m)| (i as f64 * hold_secs, m))
+            .collect();
+        Self::steps(&steps)
+    }
+
+    /// Bandwidth in Mbps at an instant.
+    #[must_use]
+    pub fn mbps_at(&self, t: SimTime) -> f64 {
+        let mut current = self.segments[0].1;
+        for &(start, mbps) in &self.segments {
+            if start <= t {
+                current = mbps;
+            } else {
+                break;
+            }
+        }
+        current
+    }
+
+    /// Bandwidth in bytes/s at an instant.
+    #[must_use]
+    pub fn bytes_per_sec_at(&self, t: SimTime) -> f64 {
+        crate::mbps_to_bytes_per_sec(self.mbps_at(t))
+    }
+
+    /// Time to move `bytes` starting at `start`, integrating the trace
+    /// across segment boundaries.
+    #[must_use]
+    pub fn transfer_time(&self, bytes: u64, start: SimTime) -> SimDuration {
+        if bytes == 0 {
+            return SimDuration::ZERO;
+        }
+        let mut remaining = bytes as f64;
+        let mut t = start;
+        loop {
+            let rate = self.bytes_per_sec_at(t);
+            // Find the end of the current segment.
+            let seg_end = self
+                .segments
+                .iter()
+                .map(|&(s, _)| s)
+                .find(|&s| s > t);
+            let need = SimDuration::from_secs_f64(remaining / rate);
+            match seg_end {
+                Some(end) if t + need > end => {
+                    let span = end.since(t);
+                    remaining -= rate * span.as_secs_f64();
+                    t = end;
+                }
+                _ => {
+                    t += need;
+                    return t.since(start);
+                }
+            }
+        }
+    }
+
+    /// The segment boundaries (useful for aligning experiment phases).
+    #[must_use]
+    pub fn boundaries(&self) -> Vec<SimTime> {
+        self.segments.iter().map(|&(s, _)| s).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: f64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs_f64(s)
+    }
+
+    #[test]
+    fn constant_trace_simple_division() {
+        let t = BandwidthTrace::constant(8.0); // 1 MB/s
+        let d = t.transfer_time(500_000, SimTime::ZERO);
+        assert!((d.as_secs_f64() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transfer_across_boundary_integrates() {
+        // 1 MB/s for 1 s, then 0.125 MB/s (1 Mbps).
+        let t = BandwidthTrace::steps(&[(0.0, 8.0), (1.0, 1.0)]);
+        // 1.5 MB starting at t=0: 1 MB in the first second, remaining
+        // 0.5 MB at 0.125 MB/s = 4 s -> total 5 s.
+        let d = t.transfer_time(1_500_000, SimTime::ZERO);
+        assert!((d.as_secs_f64() - 5.0).abs() < 1e-6, "{d}");
+    }
+
+    #[test]
+    fn transfer_entirely_in_later_segment() {
+        let t = BandwidthTrace::steps(&[(0.0, 8.0), (1.0, 1.0)]);
+        let d = t.transfer_time(125_000, secs(2.0));
+        assert!((d.as_secs_f64() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_bytes_is_instant() {
+        let t = BandwidthTrace::constant(1.0);
+        assert_eq!(t.transfer_time(0, SimTime::ZERO), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn figure6_sweep_levels() {
+        let t = BandwidthTrace::figure6_sweep(10.0);
+        assert_eq!(t.mbps_at(secs(5.0)), 8.0);
+        assert_eq!(t.mbps_at(secs(35.0)), 1.0);
+        assert_eq!(t.mbps_at(secs(95.0)), 64.0);
+        assert_eq!(t.boundaries().len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "must start at t=0")]
+    fn late_start_panics() {
+        let _ = BandwidthTrace::steps(&[(1.0, 8.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "increasing")]
+    fn unsorted_panics() {
+        let _ = BandwidthTrace::steps(&[(0.0, 8.0), (5.0, 4.0), (3.0, 2.0)]);
+    }
+}

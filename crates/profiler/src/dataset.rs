@@ -1,0 +1,194 @@
+//! Profiling datasets: sampled configurations measured on a platform model.
+
+use crate::sampling::{infer_sampled_output, sample_configs};
+use lp_graph::features::{features_for, Platform};
+use lp_graph::{ModelKey, NodeKind};
+use lp_hardware::{DeviceModel, GpuModel};
+use lp_linalg::Matrix;
+use lp_sim::SimDuration;
+use lp_tensor::TensorDesc;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One sampled layer configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeConfig {
+    /// The operation.
+    pub kind: NodeKind,
+    /// Its input tensor.
+    pub input: TensorDesc,
+    /// Its inferred output tensor.
+    pub output: TensorDesc,
+}
+
+/// A per-node-kind profiling dataset: Table II features and measured times.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    /// The node kind this dataset profiles.
+    pub key: ModelKey,
+    /// The platform the measurements came from.
+    pub platform: Platform,
+    /// Sampled configurations (parallel to the matrix rows).
+    pub configs: Vec<NodeConfig>,
+    /// Feature matrix (one row per configuration).
+    pub features: Matrix,
+    /// Measured execution times in microseconds.
+    pub times_us: Vec<f64>,
+}
+
+/// A source of per-node execution-time measurements.
+pub trait LatencySource {
+    /// Which platform this source measures.
+    fn platform(&self) -> Platform;
+    /// One (noisy) measurement.
+    fn measure(&mut self, kind: &NodeKind, input: &TensorDesc, output: &TensorDesc)
+        -> SimDuration;
+}
+
+/// The user-end device as a latency source.
+#[derive(Debug)]
+pub struct DeviceSource {
+    model: DeviceModel,
+    rng: StdRng,
+}
+
+impl DeviceSource {
+    /// Wraps a device model with a seeded measurement RNG.
+    #[must_use]
+    pub fn new(model: DeviceModel, seed: u64) -> Self {
+        Self {
+            model,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl LatencySource for DeviceSource {
+    fn platform(&self) -> Platform {
+        Platform::UserDevice
+    }
+    fn measure(
+        &mut self,
+        kind: &NodeKind,
+        input: &TensorDesc,
+        output: &TensorDesc,
+    ) -> SimDuration {
+        self.model.sample(kind, input, output, &mut self.rng)
+    }
+}
+
+/// The idle edge GPU as a latency source (profiling runs at 0% background
+/// utilization, §III-C).
+#[derive(Debug)]
+pub struct EdgeSource {
+    model: GpuModel,
+    rng: StdRng,
+}
+
+impl EdgeSource {
+    /// Wraps a GPU kernel model with a seeded measurement RNG.
+    #[must_use]
+    pub fn new(model: GpuModel, seed: u64) -> Self {
+        Self {
+            model,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl LatencySource for EdgeSource {
+    fn platform(&self) -> Platform {
+        Platform::EdgeServer
+    }
+    fn measure(
+        &mut self,
+        kind: &NodeKind,
+        input: &TensorDesc,
+        output: &TensorDesc,
+    ) -> SimDuration {
+        self.model.sample(kind, input, output, &mut self.rng)
+    }
+}
+
+/// Builds a profiling dataset of `n` samples for one node kind.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn build_dataset<S: LatencySource>(
+    key: ModelKey,
+    n: usize,
+    source: &mut S,
+    sample_seed: u64,
+) -> Dataset {
+    assert!(n > 0, "need at least one sample");
+    let mut rng = StdRng::seed_from_u64(sample_seed);
+    let platform = source.platform();
+    let mut configs = Vec::with_capacity(n);
+    let mut rows = Vec::with_capacity(n);
+    let mut times_us = Vec::with_capacity(n);
+    for (kind, input) in sample_configs(key, n, &mut rng) {
+        let output = infer_sampled_output(&kind, &input);
+        let fv = features_for(&kind, &input, &output, platform);
+        let t = source.measure(&kind, &input, &output);
+        rows.push(fv.values);
+        times_us.push(t.as_micros_f64());
+        configs.push(NodeConfig {
+            kind,
+            input,
+            output,
+        });
+    }
+    Dataset {
+        key,
+        platform,
+        configs,
+        features: Matrix::from_rows(&rows),
+        times_us,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_shapes_are_consistent() {
+        let mut src = EdgeSource::new(GpuModel::default(), 1);
+        let ds = build_dataset(ModelKey::Conv, 64, &mut src, 2);
+        assert_eq!(ds.features.rows(), 64);
+        assert_eq!(ds.features.cols(), 4); // Conv has 4 features
+        assert_eq!(ds.times_us.len(), 64);
+        assert_eq!(ds.configs.len(), 64);
+        assert!(ds.times_us.iter().all(|&t| t > 0.0));
+    }
+
+    #[test]
+    fn device_times_exceed_edge_times() {
+        let mut dev = DeviceSource::new(DeviceModel::default(), 3);
+        let mut edge = EdgeSource::new(GpuModel::default(), 3);
+        let d = build_dataset(ModelKey::Conv, 100, &mut dev, 5);
+        let e = build_dataset(ModelKey::Conv, 100, &mut edge, 5);
+        let dm: f64 = d.times_us.iter().sum::<f64>() / 100.0;
+        let em: f64 = e.times_us.iter().sum::<f64>() / 100.0;
+        assert!(dm / em > 30.0, "device {dm:.1}us vs edge {em:.1}us");
+    }
+
+    #[test]
+    fn same_seeds_reproduce_dataset() {
+        let a = build_dataset(
+            ModelKey::MatMul,
+            16,
+            &mut EdgeSource::new(GpuModel::default(), 7),
+            9,
+        );
+        let b = build_dataset(
+            ModelKey::MatMul,
+            16,
+            &mut EdgeSource::new(GpuModel::default(), 7),
+            9,
+        );
+        assert_eq!(a.times_us, b.times_us);
+    }
+}

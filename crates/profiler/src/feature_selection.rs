@@ -1,0 +1,136 @@
+//! The XGBoost-style feature-selection step (§III-B a).
+//!
+//! For convolution the paper lists candidate features "related to the
+//! computation and memory access characteristics", scores them with
+//! XGBoost, and keeps the high-importance ones (Table II). This module
+//! reproduces that workflow with [`lp_linalg::Gbdt`]: generate a conv
+//! profiling dataset, compute an extended candidate-feature set, rank by
+//! split gain.
+
+use crate::dataset::{build_dataset, LatencySource};
+use lp_graph::{flops::node_flops, ModelKey, NodeKind};
+use lp_linalg::{Gbdt, GbdtParams};
+
+/// Names of the candidate features scored for convolution.
+pub const CONV_CANDIDATES: [&str; 8] = [
+    "FLOPs",
+    "s_f",          // single-filter size C_in*K_H*K_W
+    "H_in*s_f",
+    "C_out*s_f",
+    "C_in",
+    "C_out",
+    "H_out*W_out",
+    "input_numel",
+];
+
+/// Computes the candidate feature vector of a conv configuration.
+///
+/// # Panics
+///
+/// Panics if `kind` is not a convolution.
+#[must_use]
+pub fn conv_candidates(
+    kind: &NodeKind,
+    input: &lp_tensor::TensorDesc,
+    output: &lp_tensor::TensorDesc,
+) -> Vec<f64> {
+    let NodeKind::Conv(a) = kind else {
+        panic!("conv_candidates requires a Conv node");
+    };
+    let c_in = input.shape().channels().unwrap_or(1) as f64;
+    let h_in = input.shape().height().unwrap_or(1) as f64;
+    let h_out = output.shape().height().unwrap_or(1) as f64;
+    let w_out = output.shape().width().unwrap_or(1) as f64;
+    let s_f = c_in * (a.kernel.0 * a.kernel.1) as f64;
+    vec![
+        node_flops(kind, input, output) as f64,
+        s_f,
+        h_in * s_f,
+        a.out_channels as f64 * s_f,
+        c_in,
+        a.out_channels as f64,
+        h_out * w_out,
+        input.numel() as f64,
+    ]
+}
+
+/// Result of one feature-selection run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectionReport {
+    /// Candidate names in the order of [`CONV_CANDIDATES`].
+    pub names: Vec<&'static str>,
+    /// Normalised importances, parallel to `names`.
+    pub importance: Vec<f64>,
+    /// Candidate indices ranked by descending importance.
+    pub ranking: Vec<usize>,
+}
+
+impl SelectionReport {
+    /// The top-`k` feature names.
+    #[must_use]
+    pub fn top(&self, k: usize) -> Vec<&'static str> {
+        self.ranking.iter().take(k).map(|&i| self.names[i]).collect()
+    }
+}
+
+/// Runs the conv feature-selection study on a platform.
+#[must_use]
+pub fn select_conv_features<S: LatencySource>(
+    source: &mut S,
+    samples: usize,
+    seed: u64,
+) -> SelectionReport {
+    let ds = build_dataset(ModelKey::Conv, samples, source, seed);
+    let x: Vec<Vec<f64>> = ds
+        .configs
+        .iter()
+        .map(|c| conv_candidates(&c.kind, &c.input, &c.output))
+        .collect();
+    let gbdt = Gbdt::fit(&x, &ds.times_us, GbdtParams::default());
+    SelectionReport {
+        names: CONV_CANDIDATES.to_vec(),
+        importance: gbdt.normalized_importance(),
+        ranking: gbdt.ranked_features(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::EdgeSource;
+    use lp_hardware::GpuModel;
+
+    #[test]
+    fn flops_dominates_conv_importance() {
+        let mut src = EdgeSource::new(GpuModel::default(), 31);
+        let report = select_conv_features(&mut src, 300, 17);
+        // FLOPs must be the single most informative candidate — the reason
+        // every Table II vector leads with it.
+        assert_eq!(report.top(1), vec!["FLOPs"], "{:?}", report.importance);
+        let total: f64 = report.importance.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table2_features_rank_above_raw_channels() {
+        let mut src = EdgeSource::new(GpuModel::default(), 32);
+        let report = select_conv_features(&mut src, 300, 18);
+        let rank_of = |name: &str| {
+            report
+                .ranking
+                .iter()
+                .position(|&i| report.names[i] == name)
+                .unwrap()
+        };
+        // The memory-feature family of Table II (s_f and its products)
+        // carries signal; raw C_in alone explains little once FLOPs is in.
+        assert!(rank_of("FLOPs") < rank_of("C_in"));
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a Conv node")]
+    fn non_conv_candidates_panic() {
+        let input = lp_tensor::TensorDesc::f32(lp_tensor::Shape::nchw(1, 1, 2, 2));
+        let _ = conv_candidates(&NodeKind::BiasAdd, &input, &input);
+    }
+}

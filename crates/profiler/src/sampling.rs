@@ -1,0 +1,163 @@
+//! Uniform sampling of layer configurations per node kind (§III-B step 1:
+//! "we investigate some common DNNs to decide the value ranges of
+//! attributes ... then sample uniformly in its corresponding ranges").
+
+use lp_graph::{ConvAttrs, DwConvAttrs, ModelKey, NodeKind, PoolAttrs, PoolKind};
+use lp_sim::uniform_in;
+use lp_tensor::{Shape, TensorDesc};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Samples one `(kind, input)` configuration for the given model key.
+///
+/// Ranges cover the attribute space of the zoo networks (channels 3–1024,
+/// feature maps 6–224, FC widths up to 9216) so trained models interpolate
+/// rather than extrapolate.
+#[must_use]
+pub fn sample_config<R: Rng + ?Sized>(key: ModelKey, rng: &mut R) -> (NodeKind, TensorDesc) {
+    match key {
+        ModelKey::Conv => {
+            let kernel = *[1usize, 3, 3, 3, 5, 7, 11].choose(rng).expect("non-empty");
+            let stride = *[1usize, 1, 1, 2].choose(rng).expect("non-empty");
+            let hw = uniform_in(rng, kernel.max(6) as u64, 224) as usize;
+            // Real networks follow a pyramid: big maps carry few channels
+            // (224^2 x 3..64), small maps carry many (7^2 x 512). Sampling
+            // inside that envelope is what §III-B means by "investigate
+            // some common DNNs to decide the value ranges".
+            let c_cap = (16_384 / hw).clamp(48, 512) as u64;
+            let c_in = uniform_in(rng, 3, c_cap) as usize;
+            let c_out = uniform_in(rng, 16, c_cap.max(64)) as usize;
+            let pad = kernel / 2;
+            (
+                NodeKind::Conv(ConvAttrs::new(c_out, kernel, stride, pad)),
+                TensorDesc::f32(Shape::nchw(1, c_in, hw, hw)),
+            )
+        }
+        ModelKey::DwConv => {
+            // Depth-wise convs in the deployed networks (Xception) are all
+            // stride-1 3x3 — §III-B's "investigate common DNNs" step rules
+            // strided variants out of the profiled range.
+            let c = uniform_in(rng, 32, 1024) as usize;
+            let hw = uniform_in(rng, 7, 150) as usize;
+            (
+                NodeKind::DwConv(DwConvAttrs::new(3, 1, 1)),
+                TensorDesc::f32(Shape::nchw(1, c, hw, hw)),
+            )
+        }
+        ModelKey::MatMul => {
+            let c_in = uniform_in(rng, 128, 9216) as usize;
+            let c_out = uniform_in(rng, 10, 4096) as usize;
+            (
+                NodeKind::MatMul { out_features: c_out },
+                TensorDesc::f32(Shape::nc(1, c_in)),
+            )
+        }
+        ModelKey::MaxPool | ModelKey::AvgPool => {
+            let kernel = *[2usize, 3].choose(rng).expect("non-empty");
+            let c = uniform_in(rng, 16, 512) as usize;
+            let hw = uniform_in(rng, 6, 112) as usize;
+            let kind = if key == ModelKey::MaxPool {
+                PoolKind::Max
+            } else {
+                PoolKind::Avg
+            };
+            let attrs = PoolAttrs {
+                kind,
+                kernel: (kernel, kernel),
+                stride: (2, 2),
+                padding: (0, 0),
+                ceil_mode: false,
+            };
+            (
+                NodeKind::Pool(attrs),
+                TensorDesc::f32(Shape::nchw(1, c, hw, hw)),
+            )
+        }
+        ModelKey::BiasAdd | ModelKey::BatchNorm | ModelKey::ElemwiseAdd | ModelKey::Activation(_) => {
+            let c = uniform_in(rng, 8, 1024) as usize;
+            let hw = uniform_in(rng, 4, 160) as usize;
+            let kind = match key {
+                ModelKey::BiasAdd => NodeKind::BiasAdd,
+                ModelKey::BatchNorm => NodeKind::BatchNorm,
+                ModelKey::ElemwiseAdd => NodeKind::Add,
+                ModelKey::Activation(a) => NodeKind::Activation(a),
+                _ => unreachable!(),
+            };
+            (kind, TensorDesc::f32(Shape::nchw(1, c, hw, hw)))
+        }
+    }
+}
+
+/// Samples `n` configurations for a key.
+#[must_use]
+pub fn sample_configs<R: Rng + ?Sized>(
+    key: ModelKey,
+    n: usize,
+    rng: &mut R,
+) -> Vec<(NodeKind, TensorDesc)> {
+    (0..n).map(|_| sample_config(key, rng)).collect()
+}
+
+/// Infers the output of a sampled config, feeding `Add` its second operand.
+///
+/// # Panics
+///
+/// Panics if the sampled configuration is invalid (a sampler bug).
+#[must_use]
+pub fn infer_sampled_output(kind: &NodeKind, input: &TensorDesc) -> TensorDesc {
+    match kind {
+        NodeKind::Add => kind
+            .infer_output(&[input.clone(), input.clone()])
+            .expect("sampled Add config valid"),
+        _ => kind
+            .infer_output(std::slice::from_ref(input))
+            .expect("sampled config valid"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lp_graph::features::{features_for, Platform};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn all_keys_sample_valid_configs() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for key in ModelKey::all() {
+            for _ in 0..50 {
+                let (kind, input) = sample_config(key, &mut rng);
+                let out = infer_sampled_output(&kind, &input);
+                assert_eq!(kind.model_key(), Some(key), "{key}");
+                // Feature vectors must be finite and non-negative.
+                for platform in [Platform::EdgeServer, Platform::UserDevice] {
+                    let f = features_for(&kind, &input, &out, platform);
+                    assert!(f.values.iter().all(|v| v.is_finite() && *v >= 0.0));
+                    assert!(f.values[0] > 0.0, "{key}: zero FLOPs");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let a = sample_configs(ModelKey::Conv, 5, &mut StdRng::seed_from_u64(7));
+        let b = sample_configs(ModelKey::Conv, 5, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn conv_configs_are_diverse() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let configs = sample_configs(ModelKey::Conv, 100, &mut rng);
+        let kernels: std::collections::HashSet<usize> = configs
+            .iter()
+            .map(|(k, _)| match k {
+                NodeKind::Conv(a) => a.kernel.0,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert!(kernels.len() >= 4, "kernel diversity {kernels:?}");
+    }
+}

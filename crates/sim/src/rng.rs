@@ -1,0 +1,98 @@
+//! Seeded randomness helpers for the simulators.
+
+use rand::Rng;
+
+/// Samples a multiplicative noise factor from a log-normal distribution
+/// with **median 1.0** and log-space standard deviation `sigma`.
+///
+/// Measurement noise in execution times is multiplicative (a 10% wobble on
+/// a 10 µs kernel and on a 10 ms layer alike), which is exactly what the
+/// paper's profiler has to cope with. `sigma = 0` returns exactly 1.0.
+///
+/// Uses the Box–Muller transform so we do not need `rand_distr`.
+#[must_use]
+pub fn lognormal_factor<R: Rng + ?Sized>(rng: &mut R, sigma: f64) -> f64 {
+    if sigma <= 0.0 {
+        return 1.0;
+    }
+    // Box-Muller: z ~ N(0, 1).
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    (sigma * z).exp()
+}
+
+/// Samples uniformly from an inclusive integer range.
+///
+/// # Panics
+///
+/// Panics if `lo > hi`.
+#[must_use]
+pub fn uniform_in<R: Rng + ?Sized>(rng: &mut R, lo: u64, hi: u64) -> u64 {
+    assert!(lo <= hi, "empty range");
+    rng.gen_range(lo..=hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_sigma_is_exactly_one() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..10 {
+            assert_eq!(lognormal_factor(&mut rng, 0.0), 1.0);
+        }
+    }
+
+    #[test]
+    fn median_is_near_one() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut samples: Vec<f64> = (0..20_001).map(|_| lognormal_factor(&mut rng, 0.3)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[samples.len() / 2];
+        assert!((median - 1.0).abs() < 0.05, "median={median}");
+        assert!(samples.iter().all(|&s| s > 0.0));
+    }
+
+    #[test]
+    fn log_std_matches_sigma() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let sigma = 0.25;
+        let logs: Vec<f64> = (0..20_000)
+            .map(|_| lognormal_factor(&mut rng, sigma).ln())
+            .collect();
+        let mean = logs.iter().sum::<f64>() / logs.len() as f64;
+        let var = logs.iter().map(|l| (l - mean).powi(2)).sum::<f64>() / logs.len() as f64;
+        assert!((var.sqrt() - sigma).abs() < 0.02, "std={}", var.sqrt());
+    }
+
+    #[test]
+    fn uniform_bounds_inclusive() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..1000 {
+            let v = uniform_in(&mut rng, 2, 4);
+            assert!((2..=4).contains(&v));
+            seen_lo |= v == 2;
+            seen_hi |= v == 4;
+        }
+        assert!(seen_lo && seen_hi);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<f64> = {
+            let mut r = StdRng::seed_from_u64(9);
+            (0..5).map(|_| lognormal_factor(&mut r, 0.1)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut r = StdRng::seed_from_u64(9);
+            (0..5).map(|_| lognormal_factor(&mut r, 0.1)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

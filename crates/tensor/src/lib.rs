@@ -1,0 +1,174 @@
+//! Tensor shapes, data types and size arithmetic for the LoADPart
+//! reproduction.
+//!
+//! Everything in the partition-decision pipeline is driven by *metadata*
+//! about tensors — their shapes, element counts and wire sizes — rather than
+//! their numeric contents. This crate is the single source of truth for that
+//! metadata.
+//!
+//! # Examples
+//!
+//! ```
+//! use lp_tensor::{DType, Shape, TensorDesc};
+//!
+//! // The canonical ImageNet input of the paper's evaluation.
+//! let input = TensorDesc::new(Shape::nchw(1, 3, 224, 224), DType::F32);
+//! assert_eq!(input.numel(), 3 * 224 * 224);
+//! assert_eq!(input.size_bytes(), 3 * 224 * 224 * 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+pub mod shape;
+
+pub use shape::Shape;
+
+/// Element type of a tensor.
+///
+/// The paper's evaluation runs FP32 inference on both platforms, but the
+/// profiler and the transmission-size math are parameterised over the dtype
+/// so that quantised deployments can be modelled too.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum DType {
+    /// 32-bit IEEE-754 float (the paper's setting).
+    #[default]
+    F32,
+    /// 16-bit IEEE-754 float.
+    F16,
+    /// 8-bit signed integer (quantised inference).
+    I8,
+    /// 32-bit signed integer (index tensors).
+    I32,
+}
+
+impl DType {
+    /// Size of one element in bytes.
+    ///
+    /// ```
+    /// assert_eq!(lp_tensor::DType::F32.size_bytes(), 4);
+    /// assert_eq!(lp_tensor::DType::F16.size_bytes(), 2);
+    /// ```
+    #[must_use]
+    pub const fn size_bytes(self) -> usize {
+        match self {
+            DType::F32 | DType::I32 => 4,
+            DType::F16 => 2,
+            DType::I8 => 1,
+        }
+    }
+}
+
+impl fmt::Display for DType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DType::F32 => "f32",
+            DType::F16 => "f16",
+            DType::I8 => "i8",
+            DType::I32 => "i32",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Description of a tensor: its [`Shape`] plus its [`DType`].
+///
+/// A `TensorDesc` is what flows along computation-graph edges; its
+/// [`size_bytes`](TensorDesc::size_bytes) is the transmission size `s_i` used
+/// by Problem (1) of the paper when the edge crosses the partition cut.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TensorDesc {
+    shape: Shape,
+    dtype: DType,
+}
+
+impl TensorDesc {
+    /// Creates a descriptor from a shape and dtype.
+    #[must_use]
+    pub fn new(shape: Shape, dtype: DType) -> Self {
+        Self { shape, dtype }
+    }
+
+    /// Creates an FP32 descriptor, the common case in the paper.
+    ///
+    /// ```
+    /// use lp_tensor::{Shape, TensorDesc};
+    /// let t = TensorDesc::f32(Shape::nchw(1, 64, 56, 56));
+    /// assert_eq!(t.size_bytes(), 64 * 56 * 56 * 4);
+    /// ```
+    #[must_use]
+    pub fn f32(shape: Shape) -> Self {
+        Self::new(shape, DType::F32)
+    }
+
+    /// The tensor's shape.
+    #[must_use]
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// The tensor's element type.
+    #[must_use]
+    pub fn dtype(&self) -> DType {
+        self.dtype
+    }
+
+    /// Number of elements (`prod S_i` in Table I of the paper).
+    #[must_use]
+    pub fn numel(&self) -> u64 {
+        self.shape.numel()
+    }
+
+    /// Wire size in bytes if this tensor is transmitted across the cut.
+    #[must_use]
+    pub fn size_bytes(&self) -> u64 {
+        self.numel() * self.dtype.size_bytes() as u64
+    }
+}
+
+impl fmt::Display for TensorDesc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.dtype, self.shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dtype_sizes() {
+        assert_eq!(DType::F32.size_bytes(), 4);
+        assert_eq!(DType::F16.size_bytes(), 2);
+        assert_eq!(DType::I8.size_bytes(), 1);
+        assert_eq!(DType::I32.size_bytes(), 4);
+    }
+
+    #[test]
+    fn dtype_display() {
+        assert_eq!(DType::F32.to_string(), "f32");
+        assert_eq!(DType::I8.to_string(), "i8");
+    }
+
+    #[test]
+    fn desc_size_matches_paper_input_sizes() {
+        // §III-D: InceptionV3's input 1x3x299x299 is reported as 1.02 MB.
+        let inception_in = TensorDesc::f32(Shape::nchw(1, 3, 299, 299));
+        let mb = inception_in.size_bytes() as f64 / (1024.0 * 1024.0);
+        assert!((mb - 1.02).abs() < 0.01, "got {mb} MB");
+    }
+
+    #[test]
+    fn desc_display() {
+        let t = TensorDesc::f32(Shape::nchw(1, 3, 224, 224));
+        assert_eq!(t.to_string(), "f32[1, 3, 224, 224]");
+    }
+
+    #[test]
+    fn default_dtype_is_f32() {
+        assert_eq!(DType::default(), DType::F32);
+    }
+}

@@ -1,0 +1,254 @@
+//! N-dimensional tensor shapes.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The shape of a tensor: an ordered list of dimension extents.
+///
+/// Convolutional feature maps use the NCHW layout throughout this workspace
+/// (batch, channels, height, width), matching the paper's notation
+/// `N`, `C`, `H`, `W` in Tables I and II.
+///
+/// # Examples
+///
+/// ```
+/// use lp_tensor::Shape;
+///
+/// let fm = Shape::nchw(1, 64, 56, 56);
+/// assert_eq!(fm.channels(), Some(64));
+/// assert_eq!(fm.numel(), 64 * 56 * 56);
+///
+/// let flat = Shape::nc(1, 4096);
+/// assert_eq!(flat.rank(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from arbitrary dimensions.
+    ///
+    /// A zero-rank shape represents a scalar and has `numel() == 1`.
+    #[must_use]
+    pub fn new(dims: Vec<usize>) -> Self {
+        Self(dims)
+    }
+
+    /// Creates a 4-D NCHW feature-map shape.
+    #[must_use]
+    pub fn nchw(n: usize, c: usize, h: usize, w: usize) -> Self {
+        Self(vec![n, c, h, w])
+    }
+
+    /// Creates a 2-D (batch, features) shape as produced by Flatten and
+    /// consumed by fully-connected layers.
+    #[must_use]
+    pub fn nc(n: usize, c: usize) -> Self {
+        Self(vec![n, c])
+    }
+
+    /// The dimension extents.
+    #[must_use]
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Number of dimensions.
+    #[must_use]
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements (`prod S_i`); 1 for scalars.
+    #[must_use]
+    pub fn numel(&self) -> u64 {
+        self.0.iter().map(|&d| d as u64).product()
+    }
+
+    /// Batch dimension `N` (axis 0), if the shape has one.
+    #[must_use]
+    pub fn batch(&self) -> Option<usize> {
+        self.0.first().copied()
+    }
+
+    /// Channel dimension `C` (axis 1), if present.
+    #[must_use]
+    pub fn channels(&self) -> Option<usize> {
+        self.0.get(1).copied()
+    }
+
+    /// Spatial height `H` (axis 2), if present.
+    #[must_use]
+    pub fn height(&self) -> Option<usize> {
+        self.0.get(2).copied()
+    }
+
+    /// Spatial width `W` (axis 3), if present.
+    #[must_use]
+    pub fn width(&self) -> Option<usize> {
+        self.0.get(3).copied()
+    }
+
+    /// Returns the flattened `(N, C*H*W*...)` version of this shape, as
+    /// produced by a Flatten node.
+    ///
+    /// ```
+    /// use lp_tensor::Shape;
+    /// assert_eq!(Shape::nchw(1, 256, 6, 6).flattened(), Shape::nc(1, 256 * 6 * 6));
+    /// ```
+    #[must_use]
+    pub fn flattened(&self) -> Shape {
+        let n = self.batch().unwrap_or(1);
+        let rest: u64 = self.0.iter().skip(1).map(|&d| d as u64).product();
+        Shape::nc(n, rest as usize)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Self::new(dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Self::new(dims.to_vec())
+    }
+}
+
+/// Computes the output spatial extent of a convolution/pooling window.
+///
+/// Standard formula: `floor((input + 2*pad - kernel) / stride) + 1`.
+///
+/// # Panics
+///
+/// Panics if `stride == 0` or if the padded input is smaller than the
+/// kernel, both of which indicate a malformed layer configuration.
+///
+/// ```
+/// // AlexNet conv1: 224x224 input, 11x11 kernel, stride 4, pad 2 -> 55.
+/// assert_eq!(lp_tensor::shape::conv_out_dim(224, 11, 4, 2), 55);
+/// ```
+#[must_use]
+pub fn conv_out_dim(input: usize, kernel: usize, stride: usize, pad: usize) -> usize {
+    assert!(stride > 0, "stride must be positive");
+    let padded = input + 2 * pad;
+    assert!(
+        padded >= kernel,
+        "kernel {kernel} larger than padded input {padded}"
+    );
+    (padded - kernel) / stride + 1
+}
+
+/// Ceiling-mode variant of [`conv_out_dim`], used by some pooling layers
+/// (e.g. SqueezeNet's max-pools use ceil mode in several frameworks).
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`conv_out_dim`].
+#[must_use]
+pub fn conv_out_dim_ceil(input: usize, kernel: usize, stride: usize, pad: usize) -> usize {
+    assert!(stride > 0, "stride must be positive");
+    let padded = input + 2 * pad;
+    assert!(
+        padded >= kernel,
+        "kernel {kernel} larger than padded input {padded}"
+    );
+    (padded - kernel).div_ceil(stride) + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nchw_accessors() {
+        let s = Shape::nchw(2, 3, 224, 220);
+        assert_eq!(s.batch(), Some(2));
+        assert_eq!(s.channels(), Some(3));
+        assert_eq!(s.height(), Some(224));
+        assert_eq!(s.width(), Some(220));
+        assert_eq!(s.rank(), 4);
+    }
+
+    #[test]
+    fn scalar_numel_is_one() {
+        assert_eq!(Shape::new(vec![]).numel(), 1);
+    }
+
+    #[test]
+    fn numel_products() {
+        assert_eq!(Shape::nchw(1, 3, 224, 224).numel(), 150_528);
+        assert_eq!(Shape::nc(1, 1000).numel(), 1000);
+    }
+
+    #[test]
+    fn flatten() {
+        assert_eq!(Shape::nchw(4, 256, 6, 6).flattened(), Shape::nc(4, 9216));
+        // Already-flat shapes are unchanged.
+        assert_eq!(Shape::nc(1, 10).flattened(), Shape::nc(1, 10));
+    }
+
+    #[test]
+    fn conv_dims_match_known_networks() {
+        // AlexNet conv1 (k=11, s=4, p=2): 224 -> 55.
+        assert_eq!(conv_out_dim(224, 11, 4, 2), 55);
+        // AlexNet pool (k=3, s=2): 55 -> 27.
+        assert_eq!(conv_out_dim(55, 3, 2, 0), 27);
+        // VGG 3x3 same conv: 224 -> 224.
+        assert_eq!(conv_out_dim(224, 3, 1, 1), 224);
+        // ResNet stem (k=7, s=2, p=3): 224 -> 112.
+        assert_eq!(conv_out_dim(224, 7, 2, 3), 112);
+        // SqueezeNet conv1 (k=7, s=2, p=0) on 227: -> 111.
+        assert_eq!(conv_out_dim(227, 7, 2, 0), 111);
+    }
+
+    #[test]
+    fn ceil_mode_rounds_up() {
+        // 112 -> pool k=3 s=2: floor gives 55, ceil gives 56.
+        assert_eq!(conv_out_dim(112, 3, 2, 0), 55);
+        assert_eq!(conv_out_dim_ceil(112, 3, 2, 0), 56);
+        // 111 divides evenly, so floor and ceil agree at 55.
+        assert_eq!(conv_out_dim_ceil(111, 3, 2, 0), conv_out_dim(111, 3, 2, 0));
+        // Exact division: both agree.
+        assert_eq!(conv_out_dim_ceil(55, 3, 2, 0), conv_out_dim(55, 3, 2, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "stride must be positive")]
+    fn zero_stride_panics() {
+        let _ = conv_out_dim(10, 3, 0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "larger than padded input")]
+    fn oversized_kernel_panics() {
+        let _ = conv_out_dim(2, 5, 1, 0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Shape::nchw(1, 3, 4, 5).to_string(), "[1, 3, 4, 5]");
+        assert_eq!(Shape::new(vec![]).to_string(), "[]");
+    }
+
+    #[test]
+    fn from_conversions() {
+        let v: Shape = vec![1, 2, 3].into();
+        assert_eq!(v.dims(), &[1, 2, 3]);
+        let s: Shape = (&[4usize, 5][..]).into();
+        assert_eq!(s.dims(), &[4, 5]);
+    }
+}

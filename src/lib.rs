@@ -1,0 +1,28 @@
+//! Facade crate for the LoADPart reproduction workspace.
+//!
+//! This crate exists to host the workspace-level integration tests in
+//! `tests/` and the runnable examples in `examples/`. It re-exports every
+//! member crate under a short name so examples can use one import root.
+//!
+//! See the member crates for the actual implementation:
+//!
+//! * [`loadpart`] — the paper's contribution (Algorithm 1, system driver,
+//!   baselines, partition cache).
+//! * [`lp_graph`] — computation-graph IR and partitioning.
+//! * [`lp_models`] — DNN model zoo.
+//! * [`lp_hardware`] — device/GPU latency models and GPU scheduler simulator.
+//! * [`lp_net`] — network link simulation and bandwidth estimation.
+//! * [`lp_profiler`] — offline/runtime profilers.
+//! * [`lp_linalg`] — NNLS linear regression and GBDT feature scoring.
+//! * [`lp_sim`] — deterministic simulation core.
+//! * [`lp_tensor`] — shapes and tensor descriptors.
+
+pub use loadpart;
+pub use lp_graph;
+pub use lp_hardware;
+pub use lp_linalg;
+pub use lp_models;
+pub use lp_net;
+pub use lp_profiler;
+pub use lp_sim;
+pub use lp_tensor;

@@ -1,0 +1,60 @@
+//! DeepWear-style candidate pruning: on every zoo network and a grid of
+//! (bandwidth, k) conditions the pruned scan must make the same decision
+//! as the full Algorithm 1 scan, while examining far fewer points.
+
+use loadpart::PartitionSolver;
+use lp_profiler::PredictionModels;
+use std::sync::OnceLock;
+
+fn models() -> &'static (PredictionModels, PredictionModels) {
+    static MODELS: OnceLock<(PredictionModels, PredictionModels)> = OnceLock::new();
+    MODELS.get_or_init(|| loadpart::system::trained_models(150, 42))
+}
+
+#[test]
+fn pruned_scan_matches_full_scan_on_the_zoo() {
+    let (user, edge) = models();
+    for graph in lp_models::full_zoo(1) {
+        let solver = PartitionSolver::new(&graph, user, edge);
+        for bw in [0.5, 1.0, 4.0, 8.0, 16.0, 64.0, 512.0] {
+            for k in [1.0, 2.0, 5.0, 20.0, 100.0] {
+                let full = solver.decide(bw, k);
+                let pruned = solver.decide_pruned(bw, k);
+                assert_eq!(
+                    full.p,
+                    pruned.p,
+                    "{} bw={bw} k={k}: full p={} pruned p={}",
+                    graph.name(),
+                    full.p,
+                    pruned.p
+                );
+                assert_eq!(full.predicted, pruned.predicted);
+            }
+        }
+    }
+}
+
+#[test]
+fn pruning_shrinks_the_search_space_substantially() {
+    let (user, edge) = models();
+    for (name, min_shrink) in [
+        ("alexnet", 1.05), // chains keep most points; DAGs prune hard
+        ("resnet50", 3.0),
+        ("inceptionv3", 3.0),
+        ("xception", 3.0),
+    ] {
+        let graph = lp_models::by_name(name, 1).expect("zoo model");
+        let solver = PartitionSolver::new(&graph, user, edge);
+        let all = graph.len() + 1;
+        let kept = solver.candidate_points().len();
+        let shrink = all as f64 / kept as f64;
+        assert!(
+            shrink >= min_shrink,
+            "{name}: {kept}/{all} candidates ({shrink:.1}x)"
+        );
+        // Endpoints always survive.
+        let pts = solver.candidate_points();
+        assert_eq!(pts.first(), Some(&0));
+        assert_eq!(pts.last(), Some(&graph.len()));
+    }
+}
