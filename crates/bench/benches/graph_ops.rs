@@ -1,43 +1,24 @@
 //! Graph-substrate costs: building zoo graphs, the transmission-size sweep
 //! and Figure 5 segment extraction.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lp_bench::timing::{bench, group};
 use lp_graph::partition::{extract_segment, Segment};
 use lp_graph::transmission_series;
 use std::hint::black_box;
 
-fn bench_graph_ops(c: &mut Criterion) {
-    let mut group = c.benchmark_group("graph_ops");
+fn main() {
+    group("graph_ops");
     for name in ["alexnet", "resnet50", "inceptionv3", "resnet152"] {
         let graph = lp_models::by_name(name, 1).expect("model");
         let n = graph.len();
-        group.bench_function(BenchmarkId::new("build", n), |b| {
-            b.iter(|| black_box(lp_models::by_name(black_box(name), 1)))
+        bench(&format!("build/{n}"), || {
+            black_box(lp_models::by_name(black_box(name), 1))
         });
-        group.bench_function(BenchmarkId::new("transmission_series", n), |b| {
-            b.iter(|| black_box(transmission_series(black_box(&graph))))
+        bench(&format!("transmission_series/{n}"), || {
+            black_box(transmission_series(black_box(&graph)))
         });
-        group.bench_function(BenchmarkId::new("extract_suffix_segment", n), |b| {
-            b.iter(|| {
-                black_box(
-                    extract_segment(black_box(&graph), Segment::new(n / 3, n)).expect("in range"),
-                )
-            })
+        bench(&format!("extract_suffix_segment/{n}"), || {
+            black_box(extract_segment(black_box(&graph), Segment::new(n / 3, n)).expect("in range"))
         });
     }
-    group.finish();
 }
-
-fn quick_criterion() -> Criterion {
-    Criterion::default()
-        .warm_up_time(std::time::Duration::from_millis(500))
-        .measurement_time(std::time::Duration::from_secs(2))
-        .sample_size(20)
-}
-
-criterion_group! {
-    name = benches;
-    config = quick_criterion();
-    targets = bench_graph_ops
-}
-criterion_main!(benches);

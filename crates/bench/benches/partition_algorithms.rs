@@ -3,12 +3,19 @@
 //! the DADS-style min-cut over all DAG cuts (the O(n^3)-class comparator
 //! that motivates Algorithm 1).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use loadpart::{min_cut_partition, PartitionSolver};
+use lp_bench::timing::{bench, group};
 use lp_graph::transmission_series;
 use std::hint::black_box;
 
-fn setup(name: &str) -> (lp_graph::ComputationGraph, PartitionSolver, Vec<f64>, Vec<f64>) {
+fn setup(
+    name: &str,
+) -> (
+    lp_graph::ComputationGraph,
+    PartitionSolver,
+    Vec<f64>,
+    Vec<f64>,
+) {
     let graph = lp_models::by_name(name, 1).expect("model");
     // Synthetic but realistic per-node times: device ~100x slower.
     let device: Vec<f64> = graph
@@ -49,69 +56,40 @@ fn naive_decide(device: &[f64], edge: &[f64], trans: &[u64], bw_mbps: f64, k: f6
     best.1
 }
 
-fn bench_algorithms(c: &mut Criterion) {
-    let mut group = c.benchmark_group("partition_decision");
+fn main() {
+    group("partition_decision");
     for name in ["alexnet", "resnet50", "resnet152"] {
         let (graph, solver, device, edge) = setup(name);
         let trans = transmission_series(&graph);
         let n = graph.len();
 
-        group.bench_with_input(BenchmarkId::new("algorithm1_linear", n), &n, |b, _| {
-            b.iter(|| black_box(solver.decide(black_box(8.0), black_box(2.0))))
+        bench(&format!("algorithm1_linear/{n}"), || {
+            black_box(solver.decide(black_box(8.0), black_box(2.0)))
         });
-        group.bench_with_input(BenchmarkId::new("naive_quadratic", n), &n, |b, _| {
-            b.iter(|| {
-                black_box(naive_decide(
-                    black_box(&device),
-                    black_box(&edge),
-                    &trans,
-                    8.0,
-                    2.0,
-                ))
-            })
+        bench(&format!("naive_quadratic/{n}"), || {
+            black_box(naive_decide(
+                black_box(&device),
+                black_box(&edge),
+                &trans,
+                8.0,
+                2.0,
+            ))
         });
-        group.bench_with_input(BenchmarkId::new("dads_min_cut", n), &n, |b, _| {
-            b.iter(|| {
-                black_box(min_cut_partition(
-                    black_box(&graph),
-                    &device,
-                    &edge,
-                    8.0,
-                ))
-            })
+        bench(&format!("dads_min_cut/{n}"), || {
+            black_box(min_cut_partition(black_box(&graph), &device, &edge, 8.0))
         });
     }
-    group.finish();
-}
 
-fn bench_solver_construction(c: &mut Criterion) {
-    let mut group = c.benchmark_group("solver_construction");
+    group("solver_construction");
     for name in ["alexnet", "resnet152"] {
         let (graph, _, device, edge) = setup(name);
-        group.bench_function(BenchmarkId::new("from_times", graph.len()), |b| {
-            b.iter(|| {
-                black_box(PartitionSolver::from_times(
-                    black_box(&device),
-                    black_box(&edge),
-                    transmission_series(&graph),
-                    graph.output().size_bytes(),
-                ))
-            })
+        bench(&format!("from_times/{}", graph.len()), || {
+            black_box(PartitionSolver::from_times(
+                black_box(&device),
+                black_box(&edge),
+                transmission_series(&graph),
+                graph.output().size_bytes(),
+            ))
         });
     }
-    group.finish();
 }
-
-fn quick_criterion() -> Criterion {
-    Criterion::default()
-        .warm_up_time(std::time::Duration::from_millis(500))
-        .measurement_time(std::time::Duration::from_secs(2))
-        .sample_size(20)
-}
-
-criterion_group! {
-    name = benches;
-    config = quick_criterion();
-    targets = bench_algorithms, bench_solver_construction
-}
-criterion_main!(benches);

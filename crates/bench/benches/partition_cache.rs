@@ -2,40 +2,29 @@
 //! (the paper amortises the former to ~1% of inference time over 100
 //! requests).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use loadpart::PartitionCache;
+use lp_bench::timing::{bench, group};
 use lp_graph::partition::partition_at;
 use std::hint::black_box;
 
-fn bench_cache(c: &mut Criterion) {
-    let mut group = c.benchmark_group("partition_cache");
+fn main() {
+    group("partition_cache");
     for name in ["alexnet", "resnet152"] {
         let graph = lp_models::by_name(name, 1).expect("model");
         let p = graph.len() / 3;
 
-        group.bench_function(BenchmarkId::new("cold_partition", graph.len()), |b| {
-            b.iter(|| black_box(partition_at(black_box(&graph), p).expect("valid p")))
+        bench(&format!("cold_partition/{}", graph.len()), || {
+            black_box(partition_at(black_box(&graph), p).expect("valid p"))
         });
 
         let cache = PartitionCache::new();
         cache.get_or_partition(&graph, p).expect("valid p");
-        group.bench_function(BenchmarkId::new("warm_lookup", graph.len()), |b| {
-            b.iter(|| black_box(cache.get_or_partition(black_box(&graph), p).expect("valid p")))
+        bench(&format!("warm_lookup/{}", graph.len()), || {
+            black_box(
+                cache
+                    .get_or_partition(black_box(&graph), p)
+                    .expect("valid p"),
+            )
         });
     }
-    group.finish();
 }
-
-fn quick_criterion() -> Criterion {
-    Criterion::default()
-        .warm_up_time(std::time::Duration::from_millis(500))
-        .measurement_time(std::time::Duration::from_secs(2))
-        .sample_size(20)
-}
-
-criterion_group! {
-    name = benches;
-    config = quick_criterion();
-    targets = bench_cache
-}
-criterion_main!(benches);

@@ -2,57 +2,39 @@
 //! throughput (the per-request cost LoADPart pays on the device, which the
 //! paper requires to be "light-weighted").
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use lp_bench::timing::{bench, group};
 use lp_hardware::GpuModel;
 use lp_linalg::{LinearModel, Matrix};
 use lp_profiler::dataset::{build_dataset, EdgeSource};
 use lp_profiler::PredictionModels;
 use std::hint::black_box;
 
-fn bench_nnls_training(c: &mut Criterion) {
+fn main() {
+    group("nnls_training");
     let mut src = EdgeSource::new(GpuModel::default(), 5);
     let ds = build_dataset(lp_graph::ModelKey::Conv, 400, &mut src, 9);
-    c.bench_function("nnls_fit_conv_400", |b| {
-        b.iter(|| {
-            black_box(LinearModel::fit_nnls(
-                black_box(&ds.features),
-                black_box(&ds.times_us),
-            ))
-        })
+    bench("nnls_fit_conv_400", || {
+        black_box(LinearModel::fit_nnls(
+            black_box(&ds.features),
+            black_box(&ds.times_us),
+        ))
     });
     let rows: Vec<Vec<f64>> = (0..ds.features.rows())
         .map(|r| ds.features.row(r).to_vec())
         .collect();
     let m = Matrix::from_rows(&rows);
-    c.bench_function("ols_fit_conv_400", |b| {
-        b.iter(|| black_box(LinearModel::fit_ols(black_box(&m), &ds.times_us)))
+    bench("ols_fit_conv_400", || {
+        black_box(LinearModel::fit_ols(black_box(&m), &ds.times_us))
     });
-}
 
-fn bench_prediction(c: &mut Criterion) {
+    group("prediction");
     let (user, edge) = lp_bench::quick_models();
     let graph = lp_models::resnet152(1);
-    c.bench_function("predict_graph_resnet152", |b| {
-        b.iter(|| black_box(edge.predict_graph(black_box(&graph))))
+    bench("predict_graph_resnet152", || {
+        black_box(edge.predict_graph(black_box(&graph)))
     });
-    c.bench_function("model_bundle_json_roundtrip", |b| {
-        b.iter(|| {
-            let json = user.to_json();
-            black_box(PredictionModels::from_json(&json).expect("round trip"))
-        })
+    bench("model_bundle_json_roundtrip", || {
+        let json = user.to_json();
+        black_box(PredictionModels::from_json(&json).expect("round trip"))
     });
 }
-
-fn quick_criterion() -> Criterion {
-    Criterion::default()
-        .warm_up_time(std::time::Duration::from_millis(500))
-        .measurement_time(std::time::Duration::from_secs(2))
-        .sample_size(20)
-}
-
-criterion_group! {
-    name = benches;
-    config = quick_criterion();
-    targets = bench_nnls_training, bench_prediction
-}
-criterion_main!(benches);

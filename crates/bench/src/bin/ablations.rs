@@ -22,8 +22,16 @@ fn main() {
 
     // ---- 1 & 2: reaction-speed sweep on a load step ------------------
     println!("[1/2] profiler-period sweep (SqueezeNet, load step 0% -> 100%(h) at t=10s):");
-    let _phases = [LoadPhase { start_secs: 0.0, level: LoadLevel::Idle },
-        LoadPhase { start_secs: 10.0, level: LoadLevel::Pct100High }];
+    let _phases = [
+        LoadPhase {
+            start_secs: 0.0,
+            level: LoadLevel::Idle,
+        },
+        LoadPhase {
+            start_secs: 10.0,
+            level: LoadLevel::Pct100High,
+        },
+    ];
     let mut rows = Vec::new();
     for period_s in [1u64, 2, 5, 10, 20] {
         let graph = lp_models::squeezenet(1);
@@ -45,7 +53,9 @@ fn main() {
         let mut mean_after = Vec::new();
         while t.as_secs_f64() < 90.0 {
             if t.as_secs_f64() >= 10.0 && sys.testbed.load() != LoadLevel::Pct100High {
-                sys.testbed.gpu.advance_to(SimTime::ZERO + SimDuration::from_secs(10));
+                sys.testbed
+                    .gpu
+                    .advance_to(SimTime::ZERO + SimDuration::from_secs(10));
                 sys.testbed.set_load(LoadLevel::Pct100High);
             }
             let r = sys.infer(t);
@@ -68,10 +78,7 @@ fn main() {
     }
     println!(
         "{}",
-        text_table(
-            &["period s", "shift latency s", "settled mean ms"],
-            &rows
-        )
+        text_table(&["period s", "shift latency s", "settled mean ms"], &rows)
     );
     println!("shorter periods react faster, as §V-A predicts; the settled quality is similar.\n");
 
@@ -98,14 +105,24 @@ fn main() {
     println!(
         "{}",
         text_table(
-            &["model", "Mbps", "p (no dl)", "p (dl)", "pred ms", "pred+dl ms", "dl ms"],
+            &[
+                "model",
+                "Mbps",
+                "p (no dl)",
+                "p (dl)",
+                "pred ms",
+                "pred+dl ms",
+                "dl ms"
+            ],
             &rows
         )
     );
     println!("the download term shifts no decision: result tensors are ~4 KB, exactly why §IV drops it.\n");
 
     // ---- 4: probe vs passive-only bandwidth estimation ----------------
-    println!("[4] probe-based vs passive-only estimation after a bandwidth drop (8 -> 1 Mbps at t=5s):");
+    println!(
+        "[4] probe-based vs passive-only estimation after a bandwidth drop (8 -> 1 Mbps at t=5s):"
+    );
     let link = Link::symmetric(BandwidthTrace::steps(&[(0.0, 8.0), (5.0, 1.0)]));
     let mut rows = Vec::new();
     for (label, use_probes) in [("probe + passive", true), ("passive only", false)] {

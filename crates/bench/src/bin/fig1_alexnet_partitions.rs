@@ -75,7 +75,15 @@ fn main() {
     println!(
         "{}",
         text_table(
-            &["p", "partition after", "upload KiB", "device ms", "network ms", "server ms", "total ms"],
+            &[
+                "p",
+                "partition after",
+                "upload KiB",
+                "device ms",
+                "network ms",
+                "server ms",
+                "total ms"
+            ],
             &rows
         )
     );

@@ -68,7 +68,13 @@ fn main() {
         println!(
             "{}",
             text_table(
-                &["phase", "bandwidth Mbps", "partition p/n", "regime", "mean latency ms"],
+                &[
+                    "phase",
+                    "bandwidth Mbps",
+                    "partition p/n",
+                    "regime",
+                    "mean latency ms"
+                ],
                 &rows
             )
         );

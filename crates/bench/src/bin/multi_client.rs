@@ -33,7 +33,8 @@ fn main() {
                     policy,
                     ..MultiClientConfig::default()
                 },
-            );
+            )
+            .expect("valid config");
             if policy == Policy::LoadPart {
                 cells.push(format!("{:.0}%", report.gpu_utilization * 100.0));
                 cells.push(format!("{:.1}", report.final_k));

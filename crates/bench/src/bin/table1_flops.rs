@@ -49,7 +49,9 @@ fn main() {
             NodeKind::Add => kind
                 .infer_output(&[input.clone(), input.clone()])
                 .expect("valid"),
-            _ => kind.infer_output(std::slice::from_ref(&input)).expect("valid"),
+            _ => kind
+                .infer_output(std::slice::from_ref(&input))
+                .expect("valid"),
         };
         let flops = node_flops(&kind, &input, &output);
         rows.push(vec![

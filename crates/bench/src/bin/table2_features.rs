@@ -14,13 +14,25 @@ fn main() {
     let fm = |c: usize, h: usize| TensorDesc::f32(Shape::nchw(1, c, h, h));
     let cases: Vec<(&str, NodeKind, TensorDesc)> = vec![
         ("Conv", NodeKind::Conv(ConvAttrs::same(64, 3)), fm(64, 56)),
-        ("DWConv", NodeKind::DwConv(DwConvAttrs::new(3, 1, 1)), fm(128, 28)),
-        ("Matmul", NodeKind::MatMul { out_features: 1000 }, TensorDesc::f32(Shape::nc(1, 2048))),
+        (
+            "DWConv",
+            NodeKind::DwConv(DwConvAttrs::new(3, 1, 1)),
+            fm(128, 28),
+        ),
+        (
+            "Matmul",
+            NodeKind::MatMul { out_features: 1000 },
+            TensorDesc::f32(Shape::nc(1, 2048)),
+        ),
         ("Pooling", NodeKind::Pool(PoolAttrs::max(3, 2)), fm(64, 55)),
         ("BiasAdd", NodeKind::BiasAdd, fm(64, 56)),
         ("Element-wise", NodeKind::Add, fm(64, 56)),
         ("BatchNorm", NodeKind::BatchNorm, fm(64, 56)),
-        ("Activation", NodeKind::Activation(Activation::Relu), fm(64, 56)),
+        (
+            "Activation",
+            NodeKind::Activation(Activation::Relu),
+            fm(64, 56),
+        ),
     ];
     let mut rows = Vec::new();
     for (name, kind, input) in cases {
@@ -28,7 +40,9 @@ fn main() {
             NodeKind::Add => kind
                 .infer_output(&[input.clone(), input.clone()])
                 .expect("valid"),
-            _ => kind.infer_output(std::slice::from_ref(&input)).expect("valid"),
+            _ => kind
+                .infer_output(std::slice::from_ref(&input))
+                .expect("valid"),
         };
         let edge = features_for(&kind, &input, &output, Platform::EdgeServer);
         let device = features_for(&kind, &input, &output, Platform::UserDevice);
@@ -57,7 +71,10 @@ fn main() {
     ] {
         println!("  {label}:");
         for &i in &report.ranking {
-            println!("    {:14} importance {:.3}", report.names[i], report.importance[i]);
+            println!(
+                "    {:14} importance {:.3}",
+                report.names[i], report.importance[i]
+            );
         }
     }
     println!("\nFLOPs ranks first on both platforms — the reason every Table II");

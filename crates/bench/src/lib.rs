@@ -1,4 +1,4 @@
-//! Shared utilities for the experiment binaries and criterion benches.
+//! Shared utilities for the experiment binaries and timing benches.
 //!
 //! Every binary in `src/bin/` regenerates one table or figure of the paper
 //! (see DESIGN.md's experiment index); this library provides the common
@@ -10,6 +10,8 @@
 
 use lp_profiler::PredictionModels;
 use lp_sim::SimDuration;
+
+pub mod timing;
 
 /// Trains the standard model bundles used by all experiment binaries
 /// (seed 42, 400 samples per node kind — the Table III configuration).
@@ -70,7 +72,10 @@ pub fn mean_ms(samples: &[SimDuration]) -> f64 {
 /// Maximum of a latency sample in milliseconds.
 #[must_use]
 pub fn max_ms(samples: &[SimDuration]) -> f64 {
-    samples.iter().map(|d| d.as_millis_f64()).fold(0.0, f64::max)
+    samples
+        .iter()
+        .map(|d| d.as_millis_f64())
+        .fold(0.0, f64::max)
 }
 
 /// Formats milliseconds with one decimal.
@@ -83,11 +88,7 @@ pub fn ms(v: f64) -> String {
 /// inference vs full offloading across the bandwidth levels 1..64 Mbps on
 /// an idle server. Returns the printed report.
 #[must_use]
-pub fn speedup_figure(
-    model: &str,
-    user: &PredictionModels,
-    edge: &PredictionModels,
-) -> String {
+pub fn speedup_figure(model: &str, user: &PredictionModels, edge: &PredictionModels) -> String {
     use loadpart::{OffloadingSystem, Policy, SystemConfig, Testbed};
     use lp_sim::SimTime;
 
@@ -137,9 +138,20 @@ pub fn speedup_figure(
             format!("{:.2}x", full / lp),
         ]);
     }
-    out.push_str(&format!("{} — LoADPart vs local vs full offloading:\n", graph.name()));
+    out.push_str(&format!(
+        "{} — LoADPart vs local vs full offloading:\n",
+        graph.name()
+    ));
     out.push_str(&text_table(
-        &["Mbps", "p", "LoADPart ms", "local ms", "full ms", "vs local", "vs full"],
+        &[
+            "Mbps",
+            "p",
+            "LoADPart ms",
+            "local ms",
+            "full ms",
+            "vs local",
+            "vs full",
+        ],
         &rows,
     ));
     let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;

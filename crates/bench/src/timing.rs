@@ -1,0 +1,67 @@
+//! A minimal wall-clock timing harness for the `benches/` targets.
+//!
+//! The offline build has no criterion, so the bench binaries (already
+//! `harness = false`) use this instead: each measurement calibrates an
+//! iteration count to a target batch duration, takes a fixed number of
+//! batch samples, and prints the median per-iteration time. Good enough
+//! to rank the algorithm ablations; not a statistics suite.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+const TARGET_BATCH: Duration = Duration::from_millis(25);
+const SAMPLES: usize = 12;
+
+/// Times `f` and prints `name: <median per-iter> (<iters> iters x <samples> samples)`.
+pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
+    // Calibrate: grow the batch until it takes long enough to time.
+    let mut iters: u64 = 1;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let took = start.elapsed();
+        if took >= TARGET_BATCH || iters >= 1 << 24 {
+            break;
+        }
+        let grow = if took.is_zero() {
+            16
+        } else {
+            (TARGET_BATCH.as_nanos() / took.as_nanos().max(1)).clamp(2, 16) as u64
+        };
+        iters = iters.saturating_mul(grow);
+    }
+    let mut per_iter_ns: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            start.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    per_iter_ns.sort_by(f64::total_cmp);
+    let median = per_iter_ns[per_iter_ns.len() / 2];
+    println!(
+        "{name:<48} {:>12}  ({iters} iters x {SAMPLES} samples)",
+        fmt_ns(median)
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Prints a section header for a group of related measurements.
+pub fn group(title: &str) {
+    println!("\n== {title} ==");
+}

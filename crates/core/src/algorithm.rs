@@ -19,10 +19,9 @@
 use lp_graph::{transmission_series, ComputationGraph};
 use lp_profiler::PredictionModels;
 use lp_sim::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// The outcome of one partition decision.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Decision {
     /// The optimal partition point (0 = full offloading, n = local).
     pub p: usize,
@@ -42,7 +41,7 @@ pub struct Decision {
 ///
 /// Construction is O(n); each decision is an O(n) scan with O(1) work per
 /// candidate point thanks to the prefix/suffix sums.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PartitionSolver {
     /// `prefix[i] = Σ_{j<=i} f(L_j)` in seconds; `prefix[0] = 0` (`L_0` is
     /// virtual).
@@ -74,7 +73,12 @@ impl PartitionSolver {
             .into_iter()
             .map(SimDuration::as_secs_f64)
             .collect();
-        Self::from_times(&f, &g, transmission_series(graph), graph.output().size_bytes())
+        Self::from_times(
+            &f,
+            &g,
+            transmission_series(graph),
+            graph.output().size_bytes(),
+        )
     }
 
     /// Builds the solver directly from per-node times (testing, ablations).
@@ -187,7 +191,10 @@ impl PartitionSolver {
         bandwidth_down_mbps: f64,
         k: f64,
     ) -> Decision {
-        assert!(bandwidth_down_mbps > 0.0, "download bandwidth must be positive");
+        assert!(
+            bandwidth_down_mbps > 0.0,
+            "download bandwidth must be positive"
+        );
         self.decide_inner(bandwidth_up_mbps, Some(bandwidth_down_mbps), k)
     }
 
@@ -357,12 +364,7 @@ mod tests {
     fn ties_resolve_to_larger_p() {
         // Two points with identical cost: zero-size transmissions and
         // symmetric times.
-        let s = PartitionSolver::from_times(
-            &[0.01, 0.01],
-            &[0.01, 0.01],
-            vec![0, 0, 0],
-            0,
-        );
+        let s = PartitionSolver::from_times(&[0.01, 0.01], &[0.01, 0.01], vec![0, 0, 0], 0);
         // t_0 = 0.02, t_1 = 0.02, t_2 = 0.02 -> p = 2.
         assert_eq!(s.decide(8.0, 1.0).p, 2);
     }
@@ -376,9 +378,7 @@ mod tests {
                 let slow = (0..=s.len())
                     .map(|p| s.latency_at(p, bw, k))
                     .min_by(|a, b| {
-                        a.predicted
-                            .cmp(&b.predicted)
-                            .then(b.p.cmp(&a.p)) // larger p wins ties
+                        a.predicted.cmp(&b.predicted).then(b.p.cmp(&a.p)) // larger p wins ties
                     })
                     .unwrap();
                 assert_eq!(fast.p, slow.p, "bw={bw} k={k}");
@@ -392,12 +392,7 @@ mod tests {
         let s = toy();
         // s_0 = 1 MB; every later point uploads less -> all candidates.
         assert_eq!(s.candidate_points(), vec![0, 1, 2, 3, 4]);
-        let grow = PartitionSolver::from_times(
-            &[0.01; 3],
-            &[0.001; 3],
-            vec![100, 500, 50, 0],
-            0,
-        );
+        let grow = PartitionSolver::from_times(&[0.01; 3], &[0.001; 3], vec![100, 500, 50, 0], 0);
         // s_1 = 500 > input 100 is pruned; endpoints and s_2 survive.
         assert_eq!(grow.candidate_points(), vec![0, 2, 3]);
     }

@@ -12,10 +12,9 @@
 
 use crate::algorithm::{Decision, PartitionSolver};
 use lp_graph::{ComputationGraph, ValueId};
-use serde::{Deserialize, Serialize};
 
 /// A partition-decision strategy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Policy {
     /// The paper's system: bandwidth- and load-aware Algorithm 1.
     LoadPart,
@@ -49,7 +48,7 @@ impl Policy {
 }
 
 /// Result of the min-cut (DNN surgery) partitioner.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MinCutResult {
     /// Node positions assigned to the device (a downward-closed set).
     pub device_set: Vec<usize>,
@@ -306,7 +305,9 @@ mod tests {
         let r1 = b
             .node("r1", NodeKind::Activation(Activation::Relu), [c1])
             .unwrap();
-        let c2 = b.node("c2", NodeKind::Conv(ConvAttrs::same(8, 3)), [r1]).unwrap();
+        let c2 = b
+            .node("c2", NodeKind::Conv(ConvAttrs::same(8, 3)), [r1])
+            .unwrap();
         let add = b.node("add", NodeKind::Add, [r1, c2]).unwrap();
         let graph = b.finish(add).unwrap();
         let f = [0.004, 0.001, 0.004, 0.001];

@@ -65,7 +65,9 @@ fn get_parsed<T: std::str::FromStr>(
     default: Option<T>,
 ) -> Result<T, String> {
     match flags.get(key) {
-        Some(v) => v.parse().map_err(|_| format!("invalid value for --{key}: {v:?}")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("invalid value for --{key}: {v:?}")),
         None => default.ok_or_else(|| format!("missing required flag --{key}")),
     }
 }
@@ -74,9 +76,8 @@ fn load_model(flags: &HashMap<String, String>) -> Result<lp_graph::ComputationGr
     let name = flags
         .get("model")
         .ok_or_else(|| "missing required flag --model".to_string())?;
-    lp_models::by_name(name, 1).ok_or_else(|| {
-        format!("unknown model {name:?}; run `loadpart models` for the zoo")
-    })
+    lp_models::by_name(name, 1)
+        .ok_or_else(|| format!("unknown model {name:?}; run `loadpart models` for the zoo"))
 }
 
 fn run(args: &[String]) -> Result<String, String> {
@@ -180,7 +181,11 @@ fn cmd_partition(flags: &HashMap<String, String>) -> Result<String, String> {
                 s.nodes.len(),
                 s.parameters.len(),
                 s.outputs.len(),
-                if s.needs_make_tuple() { " via MakeTuple" } else { "" },
+                if s.needs_make_tuple() {
+                    " via MakeTuple"
+                } else {
+                    ""
+                },
                 s.output_bytes() / 1024
             )),
             None => out.push_str(&format!("  {side}: (empty)\n")),
@@ -245,7 +250,9 @@ mod tests {
 
     #[test]
     fn errors_are_helpful() {
-        assert!(run(&argv("decide --bandwidth 8")).unwrap_err().contains("--model"));
+        assert!(run(&argv("decide --bandwidth 8"))
+            .unwrap_err()
+            .contains("--model"));
         assert!(run(&argv("decide --model nope --bandwidth 8"))
             .unwrap_err()
             .contains("unknown model"));
@@ -261,7 +268,9 @@ mod tests {
         assert!(run(&argv("partition --model alexnet --p 99"))
             .unwrap_err()
             .contains("out of range"));
-        assert!(run(&argv("bogus")).unwrap_err().contains("unknown subcommand"));
+        assert!(run(&argv("bogus"))
+            .unwrap_err()
+            .contains("unknown subcommand"));
         assert!(run(&[]).unwrap_err().contains("no subcommand"));
     }
 }

@@ -4,12 +4,11 @@
 //! paper amortises it with a cache keyed by the partition point (≈1% of
 //! inference time when amortised over 100 requests). The cache is shared
 //! between the offloading main thread and the runtime-profiler thread, so
-//! it is guarded by a `parking_lot::RwLock`.
+//! it is guarded by a `std::sync::RwLock`.
 
 use lp_graph::{partition::partition_at, ComputationGraph, GraphError, PartitionedGraph};
-use parking_lot::RwLock;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
 /// Statistics of cache effectiveness.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -60,15 +59,16 @@ impl PartitionCache {
         graph: &ComputationGraph,
         p: usize,
     ) -> Result<Arc<PartitionedGraph>, GraphError> {
-        if let Some(found) = self.entries.read().get(&p) {
-            self.stats.write().hits += 1;
+        if let Some(found) = self.entries.read().expect("lock poisoned").get(&p) {
+            self.stats.write().expect("lock poisoned").hits += 1;
             return Ok(Arc::clone(found));
         }
         // Partition outside the lock; insertion races are benign (same value).
         let part = Arc::new(partition_at(graph, p)?);
-        self.stats.write().misses += 1;
+        self.stats.write().expect("lock poisoned").misses += 1;
         self.entries
             .write()
+            .expect("lock poisoned")
             .entry(p)
             .or_insert_with(|| Arc::clone(&part));
         Ok(part)
@@ -77,24 +77,24 @@ impl PartitionCache {
     /// Current statistics.
     #[must_use]
     pub fn stats(&self) -> CacheStats {
-        *self.stats.read()
+        *self.stats.read().expect("lock poisoned")
     }
 
     /// Number of cached partitions.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.entries.read().len()
+        self.entries.read().expect("lock poisoned").len()
     }
 
     /// Whether the cache is empty.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.entries.read().is_empty()
+        self.entries.read().expect("lock poisoned").is_empty()
     }
 
     /// Drops all cached partitions (e.g. on a model update).
     pub fn clear(&self) {
-        self.entries.write().clear();
+        self.entries.write().expect("lock poisoned").clear();
     }
 }
 

@@ -14,10 +14,9 @@
 //! ```
 
 use crate::algorithm::PartitionSolver;
-use serde::{Deserialize, Serialize};
 
 /// Device power draw in the three phases of a partitioned inference.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PowerModel {
     /// Power while computing locally, watts.
     pub compute_w: f64,
@@ -40,7 +39,7 @@ impl Default for PowerModel {
 }
 
 /// One point of the energy landscape.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyDecision {
     /// The partition point.
     pub p: usize,

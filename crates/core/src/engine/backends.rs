@@ -1,0 +1,285 @@
+//! The concrete device/transport/server implementations the drivers
+//! compose the engine from.
+//!
+//! * [`SimulatedDevice`] + [`LinkTransport`] + [`GpuBackend`] — the
+//!   co-simulation: sampled latency models, a jittered [`Link`], and a
+//!   queueing [`GpuSim`]. `OffloadingSystem` uses them with an exclusive
+//!   GPU and the watchdog armed; `multi_client_run` shares one GPU and
+//!   tracker across all clients' backends.
+//! * [`NullDevice`] + [`WireTransport`] + [`WireBackend`] — the threaded
+//!   runtime: logical time, everything crossing the client/server boundary
+//!   framed as [`Message`]s over channels.
+
+use crate::cache::PartitionCache;
+use crate::engine::{DeviceExecutor, ServerBackend, SuffixOutcome, SuffixRequest, Transport};
+use crate::protocol::{Message, ProtocolError};
+use crate::threaded::ServerHandle;
+use bytes::Bytes;
+use lp_graph::ComputationGraph;
+use lp_hardware::{DeviceModel, GpuModel, GpuSim, TaskId};
+use lp_net::{Link, ProbeProfiler};
+use lp_profiler::{GpuUtilWatchdog, LoadFactorTracker};
+use lp_sim::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+
+/// Device prefix execution by sampling a [`DeviceModel`] per node.
+#[derive(Debug)]
+pub struct SimulatedDevice<'a> {
+    /// Latency model of the user-end device.
+    pub model: &'a DeviceModel,
+}
+
+impl DeviceExecutor for SimulatedDevice<'_> {
+    fn execute_prefix(
+        &mut self,
+        graph: &ComputationGraph,
+        p: usize,
+        rng: &mut StdRng,
+    ) -> SimDuration {
+        let mut total = SimDuration::ZERO;
+        for node in graph.nodes().iter().take(p) {
+            total += self.model.sample(
+                &node.kind,
+                graph.value_desc(node.inputs[0]),
+                &node.output,
+                rng,
+            );
+        }
+        total
+    }
+}
+
+/// A device that does not model prefix compute (the threaded runtime's
+/// logical time).
+#[derive(Debug)]
+pub struct NullDevice;
+
+impl DeviceExecutor for NullDevice {
+    fn execute_prefix(
+        &mut self,
+        _graph: &ComputationGraph,
+        _p: usize,
+        _rng: &mut StdRng,
+    ) -> SimDuration {
+        SimDuration::ZERO
+    }
+}
+
+/// Transport over a simulated [`Link`]: probes and uploads both feed the
+/// bandwidth estimator.
+#[derive(Debug)]
+pub struct LinkTransport<'a> {
+    /// The device<->server link.
+    pub link: &'a Link,
+}
+
+impl Transport for LinkTransport<'_> {
+    fn probe(
+        &mut self,
+        profiler: &mut ProbeProfiler,
+        now: SimTime,
+        rng: &mut StdRng,
+    ) -> Result<(), ProtocolError> {
+        let (_mbps, _end) = profiler.probe(self.link, now, rng);
+        Ok(())
+    }
+
+    fn upload(
+        &mut self,
+        profiler: &mut ProbeProfiler,
+        bytes: u64,
+        start: SimTime,
+        rng: &mut StdRng,
+    ) -> Result<SimTime, ProtocolError> {
+        let end = self.link.upload_end(bytes, start, rng);
+        profiler.record_passive(bytes, start, end, self.link.latency);
+        Ok(end)
+    }
+
+    fn download(&mut self, bytes: u64, start: SimTime, rng: &mut StdRng) -> SimTime {
+        self.link.download_end(bytes, start, rng)
+    }
+}
+
+/// Server backend over a (possibly shared) [`GpuSim`]: suffix kernels are
+/// sampled from the edge latency model and submitted to the simulator's
+/// real queueing; `k` comes from the [`LoadFactorTracker`] every backend
+/// view shares.
+#[derive(Debug)]
+pub struct GpuBackend<'a> {
+    /// The edge GPU simulator (shared across clients in multi-client
+    /// runs).
+    pub gpu: &'a mut GpuSim,
+    /// Kernel-latency model of the edge GPU.
+    pub gpu_model: &'a GpuModel,
+    /// The GPU context this client's suffixes run in.
+    pub ctx: usize,
+    /// The server-side load tracker (shared).
+    pub tracker: &'a mut LoadFactorTracker,
+    /// The GPU-utilization watchdog, when the driver arms one.
+    pub watchdog: Option<&'a mut GpuUtilWatchdog>,
+    /// The server-side partition cache (Figure 5 extraction).
+    pub server_cache: &'a PartitionCache,
+}
+
+impl ServerBackend for GpuBackend<'_> {
+    fn advance(&mut self, now: SimTime) {
+        self.gpu.advance_to(now);
+    }
+
+    fn monitor(&mut self, now: SimTime) {
+        if let Some(watchdog) = self.watchdog.as_deref_mut() {
+            watchdog.poll(now, self.gpu.busy_time(), self.tracker);
+        }
+    }
+
+    fn query_k(&mut self, now: SimTime) -> Result<f64, ProtocolError> {
+        Ok(self.tracker.k_at(now))
+    }
+
+    fn execute_suffix(
+        &mut self,
+        graph: &ComputationGraph,
+        req: &SuffixRequest,
+        rng: &mut StdRng,
+    ) -> Result<SuffixOutcome, ProtocolError> {
+        let _suffix = self
+            .server_cache
+            .get_or_partition(graph, req.p)
+            .expect("p in range");
+        self.gpu.advance_to(req.arrive);
+        let n = graph.len();
+        let kernels: Vec<SimDuration> = graph
+            .nodes()
+            .iter()
+            .take(n)
+            .skip(req.p)
+            .map(|node| {
+                self.gpu_model.sample(
+                    &node.kind,
+                    graph.value_desc(node.inputs[0]),
+                    &node.output,
+                    rng,
+                )
+            })
+            .collect();
+        // advance_to can overshoot a slice boundary; the request becomes
+        // visible to the scheduler at the GPU's current instant (the gap
+        // is genuine queueing behind the in-flight kernel).
+        let submit_at = req.arrive.max(self.gpu.now());
+        let task = self.gpu.submit(self.ctx, submit_at, kernels);
+        Ok(SuffixOutcome::Pending { task })
+    }
+
+    fn wait(&mut self, task: TaskId) -> SimTime {
+        self.gpu.run_until_complete(task)
+    }
+
+    fn complete(&mut self, completion: SimTime, observed: SimDuration, predicted: SimDuration) {
+        self.tracker.record(completion, observed, predicted);
+    }
+}
+
+/// Server backend over the wire protocol: suffixes and load queries are
+/// framed [`Message`]s answered by a [`ServerHandle`]'s server thread.
+#[derive(Debug)]
+pub struct WireBackend<'a> {
+    /// Handle to the running server thread.
+    pub server: &'a ServerHandle,
+}
+
+impl ServerBackend for WireBackend<'_> {
+    fn query_k(&mut self, _now: SimTime) -> Result<f64, ProtocolError> {
+        self.server
+            .send_frame(Message::LoadQuery.encode())
+            .expect("server alive");
+        match Message::decode(self.server.recv_frame().expect("server alive"))? {
+            Message::LoadReply { k_micro } => Ok(Message::micro_to_k(k_micro)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    fn execute_suffix(
+        &mut self,
+        graph: &ComputationGraph,
+        req: &SuffixRequest,
+        _rng: &mut StdRng,
+    ) -> Result<SuffixOutcome, ProtocolError> {
+        let frame = Message::OffloadRequest {
+            request_id: req.request_id,
+            partition_point: req.p as u32,
+            payload: Bytes::from(vec![0u8; req.upload_bytes as usize]),
+        }
+        .encode();
+        self.server.send_frame(frame).expect("server alive");
+        match Message::decode(self.server.recv_frame().expect("server alive"))? {
+            Message::OffloadResponse {
+                request_id,
+                server_time_us,
+                payload,
+            } => {
+                debug_assert_eq!(request_id, req.request_id);
+                debug_assert_eq!(payload.len() as u64, graph.output().size_bytes());
+                let server_time = SimDuration::from_micros_f64(server_time_us as f64);
+                Ok(SuffixOutcome::Done {
+                    completion: req.arrive + server_time,
+                })
+            }
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    fn complete(&mut self, _completion: SimTime, _observed: SimDuration, _predicted: SimDuration) {
+        // The server thread's own tracker observed the execution when it
+        // served the request; the client has nothing to record.
+    }
+}
+
+/// Transport over the wire protocol: probes are framed round trips;
+/// payloads ride inside the offload request, so transfer time is logical.
+#[derive(Debug)]
+pub struct WireTransport<'a> {
+    /// Handle to the running server thread.
+    pub server: &'a ServerHandle,
+}
+
+impl Transport for WireTransport<'_> {
+    fn probe(
+        &mut self,
+        profiler: &mut ProbeProfiler,
+        _now: SimTime,
+        _rng: &mut StdRng,
+    ) -> Result<(), ProtocolError> {
+        let bytes = profiler.next_probe_bytes();
+        let frame = Message::Probe {
+            payload: Bytes::from(vec![0u8; bytes as usize]),
+        }
+        .encode();
+        self.server.send_frame(frame).expect("server alive");
+        match Message::decode(self.server.recv_frame().expect("server alive"))? {
+            Message::ProbeAck => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    fn upload(
+        &mut self,
+        _profiler: &mut ProbeProfiler,
+        _bytes: u64,
+        start: SimTime,
+        _rng: &mut StdRng,
+    ) -> Result<SimTime, ProtocolError> {
+        // The payload ships inside the OffloadRequest frame.
+        Ok(start)
+    }
+
+    fn download(&mut self, _bytes: u64, start: SimTime, _rng: &mut StdRng) -> SimTime {
+        start
+    }
+}
+
+fn unexpected(_msg: &Message) -> ProtocolError {
+    // Any out-of-order message kind is treated as an unknown tag at the
+    // session layer.
+    ProtocolError::UnknownTag(255)
+}

@@ -1,0 +1,129 @@
+//! Engine configuration and its validation.
+
+use lp_sim::SimDuration;
+use std::error::Error;
+use std::fmt;
+
+/// Tunables of the per-request offload engine (defaults follow §V-A).
+///
+/// This is the same shape the co-simulated system historically called
+/// `SystemConfig`; that name remains available as an alias.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineConfig {
+    /// Runtime-profiler period (bandwidth probe + `k` fetch), default 5 s.
+    pub profiler_period: SimDuration,
+    /// Sliding-window length of the bandwidth estimator.
+    pub bandwidth_window: usize,
+    /// Monitoring period of the server-side load tracker.
+    pub tracker_period: SimDuration,
+    /// Whether to add the result-download leg to measured latency
+    /// (§IV ignores it; kept for ablations).
+    pub model_download: bool,
+    /// RNG seed for measurement noise.
+    pub seed: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            profiler_period: SimDuration::from_secs(5),
+            bandwidth_window: 8,
+            tracker_period: SimDuration::from_secs(5),
+            model_download: false,
+            seed: 7,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Checks the configuration for values the runtime cannot work with.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] found.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.bandwidth_window == 0 {
+            return Err(ConfigError::ZeroBandwidthWindow);
+        }
+        if self.profiler_period == SimDuration::ZERO {
+            return Err(ConfigError::ZeroProfilerPeriod);
+        }
+        if self.tracker_period == SimDuration::ZERO {
+            return Err(ConfigError::ZeroTrackerPeriod);
+        }
+        Ok(())
+    }
+}
+
+/// A configuration value the runtime cannot work with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The bandwidth estimator needs a non-empty sliding window.
+    ZeroBandwidthWindow,
+    /// The runtime profiler needs a positive period.
+    ZeroProfilerPeriod,
+    /// The server-side load tracker needs a positive monitoring period.
+    ZeroTrackerPeriod,
+    /// A multi-client run needs at least one client.
+    ZeroClients,
+    /// Links need a positive bandwidth.
+    NonPositiveBandwidth,
+    /// An experiment needs a positive duration.
+    ZeroDuration,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroBandwidthWindow => {
+                write!(f, "bandwidth window must hold at least one sample")
+            }
+            ConfigError::ZeroProfilerPeriod => write!(f, "profiler period must be positive"),
+            ConfigError::ZeroTrackerPeriod => write!(f, "tracker period must be positive"),
+            ConfigError::ZeroClients => write!(f, "need at least one client"),
+            ConfigError::NonPositiveBandwidth => write!(f, "bandwidth must be positive"),
+            ConfigError::ZeroDuration => write!(f, "duration must be positive"),
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        assert_eq!(EngineConfig::default().validate(), Ok(()));
+    }
+
+    #[test]
+    fn zero_window_is_rejected() {
+        let cfg = EngineConfig {
+            bandwidth_window: 0,
+            ..EngineConfig::default()
+        };
+        assert_eq!(cfg.validate(), Err(ConfigError::ZeroBandwidthWindow));
+    }
+
+    #[test]
+    fn zero_periods_are_rejected() {
+        let cfg = EngineConfig {
+            profiler_period: SimDuration::ZERO,
+            ..EngineConfig::default()
+        };
+        assert_eq!(cfg.validate(), Err(ConfigError::ZeroProfilerPeriod));
+        let cfg = EngineConfig {
+            tracker_period: SimDuration::ZERO,
+            ..EngineConfig::default()
+        };
+        assert_eq!(cfg.validate(), Err(ConfigError::ZeroTrackerPeriod));
+    }
+
+    #[test]
+    fn errors_display_readably() {
+        let msg = ConfigError::ZeroClients.to_string();
+        assert!(msg.contains("at least one client"), "{msg}");
+    }
+}

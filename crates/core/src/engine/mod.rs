@@ -1,0 +1,481 @@
+//! The shared per-request offload pipeline.
+//!
+//! Every driver in this crate — the co-simulated [`OffloadingSystem`]
+//! (`system`), the threaded wire runtime (`threaded`) and the shared-GPU
+//! multi-client run (`multi_client`) — executes the same LoADPart loop per
+//! request:
+//!
+//! 1. run the periodic runtime-profiler action if due ([`RuntimeProfile`]:
+//!    bandwidth probe + `k` fetch, §IV);
+//! 2. pick the partition point with the [`Policy`] (Algorithm 1 for
+//!    LoADPart);
+//! 3. fetch the partitioned graph from the device-side partition cache
+//!    (§III-A);
+//! 4. execute `L_1..L_p` on the device, upload the crossing tensors, hand
+//!    the suffix to the server;
+//! 5. when the suffix completes, report the observed server time to the
+//!    load-factor tracker (§III-C).
+//!
+//! [`OffloadEngine`] owns that loop once. What differs per driver is *how*
+//! each step executes, expressed as three traits the engine is generic
+//! over:
+//!
+//! * [`DeviceExecutor`] — how `L_1..L_p` runs (sampled latency model vs
+//!   logical no-op);
+//! * [`Transport`] — how probes and tensors move (simulated [`lp_net::Link`]
+//!   vs protocol frames over channels);
+//! * [`ServerBackend`] — how the suffix executes and where `k` comes from
+//!   (queueing [`lp_hardware::GpuSim`], shared or exclusive, vs a remote
+//!   server thread).
+//!
+//! Backends that queue (a shared GPU) return [`SuffixOutcome::Pending`];
+//! drivers that interleave many clients keep the [`PendingRequest`] and
+//! call [`OffloadEngine::finish`] when the completion arrives. Drivers
+//! that block per request just call [`OffloadEngine::run`].
+//!
+//! [`OffloadingSystem`]: crate::system::OffloadingSystem
+//! [`Policy`]: crate::baselines::Policy
+
+pub mod backends;
+mod config;
+mod profile;
+mod record;
+
+pub use config::{ConfigError, EngineConfig};
+pub use profile::RuntimeProfile;
+pub use record::InferenceRecord;
+
+use crate::algorithm::PartitionSolver;
+use crate::baselines::Policy;
+use crate::cache::PartitionCache;
+use crate::protocol::ProtocolError;
+use lp_graph::ComputationGraph;
+use lp_hardware::TaskId;
+use lp_profiler::PredictionModels;
+use lp_sim::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// How a driver executes the device-side prefix `L_1..L_p`.
+pub trait DeviceExecutor {
+    /// Executes the prefix and returns the time it took.
+    fn execute_prefix(
+        &mut self,
+        graph: &ComputationGraph,
+        p: usize,
+        rng: &mut StdRng,
+    ) -> SimDuration;
+}
+
+/// One suffix execution handed to a [`ServerBackend`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SuffixRequest {
+    /// Engine-assigned request id.
+    pub request_id: u64,
+    /// Partition point: the server runs `L_{p+1}..L_n`.
+    pub p: usize,
+    /// Bytes of crossing tensors shipped with the request.
+    pub upload_bytes: u64,
+    /// When the upload finished — the suffix cannot start earlier, and
+    /// server time is measured from here.
+    pub arrive: SimTime,
+}
+
+/// What a [`ServerBackend`] did with a suffix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SuffixOutcome {
+    /// The suffix ran to completion (blocking backends).
+    Done {
+        /// When the suffix finished on the server.
+        completion: SimTime,
+    },
+    /// The suffix is queued; the driver must observe the completion and
+    /// call [`OffloadEngine::finish`] (shared-GPU backends).
+    Pending {
+        /// Handle to poll the simulator with.
+        task: TaskId,
+    },
+}
+
+/// How a driver executes the server side: suffix execution and the load
+/// feedback loop.
+pub trait ServerBackend {
+    /// Advances server-side clocks to `now` (called once per request,
+    /// before anything else).
+    fn advance(&mut self, now: SimTime) {
+        let _ = now;
+    }
+
+    /// Server-side housekeeping that runs every request regardless of the
+    /// profiler cadence — the GPU-utilization watchdog in the
+    /// co-simulation.
+    fn monitor(&mut self, now: SimTime) {
+        let _ = now;
+    }
+
+    /// Answers the device's periodic "what is `k` now?" query.
+    ///
+    /// # Errors
+    ///
+    /// Wire backends propagate [`ProtocolError`] on malformed replies.
+    fn query_k(&mut self, now: SimTime) -> Result<f64, ProtocolError>;
+
+    /// Executes (or enqueues) the suffix `L_{p+1}..L_n`.
+    ///
+    /// # Errors
+    ///
+    /// Wire backends propagate [`ProtocolError`] on malformed responses.
+    fn execute_suffix(
+        &mut self,
+        graph: &ComputationGraph,
+        req: &SuffixRequest,
+        rng: &mut StdRng,
+    ) -> Result<SuffixOutcome, ProtocolError>;
+
+    /// Blocks until a [`SuffixOutcome::Pending`] task completes and
+    /// returns the completion time. Only called by [`OffloadEngine::run`];
+    /// backends that never defer keep the default.
+    fn wait(&mut self, task: TaskId) -> SimTime {
+        let _ = task;
+        unreachable!("backend never defers suffix execution")
+    }
+
+    /// Feeds one observed suffix execution to the server's load-factor
+    /// tracker. Backends whose server observes executions itself (the
+    /// threaded server thread) leave this a no-op.
+    fn complete(&mut self, completion: SimTime, observed: SimDuration, predicted: SimDuration);
+}
+
+/// How bytes move between device and server.
+pub trait Transport {
+    /// Sends one bandwidth probe at `now`, feeding `profiler`.
+    ///
+    /// # Errors
+    ///
+    /// Wire transports propagate [`ProtocolError`] on a malformed ack.
+    fn probe(
+        &mut self,
+        profiler: &mut lp_net::ProbeProfiler,
+        now: SimTime,
+        rng: &mut StdRng,
+    ) -> Result<(), ProtocolError>;
+
+    /// Ships `bytes` of crossing tensors starting at `start`; returns the
+    /// arrival time at the server. Real uploads also feed the estimator
+    /// passively (§IV).
+    ///
+    /// # Errors
+    ///
+    /// Wire transports propagate [`ProtocolError`].
+    fn upload(
+        &mut self,
+        profiler: &mut lp_net::ProbeProfiler,
+        bytes: u64,
+        start: SimTime,
+        rng: &mut StdRng,
+    ) -> Result<SimTime, ProtocolError>;
+
+    /// Ships the result back starting at `start`; returns when it lands on
+    /// the device.
+    fn download(&mut self, bytes: u64, start: SimTime, rng: &mut StdRng) -> SimTime;
+}
+
+/// An offload request whose suffix is still queued on the server.
+#[derive(Debug)]
+pub struct PendingRequest {
+    /// Handle the driver polls the simulator with.
+    pub task: TaskId,
+    arrive: SimTime,
+    record: InferenceRecord,
+}
+
+impl PendingRequest {
+    /// The partially filled record (server/download/total not yet final).
+    #[must_use]
+    pub fn record(&self) -> &InferenceRecord {
+        &self.record
+    }
+}
+
+/// Result of [`OffloadEngine::start`].
+#[derive(Debug)]
+pub enum Outcome {
+    /// The request ran to completion.
+    Complete(InferenceRecord),
+    /// The suffix is queued on a shared backend.
+    Deferred(PendingRequest),
+}
+
+/// The per-client LoADPart runtime: solver + policy + profile + partition
+/// cache, driving one request at a time over whatever device/transport/
+/// server backends the driver supplies.
+#[derive(Debug)]
+pub struct OffloadEngine {
+    graph: ComputationGraph,
+    solver: PartitionSolver,
+    policy: Policy,
+    config: EngineConfig,
+    profile: RuntimeProfile,
+    device_cache: PartitionCache,
+    rng: StdRng,
+    next_id: u64,
+    client: usize,
+}
+
+impl OffloadEngine {
+    /// Assembles an engine for one DNN on one client.
+    ///
+    /// # Errors
+    ///
+    /// Rejects invalid configurations with [`ConfigError`].
+    pub fn new(
+        graph: ComputationGraph,
+        policy: Policy,
+        user_models: &PredictionModels,
+        edge_models: &PredictionModels,
+        client: usize,
+        config: EngineConfig,
+    ) -> Result<Self, ConfigError> {
+        config.validate()?;
+        let solver = PartitionSolver::new(&graph, user_models, edge_models);
+        let profile = RuntimeProfile::new(config.bandwidth_window, config.profiler_period);
+        let rng = StdRng::seed_from_u64(config.seed);
+        Ok(Self {
+            graph,
+            solver,
+            policy,
+            config,
+            profile,
+            device_cache: PartitionCache::new(),
+            rng,
+            next_id: 0,
+            client,
+        })
+    }
+
+    /// The solver (for inspecting predictions).
+    #[must_use]
+    pub fn solver(&self) -> &PartitionSolver {
+        &self.solver
+    }
+
+    /// The graph this engine serves.
+    #[must_use]
+    pub fn graph(&self) -> &ComputationGraph {
+        &self.graph
+    }
+
+    /// The device-side partition cache.
+    #[must_use]
+    pub fn device_cache(&self) -> &PartitionCache {
+        &self.device_cache
+    }
+
+    /// The engine's configuration.
+    #[must_use]
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The runtime profile (bandwidth estimate + cached `k`).
+    #[must_use]
+    pub fn profile(&self) -> &RuntimeProfile {
+        &self.profile
+    }
+
+    /// Mutable profile access (drivers that inject bandwidth).
+    #[must_use]
+    pub fn profile_mut(&mut self) -> &mut RuntimeProfile {
+        &mut self.profile
+    }
+
+    /// Fetches `k` from the server out of cadence and caches it — the
+    /// explicit runtime-profiler action.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend failures.
+    pub fn refresh_k<S: ServerBackend + ?Sized>(
+        &mut self,
+        now: SimTime,
+        backend: &mut S,
+    ) -> Result<f64, ProtocolError> {
+        let k = backend.query_k(now)?;
+        self.profile.set_k(k);
+        Ok(k)
+    }
+
+    /// Starts one inference request at `at`: profiler refresh, decision,
+    /// prefix, upload, suffix hand-off. Returns a completed record, or a
+    /// [`PendingRequest`] when the backend queued the suffix.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport/backend failures (wire runtimes only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before the backend's current simulated time.
+    pub fn start<D, S, T>(
+        &mut self,
+        at: SimTime,
+        device: &mut D,
+        backend: &mut S,
+        transport: &mut T,
+    ) -> Result<Outcome, ProtocolError>
+    where
+        D: DeviceExecutor + ?Sized,
+        S: ServerBackend + ?Sized,
+        T: Transport + ?Sized,
+    {
+        backend.advance(at);
+        self.profile
+            .refresh(at, transport, backend, &mut self.rng)?;
+        backend.monitor(at);
+        let bandwidth = self
+            .profile
+            .bandwidth_mbps()
+            .expect("refresh probed or bandwidth was injected");
+        let k = self.profile.k();
+        let decision = self.policy.decide(&self.solver, bandwidth, k);
+        let p = decision.p;
+
+        let hits_before = self.device_cache.stats().hits;
+        let partition = self
+            .device_cache
+            .get_or_partition(&self.graph, p)
+            .expect("decision p in range");
+        let cache_hit = self.device_cache.stats().hits > hits_before;
+
+        let device_time = device.execute_prefix(&self.graph, p, &mut self.rng);
+        let request_id = self.next_id;
+        self.next_id += 1;
+        let mut record = InferenceRecord {
+            request_id,
+            client: self.client,
+            start: at,
+            p,
+            k_used: k,
+            bandwidth_est_mbps: bandwidth,
+            predicted: decision.predicted,
+            device: device_time,
+            upload: SimDuration::ZERO,
+            uploaded_bytes: 0,
+            server: SimDuration::ZERO,
+            download: SimDuration::ZERO,
+            total: device_time,
+            cache_hit,
+        };
+        if p == self.graph.len() {
+            // Local inference: nothing leaves the device.
+            return Ok(Outcome::Complete(record));
+        }
+
+        let upload_bytes = partition.upload_bytes(&self.graph);
+        let upload_start = at + device_time;
+        let upload_end = transport.upload(
+            self.profile.probe_profiler_mut(),
+            upload_bytes,
+            upload_start,
+            &mut self.rng,
+        )?;
+        record.upload = upload_end.since(upload_start);
+        record.uploaded_bytes = upload_bytes;
+
+        let req = SuffixRequest {
+            request_id,
+            p,
+            upload_bytes,
+            arrive: upload_end,
+        };
+        match backend.execute_suffix(&self.graph, &req, &mut self.rng)? {
+            SuffixOutcome::Done { completion } => Ok(Outcome::Complete(
+                self.settle(record, upload_end, completion, backend, transport),
+            )),
+            SuffixOutcome::Pending { task } => Ok(Outcome::Deferred(PendingRequest {
+                task,
+                arrive: upload_end,
+                record,
+            })),
+        }
+    }
+
+    /// Completes a deferred request once the driver observed its
+    /// completion time.
+    pub fn finish<S, T>(
+        &mut self,
+        pending: PendingRequest,
+        completion: SimTime,
+        backend: &mut S,
+        transport: &mut T,
+    ) -> InferenceRecord
+    where
+        S: ServerBackend + ?Sized,
+        T: Transport + ?Sized,
+    {
+        self.settle(
+            pending.record,
+            pending.arrive,
+            completion,
+            backend,
+            transport,
+        )
+    }
+
+    /// Runs one request to completion, blocking on the backend if it
+    /// queues.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport/backend failures (wire runtimes only).
+    pub fn run<D, S, T>(
+        &mut self,
+        at: SimTime,
+        device: &mut D,
+        backend: &mut S,
+        transport: &mut T,
+    ) -> Result<InferenceRecord, ProtocolError>
+    where
+        D: DeviceExecutor + ?Sized,
+        S: ServerBackend + ?Sized,
+        T: Transport + ?Sized,
+    {
+        match self.start(at, device, backend, transport)? {
+            Outcome::Complete(record) => Ok(record),
+            Outcome::Deferred(pending) => {
+                let completion = backend.wait(pending.task);
+                Ok(self.finish(pending, completion, backend, transport))
+            }
+        }
+    }
+
+    /// Shared tail of every offloaded request: measure server time, feed
+    /// the load tracker, optionally download the result.
+    fn settle<S, T>(
+        &mut self,
+        mut record: InferenceRecord,
+        arrive: SimTime,
+        completion: SimTime,
+        backend: &mut S,
+        transport: &mut T,
+    ) -> InferenceRecord
+    where
+        S: ServerBackend + ?Sized,
+        T: Transport + ?Sized,
+    {
+        let server = completion.since(arrive);
+        record.server = server;
+        // The tracker normalises against the *unscaled* model prediction
+        // for this suffix — the §III-C observed/predicted ratio.
+        let predicted = SimDuration::from_secs_f64(self.solver.suffix_edge_secs(record.p));
+        backend.complete(completion, server, predicted);
+        let mut end = completion;
+        if self.config.model_download {
+            let dl_end = transport.download(self.graph.output().size_bytes(), end, &mut self.rng);
+            record.download = dl_end.since(end);
+            end = dl_end;
+        }
+        record.total = end.since(record.start);
+        record
+    }
+}

@@ -1,0 +1,204 @@
+//! The device-side runtime profile: bandwidth estimate + load factor.
+//!
+//! The paper's runtime profiler is a device thread that periodically (§IV,
+//! 5 s period) probes the upload bandwidth and asks the server for the
+//! current load influence factor `k`. [`RuntimeProfile`] is that thread's
+//! state, made driver-agnostic: probes go through a [`Transport`] and the
+//! `k` query through a [`ServerBackend`], so the same cadence logic serves
+//! the co-simulation, the wire runtime and multi-client runs.
+
+use crate::engine::{ServerBackend, Transport};
+use crate::protocol::ProtocolError;
+use lp_net::ProbeProfiler;
+use lp_sim::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+
+/// The state the periodic runtime-profiler action maintains.
+#[derive(Debug)]
+pub struct RuntimeProfile {
+    probe: ProbeProfiler,
+    period: SimDuration,
+    cached_k: f64,
+    last_refresh: Option<SimTime>,
+    injected_mbps: Option<f64>,
+}
+
+impl RuntimeProfile {
+    /// Creates a profile with the given estimator window and refresh
+    /// period.
+    #[must_use]
+    pub fn new(window: usize, period: SimDuration) -> Self {
+        Self {
+            probe: ProbeProfiler::new(window),
+            period,
+            cached_k: 1.0,
+            last_refresh: None,
+            injected_mbps: None,
+        }
+    }
+
+    /// The probe profiler (estimator window + probe sizing), for
+    /// inspection.
+    #[must_use]
+    pub fn probe_profiler(&self) -> &ProbeProfiler {
+        &self.probe
+    }
+
+    /// Mutable access for transports that feed passive measurements.
+    #[must_use]
+    pub fn probe_profiler_mut(&mut self) -> &mut ProbeProfiler {
+        &mut self.probe
+    }
+
+    /// Overrides the bandwidth estimate with an externally supplied value
+    /// (the threaded runtime injects the bandwidth instead of measuring a
+    /// simulated link). Probing still happens, but the estimate is pinned.
+    pub fn inject_bandwidth(&mut self, mbps: f64) {
+        self.injected_mbps = Some(mbps);
+    }
+
+    /// The load factor most recently fetched from the server.
+    #[must_use]
+    pub fn k(&self) -> f64 {
+        self.cached_k
+    }
+
+    /// Replaces the cached load factor (an explicit, out-of-cadence `k`
+    /// fetch).
+    pub fn set_k(&mut self, k: f64) {
+        self.cached_k = k;
+    }
+
+    /// The bandwidth estimate decisions should use: the injected value if
+    /// any, else the estimator's window mean. `None` before any sample.
+    #[must_use]
+    pub fn bandwidth_mbps(&self) -> Option<f64> {
+        self.injected_mbps
+            .or_else(|| self.probe.estimator.estimate_mbps())
+    }
+
+    /// Runs the periodic profiler action if it is due at `now`: probe the
+    /// bandwidth and fetch `k` from the server.
+    ///
+    /// On a cold start the estimator window is filled with a back-to-back
+    /// probe burst rather than a single probe. A single jittered sample is
+    /// a poor first estimate — when the local/offload margin is a few
+    /// percent (VGG16 at 1 Mbps) one unlucky draw can park the client on
+    /// the wrong side of the crossing for many periods, because a
+    /// locally-inferring client adds no passive samples to heal the
+    /// window. A full window's mean has `1/sqrt(w)` of the jitter.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport/backend failures (wire runtimes only; the
+    /// co-simulated transport and backend are infallible).
+    pub fn refresh<T: Transport + ?Sized, S: ServerBackend + ?Sized>(
+        &mut self,
+        now: SimTime,
+        transport: &mut T,
+        backend: &mut S,
+        rng: &mut StdRng,
+    ) -> Result<(), ProtocolError> {
+        let due = match self.last_refresh {
+            None => true,
+            Some(prev) => now.since(prev) >= self.period,
+        };
+        if !due {
+            return Ok(());
+        }
+        self.last_refresh = Some(now);
+        let deficit = if self.injected_mbps.is_none() {
+            self.probe
+                .estimator
+                .window()
+                .saturating_sub(self.probe.estimator.len())
+        } else {
+            0
+        };
+        for _ in 0..deficit.max(1) {
+            transport.probe(&mut self.probe, now, rng)?;
+        }
+        self.cached_k = backend.query_k(now)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::backends::LinkTransport;
+    use crate::engine::{SuffixOutcome, SuffixRequest};
+    use lp_graph::ComputationGraph;
+    use lp_net::{BandwidthTrace, Link};
+    use rand::SeedableRng;
+
+    struct FixedK(f64);
+
+    impl ServerBackend for FixedK {
+        fn query_k(&mut self, _now: SimTime) -> Result<f64, ProtocolError> {
+            Ok(self.0)
+        }
+        fn execute_suffix(
+            &mut self,
+            _graph: &ComputationGraph,
+            _req: &SuffixRequest,
+            _rng: &mut StdRng,
+        ) -> Result<SuffixOutcome, ProtocolError> {
+            unreachable!("profile tests never offload")
+        }
+        fn complete(
+            &mut self,
+            _completion: SimTime,
+            _observed: SimDuration,
+            _predicted: SimDuration,
+        ) {
+        }
+    }
+
+    #[test]
+    fn cold_start_fills_the_window() {
+        let link = Link::symmetric(BandwidthTrace::constant(8.0));
+        let mut transport = LinkTransport { link: &link };
+        let mut profile = RuntimeProfile::new(8, SimDuration::from_secs(5));
+        let mut rng = StdRng::seed_from_u64(1);
+        profile
+            .refresh(SimTime::ZERO, &mut transport, &mut FixedK(1.0), &mut rng)
+            .expect("infallible");
+        assert_eq!(profile.probe_profiler().estimator.len(), 8);
+        let est = profile.bandwidth_mbps().expect("warmed");
+        assert!((est - 8.0).abs() < 1.0, "estimate {est}");
+    }
+
+    #[test]
+    fn steady_state_probes_once_per_period() {
+        let link = Link::symmetric(BandwidthTrace::constant(8.0));
+        let mut transport = LinkTransport { link: &link };
+        let mut profile = RuntimeProfile::new(4, SimDuration::from_secs(5));
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut now = SimTime::ZERO;
+        profile
+            .refresh(now, &mut transport, &mut FixedK(1.0), &mut rng)
+            .expect("infallible");
+        // Not due yet: no extra samples.
+        now += SimDuration::from_secs(1);
+        profile
+            .refresh(now, &mut transport, &mut FixedK(2.0), &mut rng)
+            .expect("infallible");
+        assert_eq!(profile.k(), 1.0, "k fetch must respect the cadence");
+        // Due again: exactly one more probe (window already full).
+        now += SimDuration::from_secs(5);
+        profile
+            .refresh(now, &mut transport, &mut FixedK(2.0), &mut rng)
+            .expect("infallible");
+        assert_eq!(profile.k(), 2.0);
+        assert_eq!(profile.probe_profiler().estimator.len(), 4);
+    }
+
+    #[test]
+    fn injected_bandwidth_pins_the_estimate() {
+        let mut profile = RuntimeProfile::new(4, SimDuration::from_secs(5));
+        assert_eq!(profile.bandwidth_mbps(), None);
+        profile.inject_bandwidth(16.0);
+        assert_eq!(profile.bandwidth_mbps(), Some(16.0));
+    }
+}

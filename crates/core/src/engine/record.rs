@@ -1,0 +1,52 @@
+//! The unified per-request telemetry record.
+
+use lp_sim::{SimDuration, SimTime};
+
+/// Everything measured about one inference request, regardless of which
+/// driver (co-simulation, threaded wire runtime, multi-client run)
+/// executed it.
+///
+/// Fields a driver cannot measure are zero: the threaded runtime does not
+/// model device compute or transfer time, and local inferences never touch
+/// the network.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InferenceRecord {
+    /// Request id, unique per engine (monotonically increasing).
+    pub request_id: u64,
+    /// Index of the client that issued the request (0 for single-client
+    /// drivers).
+    pub client: usize,
+    /// Request submission time.
+    pub start: SimTime,
+    /// Chosen partition point.
+    pub p: usize,
+    /// Load factor the decision used.
+    pub k_used: f64,
+    /// Bandwidth estimate (Mbps) the decision used.
+    pub bandwidth_est_mbps: f64,
+    /// Latency the policy predicted.
+    pub predicted: SimDuration,
+    /// Measured device-side compute time.
+    pub device: SimDuration,
+    /// Measured upload time (including link latency).
+    pub upload: SimDuration,
+    /// Bytes shipped to the server (0 for local inference).
+    pub uploaded_bytes: u64,
+    /// Measured server time (queueing + execution).
+    pub server: SimDuration,
+    /// Measured download time (zero unless the config enables the
+    /// result-download leg).
+    pub download: SimDuration,
+    /// Measured end-to-end latency.
+    pub total: SimDuration,
+    /// Whether the device-side partition cache hit.
+    pub cache_hit: bool,
+}
+
+impl InferenceRecord {
+    /// Whether any part of the request left the device.
+    #[must_use]
+    pub fn offloaded(&self) -> bool {
+        self.uploaded_bytes > 0
+    }
+}

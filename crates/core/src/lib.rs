@@ -10,9 +10,19 @@
 //! * [`baselines`] — local inference, full offloading, Neurosurgeon
 //!   (bandwidth-aware, load-oblivious) and a DADS-style min-cut partitioner
 //!   (the O(n³) comparator that motivates the light-weight algorithm).
+//! * [`engine`] — the shared per-request offload pipeline
+//!   ([`engine::OffloadEngine`]): profiler refresh, decision, prefix,
+//!   upload, suffix hand-off and load feedback, generic over the
+//!   [`engine::DeviceExecutor`] / [`engine::Transport`] /
+//!   [`engine::ServerBackend`] traits. Every driver below is a thin
+//!   composition over it, and all of them emit the one
+//!   [`engine::InferenceRecord`] telemetry type.
 //! * [`system`] — the end-to-end co-simulation: device execution, probe-
 //!   based bandwidth estimation, upload over the link, GPU queueing under
 //!   background load, the server-side `k` tracker and GPU watchdog.
+//! * [`threaded`] — the engine over real OS threads and the wire
+//!   [`protocol`].
+//! * [`multi_client`] — N engines sharing one GPU simulator.
 //! * [`scenario`] — drivers that reproduce the paper's experiments
 //!   (bandwidth sweeps for Figures 6–8, load timelines for Figures 2/9).
 //!
@@ -35,6 +45,7 @@ pub mod algorithm;
 pub mod baselines;
 pub mod cache;
 pub mod energy;
+pub mod engine;
 pub mod multi_client;
 pub mod protocol;
 pub mod scenario;
@@ -45,8 +56,12 @@ pub use algorithm::{Decision, PartitionSolver};
 pub use baselines::{min_cut_partition, MinCutResult, Policy};
 pub use cache::PartitionCache;
 pub use energy::{decide_energy, EnergyDecision, PowerModel};
-pub use multi_client::{multi_client_run, ClientPoint, MultiClientConfig, MultiClientReport};
+pub use engine::{
+    ConfigError, DeviceExecutor, EngineConfig, InferenceRecord, OffloadEngine, Outcome,
+    PendingRequest, RuntimeProfile, ServerBackend, SuffixOutcome, SuffixRequest, Transport,
+};
+pub use multi_client::{multi_client_run, MultiClientConfig, MultiClientReport};
 pub use protocol::{Message, ProtocolError};
 pub use scenario::{bandwidth_sweep, load_timeline, LoadPhase, SweepPoint, TimelinePoint};
-pub use system::{InferenceRecord, OffloadingSystem, SystemConfig, Testbed};
-pub use threaded::{spawn_server, ServerHandle, ThreadedClient, ThreadedRecord};
+pub use system::{OffloadingSystem, SystemConfig, Testbed};
+pub use threaded::{spawn_server, ServerHandle, ThreadedClient};

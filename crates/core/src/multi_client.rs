@@ -2,30 +2,35 @@
 //!
 //! The paper motivates load awareness with "tasks offloaded from other
 //! user-end devices" (§II) but evaluates against synthetic background
-//! processes. This module closes the loop: N clients run the full LoADPart
-//! stack against a *shared* [`GpuSim`], so each client's offloaded
-//! partitions are exactly the contention every other client experiences.
-//! The server-side load-factor tracker aggregates all observed partition
-//! executions, as a real deployment's monitor would.
+//! processes. This module closes the loop: N clients each run a full
+//! [`OffloadEngine`] against a *shared* [`GpuSim`], so each client's
+//! offloaded partitions are exactly the contention every other client
+//! experiences. The server-side load-factor tracker aggregates all
+//! observed partition executions, as a real deployment's monitor would.
 //!
 //! The emergent behaviour reproduces the paper's story at system scale: as
 //! the client population grows, the measured `k` rises and every client
 //! shifts its partition point device-ward, shedding load from the GPU.
+//!
+//! Because the GPU is shared, suffixes queue: the engine returns
+//! [`Outcome::Deferred`] and the event loop here interleaves clients,
+//! settling each [`PendingRequest`] when the simulator reports its
+//! completion.
 
-use crate::algorithm::PartitionSolver;
 use crate::baselines::Policy;
 use crate::cache::PartitionCache;
+use crate::engine::backends::{GpuBackend, LinkTransport, SimulatedDevice};
+use crate::engine::{
+    ConfigError, EngineConfig, InferenceRecord, OffloadEngine, Outcome, PendingRequest,
+};
 use lp_graph::ComputationGraph;
-use lp_hardware::{DeviceModel, GpuModel, GpuSim, TaskId};
-use lp_net::{BandwidthTrace, Link, ProbeProfiler};
+use lp_hardware::{DeviceModel, GpuModel, GpuSim};
+use lp_net::{BandwidthTrace, Link};
 use lp_profiler::{LoadFactorTracker, PredictionModels};
 use lp_sim::{SimDuration, SimTime};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
 
 /// Configuration of a multi-client run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MultiClientConfig {
     /// Number of concurrent LoADPart clients.
     pub n_clients: usize,
@@ -58,26 +63,34 @@ impl Default for MultiClientConfig {
     }
 }
 
-/// One completed client inference.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct ClientPoint {
-    /// Which client issued the request.
-    pub client: usize,
-    /// Request time.
-    pub start: SimTime,
-    /// Chosen partition point.
-    pub p: usize,
-    /// Load factor used for the decision.
-    pub k_used: f64,
-    /// End-to-end latency.
-    pub total: SimDuration,
+impl MultiClientConfig {
+    /// Checks the configuration describes a runnable experiment.
+    ///
+    /// # Errors
+    ///
+    /// * [`ConfigError::ZeroClients`] if `n_clients == 0`;
+    /// * [`ConfigError::NonPositiveBandwidth`] if `bandwidth_mbps <= 0`;
+    /// * [`ConfigError::ZeroDuration`] if `duration` is zero.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.n_clients == 0 {
+            return Err(ConfigError::ZeroClients);
+        }
+        if self.bandwidth_mbps <= 0.0 {
+            return Err(ConfigError::NonPositiveBandwidth);
+        }
+        if self.duration == SimDuration::ZERO {
+            return Err(ConfigError::ZeroDuration);
+        }
+        Ok(())
+    }
 }
 
 /// Aggregate results of a multi-client run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MultiClientReport {
-    /// Every completed inference, in completion order.
-    pub points: Vec<ClientPoint>,
+    /// Every completed inference, in completion order. The record's
+    /// `client` field says which client issued it.
+    pub records: Vec<InferenceRecord>,
     /// GPU utilization over the run.
     pub gpu_utilization: f64,
     /// The server tracker's final load factor.
@@ -88,14 +101,14 @@ impl MultiClientReport {
     /// Mean end-to-end latency across all clients (seconds).
     #[must_use]
     pub fn mean_latency_secs(&self) -> f64 {
-        if self.points.is_empty() {
+        if self.records.is_empty() {
             return 0.0;
         }
-        self.points
+        self.records
             .iter()
-            .map(|p| p.total.as_secs_f64())
+            .map(|r| r.total.as_secs_f64())
             .sum::<f64>()
-            / self.points.len() as f64
+            / self.records.len() as f64
     }
 
     /// Median partition point over the second half of the run (after the
@@ -103,10 +116,10 @@ impl MultiClientReport {
     #[must_use]
     pub fn settled_median_p(&self) -> usize {
         let half = self
-            .points
+            .records
             .iter()
-            .skip(self.points.len() / 2)
-            .map(|p| p.p)
+            .skip(self.records.len() / 2)
+            .map(|r| r.p)
             .collect::<Vec<_>>();
         if half.is_empty() {
             return 0;
@@ -118,83 +131,84 @@ impl MultiClientReport {
 }
 
 struct Client {
+    engine: OffloadEngine,
     ctx: usize,
-    probe: ProbeProfiler,
-    cached_k: f64,
-    last_profile: Option<SimTime>,
     next_request: Option<SimTime>,
-    pending: Option<Pending>,
-    rng: StdRng,
-}
-
-struct Pending {
-    task: TaskId,
-    start: SimTime,
-    submitted: SimTime,
-    p: usize,
-    k_used: f64,
+    pending: Option<PendingRequest>,
 }
 
 /// Runs N full LoADPart clients against one shared GPU.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `n_clients == 0`.
-#[must_use]
+/// Rejects invalid configurations with [`ConfigError`] before any
+/// simulation state is built.
 pub fn multi_client_run(
     graph: &ComputationGraph,
     user_models: &PredictionModels,
     edge_models: &PredictionModels,
     config: &MultiClientConfig,
-) -> MultiClientReport {
-    assert!(config.n_clients > 0, "need at least one client");
-    let solver = PartitionSolver::new(graph, user_models, edge_models);
+) -> Result<MultiClientReport, ConfigError> {
+    config.validate()?;
     let device_model = DeviceModel::default();
     let gpu_model = GpuModel::default();
     let link = Link::symmetric(BandwidthTrace::constant(config.bandwidth_mbps));
-    let cache = PartitionCache::new();
+    let server_cache = PartitionCache::new();
     let mut tracker = LoadFactorTracker::new(SimDuration::from_secs(5));
     let mut gpu = GpuSim::with_default_slice(config.seed);
-    let n = graph.len();
 
-    let mut clients: Vec<Client> = (0..config.n_clients)
-        .map(|i| Client {
+    let mut clients = Vec::with_capacity(config.n_clients);
+    for i in 0..config.n_clients {
+        let engine = OffloadEngine::new(
+            graph.clone(),
+            config.policy,
+            user_models,
+            edge_models,
+            i,
+            EngineConfig {
+                profiler_period: config.profiler_period,
+                bandwidth_window: 8,
+                tracker_period: SimDuration::from_secs(5),
+                model_download: false,
+                seed: config.seed ^ (i as u64).wrapping_mul(0x9E37_79B9),
+            },
+        )?;
+        clients.push(Client {
+            engine,
             ctx: gpu.add_context(),
-            probe: ProbeProfiler::new(8),
-            cached_k: 1.0,
-            last_profile: None,
             // Stagger arrivals so clients do not lock-step.
-            next_request: Some(
-                SimTime::ZERO + SimDuration::from_millis(50 + 37 * i as u64),
-            ),
+            next_request: Some(SimTime::ZERO + SimDuration::from_millis(50 + 37 * i as u64)),
             pending: None,
-            rng: StdRng::seed_from_u64(config.seed ^ (i as u64).wrapping_mul(0x9E37_79B9)),
-        })
-        .collect();
+        });
+    }
 
     let end = SimTime::ZERO + config.duration;
-    let mut points = Vec::new();
+    let mut records = Vec::new();
 
     loop {
         // Drain completions first.
-        for (ci, client) in clients.iter_mut().enumerate() {
-            if let Some(pending) = &client.pending {
-                if let Some((_, done)) = gpu.completion(pending.task) {
-                    // The server monitor observes the partition's server-side
-                    // time (queueing + execution), not the client's total.
-                    let predicted =
-                        SimDuration::from_secs_f64(solver.suffix_edge_secs(pending.p));
-                    tracker.record(done, done.since(pending.submitted), predicted);
-                    points.push(ClientPoint {
-                        client: ci,
-                        start: pending.start,
-                        p: pending.p,
-                        k_used: pending.k_used,
-                        total: done.since(pending.start),
-                    });
-                    client.next_request = Some(done + config.think_time);
-                    client.pending = None;
-                }
+        for client in &mut clients {
+            let done = client
+                .pending
+                .as_ref()
+                .and_then(|p| gpu.completion(p.task))
+                .map(|(_, done)| done);
+            if let Some(done) = done {
+                let pending = client.pending.take().expect("checked above");
+                let mut backend = GpuBackend {
+                    gpu: &mut gpu,
+                    gpu_model: &gpu_model,
+                    ctx: client.ctx,
+                    tracker: &mut tracker,
+                    watchdog: None,
+                    server_cache: &server_cache,
+                };
+                let mut transport = LinkTransport { link: &link };
+                let record = client
+                    .engine
+                    .finish(pending, done, &mut backend, &mut transport);
+                records.push(record);
+                client.next_request = Some(done + config.think_time);
             }
         }
 
@@ -208,8 +222,7 @@ pub fn multi_client_run(
             // Everyone is pending on the GPU: push the earliest one through.
             let earliest = clients
                 .iter()
-                .filter_map(|c| c.pending.as_ref().map(|p| p.task))
-                .next();
+                .find_map(|c| c.pending.as_ref().map(|p| p.task));
             match earliest {
                 Some(task) => {
                     gpu.run_until_complete(task);
@@ -221,78 +234,33 @@ pub fn multi_client_run(
         if t >= end {
             break;
         }
-        gpu.advance_to(t);
         let client = &mut clients[ci];
         client.next_request = None;
 
-        // Periodic profiler work for this client.
-        let due = client
-            .last_profile
-            .is_none_or(|prev| t.since(prev) >= config.profiler_period);
-        if due {
-            client.last_profile = Some(t);
-            let (_m, _e) = client.probe.probe(&link, t, &mut client.rng);
-            client.cached_k = tracker.k_at(t);
+        let mut device = SimulatedDevice {
+            model: &device_model,
+        };
+        let mut backend = GpuBackend {
+            gpu: &mut gpu,
+            gpu_model: &gpu_model,
+            ctx: client.ctx,
+            tracker: &mut tracker,
+            watchdog: None,
+            server_cache: &server_cache,
+        };
+        let mut transport = LinkTransport { link: &link };
+        match client
+            .engine
+            .start(t, &mut device, &mut backend, &mut transport)
+            .expect("co-simulated backends are infallible")
+        {
+            Outcome::Complete(record) => {
+                // Local inference: schedule the next request directly.
+                client.next_request = Some(record.start + record.total + config.think_time);
+                records.push(record);
+            }
+            Outcome::Deferred(pending) => client.pending = Some(pending),
         }
-        let bandwidth = client
-            .probe
-            .estimator
-            .estimate_mbps()
-            .expect("probed above on first request");
-
-        let decision = config.policy.decide(&solver, bandwidth, client.cached_k);
-        let p = decision.p;
-        let partition = cache.get_or_partition(graph, p).expect("p in range");
-
-        // Device-side prefix.
-        let mut device_time = SimDuration::ZERO;
-        for node in graph.nodes().iter().take(p) {
-            device_time += device_model.sample(
-                &node.kind,
-                graph.value_desc(node.inputs[0]),
-                &node.output,
-                &mut client.rng,
-            );
-        }
-        if p == n {
-            points.push(ClientPoint {
-                client: ci,
-                start: t,
-                p,
-                k_used: client.cached_k,
-                total: device_time,
-            });
-            client.next_request = Some(t + device_time + config.think_time);
-            continue;
-        }
-        let upload_bytes = partition.upload_bytes(graph);
-        let upload_end = link.upload_end(upload_bytes, t + device_time, &mut client.rng);
-        client
-            .probe
-            .record_passive(upload_bytes, t + device_time, upload_end, link.latency);
-        let kernels: Vec<SimDuration> = graph
-            .nodes()
-            .iter()
-            .take(n)
-            .skip(p)
-            .map(|node| {
-                gpu_model.sample(
-                    &node.kind,
-                    graph.value_desc(node.inputs[0]),
-                    &node.output,
-                    &mut client.rng,
-                )
-            })
-            .collect();
-        let submit_at = upload_end.max(gpu.now());
-        let task = gpu.submit(client.ctx, submit_at, kernels);
-        client.pending = Some(Pending {
-            task,
-            start: t,
-            submitted: submit_at,
-            p,
-            k_used: client.cached_k,
-        });
     }
 
     let gpu_utilization = if gpu.now() > SimTime::ZERO {
@@ -301,11 +269,11 @@ pub fn multi_client_run(
         0.0
     };
     let final_k = tracker.k_at(gpu.now());
-    MultiClientReport {
-        points,
+    Ok(MultiClientReport {
+        records,
         gpu_utilization,
         final_k,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -331,12 +299,13 @@ mod tests {
                 ..MultiClientConfig::default()
             },
         )
+        .expect("valid config")
     }
 
     #[test]
     fn single_client_is_effectively_unloaded() {
         let report = run(1, Policy::LoadPart);
-        assert!(!report.points.is_empty());
+        assert!(!report.records.is_empty());
         assert!(report.final_k < 2.0, "k={}", report.final_k);
         // One SqueezeNet client cannot saturate the GPU.
         assert!(report.gpu_utilization < 0.2, "{}", report.gpu_utilization);
@@ -346,7 +315,7 @@ mod tests {
     fn every_client_completes_work() {
         let report = run(4, Policy::LoadPart);
         for c in 0..4 {
-            let n = report.points.iter().filter(|p| p.client == c).count();
+            let n = report.records.iter().filter(|r| r.client == c).count();
             assert!(n >= 5, "client {c} completed only {n} inferences");
         }
     }
@@ -368,15 +337,14 @@ mod tests {
     fn deterministic_given_config() {
         let a = run(3, Policy::LoadPart);
         let b = run(3, Policy::LoadPart);
-        assert_eq!(a.points, b.points);
+        assert_eq!(a.records, b.records);
         assert_eq!(a.final_k, b.final_k);
     }
 
     #[test]
-    #[should_panic(expected = "at least one client")]
-    fn zero_clients_panics() {
+    fn zero_clients_is_a_config_error() {
         let (user, edge) = models();
-        let _ = multi_client_run(
+        let err = multi_client_run(
             &lp_models::alexnet(1),
             user,
             edge,
@@ -384,6 +352,22 @@ mod tests {
                 n_clients: 0,
                 ..MultiClientConfig::default()
             },
-        );
+        )
+        .expect_err("zero clients must be rejected");
+        assert_eq!(err, ConfigError::ZeroClients);
+    }
+
+    #[test]
+    fn bad_bandwidth_and_duration_are_config_errors() {
+        let bad_bw = MultiClientConfig {
+            bandwidth_mbps: 0.0,
+            ..MultiClientConfig::default()
+        };
+        assert_eq!(bad_bw.validate(), Err(ConfigError::NonPositiveBandwidth));
+        let bad_dur = MultiClientConfig {
+            duration: SimDuration::ZERO,
+            ..MultiClientConfig::default()
+        };
+        assert_eq!(bad_dur.validate(), Err(ConfigError::ZeroDuration));
     }
 }

@@ -16,10 +16,9 @@ use lp_hardware::LoadLevel;
 use lp_net::{BandwidthTrace, Link};
 use lp_profiler::PredictionModels;
 use lp_sim::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// One sample of a bandwidth sweep.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SweepPoint {
     /// True link bandwidth at request time (Mbps).
     pub true_mbps: f64,
@@ -68,7 +67,7 @@ pub fn bandwidth_sweep(
 }
 
 /// One phase of a load timeline.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LoadPhase {
     /// Phase start, seconds from experiment start.
     pub start_secs: f64,
@@ -77,7 +76,7 @@ pub struct LoadPhase {
 }
 
 /// One sample of a load timeline.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TimelinePoint {
     /// Load level active at request time.
     pub level: LoadLevel,
@@ -90,14 +89,38 @@ pub struct TimelinePoint {
 #[must_use]
 pub fn figure9_phases() -> Vec<LoadPhase> {
     vec![
-        LoadPhase { start_secs: 0.0, level: LoadLevel::Idle },
-        LoadPhase { start_secs: 30.0, level: LoadLevel::Pct30 },
-        LoadPhase { start_secs: 60.0, level: LoadLevel::Pct50 },
-        LoadPhase { start_secs: 90.0, level: LoadLevel::Pct70 },
-        LoadPhase { start_secs: 120.0, level: LoadLevel::Pct90 },
-        LoadPhase { start_secs: 150.0, level: LoadLevel::Pct100Low },
-        LoadPhase { start_secs: 180.0, level: LoadLevel::Pct100High },
-        LoadPhase { start_secs: 220.0, level: LoadLevel::Idle },
+        LoadPhase {
+            start_secs: 0.0,
+            level: LoadLevel::Idle,
+        },
+        LoadPhase {
+            start_secs: 30.0,
+            level: LoadLevel::Pct30,
+        },
+        LoadPhase {
+            start_secs: 60.0,
+            level: LoadLevel::Pct50,
+        },
+        LoadPhase {
+            start_secs: 90.0,
+            level: LoadLevel::Pct70,
+        },
+        LoadPhase {
+            start_secs: 120.0,
+            level: LoadLevel::Pct90,
+        },
+        LoadPhase {
+            start_secs: 150.0,
+            level: LoadLevel::Pct100Low,
+        },
+        LoadPhase {
+            start_secs: 180.0,
+            level: LoadLevel::Pct100High,
+        },
+        LoadPhase {
+            start_secs: 220.0,
+            level: LoadLevel::Idle,
+        },
     ]
 }
 
@@ -146,9 +169,9 @@ pub fn load_timeline(
         while next_phase < phases.len() && phases[next_phase].start_secs <= t.as_secs_f64() {
             // Load changes take effect at the GPU's current instant, so
             // advance it to the boundary first.
-            sys.testbed
-                .gpu
-                .advance_to(SimTime::ZERO + SimDuration::from_secs_f64(phases[next_phase].start_secs));
+            sys.testbed.gpu.advance_to(
+                SimTime::ZERO + SimDuration::from_secs_f64(phases[next_phase].start_secs),
+            );
             level = phases[next_phase].level;
             sys.testbed.set_load(level);
             next_phase += 1;
@@ -200,7 +223,7 @@ pub fn latency_distribution(
 }
 
 /// Summary statistics of a latency sample (for Figure 2-style reporting).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LatencyStats {
     /// Mean latency.
     pub mean: SimDuration,
@@ -287,9 +310,18 @@ mod tests {
     fn timeline_shifts_p_under_load_and_recovers() {
         let (user, edge) = models();
         let phases = vec![
-            LoadPhase { start_secs: 0.0, level: LoadLevel::Idle },
-            LoadPhase { start_secs: 10.0, level: LoadLevel::Pct100High },
-            LoadPhase { start_secs: 80.0, level: LoadLevel::Idle },
+            LoadPhase {
+                start_secs: 0.0,
+                level: LoadLevel::Idle,
+            },
+            LoadPhase {
+                start_secs: 10.0,
+                level: LoadLevel::Pct100High,
+            },
+            LoadPhase {
+                start_secs: 80.0,
+                level: LoadLevel::Idle,
+            },
         ];
         let pts = load_timeline(
             lp_models::alexnet(1),
@@ -358,8 +390,7 @@ mod tests {
 
     #[test]
     fn stats_quantiles_are_ordered() {
-        let samples: Vec<SimDuration> =
-            (1..=100).map(SimDuration::from_millis).collect();
+        let samples: Vec<SimDuration> = (1..=100).map(SimDuration::from_millis).collect();
         let s = LatencyStats::of(&samples);
         assert!(s.p5 <= s.p50 && s.p50 <= s.p95 && s.p95 <= s.max);
         assert_eq!(s.max, SimDuration::from_millis(100));

@@ -2,62 +2,28 @@
 //!
 //! [`Testbed`] bundles the simulated hardware — the link, the edge GPU with
 //! its background-load contexts, and the device/GPU latency models.
-//! [`OffloadingSystem`] runs LoADPart (or a baseline [`Policy`]) on top of
-//! it: per §III-A / §IV, each inference request
-//!
-//! 1. reads the profiler's sliding-window bandwidth estimate and the load
-//!    factor `k` most recently fetched from the server (refreshed every
-//!    profiler period, 5 s by default);
-//! 2. picks the partition point with the policy (Algorithm 1 for LoADPart);
-//! 3. fetches the partitioned graphs from the partition caches;
-//! 4. executes `L_1..L_p` on the device model, uploads the crossing
-//!    tensors over the link (passively feeding the bandwidth estimator),
-//!    submits the suffix kernels to the GPU simulator and waits for them
-//!    through whatever queueing the background load causes;
-//! 5. reports the observed server time to the load-factor tracker, which
-//!    the GPU-utilization watchdog resets when the server goes idle.
+//! [`OffloadingSystem`] is the [`OffloadEngine`] composed with the
+//! co-simulated backends: a [`SimulatedDevice`] over the device latency
+//! model, a [`LinkTransport`] over the jittered link, and a [`GpuBackend`]
+//! over an exclusive GPU context with the §IV watchdog armed. The
+//! per-request pipeline itself — profiler refresh, Algorithm 1 decision,
+//! partition caches, prefix/upload/suffix, load-tracker feedback — lives in
+//! the engine; this module only owns the hardware and the server-side
+//! state.
 
-use crate::algorithm::{Decision, PartitionSolver};
 use crate::baselines::Policy;
 use crate::cache::PartitionCache;
+use crate::engine::backends::{GpuBackend, LinkTransport, SimulatedDevice};
+use crate::engine::OffloadEngine;
 use lp_graph::ComputationGraph;
 use lp_hardware::load::install_background;
 use lp_hardware::{DeviceModel, GpuModel, GpuSim, LoadLevel};
-use lp_net::{BandwidthTrace, Link, ProbeProfiler};
+use lp_net::{BandwidthTrace, Link};
 use lp_profiler::dataset::{DeviceSource, EdgeSource};
 use lp_profiler::{train_all, GpuUtilWatchdog, LoadFactorTracker, PredictionModels};
 use lp_sim::{SimDuration, SimTime};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
 
-/// Tunables of the runtime system (defaults follow §V-A).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct SystemConfig {
-    /// Runtime-profiler period (bandwidth probe + `k` fetch), default 5 s.
-    pub profiler_period: SimDuration,
-    /// Sliding-window length of the bandwidth estimator.
-    pub bandwidth_window: usize,
-    /// Monitoring period of the server-side load tracker.
-    pub tracker_period: SimDuration,
-    /// Whether to add the result-download leg to measured latency
-    /// (§IV ignores it; kept for ablations).
-    pub model_download: bool,
-    /// RNG seed for measurement noise.
-    pub seed: u64,
-}
-
-impl Default for SystemConfig {
-    fn default() -> Self {
-        Self {
-            profiler_period: SimDuration::from_secs(5),
-            bandwidth_window: 8,
-            tracker_period: SimDuration::from_secs(5),
-            model_download: false,
-            seed: 7,
-        }
-    }
-}
+pub use crate::engine::{EngineConfig as SystemConfig, InferenceRecord};
 
 /// The simulated hardware: link + edge GPU (+ background load) + models.
 #[derive(Debug)]
@@ -135,54 +101,27 @@ impl Testbed {
     }
 }
 
-/// Everything measured about one inference request.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct InferenceRecord {
-    /// Request submission time.
-    pub start: SimTime,
-    /// Chosen partition point.
-    pub p: usize,
-    /// Load factor the decision used.
-    pub k_used: f64,
-    /// Bandwidth estimate (Mbps) the decision used.
-    pub bandwidth_est_mbps: f64,
-    /// Latency the policy predicted.
-    pub predicted: SimDuration,
-    /// Measured device-side compute time.
-    pub device: SimDuration,
-    /// Measured upload time (including link latency).
-    pub upload: SimDuration,
-    /// Measured server time (queueing + execution).
-    pub server: SimDuration,
-    /// Measured download time (zero unless `model_download`).
-    pub download: SimDuration,
-    /// Measured end-to-end latency.
-    pub total: SimDuration,
-    /// Whether the device-side partition cache hit.
-    pub cache_hit: bool,
-}
-
-/// The running system: a policy driving inferences over a testbed.
+/// The running system: the offload engine driving inferences over a
+/// testbed.
 #[derive(Debug)]
 pub struct OffloadingSystem {
-    graph: ComputationGraph,
-    solver: PartitionSolver,
-    policy: Policy,
-    config: SystemConfig,
+    engine: OffloadEngine,
     /// The simulated hardware (public for scenario drivers to switch load).
     pub testbed: Testbed,
-    probe: ProbeProfiler,
     tracker: LoadFactorTracker,
     watchdog: GpuUtilWatchdog,
-    device_cache: PartitionCache,
     server_cache: PartitionCache,
-    cached_k: f64,
-    last_profile: Option<SimTime>,
-    rng: StdRng,
 }
 
 impl OffloadingSystem {
     /// Assembles a system for one DNN.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`EngineConfig::validate`](crate::engine::EngineConfig::validate);
+    /// construct an [`OffloadEngine`] directly for `Result`-based
+    /// handling).
     #[must_use]
     pub fn new(
         graph: ComputationGraph,
@@ -192,61 +131,40 @@ impl OffloadingSystem {
         edge_models: PredictionModels,
         config: SystemConfig,
     ) -> Self {
-        let solver = PartitionSolver::new(&graph, user_models, &edge_models);
-        let probe = ProbeProfiler::new(config.bandwidth_window);
         let tracker = LoadFactorTracker::new(config.tracker_period);
-        let rng = StdRng::seed_from_u64(config.seed);
+        let engine = OffloadEngine::new(graph, policy, user_models, &edge_models, 0, config)
+            .expect("valid system config");
         Self {
-            graph,
-            solver,
-            policy,
-            config,
+            engine,
             testbed,
-            probe,
             tracker,
             watchdog: GpuUtilWatchdog::new(),
-            device_cache: PartitionCache::new(),
             server_cache: PartitionCache::new(),
-            cached_k: 1.0,
-            last_profile: None,
-            rng,
         }
+    }
+
+    /// The underlying engine (solver, profile, caches).
+    #[must_use]
+    pub fn engine(&self) -> &OffloadEngine {
+        &self.engine
     }
 
     /// The solver (for inspecting predictions).
     #[must_use]
-    pub fn solver(&self) -> &PartitionSolver {
-        &self.solver
+    pub fn solver(&self) -> &crate::algorithm::PartitionSolver {
+        self.engine.solver()
     }
 
     /// The device-side partition cache.
     #[must_use]
     pub fn device_cache(&self) -> &PartitionCache {
-        &self.device_cache
+        self.engine.device_cache()
     }
 
     /// The load factor the device currently believes.
     #[must_use]
     pub fn current_k(&self) -> f64 {
-        self.cached_k
-    }
-
-    /// Runs the periodic profiler work due at `now`: bandwidth probe,
-    /// `k` fetch from the server, and the server-side GPU watchdog.
-    fn run_periodic(&mut self, now: SimTime) {
-        let due = match self.last_profile {
-            None => true,
-            Some(prev) => now.since(prev) >= self.config.profiler_period,
-        };
-        if due {
-            self.last_profile = Some(now);
-            let (_mbps, _end) = self.probe.probe(&self.testbed.link, now, &mut self.rng);
-            // Device asks the server for the latest k.
-            self.cached_k = self.tracker.k_at(now);
-        }
-        // The watchdog thread runs on the server regardless of requests.
-        self.watchdog
-            .poll(now, self.testbed.gpu.busy_time(), &mut self.tracker);
+        self.engine.profile().k()
     }
 
     /// Performs one inference request arriving at `at` and returns its
@@ -256,134 +174,29 @@ impl OffloadingSystem {
     ///
     /// Panics if `at` is before the testbed's current simulated time.
     pub fn infer(&mut self, at: SimTime) -> InferenceRecord {
-        self.testbed.gpu.advance_to(at);
-        self.run_periodic(at);
-        let bandwidth = self
-            .probe
-            .estimator
-            .estimate_mbps()
-            .expect("probe ran in run_periodic");
-        let decision: Decision = self.policy.decide(&self.solver, bandwidth, self.cached_k);
-        let p = decision.p;
-        let n = self.graph.len();
-
-        // Partition caches on both sides (Figure 5 extraction).
-        let hits_before = self.device_cache.stats().hits;
-        let partition = self
-            .device_cache
-            .get_or_partition(&self.graph, p)
-            .expect("p in range");
-        let cache_hit = self.device_cache.stats().hits > hits_before;
-        let _server_side = self
-            .server_cache
-            .get_or_partition(&self.graph, p)
-            .expect("p in range");
-
-        // Device-side execution of L_1..L_p.
-        let mut device_time = SimDuration::ZERO;
-        for node in self.graph.nodes().iter().take(p) {
-            device_time += self.testbed.device_model.sample(
-                &node.kind,
-                self.graph.value_desc(node.inputs[0]),
-                &node.output,
-                &mut self.rng,
-            );
-        }
-
-        if p == n {
-            // Local inference: nothing leaves the device.
-            return self.finish_record(at, decision, bandwidth, device_time, None, cache_hit);
-        }
-
-        // Upload the crossing tensors.
-        let upload_bytes = partition.upload_bytes(&self.graph);
-        let upload_start = at + device_time;
-        let upload_end = self
-            .testbed
-            .link
-            .upload_end(upload_bytes, upload_start, &mut self.rng);
-        self.probe.record_passive(
-            upload_bytes,
-            upload_start,
-            upload_end,
-            self.testbed.link.latency,
-        );
-
-        // Server-side execution of L_{p+1}..L_n under real queueing.
-        self.testbed.gpu.advance_to(upload_end);
-        let kernels: Vec<SimDuration> = self
-            .graph
-            .nodes()
-            .iter()
-            .take(n)
-            .skip(p)
-            .map(|node| {
-                self.testbed.gpu_model.sample(
-                    &node.kind,
-                    self.graph.value_desc(node.inputs[0]),
-                    &node.output,
-                    &mut self.rng,
-                )
-            })
-            .collect();
-        // advance_to can overshoot a slice boundary; the request becomes
-        // visible to the scheduler at the GPU's current instant (the gap is
-        // genuine queueing behind the in-flight kernel).
-        let submit_at = upload_end.max(self.testbed.gpu.now());
-        let task = self.testbed.gpu.submit(self.testbed.fg_ctx, submit_at, kernels);
-        let completion = self.testbed.gpu.run_until_complete(task);
-        let server_time = completion.since(upload_end);
-
-        // The server-side monitor observes this partition execution.
-        let predicted_unscaled =
-            SimDuration::from_secs_f64(self.solver.suffix_edge_secs(p));
-        self.tracker.record(completion, server_time, predicted_unscaled);
-
-        self.finish_record(
-            at,
-            decision,
-            bandwidth,
-            device_time,
-            Some((upload_end.since(upload_start), server_time, completion)),
-            cache_hit,
-        )
-    }
-
-    fn finish_record(
-        &mut self,
-        at: SimTime,
-        decision: Decision,
-        bandwidth: f64,
-        device_time: SimDuration,
-        offload: Option<(SimDuration, SimDuration, SimTime)>,
-        cache_hit: bool,
-    ) -> InferenceRecord {
-        let (upload, server, end) = match offload {
-            Some((u, s, completion)) => (u, s, completion),
-            None => (SimDuration::ZERO, SimDuration::ZERO, at + device_time),
+        let Testbed {
+            link,
+            gpu,
+            gpu_model,
+            device_model,
+            fg_ctx,
+            ..
+        } = &mut self.testbed;
+        let mut device = SimulatedDevice {
+            model: device_model,
         };
-        let (download, end) = if self.config.model_download && offload.is_some() {
-            let dl_end =
-                self.testbed
-                    .link
-                    .download_end(self.graph.output().size_bytes(), end, &mut self.rng);
-            (dl_end.since(end), dl_end)
-        } else {
-            (SimDuration::ZERO, end)
+        let mut transport = LinkTransport { link };
+        let mut backend = GpuBackend {
+            gpu,
+            gpu_model,
+            ctx: *fg_ctx,
+            tracker: &mut self.tracker,
+            watchdog: Some(&mut self.watchdog),
+            server_cache: &self.server_cache,
         };
-        InferenceRecord {
-            start: at,
-            p: decision.p,
-            k_used: self.cached_k,
-            bandwidth_est_mbps: bandwidth,
-            predicted: decision.predicted,
-            device: device_time,
-            upload,
-            server,
-            download,
-            total: end.since(at),
-            cache_hit,
-        }
+        self.engine
+            .run(at, &mut device, &mut backend, &mut transport)
+            .expect("co-simulated backends are infallible")
     }
 }
 

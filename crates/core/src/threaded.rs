@@ -8,40 +8,28 @@
 //! * the **server thread** owns the suffix partition cache, executes
 //!   offloaded suffixes (simulated durations from the latency models), and
 //!   answers load queries from its [`LoadFactorTracker`];
-//! * the **client** runs Algorithm 1 per request, executes the prefix,
-//!   frames an [`Message::OffloadRequest`] and awaits the response;
-//! * probe frames keep the bandwidth estimator warm between requests.
+//! * the **client** is the [`OffloadEngine`] composed with the wire
+//!   backends ([`WireBackend`]/[`WireTransport`]): Algorithm 1 per request,
+//!   [`Message::OffloadRequest`]-framed uploads, probe frames and load
+//!   queries on the profiler cadence;
+//! * time is logical — the client's clock advances one profiler period per
+//!   request, so every request runs the periodic refresh.
 //!
-//! Time is logical (the simulated durations ride inside the frames), so
-//! tests are deterministic, but the concurrency — shared caches behind
-//! `parking_lot`, `crossbeam` channels, graceful shutdown — is real.
+//! Tests are deterministic, but the concurrency — shared caches behind
+//! locks, `std::sync::mpsc` channels, graceful shutdown — is real.
 
-use crate::algorithm::PartitionSolver;
+use crate::baselines::Policy;
 use crate::cache::PartitionCache;
+use crate::engine::backends::{NullDevice, WireBackend, WireTransport};
+use crate::engine::{EngineConfig, InferenceRecord, OffloadEngine};
 use crate::protocol::{Message, ProtocolError};
 use bytes::Bytes;
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use lp_graph::ComputationGraph;
 use lp_profiler::{LoadFactorTracker, PredictionModels};
 use lp_sim::{SimDuration, SimTime};
-use parking_lot::Mutex;
-use std::sync::Arc;
+use std::sync::mpsc::{channel, Receiver, RecvError, SendError, Sender};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-
-/// What the threaded client observed for one request.
-#[derive(Debug, Clone, PartialEq)]
-pub struct ThreadedRecord {
-    /// Request id.
-    pub request_id: u64,
-    /// Partition point the client chose.
-    pub p: usize,
-    /// `k` the client used (from the last load reply).
-    pub k_used: f64,
-    /// Server-reported execution time.
-    pub server_time: SimDuration,
-    /// Bytes shipped in the request payload.
-    pub uploaded_bytes: usize,
-}
 
 /// Handle to a running offloading server thread.
 #[derive(Debug)]
@@ -64,8 +52,8 @@ pub fn spawn_server(
     edge_models: PredictionModels,
     k_factor: f64,
 ) -> ServerHandle {
-    let (client_tx, server_rx) = unbounded::<Bytes>();
-    let (server_tx, client_rx) = unbounded::<Bytes>();
+    let (client_tx, server_rx) = channel::<Bytes>();
+    let (server_tx, client_rx) = channel::<Bytes>();
     let cache = Arc::new(PartitionCache::new());
     let tracker = Arc::new(Mutex::new(LoadFactorTracker::new(SimDuration::from_secs(
         5,
@@ -95,7 +83,10 @@ pub fn spawn_server(
                     let predicted = predicted_suffix(&edge_models, &graph, p);
                     let observed = predicted.scale(k_factor);
                     now += observed + SimDuration::from_millis(100);
-                    tracker.lock().record(now, observed, predicted);
+                    tracker
+                        .lock()
+                        .expect("lock poisoned")
+                        .record(now, observed, predicted);
                     served += 1;
                     let resp = Message::OffloadResponse {
                         request_id,
@@ -107,7 +98,7 @@ pub fn spawn_server(
                     }
                 }
                 Message::LoadQuery => {
-                    let k = tracker.lock().k_at(now);
+                    let k = tracker.lock().expect("lock poisoned").k_at(now);
                     let reply = Message::LoadReply {
                         k_micro: Message::k_to_micro(k),
                     };
@@ -135,11 +126,7 @@ pub fn spawn_server(
     }
 }
 
-fn predicted_suffix(
-    models: &PredictionModels,
-    graph: &ComputationGraph,
-    p: usize,
-) -> SimDuration {
+fn predicted_suffix(models: &PredictionModels, graph: &ComputationGraph, p: usize) -> SimDuration {
     if p >= graph.len() {
         SimDuration::ZERO
     } else {
@@ -154,7 +141,7 @@ impl ServerHandle {
     /// # Errors
     ///
     /// Fails if the server thread has exited.
-    pub fn send_frame(&self, frame: Bytes) -> Result<(), crossbeam::channel::SendError<Bytes>> {
+    pub fn send_frame(&self, frame: Bytes) -> Result<(), SendError<Bytes>> {
         self.tx.send(frame)
     }
 
@@ -163,7 +150,7 @@ impl ServerHandle {
     /// # Errors
     ///
     /// Fails if the server thread has exited and drained.
-    pub fn recv_frame(&self) -> Result<Bytes, crossbeam::channel::RecvError> {
+    pub fn recv_frame(&self) -> Result<Bytes, RecvError> {
         self.rx.recv()
     }
 
@@ -192,36 +179,49 @@ impl Drop for ServerHandle {
     }
 }
 
-/// A threaded offloading client for one DNN.
+/// A threaded offloading client for one DNN: the [`OffloadEngine`] over
+/// the wire backends.
 #[derive(Debug)]
 pub struct ThreadedClient {
-    graph: ComputationGraph,
-    solver: PartitionSolver,
-    cache: PartitionCache,
-    k: f64,
-    next_id: u64,
+    engine: OffloadEngine,
+    now: SimTime,
 }
 
 impl ThreadedClient {
     /// Builds the client with both trained model bundles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the default engine configuration is invalid (it is not).
     #[must_use]
     pub fn new(
         graph: ComputationGraph,
         user_models: &PredictionModels,
         edge_models: &PredictionModels,
     ) -> Self {
-        let solver = PartitionSolver::new(&graph, user_models, edge_models);
-        Self {
+        let engine = OffloadEngine::new(
             graph,
-            solver,
-            cache: PartitionCache::new(),
-            k: 1.0,
-            next_id: 0,
+            Policy::LoadPart,
+            user_models,
+            edge_models,
+            0,
+            EngineConfig::default(),
+        )
+        .expect("default config valid");
+        Self {
+            engine,
+            now: SimTime::ZERO,
         }
     }
 
+    /// The underlying engine (solver, profile, caches).
+    #[must_use]
+    pub fn engine(&self) -> &OffloadEngine {
+        &self.engine
+    }
+
     /// Queries the server for the current load factor and caches it — the
-    /// periodic runtime-profiler action.
+    /// explicit runtime-profiler action.
     ///
     /// # Errors
     ///
@@ -231,20 +231,15 @@ impl ThreadedClient {
     ///
     /// Panics if the server thread is gone.
     pub fn refresh_k(&mut self, server: &ServerHandle) -> Result<f64, ProtocolError> {
-        server
-            .send_frame(Message::LoadQuery.encode())
-            .expect("server alive");
-        let reply = Message::decode(server.recv_frame().expect("server alive"))?;
-        match reply {
-            Message::LoadReply { k_micro } => {
-                self.k = Message::micro_to_k(k_micro);
-                Ok(self.k)
-            }
-            other => Err(unexpected(&other)),
-        }
+        let mut backend = WireBackend { server };
+        self.engine.refresh_k(self.now, &mut backend)
     }
 
     /// Runs one inference request end to end over the protocol.
+    ///
+    /// The client's logical clock advances one profiler period per
+    /// request, so the periodic refresh (probe frame + load query) fires
+    /// every time.
     ///
     /// # Errors
     ///
@@ -257,55 +252,15 @@ impl ThreadedClient {
         &mut self,
         server: &ServerHandle,
         bandwidth_mbps: f64,
-    ) -> Result<ThreadedRecord, ProtocolError> {
-        let decision = self.solver.decide(bandwidth_mbps, self.k);
-        let p = decision.p;
-        let partition = self.cache.get_or_partition(&self.graph, p).expect("p valid");
-        let upload = partition.upload_bytes(&self.graph) as usize;
-        let request_id = self.next_id;
-        self.next_id += 1;
-        if p == self.graph.len() {
-            // Local inference: nothing crosses the wire.
-            return Ok(ThreadedRecord {
-                request_id,
-                p,
-                k_used: self.k,
-                server_time: SimDuration::ZERO,
-                uploaded_bytes: 0,
-            });
-        }
-        let req = Message::OffloadRequest {
-            request_id,
-            partition_point: p as u32,
-            payload: Bytes::from(vec![0u8; upload]),
-        };
-        server.send_frame(req.encode()).expect("server alive");
-        let resp = Message::decode(server.recv_frame().expect("server alive"))?;
-        match resp {
-            Message::OffloadResponse {
-                request_id: rid,
-                server_time_us,
-                payload,
-            } => {
-                debug_assert_eq!(rid, request_id);
-                debug_assert_eq!(payload.len() as u64, self.graph.output().size_bytes());
-                Ok(ThreadedRecord {
-                    request_id,
-                    p,
-                    k_used: self.k,
-                    server_time: SimDuration::from_micros_f64(server_time_us as f64),
-                    uploaded_bytes: upload,
-                })
-            }
-            other => Err(unexpected(&other)),
-        }
+    ) -> Result<InferenceRecord, ProtocolError> {
+        self.now += self.engine.config().profiler_period;
+        self.engine.profile_mut().inject_bandwidth(bandwidth_mbps);
+        let mut device = NullDevice;
+        let mut backend = WireBackend { server };
+        let mut transport = WireTransport { server };
+        self.engine
+            .run(self.now, &mut device, &mut backend, &mut transport)
     }
-}
-
-fn unexpected(_msg: &Message) -> ProtocolError {
-    // Any out-of-order message kind is treated as an unknown tag at the
-    // session layer.
-    ProtocolError::UnknownTag(255)
 }
 
 #[cfg(test)]
@@ -327,7 +282,7 @@ mod tests {
         let r = client.infer(&server, 8.0).expect("protocol ok");
         assert!(r.p < 27, "should offload at 8 Mbps");
         assert!(r.uploaded_bytes > 0);
-        assert!(r.server_time > SimDuration::ZERO);
+        assert!(r.server > SimDuration::ZERO);
         assert_eq!(server.shutdown(), 1);
     }
 
@@ -371,14 +326,16 @@ mod tests {
         let graph = lp_models::alexnet(1);
         let server = spawn_server(graph.clone(), edge.clone(), 1.0);
         // Garbage, truncated and wrong-version frames must not kill it.
-        server.send_frame(Bytes::from_static(b"\xffgarbage")).expect("alive");
+        server
+            .send_frame(Bytes::from_static(b"\xffgarbage"))
+            .expect("alive");
         server.send_frame(Bytes::new()).expect("alive");
         server
             .send_frame(Bytes::from_static(&[9, 1, 2, 3]))
             .expect("alive");
         let mut client = ThreadedClient::new(graph, user, edge);
         let r = client.infer(&server, 8.0).expect("still serving");
-        assert!(r.server_time > SimDuration::ZERO);
+        assert!(r.server > SimDuration::ZERO);
         assert_eq!(server.shutdown(), 1);
     }
 
@@ -406,5 +363,18 @@ mod tests {
         let graph = lp_models::alexnet(1);
         let server = spawn_server(graph, edge.clone(), 1.0);
         drop(server); // must not hang or panic
+    }
+
+    #[test]
+    fn request_ids_are_sequential() {
+        let (user, edge) = models();
+        let graph = lp_models::alexnet(1);
+        let server = spawn_server(graph.clone(), edge.clone(), 1.0);
+        let mut client = ThreadedClient::new(graph, user, edge);
+        for expect in 0..3u64 {
+            let r = client.infer(&server, 8.0).expect("ok");
+            assert_eq!(r.request_id, expect);
+        }
+        server.shutdown();
     }
 }

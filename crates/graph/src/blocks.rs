@@ -15,10 +15,9 @@
 
 use crate::cut::{cut_at, transmission_series};
 use crate::graph::ComputationGraph;
-use serde::{Deserialize, Serialize};
 
 /// A maximal run of partition points lying strictly inside a branch region.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Block {
     /// First partition point inside the block.
     pub first_inside: usize,
@@ -41,7 +40,7 @@ impl Block {
 }
 
 /// Result of analysing one graph's branch blocks.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BlockAnalysis {
     /// Detected blocks in topological order.
     pub blocks: Vec<Block>,
@@ -140,8 +139,12 @@ mod tests {
         let r1 = b
             .node("r1", NodeKind::Activation(Activation::Relu), [c1])
             .unwrap();
-        let c2 = b.node("c2", NodeKind::Conv(ConvAttrs::same(8, 3)), [r1]).unwrap();
-        let c3 = b.node("c3", NodeKind::Conv(ConvAttrs::same(8, 3)), [c2]).unwrap();
+        let c2 = b
+            .node("c2", NodeKind::Conv(ConvAttrs::same(8, 3)), [r1])
+            .unwrap();
+        let c3 = b
+            .node("c3", NodeKind::Conv(ConvAttrs::same(8, 3)), [c2])
+            .unwrap();
         let add = b.node("add", NodeKind::Add, [r1, c3]).unwrap();
         b.finish(add).unwrap()
     }

@@ -7,11 +7,10 @@
 //! computes that series `s_0..s_n` for a whole graph in one pass.
 
 use crate::graph::{ComputationGraph, ValueId};
-use serde::{Deserialize, Serialize};
 
 /// Everything the decision algorithm needs to know about the cut after
 /// position `p`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CutInfo {
     /// The partition point `p` (0 = full offloading, `n` = local inference).
     pub p: usize,
@@ -148,7 +147,9 @@ mod tests {
         let r = b
             .node("relu", NodeKind::Activation(Activation::Relu), [c])
             .unwrap();
-        let p = b.node("pool", NodeKind::Pool(PoolAttrs::max(2, 2)), [r]).unwrap();
+        let p = b
+            .node("pool", NodeKind::Pool(PoolAttrs::max(2, 2)), [r])
+            .unwrap();
         b.finish(p).unwrap()
     }
 
@@ -161,7 +162,9 @@ mod tests {
         let r1 = b
             .node("r1", NodeKind::Activation(Activation::Relu), [c1])
             .unwrap();
-        let c2 = b.node("c2", NodeKind::Conv(ConvAttrs::same(8, 3)), [r1]).unwrap();
+        let c2 = b
+            .node("c2", NodeKind::Conv(ConvAttrs::same(8, 3)), [r1])
+            .unwrap();
         let add = b.node("add", NodeKind::Add, [r1, c2]).unwrap();
         b.finish(add).unwrap()
     }

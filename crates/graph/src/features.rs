@@ -19,11 +19,10 @@
 use crate::flops::node_flops;
 use crate::node::NodeKind;
 use lp_tensor::TensorDesc;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Which side's model the features feed (`M_edge` vs `M_user`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Platform {
     /// The edge server (Tesla T4 in the paper's testbed).
     EdgeServer,
@@ -41,7 +40,7 @@ impl fmt::Display for Platform {
 }
 
 /// A named feature vector ready for the linear-regression models.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FeatureVector {
     /// Feature names, parallel to `values`.
     pub names: Vec<&'static str>,
@@ -189,7 +188,10 @@ mod tests {
         let input = TensorDesc::f32(Shape::nc(1, 2048));
         let out = k.infer_output(std::slice::from_ref(&input)).unwrap();
         let v = features_for(&k, &input, &out, Platform::EdgeServer);
-        assert_eq!(v.values, vec![2048.0 * 1000.0, 2048.0, 1000.0, 2048.0 * 1000.0]);
+        assert_eq!(
+            v.values,
+            vec![2048.0 * 1000.0, 2048.0, 1000.0, 2048.0 * 1000.0]
+        );
     }
 
     #[test]

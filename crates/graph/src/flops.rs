@@ -24,11 +24,7 @@ pub fn node_flops(kind: &NodeKind, input: &TensorDesc, output: &TensorDesc) -> u
             let c_in = input.shape().channels().unwrap_or(1) as u64;
             let h_out = output.shape().height().unwrap_or(1) as u64;
             let w_out = output.shape().width().unwrap_or(1) as u64;
-            n * c_in
-                * h_out
-                * w_out
-                * (a.kernel.0 * a.kernel.1) as u64
-                * a.out_channels as u64
+            n * c_in * h_out * w_out * (a.kernel.0 * a.kernel.1) as u64 * a.out_channels as u64
         }
         NodeKind::DwConv(a) => {
             let c_in = input.shape().channels().unwrap_or(1) as u64;
@@ -54,10 +50,9 @@ pub fn node_flops(kind: &NodeKind, input: &TensorDesc, output: &TensorDesc) -> u
             let w_in = input.shape().width().unwrap_or(1) as u64;
             n * c_out * h_in * w_in
         }
-        NodeKind::BiasAdd
-        | NodeKind::Add
-        | NodeKind::BatchNorm
-        | NodeKind::Activation(_) => input.numel(),
+        NodeKind::BiasAdd | NodeKind::Add | NodeKind::BatchNorm | NodeKind::Activation(_) => {
+            input.numel()
+        }
         NodeKind::Concat | NodeKind::Flatten => 0,
     }
 }
@@ -101,10 +96,7 @@ mod tests {
         let k = NodeKind::Conv(ConvAttrs::new(64, 11, 4, 2));
         let input = fm(3, 224, 224);
         let out = k.infer_output(std::slice::from_ref(&input)).unwrap();
-        assert_eq!(
-            node_flops(&k, &input, &out),
-            3 * 55 * 55 * 11 * 11 * 64
-        );
+        assert_eq!(node_flops(&k, &input, &out), 3 * 55 * 55 * 11 * 11 * 64);
     }
 
     #[test]
@@ -150,9 +142,7 @@ mod tests {
             NodeKind::Activation(Activation::Relu),
         ] {
             let out = match k {
-                NodeKind::Add => k
-                    .infer_output(&[input.clone(), input.clone()])
-                    .unwrap(),
+                NodeKind::Add => k.infer_output(&[input.clone(), input.clone()]).unwrap(),
                 _ => k.infer_output(std::slice::from_ref(&input)).unwrap(),
             };
             assert_eq!(node_flops(&k, &input, &out), 64 * 56 * 56);

@@ -2,7 +2,6 @@
 
 use crate::node::{NodeKind, ShapeInferenceError};
 use lp_tensor::TensorDesc;
-use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 use std::fmt;
 
@@ -11,7 +10,7 @@ use std::fmt;
 /// The wrapped value is the node's 1-based position in the topological
 /// order, i.e. `NodeId(i)` is the paper's `L_i`. The virtual input `L_0`
 /// is *not* a node — it is [`ValueId::Input`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub(crate) usize);
 
 impl NodeId {
@@ -30,7 +29,7 @@ impl fmt::Display for NodeId {
 
 /// A value flowing along a graph edge: either the graph input tensor
 /// (produced by the virtual node `L_0`) or the output of a computation node.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum ValueId {
     /// The graph's input tensor (`L_0`'s output).
     Input,
@@ -57,7 +56,7 @@ impl From<NodeId> for ValueId {
 
 /// A computation node (`CNode` in MindIR terms): an operation applied to one
 /// or more upstream values.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CNode {
     /// Human-readable name, e.g. `"conv2"` or `"fire3/expand3x3"`.
     pub name: String,
@@ -90,7 +89,7 @@ pub struct CNode {
 /// assert_eq!(g.output().shape().dims(), &[1, 8, 32, 32]);
 /// # Ok::<(), lp_graph::GraphError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ComputationGraph {
     name: String,
     input: TensorDesc,
@@ -201,7 +200,9 @@ impl ComputationGraph {
     pub fn validate(&self) -> Result<(), GraphError> {
         for (id, n) in self.iter() {
             if n.inputs.is_empty() {
-                return Err(GraphError::NoInputs { node: n.name.clone() });
+                return Err(GraphError::NoInputs {
+                    node: n.name.clone(),
+                });
             }
             for &v in &n.inputs {
                 if v.producer_position() >= id.position() {
@@ -210,15 +211,15 @@ impl ComputationGraph {
                     });
                 }
             }
-            let descs: Vec<TensorDesc> =
-                n.inputs.iter().map(|&v| self.value_desc(v).clone()).collect();
-            let inferred = n
-                .kind
-                .infer_output(&descs)
-                .map_err(|e| GraphError::Shape {
-                    node: n.name.clone(),
-                    source: e,
-                })?;
+            let descs: Vec<TensorDesc> = n
+                .inputs
+                .iter()
+                .map(|&v| self.value_desc(v).clone())
+                .collect();
+            let inferred = n.kind.infer_output(&descs).map_err(|e| GraphError::Shape {
+                node: n.name.clone(),
+                source: e,
+            })?;
             if inferred != n.output {
                 return Err(GraphError::OutputMismatch {
                     node: n.name.clone(),
@@ -442,7 +443,9 @@ mod tests {
         let r = b
             .node("relu", NodeKind::Activation(Activation::Relu), [c])
             .unwrap();
-        let p = b.node("pool", NodeKind::Pool(PoolAttrs::max(2, 2)), [r]).unwrap();
+        let p = b
+            .node("pool", NodeKind::Pool(PoolAttrs::max(2, 2)), [r])
+            .unwrap();
         let g = b.finish(p).unwrap();
         assert_eq!(g.len(), 3);
         assert_eq!(g.output().shape(), &Shape::nchw(1, 8, 16, 16));
@@ -500,8 +503,12 @@ mod tests {
         let r = b
             .node("relu", NodeKind::Activation(Activation::Relu), [b.input()])
             .unwrap();
-        let x = b.node("a", NodeKind::Conv(ConvAttrs::same(3, 3)), [r]).unwrap();
-        let y = b.node("b", NodeKind::Conv(ConvAttrs::same(3, 3)), [r]).unwrap();
+        let x = b
+            .node("a", NodeKind::Conv(ConvAttrs::same(3, 3)), [r])
+            .unwrap();
+        let y = b
+            .node("b", NodeKind::Conv(ConvAttrs::same(3, 3)), [r])
+            .unwrap();
         let s = b.node("add", NodeKind::Add, [x, y]).unwrap();
         let g = b.finish(s).unwrap();
         let t = g.consumer_table();

@@ -52,6 +52,7 @@ pub use features::{FeatureVector, Platform};
 pub use flops::node_flops;
 pub use graph::{CNode, ComputationGraph, GraphBuilder, GraphError, NodeId, ValueId};
 pub use node::{
-    Activation, ConvAttrs, DwConvAttrs, ModelKey, NodeKind, PoolAttrs, PoolKind, ShapeInferenceError,
+    Activation, ConvAttrs, DwConvAttrs, ModelKey, NodeKind, PoolAttrs, PoolKind,
+    ShapeInferenceError,
 };
 pub use partition::{PartitionedGraph, Segment, SegmentGraph};

@@ -1,7 +1,6 @@
 //! Node vocabulary and per-node shape inference.
 
 use lp_tensor::{shape::conv_out_dim, shape::conv_out_dim_ceil, Shape, TensorDesc};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Attributes of a standard convolution node.
@@ -9,7 +8,7 @@ use std::fmt;
 /// `in_channels` is inferred from the input tensor; only the filter geometry
 /// is stored here. Following the paper's Table I notation, the single-filter
 /// size is `s_f = C_in * K_H * K_W`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ConvAttrs {
     /// Number of output channels (`C_out`).
     pub out_channels: usize,
@@ -46,7 +45,7 @@ impl ConvAttrs {
 ///
 /// Output channels equal input channels (channel multiplier 1, as in
 /// Xception's separable convolutions).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct DwConvAttrs {
     /// Filter height and width.
     pub kernel: (usize, usize),
@@ -80,7 +79,7 @@ impl DwConvAttrs {
 }
 
 /// Max vs average pooling.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PoolKind {
     /// Max pooling.
     Max,
@@ -89,7 +88,7 @@ pub enum PoolKind {
 }
 
 /// Attributes of a pooling node.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PoolAttrs {
     /// Max or average pooling.
     pub kind: PoolKind,
@@ -144,7 +143,7 @@ impl PoolAttrs {
 }
 
 /// Activation functions modelled by the paper (§III-B d).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Activation {
     /// Rectified linear unit.
     Relu,
@@ -174,7 +173,7 @@ impl fmt::Display for Activation {
 /// (Table I/II of the paper); `Concat` and `Flatten` are structural and are
 /// predicted as zero-cost, exactly as §IV prescribes for nodes "without
 /// developed inference time prediction models".
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NodeKind {
     /// Standard convolution.
     Conv(ConvAttrs),
@@ -414,7 +413,10 @@ impl fmt::Display for NodeKind {
     }
 }
 
-fn nchw(s: &Shape, kind: &'static str) -> Result<(usize, usize, usize, usize), ShapeInferenceError> {
+fn nchw(
+    s: &Shape,
+    kind: &'static str,
+) -> Result<(usize, usize, usize, usize), ShapeInferenceError> {
     if s.rank() != 4 {
         return Err(ShapeInferenceError::Rank {
             kind,
@@ -434,7 +436,7 @@ fn nchw(s: &Shape, kind: &'static str) -> Result<(usize, usize, usize, usize), S
 ///
 /// Table III of the paper reports one model per variant listed here, with
 /// each activation function getting its own model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ModelKey {
     /// Standard convolution.
     Conv,

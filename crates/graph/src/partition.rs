@@ -16,11 +16,10 @@
 use crate::graph::{ComputationGraph, GraphError, NodeId, ValueId};
 use crate::node::NodeKind;
 use lp_tensor::TensorDesc;
-use serde::{Deserialize, Serialize};
 
 /// A contiguous, 1-based inclusive range `[start, end]` of topological
 /// positions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Segment {
     /// First node position in the segment.
     pub start: usize,
@@ -36,7 +35,10 @@ impl Segment {
     /// Panics when the range is empty or zero-based.
     #[must_use]
     pub fn new(start: usize, end: usize) -> Self {
-        assert!(start >= 1 && start <= end, "invalid segment [{start},{end}]");
+        assert!(
+            start >= 1 && start <= end,
+            "invalid segment [{start},{end}]"
+        );
         Self { start, end }
     }
 
@@ -61,7 +63,7 @@ impl Segment {
 
 /// A value inside a [`SegmentGraph`]: either one of its Parameters or the
 /// output of one of its local nodes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SegValue {
     /// Index into [`SegmentGraph::parameters`].
     Param(usize),
@@ -70,7 +72,7 @@ pub enum SegValue {
 }
 
 /// A Parameter synthesized for a value produced outside the segment.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SegParameter {
     /// Generated name, e.g. `"param_L3"`.
     pub name: String,
@@ -81,7 +83,7 @@ pub struct SegParameter {
 }
 
 /// A node of a segment graph, with inputs remapped to segment-local values.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SegNode {
     /// Original node name.
     pub name: String,
@@ -94,7 +96,7 @@ pub struct SegNode {
 }
 
 /// One standalone executable subgraph produced by segment extraction.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SegmentGraph {
     /// The extracted range.
     pub segment: Segment,
@@ -224,7 +226,7 @@ pub fn extract_segment(
 }
 
 /// The two sides of a DNN partitioned after point `p`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PartitionedGraph {
     /// The partition point.
     pub p: usize,
@@ -289,7 +291,9 @@ mod tests {
         let r1 = b
             .node("r1", NodeKind::Activation(Activation::Relu), [c1])
             .unwrap();
-        let c2 = b.node("c2", NodeKind::Conv(ConvAttrs::same(8, 3)), [r1]).unwrap();
+        let c2 = b
+            .node("c2", NodeKind::Conv(ConvAttrs::same(8, 3)), [r1])
+            .unwrap();
         let add = b.node("add", NodeKind::Add, [r1, c2]).unwrap();
         b.finish(add).unwrap()
     }
@@ -339,8 +343,7 @@ mod tests {
         for p in 0..g.len() {
             let seg = extract_segment(&g, Segment::new(p + 1, g.len())).unwrap();
             let cut = cut_at(&g, p);
-            let param_sources: Vec<ValueId> =
-                seg.parameters.iter().map(|pa| pa.source).collect();
+            let param_sources: Vec<ValueId> = seg.parameters.iter().map(|pa| pa.source).collect();
             assert_eq!(param_sources, cut.crossing, "p={p}");
             assert_eq!(seg.input_bytes(), cut.bytes, "p={p}");
         }

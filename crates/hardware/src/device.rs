@@ -15,10 +15,9 @@ use lp_graph::{flops::node_flops, NodeKind};
 use lp_sim::{lognormal_factor, SimDuration};
 use lp_tensor::TensorDesc;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Latency model for one node executed on the user-end CPU.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DeviceModel {
     /// Peak effective conv throughput in FLOP/s (multiply-accumulates/s).
     pub conv_flops: f64,
@@ -58,7 +57,12 @@ impl Default for DeviceModel {
 impl DeviceModel {
     /// Noise-free expected execution time of one node.
     #[must_use]
-    pub fn expected(&self, kind: &NodeKind, input: &TensorDesc, output: &TensorDesc) -> SimDuration {
+    pub fn expected(
+        &self,
+        kind: &NodeKind,
+        input: &TensorDesc,
+        output: &TensorDesc,
+    ) -> SimDuration {
         let flops = node_flops(kind, input, output) as f64;
         let params = kind.param_bytes(input) as f64;
         let bytes = input.size_bytes() as f64 + output.size_bytes() as f64 + params;
@@ -197,7 +201,11 @@ mod tests {
             .map(|_| m.sample(&k, &input, &out, &mut rng).as_secs_f64())
             .collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        assert!((mean / expected - 1.0).abs() < 0.05, "mean ratio {}", mean / expected);
+        assert!(
+            (mean / expected - 1.0).abs() < 0.05,
+            "mean ratio {}",
+            mean / expected
+        );
         let distinct: std::collections::HashSet<u64> =
             samples.iter().map(|s| s.to_bits()).collect();
         assert!(distinct.len() > 100, "noise should vary");

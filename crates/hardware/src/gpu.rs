@@ -168,7 +168,8 @@ impl GpuSim {
         context.gen_waiting = false;
         context.gen_epoch += 1;
         let epoch = context.gen_epoch;
-        self.arrivals.push(start, Arrival::GeneratorFire(ctx, epoch));
+        self.arrivals
+            .push(start, Arrival::GeneratorFire(ctx, epoch));
     }
 
     /// Removes the background generator from a context (pending tasks still
@@ -292,7 +293,8 @@ impl GpuSim {
             kernels,
             next: 0,
         });
-        self.arrivals.push(t + period, Arrival::GeneratorFire(ci, epoch));
+        self.arrivals
+            .push(t + period, Arrival::GeneratorFire(ci, epoch));
     }
 
     fn pick_context(&mut self) -> Option<usize> {

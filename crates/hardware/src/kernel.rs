@@ -10,10 +10,9 @@ use lp_graph::{flops::node_flops, ComputationGraph, NodeKind};
 use lp_sim::{lognormal_factor, SimDuration};
 use lp_tensor::TensorDesc;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Latency model for one kernel on the edge GPU.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GpuModel {
     /// Peak effective FLOP/s at full occupancy.
     pub peak_flops: f64,
@@ -51,7 +50,12 @@ impl GpuModel {
     /// time slicing in [`crate::gpu::GpuSim`], exactly as §III-C argues
     /// (single kernels are too short to be affected by the 2 ms slices).
     #[must_use]
-    pub fn expected(&self, kind: &NodeKind, input: &TensorDesc, output: &TensorDesc) -> SimDuration {
+    pub fn expected(
+        &self,
+        kind: &NodeKind,
+        input: &TensorDesc,
+        output: &TensorDesc,
+    ) -> SimDuration {
         let flops = node_flops(kind, input, output) as f64;
         let params = kind.param_bytes(input) as f64;
         let bytes = input.size_bytes() as f64 + output.size_bytes() as f64 + params;
@@ -98,7 +102,10 @@ impl GpuModel {
         start: usize,
         end: usize,
     ) -> Vec<SimDuration> {
-        assert!(start >= 1 && end <= graph.len() && start <= end, "bad range");
+        assert!(
+            start >= 1 && end <= graph.len() && start <= end,
+            "bad range"
+        );
         graph
             .nodes()
             .iter()
@@ -111,7 +118,9 @@ impl GpuModel {
     /// Expected total GPU time of the whole graph on the idle GPU.
     #[must_use]
     pub fn graph_time(&self, graph: &ComputationGraph) -> SimDuration {
-        self.kernel_sequence(graph, 1, graph.len()).into_iter().sum()
+        self.kernel_sequence(graph, 1, graph.len())
+            .into_iter()
+            .sum()
     }
 }
 
@@ -142,10 +151,7 @@ mod tests {
         let gpu = GpuModel::default();
         let g = alexnet(1);
         let ks = gpu.kernel_sequence(&g, 1, g.len());
-        let below_slice = ks
-            .iter()
-            .filter(|k| k.as_millis_f64() < 2.0)
-            .count();
+        let below_slice = ks.iter().filter(|k| k.as_millis_f64() < 2.0).count();
         assert!(
             below_slice as f64 / ks.len() as f64 > 0.9,
             "{below_slice}/{} kernels under 2ms",

@@ -10,14 +10,13 @@
 use crate::gpu::{Generator, GpuSim};
 use crate::kernel::GpuModel;
 use lp_sim::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Number of background processes in the paper's methodology.
 pub const BACKGROUND_PROCESSES: usize = 7;
 
 /// The background computation-load levels of §II / Figure 2 / Figure 9.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LoadLevel {
     /// No background tasks (profiling baseline, 0% utilization).
     Idle,
@@ -137,10 +136,8 @@ pub fn background_generators(level: LoadLevel, gpu_model: &GpuModel) -> Vec<Gene
         }
         None => {
             let resnet = lp_models::resnet152(1);
-            let kernels = coalesce_kernels(
-                &gpu_model.kernel_sequence(&resnet, 1, resnet.len()),
-                chunk,
-            );
+            let kernels =
+                coalesce_kernels(&gpu_model.kernel_sequence(&resnet, 1, resnet.len()), chunk);
             (0..BACKGROUND_PROCESSES)
                 .map(|_| Generator {
                     kernels: kernels.clone(),
@@ -230,9 +227,7 @@ mod tests {
         let chunk_total: SimDuration = chunks.iter().copied().sum();
         assert_eq!(total, chunk_total);
         assert!(chunks.len() < ks.len());
-        assert!(chunks
-            .iter()
-            .all(|c| c.as_micros_f64() <= 291.0 + 1e-9)); // <= 3*97
+        assert!(chunks.iter().all(|c| c.as_micros_f64() <= 291.0 + 1e-9)); // <= 3*97
     }
 
     #[test]

@@ -1,39 +1,51 @@
-//! Property-based tests of the GPU scheduler simulator's invariants.
+//! Property-style tests of the GPU scheduler simulator's invariants.
+//!
+//! Each test draws a fixed number of random workloads from a seeded
+//! [`StdRng`], so failures reproduce exactly (no external property-testing
+//! framework in this offline build — the invariants are unchanged).
 
 use lp_hardware::gpu::{Generator, GpuSim};
 use lp_sim::{SimDuration, SimTime};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-/// Strategy: a batch of tasks, each (context, arrival µs offset, kernel
-/// durations in µs).
-fn arb_workload() -> impl Strategy<Value = (usize, Vec<(usize, u64, Vec<u64>)>)> {
-    (1usize..5).prop_flat_map(|n_ctx| {
-        let tasks = proptest::collection::vec(
-            (
-                0..n_ctx,
-                0u64..20_000,
-                proptest::collection::vec(10u64..3_000, 1..12),
-            ),
-            1..16,
-        );
-        (Just(n_ctx), tasks)
-    })
+const CASES: usize = 48;
+
+/// A batch of tasks, each (context, arrival µs offset, kernel durations
+/// in µs).
+fn random_workload(rng: &mut StdRng) -> (usize, Vec<(usize, u64, Vec<u64>)>) {
+    let n_ctx = rng.gen_range(1usize..5);
+    let n_tasks = rng.gen_range(1usize..16);
+    let tasks = (0..n_tasks)
+        .map(|_| {
+            let ctx = rng.gen_range(0..n_ctx);
+            let at_us = rng.gen_range(0u64..20_000);
+            let n_kernels = rng.gen_range(1usize..12);
+            let kernels: Vec<u64> = (0..n_kernels)
+                .map(|_| rng.gen_range(10u64..3_000))
+                .collect();
+            (ctx, at_us, kernels)
+        })
+        .collect();
+    (n_ctx, tasks)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Work conservation: total busy time equals the sum of all executed
-    /// kernel durations, and never exceeds elapsed wall time.
-    #[test]
-    fn busy_time_is_conserved((n_ctx, tasks) in arb_workload()) {
+/// Work conservation: total busy time equals the sum of all executed
+/// kernel durations, and never exceeds elapsed wall time.
+#[test]
+fn busy_time_is_conserved() {
+    let mut rng = StdRng::seed_from_u64(0x0006_B001);
+    for _ in 0..CASES {
+        let (n_ctx, tasks) = random_workload(&mut rng);
         let mut gpu = GpuSim::with_default_slice(1);
         let ctxs: Vec<usize> = (0..n_ctx).map(|_| gpu.add_context()).collect();
         let mut ids = Vec::new();
         let mut total_work = 0u64;
         for (ctx, at_us, kernels) in &tasks {
-            let ks: Vec<SimDuration> =
-                kernels.iter().map(|&us| SimDuration::from_micros(us)).collect();
+            let ks: Vec<SimDuration> = kernels
+                .iter()
+                .map(|&us| SimDuration::from_micros(us))
+                .collect();
             total_work += kernels.iter().sum::<u64>();
             ids.push(gpu.submit(
                 ctxs[*ctx],
@@ -44,20 +56,26 @@ proptest! {
         for id in &ids {
             gpu.run_until_complete(*id);
         }
-        prop_assert_eq!(gpu.busy_time().as_nanos(), total_work * 1_000);
-        prop_assert!(gpu.busy_time().as_nanos() <= gpu.now().as_nanos());
+        assert_eq!(gpu.busy_time().as_nanos(), total_work * 1_000);
+        assert!(gpu.busy_time().as_nanos() <= gpu.now().as_nanos());
     }
+}
 
-    /// Every task completes no earlier than its arrival plus its own
-    /// service demand, and completions within a context preserve FIFO.
-    #[test]
-    fn completions_are_causal_and_fifo((n_ctx, tasks) in arb_workload()) {
+/// Every task completes no earlier than its arrival plus its own service
+/// demand, and completions within a context preserve FIFO.
+#[test]
+fn completions_are_causal_and_fifo() {
+    let mut rng = StdRng::seed_from_u64(0x0006_B002);
+    for _ in 0..CASES {
+        let (n_ctx, tasks) = random_workload(&mut rng);
         let mut gpu = GpuSim::with_default_slice(2);
         let ctxs: Vec<usize> = (0..n_ctx).map(|_| gpu.add_context()).collect();
         let mut ids = Vec::new();
         for (ctx, at_us, kernels) in &tasks {
-            let ks: Vec<SimDuration> =
-                kernels.iter().map(|&us| SimDuration::from_micros(us)).collect();
+            let ks: Vec<SimDuration> = kernels
+                .iter()
+                .map(|&us| SimDuration::from_micros(us))
+                .collect();
             let id = gpu.submit(
                 ctxs[*ctx],
                 SimTime::ZERO + SimDuration::from_micros(*at_us),
@@ -71,8 +89,8 @@ proptest! {
         // Causality.
         for (_, at_us, work_us, id) in &ids {
             let (arrival, done) = gpu.completion(*id).expect("completed");
-            prop_assert_eq!(arrival.as_nanos(), at_us * 1_000);
-            prop_assert!(done.as_nanos() >= (at_us + work_us) * 1_000);
+            assert_eq!(arrival.as_nanos(), at_us * 1_000);
+            assert!(done.as_nanos() >= (at_us + work_us) * 1_000);
         }
         // FIFO within each context, by arrival order (ties by submit order).
         for c in 0..n_ctx {
@@ -84,24 +102,37 @@ proptest! {
                 .collect();
             per_ctx.sort_by_key(|&(at, i, _)| (at, i));
             for w in per_ctx.windows(2) {
-                prop_assert!(w[0].2 <= w[1].2, "FIFO violated in ctx {}", c);
+                assert!(w[0].2 <= w[1].2, "FIFO violated in ctx {c}");
             }
         }
     }
+}
 
-    /// With a single context the GPU is effectively FCFS: the last
-    /// completion equals max(arrival chain) with no slicing overhead.
-    #[test]
-    fn single_context_is_fcfs(
-        tasks in proptest::collection::vec(
-            (0u64..5_000, proptest::collection::vec(10u64..2_000, 1..8)), 1..10)
-    ) {
+/// With a single context the GPU is effectively FCFS: the last completion
+/// equals max(arrival chain) with no slicing overhead.
+#[test]
+fn single_context_is_fcfs() {
+    let mut rng = StdRng::seed_from_u64(0x0006_B003);
+    for _ in 0..CASES {
+        let n_tasks = rng.gen_range(1usize..10);
+        let tasks: Vec<(u64, Vec<u64>)> = (0..n_tasks)
+            .map(|_| {
+                let at_us = rng.gen_range(0u64..5_000);
+                let n_kernels = rng.gen_range(1usize..8);
+                let kernels: Vec<u64> = (0..n_kernels)
+                    .map(|_| rng.gen_range(10u64..2_000))
+                    .collect();
+                (at_us, kernels)
+            })
+            .collect();
         let mut gpu = GpuSim::with_default_slice(3);
         let c = gpu.add_context();
         let mut ids = Vec::new();
         for (at_us, kernels) in &tasks {
-            let ks: Vec<SimDuration> =
-                kernels.iter().map(|&us| SimDuration::from_micros(us)).collect();
+            let ks: Vec<SimDuration> = kernels
+                .iter()
+                .map(|&us| SimDuration::from_micros(us))
+                .collect();
             ids.push(gpu.submit(c, SimTime::ZERO + SimDuration::from_micros(*at_us), ks));
         }
         let mut done_ns = 0;
@@ -118,28 +149,35 @@ proptest! {
         for (at, work) in order {
             clock = clock.max(at) + work;
         }
-        prop_assert_eq!(done_ns, clock);
+        assert_eq!(done_ns, clock);
     }
+}
 
-    /// The kernel tax inflates busy time by exactly (kernel count * tax).
-    #[test]
-    fn kernel_tax_accounting(
-        kernels in proptest::collection::vec(10u64..2_000, 1..20),
-        tax_us in 0u64..500,
-    ) {
+/// The kernel tax inflates busy time by exactly (kernel count * tax).
+#[test]
+fn kernel_tax_accounting() {
+    let mut rng = StdRng::seed_from_u64(0x0006_B004);
+    for _ in 0..CASES {
+        let n_kernels = rng.gen_range(1usize..20);
+        let kernels: Vec<u64> = (0..n_kernels)
+            .map(|_| rng.gen_range(10u64..2_000))
+            .collect();
+        let tax_us = rng.gen_range(0u64..500);
         let run = |tax: u64| {
             let mut gpu = GpuSim::with_default_slice(4);
             let c = gpu.add_context();
             gpu.set_kernel_tax(SimDuration::from_micros(tax));
-            let ks: Vec<SimDuration> =
-                kernels.iter().map(|&us| SimDuration::from_micros(us)).collect();
+            let ks: Vec<SimDuration> = kernels
+                .iter()
+                .map(|&us| SimDuration::from_micros(us))
+                .collect();
             let id = gpu.submit(c, SimTime::ZERO, ks);
             gpu.run_until_complete(id);
             gpu.busy_time().as_nanos()
         };
         let without = run(0);
         let with = run(tax_us);
-        prop_assert_eq!(with - without, kernels.len() as u64 * tax_us * 1_000);
+        assert_eq!(with - without, kernels.len() as u64 * tax_us * 1_000);
     }
 }
 
@@ -163,5 +201,8 @@ fn generator_queue_stays_bounded() {
     // explode in memory/time.
     gpu.advance_to(SimTime::ZERO + SimDuration::from_secs(2));
     let util = gpu.busy_time().as_secs_f64() / gpu.now().as_secs_f64();
-    assert!(util > 0.99, "back-to-back generator should saturate, util={util}");
+    assert!(
+        util > 0.99,
+        "back-to-back generator should saturate, util={util}"
+    );
 }

@@ -5,10 +5,8 @@
 //! squared-loss GBDT — depth-limited CART trees fit to residuals — whose
 //! per-feature split-gain totals provide the same ranking signal.
 
-use serde::{Deserialize, Serialize};
-
 /// Hyper-parameters for [`Gbdt::fit`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GbdtParams {
     /// Number of boosting rounds.
     pub n_trees: usize,
@@ -31,7 +29,7 @@ impl Default for GbdtParams {
     }
 }
 
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 enum Node {
     Leaf {
         value: f64,
@@ -65,7 +63,7 @@ impl Node {
 }
 
 /// A fitted gradient-boosted tree ensemble.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Gbdt {
     base: f64,
     trees: Vec<Node>,
@@ -108,13 +106,7 @@ impl Gbdt {
     /// Predicts one sample.
     #[must_use]
     pub fn predict(&self, x: &[f64]) -> f64 {
-        self.base
-            + self.learning_rate
-                * self
-                    .trees
-                    .iter()
-                    .map(|t| t.predict(x))
-                    .sum::<f64>()
+        self.base + self.learning_rate * self.trees.iter().map(|t| t.predict(x)).sum::<f64>()
     }
 
     /// Raw per-feature split-gain totals (sum of SSE reductions).

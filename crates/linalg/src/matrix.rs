@@ -1,13 +1,12 @@
 //! A minimal row-major dense matrix.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Row-major dense matrix of `f64`.
 ///
 /// Sized for the profiler's workloads (a few thousand rows, < 10 columns),
 /// not for general numerical computing.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -178,7 +177,10 @@ pub fn solve_spd(a: &Matrix, b: &[f64]) -> Vec<f64> {
     let n = a.rows();
     // Try Cholesky with escalating ridge.
     let mut ridge = 0.0;
-    let scale = (0..n).map(|i| a.get(i, i)).fold(0.0f64, f64::max).max(1e-300);
+    let scale = (0..n)
+        .map(|i| a.get(i, i))
+        .fold(0.0f64, f64::max)
+        .max(1e-300);
     for _ in 0..8 {
         if let Some(l) = cholesky(a, ridge) {
             // Forward substitution: L y = b.
@@ -201,7 +203,11 @@ pub fn solve_spd(a: &Matrix, b: &[f64]) -> Vec<f64> {
             }
             return x;
         }
-        ridge = if ridge == 0.0 { scale * 1e-12 } else { ridge * 100.0 };
+        ridge = if ridge == 0.0 {
+            scale * 1e-12
+        } else {
+            ridge * 100.0
+        };
     }
     // Severely degenerate: fall back to the zero solution.
     vec![0.0; n]

@@ -33,10 +33,9 @@ pub fn nnls(a: &Matrix, b: &[f64], tol: f64, max_iter: usize) -> Vec<f64> {
         // Pick the most violated inactive coordinate.
         let mut best: Option<(usize, f64)> = None;
         for j in 0..n {
-            if !passive[j] && w[j] > tol
-                && best.is_none_or(|(_, bw)| w[j] > bw) {
-                    best = Some((j, w[j]));
-                }
+            if !passive[j] && w[j] > tol && best.is_none_or(|(_, bw)| w[j] > bw) {
+                best = Some((j, w[j]));
+            }
         }
         let Some((j_star, _)) = best else {
             break; // KKT satisfied.
@@ -169,7 +168,10 @@ mod tests {
             })
             .collect();
         let a = Matrix::from_rows(&rows);
-        let b: Vec<f64> = rows.iter().map(|r| 1.5 * r[0] + 0.2 * r[2] - 0.05 * r[1]).collect();
+        let b: Vec<f64> = rows
+            .iter()
+            .map(|r| 1.5 * r[0] + 0.2 * r[2] - 0.05 * r[1])
+            .collect();
         let x = fit(&a, &b);
         let ax = a.mul_vec(&x);
         let resid: Vec<f64> = b.iter().zip(&ax).map(|(bi, ai)| bi - ai).collect();

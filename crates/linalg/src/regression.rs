@@ -6,10 +6,9 @@
 
 use crate::matrix::{solve_spd, Matrix};
 use crate::nnls::nnls;
-use serde::{Deserialize, Serialize};
 
 /// A linear model `y = w . x` with `w >= 0` and no intercept.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LinearModel {
     coefficients: Vec<f64>,
 }
@@ -78,6 +77,40 @@ impl LinearModel {
     pub fn predict_batch(&self, x: &Matrix) -> Vec<f64> {
         x.mul_vec(&self.coefficients)
     }
+
+    /// The model as a JSON value: `{"coefficients": [...]}`.
+    #[must_use]
+    pub fn to_json(&self) -> lp_json::Json {
+        lp_json::Json::Obj(vec![(
+            "coefficients".to_string(),
+            lp_json::Json::Arr(
+                self.coefficients
+                    .iter()
+                    .map(|&c| lp_json::Json::Num(c))
+                    .collect(),
+            ),
+        )])
+    }
+
+    /// Rebuilds a model from [`to_json`](Self::to_json) output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural problem found.
+    pub fn from_json(value: &lp_json::Json) -> Result<Self, String> {
+        let arr = value
+            .get("coefficients")
+            .and_then(lp_json::Json::as_arr)
+            .ok_or("expected object with a \"coefficients\" array")?;
+        let coefficients = arr
+            .iter()
+            .map(|v| v.as_f64().ok_or("non-numeric coefficient"))
+            .collect::<Result<Vec<f64>, &str>>()?;
+        if coefficients.is_empty() {
+            return Err("need at least one coefficient".to_string());
+        }
+        Ok(Self { coefficients })
+    }
 }
 
 #[cfg(test)]
@@ -126,8 +159,8 @@ mod tests {
     #[test]
     fn round_trip_serialisation() {
         let m = LinearModel::from_coefficients(vec![1.0, 2.5]);
-        let json = serde_json::to_string(&m).unwrap();
-        let back: LinearModel = serde_json::from_str(&json).unwrap();
+        let json = m.to_json().to_string_compact();
+        let back = LinearModel::from_json(&lp_json::Json::parse(&json).unwrap()).unwrap();
         assert_eq!(back, m);
     }
 

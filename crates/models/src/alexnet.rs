@@ -12,10 +12,7 @@ use lp_tensor::{Shape, TensorDesc};
 /// Builds AlexNet for the given batch size (input `batch x 3 x 224 x 224`).
 #[must_use]
 pub fn alexnet(batch: usize) -> ComputationGraph {
-    let mut b = GraphBuilder::new(
-        "AlexNet",
-        TensorDesc::f32(Shape::nchw(batch, 3, 224, 224)),
-    );
+    let mut b = GraphBuilder::new("AlexNet", TensorDesc::f32(Shape::nchw(batch, 3, 224, 224)));
     let x = b.input();
     let x = b.conv_bias_relu("conv1", ConvAttrs::new(64, 11, 4, 2), x); // L1..L3
     let x = b
@@ -56,15 +53,9 @@ mod tests {
     fn landmark_shapes() {
         let g = alexnet(1);
         // L4 = MaxPool-1 output 64x27x27.
-        assert_eq!(
-            g.nodes()[3].output.shape(),
-            &Shape::nchw(1, 64, 27, 27)
-        );
+        assert_eq!(g.nodes()[3].output.shape(), &Shape::nchw(1, 64, 27, 27));
         // L8 = MaxPool-2 output 192x13x13.
-        assert_eq!(
-            g.nodes()[7].output.shape(),
-            &Shape::nchw(1, 192, 13, 13)
-        );
+        assert_eq!(g.nodes()[7].output.shape(), &Shape::nchw(1, 192, 13, 13));
         // L19 = Flatten output 9216.
         assert_eq!(g.nodes()[18].output.shape(), &Shape::nc(1, 9216));
     }

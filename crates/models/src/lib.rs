@@ -168,7 +168,6 @@ mod tests {
             ("inceptionv3", 5.7e9),
             ("xception", 8.4e9),
             ("squeezenet", 0.85e9), // 0.82 GMACs at 224px, 227px here
-
         ];
         for (name, expected) in cases {
             let g = by_name(name, 1).unwrap();

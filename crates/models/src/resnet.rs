@@ -41,7 +41,9 @@ fn basic_block(
     } else {
         x
     };
-    let sum = b.node(format!("{name}.add"), NodeKind::Add, [main, skip]).unwrap();
+    let sum = b
+        .node(format!("{name}.add"), NodeKind::Add, [main, skip])
+        .unwrap();
     b.relu(&format!("{name}.relu"), sum)
 }
 
@@ -55,11 +57,7 @@ fn bottleneck(
     x: ValueId,
 ) -> ValueId {
     let out_ch = mid_ch * 4;
-    let main = b.conv_bn_relu(
-        &format!("{name}.conv1"),
-        ConvAttrs::new(mid_ch, 1, 1, 0),
-        x,
-    );
+    let main = b.conv_bn_relu(&format!("{name}.conv1"), ConvAttrs::new(mid_ch, 1, 1, 0), x);
     let main = b.conv_bn_relu(
         &format!("{name}.conv2"),
         ConvAttrs {
@@ -70,7 +68,11 @@ fn bottleneck(
         },
         main,
     );
-    let main = b.conv_bn(&format!("{name}.conv3"), ConvAttrs::new(out_ch, 1, 1, 0), main);
+    let main = b.conv_bn(
+        &format!("{name}.conv3"),
+        ConvAttrs::new(out_ch, 1, 1, 0),
+        main,
+    );
     let skip = if downsample {
         b.conv_bn(
             &format!("{name}.down"),
@@ -85,7 +87,9 @@ fn bottleneck(
     } else {
         x
     };
-    let sum = b.node(format!("{name}.add"), NodeKind::Add, [main, skip]).unwrap();
+    let sum = b
+        .node(format!("{name}.add"), NodeKind::Add, [main, skip])
+        .unwrap();
     b.relu(&format!("{name}.relu"), sum)
 }
 
@@ -155,7 +159,8 @@ mod tests {
         let g = resnet50(1);
         let last = |prefix: &str| {
             g.nodes()
-                .iter().rfind(|n| n.name.starts_with(prefix) && n.name.ends_with(".relu"))
+                .iter()
+                .rfind(|n| n.name.starts_with(prefix) && n.name.ends_with(".relu"))
                 .unwrap()
                 .output
                 .shape()

@@ -10,13 +10,7 @@ use lp_tensor::{Shape, TensorDesc};
 /// 10 computation nodes (3 conv+bias+relu triples and a Concat). The squeeze
 /// output is the narrow waist that makes mid-network partition points cheap
 /// — the `p = 39`-style decisions of Figure 6/9.
-fn fire(
-    b: &mut GraphBuilder,
-    name: &str,
-    squeeze: usize,
-    expand: usize,
-    x: ValueId,
-) -> ValueId {
+fn fire(b: &mut GraphBuilder, name: &str, squeeze: usize, expand: usize, x: ValueId) -> ValueId {
     let s = b.conv_bias_relu(
         &format!("{name}.squeeze"),
         ConvAttrs::new(squeeze, 1, 1, 0),

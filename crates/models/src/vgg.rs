@@ -25,7 +25,11 @@ pub fn vgg16(batch: usize) -> ComputationGraph {
             x = b.conv_bias_relu(&format!("conv{bi}_{}", ci + 1), ConvAttrs::same(c, 3), x);
         }
         x = b
-            .node(format!("pool{bi}"), NodeKind::Pool(PoolAttrs::max(2, 2)), [x])
+            .node(
+                format!("pool{bi}"),
+                NodeKind::Pool(PoolAttrs::max(2, 2)),
+                [x],
+            )
             .unwrap();
     }
     x = b.node("flatten", NodeKind::Flatten, [x]).unwrap();
@@ -76,9 +80,6 @@ mod tests {
     fn vgg_has_138m_params() {
         let g = vgg16(1);
         let params = g.total_param_bytes() / 4;
-        assert!(
-            (137_000_000..140_000_000).contains(&params),
-            "got {params}"
-        );
+        assert!((137_000_000..140_000_000).contains(&params), "got {params}");
     }
 }

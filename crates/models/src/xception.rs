@@ -66,10 +66,7 @@ fn middle_block(b: &mut GraphBuilder, name: &str, x: ValueId) -> ValueId {
 /// Builds Xception for the given batch size (input `batch x 3 x 299 x 299`).
 #[must_use]
 pub fn xception(batch: usize) -> ComputationGraph {
-    let mut b = GraphBuilder::new(
-        "Xception",
-        TensorDesc::f32(Shape::nchw(batch, 3, 299, 299)),
-    );
+    let mut b = GraphBuilder::new("Xception", TensorDesc::f32(Shape::nchw(batch, 3, 299, 299)));
     let x = b.input();
     // Entry flow.
     let x = b.conv_bn_relu("conv1", ConvAttrs::new(32, 3, 2, 0), x); // 299 -> 149
@@ -77,7 +74,7 @@ pub fn xception(batch: usize) -> ComputationGraph {
     let x = down_block(&mut b, "block1", (128, 128), false, x); // -> 74
     let x = down_block(&mut b, "block2", (256, 256), true, x); // -> 37
     let x = down_block(&mut b, "block3", (728, 728), true, x); // -> 19
-    // Middle flow.
+                                                               // Middle flow.
     let mut x = x;
     for i in 4..=11 {
         x = middle_block(&mut b, &format!("block{i}"), x);

@@ -9,11 +9,10 @@
 use crate::link::Link;
 use lp_sim::{SimDuration, SimTime};
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// Sliding-window bandwidth estimator (window size is user-defined, §IV).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BandwidthEstimator {
     window: usize,
     samples: VecDeque<(SimTime, f64)>,
@@ -57,6 +56,12 @@ impl BandwidthEstimator {
         self.samples.len()
     }
 
+    /// The configured window capacity.
+    #[must_use]
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
     /// Whether no samples have been recorded.
     #[must_use]
     pub fn is_empty(&self) -> bool {
@@ -69,7 +74,7 @@ impl BandwidthEstimator {
 /// `target_probe_time` at the currently estimated bandwidth (§IV: "the
 /// size of the probe package is adjusted according to the historical data
 /// in the sliding window").
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProbeProfiler {
     /// The estimator fed by probes and passive measurements.
     pub estimator: BandwidthEstimator,
@@ -123,7 +128,13 @@ impl ProbeProfiler {
     /// Passively records a real upload of `bytes` that ran from `start` to
     /// `end` (§IV: "the upload bandwidth is also tested passively").
     /// Returns the measured Mbps.
-    pub fn record_passive(&mut self, bytes: u64, start: SimTime, end: SimTime, latency: SimDuration) -> f64 {
+    pub fn record_passive(
+        &mut self,
+        bytes: u64,
+        start: SimTime,
+        end: SimTime,
+        latency: SimDuration,
+    ) -> f64 {
         self.measure(bytes, start, end, latency)
     }
 
@@ -201,8 +212,8 @@ mod tests {
     #[test]
     fn tracks_bandwidth_change() {
         // 8 Mbps then 1 Mbps: the window mean must move towards 1.
-        let link = Link::symmetric(BandwidthTrace::steps(&[(0.0, 8.0), (5.0, 1.0)]))
-            .with_jitter(0.0);
+        let link =
+            Link::symmetric(BandwidthTrace::steps(&[(0.0, 8.0), (5.0, 1.0)])).with_jitter(0.0);
         let mut p = ProbeProfiler::new(4);
         let mut rng = StdRng::seed_from_u64(3);
         let mut now = SimTime::ZERO;

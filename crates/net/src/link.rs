@@ -3,11 +3,10 @@
 use crate::trace::BandwidthTrace;
 use lp_sim::{lognormal_factor, SimDuration, SimTime};
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// A bidirectional link with separate upload/download bandwidth traces, a
 /// fixed one-way propagation latency and multiplicative transfer jitter.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Link {
     /// Available upload (device -> server) bandwidth over time.
     pub upload: BandwidthTrace,
@@ -96,9 +95,14 @@ mod tests {
     fn jitter_perturbs_but_tracks_expectation() {
         let link = Link::symmetric(BandwidthTrace::constant(8.0)).with_jitter(0.1);
         let mut rng = StdRng::seed_from_u64(5);
-        let expected = link.expected_upload_end(1_000_000, SimTime::ZERO).as_secs_f64();
+        let expected = link
+            .expected_upload_end(1_000_000, SimTime::ZERO)
+            .as_secs_f64();
         let mean: f64 = (0..200)
-            .map(|_| link.upload_end(1_000_000, SimTime::ZERO, &mut rng).as_secs_f64())
+            .map(|_| {
+                link.upload_end(1_000_000, SimTime::ZERO, &mut rng)
+                    .as_secs_f64()
+            })
             .sum::<f64>()
             / 200.0;
         assert!((mean / expected - 1.0).abs() < 0.05, "{mean} vs {expected}");

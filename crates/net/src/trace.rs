@@ -1,7 +1,6 @@
 //! Piecewise-constant bandwidth traces.
 
 use lp_sim::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Available bandwidth (in Mbps) as a piecewise-constant function of
 /// simulated time.
@@ -17,7 +16,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(t.mbps_at(SimTime::ZERO + SimDuration::from_secs(5)), 8.0);
 /// assert_eq!(t.mbps_at(SimTime::ZERO + SimDuration::from_secs(15)), 1.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BandwidthTrace {
     /// `(start, mbps)` segments sorted by start time; the first segment
     /// must start at time zero.
@@ -104,11 +103,7 @@ impl BandwidthTrace {
         loop {
             let rate = self.bytes_per_sec_at(t);
             // Find the end of the current segment.
-            let seg_end = self
-                .segments
-                .iter()
-                .map(|&(s, _)| s)
-                .find(|&s| s > t);
+            let seg_end = self.segments.iter().map(|&(s, _)| s).find(|&s| s > t);
             let need = SimDuration::from_secs_f64(remaining / rate);
             match seg_end {
                 Some(end) if t + need > end => {

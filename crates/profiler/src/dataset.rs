@@ -41,8 +41,7 @@ pub trait LatencySource {
     /// Which platform this source measures.
     fn platform(&self) -> Platform;
     /// One (noisy) measurement.
-    fn measure(&mut self, kind: &NodeKind, input: &TensorDesc, output: &TensorDesc)
-        -> SimDuration;
+    fn measure(&mut self, kind: &NodeKind, input: &TensorDesc, output: &TensorDesc) -> SimDuration;
 }
 
 /// The user-end device as a latency source.
@@ -67,12 +66,7 @@ impl LatencySource for DeviceSource {
     fn platform(&self) -> Platform {
         Platform::UserDevice
     }
-    fn measure(
-        &mut self,
-        kind: &NodeKind,
-        input: &TensorDesc,
-        output: &TensorDesc,
-    ) -> SimDuration {
+    fn measure(&mut self, kind: &NodeKind, input: &TensorDesc, output: &TensorDesc) -> SimDuration {
         self.model.sample(kind, input, output, &mut self.rng)
     }
 }
@@ -100,12 +94,7 @@ impl LatencySource for EdgeSource {
     fn platform(&self) -> Platform {
         Platform::EdgeServer
     }
-    fn measure(
-        &mut self,
-        kind: &NodeKind,
-        input: &TensorDesc,
-        output: &TensorDesc,
-    ) -> SimDuration {
+    fn measure(&mut self, kind: &NodeKind, input: &TensorDesc, output: &TensorDesc) -> SimDuration {
         self.model.sample(kind, input, output, &mut self.rng)
     }
 }

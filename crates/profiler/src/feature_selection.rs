@@ -14,7 +14,7 @@ use lp_linalg::{Gbdt, GbdtParams};
 /// Names of the candidate features scored for convolution.
 pub const CONV_CANDIDATES: [&str; 8] = [
     "FLOPs",
-    "s_f",          // single-filter size C_in*K_H*K_W
+    "s_f", // single-filter size C_in*K_H*K_W
     "H_in*s_f",
     "C_out*s_f",
     "C_in",
@@ -69,7 +69,11 @@ impl SelectionReport {
     /// The top-`k` feature names.
     #[must_use]
     pub fn top(&self, k: usize) -> Vec<&'static str> {
-        self.ranking.iter().take(k).map(|&i| self.names[i]).collect()
+        self.ranking
+            .iter()
+            .take(k)
+            .map(|&i| self.names[i])
+            .collect()
     }
 }
 

@@ -48,7 +48,9 @@ pub fn sample_config<R: Rng + ?Sized>(key: ModelKey, rng: &mut R) -> (NodeKind, 
             let c_in = uniform_in(rng, 128, 9216) as usize;
             let c_out = uniform_in(rng, 10, 4096) as usize;
             (
-                NodeKind::MatMul { out_features: c_out },
+                NodeKind::MatMul {
+                    out_features: c_out,
+                },
                 TensorDesc::f32(Shape::nc(1, c_in)),
             )
         }
@@ -73,7 +75,10 @@ pub fn sample_config<R: Rng + ?Sized>(key: ModelKey, rng: &mut R) -> (NodeKind, 
                 TensorDesc::f32(Shape::nchw(1, c, hw, hw)),
             )
         }
-        ModelKey::BiasAdd | ModelKey::BatchNorm | ModelKey::ElemwiseAdd | ModelKey::Activation(_) => {
+        ModelKey::BiasAdd
+        | ModelKey::BatchNorm
+        | ModelKey::ElemwiseAdd
+        | ModelKey::Activation(_) => {
             let c = uniform_in(rng, 8, 1024) as usize;
             let hw = uniform_in(rng, 4, 160) as usize;
             let kind = match key {

@@ -50,7 +50,9 @@ mod tests {
     #[test]
     fn median_is_near_one() {
         let mut rng = StdRng::seed_from_u64(1);
-        let mut samples: Vec<f64> = (0..20_001).map(|_| lognormal_factor(&mut rng, 0.3)).collect();
+        let mut samples: Vec<f64> = (0..20_001)
+            .map(|_| lognormal_factor(&mut rng, 0.3))
+            .collect();
         samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = samples[samples.len() / 2];
         assert!((median - 1.0).abs() < 0.05, "median={median}");

@@ -20,7 +20,6 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 pub mod shape;
@@ -32,7 +31,7 @@ pub use shape::Shape;
 /// The paper's evaluation runs FP32 inference on both platforms, but the
 /// profiler and the transmission-size math are parameterised over the dtype
 /// so that quantised deployments can be modelled too.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum DType {
     /// 32-bit IEEE-754 float (the paper's setting).
     #[default]
@@ -79,7 +78,7 @@ impl fmt::Display for DType {
 /// A `TensorDesc` is what flows along computation-graph edges; its
 /// [`size_bytes`](TensorDesc::size_bytes) is the transmission size `s_i` used
 /// by Problem (1) of the paper when the edge crosses the partition cut.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct TensorDesc {
     shape: Shape,
     dtype: DType,

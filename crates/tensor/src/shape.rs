@@ -1,6 +1,5 @@
 //! N-dimensional tensor shapes.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The shape of a tensor: an ordered list of dimension extents.
@@ -21,7 +20,7 @@ use std::fmt;
 /// let flat = Shape::nc(1, 4096);
 /// assert_eq!(flat.rank(), 2);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub struct Shape(Vec<usize>);
 
 impl Shape {

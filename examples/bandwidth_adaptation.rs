@@ -37,7 +37,11 @@ fn main() {
             p if p == n => "local".to_string(),
             p => format!("partial@{p}"),
         };
-        let marker = if regime != last_regime { "  <-- switch" } else { "" };
+        let marker = if regime != last_regime {
+            "  <-- switch"
+        } else {
+            ""
+        };
         last_regime = regime.clone();
         println!(
             "  {:5.1}  {:9.1}  {:8.1}  {:2}  {:>12}  {:7.1} ms{marker}",

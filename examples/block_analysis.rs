@@ -17,7 +17,13 @@ use lp_hardware::{DeviceModel, GpuModel};
 fn main() {
     let dev = DeviceModel::default();
     let gpu = GpuModel::default();
-    for name in ["squeezenet", "resnet18", "resnet50", "xception", "inceptionv3"] {
+    for name in [
+        "squeezenet",
+        "resnet18",
+        "resnet50",
+        "xception",
+        "inceptionv3",
+    ] {
         let graph = lp_models::by_name(name, 1).expect("zoo model");
         let analysis = BlockAnalysis::of(&graph);
         let input_mb = graph.input().size_bytes() as f64 / 1e6;
@@ -76,9 +82,8 @@ fn main() {
         for mbps in [2.0, 8.0, 64.0] {
             let linear = solver.decide(mbps, 1.0);
             let oracle = min_cut_partition(&graph, &device, &edge, mbps);
-            let gap =
-                100.0 * (linear.predicted.as_secs_f64() - oracle.predicted_secs)
-                    / oracle.predicted_secs.max(1e-12);
+            let gap = 100.0 * (linear.predicted.as_secs_f64() - oracle.predicted_secs)
+                / oracle.predicted_secs.max(1e-12);
             println!(
                 "  {mbps:>4} Mbps: linear search p={:<3} {:>8.1} ms | min-cut {:>8.1} ms | gap {gap:.2}%",
                 linear.p,

@@ -21,9 +21,18 @@ fn main() {
 
     let graph = lp_models::squeezenet(1);
     let phases = vec![
-        LoadPhase { start_secs: 0.0, level: LoadLevel::Idle },
-        LoadPhase { start_secs: 20.0, level: LoadLevel::Pct100High },
-        LoadPhase { start_secs: 80.0, level: LoadLevel::Idle },
+        LoadPhase {
+            start_secs: 0.0,
+            level: LoadLevel::Idle,
+        },
+        LoadPhase {
+            start_secs: 20.0,
+            level: LoadLevel::Pct100High,
+        },
+        LoadPhase {
+            start_secs: 80.0,
+            level: LoadLevel::Idle,
+        },
     ];
 
     let mut results = Vec::new();

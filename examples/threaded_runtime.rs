@@ -33,15 +33,15 @@ fn main() {
             r.p,
             r.k_used,
             r.uploaded_bytes as f64 / 1024.0,
-            r.server_time.as_millis_f64(),
+            r.server.as_millis_f64(),
         );
     }
 
     let served = server.shutdown();
     println!("\nserver thread exited cleanly after serving {served} offload requests");
     println!(
-        "note how the first requests run with k = 1, the load query then\n\
-         reports the contention the server measured, and later decisions\n\
-         shift the partition point toward the device."
+        "note how the first request runs with k = 1, the profiler's load\n\
+         query then reports the contention the server measured from it, and\n\
+         every later decision keeps the partition point on the device."
     );
 }

@@ -38,7 +38,14 @@ fn run_policy(model: &str, policy: Policy, mbps: f64, runs: usize) -> f64 {
 /// trivial policies, for any evaluation model at any bandwidth.
 #[test]
 fn loadpart_never_meaningfully_worse_than_trivial_policies() {
-    for model in ["alexnet", "squeezenet", "vgg16", "resnet18", "resnet50", "xception"] {
+    for model in [
+        "alexnet",
+        "squeezenet",
+        "vgg16",
+        "resnet18",
+        "resnet50",
+        "xception",
+    ] {
         for mbps in [1.0, 8.0, 64.0] {
             let lp = run_policy(model, Policy::LoadPart, mbps, 6);
             let local = run_policy(model, Policy::Local, mbps, 6);

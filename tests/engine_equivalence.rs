@@ -1,0 +1,85 @@
+//! Cross-driver equivalence: the co-simulated [`OffloadingSystem`] and the
+//! threaded wire runtime are different compositions over the *same*
+//! [`loadpart::OffloadEngine`], so for identical inputs they must make the
+//! same Algorithm 1 decisions.
+
+use loadpart::system::trained_models;
+use loadpart::{spawn_server, OffloadingSystem, Policy, SystemConfig, Testbed, ThreadedClient};
+use lp_sim::{SimDuration, SimTime};
+use std::sync::OnceLock;
+
+fn models() -> &'static (lp_profiler::PredictionModels, lp_profiler::PredictionModels) {
+    static MODELS: OnceLock<(lp_profiler::PredictionModels, lp_profiler::PredictionModels)> =
+        OnceLock::new();
+    MODELS.get_or_init(|| trained_models(150, 42))
+}
+
+/// On an idle server both drivers see `k = 1`, and feeding the threaded
+/// client the co-simulation's *measured* bandwidth estimate makes it pick
+/// the same partition point.
+#[test]
+fn cosim_and_threaded_pick_the_same_partition() {
+    let (user, edge) = models();
+    let graph = lp_models::alexnet(1);
+
+    let mut sys = OffloadingSystem::new(
+        graph.clone(),
+        Policy::LoadPart,
+        Testbed::with_constant_bandwidth(8.0, 5),
+        user,
+        edge.clone(),
+        SystemConfig {
+            seed: 5,
+            ..SystemConfig::default()
+        },
+    );
+    let r = sys.infer(SimTime::ZERO + SimDuration::from_secs(1));
+    assert_eq!(r.k_used, 1.0, "idle co-sim server must report k = 1");
+
+    let server = spawn_server(graph.clone(), edge.clone(), 1.0);
+    let mut client = ThreadedClient::new(graph, user, edge);
+    assert_eq!(
+        client.refresh_k(&server).expect("protocol ok"),
+        1.0,
+        "idle threaded server must report k = 1"
+    );
+    let t = client
+        .infer(&server, r.bandwidth_est_mbps)
+        .expect("protocol ok");
+    assert_eq!(
+        t.p, r.p,
+        "same bandwidth + same k must give the same partition point"
+    );
+    assert_eq!(t.k_used, r.k_used);
+    server.shutdown();
+}
+
+/// Under load, the threaded client's fetched `k` matches what its server's
+/// tracker measured, and its next decision is exactly the solver's for
+/// that `(bandwidth, k)` — i.e. the wire round trip adds no decision
+/// drift over the in-process engine.
+#[test]
+fn threaded_k_is_consistent_with_the_solver() {
+    let (user, edge) = models();
+    let graph = lp_models::alexnet(1);
+    let k_factor = 3.0;
+    let server = spawn_server(graph.clone(), edge.clone(), k_factor);
+    let mut client = ThreadedClient::new(graph, user, edge);
+
+    // One offload populates the server tracker with an observation whose
+    // observed/predicted ratio is exactly `k_factor`.
+    client.infer(&server, 8.0).expect("protocol ok");
+    let k = client.refresh_k(&server).expect("protocol ok");
+    assert!(
+        (k - k_factor).abs() < 1e-3,
+        "tracker must measure the injected factor: k={k}"
+    );
+
+    let expected_p = client.engine().solver().decide(8.0, k).p;
+    let r = client.infer(&server, 8.0).expect("protocol ok");
+    assert_eq!(
+        r.p, expected_p,
+        "decision must match the solver at (8.0, {k})"
+    );
+    server.shutdown();
+}

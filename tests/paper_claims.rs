@@ -68,7 +68,10 @@ fn figures7_8_speedup_aggregates() {
         // Paper: up to ~22-24x vs full (at 1 Mbps the full-offload upload
         // takes seconds) and up to ~2.5-3.4x vs local (at 64 Mbps).
         assert!(max_full > 4.0, "{model}: max speedup vs full {max_full:.2}");
-        assert!(max_local > 1.2, "{model}: max speedup vs local {max_local:.2}");
+        assert!(
+            max_local > 1.2,
+            "{model}: max speedup vs local {max_local:.2}"
+        );
         // And LoADPart is never slower than either on average.
         assert!(vs_full.iter().all(|&s| s > 0.85), "{model}: {vs_full:?}");
         assert!(vs_local.iter().all(|&s| s > 0.85), "{model}: {vs_local:?}");
@@ -195,9 +198,7 @@ fn figure9_squeezenet_shifts_and_wins_under_load() {
         "p should move device-ward: idle {idle_p}, heavy max {max_p_heavy}"
     );
     // The baseline never moves.
-    assert!(ns
-        .iter()
-        .all(|p| p.record.p == ns[0].record.p));
+    assert!(ns.iter().all(|p| p.record.p == ns[0].record.p));
 }
 
 /// §V-C: VGG16 stays fully offloaded even under heavy server load (its
@@ -218,5 +219,8 @@ fn figure9_vgg16_stays_offloaded_under_load() {
         SimDuration::from_millis(500),
         29,
     );
-    assert!(pts.iter().all(|p| p.record.p == 0), "VGG16 must stay at p=0");
+    assert!(
+        pts.iter().all(|p| p.record.p == 0),
+        "VGG16 must stay at p=0"
+    );
 }

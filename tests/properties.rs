@@ -1,5 +1,9 @@
-//! Property-based tests over randomly generated graphs and inputs,
+//! Property-style tests over randomly generated graphs and inputs,
 //! exercising the invariants the decision pipeline relies on.
+//!
+//! Each test draws a fixed number of cases from a seeded [`StdRng`], so
+//! failures reproduce exactly (no external property-testing framework in
+//! this offline build — the invariants are unchanged).
 
 use loadpart::PartitionSolver;
 use lp_graph::cut::cut_at;
@@ -10,120 +14,138 @@ use lp_graph::{
 };
 use lp_linalg::{nnls, Matrix};
 use lp_tensor::{Shape, TensorDesc};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const CASES: usize = 64;
 
 /// Builds a random valid graph: a chain of unary ops with occasional
 /// residual (two-branch) detours, always shape-consistent.
-fn arb_graph() -> impl Strategy<Value = ComputationGraph> {
-    (
-        4usize..24,            // number of segments
-        8usize..32,            // channels
-        8usize..24,            // spatial size
-        proptest::collection::vec(0u8..4, 3..24),
-        any::<bool>(),
-    )
-        .prop_map(|(segments, c, hw, ops, end_pool)| {
-            let mut b = GraphBuilder::new("random", TensorDesc::f32(Shape::nchw(1, c, hw, hw)));
-            let mut x = b.input();
-            let mut i = 0usize;
-            for (seg, &op) in ops.iter().take(segments).enumerate() {
-                i += 1;
-                x = match op {
-                    0 => b
-                        .node(
-                            format!("conv{seg}_{i}"),
-                            NodeKind::Conv(ConvAttrs::same(c, 3)),
-                            [x],
-                        )
-                        .expect("same conv keeps shape"),
-                    1 => b
-                        .node(
-                            format!("relu{seg}_{i}"),
-                            NodeKind::Activation(Activation::Relu),
-                            [x],
-                        )
-                        .expect("relu keeps shape"),
-                    2 => b
-                        .node(format!("bn{seg}_{i}"), NodeKind::BatchNorm, [x])
-                        .expect("bn keeps shape"),
-                    _ => {
-                        // Residual detour: x -> conv -> add(x, conv).
-                        let main = b
-                            .node(
-                                format!("res{seg}_{i}.conv"),
-                                NodeKind::Conv(ConvAttrs::same(c, 3)),
-                                [x],
-                            )
-                            .expect("same conv keeps shape");
-                        b.node(format!("res{seg}_{i}.add"), NodeKind::Add, [x, main])
-                            .expect("shapes match")
-                    }
-                };
+fn random_graph(rng: &mut StdRng) -> ComputationGraph {
+    let segments = rng.gen_range(4usize..24);
+    let c = rng.gen_range(8usize..32);
+    let hw = rng.gen_range(8usize..24);
+    let n_ops = rng.gen_range(3usize..24);
+    let ops: Vec<u8> = (0..n_ops).map(|_| rng.gen_range(0u8..4)).collect();
+    let end_pool = rng.gen_range(0u8..2) == 1;
+
+    let mut b = GraphBuilder::new("random", TensorDesc::f32(Shape::nchw(1, c, hw, hw)));
+    let mut x = b.input();
+    let mut i = 0usize;
+    for (seg, &op) in ops.iter().take(segments).enumerate() {
+        i += 1;
+        x = match op {
+            0 => b
+                .node(
+                    format!("conv{seg}_{i}"),
+                    NodeKind::Conv(ConvAttrs::same(c, 3)),
+                    [x],
+                )
+                .expect("same conv keeps shape"),
+            1 => b
+                .node(
+                    format!("relu{seg}_{i}"),
+                    NodeKind::Activation(Activation::Relu),
+                    [x],
+                )
+                .expect("relu keeps shape"),
+            2 => b
+                .node(format!("bn{seg}_{i}"), NodeKind::BatchNorm, [x])
+                .expect("bn keeps shape"),
+            _ => {
+                // Residual detour: x -> conv -> add(x, conv).
+                let main = b
+                    .node(
+                        format!("res{seg}_{i}.conv"),
+                        NodeKind::Conv(ConvAttrs::same(c, 3)),
+                        [x],
+                    )
+                    .expect("same conv keeps shape");
+                b.node(format!("res{seg}_{i}.add"), NodeKind::Add, [x, main])
+                    .expect("shapes match")
             }
-            if end_pool && hw >= 4 {
-                x = b
-                    .node("final_pool", NodeKind::Pool(PoolAttrs::max(2, 2)), [x])
-                    .expect("pool fits");
-            }
-            b.finish(x).expect("non-empty graph")
-        })
+        };
+    }
+    if end_pool && hw >= 4 {
+        x = b
+            .node("final_pool", NodeKind::Pool(PoolAttrs::max(2, 2)), [x])
+            .expect("pool fits");
+    }
+    b.finish(x).expect("non-empty graph")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Random per-node (device, edge) second-pairs for the solver tests.
+fn random_times(rng: &mut StdRng, max_len: usize) -> (Vec<f64>, Vec<f64>) {
+    let n = rng.gen_range(2usize..max_len);
+    let device: Vec<f64> = (0..n)
+        .map(|_| rng.gen_range(1u32..50_000) as f64 * 1e-6)
+        .collect();
+    let edge: Vec<f64> = (0..n)
+        .map(|_| rng.gen_range(1u32..5_000) as f64 * 1e-6)
+        .collect();
+    (device, edge)
+}
 
-    /// The O(V+E) transmission sweep equals the per-point cut computation.
-    #[test]
-    fn transmission_series_matches_cut_at(graph in arb_graph()) {
+/// The O(V+E) transmission sweep equals the per-point cut computation.
+#[test]
+fn transmission_series_matches_cut_at() {
+    let mut rng = StdRng::seed_from_u64(0x0A11_CE01);
+    for _ in 0..CASES {
+        let graph = random_graph(&mut rng);
         let series = transmission_series(&graph);
-        prop_assert_eq!(series.len(), graph.len() + 1);
+        assert_eq!(series.len(), graph.len() + 1);
         for (p, &bytes) in series.iter().enumerate() {
-            prop_assert_eq!(bytes, cut_at(&graph, p).bytes, "p={}", p);
+            assert_eq!(bytes, cut_at(&graph, p).bytes, "p={p}");
         }
     }
+}
 
-    /// Random graphs validate, and every partition point splits the node
-    /// set exactly.
-    #[test]
-    fn partitions_split_exactly(graph in arb_graph()) {
-        prop_assert!(graph.validate().is_ok());
+/// Random graphs validate, and every partition point splits the node set
+/// exactly.
+#[test]
+fn partitions_split_exactly() {
+    let mut rng = StdRng::seed_from_u64(0x0A11_CE02);
+    for _ in 0..CASES {
+        let graph = random_graph(&mut rng);
+        assert!(graph.validate().is_ok());
         for p in 0..=graph.len() {
             let part = partition_at(&graph, p).expect("in range");
             let dev = part.device.as_ref().map_or(0, |s| s.nodes.len());
             let srv = part.server.as_ref().map_or(0, |s| s.nodes.len());
-            prop_assert_eq!(dev, p);
-            prop_assert_eq!(dev + srv, graph.len());
+            assert_eq!(dev, p);
+            assert_eq!(dev + srv, graph.len());
         }
     }
+}
 
-    /// Suffix-segment Parameters are exactly the crossing values of the
-    /// corresponding cut (Figure 5 consistency).
-    #[test]
-    fn segment_parameters_match_crossing_values(graph in arb_graph()) {
+/// Suffix-segment Parameters are exactly the crossing values of the
+/// corresponding cut (Figure 5 consistency).
+#[test]
+fn segment_parameters_match_crossing_values() {
+    let mut rng = StdRng::seed_from_u64(0x0A11_CE03);
+    for _ in 0..CASES {
+        let graph = random_graph(&mut rng);
         for p in 0..graph.len() {
-            let seg = extract_segment(&graph, Segment::new(p + 1, graph.len()))
-                .expect("in range");
+            let seg = extract_segment(&graph, Segment::new(p + 1, graph.len())).expect("in range");
             let crossing = cut_at(&graph, p).crossing;
             let sources: Vec<ValueId> = seg.parameters.iter().map(|pa| pa.source).collect();
-            prop_assert_eq!(sources, crossing, "p={}", p);
+            assert_eq!(sources, crossing, "p={p}");
         }
     }
+}
 
-    /// Algorithm 1 equals exhaustive search for arbitrary per-node times.
-    #[test]
-    fn algorithm1_matches_exhaustive(
-        times in proptest::collection::vec((1u32..50_000, 1u32..5_000), 2..64),
-        bw_centi_mbps in 10u32..640_000,
-        k_tenths in 10u32..400,
-    ) {
-        let device: Vec<f64> = times.iter().map(|&(d, _)| d as f64 * 1e-6).collect();
-        let edge: Vec<f64> = times.iter().map(|&(_, e)| e as f64 * 1e-6).collect();
+/// Algorithm 1 equals exhaustive search for arbitrary per-node times.
+#[test]
+fn algorithm1_matches_exhaustive() {
+    let mut rng = StdRng::seed_from_u64(0x0A11_CE04);
+    for _ in 0..CASES {
+        let (device, edge) = random_times(&mut rng, 64);
         let n = device.len();
         // Decreasing-ish transmission sizes.
         let trans: Vec<u64> = (0..=n).map(|i| 1_000_000 / (i as u64 + 1)).collect();
         let solver = PartitionSolver::from_times(&device, &edge, trans.clone(), 1000);
-        let bw = bw_centi_mbps as f64 / 100.0;
-        let k = k_tenths as f64 / 10.0;
+        let bw = rng.gen_range(10u32..640_000) as f64 / 100.0;
+        let k = rng.gen_range(10u32..400) as f64 / 10.0;
         let fast = solver.decide(bw, k);
         let mut best_t = f64::INFINITY;
         let mut best_p = 0;
@@ -135,45 +157,47 @@ proptest! {
                 best_p = p;
             }
         }
-        prop_assert_eq!(fast.p, best_p);
-        prop_assert!((fast.predicted.as_secs_f64() - best_t).abs() < 1e-12);
+        assert_eq!(fast.p, best_p);
+        assert!((fast.predicted.as_secs_f64() - best_t).abs() < 1e-12);
     }
+}
 
-    /// The optimal partition point never moves toward the server as the
-    /// load factor k rises (monotonicity of Algorithm 1 in k).
-    #[test]
-    fn optimal_p_monotone_in_k(
-        times in proptest::collection::vec((1u32..50_000, 1u32..5_000), 2..48),
-    ) {
-        let device: Vec<f64> = times.iter().map(|&(d, _)| d as f64 * 1e-6).collect();
-        let edge: Vec<f64> = times.iter().map(|&(_, e)| e as f64 * 1e-6).collect();
+/// The optimal partition point never moves toward the server as the load
+/// factor k rises (monotonicity of Algorithm 1 in k).
+#[test]
+fn optimal_p_monotone_in_k() {
+    let mut rng = StdRng::seed_from_u64(0x0A11_CE05);
+    for _ in 0..CASES {
+        let (device, edge) = random_times(&mut rng, 48);
         let n = device.len();
         let trans: Vec<u64> = (0..=n).map(|i| 500_000 / (i as u64 + 1)).collect();
         let solver = PartitionSolver::from_times(&device, &edge, trans, 1000);
         let mut prev = 0usize;
         for k10 in [10u32, 20, 40, 80, 160, 320, 1000] {
             let p = solver.decide(8.0, k10 as f64 / 10.0).p;
-            prop_assert!(p >= prev, "p went from {} back to {} at k={}", prev, p, k10);
+            assert!(p >= prev, "p went from {prev} back to {p} at k={k10}");
             prev = p;
         }
     }
+}
 
-    /// NNLS always returns non-negative coefficients with residual no
-    /// worse than the zero vector, on arbitrary data.
-    #[test]
-    fn nnls_invariants(
-        rows in proptest::collection::vec(
-            proptest::collection::vec(-100.0f64..100.0, 3), 3..40),
-        ys in proptest::collection::vec(-1000.0f64..1000.0, 3..40),
-    ) {
-        let n = rows.len().min(ys.len());
-        let a = Matrix::from_rows(&rows[..n]);
-        let b = &ys[..n];
-        let x = nnls(&a, b, 1e-10, 200);
-        prop_assert!(x.iter().all(|&v| v >= 0.0 && v.is_finite()));
+/// NNLS always returns non-negative coefficients with residual no worse
+/// than the zero vector, on arbitrary data.
+#[test]
+fn nnls_invariants() {
+    let mut rng = StdRng::seed_from_u64(0x0A11_CE06);
+    for _ in 0..CASES {
+        let n = rng.gen_range(3usize..40);
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..3).map(|_| rng.gen_range(-100.0f64..100.0)).collect())
+            .collect();
+        let ys: Vec<f64> = (0..n).map(|_| rng.gen_range(-1000.0f64..1000.0)).collect();
+        let a = Matrix::from_rows(&rows);
+        let x = nnls(&a, &ys, 1e-10, 200);
+        assert!(x.iter().all(|&v| v >= 0.0 && v.is_finite()));
         let ax = a.mul_vec(&x);
-        let res: f64 = b.iter().zip(&ax).map(|(bi, ai)| (bi - ai).powi(2)).sum();
-        let zero_res: f64 = b.iter().map(|v| v * v).sum();
-        prop_assert!(res <= zero_res + 1e-6);
+        let res: f64 = ys.iter().zip(&ax).map(|(bi, ai)| (bi - ai).powi(2)).sum();
+        let zero_res: f64 = ys.iter().map(|v| v * v).sum();
+        assert!(res <= zero_res + 1e-6);
     }
 }
