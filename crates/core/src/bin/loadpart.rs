@@ -5,17 +5,24 @@
 //! loadpart decide    --model alexnet --bandwidth 8 [--k 1.0] [--samples 200] [--seed 42]
 //! loadpart curve     --model alexnet --bandwidth 8 [--k 1.0]
 //! loadpart partition --model alexnet --p 8 [--dot]
+//! loadpart faults    [--model alexnet] [--crash-after 5] [--bandwidth 8]
 //! ```
 //!
 //! `decide` runs the offline profiler (training the NNLS prediction models
 //! on the calibrated hardware models) and prints Algorithm 1's choice;
 //! `curve` prints the whole `t_p` landscape; `partition` materialises a
-//! Figure 5 split and summarises both sides (optionally as Graphviz DOT).
+//! Figure 5 split and summarises both sides (optionally as Graphviz DOT);
+//! `faults` demos the fault-tolerant wire runtime: a scripted server crash
+//! mid-session, local-fallback degradation, and recovery on a fresh server.
 
-use loadpart::PartitionSolver;
+use loadpart::{
+    spawn_server, spawn_server_with_faults, EngineConfig, InferenceRecord, PartitionSolver,
+    ServerFaultSpec, ThreadedClient,
+};
 use std::collections::HashMap;
 use std::io::Write;
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -38,7 +45,8 @@ const USAGE: &str = "usage:
   loadpart models
   loadpart decide    --model <name> --bandwidth <Mbps> [--k <factor>] [--samples <n>] [--seed <n>]
   loadpart curve     --model <name> --bandwidth <Mbps> [--k <factor>] [--samples <n>] [--seed <n>]
-  loadpart partition --model <name> --p <point> [--dot]";
+  loadpart partition --model <name> --p <point> [--dot]
+  loadpart faults    [--model <name>] [--crash-after <frames>] [--bandwidth <Mbps>] [--samples <n>] [--seed <n>]";
 
 /// Parses `--key value` pairs (and bare `--flag`s) after the subcommand.
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -90,6 +98,7 @@ fn run(args: &[String]) -> Result<String, String> {
         "decide" => cmd_decide(&flags, false),
         "curve" => cmd_decide(&flags, true),
         "partition" => cmd_partition(&flags),
+        "faults" => cmd_faults(&flags),
         other => Err(format!("unknown subcommand {other:?}")),
     }
 }
@@ -199,6 +208,82 @@ fn cmd_partition(flags: &HashMap<String, String>) -> Result<String, String> {
     Ok(out)
 }
 
+fn cmd_faults(flags: &HashMap<String, String>) -> Result<String, String> {
+    let name = flags.get("model").map_or("alexnet", String::as_str);
+    let graph = lp_models::by_name(name, 1)
+        .ok_or_else(|| format!("unknown model {name:?}; run `loadpart models` for the zoo"))?;
+    let samples: usize = get_parsed(flags, "samples", Some(120))?;
+    let seed: u64 = get_parsed(flags, "seed", Some(42))?;
+    let bandwidth: f64 = get_parsed(flags, "bandwidth", Some(8.0))?;
+    let crash_after: u64 = get_parsed(flags, "crash-after", Some(5))?;
+    if bandwidth <= 0.0 {
+        return Err("--bandwidth must be positive".to_string());
+    }
+    let (user, edge) = loadpart::system::trained_models(samples, seed);
+    let config = EngineConfig {
+        io_timeout: Duration::from_millis(200),
+        retry_backoff: Duration::from_millis(1),
+        ..EngineConfig::default()
+    };
+    let mut client = ThreadedClient::with_config(graph.clone(), &user, &edge, config)
+        .map_err(|e| e.to_string())?;
+    let n = graph.len();
+    let row = |r: &InferenceRecord| {
+        let mode = if r.fallback_local {
+            "FALLBACK-LOCAL"
+        } else if r.offloaded() {
+            "offloaded"
+        } else {
+            "local"
+        };
+        format!(
+            "req {}: p = {:2}/{n}  {:14}  retries = {}  total = {:.1} ms\n",
+            r.request_id,
+            r.p,
+            mode,
+            r.retries,
+            r.total.as_millis_f64()
+        )
+    };
+    let mut out = format!(
+        "{} over the wire runtime; the server crashes after receiving {crash_after} frames\n",
+        graph.name()
+    );
+    let server = spawn_server_with_faults(
+        graph.clone(),
+        edge.clone(),
+        1.0,
+        ServerFaultSpec {
+            crash_after_frames: Some(crash_after),
+            stall: None,
+        },
+    );
+    for _ in 0..3 {
+        let r = client
+            .infer(&server, bandwidth)
+            .map_err(|e| e.to_string())?;
+        out.push_str(&row(&r));
+    }
+    drop(server);
+    out.push_str("-- server crashed mid-session; spawning a fresh one --\n");
+    let server = spawn_server(graph.clone(), edge.clone(), 1.0);
+    let mut recovered = false;
+    for _ in 0..3 {
+        let r = client
+            .infer(&server, bandwidth)
+            .map_err(|e| e.to_string())?;
+        recovered |= r.offloaded() && !r.fallback_local;
+        out.push_str(&row(&r));
+    }
+    out.push_str(if recovered {
+        "client re-offloads after the fault cleared: recovery complete"
+    } else {
+        "client still local (cooldown has not expired yet)"
+    });
+    server.shutdown();
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -246,6 +331,13 @@ mod tests {
         let out = run(&argv("partition --model alexnet --p 8 --dot")).expect("ok");
         assert!(out.starts_with("digraph"));
         assert!(out.contains("lightblue") && out.contains("lightsalmon"));
+    }
+
+    #[test]
+    fn faults_demo_survives_the_crash_and_recovers() {
+        let out = run(&argv("faults --samples 60 --seed 1")).expect("no panic, no hang");
+        assert!(out.contains("FALLBACK-LOCAL"), "{out}");
+        assert!(out.contains("recovery complete"), "{out}");
     }
 
     #[test]

@@ -3,12 +3,17 @@
 //! Partitioning a graph and preparing the runtime costs real time; the
 //! paper amortises it with a cache keyed by the partition point (≈1% of
 //! inference time when amortised over 100 requests). The cache is shared
-//! between the offloading main thread and the runtime-profiler thread, so
-//! it is guarded by a `std::sync::RwLock`.
+//! between the offloading main thread and the runtime-profiler thread (and
+//! across clients on the server side), so entries and statistics live
+//! under **one** mutex: each lookup's hit/miss verdict is decided at the
+//! same instant it is counted, and the caller gets that verdict back
+//! directly instead of having to diff global counters (which misreports as
+//! soon as another thread touches the cache in between).
 
 use lp_graph::{partition::partition_at, ComputationGraph, GraphError, PartitionedGraph};
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex};
 
 /// Statistics of cache effectiveness.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -32,11 +37,16 @@ impl CacheStats {
     }
 }
 
+#[derive(Debug, Default)]
+struct Inner {
+    entries: HashMap<usize, Arc<PartitionedGraph>>,
+    stats: CacheStats,
+}
+
 /// A partition cache for one DNN: partition point -> partitioned graph.
-#[derive(Debug)]
+#[derive(Debug, Default)]
 pub struct PartitionCache {
-    entries: RwLock<HashMap<usize, Arc<PartitionedGraph>>>,
-    stats: RwLock<CacheStats>,
+    inner: Mutex<Inner>,
 }
 
 impl PartitionCache {
@@ -44,12 +54,17 @@ impl PartitionCache {
     #[must_use]
     pub fn new() -> Self {
         Self {
-            entries: RwLock::new(HashMap::new()),
-            stats: RwLock::new(CacheStats::default()),
+            inner: Mutex::new(Inner::default()),
         }
     }
 
-    /// Returns the partition at `p`, computing and caching it on a miss.
+    /// Returns the partition at `p` plus whether the lookup was a cache
+    /// hit, computing and caching the partition on a miss.
+    ///
+    /// Concurrent misses on the same `p` race on the partitioning work
+    /// (done outside the lock) but settle under the lock: exactly one
+    /// caller counts the miss and inserts; the losers count hits and get
+    /// the winner's entry.
     ///
     /// # Errors
     ///
@@ -58,49 +73,54 @@ impl PartitionCache {
         &self,
         graph: &ComputationGraph,
         p: usize,
-    ) -> Result<Arc<PartitionedGraph>, GraphError> {
-        if let Some(found) = self.entries.read().expect("lock poisoned").get(&p) {
-            self.stats.write().expect("lock poisoned").hits += 1;
-            return Ok(Arc::clone(found));
+    ) -> Result<(Arc<PartitionedGraph>, bool), GraphError> {
+        {
+            let mut guard = self.inner.lock().expect("lock poisoned");
+            let Inner { entries, stats } = &mut *guard;
+            if let Some(found) = entries.get(&p) {
+                stats.hits += 1;
+                return Ok((Arc::clone(found), true));
+            }
         }
-        // Partition outside the lock; insertion races are benign (same value).
+        // Partition outside the lock; losers of an insertion race discard
+        // their copy below.
         let part = Arc::new(partition_at(graph, p)?);
-        self.stats.write().expect("lock poisoned").misses += 1;
-        self.entries
-            .write()
-            .expect("lock poisoned")
-            .entry(p)
-            .or_insert_with(|| Arc::clone(&part));
-        Ok(part)
+        let mut guard = self.inner.lock().expect("lock poisoned");
+        let Inner { entries, stats } = &mut *guard;
+        match entries.entry(p) {
+            Entry::Occupied(e) => {
+                stats.hits += 1;
+                Ok((Arc::clone(e.get()), true))
+            }
+            Entry::Vacant(v) => {
+                stats.misses += 1;
+                v.insert(Arc::clone(&part));
+                Ok((part, false))
+            }
+        }
     }
 
     /// Current statistics.
     #[must_use]
     pub fn stats(&self) -> CacheStats {
-        *self.stats.read().expect("lock poisoned")
+        self.inner.lock().expect("lock poisoned").stats
     }
 
     /// Number of cached partitions.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.entries.read().expect("lock poisoned").len()
+        self.inner.lock().expect("lock poisoned").entries.len()
     }
 
     /// Whether the cache is empty.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.entries.read().expect("lock poisoned").is_empty()
+        self.inner.lock().expect("lock poisoned").entries.is_empty()
     }
 
     /// Drops all cached partitions (e.g. on a model update).
     pub fn clear(&self) {
-        self.entries.write().expect("lock poisoned").clear();
-    }
-}
-
-impl Default for PartitionCache {
-    fn default() -> Self {
-        Self::new()
+        self.inner.lock().expect("lock poisoned").entries.clear();
     }
 }
 
@@ -125,9 +145,11 @@ mod tests {
     fn first_lookup_misses_then_hits() {
         let g = tiny();
         let cache = PartitionCache::new();
-        let a = cache.get_or_partition(&g, 1).unwrap();
-        let b = cache.get_or_partition(&g, 1).unwrap();
+        let (a, hit_a) = cache.get_or_partition(&g, 1).unwrap();
+        let (b, hit_b) = cache.get_or_partition(&g, 1).unwrap();
         assert!(Arc::ptr_eq(&a, &b));
+        assert!(!hit_a, "first lookup must miss");
+        assert!(hit_b, "second lookup must hit");
         let s = cache.stats();
         assert_eq!((s.hits, s.misses), (1, 1));
         assert_eq!(s.hit_ratio(), 0.5);
@@ -173,23 +195,41 @@ mod tests {
         assert_eq!(cache.stats().misses, 1);
     }
 
+    /// Regression (shared-cache stats): with entries and stats under one
+    /// lock, concurrent lookups racing on the same `p` count exactly one
+    /// miss per distinct point and every lookup is classified — under the
+    /// old two-lock scheme concurrent misses on the same `p` could each
+    /// count a miss, and callers diffing global hit counters misattributed
+    /// other threads' hits to themselves.
     #[test]
-    fn shared_across_threads() {
+    fn shared_across_threads_counts_each_point_once() {
         let g = tiny();
+        let n_threads = 8u64;
         let cache = Arc::new(PartitionCache::new());
         let mut handles = Vec::new();
-        for _ in 0..4 {
+        for _ in 0..n_threads {
             let cache = Arc::clone(&cache);
             let g = g.clone();
             handles.push(std::thread::spawn(move || {
+                let mut hits = 0u64;
                 for p in 0..=g.len() {
-                    cache.get_or_partition(&g, p).unwrap();
+                    let (_, hit) = cache.get_or_partition(&g, p).unwrap();
+                    hits += u64::from(hit);
                 }
+                hits
             }));
         }
-        for h in handles {
-            h.join().unwrap();
-        }
+        let caller_observed_hits: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        let points = (g.len() + 1) as u64;
         assert_eq!(cache.len(), g.len() + 1);
+        let s = cache.stats();
+        assert_eq!(s.misses, points, "one miss per distinct point, exactly");
+        assert_eq!(
+            s.hits + s.misses,
+            n_threads * points,
+            "every lookup counted"
+        );
+        // The per-caller flags agree with the global counters.
+        assert_eq!(caller_observed_hits, s.hits);
     }
 }

@@ -9,11 +9,18 @@
 //! * [`NullDevice`] + [`WireTransport`] + [`WireBackend`] — the threaded
 //!   runtime: logical time, everything crossing the client/server boundary
 //!   framed as [`Message`]s over channels.
+//!
+//! The wire backends are written for a hostile wire: every receive runs
+//! against a deadline ([`FrameChannel::recv_deadline`]), stale frames left
+//! over from a timed-out earlier exchange are skipped rather than
+//! mis-attributed, and a dead or silent server surfaces as
+//! [`ProtocolError::Disconnected`] / [`ProtocolError::Timeout`] for the
+//! engine's retry-and-degrade logic — never as a client panic.
 
 use crate::cache::PartitionCache;
 use crate::engine::{DeviceExecutor, ServerBackend, SuffixOutcome, SuffixRequest, Transport};
 use crate::protocol::{Message, ProtocolError};
-use crate::threaded::ServerHandle;
+use crate::threaded::{FrameChannel, ServerHandle};
 use bytes::Bytes;
 use lp_graph::ComputationGraph;
 use lp_hardware::{DeviceModel, GpuModel, GpuSim, TaskId};
@@ -21,8 +28,9 @@ use lp_net::{Link, ProbeProfiler};
 use lp_profiler::{GpuUtilWatchdog, LoadFactorTracker};
 use lp_sim::{SimDuration, SimTime};
 use rand::rngs::StdRng;
+use std::time::{Duration, Instant};
 
-/// Device prefix execution by sampling a [`DeviceModel`] per node.
+/// Device execution by sampling a [`DeviceModel`] per node.
 #[derive(Debug)]
 pub struct SimulatedDevice<'a> {
     /// Latency model of the user-end device.
@@ -30,14 +38,15 @@ pub struct SimulatedDevice<'a> {
 }
 
 impl DeviceExecutor for SimulatedDevice<'_> {
-    fn execute_prefix(
+    fn execute_range(
         &mut self,
         graph: &ComputationGraph,
-        p: usize,
+        from: usize,
+        to: usize,
         rng: &mut StdRng,
     ) -> SimDuration {
         let mut total = SimDuration::ZERO;
-        for node in graph.nodes().iter().take(p) {
+        for node in graph.nodes().iter().take(to).skip(from) {
             total += self.model.sample(
                 &node.kind,
                 graph.value_desc(node.inputs[0]),
@@ -49,16 +58,17 @@ impl DeviceExecutor for SimulatedDevice<'_> {
     }
 }
 
-/// A device that does not model prefix compute (the threaded runtime's
+/// A device that does not model compute time (the threaded runtime's
 /// logical time).
 #[derive(Debug)]
 pub struct NullDevice;
 
 impl DeviceExecutor for NullDevice {
-    fn execute_prefix(
+    fn execute_range(
         &mut self,
         _graph: &ComputationGraph,
-        _p: usize,
+        _from: usize,
+        _to: usize,
         _rng: &mut StdRng,
     ) -> SimDuration {
         SimDuration::ZERO
@@ -143,7 +153,7 @@ impl ServerBackend for GpuBackend<'_> {
         req: &SuffixRequest,
         rng: &mut StdRng,
     ) -> Result<SuffixOutcome, ProtocolError> {
-        let _suffix = self
+        let (_suffix, _hit) = self
             .server_cache
             .get_or_partition(graph, req.p)
             .expect("p in range");
@@ -181,21 +191,27 @@ impl ServerBackend for GpuBackend<'_> {
 }
 
 /// Server backend over the wire protocol: suffixes and load queries are
-/// framed [`Message`]s answered by a [`ServerHandle`]'s server thread.
+/// framed [`Message`]s answered by a [`ServerHandle`]'s server thread (or
+/// any other [`FrameChannel`], e.g. a fault injector wrapping one).
 #[derive(Debug)]
-pub struct WireBackend<'a> {
-    /// Handle to the running server thread.
-    pub server: &'a ServerHandle,
+pub struct WireBackend<'a, C: FrameChannel + ?Sized = ServerHandle> {
+    /// The frame pipe to the server.
+    pub server: &'a C,
+    /// Wall-clock budget for one exchange (send + matching reply).
+    pub deadline: Duration,
 }
 
-impl ServerBackend for WireBackend<'_> {
+impl<C: FrameChannel + ?Sized> ServerBackend for WireBackend<'_, C> {
     fn query_k(&mut self, _now: SimTime) -> Result<f64, ProtocolError> {
-        self.server
-            .send_frame(Message::LoadQuery.encode())
-            .expect("server alive");
-        match Message::decode(self.server.recv_frame().expect("server alive"))? {
-            Message::LoadReply { k_micro } => Ok(Message::micro_to_k(k_micro)),
-            other => Err(unexpected(&other)),
+        self.server.send(Message::LoadQuery.encode())?;
+        let deadline = Instant::now() + self.deadline;
+        loop {
+            match Message::decode(self.server.recv_deadline(deadline)?)? {
+                Message::LoadReply { k_micro } => return Ok(Message::micro_to_k(k_micro)),
+                // Stale survivors of a timed-out earlier exchange: skip.
+                Message::OffloadResponse { .. } | Message::ProbeAck => continue,
+                other => return Err(ProtocolError::Unexpected(other.tag())),
+            }
         }
     }
 
@@ -211,21 +227,28 @@ impl ServerBackend for WireBackend<'_> {
             payload: Bytes::from(vec![0u8; req.upload_bytes as usize]),
         }
         .encode();
-        self.server.send_frame(frame).expect("server alive");
-        match Message::decode(self.server.recv_frame().expect("server alive"))? {
-            Message::OffloadResponse {
-                request_id,
-                server_time_us,
-                payload,
-            } => {
-                debug_assert_eq!(request_id, req.request_id);
-                debug_assert_eq!(payload.len() as u64, graph.output().size_bytes());
-                let server_time = SimDuration::from_micros_f64(server_time_us as f64);
-                Ok(SuffixOutcome::Done {
-                    completion: req.arrive + server_time,
-                })
+        self.server.send(frame)?;
+        let deadline = Instant::now() + self.deadline;
+        loop {
+            match Message::decode(self.server.recv_deadline(deadline)?)? {
+                Message::OffloadResponse {
+                    request_id,
+                    server_time_us,
+                    payload,
+                } if request_id == req.request_id => {
+                    debug_assert_eq!(payload.len() as u64, graph.output().size_bytes());
+                    let server_time = SimDuration::from_micros_f64(server_time_us as f64);
+                    return Ok(SuffixOutcome::Done {
+                        completion: req.arrive + server_time,
+                    });
+                }
+                // A response to a request we already gave up on, or a
+                // stale ack/reply from a timed-out probe/query: skip.
+                Message::OffloadResponse { .. } | Message::ProbeAck | Message::LoadReply { .. } => {
+                    continue
+                }
+                other => return Err(ProtocolError::Unexpected(other.tag())),
             }
-            other => Err(unexpected(&other)),
         }
     }
 
@@ -238,12 +261,14 @@ impl ServerBackend for WireBackend<'_> {
 /// Transport over the wire protocol: probes are framed round trips;
 /// payloads ride inside the offload request, so transfer time is logical.
 #[derive(Debug)]
-pub struct WireTransport<'a> {
-    /// Handle to the running server thread.
-    pub server: &'a ServerHandle,
+pub struct WireTransport<'a, C: FrameChannel + ?Sized = ServerHandle> {
+    /// The frame pipe to the server.
+    pub server: &'a C,
+    /// Wall-clock budget for one exchange (send + matching ack).
+    pub deadline: Duration,
 }
 
-impl Transport for WireTransport<'_> {
+impl<C: FrameChannel + ?Sized> Transport for WireTransport<'_, C> {
     fn probe(
         &mut self,
         profiler: &mut ProbeProfiler,
@@ -255,10 +280,15 @@ impl Transport for WireTransport<'_> {
             payload: Bytes::from(vec![0u8; bytes as usize]),
         }
         .encode();
-        self.server.send_frame(frame).expect("server alive");
-        match Message::decode(self.server.recv_frame().expect("server alive"))? {
-            Message::ProbeAck => Ok(()),
-            other => Err(unexpected(&other)),
+        self.server.send(frame)?;
+        let deadline = Instant::now() + self.deadline;
+        loop {
+            match Message::decode(self.server.recv_deadline(deadline)?)? {
+                Message::ProbeAck => return Ok(()),
+                // Stale survivors of a timed-out earlier exchange: skip.
+                Message::OffloadResponse { .. } | Message::LoadReply { .. } => continue,
+                other => return Err(ProtocolError::Unexpected(other.tag())),
+            }
         }
     }
 
@@ -276,10 +306,4 @@ impl Transport for WireTransport<'_> {
     fn download(&mut self, _bytes: u64, start: SimTime, _rng: &mut StdRng) -> SimTime {
         start
     }
-}
-
-fn unexpected(_msg: &Message) -> ProtocolError {
-    // Any out-of-order message kind is treated as an unknown tag at the
-    // session layer.
-    ProtocolError::UnknownTag(255)
 }

@@ -3,6 +3,7 @@
 use lp_sim::SimDuration;
 use std::error::Error;
 use std::fmt;
+use std::time::Duration;
 
 /// Tunables of the per-request offload engine (defaults follow §V-A).
 ///
@@ -21,6 +22,19 @@ pub struct EngineConfig {
     pub model_download: bool,
     /// RNG seed for measurement noise.
     pub seed: u64,
+    /// Wall-clock deadline for one wire exchange (send + matching reply).
+    /// Only the threaded runtime blocks on real channels; the co-simulated
+    /// backends never wait.
+    pub io_timeout: Duration,
+    /// How many times a failed probe / load query / offload exchange is
+    /// retried before the engine degrades (0 = a single attempt).
+    pub max_retries: u32,
+    /// Base of the exponential retry backoff: attempt `i` sleeps
+    /// `retry_backoff * 2^(i-1)`. Zero disables sleeping (tests).
+    pub retry_backoff: Duration,
+    /// After the offload path exhausts its retries, decisions are biased
+    /// local for this long (logical time) before the wire is probed again.
+    pub fault_cooldown: SimDuration,
 }
 
 impl Default for EngineConfig {
@@ -31,6 +45,10 @@ impl Default for EngineConfig {
             tracker_period: SimDuration::from_secs(5),
             model_download: false,
             seed: 7,
+            io_timeout: Duration::from_millis(500),
+            max_retries: 2,
+            retry_backoff: Duration::from_millis(5),
+            fault_cooldown: SimDuration::from_secs(10),
         }
     }
 }
@@ -51,7 +69,22 @@ impl EngineConfig {
         if self.tracker_period == SimDuration::ZERO {
             return Err(ConfigError::ZeroTrackerPeriod);
         }
+        if self.io_timeout == Duration::ZERO {
+            return Err(ConfigError::ZeroIoTimeout);
+        }
+        if self.fault_cooldown == SimDuration::ZERO {
+            return Err(ConfigError::ZeroFaultCooldown);
+        }
         Ok(())
+    }
+
+    /// The backoff before retry attempt `attempt` (1-based): exponential
+    /// doubling on the configured base, capped at 16x to bound the total
+    /// stall a dead server can impose on one request.
+    #[must_use]
+    pub fn backoff_for(&self, attempt: u32) -> Duration {
+        let factor = 1u32 << attempt.saturating_sub(1).min(4);
+        self.retry_backoff.saturating_mul(factor)
     }
 }
 
@@ -70,6 +103,11 @@ pub enum ConfigError {
     NonPositiveBandwidth,
     /// An experiment needs a positive duration.
     ZeroDuration,
+    /// Wire exchanges need a positive deadline.
+    ZeroIoTimeout,
+    /// The post-fault cooldown needs a positive length (otherwise a dead
+    /// server is re-probed on every request, stalling each one).
+    ZeroFaultCooldown,
 }
 
 impl fmt::Display for ConfigError {
@@ -83,6 +121,8 @@ impl fmt::Display for ConfigError {
             ConfigError::ZeroClients => write!(f, "need at least one client"),
             ConfigError::NonPositiveBandwidth => write!(f, "bandwidth must be positive"),
             ConfigError::ZeroDuration => write!(f, "duration must be positive"),
+            ConfigError::ZeroIoTimeout => write!(f, "wire I/O timeout must be positive"),
+            ConfigError::ZeroFaultCooldown => write!(f, "fault cooldown must be positive"),
         }
     }
 }
@@ -122,8 +162,47 @@ mod tests {
     }
 
     #[test]
+    fn zero_fault_knobs_are_rejected() {
+        let cfg = EngineConfig {
+            io_timeout: Duration::ZERO,
+            ..EngineConfig::default()
+        };
+        assert_eq!(cfg.validate(), Err(ConfigError::ZeroIoTimeout));
+        let cfg = EngineConfig {
+            fault_cooldown: SimDuration::ZERO,
+            ..EngineConfig::default()
+        };
+        assert_eq!(cfg.validate(), Err(ConfigError::ZeroFaultCooldown));
+        // Zero backoff and zero retries are legitimate (single attempt,
+        // no sleeping) — deterministic tests rely on them.
+        let cfg = EngineConfig {
+            max_retries: 0,
+            retry_backoff: Duration::ZERO,
+            ..EngineConfig::default()
+        };
+        assert_eq!(cfg.validate(), Ok(()));
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let cfg = EngineConfig {
+            retry_backoff: Duration::from_millis(10),
+            ..EngineConfig::default()
+        };
+        assert_eq!(cfg.backoff_for(1), Duration::from_millis(10));
+        assert_eq!(cfg.backoff_for(2), Duration::from_millis(20));
+        assert_eq!(cfg.backoff_for(3), Duration::from_millis(40));
+        // Capped at 16x so a dead server cannot stall a request unboundedly.
+        assert_eq!(cfg.backoff_for(40), Duration::from_millis(160));
+    }
+
+    #[test]
     fn errors_display_readably() {
         let msg = ConfigError::ZeroClients.to_string();
         assert!(msg.contains("at least one client"), "{msg}");
+        assert!(ConfigError::ZeroIoTimeout.to_string().contains("timeout"));
+        assert!(ConfigError::ZeroFaultCooldown
+            .to_string()
+            .contains("cooldown"));
     }
 }

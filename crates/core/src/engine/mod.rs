@@ -56,15 +56,29 @@ use lp_sim::{SimDuration, SimTime};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-/// How a driver executes the device-side prefix `L_1..L_p`.
+/// How a driver executes device-side layers.
 pub trait DeviceExecutor {
-    /// Executes the prefix and returns the time it took.
+    /// Executes layers `L_{from+1}..L_to` and returns the time it took.
+    /// The engine uses `0..p` for the normal prefix and `p..n` when the
+    /// offload path fails mid-request and the device has to finish the
+    /// inference itself.
+    fn execute_range(
+        &mut self,
+        graph: &ComputationGraph,
+        from: usize,
+        to: usize,
+        rng: &mut StdRng,
+    ) -> SimDuration;
+
+    /// Executes the prefix `L_1..L_p` and returns the time it took.
     fn execute_prefix(
         &mut self,
         graph: &ComputationGraph,
         p: usize,
         rng: &mut StdRng,
-    ) -> SimDuration;
+    ) -> SimDuration {
+        self.execute_range(graph, 0, p, rng)
+    }
 }
 
 /// One suffix execution handed to a [`ServerBackend`].
@@ -290,28 +304,65 @@ impl OffloadEngine {
     }
 
     /// Fetches `k` from the server out of cadence and caches it — the
-    /// explicit runtime-profiler action.
+    /// explicit runtime-profiler action. Transient wire failures are
+    /// retried up to [`EngineConfig::max_retries`] times with exponential
+    /// backoff before the error surfaces.
     ///
     /// # Errors
     ///
-    /// Propagates backend failures.
+    /// Propagates backend failures once the retry budget is exhausted (or
+    /// immediately on a non-transient failure such as
+    /// [`ProtocolError::Disconnected`]).
     pub fn refresh_k<S: ServerBackend + ?Sized>(
         &mut self,
         now: SimTime,
         backend: &mut S,
     ) -> Result<f64, ProtocolError> {
-        let k = backend.query_k(now)?;
-        self.profile.set_k(k);
-        Ok(k)
+        let mut attempt = 0u32;
+        loop {
+            match backend.query_k(now) {
+                Ok(k) => {
+                    self.profile.set_k(k);
+                    return Ok(k);
+                }
+                Err(e) if e.is_transient() && attempt < self.config.max_retries => {
+                    attempt += 1;
+                    self.backoff(attempt);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Sleeps the configured exponential backoff before retry `attempt`
+    /// (1-based). Wall-clock, not logical time: the wire the retries go
+    /// over is real.
+    fn backoff(&self, attempt: u32) {
+        let wait = self.config.backoff_for(attempt);
+        if wait > std::time::Duration::ZERO {
+            std::thread::sleep(wait);
+        }
     }
 
     /// Starts one inference request at `at`: profiler refresh, decision,
     /// prefix, upload, suffix hand-off. Returns a completed record, or a
     /// [`PendingRequest`] when the backend queued the suffix.
     ///
+    /// Wire faults never abort the request. A refresh (probe / `k` fetch)
+    /// or suffix exchange that keeps failing after
+    /// [`EngineConfig::max_retries`] retries degrades the request to local
+    /// execution — the device runs the remaining layers itself, the record
+    /// comes back with [`InferenceRecord::fallback_local`] set, and the
+    /// profile enters a [`EngineConfig::fault_cooldown`] during which
+    /// decisions stay local and the wire is left alone. Once the cooldown
+    /// expires, the next due refresh probes the wire again and a success
+    /// restores offloading.
+    ///
     /// # Errors
     ///
-    /// Propagates transport/backend failures (wire runtimes only).
+    /// Propagates transport failures from the upload leg (no current
+    /// transport fails there; wire payloads ride inside the offload
+    /// request frame).
     ///
     /// # Panics
     ///
@@ -329,23 +380,50 @@ impl OffloadEngine {
         T: Transport + ?Sized,
     {
         backend.advance(at);
-        self.profile
-            .refresh(at, transport, backend, &mut self.rng)?;
+        let cooling = self.profile.in_cooldown(at);
+        let mut retries = 0u32;
+        // True only when the wire failed *during this request* — requests
+        // that stay local because an earlier request tripped the cooldown
+        // are ordinary local decisions, not fallbacks.
+        let mut faulted = false;
+        if !cooling {
+            let mut attempt = 0u32;
+            loop {
+                match self.profile.refresh(at, transport, backend, &mut self.rng) {
+                    Ok(()) => break,
+                    Err(e) if e.is_transient() && attempt < self.config.max_retries => {
+                        attempt += 1;
+                        retries += 1;
+                        self.backoff(attempt);
+                    }
+                    Err(_) => {
+                        self.profile.enter_cooldown(at, self.config.fault_cooldown);
+                        faulted = true;
+                        break;
+                    }
+                }
+            }
+        }
         backend.monitor(at);
-        let bandwidth = self
-            .profile
-            .bandwidth_mbps()
-            .expect("refresh probed or bandwidth was injected");
+        let n = self.graph.len();
+        let bandwidth = self.profile.bandwidth_mbps();
         let k = self.profile.k();
-        let decision = self.policy.decide(&self.solver, bandwidth, k);
+        let decision = match bandwidth {
+            Some(bw) if !faulted && !cooling => self.policy.decide(&self.solver, bw, k),
+            // Degraded: everything runs on the device. `latency_at(n, ..)`
+            // ignores the wire terms, so a placeholder bandwidth is fine
+            // even when the very first refresh failed and no estimate
+            // exists yet.
+            _ => self
+                .solver
+                .latency_at(n, bandwidth.unwrap_or(1.0), k.max(1.0)),
+        };
         let p = decision.p;
 
-        let hits_before = self.device_cache.stats().hits;
-        let partition = self
+        let (partition, cache_hit) = self
             .device_cache
             .get_or_partition(&self.graph, p)
             .expect("decision p in range");
-        let cache_hit = self.device_cache.stats().hits > hits_before;
 
         let device_time = device.execute_prefix(&self.graph, p, &mut self.rng);
         let request_id = self.next_id;
@@ -356,7 +434,7 @@ impl OffloadEngine {
             start: at,
             p,
             k_used: k,
-            bandwidth_est_mbps: bandwidth,
+            bandwidth_est_mbps: bandwidth.unwrap_or(0.0),
             predicted: decision.predicted,
             device: device_time,
             upload: SimDuration::ZERO,
@@ -365,8 +443,10 @@ impl OffloadEngine {
             download: SimDuration::ZERO,
             total: device_time,
             cache_hit,
+            fallback_local: faulted,
+            retries,
         };
-        if p == self.graph.len() {
+        if p == n {
             // Local inference: nothing leaves the device.
             return Ok(Outcome::Complete(record));
         }
@@ -388,16 +468,53 @@ impl OffloadEngine {
             upload_bytes,
             arrive: upload_end,
         };
-        match backend.execute_suffix(&self.graph, &req, &mut self.rng)? {
-            SuffixOutcome::Done { completion } => Ok(Outcome::Complete(
+        let mut attempt = 0u32;
+        let outcome = loop {
+            match backend.execute_suffix(&self.graph, &req, &mut self.rng) {
+                Ok(outcome) => break Some(outcome),
+                Err(e) if e.is_transient() && attempt < self.config.max_retries => {
+                    attempt += 1;
+                    retries += 1;
+                    self.backoff(attempt);
+                }
+                Err(_) => {
+                    self.profile.enter_cooldown(at, self.config.fault_cooldown);
+                    break None;
+                }
+            }
+        };
+        record.retries = retries;
+        match outcome {
+            None => Ok(Outcome::Complete(
+                self.complete_locally(record, upload_end, device),
+            )),
+            Some(SuffixOutcome::Done { completion }) => Ok(Outcome::Complete(
                 self.settle(record, upload_end, completion, backend, transport),
             )),
-            SuffixOutcome::Pending { task } => Ok(Outcome::Deferred(PendingRequest {
+            Some(SuffixOutcome::Pending { task }) => Ok(Outcome::Deferred(PendingRequest {
                 task,
                 arrive: upload_end,
                 record,
             })),
         }
+    }
+
+    /// Graceful degradation: the suffix exchange is lost, so the device
+    /// re-executes the remaining layers `L_{p+1}..L_n` itself, starting at
+    /// the moment the engine gave up on the wire.
+    fn complete_locally<D: DeviceExecutor + ?Sized>(
+        &mut self,
+        mut record: InferenceRecord,
+        resume_at: SimTime,
+        device: &mut D,
+    ) -> InferenceRecord {
+        let local = device.execute_range(&self.graph, record.p, self.graph.len(), &mut self.rng);
+        record.device += local;
+        record.server = SimDuration::ZERO;
+        record.download = SimDuration::ZERO;
+        record.fallback_local = true;
+        record.total = (resume_at + local).since(record.start);
+        record
     }
 
     /// Completes a deferred request once the driver observed its

@@ -21,6 +21,7 @@ pub struct RuntimeProfile {
     cached_k: f64,
     last_refresh: Option<SimTime>,
     injected_mbps: Option<f64>,
+    cooldown_until: Option<SimTime>,
 }
 
 impl RuntimeProfile {
@@ -34,6 +35,7 @@ impl RuntimeProfile {
             cached_k: 1.0,
             last_refresh: None,
             injected_mbps: None,
+            cooldown_until: None,
         }
     }
 
@@ -77,6 +79,24 @@ impl RuntimeProfile {
             .or_else(|| self.probe.estimator.estimate_mbps())
     }
 
+    /// Starts (or extends) the post-fault cooldown: until `now + for_` the
+    /// engine biases decisions local and does not touch the wire.
+    pub fn enter_cooldown(&mut self, now: SimTime, for_: SimDuration) {
+        self.cooldown_until = Some(now + for_);
+    }
+
+    /// Whether the profile is cooling down after a wire fault at `now`.
+    #[must_use]
+    pub fn in_cooldown(&self, now: SimTime) -> bool {
+        self.cooldown_until.is_some_and(|until| now < until)
+    }
+
+    /// When the current cooldown expires, if one is active at all.
+    #[must_use]
+    pub fn cooldown_until(&self) -> Option<SimTime> {
+        self.cooldown_until
+    }
+
     /// Runs the periodic profiler action if it is due at `now`: probe the
     /// bandwidth and fetch `k` from the server.
     ///
@@ -91,7 +111,10 @@ impl RuntimeProfile {
     /// # Errors
     ///
     /// Propagates transport/backend failures (wire runtimes only; the
-    /// co-simulated transport and backend are infallible).
+    /// co-simulated transport and backend are infallible). A failed
+    /// refresh does **not** count as done: `last_refresh` is committed
+    /// only when every probe and the `k` fetch succeeded, so the engine
+    /// can retry the same instant.
     pub fn refresh<T: Transport + ?Sized, S: ServerBackend + ?Sized>(
         &mut self,
         now: SimTime,
@@ -106,7 +129,6 @@ impl RuntimeProfile {
         if !due {
             return Ok(());
         }
-        self.last_refresh = Some(now);
         let deficit = if self.injected_mbps.is_none() {
             self.probe
                 .estimator
@@ -119,6 +141,10 @@ impl RuntimeProfile {
             transport.probe(&mut self.probe, now, rng)?;
         }
         self.cached_k = backend.query_k(now)?;
+        self.last_refresh = Some(now);
+        // A full probe + k round trip succeeded: the wire is healthy
+        // again, so stop biasing decisions local.
+        self.cooldown_until = None;
         Ok(())
     }
 }
@@ -200,5 +226,65 @@ mod tests {
         assert_eq!(profile.bandwidth_mbps(), None);
         profile.inject_bandwidth(16.0);
         assert_eq!(profile.bandwidth_mbps(), Some(16.0));
+    }
+
+    #[test]
+    fn cooldown_expires_with_time_and_clears_on_successful_refresh() {
+        let mut profile = RuntimeProfile::new(4, SimDuration::from_secs(5));
+        let t0 = SimTime::ZERO;
+        assert!(!profile.in_cooldown(t0));
+        profile.enter_cooldown(t0, SimDuration::from_secs(10));
+        assert!(profile.in_cooldown(t0 + SimDuration::from_secs(9)));
+        assert!(!profile.in_cooldown(t0 + SimDuration::from_secs(10)));
+        // A successful probe + k round trip ends the cooldown early.
+        profile.enter_cooldown(t0, SimDuration::from_secs(100));
+        assert!(profile.in_cooldown(t0 + SimDuration::from_secs(50)));
+        let link = Link::symmetric(BandwidthTrace::constant(8.0));
+        let mut transport = LinkTransport { link: &link };
+        let mut rng = StdRng::seed_from_u64(3);
+        profile
+            .refresh(t0, &mut transport, &mut FixedK(1.0), &mut rng)
+            .expect("infallible");
+        assert!(!profile.in_cooldown(t0 + SimDuration::from_secs(50)));
+        assert_eq!(profile.cooldown_until(), None);
+    }
+
+    #[test]
+    fn failed_refresh_does_not_count_as_done() {
+        struct FailingK;
+        impl ServerBackend for FailingK {
+            fn query_k(&mut self, _now: SimTime) -> Result<f64, ProtocolError> {
+                Err(ProtocolError::Timeout)
+            }
+            fn execute_suffix(
+                &mut self,
+                _graph: &ComputationGraph,
+                _req: &SuffixRequest,
+                _rng: &mut StdRng,
+            ) -> Result<SuffixOutcome, ProtocolError> {
+                unreachable!("profile tests never offload")
+            }
+            fn complete(
+                &mut self,
+                _completion: SimTime,
+                _observed: SimDuration,
+                _predicted: SimDuration,
+            ) {
+            }
+        }
+        let link = Link::symmetric(BandwidthTrace::constant(8.0));
+        let mut transport = LinkTransport { link: &link };
+        let mut profile = RuntimeProfile::new(2, SimDuration::from_secs(5));
+        let mut rng = StdRng::seed_from_u64(4);
+        let err = profile
+            .refresh(SimTime::ZERO, &mut transport, &mut FailingK, &mut rng)
+            .expect_err("k fetch fails");
+        assert_eq!(err, ProtocolError::Timeout);
+        // Still due at the same instant: a retry runs the k fetch again
+        // instead of being swallowed by the cadence check.
+        profile
+            .refresh(SimTime::ZERO, &mut transport, &mut FixedK(3.0), &mut rng)
+            .expect("retry succeeds");
+        assert_eq!(profile.k(), 3.0);
     }
 }

@@ -41,6 +41,12 @@ pub struct InferenceRecord {
     pub total: SimDuration,
     /// Whether the device-side partition cache hit.
     pub cache_hit: bool,
+    /// Whether the offload path failed mid-request and the device
+    /// completed the remaining layers locally (graceful degradation).
+    pub fallback_local: bool,
+    /// How many wire exchanges were retried while serving this request
+    /// (probes, load queries and offload attempts combined).
+    pub retries: u32,
 }
 
 impl InferenceRecord {

@@ -1,0 +1,355 @@
+//! Deterministic client-side fault injection for the wire runtime.
+//!
+//! [`FaultInjector`] sits between the engine's wire backends and any
+//! [`FrameChannel`] (normally a [`ServerHandle`]) and perturbs frames
+//! according to a scripted [`FaultPlan`]: per-frame drop, delay past the
+//! deadline, corruption and duplication, keyed by frame index — no
+//! wall-clock randomness, so every fault lands at exactly the scripted
+//! point of the session and tests replay bit-identically. The server-side
+//! counterpart (scripted crash and stall) is
+//! [`crate::threaded::ServerFaultSpec`].
+//!
+//! Semantics:
+//!
+//! * **send faults** index the frames the client attempts to send
+//!   (probes, load queries, offload requests — in order);
+//! * **recv faults** index the frames actually pulled off the server
+//!   channel;
+//! * [`FaultAction::Delay`] on receive stashes the frame and reports
+//!   [`ProtocolError::Timeout`] for the current exchange; the stashed
+//!   frame is delivered (late, as a stale frame) at the next receive,
+//!   exactly like a reply that crossed the deadline on a real link;
+//! * [`FaultAction::Corrupt`] flips the version byte, so the peer's
+//!   decoder rejects the frame the way it would reject line noise.
+//!
+//! [`ServerHandle`]: crate::threaded::ServerHandle
+
+use crate::protocol::ProtocolError;
+use crate::threaded::FrameChannel;
+use bytes::{BufMut, Bytes, BytesMut};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One scripted perturbation of a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// The frame vanishes.
+    Drop,
+    /// The frame arrives after the current exchange's deadline (receive
+    /// side) or after the next frame (send side).
+    Delay,
+    /// The frame arrives with its version byte flipped, so decoding fails.
+    Corrupt,
+    /// The frame arrives twice.
+    Duplicate,
+}
+
+/// A deterministic script of frame faults, keyed by 0-based frame index.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    send: BTreeMap<u64, FaultAction>,
+    recv: BTreeMap<u64, FaultAction>,
+}
+
+impl FaultPlan {
+    /// An empty plan (every frame passes through untouched).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Applies `action` to the `index`-th frame the client sends.
+    #[must_use]
+    pub fn on_send(mut self, index: u64, action: FaultAction) -> Self {
+        self.send.insert(index, action);
+        self
+    }
+
+    /// Applies `action` to the `index`-th frame received from the server.
+    #[must_use]
+    pub fn on_recv(mut self, index: u64, action: FaultAction) -> Self {
+        self.recv.insert(index, action);
+        self
+    }
+
+    /// How many faults the plan scripts in total.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.send.len() + self.recv.len()
+    }
+
+    /// Whether the plan scripts no faults at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.send.is_empty() && self.recv.is_empty()
+    }
+}
+
+#[derive(Debug, Default)]
+struct InjectorState {
+    sends: u64,
+    recvs: u64,
+    injected: u64,
+    /// Frames delayed on the send side, released after the next send.
+    held_sends: VecDeque<Bytes>,
+    /// Frames delayed on the receive side, delivered at the next receive.
+    held_recvs: VecDeque<Bytes>,
+}
+
+/// A [`FrameChannel`] middlebox that executes a [`FaultPlan`].
+#[derive(Debug)]
+pub struct FaultInjector<'a, C: FrameChannel + ?Sized> {
+    inner: &'a C,
+    plan: FaultPlan,
+    state: Mutex<InjectorState>,
+}
+
+impl<'a, C: FrameChannel + ?Sized> FaultInjector<'a, C> {
+    /// Wraps `inner` with the scripted `plan`.
+    pub fn new(inner: &'a C, plan: FaultPlan) -> Self {
+        Self {
+            inner,
+            plan,
+            state: Mutex::new(InjectorState::default()),
+        }
+    }
+
+    /// How many scripted faults have fired so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous holder of the internal lock panicked.
+    #[must_use]
+    pub fn faults_injected(&self) -> u64 {
+        self.state.lock().expect("lock poisoned").injected
+    }
+
+    /// How many frames the client has attempted to send through the
+    /// injector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous holder of the internal lock panicked.
+    #[must_use]
+    pub fn frames_sent(&self) -> u64 {
+        self.state.lock().expect("lock poisoned").sends
+    }
+}
+
+/// Flips the version byte so any decoder rejects the frame.
+fn corrupt(frame: &Bytes) -> Bytes {
+    let mut b = BytesMut::with_capacity(frame.len());
+    if frame.is_empty() {
+        return Bytes::new();
+    }
+    b.put_u8(frame[0] ^ 0xAA);
+    b.put_slice(&frame[1..]);
+    b.freeze()
+}
+
+impl<C: FrameChannel + ?Sized> FrameChannel for FaultInjector<'_, C> {
+    fn send(&self, frame: Bytes) -> Result<(), ProtocolError> {
+        let mut state = self.state.lock().expect("lock poisoned");
+        let idx = state.sends;
+        state.sends += 1;
+        let action = self.plan.send.get(&idx).copied();
+        if action.is_some() {
+            state.injected += 1;
+        }
+        let result = match action {
+            Some(FaultAction::Drop) => Ok(()),
+            Some(FaultAction::Delay) => {
+                state.held_sends.push_back(frame);
+                return Ok(()); // released after the next send
+            }
+            Some(FaultAction::Corrupt) => self.inner.send(corrupt(&frame)),
+            Some(FaultAction::Duplicate) => {
+                self.inner.send(frame.clone())?;
+                self.inner.send(frame)
+            }
+            None => self.inner.send(frame),
+        };
+        // Release frames delayed earlier: they arrive out of order, after
+        // the frame just sent.
+        while let Some(held) = state.held_sends.pop_front() {
+            self.inner.send(held)?;
+        }
+        result
+    }
+
+    fn recv_deadline(&self, deadline: Instant) -> Result<Bytes, ProtocolError> {
+        let mut state = self.state.lock().expect("lock poisoned");
+        if let Some(held) = state.held_recvs.pop_front() {
+            return Ok(held); // a delayed frame finally lands
+        }
+        loop {
+            let frame = self.inner.recv_deadline(deadline)?;
+            let idx = state.recvs;
+            state.recvs += 1;
+            let action = self.plan.recv.get(&idx).copied();
+            if action.is_some() {
+                state.injected += 1;
+            }
+            match action {
+                Some(FaultAction::Drop) => continue, // vanished; keep waiting
+                Some(FaultAction::Delay) => {
+                    state.held_recvs.push_back(frame);
+                    return Err(ProtocolError::Timeout);
+                }
+                Some(FaultAction::Corrupt) => return Ok(corrupt(&frame)),
+                Some(FaultAction::Duplicate) => {
+                    state.held_recvs.push_back(frame.clone());
+                    return Ok(frame);
+                }
+                None => return Ok(frame),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc::{channel, Receiver, Sender};
+    use std::time::Duration;
+
+    /// A loopback channel: everything sent is received back verbatim.
+    struct Loopback {
+        tx: Sender<Bytes>,
+        rx: Mutex<Receiver<Bytes>>,
+    }
+
+    impl Loopback {
+        fn new() -> Self {
+            let (tx, rx) = channel();
+            Self {
+                tx,
+                rx: Mutex::new(rx),
+            }
+        }
+    }
+
+    impl FrameChannel for Loopback {
+        fn send(&self, frame: Bytes) -> Result<(), ProtocolError> {
+            self.tx.send(frame).map_err(|_| ProtocolError::Disconnected)
+        }
+
+        fn recv_deadline(&self, deadline: Instant) -> Result<Bytes, ProtocolError> {
+            let timeout = deadline.saturating_duration_since(Instant::now());
+            self.rx
+                .lock()
+                .expect("lock poisoned")
+                .recv_timeout(timeout)
+                .map_err(|_| ProtocolError::Timeout)
+        }
+    }
+
+    fn soon() -> Instant {
+        Instant::now() + Duration::from_millis(50)
+    }
+
+    #[test]
+    fn clean_plan_passes_frames_through() {
+        let loopback = Loopback::new();
+        let inj = FaultInjector::new(&loopback, FaultPlan::new());
+        inj.send(Bytes::from_static(b"hello")).unwrap();
+        assert_eq!(
+            inj.recv_deadline(soon()).unwrap(),
+            Bytes::from_static(b"hello")
+        );
+        assert_eq!(inj.faults_injected(), 0);
+        assert_eq!(inj.frames_sent(), 1);
+    }
+
+    #[test]
+    fn dropped_send_never_arrives() {
+        let loopback = Loopback::new();
+        let plan = FaultPlan::new().on_send(0, FaultAction::Drop);
+        let inj = FaultInjector::new(&loopback, plan);
+        inj.send(Bytes::from_static(b"gone")).unwrap();
+        assert_eq!(
+            inj.recv_deadline(Instant::now() + Duration::from_millis(10)),
+            Err(ProtocolError::Timeout)
+        );
+        inj.send(Bytes::from_static(b"next")).unwrap();
+        assert_eq!(
+            inj.recv_deadline(soon()).unwrap(),
+            Bytes::from_static(b"next")
+        );
+        assert_eq!(inj.faults_injected(), 1);
+    }
+
+    #[test]
+    fn delayed_recv_times_out_then_lands_late() {
+        let loopback = Loopback::new();
+        let plan = FaultPlan::new().on_recv(0, FaultAction::Delay);
+        let inj = FaultInjector::new(&loopback, plan);
+        inj.send(Bytes::from_static(b"late")).unwrap();
+        assert_eq!(inj.recv_deadline(soon()), Err(ProtocolError::Timeout));
+        // The held frame lands on the next receive, as a stale frame would.
+        assert_eq!(
+            inj.recv_deadline(soon()).unwrap(),
+            Bytes::from_static(b"late")
+        );
+    }
+
+    #[test]
+    fn corrupt_flips_the_version_byte() {
+        let loopback = Loopback::new();
+        let plan = FaultPlan::new().on_recv(0, FaultAction::Corrupt);
+        let inj = FaultInjector::new(&loopback, plan);
+        inj.send(Bytes::from_static(&[1, 3])).unwrap();
+        let got = inj.recv_deadline(soon()).unwrap();
+        assert_eq!(got[0], 1 ^ 0xAA);
+        assert_eq!(got[1], 3);
+        // An actual protocol frame now fails to decode.
+        let frame = crate::protocol::Message::LoadQuery.encode();
+        assert!(crate::protocol::Message::decode(corrupt(&frame)).is_err());
+    }
+
+    #[test]
+    fn duplicate_recv_delivers_twice() {
+        let loopback = Loopback::new();
+        let plan = FaultPlan::new().on_recv(0, FaultAction::Duplicate);
+        let inj = FaultInjector::new(&loopback, plan);
+        inj.send(Bytes::from_static(b"twin")).unwrap();
+        assert_eq!(
+            inj.recv_deadline(soon()).unwrap(),
+            Bytes::from_static(b"twin")
+        );
+        assert_eq!(
+            inj.recv_deadline(soon()).unwrap(),
+            Bytes::from_static(b"twin")
+        );
+        assert_eq!(inj.faults_injected(), 1);
+    }
+
+    #[test]
+    fn delayed_send_arrives_after_the_next_frame() {
+        let loopback = Loopback::new();
+        let plan = FaultPlan::new().on_send(0, FaultAction::Delay);
+        let inj = FaultInjector::new(&loopback, plan);
+        inj.send(Bytes::from_static(b"first")).unwrap();
+        inj.send(Bytes::from_static(b"second")).unwrap();
+        // Reordered: "second" overtook the delayed "first".
+        assert_eq!(
+            inj.recv_deadline(soon()).unwrap(),
+            Bytes::from_static(b"second")
+        );
+        assert_eq!(
+            inj.recv_deadline(soon()).unwrap(),
+            Bytes::from_static(b"first")
+        );
+    }
+
+    #[test]
+    fn plan_introspection() {
+        assert!(FaultPlan::new().is_empty());
+        let plan = FaultPlan::new()
+            .on_send(1, FaultAction::Drop)
+            .on_recv(2, FaultAction::Delay);
+        assert_eq!(plan.len(), 2);
+        assert!(!plan.is_empty());
+    }
+}

@@ -21,7 +21,10 @@
 //!   based bandwidth estimation, upload over the link, GPU queueing under
 //!   background load, the server-side `k` tracker and GPU watchdog.
 //! * [`threaded`] — the engine over real OS threads and the wire
-//!   [`protocol`].
+//!   [`protocol`], with deadline-based I/O, bounded retries and local
+//!   fallback when the server misbehaves.
+//! * [`fault`] — deterministic fault injection for the wire runtime
+//!   (scripted per-frame drop/delay/corrupt/duplicate).
 //! * [`multi_client`] — N engines sharing one GPU simulator.
 //! * [`scenario`] — drivers that reproduce the paper's experiments
 //!   (bandwidth sweeps for Figures 6–8, load timelines for Figures 2/9).
@@ -46,6 +49,7 @@ pub mod baselines;
 pub mod cache;
 pub mod energy;
 pub mod engine;
+pub mod fault;
 pub mod multi_client;
 pub mod protocol;
 pub mod scenario;
@@ -60,8 +64,12 @@ pub use engine::{
     ConfigError, DeviceExecutor, EngineConfig, InferenceRecord, OffloadEngine, Outcome,
     PendingRequest, RuntimeProfile, ServerBackend, SuffixOutcome, SuffixRequest, Transport,
 };
+pub use fault::{FaultAction, FaultInjector, FaultPlan};
 pub use multi_client::{multi_client_run, MultiClientConfig, MultiClientReport};
 pub use protocol::{Message, ProtocolError};
 pub use scenario::{bandwidth_sweep, load_timeline, LoadPhase, SweepPoint, TimelinePoint};
 pub use system::{OffloadingSystem, SystemConfig, Testbed};
-pub use threaded::{spawn_server, ServerHandle, ThreadedClient};
+pub use threaded::{
+    spawn_server, spawn_server_with_faults, FrameChannel, ServerFaultSpec, ServerHandle,
+    StallWindow, ThreadedClient,
+};

@@ -26,7 +26,7 @@ use crate::engine::{
 use lp_graph::ComputationGraph;
 use lp_hardware::{DeviceModel, GpuModel, GpuSim};
 use lp_net::{BandwidthTrace, Link};
-use lp_profiler::{LoadFactorTracker, PredictionModels};
+use lp_profiler::{GpuUtilWatchdog, LoadFactorTracker, PredictionModels};
 use lp_sim::{SimDuration, SimTime};
 
 /// Configuration of a multi-client run.
@@ -95,6 +95,10 @@ pub struct MultiClientReport {
     pub gpu_utilization: f64,
     /// The server tracker's final load factor.
     pub final_k: f64,
+    /// How many times the GPU-utilization watchdog reset the load tracker
+    /// during the run (§IV: an under-utilized GPU with a stale high `k`
+    /// must be rediscoverable by locally-inferring clients).
+    pub watchdog_resets: u64,
 }
 
 impl MultiClientReport {
@@ -155,6 +159,10 @@ pub fn multi_client_run(
     let link = Link::symmetric(BandwidthTrace::constant(config.bandwidth_mbps));
     let server_cache = PartitionCache::new();
     let mut tracker = LoadFactorTracker::new(SimDuration::from_secs(5));
+    // One watchdog for the shared GPU, as §IV deploys it: without it a
+    // stale high `k` outlives the load that caused it and clients that went
+    // local never come back.
+    let mut watchdog = GpuUtilWatchdog::new();
     let mut gpu = GpuSim::with_default_slice(config.seed);
 
     let mut clients = Vec::with_capacity(config.n_clients);
@@ -167,10 +175,8 @@ pub fn multi_client_run(
             i,
             EngineConfig {
                 profiler_period: config.profiler_period,
-                bandwidth_window: 8,
-                tracker_period: SimDuration::from_secs(5),
-                model_download: false,
                 seed: config.seed ^ (i as u64).wrapping_mul(0x9E37_79B9),
+                ..EngineConfig::default()
             },
         )?;
         clients.push(Client {
@@ -200,7 +206,7 @@ pub fn multi_client_run(
                     gpu_model: &gpu_model,
                     ctx: client.ctx,
                     tracker: &mut tracker,
-                    watchdog: None,
+                    watchdog: Some(&mut watchdog),
                     server_cache: &server_cache,
                 };
                 let mut transport = LinkTransport { link: &link };
@@ -245,7 +251,7 @@ pub fn multi_client_run(
             gpu_model: &gpu_model,
             ctx: client.ctx,
             tracker: &mut tracker,
-            watchdog: None,
+            watchdog: Some(&mut watchdog),
             server_cache: &server_cache,
         };
         let mut transport = LinkTransport { link: &link };
@@ -263,6 +269,33 @@ pub fn multi_client_run(
         }
     }
 
+    // Requests still in flight when the duration expired have already
+    // consumed device time, uplink bytes and GPU queue slots — dropping
+    // them would silently understate every per-client metric. Run each one
+    // to completion and report it.
+    let mut drained = Vec::new();
+    for client in &mut clients {
+        if let Some(pending) = client.pending.take() {
+            let done = gpu.run_until_complete(pending.task);
+            let mut backend = GpuBackend {
+                gpu: &mut gpu,
+                gpu_model: &gpu_model,
+                ctx: client.ctx,
+                tracker: &mut tracker,
+                watchdog: Some(&mut watchdog),
+                server_cache: &server_cache,
+            };
+            let mut transport = LinkTransport { link: &link };
+            drained.push(
+                client
+                    .engine
+                    .finish(pending, done, &mut backend, &mut transport),
+            );
+        }
+    }
+    drained.sort_by_key(|r| r.start + r.total);
+    records.extend(drained);
+
     let gpu_utilization = if gpu.now() > SimTime::ZERO {
         gpu.busy_time().as_secs_f64() / gpu.now().as_secs_f64()
     } else {
@@ -273,6 +306,7 @@ pub fn multi_client_run(
         records,
         gpu_utilization,
         final_k,
+        watchdog_resets: watchdog.resets(),
     })
 }
 
@@ -339,6 +373,48 @@ mod tests {
         let b = run(3, Policy::LoadPart);
         assert_eq!(a.records, b.records);
         assert_eq!(a.final_k, b.final_k);
+    }
+
+    /// Regression (silent drop at expiry): two clients whose first
+    /// requests are both on the shared GPU when the duration expires. The
+    /// first completion re-arms its client far beyond the horizon, so the
+    /// event loop breaks while the second request is still in flight —
+    /// before the drain was added, that request vanished from the report.
+    #[test]
+    fn expiry_drains_in_flight_requests() {
+        let (user, edge) = models();
+        let report = multi_client_run(
+            &lp_models::squeezenet(1),
+            user,
+            edge,
+            &MultiClientConfig {
+                n_clients: 2,
+                duration: SimDuration::from_millis(200),
+                think_time: SimDuration::from_secs(10),
+                policy: Policy::Full, // always offload: both requests defer
+                ..MultiClientConfig::default()
+            },
+        )
+        .expect("valid config");
+        for c in 0..2 {
+            let n = report.records.iter().filter(|r| r.client == c).count();
+            assert_eq!(n, 1, "client {c}: in-flight request must be drained");
+        }
+    }
+
+    /// Regression (watchdog never armed): the shared-GPU run now arms one
+    /// `GpuUtilWatchdog`; a lone SqueezeNet client leaves the GPU nearly
+    /// idle, so the watchdog must fire and the settled `k` must stay reset.
+    #[test]
+    fn watchdog_is_armed_and_keeps_an_idle_gpu_discoverable() {
+        let report = run(1, Policy::LoadPart);
+        assert!(report.gpu_utilization < 0.2, "{}", report.gpu_utilization);
+        assert!(
+            report.watchdog_resets >= 1,
+            "under-utilized GPU must trip the watchdog (resets = {})",
+            report.watchdog_resets
+        );
+        assert!(report.final_k < 2.0, "k={}", report.final_k);
     }
 
     #[test]

@@ -181,6 +181,21 @@ impl Message {
         }
     }
 
+    /// The wire tag of this message kind (used to report out-of-order
+    /// frames precisely).
+    #[must_use]
+    pub fn tag(&self) -> u8 {
+        match self {
+            Message::OffloadRequest { .. } => TAG_OFFLOAD_REQUEST,
+            Message::OffloadResponse { .. } => TAG_OFFLOAD_RESPONSE,
+            Message::LoadQuery => TAG_LOAD_QUERY,
+            Message::LoadReply { .. } => TAG_LOAD_REPLY,
+            Message::Probe { .. } => TAG_PROBE,
+            Message::ProbeAck => TAG_PROBE_ACK,
+            Message::Shutdown => TAG_SHUTDOWN,
+        }
+    }
+
     /// Converts a load factor to its wire representation.
     #[must_use]
     pub fn k_to_micro(k: f64) -> u64 {
@@ -194,7 +209,9 @@ impl Message {
     }
 }
 
-/// Errors raised while decoding protocol frames.
+/// Errors raised on the wire: frame decoding plus session-level I/O
+/// failures (the fault surface the client degrades on instead of
+/// panicking).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ProtocolError {
     /// The frame ended before the declared content.
@@ -203,6 +220,24 @@ pub enum ProtocolError {
     BadVersion(u8),
     /// Unknown message tag.
     UnknownTag(u8),
+    /// The peer is gone (channel disconnected / server thread exited).
+    Disconnected,
+    /// No frame arrived within the operation's deadline.
+    Timeout,
+    /// A well-formed message of the wrong kind arrived mid-exchange
+    /// (carries the offending tag).
+    Unexpected(u8),
+}
+
+impl ProtocolError {
+    /// Whether retrying the whole exchange may succeed. Everything except
+    /// a dead peer is worth retrying: timeouts and unexpected frames are
+    /// transient, and a corrupt frame (truncated / bad version / unknown
+    /// tag) may decode fine on a resend.
+    #[must_use]
+    pub fn is_transient(&self) -> bool {
+        !matches!(self, ProtocolError::Disconnected)
+    }
 }
 
 impl fmt::Display for ProtocolError {
@@ -211,6 +246,9 @@ impl fmt::Display for ProtocolError {
             ProtocolError::Truncated => write!(f, "frame truncated"),
             ProtocolError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
             ProtocolError::UnknownTag(t) => write!(f, "unknown message tag {t}"),
+            ProtocolError::Disconnected => write!(f, "peer disconnected"),
+            ProtocolError::Timeout => write!(f, "deadline expired waiting for a frame"),
+            ProtocolError::Unexpected(t) => write!(f, "unexpected message tag {t} mid-exchange"),
         }
     }
 }
@@ -306,5 +344,50 @@ mod tests {
         assert!(!ProtocolError::Truncated.to_string().is_empty());
         assert!(ProtocolError::BadVersion(3).to_string().contains('3'));
         assert!(ProtocolError::UnknownTag(9).to_string().contains('9'));
+        assert!(ProtocolError::Disconnected
+            .to_string()
+            .contains("disconnected"));
+        assert!(ProtocolError::Timeout.to_string().contains("deadline"));
+        assert!(ProtocolError::Unexpected(4).to_string().contains('4'));
+    }
+
+    #[test]
+    fn tags_survive_the_round_trip() {
+        let msgs = [
+            Message::OffloadRequest {
+                request_id: 1,
+                partition_point: 2,
+                payload: Bytes::new(),
+            },
+            Message::OffloadResponse {
+                request_id: 1,
+                server_time_us: 3,
+                payload: Bytes::new(),
+            },
+            Message::LoadQuery,
+            Message::LoadReply { k_micro: 1_000_000 },
+            Message::Probe {
+                payload: Bytes::new(),
+            },
+            Message::ProbeAck,
+            Message::Shutdown,
+        ];
+        for m in msgs {
+            let tag = m.tag();
+            let decoded = Message::decode(m.encode()).expect("round trip");
+            assert_eq!(decoded.tag(), tag);
+            // The tag is the second byte of every frame.
+            assert_eq!(m.encode()[1], tag);
+        }
+    }
+
+    #[test]
+    fn transience_classification() {
+        assert!(ProtocolError::Timeout.is_transient());
+        assert!(ProtocolError::Truncated.is_transient());
+        assert!(ProtocolError::BadVersion(9).is_transient());
+        assert!(ProtocolError::UnknownTag(9).is_transient());
+        assert!(ProtocolError::Unexpected(2).is_transient());
+        assert!(!ProtocolError::Disconnected.is_transient());
     }
 }

@@ -13,7 +13,18 @@
 //!   [`Message::OffloadRequest`]-framed uploads, probe frames and load
 //!   queries on the profiler cadence;
 //! * time is logical — the client's clock advances one profiler period per
-//!   request, so every request runs the periodic refresh.
+//!   request, and the server's clock advances a fixed tick per **received
+//!   frame** (plus the observed execution time per offload), so load-query
+//!   handling and tracker-window expiry see a moving clock even when the
+//!   client only queries.
+//!
+//! Every client-side wire operation is **deadline-based** ([`FrameChannel`]
+//! / [`ServerHandle::recv_frame_timeout`]): a stalled or dead server yields
+//! [`ProtocolError::Timeout`] / [`ProtocolError::Disconnected`] instead of
+//! a hang or a panic, and the engine degrades to local inference. The
+//! [`ServerFaultSpec`] passed to [`spawn_server_with_faults`] scripts
+//! server crashes and stalls deterministically for tests and demos; the
+//! client-side counterpart is [`crate::fault::FaultInjector`].
 //!
 //! Tests are deterministic, but the concurrency — shared caches behind
 //! locks, `std::sync::mpsc` channels, graceful shutdown — is real.
@@ -21,15 +32,42 @@
 use crate::baselines::Policy;
 use crate::cache::PartitionCache;
 use crate::engine::backends::{NullDevice, WireBackend, WireTransport};
-use crate::engine::{EngineConfig, InferenceRecord, OffloadEngine};
+use crate::engine::{ConfigError, EngineConfig, InferenceRecord, OffloadEngine};
 use crate::protocol::{Message, ProtocolError};
 use bytes::Bytes;
 use lp_graph::ComputationGraph;
 use lp_profiler::{LoadFactorTracker, PredictionModels};
 use lp_sim::{SimDuration, SimTime};
-use std::sync::mpsc::{channel, Receiver, RecvError, SendError, Sender};
+use std::sync::mpsc::{channel, Receiver, RecvError, RecvTimeoutError, SendError, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// The logical time the server charges for receiving any frame (the
+/// inter-request spacing the runtime has always modelled).
+const RECV_TICK: SimDuration = SimDuration::from_millis(100);
+
+/// A bidirectional frame pipe the client-side wire backends speak over.
+///
+/// [`ServerHandle`] implements it directly;
+/// [`crate::fault::FaultInjector`] wraps any implementation to inject
+/// scripted faults between the engine and the real channel.
+pub trait FrameChannel {
+    /// Sends one frame toward the server.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::Disconnected`] if the peer is gone.
+    fn send(&self, frame: Bytes) -> Result<(), ProtocolError>;
+
+    /// Receives the next frame, waiting no later than `deadline`.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::Timeout`] when the deadline passes with no frame,
+    /// [`ProtocolError::Disconnected`] when the peer is gone.
+    fn recv_deadline(&self, deadline: Instant) -> Result<Bytes, ProtocolError>;
+}
 
 /// Handle to a running offloading server thread.
 #[derive(Debug)]
@@ -37,6 +75,36 @@ pub struct ServerHandle {
     tx: Sender<Bytes>,
     rx: Receiver<Bytes>,
     join: Option<JoinHandle<u64>>,
+}
+
+/// A window of received-frame indices the server leaves unanswered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StallWindow {
+    /// First received-frame index (0-based) that goes unanswered.
+    pub after_frames: u64,
+    /// How many consecutive frames go unanswered.
+    pub frames: u64,
+}
+
+impl StallWindow {
+    fn covers(&self, idx: u64) -> bool {
+        idx >= self.after_frames && idx < self.after_frames + self.frames
+    }
+}
+
+/// Deterministic server-side fault script for [`spawn_server_with_faults`]:
+/// crash and stall behaviour keyed by received-frame counts, so tests can
+/// place a fault at an exact point in the session without wall-clock
+/// randomness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerFaultSpec {
+    /// Exit the server thread abruptly (simulated crash) once this many
+    /// frames have been received; the frame crossing the threshold is not
+    /// served, and both channels disconnect.
+    pub crash_after_frames: Option<u64>,
+    /// Drop the frames in this window silently — the server is alive but
+    /// unresponsive, which is what a deadline must catch.
+    pub stall: Option<StallWindow>,
 }
 
 /// Spawns the edge-server thread for one DNN.
@@ -52,6 +120,17 @@ pub fn spawn_server(
     edge_models: PredictionModels,
     k_factor: f64,
 ) -> ServerHandle {
+    spawn_server_with_faults(graph, edge_models, k_factor, ServerFaultSpec::default())
+}
+
+/// [`spawn_server`] plus a deterministic fault script ([`ServerFaultSpec`]).
+#[must_use]
+pub fn spawn_server_with_faults(
+    graph: ComputationGraph,
+    edge_models: PredictionModels,
+    k_factor: f64,
+    faults: ServerFaultSpec,
+) -> ServerHandle {
     let (client_tx, server_rx) = channel::<Bytes>();
     let (server_tx, client_rx) = channel::<Bytes>();
     let cache = Arc::new(PartitionCache::new());
@@ -61,11 +140,25 @@ pub fn spawn_server(
     let join = std::thread::spawn(move || {
         let mut served = 0u64;
         let mut now = SimTime::ZERO;
+        let mut received = 0u64;
         while let Ok(frame) = server_rx.recv() {
+            let idx = received;
+            received += 1;
+            if faults.crash_after_frames.is_some_and(|n| received > n) {
+                // Simulated crash: exit without replying; dropping the
+                // channel ends the session abruptly on the client side.
+                return served;
+            }
+            // Receiving any frame advances the server's logical clock, so
+            // load queries evaluate `k` at a moving instant and the
+            // tracker window can expire for an idle-then-querying client.
+            now += RECV_TICK;
+            if faults.stall.is_some_and(|s| s.covers(idx)) {
+                continue; // unresponsive: swallow the frame
+            }
             let msg = match Message::decode(frame) {
                 Ok(m) => m,
-                Err(ProtocolError::Truncated | ProtocolError::BadVersion(_))
-                | Err(ProtocolError::UnknownTag(_)) => continue, // drop bad frames
+                Err(_) => continue, // drop bad frames
             };
             match msg {
                 Message::OffloadRequest {
@@ -75,14 +168,14 @@ pub fn spawn_server(
                 } => {
                     let p = partition_point as usize;
                     // Build or fetch the suffix graph (Figure 5).
-                    let _partition = cache
+                    let _ = cache
                         .get_or_partition(&graph, p.min(graph.len()))
                         .expect("p in range");
                     // Execute the suffix: predicted time scaled by the
                     // environment's load factor.
                     let predicted = predicted_suffix(&edge_models, &graph, p);
                     let observed = predicted.scale(k_factor);
-                    now += observed + SimDuration::from_millis(100);
+                    now += observed;
                     tracker
                         .lock()
                         .expect("lock poisoned")
@@ -145,13 +238,31 @@ impl ServerHandle {
         self.tx.send(frame)
     }
 
-    /// Receives the next frame from the server.
+    /// Receives the next frame from the server, blocking indefinitely.
+    /// Client-side request paths must use [`Self::recv_frame_timeout`] (or
+    /// the [`FrameChannel`] deadline API) instead, so a stalled server
+    /// cannot hang them.
     ///
     /// # Errors
     ///
     /// Fails if the server thread has exited and drained.
     pub fn recv_frame(&self) -> Result<Bytes, RecvError> {
         self.rx.recv()
+    }
+
+    /// Receives the next frame from the server, waiting at most `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::Timeout`] when nothing arrives in time,
+    /// [`ProtocolError::Disconnected`] when the server thread has exited
+    /// and the channel drained.
+    pub fn recv_frame_timeout(&self, timeout: std::time::Duration) -> Result<Bytes, ProtocolError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(frame) => Ok(frame),
+            Err(RecvTimeoutError::Timeout) => Err(ProtocolError::Timeout),
+            Err(RecvTimeoutError::Disconnected) => Err(ProtocolError::Disconnected),
+        }
     }
 
     /// Shuts the server down and returns how many offload requests it
@@ -167,6 +278,17 @@ impl ServerHandle {
             .expect("not yet joined")
             .join()
             .expect("server thread healthy")
+    }
+}
+
+impl FrameChannel for ServerHandle {
+    fn send(&self, frame: Bytes) -> Result<(), ProtocolError> {
+        self.send_frame(frame)
+            .map_err(|_| ProtocolError::Disconnected)
+    }
+
+    fn recv_deadline(&self, deadline: Instant) -> Result<Bytes, ProtocolError> {
+        self.recv_frame_timeout(deadline.saturating_duration_since(Instant::now()))
     }
 }
 
@@ -188,7 +310,8 @@ pub struct ThreadedClient {
 }
 
 impl ThreadedClient {
-    /// Builds the client with both trained model bundles.
+    /// Builds the client with both trained model bundles and the default
+    /// engine configuration.
     ///
     /// # Panics
     ///
@@ -199,19 +322,28 @@ impl ThreadedClient {
         user_models: &PredictionModels,
         edge_models: &PredictionModels,
     ) -> Self {
-        let engine = OffloadEngine::new(
-            graph,
-            Policy::LoadPart,
-            user_models,
-            edge_models,
-            0,
-            EngineConfig::default(),
-        )
-        .expect("default config valid");
-        Self {
+        Self::with_config(graph, user_models, edge_models, EngineConfig::default())
+            .expect("default config valid")
+    }
+
+    /// Builds the client with an explicit engine configuration (fault
+    /// tests shrink `io_timeout`/`retry_backoff` to keep deadlines fast).
+    ///
+    /// # Errors
+    ///
+    /// Rejects invalid configurations with [`ConfigError`].
+    pub fn with_config(
+        graph: ComputationGraph,
+        user_models: &PredictionModels,
+        edge_models: &PredictionModels,
+        config: EngineConfig,
+    ) -> Result<Self, ConfigError> {
+        let engine =
+            OffloadEngine::new(graph, Policy::LoadPart, user_models, edge_models, 0, config)?;
+        Ok(Self {
             engine,
             now: SimTime::ZERO,
-        }
+        })
     }
 
     /// The underlying engine (solver, profile, caches).
@@ -220,18 +352,27 @@ impl ThreadedClient {
         &self.engine
     }
 
+    /// The client's logical clock.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
     /// Queries the server for the current load factor and caches it — the
     /// explicit runtime-profiler action.
     ///
     /// # Errors
     ///
-    /// Propagates [`ProtocolError`] on a malformed reply.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the server thread is gone.
-    pub fn refresh_k(&mut self, server: &ServerHandle) -> Result<f64, ProtocolError> {
-        let mut backend = WireBackend { server };
+    /// Propagates [`ProtocolError`] on a malformed reply, a timeout or a
+    /// dead server.
+    pub fn refresh_k<C: FrameChannel + ?Sized>(
+        &mut self,
+        server: &C,
+    ) -> Result<f64, ProtocolError> {
+        let mut backend = WireBackend {
+            server,
+            deadline: self.engine.config().io_timeout,
+        };
         self.engine.refresh_k(self.now, &mut backend)
     }
 
@@ -239,25 +380,26 @@ impl ThreadedClient {
     ///
     /// The client's logical clock advances one profiler period per
     /// request, so the periodic refresh (probe frame + load query) fires
-    /// every time.
+    /// every time. Wire faults never panic or hang the client: exchanges
+    /// are retried with backoff and, if the fault persists, the request
+    /// completes locally (`fallback_local` set on the record) and the
+    /// engine cools down before touching the wire again.
     ///
     /// # Errors
     ///
-    /// Propagates [`ProtocolError`] on malformed frames.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the server thread is gone.
-    pub fn infer(
+    /// Propagates [`ProtocolError`] only for failures the engine cannot
+    /// absorb (none on the current degradation paths).
+    pub fn infer<C: FrameChannel + ?Sized>(
         &mut self,
-        server: &ServerHandle,
+        server: &C,
         bandwidth_mbps: f64,
     ) -> Result<InferenceRecord, ProtocolError> {
         self.now += self.engine.config().profiler_period;
         self.engine.profile_mut().inject_bandwidth(bandwidth_mbps);
+        let deadline = self.engine.config().io_timeout;
         let mut device = NullDevice;
-        let mut backend = WireBackend { server };
-        let mut transport = WireTransport { server };
+        let mut backend = WireBackend { server, deadline };
+        let mut transport = WireTransport { server, deadline };
         self.engine
             .run(self.now, &mut device, &mut backend, &mut transport)
     }
@@ -267,6 +409,7 @@ impl ThreadedClient {
 mod tests {
     use super::*;
     use std::sync::OnceLock;
+    use std::time::Duration;
 
     fn models() -> &'static (PredictionModels, PredictionModels) {
         static MODELS: OnceLock<(PredictionModels, PredictionModels)> = OnceLock::new();
@@ -283,6 +426,8 @@ mod tests {
         assert!(r.p < 27, "should offload at 8 Mbps");
         assert!(r.uploaded_bytes > 0);
         assert!(r.server > SimDuration::ZERO);
+        assert!(!r.fallback_local);
+        assert_eq!(r.retries, 0);
         assert_eq!(server.shutdown(), 1);
     }
 
@@ -375,6 +520,136 @@ mod tests {
             let r = client.infer(&server, 8.0).expect("ok");
             assert_eq!(r.request_id, expect);
         }
+        server.shutdown();
+    }
+
+    #[test]
+    fn recv_timeout_reports_timeout_then_disconnect() {
+        let (_, edge) = models();
+        let graph = lp_models::alexnet(1);
+        let server = spawn_server(graph, edge.clone(), 1.0);
+        // Nothing was sent: a bounded wait must end in Timeout, not a hang.
+        assert_eq!(
+            server.recv_frame_timeout(Duration::from_millis(10)),
+            Err(ProtocolError::Timeout)
+        );
+        // Kill the server thread; the channel now reports Disconnected.
+        server
+            .send_frame(Message::Shutdown.encode())
+            .expect("alive");
+        // Wait for the thread to exit by joining via a fresh handle scope.
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(
+            server.recv_frame_timeout(Duration::from_millis(10)),
+            Err(ProtocolError::Disconnected)
+        );
+    }
+
+    /// Regression (stale server clock): the server's logical clock used to
+    /// advance only on offload requests, so an idle-then-querying client
+    /// saw a frozen `k`: tracker samples could never age out. Every
+    /// received frame now ticks the clock, so a stream of load queries
+    /// alone eventually expires the 5 s tracker window.
+    #[test]
+    fn tracker_window_expires_for_an_idle_then_querying_client() {
+        let (user, edge) = models();
+        let graph = lp_models::alexnet(1);
+        let server = spawn_server(graph.clone(), edge.clone(), 6.0);
+        let mut client = ThreadedClient::new(graph, user, edge);
+        // Populate the tracker with slow executions: k climbs toward 6.
+        for _ in 0..3 {
+            client.infer(&server, 8.0).expect("ok");
+        }
+        assert!(client.refresh_k(&server).expect("ok") > 4.0);
+        // The client goes idle and only queries. 100 ms per frame: 60
+        // queries move the server clock 6 s past the last sample — beyond
+        // the 5 s window — so k must decay back to 1.
+        let mut last_k = f64::NAN;
+        for _ in 0..60 {
+            server
+                .send_frame(Message::LoadQuery.encode())
+                .expect("alive");
+            match Message::decode(server.recv_frame().expect("alive")).expect("valid") {
+                Message::LoadReply { k_micro } => last_k = Message::micro_to_k(k_micro),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(last_k, 1.0, "stale samples must age out while idle");
+        server.shutdown();
+    }
+
+    #[test]
+    fn scripted_crash_disconnects_both_directions() {
+        let (_, edge) = models();
+        let graph = lp_models::alexnet(1);
+        let server = spawn_server_with_faults(
+            graph,
+            edge.clone(),
+            1.0,
+            ServerFaultSpec {
+                crash_after_frames: Some(1),
+                stall: None,
+            },
+        );
+        // Frame 1 is served; frame 2 crosses the threshold and kills the
+        // thread without a reply.
+        server
+            .send_frame(
+                Message::Probe {
+                    payload: Bytes::new(),
+                }
+                .encode(),
+            )
+            .expect("alive");
+        assert_eq!(
+            Message::decode(server.recv_frame().expect("alive")).expect("valid"),
+            Message::ProbeAck
+        );
+        server
+            .send_frame(Message::LoadQuery.encode())
+            .expect("queued");
+        assert_eq!(
+            server.recv_frame_timeout(Duration::from_secs(1)),
+            Err(ProtocolError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn scripted_stall_swallows_the_window_then_recovers() {
+        let (_, edge) = models();
+        let graph = lp_models::alexnet(1);
+        let server = spawn_server_with_faults(
+            graph,
+            edge.clone(),
+            1.0,
+            ServerFaultSpec {
+                crash_after_frames: None,
+                stall: Some(StallWindow {
+                    after_frames: 0,
+                    frames: 2,
+                }),
+            },
+        );
+        // Frames 0 and 1 go unanswered; frame 2 is served again.
+        for _ in 0..2 {
+            server
+                .send_frame(Message::LoadQuery.encode())
+                .expect("alive");
+            assert_eq!(
+                server.recv_frame_timeout(Duration::from_millis(50)),
+                Err(ProtocolError::Timeout)
+            );
+        }
+        server
+            .send_frame(Message::LoadQuery.encode())
+            .expect("alive");
+        let reply = Message::decode(
+            server
+                .recv_frame_timeout(Duration::from_secs(1))
+                .expect("served again"),
+        )
+        .expect("valid");
+        assert!(matches!(reply, Message::LoadReply { .. }));
         server.shutdown();
     }
 }

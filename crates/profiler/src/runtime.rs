@@ -125,6 +125,7 @@ pub struct GpuUtilWatchdog {
     pub check_interval: SimDuration,
     last_check: Option<SimTime>,
     last_busy: SimDuration,
+    resets: u64,
 }
 
 impl GpuUtilWatchdog {
@@ -136,7 +137,16 @@ impl GpuUtilWatchdog {
             check_interval: SimDuration::from_secs(10),
             last_check: None,
             last_busy: SimDuration::ZERO,
+            resets: 0,
         }
+    }
+
+    /// How many times the watchdog has reset the tracker since creation —
+    /// drivers report this so a sticky-high `k` that never resets is
+    /// observable.
+    #[must_use]
+    pub fn resets(&self) -> u64 {
+        self.resets
     }
 
     /// Offers the watchdog a chance to run at `now`, given the GPU's
@@ -164,6 +174,7 @@ impl GpuUtilWatchdog {
                 let util = if wall > 0.0 { busy / wall } else { 0.0 };
                 if util < self.threshold {
                     tracker.reset();
+                    self.resets += 1;
                     true
                 } else {
                     false
@@ -244,6 +255,7 @@ mod tests {
         // 10 s later: 1 s of busy over 10 s of wall = 10% < 90% -> reset.
         assert!(w.poll(secs(12), SimDuration::from_secs(2), &mut t));
         assert_eq!(t.k(), 1.0);
+        assert_eq!(w.resets(), 1);
     }
 
     #[test]

@@ -1,0 +1,235 @@
+//! Fault-tolerance tests for the wire runtime: scripted drops, delays,
+//! corruption, duplication and server crashes/stalls, all deterministic.
+//!
+//! The invariant under test everywhere: a wire fault never panics or hangs
+//! the client. Transient faults are absorbed by bounded retries; persistent
+//! faults degrade the request to local execution (`fallback_local` on the
+//! record) and start a cooldown; once the fault clears, offloading resumes.
+//!
+//! Client-side faults are injected with [`FaultInjector`] (a scripted
+//! middlebox between the engine and the server channel); server-side crash
+//! and stall scripts ride in [`ServerFaultSpec`]. Frame indices below
+//! follow the client's per-request send order at steady state — probe (0),
+//! load query (1), offload request (2) — shifted by retries.
+
+use loadpart::fault::{FaultAction, FaultInjector, FaultPlan};
+use loadpart::{
+    spawn_server, spawn_server_with_faults, EngineConfig, ServerFaultSpec, StallWindow,
+    ThreadedClient,
+};
+use lp_profiler::PredictionModels;
+use std::sync::OnceLock;
+use std::time::Duration;
+
+fn models() -> &'static (PredictionModels, PredictionModels) {
+    static MODELS: OnceLock<(PredictionModels, PredictionModels)> = OnceLock::new();
+    MODELS.get_or_init(|| loadpart::system::trained_models(150, 42))
+}
+
+/// Short deadlines and no backoff sleeps keep the fault paths fast while
+/// exercising exactly the same code as the defaults.
+fn fast_client(graph: lp_graph::ComputationGraph) -> ThreadedClient {
+    let (user, edge) = models();
+    ThreadedClient::with_config(
+        graph,
+        user,
+        edge,
+        EngineConfig {
+            io_timeout: Duration::from_millis(100),
+            retry_backoff: Duration::ZERO,
+            ..EngineConfig::default()
+        },
+    )
+    .expect("valid config")
+}
+
+const N: usize = 27; // alexnet node count: p == N means fully local
+
+#[test]
+fn dropped_offload_request_is_absorbed_by_a_retry() {
+    let (_, edge) = models();
+    let graph = lp_models::alexnet(1);
+    let server = spawn_server(graph.clone(), edge.clone(), 1.0);
+    let mut client = fast_client(graph);
+    // The first offload request (send frame 2) vanishes; the retry lands.
+    let plan = FaultPlan::new().on_send(2, FaultAction::Drop);
+    let inj = FaultInjector::new(&server, plan);
+    let r = client.infer(&inj, 8.0).expect("absorbed");
+    assert!(r.offloaded(), "retry must complete the offload");
+    assert!(!r.fallback_local);
+    assert_eq!(r.retries, 1, "exactly one resend");
+    assert_eq!(inj.faults_injected(), 1);
+    assert_eq!(server.shutdown(), 1);
+}
+
+#[test]
+fn persistent_drops_degrade_locally_then_recover() {
+    let (_, edge) = models();
+    let graph = lp_models::alexnet(1);
+    let server = spawn_server(graph.clone(), edge.clone(), 1.0);
+    let mut client = fast_client(graph);
+    // All three offload attempts of request 0 (sends 2, 3, 4) vanish.
+    let plan = FaultPlan::new()
+        .on_send(2, FaultAction::Drop)
+        .on_send(3, FaultAction::Drop)
+        .on_send(4, FaultAction::Drop);
+    let inj = FaultInjector::new(&server, plan);
+
+    let r0 = client.infer(&inj, 8.0).expect("no panic");
+    assert!(
+        r0.fallback_local,
+        "exhausted retries must fall back locally"
+    );
+    assert!(r0.p < N && r0.uploaded_bytes > 0, "fault hit mid-offload");
+    assert_eq!(r0.retries, 2, "default budget: 2 retries, 3 attempts");
+
+    // Cooldown (10 s logical = 2 requests): local by decision, no wire,
+    // and explicitly NOT a fallback — the fault happened last request.
+    let r1 = client.infer(&inj, 8.0).expect("no panic");
+    assert_eq!((r1.p, r1.fallback_local, r1.retries), (N, false, 0));
+
+    // Cooldown expired: the next refresh probes, succeeds, and offloading
+    // resumes on the same channel.
+    let r2 = client.infer(&inj, 8.0).expect("no panic");
+    assert!(r2.offloaded() && !r2.fallback_local, "{r2:?}");
+    assert_eq!(server.shutdown(), 1, "only the recovered request arrived");
+}
+
+#[test]
+fn reply_delayed_past_the_deadline_is_recovered_as_stale() {
+    let (_, edge) = models();
+    let graph = lp_models::alexnet(1);
+    let server = spawn_server(graph.clone(), edge.clone(), 1.0);
+    let mut client = fast_client(graph);
+    // The offload response (recv frame 2) crosses the deadline; it lands
+    // late, during the retry's receive, and still matches the request id.
+    let plan = FaultPlan::new().on_recv(2, FaultAction::Delay);
+    let inj = FaultInjector::new(&server, plan);
+    let r0 = client.infer(&inj, 8.0).expect("no panic");
+    assert!(r0.offloaded() && !r0.fallback_local);
+    assert_eq!(r0.retries, 1, "one timed-out exchange");
+    // The retry produced a second, unconsumed response; the next request's
+    // probe must skip it as stale instead of misreading it as an ack.
+    let r1 = client.infer(&inj, 8.0).expect("stale frame skipped");
+    assert!(r1.offloaded() && !r1.fallback_local);
+    assert_eq!(r1.retries, 0);
+    assert_eq!(server.shutdown(), 3, "request 0 twice (retry) + request 1");
+}
+
+#[test]
+fn corrupt_frames_in_both_directions_are_retried() {
+    let (_, edge) = models();
+    let graph = lp_models::alexnet(1);
+    let server = spawn_server(graph.clone(), edge.clone(), 1.0);
+    let mut client = fast_client(graph);
+    // Send 1 (load query) reaches the server corrupted: it drops the frame
+    // and the whole refresh retries (probe 2, query 3). Recv 3 (the
+    // offload response, after the extra ack+reply) arrives corrupted: the
+    // client's decoder rejects it and the offload retries.
+    let plan = FaultPlan::new()
+        .on_send(1, FaultAction::Corrupt)
+        .on_recv(3, FaultAction::Corrupt);
+    let inj = FaultInjector::new(&server, plan);
+    let r = client.infer(&inj, 8.0).expect("no panic");
+    assert!(r.offloaded() && !r.fallback_local, "{r:?}");
+    assert_eq!(r.retries, 2, "one refresh retry + one offload retry");
+    assert_eq!(inj.faults_injected(), 2);
+    assert_eq!(server.shutdown(), 2, "original + retried offload");
+}
+
+#[test]
+fn duplicated_reply_is_drained_not_misattributed() {
+    let (_, edge) = models();
+    let graph = lp_models::alexnet(1);
+    let server = spawn_server(graph.clone(), edge.clone(), 1.0);
+    let mut client = fast_client(graph);
+    // The offload response arrives twice; the twin must not be mistaken
+    // for the next request's probe ack.
+    let plan = FaultPlan::new().on_recv(2, FaultAction::Duplicate);
+    let inj = FaultInjector::new(&server, plan);
+    let r0 = client.infer(&inj, 8.0).expect("no panic");
+    let r1 = client.infer(&inj, 8.0).expect("twin skipped as stale");
+    for r in [&r0, &r1] {
+        assert!(
+            r.offloaded() && !r.fallback_local && r.retries == 0,
+            "{r:?}"
+        );
+    }
+    assert_eq!(server.shutdown(), 2);
+}
+
+#[test]
+fn server_crash_mid_session_falls_back_then_fresh_server_recovers() {
+    let (_, edge) = models();
+    let graph = lp_models::alexnet(1);
+    // Request 0 consumes frames 1-3; request 1's offload request is frame
+    // 6, which crosses the threshold and kills the server thread unserved.
+    let server = spawn_server_with_faults(
+        graph.clone(),
+        edge.clone(),
+        1.0,
+        ServerFaultSpec {
+            crash_after_frames: Some(5),
+            stall: None,
+        },
+    );
+    let mut client = fast_client(graph.clone());
+
+    let r0 = client.infer(&server, 8.0).expect("healthy");
+    assert!(r0.offloaded() && !r0.fallback_local);
+
+    // The crash lands after the upload: the record must come back
+    // completed locally, not as a panic, hang or error.
+    let r1 = client.infer(&server, 8.0).expect("no panic on crash");
+    assert!(r1.fallback_local, "{r1:?}");
+    assert!(r1.p < N && r1.uploaded_bytes > 0, "crash hit mid-offload");
+
+    // Cooldown: local by decision, the dead channel is not touched.
+    let r2 = client.infer(&server, 8.0).expect("no panic");
+    assert_eq!((r2.p, r2.fallback_local), (N, false));
+    drop(server);
+
+    // The operator restarts the server; the client's next due refresh
+    // probes it and offloading resumes.
+    let server = spawn_server(graph, edge.clone(), 1.0);
+    let r3 = client.infer(&server, 8.0).expect("recovered");
+    assert!(r3.offloaded() && !r3.fallback_local, "{r3:?}");
+    assert_eq!(r3.retries, 0);
+    assert_eq!(server.shutdown(), 1);
+}
+
+#[test]
+fn server_stall_window_degrades_then_same_server_recovers() {
+    let (_, edge) = models();
+    let graph = lp_models::alexnet(1);
+    // Frames 3, 4, 5 are swallowed: request 1's three probe attempts all
+    // time out, request 2 rides out the cooldown locally, and request 3
+    // finds the server responsive again — same channel, no respawn.
+    let server = spawn_server_with_faults(
+        graph.clone(),
+        edge.clone(),
+        1.0,
+        ServerFaultSpec {
+            crash_after_frames: None,
+            stall: Some(StallWindow {
+                after_frames: 3,
+                frames: 3,
+            }),
+        },
+    );
+    let mut client = fast_client(graph);
+
+    let r0 = client.infer(&server, 8.0).expect("healthy");
+    assert!(r0.offloaded() && !r0.fallback_local);
+
+    let r1 = client.infer(&server, 8.0).expect("no hang");
+    assert!(r1.fallback_local, "{r1:?}");
+    assert_eq!(r1.retries, 2);
+
+    let r2 = client.infer(&server, 8.0).expect("no panic");
+    assert_eq!((r2.p, r2.fallback_local), (N, false));
+
+    let r3 = client.infer(&server, 8.0).expect("recovered");
+    assert!(r3.offloaded() && !r3.fallback_local, "{r3:?}");
+    assert_eq!(server.shutdown(), 2, "requests 0 and 3 were served");
+}
