@@ -8,9 +8,12 @@
 //! baseline (paper: 4.95% avg / 39.4% max for AlexNet; 14.2% avg / 32.3%
 //! max for SqueezeNet; VGG16/Xception identical to baseline; ResNet18
 //! always local; ResNet50 flipping between full and local).
+//!
+//! `--trace <file.jsonl>` exports every LoADPart request's telemetry spans
+//! (decide/device_prefix/upload/server_suffix/finish) as JSON Lines.
 
-use loadpart::scenario::{figure9_phases, load_timeline, TimelinePoint};
-use loadpart::Policy;
+use loadpart::scenario::{figure9_phases, load_timeline_with_telemetry, TimelinePoint};
+use loadpart::{JsonlSink, Policy, Telemetry};
 use lp_bench::{standard_models, text_table};
 use lp_sim::SimDuration;
 
@@ -48,12 +51,28 @@ fn phase_stats(points: &[TimelinePoint]) -> Vec<(String, f64, f64, usize, usize)
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let trace_path = args.iter().position(|a| a == "--trace").map(|i| {
+        args.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("--trace needs a file path");
+            std::process::exit(2);
+        })
+    });
+    let sink = trace_path.as_deref().map(|path| {
+        JsonlSink::create(path).unwrap_or_else(|e| {
+            eprintln!("cannot create {path:?}: {e}");
+            std::process::exit(2);
+        })
+    });
+    let lp_telemetry = sink.as_ref().map_or_else(Telemetry::disabled, |s| {
+        Telemetry::enabled().with_sink(s.clone())
+    });
     let (user, edge) = standard_models();
     let phases = figure9_phases();
     for graph in lp_models::evaluation_set(1) {
         let name = graph.name().to_string();
-        let run = |policy: Policy| {
-            load_timeline(
+        let run = |policy: Policy, telemetry: &Telemetry| {
+            load_timeline_with_telemetry(
                 graph.clone(),
                 policy,
                 &phases,
@@ -63,10 +82,11 @@ fn main() {
                 DURATION,
                 SimDuration::from_millis(400),
                 41,
+                telemetry,
             )
         };
-        let lp = run(Policy::LoadPart);
-        let ns = run(Policy::Neurosurgeon);
+        let lp = run(Policy::LoadPart, &lp_telemetry);
+        let ns = run(Policy::Neurosurgeon, &Telemetry::disabled());
 
         let lp_stats = phase_stats(&lp);
         let ns_stats = phase_stats(&ns);
@@ -120,5 +140,12 @@ fn main() {
             100.0 * (overall_ns - overall_lp) / overall_ns,
             improvements.iter().copied().fold(f64::MIN, f64::max),
         );
+    }
+    if let (Some(sink), Some(path)) = (sink, trace_path) {
+        if let Err(e) = sink.flush() {
+            eprintln!("flushing {path:?}: {e}");
+            std::process::exit(2);
+        }
+        println!("LoADPart trace spans written to {path}");
     }
 }

@@ -6,6 +6,7 @@
 //! loadpart curve     --model alexnet --bandwidth 8 [--k 1.0]
 //! loadpart partition --model alexnet --p 8 [--dot]
 //! loadpart faults    [--model alexnet] [--crash-after 5] [--bandwidth 8]
+//! loadpart report    [--model squeezenet] [--clients 4] [--duration 30] [--trace spans.jsonl]
 //! ```
 //!
 //! `decide` runs the offline profiler (training the NNLS prediction models
@@ -13,12 +14,17 @@
 //! `curve` prints the whole `t_p` landscape; `partition` materialises a
 //! Figure 5 split and summarises both sides (optionally as Graphviz DOT);
 //! `faults` demos the fault-tolerant wire runtime: a scripted server crash
-//! mid-session, local-fallback degradation, and recovery on a fresh server.
+//! mid-session, local-fallback degradation, and recovery on a fresh server;
+//! `report` runs a multi-client experiment with the telemetry layer enabled
+//! and prints the metrics registry (optionally exporting per-request trace
+//! spans as JSONL).
 
 use loadpart::{
-    spawn_server, spawn_server_with_faults, EngineConfig, InferenceRecord, PartitionSolver,
-    ServerFaultSpec, ThreadedClient,
+    multi_client_run_with_telemetry, spawn_server, spawn_server_with_faults, EngineConfig,
+    InferenceRecord, JsonlSink, MultiClientConfig, PartitionSolver, ServerFaultSpec, Telemetry,
+    ThreadedClient,
 };
+use lp_sim::SimDuration;
 use std::collections::HashMap;
 use std::io::Write;
 use std::process::ExitCode;
@@ -46,7 +52,8 @@ const USAGE: &str = "usage:
   loadpart decide    --model <name> --bandwidth <Mbps> [--k <factor>] [--samples <n>] [--seed <n>]
   loadpart curve     --model <name> --bandwidth <Mbps> [--k <factor>] [--samples <n>] [--seed <n>]
   loadpart partition --model <name> --p <point> [--dot]
-  loadpart faults    [--model <name>] [--crash-after <frames>] [--bandwidth <Mbps>] [--samples <n>] [--seed <n>]";
+  loadpart faults    [--model <name>] [--crash-after <frames>] [--bandwidth <Mbps>] [--samples <n>] [--seed <n>]
+  loadpart report    [--model <name>] [--clients <n>] [--duration <secs>] [--bandwidth <Mbps>] [--samples <n>] [--seed <n>] [--trace <file.jsonl>]";
 
 /// Parses `--key value` pairs (and bare `--flag`s) after the subcommand.
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -99,6 +106,7 @@ fn run(args: &[String]) -> Result<String, String> {
         "curve" => cmd_decide(&flags, true),
         "partition" => cmd_partition(&flags),
         "faults" => cmd_faults(&flags),
+        "report" => cmd_report(&flags),
         other => Err(format!("unknown subcommand {other:?}")),
     }
 }
@@ -284,6 +292,60 @@ fn cmd_faults(flags: &HashMap<String, String>) -> Result<String, String> {
     Ok(out)
 }
 
+fn cmd_report(flags: &HashMap<String, String>) -> Result<String, String> {
+    let name = flags.get("model").map_or("squeezenet", String::as_str);
+    let graph = lp_models::by_name(name, 1)
+        .ok_or_else(|| format!("unknown model {name:?}; run `loadpart models` for the zoo"))?;
+    let clients: usize = get_parsed(flags, "clients", Some(4))?;
+    let duration: f64 = get_parsed(flags, "duration", Some(30.0))?;
+    let bandwidth: f64 = get_parsed(flags, "bandwidth", Some(8.0))?;
+    let samples: usize = get_parsed(flags, "samples", Some(120))?;
+    let seed: u64 = get_parsed(flags, "seed", Some(42))?;
+    if bandwidth <= 0.0 {
+        return Err("--bandwidth must be positive".to_string());
+    }
+    if duration <= 0.0 {
+        return Err("--duration must be positive".to_string());
+    }
+    let jsonl = match flags.get("trace") {
+        Some(path) if !path.is_empty() => Some((
+            path.clone(),
+            JsonlSink::create(path).map_err(|e| format!("cannot create {path:?}: {e}"))?,
+        )),
+        Some(_) => return Err("--trace needs a file path".to_string()),
+        None => None,
+    };
+    let telemetry = match &jsonl {
+        Some((_, sink)) => Telemetry::enabled().with_sink(sink.clone()),
+        None => Telemetry::enabled(),
+    };
+    let (user, edge) = loadpart::system::trained_models(samples, seed);
+    let config = MultiClientConfig {
+        n_clients: clients,
+        bandwidth_mbps: bandwidth,
+        duration: SimDuration::from_secs_f64(duration),
+        seed,
+        ..MultiClientConfig::default()
+    };
+    let report = multi_client_run_with_telemetry(&graph, &user, &edge, &config, &telemetry)
+        .map_err(|e| e.to_string())?;
+    let snapshot = telemetry.snapshot().expect("telemetry is enabled");
+    let mut out = format!(
+        "{} x {clients} client(s) @ {bandwidth} Mbps for {duration} s: {} inference(s), \
+         mean latency {:.1} ms\n\n",
+        graph.name(),
+        report.records.len(),
+        report.mean_latency_secs() * 1e3,
+    );
+    out.push_str(&snapshot.render_table());
+    if let Some((path, sink)) = jsonl {
+        sink.flush()
+            .map_err(|e| format!("flushing {path:?}: {e}"))?;
+        out.push_str(&format!("\ntrace spans written to {path}"));
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -338,6 +400,24 @@ mod tests {
         let out = run(&argv("faults --samples 60 --seed 1")).expect("no panic, no hang");
         assert!(out.contains("FALLBACK-LOCAL"), "{out}");
         assert!(out.contains("recovery complete"), "{out}");
+    }
+
+    #[test]
+    fn report_prints_metrics_and_exports_traces() {
+        let dir = std::env::temp_dir().join("loadpart-report-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let trace = dir.join("spans.jsonl");
+        let trace = trace.to_str().expect("utf-8 temp path");
+        let out = run(&argv(&format!(
+            "report --clients 2 --duration 5 --samples 60 --seed 1 --trace {trace}"
+        )))
+        .expect("ok");
+        assert!(out.contains("engine.requests_total"), "{out}");
+        assert!(out.contains("engine.decision_seconds"), "{out}");
+        assert!(out.contains("trace spans written"), "{out}");
+        let jsonl = std::fs::read_to_string(trace).expect("trace file");
+        let first = jsonl.lines().next().expect("at least one span");
+        assert!(first.contains("\"kind\":\"decide\""), "{first}");
     }
 
     #[test]

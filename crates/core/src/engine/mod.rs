@@ -49,6 +49,7 @@ use crate::algorithm::PartitionSolver;
 use crate::baselines::Policy;
 use crate::cache::PartitionCache;
 use crate::protocol::ProtocolError;
+use crate::telemetry::{EngineMetrics, SpanEvent, SpanKind, Telemetry};
 use lp_graph::ComputationGraph;
 use lp_hardware::TaskId;
 use lp_profiler::PredictionModels;
@@ -234,6 +235,8 @@ pub struct OffloadEngine {
     rng: StdRng,
     next_id: u64,
     client: usize,
+    telemetry: Telemetry,
+    metrics: Option<EngineMetrics>,
 }
 
 impl OffloadEngine {
@@ -264,7 +267,75 @@ impl OffloadEngine {
             rng,
             next_id: 0,
             client,
+            telemetry: Telemetry::disabled(),
+            metrics: None,
         })
+    }
+
+    /// Installs an observability handle. Instrument handles are registered
+    /// here, off the per-request path; with [`Telemetry::disabled`]
+    /// (the default) the request path performs no telemetry work and no
+    /// allocation.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.metrics = telemetry.registry().map(EngineMetrics::register);
+        self.telemetry = telemetry;
+    }
+
+    /// The installed observability handle (disabled by default).
+    #[must_use]
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Builds and emits one span event for `record`. The event is all
+    /// scalars; when no sink is installed this is a single branch.
+    fn emit_span(
+        &self,
+        record: &InferenceRecord,
+        kind: SpanKind,
+        at: SimTime,
+        duration: SimDuration,
+        bytes: u64,
+    ) {
+        if !self.telemetry.traces() {
+            return;
+        }
+        self.telemetry.emit(SpanEvent {
+            client: record.client,
+            request_id: record.request_id,
+            kind,
+            at,
+            duration,
+            p: record.p,
+            k: record.k_used,
+            bandwidth_mbps: record.bandwidth_est_mbps,
+            bytes,
+            fallback_local: record.fallback_local,
+        });
+    }
+
+    /// Telemetry tail shared by every way a request can settle: bumps the
+    /// outcome counters and emits the `Finish` span.
+    fn observe_finish(&self, record: &InferenceRecord) {
+        if let Some(m) = &self.metrics {
+            if record.fallback_local {
+                m.fallbacks.incr(1);
+            } else if record.offloaded() {
+                m.offloaded.incr(1);
+            } else {
+                m.local.incr(1);
+            }
+            if record.retries > 0 {
+                m.retries.incr(u64::from(record.retries));
+            }
+        }
+        self.emit_span(
+            record,
+            SpanKind::Finish,
+            record.start,
+            record.total,
+            record.uploaded_bytes,
+        );
     }
 
     /// The solver (for inspecting predictions).
@@ -389,7 +460,10 @@ impl OffloadEngine {
         if !cooling {
             let mut attempt = 0u32;
             loop {
-                match self.profile.refresh(at, transport, backend, &mut self.rng) {
+                match self
+                    .profile
+                    .refresh(at, transport, backend, &mut self.rng, &self.telemetry)
+                {
                     Ok(()) => break,
                     Err(e) if e.is_transient() && attempt < self.config.max_retries => {
                         attempt += 1;
@@ -406,8 +480,9 @@ impl OffloadEngine {
         }
         backend.monitor(at);
         let n = self.graph.len();
-        let bandwidth = self.profile.bandwidth_mbps();
+        let bandwidth = self.profile.bandwidth_mbps(at);
         let k = self.profile.k();
+        let decide_started = self.metrics.as_ref().map(|_| std::time::Instant::now());
         let decision = match bandwidth {
             Some(bw) if !faulted && !cooling => self.policy.decide(&self.solver, bw, k),
             // Degraded: everything runs on the device. `latency_at(n, ..)`
@@ -425,7 +500,25 @@ impl OffloadEngine {
             .get_or_partition(&self.graph, p)
             .expect("decision p in range");
 
+        if let Some(m) = &self.metrics {
+            m.requests.incr(1);
+            if let Some(started) = decide_started {
+                m.decision_seconds.observe(started.elapsed().as_secs_f64());
+            }
+            if cache_hit {
+                m.cache_hits.incr(1);
+            } else {
+                m.cache_misses.incr(1);
+            }
+            m.k.set(k);
+            m.bandwidth_mbps.set(bandwidth.unwrap_or(0.0));
+            m.partition_point.set(p as f64);
+        }
+
         let device_time = device.execute_prefix(&self.graph, p, &mut self.rng);
+        if let Some(m) = &self.metrics {
+            m.device_seconds.observe(device_time.as_secs_f64());
+        }
         let request_id = self.next_id;
         self.next_id += 1;
         let mut record = InferenceRecord {
@@ -446,8 +539,11 @@ impl OffloadEngine {
             fallback_local: faulted,
             retries,
         };
+        self.emit_span(&record, SpanKind::Decide, at, SimDuration::ZERO, 0);
+        self.emit_span(&record, SpanKind::DevicePrefix, at, device_time, 0);
         if p == n {
             // Local inference: nothing leaves the device.
+            self.observe_finish(&record);
             return Ok(Outcome::Complete(record));
         }
 
@@ -461,6 +557,16 @@ impl OffloadEngine {
         )?;
         record.upload = upload_end.since(upload_start);
         record.uploaded_bytes = upload_bytes;
+        if let Some(m) = &self.metrics {
+            m.upload_seconds.observe(record.upload.as_secs_f64());
+        }
+        self.emit_span(
+            &record,
+            SpanKind::Upload,
+            upload_start,
+            record.upload,
+            upload_bytes,
+        );
 
         let req = SuffixRequest {
             request_id,
@@ -514,6 +620,7 @@ impl OffloadEngine {
         record.download = SimDuration::ZERO;
         record.fallback_local = true;
         record.total = (resume_at + local).since(record.start);
+        self.observe_finish(&record);
         record
     }
 
@@ -586,6 +693,10 @@ impl OffloadEngine {
         // for this suffix — the §III-C observed/predicted ratio.
         let predicted = SimDuration::from_secs_f64(self.solver.suffix_edge_secs(record.p));
         backend.complete(completion, server, predicted);
+        if let Some(m) = &self.metrics {
+            m.server_seconds.observe(server.as_secs_f64());
+        }
+        self.emit_span(&record, SpanKind::ServerSuffix, arrive, server, 0);
         let mut end = completion;
         if self.config.model_download {
             let dl_end = transport.download(self.graph.output().size_bytes(), end, &mut self.rng);
@@ -593,6 +704,7 @@ impl OffloadEngine {
             end = dl_end;
         }
         record.total = end.since(record.start);
+        self.observe_finish(&record);
         record
     }
 }

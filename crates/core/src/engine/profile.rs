@@ -9,9 +9,15 @@
 
 use crate::engine::{ServerBackend, Transport};
 use crate::protocol::ProtocolError;
+use crate::telemetry::Telemetry;
 use lp_net::ProbeProfiler;
 use lp_sim::{SimDuration, SimTime};
 use rand::rngs::StdRng;
+
+/// How many refresh periods a bandwidth sample stays relevant. Eight
+/// periods matches the default window of eight samples probed once per
+/// period, so a healthy steady-state window is never shrunk by age.
+const MAX_SAMPLE_AGE_PERIODS: f64 = 8.0;
 
 /// The state the periodic runtime-profiler action maintains.
 #[derive(Debug)]
@@ -26,11 +32,18 @@ pub struct RuntimeProfile {
 
 impl RuntimeProfile {
     /// Creates a profile with the given estimator window and refresh
-    /// period.
+    /// period. Samples older than eight periods are evicted from the
+    /// window (§IV's sliding window is over *recent* transfers; a long
+    /// local-only stretch must read as cold, not as the last estimate).
     #[must_use]
     pub fn new(window: usize, period: SimDuration) -> Self {
+        let mut probe = ProbeProfiler::new(window);
+        probe.estimator = probe
+            .estimator
+            .clone()
+            .with_max_age(period.scale(MAX_SAMPLE_AGE_PERIODS));
         Self {
-            probe: ProbeProfiler::new(window),
+            probe,
             period,
             cached_k: 1.0,
             last_refresh: None,
@@ -71,12 +84,13 @@ impl RuntimeProfile {
         self.cached_k = k;
     }
 
-    /// The bandwidth estimate decisions should use: the injected value if
-    /// any, else the estimator's window mean. `None` before any sample.
+    /// The bandwidth estimate decisions should use at `now`: the injected
+    /// value if any, else the window mean over samples that have not aged
+    /// out. `None` before any sample or once every sample is stale.
     #[must_use]
-    pub fn bandwidth_mbps(&self) -> Option<f64> {
+    pub fn bandwidth_mbps(&self, now: SimTime) -> Option<f64> {
         self.injected_mbps
-            .or_else(|| self.probe.estimator.estimate_mbps())
+            .or_else(|| self.probe.estimator.estimate_mbps_at(now))
     }
 
     /// Starts (or extends) the post-fault cooldown: until `now + for_` the
@@ -121,6 +135,7 @@ impl RuntimeProfile {
         transport: &mut T,
         backend: &mut S,
         rng: &mut StdRng,
+        telemetry: &Telemetry,
     ) -> Result<(), ProtocolError> {
         let due = match self.last_refresh {
             None => true,
@@ -145,6 +160,13 @@ impl RuntimeProfile {
         // A full probe + k round trip succeeded: the wire is healthy
         // again, so stop biasing decisions local.
         self.cooldown_until = None;
+        if telemetry.is_enabled() {
+            telemetry.incr("profile.refreshes_total", 1);
+            telemetry.set_gauge("profile.k", self.cached_k);
+            if let Some(mbps) = self.bandwidth_mbps(now) {
+                telemetry.set_gauge("profile.bandwidth_mbps", mbps);
+            }
+        }
         Ok(())
     }
 }
@@ -188,10 +210,16 @@ mod tests {
         let mut profile = RuntimeProfile::new(8, SimDuration::from_secs(5));
         let mut rng = StdRng::seed_from_u64(1);
         profile
-            .refresh(SimTime::ZERO, &mut transport, &mut FixedK(1.0), &mut rng)
+            .refresh(
+                SimTime::ZERO,
+                &mut transport,
+                &mut FixedK(1.0),
+                &mut rng,
+                &Telemetry::disabled(),
+            )
             .expect("infallible");
         assert_eq!(profile.probe_profiler().estimator.len(), 8);
-        let est = profile.bandwidth_mbps().expect("warmed");
+        let est = profile.bandwidth_mbps(SimTime::ZERO).expect("warmed");
         assert!((est - 8.0).abs() < 1.0, "estimate {est}");
     }
 
@@ -203,18 +231,36 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let mut now = SimTime::ZERO;
         profile
-            .refresh(now, &mut transport, &mut FixedK(1.0), &mut rng)
+            .refresh(
+                now,
+                &mut transport,
+                &mut FixedK(1.0),
+                &mut rng,
+                &Telemetry::disabled(),
+            )
             .expect("infallible");
         // Not due yet: no extra samples.
         now += SimDuration::from_secs(1);
         profile
-            .refresh(now, &mut transport, &mut FixedK(2.0), &mut rng)
+            .refresh(
+                now,
+                &mut transport,
+                &mut FixedK(2.0),
+                &mut rng,
+                &Telemetry::disabled(),
+            )
             .expect("infallible");
         assert_eq!(profile.k(), 1.0, "k fetch must respect the cadence");
         // Due again: exactly one more probe (window already full).
         now += SimDuration::from_secs(5);
         profile
-            .refresh(now, &mut transport, &mut FixedK(2.0), &mut rng)
+            .refresh(
+                now,
+                &mut transport,
+                &mut FixedK(2.0),
+                &mut rng,
+                &Telemetry::disabled(),
+            )
             .expect("infallible");
         assert_eq!(profile.k(), 2.0);
         assert_eq!(profile.probe_profiler().estimator.len(), 4);
@@ -223,9 +269,9 @@ mod tests {
     #[test]
     fn injected_bandwidth_pins_the_estimate() {
         let mut profile = RuntimeProfile::new(4, SimDuration::from_secs(5));
-        assert_eq!(profile.bandwidth_mbps(), None);
+        assert_eq!(profile.bandwidth_mbps(SimTime::ZERO), None);
         profile.inject_bandwidth(16.0);
-        assert_eq!(profile.bandwidth_mbps(), Some(16.0));
+        assert_eq!(profile.bandwidth_mbps(SimTime::ZERO), Some(16.0));
     }
 
     #[test]
@@ -243,7 +289,13 @@ mod tests {
         let mut transport = LinkTransport { link: &link };
         let mut rng = StdRng::seed_from_u64(3);
         profile
-            .refresh(t0, &mut transport, &mut FixedK(1.0), &mut rng)
+            .refresh(
+                t0,
+                &mut transport,
+                &mut FixedK(1.0),
+                &mut rng,
+                &Telemetry::disabled(),
+            )
             .expect("infallible");
         assert!(!profile.in_cooldown(t0 + SimDuration::from_secs(50)));
         assert_eq!(profile.cooldown_until(), None);
@@ -277,13 +329,25 @@ mod tests {
         let mut profile = RuntimeProfile::new(2, SimDuration::from_secs(5));
         let mut rng = StdRng::seed_from_u64(4);
         let err = profile
-            .refresh(SimTime::ZERO, &mut transport, &mut FailingK, &mut rng)
+            .refresh(
+                SimTime::ZERO,
+                &mut transport,
+                &mut FailingK,
+                &mut rng,
+                &Telemetry::disabled(),
+            )
             .expect_err("k fetch fails");
         assert_eq!(err, ProtocolError::Timeout);
         // Still due at the same instant: a retry runs the k fetch again
         // instead of being swallowed by the cadence check.
         profile
-            .refresh(SimTime::ZERO, &mut transport, &mut FixedK(3.0), &mut rng)
+            .refresh(
+                SimTime::ZERO,
+                &mut transport,
+                &mut FixedK(3.0),
+                &mut rng,
+                &Telemetry::disabled(),
+            )
             .expect("retry succeeds");
         assert_eq!(profile.k(), 3.0);
     }

@@ -26,6 +26,9 @@
 //! * [`fault`] — deterministic fault injection for the wire runtime
 //!   (scripted per-frame drop/delay/corrupt/duplicate).
 //! * [`multi_client`] — N engines sharing one GPU simulator.
+//! * [`telemetry`] — the observability layer shared by every driver:
+//!   metrics registry (counters/gauges/histograms) and per-request trace
+//!   spans through pluggable sinks, zero-cost when disabled.
 //! * [`scenario`] — drivers that reproduce the paper's experiments
 //!   (bandwidth sweeps for Figures 6–8, load timelines for Figures 2/9).
 //!
@@ -54,6 +57,7 @@ pub mod multi_client;
 pub mod protocol;
 pub mod scenario;
 pub mod system;
+pub mod telemetry;
 pub mod threaded;
 
 pub use algorithm::{Decision, PartitionSolver};
@@ -65,11 +69,20 @@ pub use engine::{
     PendingRequest, RuntimeProfile, ServerBackend, SuffixOutcome, SuffixRequest, Transport,
 };
 pub use fault::{FaultAction, FaultInjector, FaultPlan};
-pub use multi_client::{multi_client_run, MultiClientConfig, MultiClientReport};
+pub use multi_client::{
+    multi_client_run, multi_client_run_with_telemetry, MultiClientConfig, MultiClientReport,
+};
 pub use protocol::{Message, ProtocolError};
-pub use scenario::{bandwidth_sweep, load_timeline, LoadPhase, SweepPoint, TimelinePoint};
+pub use scenario::{
+    bandwidth_sweep, load_timeline, load_timeline_with_telemetry, LoadPhase, SweepPoint,
+    TimelinePoint,
+};
 pub use system::{OffloadingSystem, SystemConfig, Testbed};
+pub use telemetry::{
+    JsonlSink, MetricsRegistry, MetricsSnapshot, RingSink, SpanEvent, SpanKind, Telemetry,
+    TraceSink,
+};
 pub use threaded::{
-    spawn_server, spawn_server_with_faults, FrameChannel, ServerFaultSpec, ServerHandle,
-    StallWindow, ThreadedClient,
+    spawn_server, spawn_server_instrumented, spawn_server_with_faults, FrameChannel,
+    ServerFaultSpec, ServerHandle, StallWindow, ThreadedClient,
 };

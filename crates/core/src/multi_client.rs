@@ -23,6 +23,7 @@ use crate::engine::backends::{GpuBackend, LinkTransport, SimulatedDevice};
 use crate::engine::{
     ConfigError, EngineConfig, InferenceRecord, OffloadEngine, Outcome, PendingRequest,
 };
+use crate::telemetry::Telemetry;
 use lp_graph::ComputationGraph;
 use lp_hardware::{DeviceModel, GpuModel, GpuSim};
 use lp_net::{BandwidthTrace, Link};
@@ -153,6 +154,31 @@ pub fn multi_client_run(
     edge_models: &PredictionModels,
     config: &MultiClientConfig,
 ) -> Result<MultiClientReport, ConfigError> {
+    multi_client_run_with_telemetry(
+        graph,
+        user_models,
+        edge_models,
+        config,
+        &Telemetry::disabled(),
+    )
+}
+
+/// [`multi_client_run`] with an observability handle: every client engine
+/// shares `telemetry` (spans carry the client index), and the run-level
+/// outcome (GPU utilization, final `k`, watchdog resets) lands in the
+/// registry under `multi_client.*`.
+///
+/// # Errors
+///
+/// Rejects invalid configurations with [`ConfigError`] before any
+/// simulation state is built.
+pub fn multi_client_run_with_telemetry(
+    graph: &ComputationGraph,
+    user_models: &PredictionModels,
+    edge_models: &PredictionModels,
+    config: &MultiClientConfig,
+    telemetry: &Telemetry,
+) -> Result<MultiClientReport, ConfigError> {
     config.validate()?;
     let device_model = DeviceModel::default();
     let gpu_model = GpuModel::default();
@@ -167,7 +193,7 @@ pub fn multi_client_run(
 
     let mut clients = Vec::with_capacity(config.n_clients);
     for i in 0..config.n_clients {
-        let engine = OffloadEngine::new(
+        let mut engine = OffloadEngine::new(
             graph.clone(),
             config.policy,
             user_models,
@@ -179,6 +205,7 @@ pub fn multi_client_run(
                 ..EngineConfig::default()
             },
         )?;
+        engine.set_telemetry(telemetry.clone());
         clients.push(Client {
             engine,
             ctx: gpu.add_context(),
@@ -225,17 +252,22 @@ pub fn multi_client_run(
             .filter_map(|(i, c)| c.next_request.map(|t| (t, i)))
             .min();
         let Some((t, ci)) = next else {
-            // Everyone is pending on the GPU: push the earliest one through.
-            let earliest = clients
+            // Everyone is pending on the GPU: advance to the earliest
+            // *completion* among the pending set. Vector order does not
+            // predict completion order under round-robin slicing, and
+            // overshooting a completion turns into genuine queueing delay
+            // for that client's next suffix (`submit_at = max(arrive,
+            // gpu.now())`), so picking the first client would distort
+            // every faster client's latency.
+            let pending: Vec<_> = clients
                 .iter()
-                .find_map(|c| c.pending.as_ref().map(|p| p.task));
-            match earliest {
-                Some(task) => {
-                    gpu.run_until_complete(task);
-                    continue;
-                }
-                None => break, // nothing pending, nothing scheduled
+                .filter_map(|c| c.pending.as_ref().map(|p| p.task))
+                .collect();
+            if pending.is_empty() {
+                break; // nothing pending, nothing scheduled
             }
+            gpu.run_until_earliest_complete(&pending);
+            continue;
         };
         if t >= end {
             break;
@@ -293,8 +325,12 @@ pub fn multi_client_run(
             );
         }
     }
-    drained.sort_by_key(|r| r.start + r.total);
     records.extend(drained);
+    // `MultiClientReport::records` documents completion order and
+    // `settled_median_p` slices the second half of it, but the loop above
+    // pushes local completions at issue order and drained GPU records at
+    // the end. Sort by completion time (ties broken deterministically).
+    records.sort_by_key(|r| (r.start + r.total, r.client, r.request_id));
 
     let gpu_utilization = if gpu.now() > SimTime::ZERO {
         gpu.busy_time().as_secs_f64() / gpu.now().as_secs_f64()
@@ -302,6 +338,13 @@ pub fn multi_client_run(
         0.0
     };
     let final_k = tracker.k_at(gpu.now());
+    if telemetry.is_enabled() {
+        telemetry.incr("multi_client.completed_total", records.len() as u64);
+        telemetry.incr("multi_client.watchdog_resets_total", watchdog.resets());
+        telemetry.set_gauge("multi_client.clients", config.n_clients as f64);
+        telemetry.set_gauge("multi_client.gpu_utilization", gpu_utilization);
+        telemetry.set_gauge("multi_client.final_k", final_k);
+    }
     Ok(MultiClientReport {
         records,
         gpu_utilization,
@@ -415,6 +458,120 @@ mod tests {
             report.watchdog_resets
         );
         assert!(report.final_k < 2.0, "k={}", report.final_k);
+    }
+
+    /// Regression (report ordering): local `Outcome::Complete` records
+    /// used to be pushed at issue order and drained GPU records appended
+    /// at the end, so the documented "completion order" did not hold once
+    /// local and offloaded completions interleaved. A crowded LoADPart run
+    /// produces both kinds; every adjacent pair must be non-decreasing in
+    /// completion time.
+    #[test]
+    fn records_are_in_completion_order() {
+        // 12 clients at 5 Mbps sit right on the local/offload crossing:
+        // the run settles into a mix of local and offloaded completions.
+        let (user, edge) = models();
+        let report = multi_client_run(
+            &lp_models::squeezenet(1),
+            user,
+            edge,
+            &MultiClientConfig {
+                n_clients: 12,
+                bandwidth_mbps: 5.0,
+                duration: SimDuration::from_secs(45),
+                policy: Policy::LoadPart,
+                ..MultiClientConfig::default()
+            },
+        )
+        .expect("valid config");
+        let n = lp_models::squeezenet(1).len();
+        assert!(
+            report.records.iter().any(|r| r.p == n),
+            "run must contain local completions"
+        );
+        assert!(
+            report.records.iter().any(|r| r.offloaded()),
+            "run must contain offloaded completions"
+        );
+        for w in report.records.windows(2) {
+            assert!(
+                w[0].start + w[0].total <= w[1].start + w[1].total,
+                "records out of completion order: {:?} then {:?}",
+                (w[0].client, w[0].request_id, w[0].start + w[0].total),
+                (w[1].client, w[1].request_id, w[1].start + w[1].total),
+            );
+        }
+    }
+
+    /// Regression (earliest-pending selection): with every client pending
+    /// on the shared GPU the loop used to run until the *first client in
+    /// vector order* completed, overshooting earlier completions of other
+    /// clients — and because suffixes submit at `max(arrive, gpu.now())`
+    /// the overshoot became genuine queueing delay for those clients. With
+    /// the earliest-completion wait, a full-offload run stays in
+    /// completion order and every client keeps making progress.
+    #[test]
+    fn all_pending_branch_serves_earliest_completion() {
+        let (user, edge) = models();
+        let report = multi_client_run(
+            &lp_models::squeezenet(1),
+            user,
+            edge,
+            &MultiClientConfig {
+                n_clients: 6,
+                duration: SimDuration::from_secs(20),
+                // Tiny think time: clients re-issue immediately, so the
+                // all-pending branch is hit constantly.
+                think_time: SimDuration::from_millis(1),
+                policy: Policy::Full,
+                ..MultiClientConfig::default()
+            },
+        )
+        .expect("valid config");
+        for c in 0..6 {
+            let n = report.records.iter().filter(|r| r.client == c).count();
+            assert!(n >= 3, "client {c} completed only {n} inferences");
+        }
+        for w in report.records.windows(2) {
+            assert!(w[0].start + w[0].total <= w[1].start + w[1].total);
+        }
+    }
+
+    #[test]
+    fn telemetry_aggregates_across_clients() {
+        let (user, edge) = models();
+        let telemetry = Telemetry::enabled();
+        let report = multi_client_run_with_telemetry(
+            &lp_models::squeezenet(1),
+            user,
+            edge,
+            &MultiClientConfig {
+                n_clients: 3,
+                duration: SimDuration::from_secs(20),
+                ..MultiClientConfig::default()
+            },
+            &telemetry,
+        )
+        .expect("valid config");
+        let snap = telemetry.snapshot().expect("enabled");
+        assert_eq!(
+            snap.counter("multi_client.completed_total"),
+            report.records.len() as u64
+        );
+        assert_eq!(
+            snap.counter("engine.requests_total"),
+            report.records.len() as u64,
+            "every request completed, so starts == completions"
+        );
+        assert_eq!(snap.gauge("multi_client.final_k"), Some(report.final_k));
+        assert!(
+            snap.counter("profile.refreshes_total") >= 3,
+            "one per client at least"
+        );
+        let finishes = snap.counter("engine.offloaded_total")
+            + snap.counter("engine.local_total")
+            + snap.counter("engine.fallbacks_total");
+        assert_eq!(finishes, report.records.len() as u64);
     }
 
     #[test]

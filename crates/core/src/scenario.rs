@@ -143,6 +143,36 @@ pub fn load_timeline(
     interval: SimDuration,
     seed: u64,
 ) -> Vec<TimelinePoint> {
+    load_timeline_with_telemetry(
+        graph,
+        policy,
+        phases,
+        bandwidth_mbps,
+        user_models,
+        edge_models,
+        duration_secs,
+        interval,
+        seed,
+        &crate::telemetry::Telemetry::disabled(),
+    )
+}
+
+/// [`load_timeline`] with an observability handle: every inference's
+/// metrics and trace spans flow into `telemetry` (see [`crate::telemetry`]).
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub fn load_timeline_with_telemetry(
+    graph: ComputationGraph,
+    policy: Policy,
+    phases: &[LoadPhase],
+    bandwidth_mbps: f64,
+    user_models: &PredictionModels,
+    edge_models: &PredictionModels,
+    duration_secs: f64,
+    interval: SimDuration,
+    seed: u64,
+    telemetry: &crate::telemetry::Telemetry,
+) -> Vec<TimelinePoint> {
     assert!(!phases.is_empty(), "need at least one phase");
     assert!(
         phases.windows(2).all(|w| w[0].start_secs < w[1].start_secs),
@@ -160,6 +190,7 @@ pub fn load_timeline(
             ..SystemConfig::default()
         },
     );
+    sys.set_telemetry(telemetry.clone());
     let mut out = Vec::new();
     let mut next_phase = 0usize;
     let mut t = SimTime::ZERO + interval;

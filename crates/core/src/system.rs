@@ -149,6 +149,12 @@ impl OffloadingSystem {
         &self.engine
     }
 
+    /// Installs an observability handle on the underlying engine
+    /// (metrics + trace spans; see [`crate::telemetry`]).
+    pub fn set_telemetry(&mut self, telemetry: crate::telemetry::Telemetry) {
+        self.engine.set_telemetry(telemetry);
+    }
+
     /// The solver (for inspecting predictions).
     #[must_use]
     pub fn solver(&self) -> &crate::algorithm::PartitionSolver {

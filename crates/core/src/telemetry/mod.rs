@@ -1,0 +1,254 @@
+//! Observability for every driver: metrics + per-request trace spans.
+//!
+//! The paper's whole mechanism is driven by runtime signals — the
+//! sliding-window bandwidth estimate and the load factor `k` (§IV) — so a
+//! production deployment needs those signals observable, not buried in
+//! ad-hoc record fields. This module provides one [`Telemetry`] handle
+//! shared by all three drivers (co-sim [`crate::OffloadingSystem`], the
+//! threaded wire runtime, [`crate::multi_client_run`]):
+//!
+//! * [`MetricsRegistry`] — counters / gauges / fixed-bucket histograms
+//!   behind lock-free `Arc` handles ([`metrics`]).
+//! * [`TraceSink`] — per-request span events with sim-time timestamps,
+//!   with a ring buffer for tests and a JSONL writer for files
+//!   ([`trace`]).
+//!
+//! `Telemetry::disabled()` is the default everywhere and is a single
+//! `None` — the per-request hot path pays one branch and performs **no
+//! allocation** when telemetry is off.
+
+pub mod metrics;
+pub mod trace;
+
+use std::sync::Arc;
+
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
+    DECISION_BUCKETS_SECS, LATENCY_BUCKETS_SECS,
+};
+pub use trace::{JsonlSink, RingSink, SpanEvent, SpanKind, TraceSink};
+
+#[derive(Debug)]
+struct TelemetryInner {
+    registry: MetricsRegistry,
+    sink: Option<Arc<dyn TraceSink>>,
+}
+
+/// The shared observability handle: a metrics registry plus an optional
+/// trace sink. Cloning is an `Arc` bump; the disabled state is a `None`
+/// and every operation on it is a single branch.
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<TelemetryInner>>,
+}
+
+impl Telemetry {
+    /// The no-op handle (the default in every driver).
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// An enabled handle with a fresh registry and no trace sink.
+    #[must_use]
+    pub fn enabled() -> Self {
+        Self {
+            inner: Some(Arc::new(TelemetryInner {
+                registry: MetricsRegistry::new(),
+                sink: None,
+            })),
+        }
+    }
+
+    /// Returns a copy of this handle with `sink` installed (enabling it
+    /// first if needed). The registry is shared with `self` when already
+    /// enabled.
+    #[must_use]
+    pub fn with_sink(&self, sink: Arc<dyn TraceSink>) -> Self {
+        let registry = match &self.inner {
+            Some(inner) => inner.registry.clone(),
+            None => MetricsRegistry::new(),
+        };
+        Self {
+            inner: Some(Arc::new(TelemetryInner {
+                registry,
+                sink: Some(sink),
+            })),
+        }
+    }
+
+    /// Whether any metrics or traces will be recorded.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The registry, when enabled. Use this to pre-register instrument
+    /// handles off the hot path.
+    #[must_use]
+    pub fn registry(&self) -> Option<&MetricsRegistry> {
+        self.inner.as_deref().map(|i| &i.registry)
+    }
+
+    /// Emits a span event to the installed sink, if any.
+    pub fn emit(&self, event: SpanEvent) {
+        if let Some(inner) = &self.inner {
+            if let Some(sink) = &inner.sink {
+                sink.emit(event);
+            }
+        }
+    }
+
+    /// Whether span events will reach a sink (lets callers skip building
+    /// events entirely).
+    #[must_use]
+    pub fn traces(&self) -> bool {
+        self.inner
+            .as_ref()
+            .is_some_and(|inner| inner.sink.is_some())
+    }
+
+    /// Cold-path convenience: bump the counter `name` by `by`. Hot paths
+    /// should pre-register handles via [`Telemetry::registry`] instead.
+    pub fn incr(&self, name: &str, by: u64) {
+        if let Some(inner) = &self.inner {
+            inner.registry.counter(name).incr(by);
+        }
+    }
+
+    /// Cold-path convenience: set the gauge `name` to `v`.
+    pub fn set_gauge(&self, name: &str, v: f64) {
+        if let Some(inner) = &self.inner {
+            inner.registry.gauge(name).set(v);
+        }
+    }
+
+    /// A point-in-time copy of every instrument, or `None` when disabled.
+    #[must_use]
+    pub fn snapshot(&self) -> Option<MetricsSnapshot> {
+        self.registry().map(MetricsRegistry::snapshot)
+    }
+}
+
+/// Pre-registered instrument handles for the engine's per-request path.
+/// Built once in [`crate::OffloadEngine::set_telemetry`]; every field op
+/// afterwards is a relaxed atomic, no registry lock, no allocation.
+#[derive(Debug, Clone)]
+pub struct EngineMetrics {
+    /// `engine.requests_total` — requests started.
+    pub requests: Counter,
+    /// `engine.offloaded_total` — requests whose suffix ran on the server.
+    pub offloaded: Counter,
+    /// `engine.local_total` — requests decided fully local (p == n).
+    pub local: Counter,
+    /// `engine.fallbacks_total` — requests settled by local fallback.
+    pub fallbacks: Counter,
+    /// `engine.retries_total` — transport/profiler retries performed.
+    pub retries: Counter,
+    /// `engine.cache_hits_total` — partition cache hits.
+    pub cache_hits: Counter,
+    /// `engine.cache_misses_total` — partition cache misses.
+    pub cache_misses: Counter,
+    /// `engine.decision_seconds` — wall-clock decision latency.
+    pub decision_seconds: Histogram,
+    /// `engine.device_seconds` — simulated device prefix time.
+    pub device_seconds: Histogram,
+    /// `engine.upload_seconds` — simulated upload time.
+    pub upload_seconds: Histogram,
+    /// `engine.server_seconds` — simulated server suffix time.
+    pub server_seconds: Histogram,
+    /// `engine.k` — load factor used by the latest decision.
+    pub k: Gauge,
+    /// `engine.bandwidth_mbps` — bandwidth estimate used by the latest
+    /// decision.
+    pub bandwidth_mbps: Gauge,
+    /// `engine.partition_point` — the latest chosen `p`.
+    pub partition_point: Gauge,
+}
+
+impl EngineMetrics {
+    /// Registers (or re-acquires) the engine instruments in `registry`.
+    #[must_use]
+    pub fn register(registry: &MetricsRegistry) -> Self {
+        Self {
+            requests: registry.counter("engine.requests_total"),
+            offloaded: registry.counter("engine.offloaded_total"),
+            local: registry.counter("engine.local_total"),
+            fallbacks: registry.counter("engine.fallbacks_total"),
+            retries: registry.counter("engine.retries_total"),
+            cache_hits: registry.counter("engine.cache_hits_total"),
+            cache_misses: registry.counter("engine.cache_misses_total"),
+            decision_seconds: registry.histogram("engine.decision_seconds", &DECISION_BUCKETS_SECS),
+            device_seconds: registry.histogram("engine.device_seconds", &LATENCY_BUCKETS_SECS),
+            upload_seconds: registry.histogram("engine.upload_seconds", &LATENCY_BUCKETS_SECS),
+            server_seconds: registry.histogram("engine.server_seconds", &LATENCY_BUCKETS_SECS),
+            k: registry.gauge("engine.k"),
+            bandwidth_mbps: registry.gauge("engine.bandwidth_mbps"),
+            partition_point: registry.gauge("engine.partition_point"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lp_sim::{SimDuration, SimTime};
+
+    #[test]
+    fn disabled_telemetry_is_inert() {
+        let t = Telemetry::disabled();
+        assert!(!t.is_enabled());
+        assert!(!t.traces());
+        assert!(t.registry().is_none());
+        assert!(t.snapshot().is_none());
+        t.incr("x", 1); // no-ops, no panic
+        t.set_gauge("y", 2.0);
+    }
+
+    #[test]
+    fn enabled_without_sink_records_metrics_but_not_traces() {
+        let t = Telemetry::enabled();
+        assert!(t.is_enabled());
+        assert!(!t.traces());
+        t.incr("requests", 3);
+        assert_eq!(t.snapshot().unwrap().counter("requests"), 3);
+    }
+
+    #[test]
+    fn with_sink_shares_the_registry() {
+        let base = Telemetry::enabled();
+        base.incr("before", 1);
+        let sink = RingSink::new(8);
+        let traced = base.with_sink(sink.clone());
+        assert!(traced.traces());
+        // Same registry: counts accumulate across both handles.
+        traced.incr("before", 1);
+        assert_eq!(base.snapshot().unwrap().counter("before"), 2);
+        traced.emit(SpanEvent {
+            client: 0,
+            request_id: 1,
+            kind: SpanKind::Decide,
+            at: SimTime::ZERO,
+            duration: SimDuration::ZERO,
+            p: 3,
+            k: 1.0,
+            bandwidth_mbps: 8.0,
+            bytes: 0,
+            fallback_local: false,
+        });
+        assert_eq!(sink.events().len(), 1);
+    }
+
+    #[test]
+    fn engine_metrics_register_under_stable_names() {
+        let t = Telemetry::enabled();
+        let m = EngineMetrics::register(t.registry().unwrap());
+        m.requests.incr(2);
+        m.k.set(1.5);
+        m.device_seconds.observe(0.01);
+        let snap = t.snapshot().unwrap();
+        assert_eq!(snap.counter("engine.requests_total"), 2);
+        assert_eq!(snap.gauge("engine.k"), Some(1.5));
+        assert_eq!(snap.histogram("engine.device_seconds").unwrap().count, 1);
+    }
+}

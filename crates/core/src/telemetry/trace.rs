@@ -1,0 +1,312 @@
+//! The tracing half of the observability layer: per-request spans and
+//! pluggable sinks.
+//!
+//! Every driver emits the same span sequence per request, stamped with
+//! **sim time** so traces are deterministic for a given seed:
+//!
+//! * offloaded: `Decide → DevicePrefix → Upload → ServerSuffix → Finish`
+//! * local (p == n): `Decide → DevicePrefix → Finish`
+//! * fallback after a failed upload/suffix: `Decide → DevicePrefix
+//!   [→ Upload] → Finish` with [`SpanEvent::fallback_local`] set.
+//!
+//! [`SpanEvent`] is an all-scalar `Copy` struct: building one allocates
+//! nothing, so the disabled path (no sink installed) costs a branch and
+//! the enabled path costs whatever the sink does. [`RingSink`] keeps the
+//! last N events in memory for tests and snapshots; [`JsonlSink`] writes
+//! one JSON object per line for offline analysis (the bench bins' trace
+//! export flags use it).
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+use lp_json::Json;
+use lp_sim::{SimDuration, SimTime};
+
+/// The phase of the offload pipeline a span covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpanKind {
+    /// The partition decision (Algorithm 1 or the degraded path).
+    Decide,
+    /// Executing layers `0..p` on the device.
+    DevicePrefix,
+    /// Shipping the cut tensor to the server.
+    Upload,
+    /// Executing layers `p..n` on the server.
+    ServerSuffix,
+    /// The request settled; `duration` is the end-to-end total.
+    Finish,
+}
+
+impl SpanKind {
+    /// Stable lowercase name used in JSONL output.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SpanKind::Decide => "decide",
+            SpanKind::DevicePrefix => "device_prefix",
+            SpanKind::Upload => "upload",
+            SpanKind::ServerSuffix => "server_suffix",
+            SpanKind::Finish => "finish",
+        }
+    }
+}
+
+/// One span of one request. All fields are scalars; the struct is `Copy`
+/// and building it performs no allocation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpanEvent {
+    /// Client index (0 for single-client drivers).
+    pub client: usize,
+    /// Engine-assigned request id.
+    pub request_id: u64,
+    /// Which pipeline phase this span covers.
+    pub kind: SpanKind,
+    /// Sim-time start of the phase.
+    pub at: SimTime,
+    /// Phase duration (`ZERO` for instantaneous events like `Decide`).
+    pub duration: SimDuration,
+    /// Chosen partition point.
+    pub p: usize,
+    /// Load factor used for the decision.
+    pub k: f64,
+    /// Bandwidth estimate used for the decision (Mbps).
+    pub bandwidth_mbps: f64,
+    /// Bytes moved during this phase (uploads; 0 elsewhere).
+    pub bytes: u64,
+    /// True when the request settled via local fallback.
+    pub fallback_local: bool,
+}
+
+impl SpanEvent {
+    /// Renders the event as a single-line JSON object (the JSONL schema).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("client".into(), Json::Num(self.client as f64)),
+            ("request_id".into(), Json::Num(self.request_id as f64)),
+            ("kind".into(), Json::Str(self.kind.as_str().into())),
+            ("at_secs".into(), Json::Num(self.at.as_secs_f64())),
+            (
+                "duration_secs".into(),
+                Json::Num(self.duration.as_secs_f64()),
+            ),
+            ("p".into(), Json::Num(self.p as f64)),
+            ("k".into(), Json::Num(self.k)),
+            ("bandwidth_mbps".into(), Json::Num(self.bandwidth_mbps)),
+            ("bytes".into(), Json::Num(self.bytes as f64)),
+            ("fallback_local".into(), Json::Bool(self.fallback_local)),
+        ])
+    }
+}
+
+/// Destination for span events. Implementations must be cheap enough to
+/// sit on the request path and tolerant of concurrent emitters (the
+/// threaded driver emits from both client and server threads).
+pub trait TraceSink: Send + Sync + fmt::Debug {
+    /// Accepts one span event.
+    fn emit(&self, event: SpanEvent);
+}
+
+/// An in-memory, capacity-bounded sink: keeps the most recent events and
+/// drops the oldest past `capacity`. The default sink for tests and the
+/// snapshot API.
+#[derive(Debug)]
+pub struct RingSink {
+    capacity: usize,
+    events: Mutex<VecDeque<SpanEvent>>,
+}
+
+impl RingSink {
+    /// Creates a sink retaining at most `capacity` events (min 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Arc<Self> {
+        Arc::new(Self {
+            capacity: capacity.max(1),
+            events: Mutex::new(VecDeque::new()),
+        })
+    }
+
+    /// All retained events, oldest first.
+    #[must_use]
+    pub fn events(&self) -> Vec<SpanEvent> {
+        self.events
+            .lock()
+            .expect("ring sink lock poisoned")
+            .iter()
+            .copied()
+            .collect()
+    }
+
+    /// Retained events for one request, oldest first.
+    #[must_use]
+    pub fn events_for(&self, request_id: u64) -> Vec<SpanEvent> {
+        self.events
+            .lock()
+            .expect("ring sink lock poisoned")
+            .iter()
+            .filter(|e| e.request_id == request_id)
+            .copied()
+            .collect()
+    }
+
+    /// The span-kind sequence for one request — what the driver
+    /// equivalence tests diff.
+    #[must_use]
+    pub fn kinds_for(&self, request_id: u64) -> Vec<SpanKind> {
+        self.events_for(request_id).iter().map(|e| e.kind).collect()
+    }
+}
+
+impl TraceSink for RingSink {
+    fn emit(&self, event: SpanEvent) {
+        let mut events = self.events.lock().expect("ring sink lock poisoned");
+        if events.len() == self.capacity {
+            events.pop_front();
+        }
+        events.push_back(event);
+    }
+}
+
+/// A sink that writes one compact JSON object per line to any writer.
+/// Lines are written under a mutex, so concurrent emitters never
+/// interleave bytes. IO errors are counted, not propagated — tracing must
+/// never fail the request path.
+pub struct JsonlSink {
+    writer: Mutex<Box<dyn Write + Send>>,
+    errors: Mutex<u64>,
+}
+
+impl fmt::Debug for JsonlSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JsonlSink")
+            .field("errors", &*self.errors.lock().expect("jsonl lock poisoned"))
+            .finish_non_exhaustive()
+    }
+}
+
+impl JsonlSink {
+    /// Wraps any writer (a `File`, a `Vec<u8>`, …).
+    #[must_use]
+    pub fn new(writer: Box<dyn Write + Send>) -> Arc<Self> {
+        Arc::new(Self {
+            writer: Mutex::new(writer),
+            errors: Mutex::new(0),
+        })
+    }
+
+    /// Creates (truncating) `path` and streams events to it.
+    pub fn create(path: &str) -> std::io::Result<Arc<Self>> {
+        let file = std::fs::File::create(path)?;
+        Ok(Self::new(Box::new(std::io::BufWriter::new(file))))
+    }
+
+    /// Number of IO errors swallowed so far.
+    #[must_use]
+    pub fn errors(&self) -> u64 {
+        *self.errors.lock().expect("jsonl lock poisoned")
+    }
+
+    /// Flushes the underlying writer.
+    pub fn flush(&self) -> std::io::Result<()> {
+        self.writer.lock().expect("jsonl lock poisoned").flush()
+    }
+}
+
+impl TraceSink for JsonlSink {
+    fn emit(&self, event: SpanEvent) {
+        let line = event.to_json().to_string_compact();
+        let mut writer = self.writer.lock().expect("jsonl lock poisoned");
+        if writeln!(writer, "{line}").is_err() {
+            *self.errors.lock().expect("jsonl lock poisoned") += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(request_id: u64, kind: SpanKind) -> SpanEvent {
+        SpanEvent {
+            client: 0,
+            request_id,
+            kind,
+            at: SimTime::ZERO,
+            duration: SimDuration::ZERO,
+            p: 5,
+            k: 1.0,
+            bandwidth_mbps: 8.0,
+            bytes: 0,
+            fallback_local: false,
+        }
+    }
+
+    #[test]
+    fn ring_sink_drops_oldest_past_capacity() {
+        let sink = RingSink::new(2);
+        sink.emit(ev(1, SpanKind::Decide));
+        sink.emit(ev(1, SpanKind::DevicePrefix));
+        sink.emit(ev(1, SpanKind::Finish));
+        let kinds = sink.kinds_for(1);
+        assert_eq!(kinds, vec![SpanKind::DevicePrefix, SpanKind::Finish]);
+    }
+
+    #[test]
+    fn ring_sink_filters_by_request() {
+        let sink = RingSink::new(16);
+        sink.emit(ev(1, SpanKind::Decide));
+        sink.emit(ev(2, SpanKind::Decide));
+        sink.emit(ev(1, SpanKind::Finish));
+        assert_eq!(sink.events_for(1).len(), 2);
+        assert_eq!(sink.events_for(2).len(), 1);
+        assert_eq!(sink.events().len(), 3);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_parseable_line_per_event() {
+        let buf: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+
+        #[derive(Debug)]
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(data);
+                Ok(data.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let sink = JsonlSink::new(Box::new(Shared(Arc::clone(&buf))));
+        sink.emit(ev(7, SpanKind::Upload));
+        sink.emit(ev(7, SpanKind::Finish));
+        sink.flush().unwrap();
+
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            let json = Json::parse(line).expect("valid json");
+            match json {
+                Json::Obj(fields) => {
+                    assert!(fields.iter().any(|(k, _)| k == "kind"));
+                    assert!(fields.iter().any(|(k, _)| k == "at_secs"));
+                }
+                other => panic!("expected object, got {other:?}"),
+            }
+        }
+        assert_eq!(sink.errors(), 0);
+    }
+
+    #[test]
+    fn span_kind_names_are_stable() {
+        assert_eq!(SpanKind::Decide.as_str(), "decide");
+        assert_eq!(SpanKind::DevicePrefix.as_str(), "device_prefix");
+        assert_eq!(SpanKind::Upload.as_str(), "upload");
+        assert_eq!(SpanKind::ServerSuffix.as_str(), "server_suffix");
+        assert_eq!(SpanKind::Finish.as_str(), "finish");
+    }
+}

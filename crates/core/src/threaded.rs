@@ -34,6 +34,7 @@ use crate::cache::PartitionCache;
 use crate::engine::backends::{NullDevice, WireBackend, WireTransport};
 use crate::engine::{ConfigError, EngineConfig, InferenceRecord, OffloadEngine};
 use crate::protocol::{Message, ProtocolError};
+use crate::telemetry::{Counter, Gauge, Telemetry};
 use bytes::Bytes;
 use lp_graph::ComputationGraph;
 use lp_profiler::{LoadFactorTracker, PredictionModels};
@@ -131,6 +132,49 @@ pub fn spawn_server_with_faults(
     k_factor: f64,
     faults: ServerFaultSpec,
 ) -> ServerHandle {
+    spawn_server_instrumented(graph, edge_models, k_factor, faults, &Telemetry::disabled())
+}
+
+/// Pre-registered instrument handles for the server frame loop; `None`
+/// when the spawning telemetry is disabled, so the loop pays one branch
+/// per event.
+struct ServerMetrics {
+    frames: Counter,
+    offloads: Counter,
+    load_queries: Counter,
+    probe_acks: Counter,
+    bad_frames: Counter,
+    stalled: Counter,
+    k: Gauge,
+}
+
+impl ServerMetrics {
+    fn register(telemetry: &Telemetry) -> Option<Self> {
+        telemetry.registry().map(|reg| Self {
+            frames: reg.counter("server.frames_total"),
+            offloads: reg.counter("server.offloads_served_total"),
+            load_queries: reg.counter("server.load_queries_total"),
+            probe_acks: reg.counter("server.probe_acks_total"),
+            bad_frames: reg.counter("server.bad_frames_total"),
+            stalled: reg.counter("server.stalled_frames_total"),
+            k: reg.gauge("server.k"),
+        })
+    }
+}
+
+/// [`spawn_server_with_faults`] plus an observability handle: the server
+/// thread counts its frame traffic under `server.*` in `telemetry`'s
+/// registry (shared with whatever client-side engine observes the same
+/// run).
+#[must_use]
+pub fn spawn_server_instrumented(
+    graph: ComputationGraph,
+    edge_models: PredictionModels,
+    k_factor: f64,
+    faults: ServerFaultSpec,
+    telemetry: &Telemetry,
+) -> ServerHandle {
+    let metrics = ServerMetrics::register(telemetry);
     let (client_tx, server_rx) = channel::<Bytes>();
     let (server_tx, client_rx) = channel::<Bytes>();
     let cache = Arc::new(PartitionCache::new());
@@ -149,16 +193,27 @@ pub fn spawn_server_with_faults(
                 // channel ends the session abruptly on the client side.
                 return served;
             }
+            if let Some(m) = &metrics {
+                m.frames.incr(1);
+            }
             // Receiving any frame advances the server's logical clock, so
             // load queries evaluate `k` at a moving instant and the
             // tracker window can expire for an idle-then-querying client.
             now += RECV_TICK;
             if faults.stall.is_some_and(|s| s.covers(idx)) {
+                if let Some(m) = &metrics {
+                    m.stalled.incr(1);
+                }
                 continue; // unresponsive: swallow the frame
             }
             let msg = match Message::decode(frame) {
                 Ok(m) => m,
-                Err(_) => continue, // drop bad frames
+                Err(_) => {
+                    if let Some(m) = &metrics {
+                        m.bad_frames.incr(1);
+                    }
+                    continue; // drop bad frames
+                }
             };
             match msg {
                 Message::OffloadRequest {
@@ -181,6 +236,9 @@ pub fn spawn_server_with_faults(
                         .expect("lock poisoned")
                         .record(now, observed, predicted);
                     served += 1;
+                    if let Some(m) = &metrics {
+                        m.offloads.incr(1);
+                    }
                     let resp = Message::OffloadResponse {
                         request_id,
                         server_time_us: observed.as_micros_f64().round() as u64,
@@ -192,6 +250,10 @@ pub fn spawn_server_with_faults(
                 }
                 Message::LoadQuery => {
                     let k = tracker.lock().expect("lock poisoned").k_at(now);
+                    if let Some(m) = &metrics {
+                        m.load_queries.incr(1);
+                        m.k.set(k);
+                    }
                     let reply = Message::LoadReply {
                         k_micro: Message::k_to_micro(k),
                     };
@@ -200,6 +262,9 @@ pub fn spawn_server_with_faults(
                     }
                 }
                 Message::Probe { .. } => {
+                    if let Some(m) = &metrics {
+                        m.probe_acks.incr(1);
+                    }
                     if server_tx.send(Message::ProbeAck.encode()).is_err() {
                         break;
                     }
@@ -350,6 +415,13 @@ impl ThreadedClient {
     #[must_use]
     pub fn engine(&self) -> &OffloadEngine {
         &self.engine
+    }
+
+    /// Installs an observability handle on the underlying engine. Pass the
+    /// same handle to [`spawn_server_instrumented`] to see client and
+    /// server sides of one session in a single registry.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.engine.set_telemetry(telemetry);
     }
 
     /// The client's logical clock.

@@ -217,6 +217,36 @@ impl GpuSim {
         self.completions[&id.0].1
     }
 
+    /// Advances the simulation just far enough for one of `ids` to
+    /// complete, and returns the `(task, completion)` pair with the
+    /// earliest completion time. Tasks already complete on entry count;
+    /// with non-preemptive kernels and round-robin slicing, submission
+    /// order does **not** predict completion order, so drivers waiting on
+    /// a set of pending tasks must use this instead of picking one
+    /// arbitrarily.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ids` is empty, any task was never submitted, or the
+    /// simulation deadlocks (no pending work while waiting).
+    #[allow(clippy::missing_panics_doc)]
+    pub fn run_until_earliest_complete(&mut self, ids: &[TaskId]) -> (TaskId, SimTime) {
+        assert!(!ids.is_empty(), "need at least one task to wait on");
+        for id in ids {
+            assert!(id.0 < self.next_id, "unknown task");
+        }
+        loop {
+            let done = ids
+                .iter()
+                .filter_map(|&id| self.completions.get(&id.0).map(|&(_, c)| (id, c)))
+                .min_by_key(|&(_, c)| c);
+            if let Some(hit) = done {
+                return hit;
+            }
+            self.step(None);
+        }
+    }
+
     /// Advances the simulation clock to at least `target` (the last slice
     /// or kernel may overshoot it).
     pub fn advance_to(&mut self, target: SimTime) {
@@ -486,6 +516,27 @@ mod tests {
         // small one only starts after it.
         assert_eq!(big_done.as_millis_f64(), 10.0);
         assert!(small_done > big_done);
+    }
+
+    #[test]
+    fn earliest_complete_is_not_submission_order() {
+        let mut gpu = GpuSim::with_default_slice(9);
+        let a = gpu.add_context();
+        let b = gpu.add_context();
+        // Submitted first but much larger: with 2 ms round-robin slices
+        // the small task on the other context finishes long before it.
+        let big = gpu.submit(a, SimTime::ZERO, vec![ms(1); 20]);
+        let small = gpu.submit(b, SimTime::ZERO, vec![us(100)]);
+        let (first, done) = gpu.run_until_earliest_complete(&[big, small]);
+        assert_eq!(first, small, "vector order must not decide the winner");
+        assert_eq!(done, gpu.completion(small).unwrap().1);
+        assert!(gpu.completion(big).is_none(), "big task still running");
+        // Waiting again on the same set now returns the finished task
+        // without advancing further.
+        let now = gpu.now();
+        let (again, _) = gpu.run_until_earliest_complete(&[big, small]);
+        assert_eq!(again, small);
+        assert_eq!(gpu.now(), now);
     }
 
     #[test]

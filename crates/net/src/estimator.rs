@@ -11,15 +11,28 @@ use lp_sim::{SimDuration, SimTime};
 use rand::Rng;
 use std::collections::VecDeque;
 
+/// Default sample age bound: eight default profiler periods (5 s each).
+/// Old enough not to shrink a healthy steady-state window, young enough
+/// that an estimate can never rest on minutes-old samples.
+pub const DEFAULT_MAX_SAMPLE_AGE: SimDuration = SimDuration::from_secs(40);
+
 /// Sliding-window bandwidth estimator (window size is user-defined, §IV).
+///
+/// The window slides along **two** axes: a count cap (the most recent
+/// `window` samples) and an age bound (`max_age`). The paper's §IV window
+/// is defined over recent transfers; without the age bound a long stretch
+/// of local-only inference would freeze the estimate on arbitrarily stale
+/// samples.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BandwidthEstimator {
     window: usize,
+    max_age: SimDuration,
     samples: VecDeque<(SimTime, f64)>,
 }
 
 impl BandwidthEstimator {
-    /// Creates an estimator keeping the most recent `window` samples.
+    /// Creates an estimator keeping the most recent `window` samples, no
+    /// older than [`DEFAULT_MAX_SAMPLE_AGE`].
     ///
     /// # Panics
     ///
@@ -29,25 +42,72 @@ impl BandwidthEstimator {
         assert!(window > 0, "window must be positive");
         Self {
             window,
+            max_age: DEFAULT_MAX_SAMPLE_AGE,
             samples: VecDeque::new(),
         }
     }
 
-    /// Records one bandwidth sample (Mbps) observed at `t`.
+    /// Sets the age bound (builder style). A zero `max_age` keeps only
+    /// samples stamped exactly at the query time; use a multiple of the
+    /// profiler period in practice.
+    #[must_use]
+    pub fn with_max_age(mut self, max_age: SimDuration) -> Self {
+        self.max_age = max_age;
+        self
+    }
+
+    /// The configured age bound.
+    #[must_use]
+    pub fn max_age(&self) -> SimDuration {
+        self.max_age
+    }
+
+    /// Records one bandwidth sample (Mbps) observed at `t`, evicting
+    /// anything older than `max_age` relative to `t`.
     pub fn record(&mut self, t: SimTime, mbps: f64) {
+        self.evict_older_than(t);
         if self.samples.len() == self.window {
             self.samples.pop_front();
         }
         self.samples.push_back((t, mbps));
     }
 
-    /// The current estimate (window mean), or `None` before any sample.
+    fn evict_older_than(&mut self, now: SimTime) {
+        while let Some(&(t, _)) = self.samples.front() {
+            if now.since(t) > self.max_age {
+                self.samples.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// The estimate over every held sample, or `None` before any sample.
+    /// Prefer [`BandwidthEstimator::estimate_mbps_at`] when a clock is
+    /// available — this variant cannot apply the age bound.
     #[must_use]
     pub fn estimate_mbps(&self) -> Option<f64> {
         if self.samples.is_empty() {
             return None;
         }
         Some(self.samples.iter().map(|&(_, m)| m).sum::<f64>() / self.samples.len() as f64)
+    }
+
+    /// The window mean over samples no older than `max_age` at `now`, or
+    /// `None` when every sample has aged out (callers should treat this
+    /// like a cold start and fall back to probing/degraded mode).
+    #[must_use]
+    pub fn estimate_mbps_at(&self, now: SimTime) -> Option<f64> {
+        let (sum, n) = self
+            .samples
+            .iter()
+            .filter(|&&(t, _)| now.since(t) <= self.max_age)
+            .fold((0.0, 0usize), |(s, n), &(_, m)| (s + m, n + 1));
+        if n == 0 {
+            None
+        } else {
+            Some(sum / n as f64)
+        }
     }
 
     /// Number of samples currently held.
@@ -112,13 +172,15 @@ impl ProbeProfiler {
     }
 
     /// Sends one probe at `now`, records the measured bandwidth, and
-    /// returns `(measured_mbps, probe_end_time)`.
+    /// returns `(measured_mbps, probe_end_time)`. The measurement is
+    /// `None` when the probe span collapsed to the link latency (see
+    /// [`ProbeProfiler::record_passive`]); nothing is recorded then.
     pub fn probe<R: Rng + ?Sized>(
         &mut self,
         link: &Link,
         now: SimTime,
         rng: &mut R,
-    ) -> (f64, SimTime) {
+    ) -> (Option<f64>, SimTime) {
         let bytes = self.next_probe_bytes();
         let end = link.upload_end(bytes, now, rng);
         let mbps = self.measure(bytes, now, end, link.latency);
@@ -127,23 +189,36 @@ impl ProbeProfiler {
 
     /// Passively records a real upload of `bytes` that ran from `start` to
     /// `end` (§IV: "the upload bandwidth is also tested passively").
-    /// Returns the measured Mbps.
+    ///
+    /// Returns the measured Mbps, or `None` — recording nothing — when
+    /// the effective transfer time (`end - start - latency`) is not
+    /// positive. Such spans carry no rate information: dividing by a
+    /// clamped epsilon used to record multi-terabit samples that poisoned
+    /// the window mean for `window` rounds.
     pub fn record_passive(
         &mut self,
         bytes: u64,
         start: SimTime,
         end: SimTime,
         latency: SimDuration,
-    ) -> f64 {
+    ) -> Option<f64> {
         self.measure(bytes, start, end, latency)
     }
 
-    fn measure(&mut self, bytes: u64, start: SimTime, end: SimTime, latency: SimDuration) -> f64 {
+    fn measure(
+        &mut self,
+        bytes: u64,
+        start: SimTime,
+        end: SimTime,
+        latency: SimDuration,
+    ) -> Option<f64> {
         let dur = end.since(start).saturating_sub(latency);
-        let secs = dur.as_secs_f64().max(1e-9);
-        let mbps = crate::bytes_per_sec_to_mbps(bytes as f64 / secs);
+        if dur == SimDuration::ZERO {
+            return None;
+        }
+        let mbps = crate::bytes_per_sec_to_mbps(bytes as f64 / dur.as_secs_f64());
         self.estimator.record(end, mbps);
-        mbps
+        Some(mbps)
     }
 }
 
@@ -153,6 +228,10 @@ mod tests {
     use crate::trace::BandwidthTrace;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+
+    fn at(secs: f64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs_f64(secs)
+    }
 
     #[test]
     fn window_evicts_oldest() {
@@ -205,8 +284,74 @@ mod tests {
         let start = SimTime::ZERO;
         let bytes = 250_000;
         let end = link.expected_upload_end(bytes, start);
-        let mbps = p.record_passive(bytes, start, end, link.latency);
+        let mbps = p
+            .record_passive(bytes, start, end, link.latency)
+            .expect("positive effective duration");
         assert!((mbps - 4.0).abs() < 0.05, "{mbps}");
+    }
+
+    #[test]
+    fn zero_duration_passive_sample_is_rejected() {
+        // A converged estimator on an 8 Mbps link fed one poisoned sample
+        // (span == latency, i.e. zero effective transfer time) must not
+        // budge: the sample is rejected, not clamped into terabits.
+        let link = Link::symmetric(BandwidthTrace::constant(8.0)).with_jitter(0.02);
+        let mut p = ProbeProfiler::new(8);
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut now = SimTime::ZERO;
+        for _ in 0..20 {
+            let (_, end) = p.probe(&link, now, &mut rng);
+            now = end + SimDuration::from_millis(100);
+        }
+        let before = p.estimator.estimate_mbps().unwrap();
+        let held = p.estimator.len();
+        let got = p.record_passive(500_000, now, now + link.latency, link.latency);
+        assert_eq!(got, None);
+        assert_eq!(p.estimator.len(), held, "nothing recorded");
+        let after = p.estimator.estimate_mbps().unwrap();
+        assert_eq!(before, after, "estimate unchanged by poisoned sample");
+        // Jitter bound from the acceptance criterion: never above the true
+        // link bandwidth by more than the 2% jitter.
+        assert!(after <= 8.0 * 1.02 + 1e-9, "estimate {after}");
+    }
+
+    #[test]
+    fn record_evicts_samples_past_max_age() {
+        let mut e = BandwidthEstimator::new(8).with_max_age(SimDuration::from_secs(10));
+        e.record(SimTime::ZERO, 100.0);
+        e.record(at(1.0), 100.0);
+        // 20 s later both old samples are past max_age: only the new one
+        // survives.
+        e.record(at(21.0), 2.0);
+        assert_eq!(e.len(), 1);
+        assert!((e.estimate_mbps().unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn estimate_at_ignores_stale_samples_without_recording() {
+        // After a long local-only stretch nothing records; the read path
+        // must still age out the frozen window instead of serving it.
+        let mut e = BandwidthEstimator::new(8).with_max_age(SimDuration::from_secs(10));
+        e.record(at(1.0), 8.0);
+        e.record(at(2.0), 8.0);
+        assert_eq!(e.estimate_mbps_at(at(5.0)), Some(8.0));
+        assert_eq!(
+            e.estimate_mbps_at(at(60.0)),
+            None,
+            "stale window must read as cold, not as 8 Mbps"
+        );
+        // The count-based view still sees the held samples.
+        assert_eq!(e.len(), 2);
+    }
+
+    #[test]
+    fn count_cap_still_applies_with_fresh_samples() {
+        let mut e = BandwidthEstimator::new(2).with_max_age(SimDuration::from_secs(100));
+        e.record(at(1.0), 1.0);
+        e.record(at(2.0), 2.0);
+        e.record(at(3.0), 3.0);
+        assert_eq!(e.len(), 2);
+        assert!((e.estimate_mbps().unwrap() - 2.5).abs() < 1e-12);
     }
 
     #[test]

@@ -4,7 +4,10 @@
 //! same Algorithm 1 decisions.
 
 use loadpart::system::trained_models;
-use loadpart::{spawn_server, OffloadingSystem, Policy, SystemConfig, Testbed, ThreadedClient};
+use loadpart::{
+    spawn_server, OffloadingSystem, Policy, RingSink, SpanKind, SystemConfig, Telemetry, Testbed,
+    ThreadedClient,
+};
 use lp_sim::{SimDuration, SimTime};
 use std::sync::OnceLock;
 
@@ -82,4 +85,105 @@ fn threaded_k_is_consistent_with_the_solver() {
         "decision must match the solver at (8.0, {k})"
     );
     server.shutdown();
+}
+
+/// Both drivers run the same engine, so an offloaded request must produce
+/// the *same* trace-span schema from either: decide, device_prefix,
+/// upload, server_suffix, finish — in that order, with consistent payload
+/// fields. This is the contract dashboards rely on to mix co-simulated and
+/// wire traces.
+#[test]
+fn cosim_and_threaded_emit_the_same_span_sequence() {
+    let (user, edge) = models();
+    let graph = lp_models::alexnet(1);
+
+    let cosim_sink = RingSink::new(64);
+    let mut sys = OffloadingSystem::new(
+        graph.clone(),
+        Policy::LoadPart,
+        Testbed::with_constant_bandwidth(8.0, 5),
+        user,
+        edge.clone(),
+        SystemConfig {
+            seed: 5,
+            ..SystemConfig::default()
+        },
+    );
+    sys.set_telemetry(Telemetry::enabled().with_sink(cosim_sink.clone()));
+    let r = sys.infer(SimTime::ZERO + SimDuration::from_secs(1));
+    assert!(r.offloaded(), "8 Mbps idle alexnet must offload");
+
+    let wire_sink = RingSink::new(64);
+    let server = spawn_server(graph.clone(), edge.clone(), 1.0);
+    let mut client = ThreadedClient::new(graph, user, edge);
+    client.set_telemetry(Telemetry::enabled().with_sink(wire_sink.clone()));
+    let t = client
+        .infer(&server, r.bandwidth_est_mbps)
+        .expect("protocol ok");
+    assert!(t.offloaded());
+    server.shutdown();
+
+    let cosim_kinds = cosim_sink.kinds_for(r.request_id);
+    let wire_kinds = wire_sink.kinds_for(t.request_id);
+    assert_eq!(
+        cosim_kinds, wire_kinds,
+        "drivers must emit the same span schema for an offloaded request"
+    );
+    assert_eq!(
+        cosim_kinds,
+        vec![
+            SpanKind::Decide,
+            SpanKind::DevicePrefix,
+            SpanKind::Upload,
+            SpanKind::ServerSuffix,
+            SpanKind::Finish,
+        ]
+    );
+    // Field-level consistency: every span carries the decision, the upload
+    // span carries the payload, and the finish span's duration is the
+    // record's end-to-end latency.
+    for (sink, rec) in [(&cosim_sink, &r), (&wire_sink, &t)] {
+        let events = sink.events_for(rec.request_id);
+        assert!(events.iter().all(|e| e.p == rec.p && !e.fallback_local));
+        let upload = &events[2];
+        assert!(upload.bytes > 0, "upload span must carry the payload size");
+        let finish = events.last().expect("non-empty");
+        assert_eq!(finish.at, rec.start);
+        assert_eq!(finish.duration, rec.total);
+    }
+}
+
+/// A request decided local skips the network spans in both drivers:
+/// decide, device_prefix, finish.
+#[test]
+fn local_decisions_emit_the_same_abbreviated_span_sequence() {
+    let (user, edge) = models();
+    let graph = lp_models::alexnet(1);
+
+    let cosim_sink = RingSink::new(64);
+    let mut sys = OffloadingSystem::new(
+        graph.clone(),
+        Policy::Local,
+        Testbed::with_constant_bandwidth(8.0, 5),
+        user,
+        edge.clone(),
+        SystemConfig::default(),
+    );
+    sys.set_telemetry(Telemetry::enabled().with_sink(cosim_sink.clone()));
+    let r = sys.infer(SimTime::ZERO + SimDuration::from_secs(1));
+    assert!(!r.offloaded());
+
+    // The threaded client runs LoADPart; a starved uplink makes Algorithm 1
+    // choose p = n, exercising the same local path over the wire runtime.
+    let wire_sink = RingSink::new(64);
+    let server = spawn_server(graph.clone(), edge.clone(), 1.0);
+    let mut client = ThreadedClient::new(graph, user, edge);
+    client.set_telemetry(Telemetry::enabled().with_sink(wire_sink.clone()));
+    let t = client.infer(&server, 0.05).expect("protocol ok");
+    assert!(!t.offloaded(), "0.05 Mbps must decide local");
+    server.shutdown();
+
+    let expected = vec![SpanKind::Decide, SpanKind::DevicePrefix, SpanKind::Finish];
+    assert_eq!(cosim_sink.kinds_for(r.request_id), expected);
+    assert_eq!(wire_sink.kinds_for(t.request_id), expected);
 }
