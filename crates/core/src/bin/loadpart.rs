@@ -7,6 +7,7 @@
 //! loadpart partition --model alexnet --p 8 [--dot]
 //! loadpart faults    [--model alexnet] [--crash-after 5] [--bandwidth 8]
 //! loadpart report    [--model squeezenet] [--clients 4] [--duration 30] [--trace spans.jsonl]
+//! loadpart chaos     [--model alexnet] [--clients 8] [--rounds 13] [--spike-k 40]
 //! ```
 //!
 //! `decide` runs the offline profiler (training the NNLS prediction models
@@ -17,12 +18,14 @@
 //! mid-session, local-fallback degradation, and recovery on a fresh server;
 //! `report` runs a multi-client experiment with the telemetry layer enabled
 //! and prints the metrics registry (optionally exporting per-request trace
-//! spans as JSONL).
+//! spans as JSONL); `chaos` runs the overload-protection soak — N threaded
+//! clients through a scripted GPU load spike against an admission-controlled
+//! server, with per-client shed/breaker outcomes and the metrics registry.
 
 use loadpart::{
-    multi_client_run_with_telemetry, spawn_server, spawn_server_with_faults, EngineConfig,
-    InferenceRecord, JsonlSink, MultiClientConfig, PartitionSolver, ServerFaultSpec, Telemetry,
-    ThreadedClient,
+    chaos_run, multi_client_run_with_telemetry, spawn_server, spawn_server_with_faults,
+    ChaosConfig, EngineConfig, InferenceRecord, JsonlSink, MultiClientConfig, PartitionSolver,
+    ServerFaultSpec, Telemetry, ThreadedClient,
 };
 use lp_sim::SimDuration;
 use std::collections::HashMap;
@@ -53,7 +56,8 @@ const USAGE: &str = "usage:
   loadpart curve     --model <name> --bandwidth <Mbps> [--k <factor>] [--samples <n>] [--seed <n>]
   loadpart partition --model <name> --p <point> [--dot]
   loadpart faults    [--model <name>] [--crash-after <frames>] [--bandwidth <Mbps>] [--samples <n>] [--seed <n>]
-  loadpart report    [--model <name>] [--clients <n>] [--duration <secs>] [--bandwidth <Mbps>] [--samples <n>] [--seed <n>] [--trace <file.jsonl>]";
+  loadpart report    [--model <name>] [--clients <n>] [--duration <secs>] [--bandwidth <Mbps>] [--samples <n>] [--seed <n>] [--trace <file.jsonl>]
+  loadpart chaos     [--model <name>] [--clients <n>] [--rounds <n>] [--spike-k <factor>] [--bandwidth <Mbps>] [--samples <n>] [--seed <n>]";
 
 /// Parses `--key value` pairs (and bare `--flag`s) after the subcommand.
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -107,6 +111,7 @@ fn run(args: &[String]) -> Result<String, String> {
         "partition" => cmd_partition(&flags),
         "faults" => cmd_faults(&flags),
         "report" => cmd_report(&flags),
+        "chaos" => cmd_chaos(&flags),
         other => Err(format!("unknown subcommand {other:?}")),
     }
 }
@@ -263,7 +268,7 @@ fn cmd_faults(flags: &HashMap<String, String>) -> Result<String, String> {
         1.0,
         ServerFaultSpec {
             crash_after_frames: Some(crash_after),
-            stall: None,
+            ..ServerFaultSpec::default()
         },
     );
     for _ in 0..3 {
@@ -288,7 +293,7 @@ fn cmd_faults(flags: &HashMap<String, String>) -> Result<String, String> {
     } else {
         "client still local (cooldown has not expired yet)"
     });
-    server.shutdown();
+    server.shutdown().map_err(|e| e.to_string())?;
     Ok(out)
 }
 
@@ -343,6 +348,75 @@ fn cmd_report(flags: &HashMap<String, String>) -> Result<String, String> {
             .map_err(|e| format!("flushing {path:?}: {e}"))?;
         out.push_str(&format!("\ntrace spans written to {path}"));
     }
+    Ok(out)
+}
+
+fn cmd_chaos(flags: &HashMap<String, String>) -> Result<String, String> {
+    let name = flags.get("model").map_or("alexnet", String::as_str);
+    let graph = lp_models::by_name(name, 1)
+        .ok_or_else(|| format!("unknown model {name:?}; run `loadpart models` for the zoo"))?;
+    let defaults = ChaosConfig::default();
+    let clients: usize = get_parsed(flags, "clients", Some(defaults.n_clients))?;
+    let rounds: usize = get_parsed(flags, "rounds", Some(defaults.rounds))?;
+    let spike_k: f64 = get_parsed(flags, "spike-k", Some(defaults.spike_k))?;
+    let bandwidth: f64 = get_parsed(flags, "bandwidth", Some(defaults.bandwidth_mbps))?;
+    let samples: usize = get_parsed(flags, "samples", Some(120))?;
+    let seed: u64 = get_parsed(flags, "seed", Some(42))?;
+    let (user, edge) = loadpart::system::trained_models(samples, seed);
+    let config = ChaosConfig {
+        n_clients: clients,
+        rounds,
+        spike_k,
+        bandwidth_mbps: bandwidth,
+        engine: EngineConfig {
+            seed,
+            ..defaults.engine
+        },
+        ..defaults
+    };
+    let telemetry = Telemetry::enabled();
+    let report = chaos_run(&graph, &user, &edge, &config, &telemetry).map_err(|e| e.to_string())?;
+    let mut out = format!(
+        "{} chaos soak: {clients} client(s), {rounds} round(s), spike k = {spike_k} over rounds \
+         {}..{}\n\n",
+        graph.name(),
+        config.spike_start,
+        config.spike_start + config.spike_rounds,
+    );
+    out.push_str("client  completed  offloaded  local  shed  fallback  breaker  transitions\n");
+    for c in &report.clients {
+        out.push_str(&format!(
+            "{:6}  {:9}  {:9}  {:5}  {:4}  {:8}  {:7}  {:11}\n",
+            c.client,
+            c.completed,
+            c.offloaded,
+            c.local,
+            c.shed,
+            c.fallbacks,
+            format!("{:?}", c.breaker_state).to_lowercase(),
+            c.breaker_transitions,
+        ));
+    }
+    out.push_str(&format!(
+        "\nserver served {} offload(s), shed {} request(s) ({} during the spike); \
+         shed ratio {:.2}; worst latency {:.1} ms; breakers {}\n\n",
+        report.server_served,
+        report.total_sheds,
+        report.spike_sheds,
+        report.shed_ratio(),
+        report.max_total().as_millis_f64(),
+        if report.all_breakers_closed() {
+            "all closed again"
+        } else {
+            "NOT yet converged"
+        },
+    ));
+    out.push_str(
+        &telemetry
+            .snapshot()
+            .expect("telemetry is enabled")
+            .render_table(),
+    );
     Ok(out)
 }
 
@@ -418,6 +492,15 @@ mod tests {
         let jsonl = std::fs::read_to_string(trace).expect("trace file");
         let first = jsonl.lines().next().expect("at least one span");
         assert!(first.contains("\"kind\":\"decide\""), "{first}");
+    }
+
+    #[test]
+    fn chaos_soak_sheds_and_recovers() {
+        let out = run(&argv("chaos --clients 4 --rounds 10 --samples 60 --seed 1"))
+            .expect("no panic, no hang");
+        assert!(out.contains("server.rejected_total"), "{out}");
+        assert!(out.contains("breaker.transitions_total"), "{out}");
+        assert!(out.contains("all closed again"), "{out}");
     }
 
     #[test]

@@ -9,6 +9,11 @@
 //! same instant it is counted, and the caller gets that verdict back
 //! directly instead of having to diff global counters (which misreports as
 //! soon as another thread touches the cache in between).
+//!
+//! The map and its counters remain internally consistent even if a holder
+//! of the lock panics (no multi-step invariant spans an unlock), so every
+//! accessor recovers a poisoned guard and keeps serving — one panicking
+//! client thread must not take partitioning down for the whole server.
 
 use lp_graph::{partition::partition_at, ComputationGraph, GraphError, PartitionedGraph};
 use std::collections::hash_map::Entry;
@@ -75,7 +80,7 @@ impl PartitionCache {
         p: usize,
     ) -> Result<(Arc<PartitionedGraph>, bool), GraphError> {
         {
-            let mut guard = self.inner.lock().expect("lock poisoned");
+            let mut guard = self.inner.lock().unwrap_or_else(|e| e.into_inner());
             let Inner { entries, stats } = &mut *guard;
             if let Some(found) = entries.get(&p) {
                 stats.hits += 1;
@@ -85,7 +90,7 @@ impl PartitionCache {
         // Partition outside the lock; losers of an insertion race discard
         // their copy below.
         let part = Arc::new(partition_at(graph, p)?);
-        let mut guard = self.inner.lock().expect("lock poisoned");
+        let mut guard = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         let Inner { entries, stats } = &mut *guard;
         match entries.entry(p) {
             Entry::Occupied(e) => {
@@ -103,24 +108,43 @@ impl PartitionCache {
     /// Current statistics.
     #[must_use]
     pub fn stats(&self) -> CacheStats {
-        self.inner.lock().expect("lock poisoned").stats
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).stats
     }
 
     /// Number of cached partitions.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("lock poisoned").entries.len()
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .entries
+            .len()
     }
 
     /// Whether the cache is empty.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.inner.lock().expect("lock poisoned").entries.is_empty()
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .entries
+            .is_empty()
     }
 
     /// Drops all cached partitions (e.g. on a model update).
     pub fn clear(&self) {
-        self.inner.lock().expect("lock poisoned").entries.clear();
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .entries
+            .clear();
+    }
+
+    /// Panics while holding the lock — poisons it for the recovery test.
+    #[cfg(test)]
+    fn lock_and_panic(&self) {
+        let _guard = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        panic!("deliberately poisoning the cache lock");
     }
 }
 
@@ -193,6 +217,30 @@ mod tests {
         cache.clear();
         assert!(cache.is_empty());
         assert_eq!(cache.stats().misses, 1);
+    }
+
+    /// Regression (poison propagation): a client thread that panics while
+    /// holding the cache lock used to poison it for every other client —
+    /// the next lookup panicked on `expect("lock poisoned")` and took the
+    /// server's partitioning down with it. The guarded state stays valid
+    /// across a panic, so every accessor now recovers the guard and the
+    /// cache keeps serving.
+    #[test]
+    fn poisoned_lock_keeps_serving() {
+        let g = tiny();
+        let cache = Arc::new(PartitionCache::new());
+        let poisoner = Arc::clone(&cache);
+        assert!(std::thread::spawn(move || poisoner.lock_and_panic())
+            .join()
+            .is_err());
+        let (_, hit) = cache.get_or_partition(&g, 1).expect("still serving");
+        assert!(!hit, "fresh entry after the poisoning panic");
+        let (_, hit) = cache.get_or_partition(&g, 1).expect("still serving");
+        assert!(hit);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        cache.clear();
+        assert!(cache.is_empty());
     }
 
     /// Regression (shared-cache stats): with entries and stats under one

@@ -17,6 +17,7 @@
 //! [`ProtocolError::Disconnected`] / [`ProtocolError::Timeout`] for the
 //! engine's retry-and-degrade logic — never as a client panic.
 
+use crate::admission::{AdmissionController, AdmissionDecision};
 use crate::cache::PartitionCache;
 use crate::engine::{DeviceExecutor, ServerBackend, SuffixOutcome, SuffixRequest, Transport};
 use crate::protocol::{Message, ProtocolError};
@@ -130,6 +131,9 @@ pub struct GpuBackend<'a> {
     pub watchdog: Option<&'a mut GpuUtilWatchdog>,
     /// The server-side partition cache (Figure 5 extraction).
     pub server_cache: &'a PartitionCache,
+    /// Admission control, when the driver bounds the pending-work budget
+    /// (`None` = admit everything, the pre-overload-protection behaviour).
+    pub admission: Option<&'a mut AdmissionController>,
 }
 
 impl ServerBackend for GpuBackend<'_> {
@@ -177,6 +181,20 @@ impl ServerBackend for GpuBackend<'_> {
         // visible to the scheduler at the GPU's current instant (the gap
         // is genuine queueing behind the in-flight kernel).
         let submit_at = req.arrive.max(self.gpu.now());
+        if let Some(admission) = self.admission.as_deref_mut() {
+            // Predicted occupancy = contention-free kernel time stretched
+            // by the current load factor — the same §III-C signal the
+            // clients decide on.
+            let predicted = kernels
+                .iter()
+                .fold(SimDuration::ZERO, |acc, &kernel| acc + kernel);
+            let k = self.tracker.k_at(submit_at).max(1.0);
+            if let AdmissionDecision::Reject { retry_after } =
+                admission.assess(submit_at, predicted.scale(k))
+            {
+                return Ok(SuffixOutcome::Rejected { retry_after, k });
+            }
+        }
         let task = self.gpu.submit(self.ctx, submit_at, kernels);
         Ok(SuffixOutcome::Pending { task })
     }
@@ -188,6 +206,18 @@ impl ServerBackend for GpuBackend<'_> {
     fn complete(&mut self, completion: SimTime, observed: SimDuration, predicted: SimDuration) {
         self.tracker.record(completion, observed, predicted);
     }
+}
+
+/// Decodes a reply frame received mid-exchange. A well-formed frame from
+/// a newer protocol revision (unknown tag) is reported as
+/// [`ProtocolError::Unexpected`] — an old client talking to a new server
+/// fails safe exactly like an out-of-order frame (retry, then local
+/// fallback), instead of treating the peer's valid frame as corruption.
+fn decode_reply(frame: Bytes) -> Result<Message, ProtocolError> {
+    Message::decode(frame).map_err(|e| match e {
+        ProtocolError::UnknownTag(tag) => ProtocolError::Unexpected(tag),
+        other => other,
+    })
 }
 
 /// Server backend over the wire protocol: suffixes and load queries are
@@ -206,10 +236,12 @@ impl<C: FrameChannel + ?Sized> ServerBackend for WireBackend<'_, C> {
         self.server.send(Message::LoadQuery.encode())?;
         let deadline = Instant::now() + self.deadline;
         loop {
-            match Message::decode(self.server.recv_deadline(deadline)?)? {
+            match decode_reply(self.server.recv_deadline(deadline)?)? {
                 Message::LoadReply { k_micro } => return Ok(Message::micro_to_k(k_micro)),
                 // Stale survivors of a timed-out earlier exchange: skip.
-                Message::OffloadResponse { .. } | Message::ProbeAck => continue,
+                Message::OffloadResponse { .. } | Message::ProbeAck | Message::Rejected { .. } => {
+                    continue
+                }
                 other => return Err(ProtocolError::Unexpected(other.tag())),
             }
         }
@@ -230,7 +262,7 @@ impl<C: FrameChannel + ?Sized> ServerBackend for WireBackend<'_, C> {
         self.server.send(frame)?;
         let deadline = Instant::now() + self.deadline;
         loop {
-            match Message::decode(self.server.recv_deadline(deadline)?)? {
+            match decode_reply(self.server.recv_deadline(deadline)?)? {
                 Message::OffloadResponse {
                     request_id,
                     server_time_us,
@@ -242,11 +274,25 @@ impl<C: FrameChannel + ?Sized> ServerBackend for WireBackend<'_, C> {
                         completion: req.arrive + server_time,
                     });
                 }
+                // Admission control shed this request: surface the
+                // rejection (with the piggybacked load factor) so the
+                // engine degrades without retrying.
+                Message::Rejected {
+                    request_id,
+                    retry_after_us,
+                    k_micro,
+                } if request_id == req.request_id => {
+                    return Ok(SuffixOutcome::Rejected {
+                        retry_after: SimDuration::from_micros(retry_after_us),
+                        k: Message::micro_to_k(k_micro),
+                    });
+                }
                 // A response to a request we already gave up on, or a
                 // stale ack/reply from a timed-out probe/query: skip.
-                Message::OffloadResponse { .. } | Message::ProbeAck | Message::LoadReply { .. } => {
-                    continue
-                }
+                Message::OffloadResponse { .. }
+                | Message::ProbeAck
+                | Message::LoadReply { .. }
+                | Message::Rejected { .. } => continue,
                 other => return Err(ProtocolError::Unexpected(other.tag())),
             }
         }
@@ -283,10 +329,12 @@ impl<C: FrameChannel + ?Sized> Transport for WireTransport<'_, C> {
         self.server.send(frame)?;
         let deadline = Instant::now() + self.deadline;
         loop {
-            match Message::decode(self.server.recv_deadline(deadline)?)? {
+            match decode_reply(self.server.recv_deadline(deadline)?)? {
                 Message::ProbeAck => return Ok(()),
                 // Stale survivors of a timed-out earlier exchange: skip.
-                Message::OffloadResponse { .. } | Message::LoadReply { .. } => continue,
+                Message::OffloadResponse { .. }
+                | Message::LoadReply { .. }
+                | Message::Rejected { .. } => continue,
                 other => return Err(ProtocolError::Unexpected(other.tag())),
             }
         }

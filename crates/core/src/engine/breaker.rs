@@ -1,0 +1,277 @@
+//! Client-side circuit breaker over the offload path.
+//!
+//! Rejections, timeouts and fallbacks count as failures; once
+//! `failure_threshold` consecutive failures accumulate the breaker opens
+//! and Algorithm 1 is short-circuited to `p = n` (pure local) with zero
+//! wire traffic. After `open_period` the breaker becomes half-open and
+//! admits one probe per profiler period; a successful probe closes it, a
+//! failed one re-opens it. The state machine never skips half-open on the
+//! way back to closed, so a recovering server sees a single probe — not a
+//! thundering herd.
+
+use lp_sim::{SimDuration, SimTime};
+
+/// Observable breaker state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: offloading allowed.
+    Closed,
+    /// Tripped: all wire traffic suppressed until the open period elapses.
+    Open,
+    /// Probing: one wire request per probe period is allowed through.
+    HalfOpen,
+}
+
+/// What the breaker allows for the current request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireGate {
+    /// Closed breaker: the wire is fully available.
+    Pass,
+    /// Half-open breaker: this request is the probe; its outcome decides
+    /// whether the breaker closes or re-opens.
+    Probe,
+    /// Open (or half-open between probes): no wire traffic at all.
+    Block,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum State {
+    Closed,
+    Open { until: SimTime },
+    HalfOpen,
+}
+
+/// The closed → open → half-open breaker driven by the engine.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    state: State,
+    /// Consecutive failures while closed; `threshold` of them trip it.
+    failures: u32,
+    /// `0` disables the breaker entirely (gate is always [`WireGate::Pass`]).
+    threshold: u32,
+    open_period: SimDuration,
+    /// Half-open probe pacing: one probe per this period.
+    probe_period: SimDuration,
+    last_probe: Option<SimTime>,
+    transitions: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker. `threshold` consecutive failures open it for
+    /// `open_period`; half-open then admits one probe per `probe_period`.
+    /// `threshold == 0` disables the breaker.
+    #[must_use]
+    pub fn new(threshold: u32, open_period: SimDuration, probe_period: SimDuration) -> Self {
+        CircuitBreaker {
+            state: State::Closed,
+            failures: 0,
+            threshold,
+            open_period,
+            probe_period,
+            last_probe: None,
+            transitions: 0,
+        }
+    }
+
+    /// What the wire allows for a request starting at `now`. Advances
+    /// open → half-open when the open period has elapsed, and consumes the
+    /// half-open probe slot when it grants [`WireGate::Probe`].
+    pub fn gate(&mut self, now: SimTime) -> WireGate {
+        if self.threshold == 0 {
+            return WireGate::Pass;
+        }
+        if let State::Open { until } = self.state {
+            if now >= until {
+                self.transition(State::HalfOpen);
+                self.last_probe = None;
+            }
+        }
+        match self.state {
+            State::Closed => WireGate::Pass,
+            State::Open { .. } => WireGate::Block,
+            State::HalfOpen => {
+                let due = self
+                    .last_probe
+                    .is_none_or(|last| now.since(last) >= self.probe_period);
+                if due {
+                    self.last_probe = Some(now);
+                    WireGate::Probe
+                } else {
+                    WireGate::Block
+                }
+            }
+        }
+    }
+
+    /// Records a successful wire exchange. Closes a half-open breaker and
+    /// clears the consecutive-failure count.
+    pub fn record_success(&mut self, _now: SimTime) {
+        self.failures = 0;
+        if self.state == State::HalfOpen {
+            self.transition(State::Closed);
+        }
+    }
+
+    /// Records a failed wire exchange (rejection, exhausted retries).
+    /// Re-opens a half-open breaker immediately; trips a closed one after
+    /// `threshold` consecutive failures.
+    pub fn record_failure(&mut self, now: SimTime) {
+        if self.threshold == 0 {
+            return;
+        }
+        match self.state {
+            State::HalfOpen => {
+                self.failures = 0;
+                self.transition(State::Open {
+                    until: now + self.open_period,
+                });
+            }
+            State::Closed => {
+                self.failures += 1;
+                if self.failures >= self.threshold {
+                    self.failures = 0;
+                    self.transition(State::Open {
+                        until: now + self.open_period,
+                    });
+                }
+            }
+            State::Open { .. } => {}
+        }
+    }
+
+    /// The current state (as last advanced by [`CircuitBreaker::gate`]).
+    #[must_use]
+    pub fn state(&self) -> BreakerState {
+        match self.state {
+            State::Closed => BreakerState::Closed,
+            State::Open { .. } => BreakerState::Open,
+            State::HalfOpen => BreakerState::HalfOpen,
+        }
+    }
+
+    /// Total state transitions so far (closed→open, open→half-open, …).
+    #[must_use]
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+
+    fn transition(&mut self, next: State) {
+        if self.state != next {
+            self.state = next;
+            self.transitions += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    fn breaker() -> CircuitBreaker {
+        CircuitBreaker::new(
+            3,
+            SimDuration::from_millis(500),
+            SimDuration::from_millis(100),
+        )
+    }
+
+    #[test]
+    fn stays_closed_below_threshold() {
+        let mut b = breaker();
+        b.record_failure(at(0));
+        b.record_failure(at(1));
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.gate(at(2)), WireGate::Pass);
+        // A success resets the consecutive count.
+        b.record_success(at(3));
+        b.record_failure(at(4));
+        b.record_failure(at(5));
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn trips_open_after_threshold_and_blocks() {
+        let mut b = breaker();
+        for i in 0..3 {
+            b.record_failure(at(i));
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.gate(at(10)), WireGate::Block);
+        assert_eq!(b.gate(at(499)), WireGate::Block);
+    }
+
+    #[test]
+    fn open_becomes_half_open_then_probes_once_per_period() {
+        let mut b = breaker();
+        for i in 0..3 {
+            b.record_failure(at(i));
+        }
+        // Open period (500ms from the tripping failure at t=2) elapses.
+        assert_eq!(b.gate(at(502)), WireGate::Probe);
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        // Within the probe period: blocked.
+        assert_eq!(b.gate(at(550)), WireGate::Block);
+        // Next probe period: probe again.
+        assert_eq!(b.gate(at(602)), WireGate::Probe);
+    }
+
+    #[test]
+    fn probe_success_closes_probe_failure_reopens() {
+        let mut b = breaker();
+        for i in 0..3 {
+            b.record_failure(at(i));
+        }
+        assert_eq!(b.gate(at(600)), WireGate::Probe);
+        b.record_failure(at(600));
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.gate(at(700)), WireGate::Block);
+        assert_eq!(b.gate(at(1101)), WireGate::Probe);
+        b.record_success(at(1101));
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.gate(at(1102)), WireGate::Pass);
+    }
+
+    #[test]
+    fn recovery_never_skips_half_open() {
+        let mut b = breaker();
+        for i in 0..3 {
+            b.record_failure(at(i));
+        }
+        // A success while open does not close the breaker.
+        b.record_success(at(100));
+        assert_eq!(b.state(), BreakerState::Open);
+        // Only the half-open probe path closes it.
+        assert_eq!(b.gate(at(503)), WireGate::Probe);
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.record_success(at(503));
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn zero_threshold_disables_the_breaker() {
+        let mut b = CircuitBreaker::new(0, SimDuration::from_secs(1), SimDuration::from_secs(1));
+        for i in 0..100 {
+            b.record_failure(at(i));
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.gate(at(200)), WireGate::Pass);
+        assert_eq!(b.transitions(), 0);
+    }
+
+    #[test]
+    fn transitions_are_counted() {
+        let mut b = breaker();
+        for i in 0..3 {
+            b.record_failure(at(i));
+        }
+        assert_eq!(b.transitions(), 1); // closed -> open
+        b.gate(at(502)); // open -> half-open
+        assert_eq!(b.transitions(), 2);
+        b.record_success(at(502)); // half-open -> closed
+        assert_eq!(b.transitions(), 3);
+    }
+}

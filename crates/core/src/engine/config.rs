@@ -35,6 +35,12 @@ pub struct EngineConfig {
     /// After the offload path exhausts its retries, decisions are biased
     /// local for this long (logical time) before the wire is probed again.
     pub fault_cooldown: SimDuration,
+    /// Consecutive wire failures (rejections, exhausted retries) before
+    /// the client's circuit breaker opens. `0` disables the breaker.
+    pub breaker_failure_threshold: u32,
+    /// How long an open breaker suppresses all wire traffic before
+    /// half-open probing starts (logical time).
+    pub breaker_open_period: SimDuration,
 }
 
 impl Default for EngineConfig {
@@ -49,6 +55,8 @@ impl Default for EngineConfig {
             max_retries: 2,
             retry_backoff: Duration::from_millis(5),
             fault_cooldown: SimDuration::from_secs(10),
+            breaker_failure_threshold: 3,
+            breaker_open_period: SimDuration::from_secs(5),
         }
     }
 }
@@ -74,6 +82,9 @@ impl EngineConfig {
         }
         if self.fault_cooldown == SimDuration::ZERO {
             return Err(ConfigError::ZeroFaultCooldown);
+        }
+        if self.breaker_failure_threshold > 0 && self.breaker_open_period == SimDuration::ZERO {
+            return Err(ConfigError::ZeroBreakerOpenPeriod);
         }
         Ok(())
     }
@@ -108,6 +119,10 @@ pub enum ConfigError {
     /// The post-fault cooldown needs a positive length (otherwise a dead
     /// server is re-probed on every request, stalling each one).
     ZeroFaultCooldown,
+    /// An enabled circuit breaker needs a positive open period (otherwise
+    /// opening the breaker would be a no-op and every request would still
+    /// hit the overloaded server).
+    ZeroBreakerOpenPeriod,
 }
 
 impl fmt::Display for ConfigError {
@@ -123,6 +138,9 @@ impl fmt::Display for ConfigError {
             ConfigError::ZeroDuration => write!(f, "duration must be positive"),
             ConfigError::ZeroIoTimeout => write!(f, "wire I/O timeout must be positive"),
             ConfigError::ZeroFaultCooldown => write!(f, "fault cooldown must be positive"),
+            ConfigError::ZeroBreakerOpenPeriod => {
+                write!(f, "breaker open period must be positive when enabled")
+            }
         }
     }
 }
@@ -194,6 +212,24 @@ mod tests {
         assert_eq!(cfg.backoff_for(3), Duration::from_millis(40));
         // Capped at 16x so a dead server cannot stall a request unboundedly.
         assert_eq!(cfg.backoff_for(40), Duration::from_millis(160));
+    }
+
+    #[test]
+    fn breaker_knobs_validate() {
+        // Disabled breaker tolerates a zero open period.
+        let cfg = EngineConfig {
+            breaker_failure_threshold: 0,
+            breaker_open_period: SimDuration::ZERO,
+            ..EngineConfig::default()
+        };
+        assert_eq!(cfg.validate(), Ok(()));
+        // Enabled breaker requires a positive open period.
+        let cfg = EngineConfig {
+            breaker_failure_threshold: 3,
+            breaker_open_period: SimDuration::ZERO,
+            ..EngineConfig::default()
+        };
+        assert_eq!(cfg.validate(), Err(ConfigError::ZeroBreakerOpenPeriod));
     }
 
     #[test]

@@ -37,10 +37,12 @@
 //! [`Policy`]: crate::baselines::Policy
 
 pub mod backends;
+pub mod breaker;
 mod config;
 mod profile;
 mod record;
 
+pub use breaker::{BreakerState, CircuitBreaker, WireGate};
 pub use config::{ConfigError, EngineConfig};
 pub use profile::RuntimeProfile;
 pub use record::InferenceRecord;
@@ -109,6 +111,17 @@ pub enum SuffixOutcome {
     Pending {
         /// Handle to poll the simulator with.
         task: TaskId,
+    },
+    /// The server's admission control shed the request — its pending-work
+    /// budget is exhausted. The device runs the suffix itself; no retry
+    /// (the server told us it is overloaded, hammering it again is
+    /// counter-productive).
+    Rejected {
+        /// Predicted time until the server's backlog drains.
+        retry_after: SimDuration,
+        /// The server's load factor, piggybacked so the client's profile
+        /// is load-aware immediately.
+        k: f64,
     },
 }
 
@@ -237,6 +250,10 @@ pub struct OffloadEngine {
     client: usize,
     telemetry: Telemetry,
     metrics: Option<EngineMetrics>,
+    breaker: CircuitBreaker,
+    /// Transition count already surfaced through telemetry, so each
+    /// finish span reports only the delta since the previous request.
+    breaker_reported: u64,
 }
 
 impl OffloadEngine {
@@ -257,6 +274,13 @@ impl OffloadEngine {
         let solver = PartitionSolver::new(&graph, user_models, edge_models);
         let profile = RuntimeProfile::new(config.bandwidth_window, config.profiler_period);
         let rng = StdRng::seed_from_u64(config.seed);
+        // Half-open probes are paced to the runtime profiler: one wire
+        // attempt per profiler period while recovering.
+        let breaker = CircuitBreaker::new(
+            config.breaker_failure_threshold,
+            config.breaker_open_period,
+            config.profiler_period,
+        );
         Ok(Self {
             graph,
             solver,
@@ -269,6 +293,8 @@ impl OffloadEngine {
             client,
             telemetry: Telemetry::disabled(),
             metrics: None,
+            breaker,
+            breaker_reported: 0,
         })
     }
 
@@ -315,11 +341,14 @@ impl OffloadEngine {
     }
 
     /// Telemetry tail shared by every way a request can settle: bumps the
-    /// outcome counters and emits the `Finish` span.
-    fn observe_finish(&self, record: &InferenceRecord) {
+    /// outcome counters, surfaces breaker activity, and emits the `Finish`
+    /// span.
+    fn observe_finish(&mut self, record: &InferenceRecord) {
         if let Some(m) = &self.metrics {
             if record.fallback_local {
                 m.fallbacks.incr(1);
+            } else if record.rejected {
+                m.rejected.incr(1);
             } else if record.offloaded() {
                 m.offloaded.incr(1);
             } else {
@@ -328,6 +357,29 @@ impl OffloadEngine {
             if record.retries > 0 {
                 m.retries.incr(u64::from(record.retries));
             }
+            m.breaker_state.set(match self.breaker.state() {
+                BreakerState::Closed => 0.0,
+                BreakerState::HalfOpen => 1.0,
+                BreakerState::Open => 2.0,
+            });
+        }
+        let transitions = self.breaker.transitions();
+        let delta = transitions - self.breaker_reported;
+        if delta > 0 {
+            self.breaker_reported = transitions;
+            if let Some(m) = &self.metrics {
+                m.breaker_transitions.incr(delta);
+            }
+            // The span's byte field carries the transition delta — spans
+            // are all-scalar by design and this request caused exactly
+            // those transitions.
+            self.emit_span(
+                record,
+                SpanKind::Breaker,
+                record.start,
+                SimDuration::ZERO,
+                delta,
+            );
         }
         self.emit_span(
             record,
@@ -336,6 +388,13 @@ impl OffloadEngine {
             record.total,
             record.uploaded_bytes,
         );
+    }
+
+    /// The client-side circuit breaker (for inspecting state in drivers
+    /// and tests).
+    #[must_use]
+    pub fn breaker(&self) -> &CircuitBreaker {
+        &self.breaker
     }
 
     /// The solver (for inspecting predictions).
@@ -452,19 +511,43 @@ impl OffloadEngine {
     {
         backend.advance(at);
         let cooling = self.profile.in_cooldown(at);
+        // The breaker gates all wire traffic. A fault cooldown already
+        // keeps the wire quiet, so it does not consume the half-open
+        // probe slot.
+        let gate = if cooling {
+            WireGate::Block
+        } else {
+            self.breaker.gate(at)
+        };
+        let blocked = gate == WireGate::Block;
+        let probing = gate == WireGate::Probe;
         let mut retries = 0u32;
         // True only when the wire failed *during this request* — requests
         // that stay local because an earlier request tripped the cooldown
         // are ordinary local decisions, not fallbacks.
         let mut faulted = false;
-        if !cooling {
+        if !blocked {
             let mut attempt = 0u32;
             loop {
-                match self
-                    .profile
-                    .refresh(at, transport, backend, &mut self.rng, &self.telemetry)
-                {
-                    Ok(()) => break,
+                // The half-open probe must actually touch the wire, so it
+                // bypasses the profiler cadence.
+                let refreshed = if probing {
+                    self.profile
+                        .refresh_now(at, transport, backend, &mut self.rng, &self.telemetry)
+                } else {
+                    self.profile
+                        .refresh(at, transport, backend, &mut self.rng, &self.telemetry)
+                };
+                match refreshed {
+                    Ok(()) => {
+                        if probing {
+                            // The half-open probe succeeded: close the
+                            // breaker (the refreshed `k` keeps Algorithm 1
+                            // load-aware, so re-entry is safe).
+                            self.breaker.record_success(at);
+                        }
+                        break;
+                    }
                     Err(e) if e.is_transient() && attempt < self.config.max_retries => {
                         attempt += 1;
                         retries += 1;
@@ -472,6 +555,7 @@ impl OffloadEngine {
                     }
                     Err(_) => {
                         self.profile.enter_cooldown(at, self.config.fault_cooldown);
+                        self.breaker.record_failure(at);
                         faulted = true;
                         break;
                     }
@@ -484,7 +568,7 @@ impl OffloadEngine {
         let k = self.profile.k();
         let decide_started = self.metrics.as_ref().map(|_| std::time::Instant::now());
         let decision = match bandwidth {
-            Some(bw) if !faulted && !cooling => self.policy.decide(&self.solver, bw, k),
+            Some(bw) if !faulted && !blocked => self.policy.decide(&self.solver, bw, k),
             // Degraded: everything runs on the device. `latency_at(n, ..)`
             // ignores the wire terms, so a placeholder bandwidth is fine
             // even when the very first refresh failed and no estimate
@@ -537,6 +621,7 @@ impl OffloadEngine {
             total: device_time,
             cache_hit,
             fallback_local: faulted,
+            rejected: false,
             retries,
         };
         self.emit_span(&record, SpanKind::Decide, at, SimDuration::ZERO, 0);
@@ -574,10 +659,25 @@ impl OffloadEngine {
             upload_bytes,
             arrive: upload_end,
         };
+        // How the suffix hand-off ended: accepted, shed by admission
+        // control, or lost to wire faults.
+        enum Disposition {
+            Ran(SuffixOutcome),
+            Shed { retry_after: SimDuration, k: f64 },
+            Faulted,
+        }
         let mut attempt = 0u32;
-        let outcome = loop {
+        let disposition = loop {
             match backend.execute_suffix(&self.graph, &req, &mut self.rng) {
-                Ok(outcome) => break Some(outcome),
+                // A rejection is the server telling us it is overloaded:
+                // never retried, counted toward the breaker.
+                Ok(SuffixOutcome::Rejected { retry_after, k }) => {
+                    break Disposition::Shed { retry_after, k };
+                }
+                Ok(outcome) => {
+                    self.breaker.record_success(at);
+                    break Disposition::Ran(outcome);
+                }
                 Err(e) if e.is_transient() && attempt < self.config.max_retries => {
                     attempt += 1;
                     retries += 1;
@@ -585,29 +685,51 @@ impl OffloadEngine {
                 }
                 Err(_) => {
                     self.profile.enter_cooldown(at, self.config.fault_cooldown);
-                    break None;
+                    self.breaker.record_failure(at);
+                    break Disposition::Faulted;
                 }
             }
         };
         record.retries = retries;
-        match outcome {
-            None => Ok(Outcome::Complete(
-                self.complete_locally(record, upload_end, device),
-            )),
-            Some(SuffixOutcome::Done { completion }) => Ok(Outcome::Complete(
+        match disposition {
+            Disposition::Faulted => {
+                record.fallback_local = true;
+                Ok(Outcome::Complete(
+                    self.complete_locally(record, upload_end, device),
+                ))
+            }
+            Disposition::Shed { retry_after, k } => {
+                // Pre-seed the profile with the server's own load factor
+                // so re-entry decisions are load-aware immediately.
+                self.profile.set_k(k);
+                self.breaker.record_failure(at);
+                record.rejected = true;
+                self.emit_span(&record, SpanKind::Rejected, upload_end, retry_after, 0);
+                Ok(Outcome::Complete(
+                    self.complete_locally(record, upload_end, device),
+                ))
+            }
+            Disposition::Ran(SuffixOutcome::Done { completion }) => Ok(Outcome::Complete(
                 self.settle(record, upload_end, completion, backend, transport),
             )),
-            Some(SuffixOutcome::Pending { task }) => Ok(Outcome::Deferred(PendingRequest {
-                task,
-                arrive: upload_end,
-                record,
-            })),
+            Disposition::Ran(SuffixOutcome::Pending { task }) => {
+                Ok(Outcome::Deferred(PendingRequest {
+                    task,
+                    arrive: upload_end,
+                    record,
+                }))
+            }
+            Disposition::Ran(SuffixOutcome::Rejected { .. }) => {
+                unreachable!("rejections are routed to Disposition::Shed")
+            }
         }
     }
 
-    /// Graceful degradation: the suffix exchange is lost, so the device
-    /// re-executes the remaining layers `L_{p+1}..L_n` itself, starting at
-    /// the moment the engine gave up on the wire.
+    /// Graceful degradation: the suffix exchange is lost (wire fault) or
+    /// shed (admission control), so the device re-executes the remaining
+    /// layers `L_{p+1}..L_n` itself, starting at the moment the engine
+    /// gave up on the wire. The caller flags *why* on the record
+    /// (`fallback_local` vs `rejected`) before handing it in.
     fn complete_locally<D: DeviceExecutor + ?Sized>(
         &mut self,
         mut record: InferenceRecord,
@@ -618,7 +740,6 @@ impl OffloadEngine {
         record.device += local;
         record.server = SimDuration::ZERO;
         record.download = SimDuration::ZERO;
-        record.fallback_local = true;
         record.total = (resume_at + local).since(record.start);
         self.observe_finish(&record);
         record

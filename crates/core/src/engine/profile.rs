@@ -144,6 +144,25 @@ impl RuntimeProfile {
         if !due {
             return Ok(());
         }
+        self.refresh_now(now, transport, backend, rng, telemetry)
+    }
+
+    /// Runs the profiler action immediately, regardless of the cadence —
+    /// the circuit breaker's half-open probe, which must touch the wire to
+    /// prove the server recovered. Commits the cadence like a due refresh.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport/backend failures, like
+    /// [`RuntimeProfile::refresh`].
+    pub fn refresh_now<T: Transport + ?Sized, S: ServerBackend + ?Sized>(
+        &mut self,
+        now: SimTime,
+        transport: &mut T,
+        backend: &mut S,
+        rng: &mut StdRng,
+        telemetry: &Telemetry,
+    ) -> Result<(), ProtocolError> {
         let deficit = if self.injected_mbps.is_none() {
             self.probe
                 .estimator

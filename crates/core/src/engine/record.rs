@@ -44,6 +44,10 @@ pub struct InferenceRecord {
     /// Whether the offload path failed mid-request and the device
     /// completed the remaining layers locally (graceful degradation).
     pub fallback_local: bool,
+    /// Whether the server's admission control shed this request (the
+    /// suffix then ran locally, but this was load shedding — not a wire
+    /// fault, so it is counted separately from `fallback_local`).
+    pub rejected: bool,
     /// How many wire exchanges were retried while serving this request
     /// (probes, load queries and offload attempts combined).
     pub retries: u32,

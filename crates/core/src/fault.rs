@@ -116,24 +116,19 @@ impl<'a, C: FrameChannel + ?Sized> FaultInjector<'a, C> {
     }
 
     /// How many scripted faults have fired so far.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a previous holder of the internal lock panicked.
     #[must_use]
     pub fn faults_injected(&self) -> u64 {
-        self.state.lock().expect("lock poisoned").injected
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .injected
     }
 
     /// How many frames the client has attempted to send through the
     /// injector.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a previous holder of the internal lock panicked.
     #[must_use]
     pub fn frames_sent(&self) -> u64 {
-        self.state.lock().expect("lock poisoned").sends
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).sends
     }
 }
 
@@ -150,7 +145,9 @@ fn corrupt(frame: &Bytes) -> Bytes {
 
 impl<C: FrameChannel + ?Sized> FrameChannel for FaultInjector<'_, C> {
     fn send(&self, frame: Bytes) -> Result<(), ProtocolError> {
-        let mut state = self.state.lock().expect("lock poisoned");
+        // Counters and held-frame queues stay valid across a panic in
+        // another holder: recover the guard instead of propagating poison.
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
         let idx = state.sends;
         state.sends += 1;
         let action = self.plan.send.get(&idx).copied();
@@ -179,7 +176,7 @@ impl<C: FrameChannel + ?Sized> FrameChannel for FaultInjector<'_, C> {
     }
 
     fn recv_deadline(&self, deadline: Instant) -> Result<Bytes, ProtocolError> {
-        let mut state = self.state.lock().expect("lock poisoned");
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
         if let Some(held) = state.held_recvs.pop_front() {
             return Ok(held); // a delayed frame finally lands
         }

@@ -7,6 +7,9 @@
 //!   decision over the topological order with prefix/suffix sums, the load
 //!   factor `k` multiplied onto the suffix sums at query time (§IV).
 //! * [`cache`] — the partition cache keyed by partition point (§III-A).
+//! * [`admission`] — server-side admission control: a bounded pending-work
+//!   budget over the `k`-scaled predicted suffix times; past it the server
+//!   sheds load with [`protocol::Message::Rejected`] instead of queueing.
 //! * [`baselines`] — local inference, full offloading, Neurosurgeon
 //!   (bandwidth-aware, load-oblivious) and a DADS-style min-cut partitioner
 //!   (the O(n³) comparator that motivates the light-weight algorithm).
@@ -26,6 +29,9 @@
 //! * [`fault`] — deterministic fault injection for the wire runtime
 //!   (scripted per-frame drop/delay/corrupt/duplicate).
 //! * [`multi_client`] — N engines sharing one GPU simulator.
+//! * [`chaos`] — the chaos soak harness: N threaded clients, a scripted
+//!   load spike and injected frame faults, asserting overload protection
+//!   end to end (shedding, breakers, recovery).
 //! * [`telemetry`] — the observability layer shared by every driver:
 //!   metrics registry (counters/gauges/histograms) and per-request trace
 //!   spans through pluggable sinks, zero-cost when disabled.
@@ -47,9 +53,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod algorithm;
 pub mod baselines;
 pub mod cache;
+pub mod chaos;
 pub mod energy;
 pub mod engine;
 pub mod fault;
@@ -60,17 +68,21 @@ pub mod system;
 pub mod telemetry;
 pub mod threaded;
 
+pub use admission::{AdmissionConfig, AdmissionController, AdmissionDecision};
 pub use algorithm::{Decision, PartitionSolver};
 pub use baselines::{min_cut_partition, MinCutResult, Policy};
 pub use cache::PartitionCache;
+pub use chaos::{chaos_run, ChaosConfig, ChaosReport, ClientSummary};
 pub use energy::{decide_energy, EnergyDecision, PowerModel};
 pub use engine::{
-    ConfigError, DeviceExecutor, EngineConfig, InferenceRecord, OffloadEngine, Outcome,
-    PendingRequest, RuntimeProfile, ServerBackend, SuffixOutcome, SuffixRequest, Transport,
+    BreakerState, CircuitBreaker, ConfigError, DeviceExecutor, EngineConfig, InferenceRecord,
+    OffloadEngine, Outcome, PendingRequest, RuntimeProfile, ServerBackend, SuffixOutcome,
+    SuffixRequest, Transport, WireGate,
 };
 pub use fault::{FaultAction, FaultInjector, FaultPlan};
 pub use multi_client::{
-    multi_client_run, multi_client_run_with_telemetry, MultiClientConfig, MultiClientReport,
+    multi_client_run, multi_client_run_with_telemetry, ClientOutcomes, MultiClientConfig,
+    MultiClientReport,
 };
 pub use protocol::{Message, ProtocolError};
 pub use scenario::{
@@ -83,6 +95,6 @@ pub use telemetry::{
     TraceSink,
 };
 pub use threaded::{
-    spawn_server, spawn_server_instrumented, spawn_server_with_faults, FrameChannel,
-    ServerFaultSpec, ServerHandle, StallWindow, ThreadedClient,
+    spawn_server, spawn_server_full, spawn_server_instrumented, spawn_server_with_faults,
+    ClientConn, FrameChannel, LoadEnv, ServerFaultSpec, ServerHandle, StallWindow, ThreadedClient,
 };

@@ -17,6 +17,7 @@
 //! settling each [`PendingRequest`] when the simulator reports its
 //! completion.
 
+use crate::admission::{AdmissionConfig, AdmissionController};
 use crate::baselines::Policy;
 use crate::cache::PartitionCache;
 use crate::engine::backends::{GpuBackend, LinkTransport, SimulatedDevice};
@@ -48,6 +49,9 @@ pub struct MultiClientConfig {
     pub policy: Policy,
     /// RNG seed.
     pub seed: u64,
+    /// Server-side admission budget; `None` keeps the unbounded
+    /// pre-admission-control behaviour.
+    pub admission: Option<AdmissionConfig>,
 }
 
 impl Default for MultiClientConfig {
@@ -60,6 +64,7 @@ impl Default for MultiClientConfig {
             profiler_period: SimDuration::from_secs(5),
             policy: Policy::LoadPart,
             seed: 7,
+            admission: None,
         }
     }
 }
@@ -100,6 +105,9 @@ pub struct MultiClientReport {
     /// during the run (§IV: an under-utilized GPU with a stale high `k`
     /// must be rediscoverable by locally-inferring clients).
     pub watchdog_resets: u64,
+    /// Requests the server's admission control shed (each still completed
+    /// locally on its device; see [`InferenceRecord::rejected`]).
+    pub rejections: u64,
 }
 
 impl MultiClientReport {
@@ -114,6 +122,45 @@ impl MultiClientReport {
             .map(|r| r.total.as_secs_f64())
             .sum::<f64>()
             / self.records.len() as f64
+    }
+
+    /// Fraction of all requests the server shed — graceful degradation in
+    /// one number.
+    #[must_use]
+    pub fn shed_ratio(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.rejections as f64 / self.records.len() as f64
+    }
+
+    /// Per-client outcome breakdown (served remotely / decided locally /
+    /// shed by the server / wire-fault fallback), client index ascending.
+    #[must_use]
+    pub fn per_client(&self) -> Vec<ClientOutcomes> {
+        let n = self.records.iter().map(|r| r.client + 1).max().unwrap_or(0);
+        let mut out: Vec<ClientOutcomes> = (0..n)
+            .map(|client| ClientOutcomes {
+                client,
+                served_remote: 0,
+                local: 0,
+                shed: 0,
+                fallback: 0,
+            })
+            .collect();
+        for r in &self.records {
+            let c = &mut out[r.client];
+            if r.fallback_local {
+                c.fallback += 1;
+            } else if r.rejected {
+                c.shed += 1;
+            } else if r.offloaded() {
+                c.served_remote += 1;
+            } else {
+                c.local += 1;
+            }
+        }
+        out
     }
 
     /// Median partition point over the second half of the run (after the
@@ -133,6 +180,21 @@ impl MultiClientReport {
         sorted.sort_unstable();
         sorted[sorted.len() / 2]
     }
+}
+
+/// One client's outcome counts from [`MultiClientReport::per_client`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientOutcomes {
+    /// Client index.
+    pub client: usize,
+    /// Requests whose suffix ran on the shared GPU.
+    pub served_remote: usize,
+    /// Requests decided fully local (p == n).
+    pub local: usize,
+    /// Requests shed by server admission control (completed locally).
+    pub shed: usize,
+    /// Requests settled by local fallback after a fault.
+    pub fallback: usize,
 }
 
 struct Client {
@@ -190,6 +252,9 @@ pub fn multi_client_run_with_telemetry(
     // local never come back.
     let mut watchdog = GpuUtilWatchdog::new();
     let mut gpu = GpuSim::with_default_slice(config.seed);
+    // One admission controller for the shared GPU: all clients draw on the
+    // same pending-work budget.
+    let mut admission = config.admission.map(AdmissionController::new);
 
     let mut clients = Vec::with_capacity(config.n_clients);
     for i in 0..config.n_clients {
@@ -235,6 +300,7 @@ pub fn multi_client_run_with_telemetry(
                     tracker: &mut tracker,
                     watchdog: Some(&mut watchdog),
                     server_cache: &server_cache,
+                    admission: admission.as_mut(),
                 };
                 let mut transport = LinkTransport { link: &link };
                 let record = client
@@ -285,6 +351,7 @@ pub fn multi_client_run_with_telemetry(
             tracker: &mut tracker,
             watchdog: Some(&mut watchdog),
             server_cache: &server_cache,
+            admission: admission.as_mut(),
         };
         let mut transport = LinkTransport { link: &link };
         match client
@@ -316,6 +383,7 @@ pub fn multi_client_run_with_telemetry(
                 tracker: &mut tracker,
                 watchdog: Some(&mut watchdog),
                 server_cache: &server_cache,
+                admission: admission.as_mut(),
             };
             let mut transport = LinkTransport { link: &link };
             drained.push(
@@ -338,19 +406,24 @@ pub fn multi_client_run_with_telemetry(
         0.0
     };
     let final_k = tracker.k_at(gpu.now());
-    if telemetry.is_enabled() {
-        telemetry.incr("multi_client.completed_total", records.len() as u64);
-        telemetry.incr("multi_client.watchdog_resets_total", watchdog.resets());
-        telemetry.set_gauge("multi_client.clients", config.n_clients as f64);
-        telemetry.set_gauge("multi_client.gpu_utilization", gpu_utilization);
-        telemetry.set_gauge("multi_client.final_k", final_k);
-    }
-    Ok(MultiClientReport {
+    let rejections = admission.as_ref().map_or(0, AdmissionController::rejected);
+    let report = MultiClientReport {
         records,
         gpu_utilization,
         final_k,
         watchdog_resets: watchdog.resets(),
-    })
+        rejections,
+    };
+    if telemetry.is_enabled() {
+        telemetry.incr("multi_client.completed_total", report.records.len() as u64);
+        telemetry.incr("multi_client.watchdog_resets_total", watchdog.resets());
+        telemetry.incr("server.rejected_total", rejections);
+        telemetry.set_gauge("multi_client.clients", config.n_clients as f64);
+        telemetry.set_gauge("multi_client.gpu_utilization", gpu_utilization);
+        telemetry.set_gauge("multi_client.final_k", final_k);
+        telemetry.set_gauge("multi_client.shed_ratio", report.shed_ratio());
+    }
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -571,6 +644,86 @@ mod tests {
         let finishes = snap.counter("engine.offloaded_total")
             + snap.counter("engine.local_total")
             + snap.counter("engine.fallbacks_total");
+        assert_eq!(finishes, report.records.len() as u64);
+    }
+
+    /// Overload protection at system scale: a tiny admission budget under
+    /// a crowd of always-offload clients must shed work — yet every client
+    /// still completes every request (locally), which is the graceful
+    /// degradation the budget buys.
+    #[test]
+    fn admission_sheds_under_a_crowd_but_every_request_completes() {
+        let (user, edge) = models();
+        let report = multi_client_run(
+            &lp_models::squeezenet(1),
+            user,
+            edge,
+            &MultiClientConfig {
+                n_clients: 6,
+                duration: SimDuration::from_secs(20),
+                think_time: SimDuration::from_millis(1),
+                policy: Policy::Full,
+                admission: Some(AdmissionConfig {
+                    max_inflight: 1,
+                    max_queue_delay: SimDuration::from_millis(5),
+                }),
+                ..MultiClientConfig::default()
+            },
+        )
+        .expect("valid config");
+        assert!(report.rejections > 0, "tiny budget must shed under a crowd");
+        assert!(report.shed_ratio() > 0.0 && report.shed_ratio() <= 1.0);
+        let per_client = report.per_client();
+        assert_eq!(
+            per_client.iter().map(|c| c.shed as u64).sum::<u64>(),
+            report.rejections,
+            "per-client shed counts must add up to the run total"
+        );
+        for c in &per_client {
+            let total = c.served_remote + c.local + c.shed + c.fallback;
+            assert!(total >= 3, "client {} completed only {total}", c.client);
+        }
+        // Shed requests are not fallbacks: the two are counted apart.
+        assert!(report
+            .records
+            .iter()
+            .all(|r| !(r.rejected && r.fallback_local)));
+    }
+
+    #[test]
+    fn admission_telemetry_reports_shed_ratio() {
+        let (user, edge) = models();
+        let telemetry = Telemetry::enabled();
+        let report = multi_client_run_with_telemetry(
+            &lp_models::squeezenet(1),
+            user,
+            edge,
+            &MultiClientConfig {
+                n_clients: 6,
+                duration: SimDuration::from_secs(10),
+                think_time: SimDuration::from_millis(1),
+                policy: Policy::Full,
+                admission: Some(AdmissionConfig {
+                    max_inflight: 1,
+                    max_queue_delay: SimDuration::from_millis(5),
+                }),
+                ..MultiClientConfig::default()
+            },
+            &telemetry,
+        )
+        .expect("valid config");
+        let snap = telemetry.snapshot().expect("enabled");
+        assert_eq!(snap.counter("server.rejected_total"), report.rejections);
+        assert_eq!(snap.counter("engine.rejected_total"), report.rejections);
+        assert_eq!(
+            snap.gauge("multi_client.shed_ratio"),
+            Some(report.shed_ratio())
+        );
+        // Finish classification is exhaustive across the four buckets.
+        let finishes = snap.counter("engine.offloaded_total")
+            + snap.counter("engine.local_total")
+            + snap.counter("engine.fallbacks_total")
+            + snap.counter("engine.rejected_total");
         assert_eq!(finishes, report.records.len() as u64);
     }
 

@@ -24,6 +24,7 @@ const TAG_LOAD_REPLY: u8 = 4;
 const TAG_PROBE: u8 = 5;
 const TAG_PROBE_ACK: u8 = 6;
 const TAG_SHUTDOWN: u8 = 7;
+const TAG_REJECTED: u8 = 8;
 
 /// A protocol message.
 #[derive(Debug, Clone, PartialEq)]
@@ -64,6 +65,19 @@ pub enum Message {
     ProbeAck,
     /// Device -> server: end of session.
     Shutdown,
+    /// Server -> device: admission control shed this request — the
+    /// pending-work budget is exhausted, run the suffix locally.
+    Rejected {
+        /// Echoed request id.
+        request_id: u64,
+        /// Predicted time until the server's backlog drains, in
+        /// microseconds; a hint for when offloading is worth retrying.
+        retry_after_us: u64,
+        /// The server's current load factor, piggybacked so the client's
+        /// profile is load-aware immediately (micro-units, like
+        /// [`Message::LoadReply`]).
+        k_micro: u64,
+    },
 }
 
 impl Message {
@@ -107,6 +121,16 @@ impl Message {
             }
             Message::ProbeAck => b.put_u8(TAG_PROBE_ACK),
             Message::Shutdown => b.put_u8(TAG_SHUTDOWN),
+            Message::Rejected {
+                request_id,
+                retry_after_us,
+                k_micro,
+            } => {
+                b.put_u8(TAG_REJECTED);
+                b.put_u64_le(*request_id);
+                b.put_u64_le(*retry_after_us);
+                b.put_u64_le(*k_micro);
+            }
         }
         b.freeze()
     }
@@ -177,6 +201,14 @@ impl Message {
             }
             TAG_PROBE_ACK => Ok(Message::ProbeAck),
             TAG_SHUTDOWN => Ok(Message::Shutdown),
+            TAG_REJECTED => {
+                need(&buf, 24)?;
+                Ok(Message::Rejected {
+                    request_id: buf.get_u64_le(),
+                    retry_after_us: buf.get_u64_le(),
+                    k_micro: buf.get_u64_le(),
+                })
+            }
             other => Err(ProtocolError::UnknownTag(other)),
         }
     }
@@ -193,6 +225,7 @@ impl Message {
             Message::Probe { .. } => TAG_PROBE,
             Message::ProbeAck => TAG_PROBE_ACK,
             Message::Shutdown => TAG_SHUTDOWN,
+            Message::Rejected { .. } => TAG_REJECTED,
         }
     }
 
@@ -227,6 +260,9 @@ pub enum ProtocolError {
     /// A well-formed message of the wrong kind arrived mid-exchange
     /// (carries the offending tag).
     Unexpected(u8),
+    /// The server thread panicked; reported at teardown instead of
+    /// propagating the panic into the client process.
+    ServerPanicked,
 }
 
 impl ProtocolError {
@@ -236,7 +272,10 @@ impl ProtocolError {
     /// tag) may decode fine on a resend.
     #[must_use]
     pub fn is_transient(&self) -> bool {
-        !matches!(self, ProtocolError::Disconnected)
+        !matches!(
+            self,
+            ProtocolError::Disconnected | ProtocolError::ServerPanicked
+        )
     }
 }
 
@@ -249,6 +288,7 @@ impl fmt::Display for ProtocolError {
             ProtocolError::Disconnected => write!(f, "peer disconnected"),
             ProtocolError::Timeout => write!(f, "deadline expired waiting for a frame"),
             ProtocolError::Unexpected(t) => write!(f, "unexpected message tag {t} mid-exchange"),
+            ProtocolError::ServerPanicked => write!(f, "server thread panicked"),
         }
     }
 }
@@ -284,6 +324,11 @@ mod tests {
         });
         round_trip(Message::ProbeAck);
         round_trip(Message::Shutdown);
+        round_trip(Message::Rejected {
+            request_id: 42,
+            retry_after_us: 180_000,
+            k_micro: 31_500_000,
+        });
     }
 
     #[test]
@@ -371,6 +416,11 @@ mod tests {
             },
             Message::ProbeAck,
             Message::Shutdown,
+            Message::Rejected {
+                request_id: 1,
+                retry_after_us: 2,
+                k_micro: 3_000_000,
+            },
         ];
         for m in msgs {
             let tag = m.tag();
@@ -389,5 +439,40 @@ mod tests {
         assert!(ProtocolError::UnknownTag(9).is_transient());
         assert!(ProtocolError::Unexpected(2).is_transient());
         assert!(!ProtocolError::Disconnected.is_transient());
+        assert!(!ProtocolError::ServerPanicked.is_transient());
+    }
+
+    #[test]
+    fn rejected_truncations_error() {
+        let full = Message::Rejected {
+            request_id: 7,
+            retry_after_us: 9,
+            k_micro: 2_000_000,
+        }
+        .encode();
+        assert_eq!(full.len(), 2 + 24);
+        for cut in [2, 9, 17, full.len() - 1] {
+            let err = Message::decode(full.slice(0..cut)).unwrap_err();
+            assert_eq!(err, ProtocolError::Truncated, "cut at {cut}");
+        }
+    }
+
+    /// Wire compatibility: a decoder that predates [`Message::Rejected`]
+    /// classifies tag 8 as an unknown tag — which the exchange loops remap
+    /// to [`ProtocolError::Unexpected`] — so a new server talking to an old
+    /// client fails safe (local fallback), never panics. We model the old
+    /// decoder by checking that any tag above the legacy range decodes to
+    /// the same error class the legacy decoder produced.
+    #[test]
+    fn future_tags_fail_safe_on_old_decoders() {
+        // An old decoder seeing today's Rejected frame: tag 8 was unknown.
+        let mut future = BytesMut::new();
+        future.put_u8(PROTOCOL_VERSION);
+        future.put_u8(TAG_REJECTED + 1); // a tag *this* decoder doesn't know
+        future.put_u64_le(1);
+        let err = Message::decode(future.freeze()).unwrap_err();
+        assert_eq!(err, ProtocolError::UnknownTag(TAG_REJECTED + 1));
+        // Unknown tags stay transient: the peer may resend something valid.
+        assert!(err.is_transient());
     }
 }

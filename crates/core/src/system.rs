@@ -11,6 +11,7 @@
 //! the engine; this module only owns the hardware and the server-side
 //! state.
 
+use crate::admission::{AdmissionConfig, AdmissionController};
 use crate::baselines::Policy;
 use crate::cache::PartitionCache;
 use crate::engine::backends::{GpuBackend, LinkTransport, SimulatedDevice};
@@ -111,6 +112,7 @@ pub struct OffloadingSystem {
     tracker: LoadFactorTracker,
     watchdog: GpuUtilWatchdog,
     server_cache: PartitionCache,
+    admission: Option<AdmissionController>,
 }
 
 impl OffloadingSystem {
@@ -140,7 +142,16 @@ impl OffloadingSystem {
             tracker,
             watchdog: GpuUtilWatchdog::new(),
             server_cache: PartitionCache::new(),
+            admission: None,
         }
+    }
+
+    /// Arms server-side admission control with the given budget; offload
+    /// requests past it are shed
+    /// ([`SuffixOutcome::Rejected`](crate::engine::SuffixOutcome::Rejected))
+    /// and complete locally.
+    pub fn set_admission(&mut self, config: AdmissionConfig) {
+        self.admission = Some(AdmissionController::new(config));
     }
 
     /// The underlying engine (solver, profile, caches).
@@ -199,6 +210,7 @@ impl OffloadingSystem {
             tracker: &mut self.tracker,
             watchdog: Some(&mut self.watchdog),
             server_cache: &self.server_cache,
+            admission: self.admission.as_mut(),
         };
         self.engine
             .run(at, &mut device, &mut backend, &mut transport)

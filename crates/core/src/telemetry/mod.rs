@@ -143,6 +143,14 @@ pub struct EngineMetrics {
     pub local: Counter,
     /// `engine.fallbacks_total` — requests settled by local fallback.
     pub fallbacks: Counter,
+    /// `engine.rejected_total` — requests shed by server admission
+    /// control (completed locally, but counted as shed, not fallback).
+    pub rejected: Counter,
+    /// `breaker.transitions_total` — circuit-breaker state transitions.
+    pub breaker_transitions: Counter,
+    /// `breaker.state` — current breaker state (0 closed, 1 half-open,
+    /// 2 open).
+    pub breaker_state: Gauge,
     /// `engine.retries_total` — transport/profiler retries performed.
     pub retries: Counter,
     /// `engine.cache_hits_total` — partition cache hits.
@@ -175,6 +183,9 @@ impl EngineMetrics {
             offloaded: registry.counter("engine.offloaded_total"),
             local: registry.counter("engine.local_total"),
             fallbacks: registry.counter("engine.fallbacks_total"),
+            rejected: registry.counter("engine.rejected_total"),
+            breaker_transitions: registry.counter("breaker.transitions_total"),
+            breaker_state: registry.gauge("breaker.state"),
             retries: registry.counter("engine.retries_total"),
             cache_hits: registry.counter("engine.cache_hits_total"),
             cache_misses: registry.counter("engine.cache_misses_total"),

@@ -35,6 +35,12 @@ pub enum SpanKind {
     Upload,
     /// Executing layers `p..n` on the server.
     ServerSuffix,
+    /// The server's admission control shed the request; `duration` is the
+    /// piggybacked retry-after hint.
+    Rejected,
+    /// The client's circuit breaker changed state while serving this
+    /// request; `bytes` carries the transition count.
+    Breaker,
     /// The request settled; `duration` is the end-to-end total.
     Finish,
 }
@@ -48,6 +54,8 @@ impl SpanKind {
             SpanKind::DevicePrefix => "device_prefix",
             SpanKind::Upload => "upload",
             SpanKind::ServerSuffix => "server_suffix",
+            SpanKind::Rejected => "rejected",
+            SpanKind::Breaker => "breaker",
             SpanKind::Finish => "finish",
         }
     }
@@ -133,7 +141,7 @@ impl RingSink {
     pub fn events(&self) -> Vec<SpanEvent> {
         self.events
             .lock()
-            .expect("ring sink lock poisoned")
+            .unwrap_or_else(|e| e.into_inner())
             .iter()
             .copied()
             .collect()
@@ -144,7 +152,7 @@ impl RingSink {
     pub fn events_for(&self, request_id: u64) -> Vec<SpanEvent> {
         self.events
             .lock()
-            .expect("ring sink lock poisoned")
+            .unwrap_or_else(|e| e.into_inner())
             .iter()
             .filter(|e| e.request_id == request_id)
             .copied()
@@ -161,7 +169,7 @@ impl RingSink {
 
 impl TraceSink for RingSink {
     fn emit(&self, event: SpanEvent) {
-        let mut events = self.events.lock().expect("ring sink lock poisoned");
+        let mut events = self.events.lock().unwrap_or_else(|e| e.into_inner());
         if events.len() == self.capacity {
             events.pop_front();
         }
@@ -181,7 +189,10 @@ pub struct JsonlSink {
 impl fmt::Debug for JsonlSink {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("JsonlSink")
-            .field("errors", &*self.errors.lock().expect("jsonl lock poisoned"))
+            .field(
+                "errors",
+                &*self.errors.lock().unwrap_or_else(|e| e.into_inner()),
+            )
             .finish_non_exhaustive()
     }
 }
@@ -205,21 +216,24 @@ impl JsonlSink {
     /// Number of IO errors swallowed so far.
     #[must_use]
     pub fn errors(&self) -> u64 {
-        *self.errors.lock().expect("jsonl lock poisoned")
+        *self.errors.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Flushes the underlying writer.
     pub fn flush(&self) -> std::io::Result<()> {
-        self.writer.lock().expect("jsonl lock poisoned").flush()
+        self.writer
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .flush()
     }
 }
 
 impl TraceSink for JsonlSink {
     fn emit(&self, event: SpanEvent) {
         let line = event.to_json().to_string_compact();
-        let mut writer = self.writer.lock().expect("jsonl lock poisoned");
+        let mut writer = self.writer.lock().unwrap_or_else(|e| e.into_inner());
         if writeln!(writer, "{line}").is_err() {
-            *self.errors.lock().expect("jsonl lock poisoned") += 1;
+            *self.errors.lock().unwrap_or_else(|e| e.into_inner()) += 1;
         }
     }
 }
@@ -307,6 +321,8 @@ mod tests {
         assert_eq!(SpanKind::DevicePrefix.as_str(), "device_prefix");
         assert_eq!(SpanKind::Upload.as_str(), "upload");
         assert_eq!(SpanKind::ServerSuffix.as_str(), "server_suffix");
+        assert_eq!(SpanKind::Rejected.as_str(), "rejected");
+        assert_eq!(SpanKind::Breaker.as_str(), "breaker");
         assert_eq!(SpanKind::Finish.as_str(), "finish");
     }
 }

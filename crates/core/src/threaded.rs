@@ -29,6 +29,7 @@
 //! Tests are deterministic, but the concurrency — shared caches behind
 //! locks, `std::sync::mpsc` channels, graceful shutdown — is real.
 
+use crate::admission::{AdmissionConfig, AdmissionController, AdmissionDecision};
 use crate::baselines::Policy;
 use crate::cache::PartitionCache;
 use crate::engine::backends::{NullDevice, WireBackend, WireTransport};
@@ -39,6 +40,8 @@ use bytes::Bytes;
 use lp_graph::ComputationGraph;
 use lp_profiler::{LoadFactorTracker, PredictionModels};
 use lp_sim::{SimDuration, SimTime};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvError, RecvTimeoutError, SendError, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -70,12 +73,96 @@ pub trait FrameChannel {
     fn recv_deadline(&self, deadline: Instant) -> Result<Bytes, ProtocolError>;
 }
 
-/// Handle to a running offloading server thread.
+/// What flows into the server thread: control-plane client registrations
+/// and data-plane frames, multiplexed over one channel so the frame loop
+/// stays single-threaded and deterministic.
+#[derive(Debug)]
+enum ToServer {
+    /// A new client session: route replies for `client` to the sender.
+    Connect(usize, Sender<Bytes>),
+    /// A frame from `client`.
+    Frame(usize, Bytes),
+}
+
+/// Handle to a running offloading server thread. The handle itself is
+/// client session 0; [`ServerHandle::connect`] opens additional sessions
+/// with their own reply channels (the multi-client chaos harness).
 #[derive(Debug)]
 pub struct ServerHandle {
-    tx: Sender<Bytes>,
+    tx: Sender<ToServer>,
     rx: Receiver<Bytes>,
+    next_client: AtomicUsize,
     join: Option<JoinHandle<u64>>,
+}
+
+/// One additional client session on a threaded server: frames sent here
+/// carry the session id, and replies come back on this session's own
+/// channel — concurrent clients never steal each other's responses.
+#[derive(Debug)]
+pub struct ClientConn {
+    id: usize,
+    tx: Sender<ToServer>,
+    rx: Receiver<Bytes>,
+}
+
+impl ClientConn {
+    /// The server-assigned session id.
+    #[must_use]
+    pub fn id(&self) -> usize {
+        self.id
+    }
+}
+
+impl FrameChannel for ClientConn {
+    fn send(&self, frame: Bytes) -> Result<(), ProtocolError> {
+        self.tx
+            .send(ToServer::Frame(self.id, frame))
+            .map_err(|_| ProtocolError::Disconnected)
+    }
+
+    fn recv_deadline(&self, deadline: Instant) -> Result<Bytes, ProtocolError> {
+        match self
+            .rx
+            .recv_timeout(deadline.saturating_duration_since(Instant::now()))
+        {
+            Ok(frame) => Ok(frame),
+            Err(RecvTimeoutError::Timeout) => Err(ProtocolError::Timeout),
+            Err(RecvTimeoutError::Disconnected) => Err(ProtocolError::Disconnected),
+        }
+    }
+}
+
+/// The load environment a threaded server executes in: the factor by which
+/// real executions are stretched relative to the latency-model prediction.
+/// Shared and scriptable mid-run (an `Arc` of an atomic), so tests and the
+/// chaos harness can drive load spikes while the server is serving. The
+/// server's tracker still *measures* `k` from the observed/predicted
+/// ratio — the §III-C mechanism — this only scripts the environment.
+#[derive(Debug, Clone)]
+pub struct LoadEnv {
+    k_bits: Arc<AtomicU64>,
+}
+
+impl LoadEnv {
+    /// An environment currently stretching executions by `k` (clamped to
+    /// at least 1).
+    #[must_use]
+    pub fn new(k: f64) -> Self {
+        Self {
+            k_bits: Arc::new(AtomicU64::new(k.max(1.0).to_bits())),
+        }
+    }
+
+    /// The current stretch factor.
+    #[must_use]
+    pub fn k(&self) -> f64 {
+        f64::from_bits(self.k_bits.load(Ordering::Relaxed))
+    }
+
+    /// Re-scripts the environment (a load spike starting or ending).
+    pub fn set_k(&self, k: f64) {
+        self.k_bits.store(k.max(1.0).to_bits(), Ordering::Relaxed);
+    }
 }
 
 /// A window of received-frame indices the server leaves unanswered.
@@ -106,6 +193,11 @@ pub struct ServerFaultSpec {
     /// Drop the frames in this window silently — the server is alive but
     /// unresponsive, which is what a deadline must catch.
     pub stall: Option<StallWindow>,
+    /// Panic the server thread once this many frames have been received —
+    /// the teardown path [`ServerHandle::shutdown`] must report
+    /// [`ProtocolError::ServerPanicked`] instead of propagating the panic
+    /// into the client process.
+    pub panic_after_frames: Option<u64>,
 }
 
 /// Spawns the edge-server thread for one DNN.
@@ -145,6 +237,7 @@ struct ServerMetrics {
     probe_acks: Counter,
     bad_frames: Counter,
     stalled: Counter,
+    rejected: Counter,
     k: Gauge,
 }
 
@@ -157,6 +250,7 @@ impl ServerMetrics {
             probe_acks: reg.counter("server.probe_acks_total"),
             bad_frames: reg.counter("server.bad_frames_total"),
             stalled: reg.counter("server.stalled_frames_total"),
+            rejected: reg.counter("server.rejected_total"),
             k: reg.gauge("server.k"),
         })
     }
@@ -174,24 +268,69 @@ pub fn spawn_server_instrumented(
     faults: ServerFaultSpec,
     telemetry: &Telemetry,
 ) -> ServerHandle {
+    spawn_server_full(
+        graph,
+        edge_models,
+        LoadEnv::new(k_factor),
+        faults,
+        None,
+        telemetry,
+    )
+}
+
+/// The fully-general server spawn: a scriptable [`LoadEnv`], a
+/// deterministic fault script, optional [admission control](crate::admission)
+/// and telemetry. `None` for `admission` means the unbounded budget — the
+/// pre-admission-control behaviour.
+///
+/// The server's logical clock advances `RECV_TICK` (100 ms) per received
+/// frame;
+/// execution time accumulates only in the admission controller's backlog
+/// watermark, which is what the predicted queue delay (and therefore load
+/// shedding) is computed from.
+#[must_use]
+pub fn spawn_server_full(
+    graph: ComputationGraph,
+    edge_models: PredictionModels,
+    env: LoadEnv,
+    faults: ServerFaultSpec,
+    admission: Option<AdmissionConfig>,
+    telemetry: &Telemetry,
+) -> ServerHandle {
     let metrics = ServerMetrics::register(telemetry);
-    let (client_tx, server_rx) = channel::<Bytes>();
+    let (mux_tx, server_rx) = channel::<ToServer>();
     let (server_tx, client_rx) = channel::<Bytes>();
     let cache = Arc::new(PartitionCache::new());
     let tracker = Arc::new(Mutex::new(LoadFactorTracker::new(SimDuration::from_secs(
         5,
     ))));
+    let admission_cfg = admission.unwrap_or_else(AdmissionConfig::unbounded);
     let join = std::thread::spawn(move || {
+        let mut admission = AdmissionController::new(admission_cfg);
+        let mut replies: HashMap<usize, Sender<Bytes>> = HashMap::new();
+        replies.insert(0, server_tx);
         let mut served = 0u64;
         let mut now = SimTime::ZERO;
         let mut received = 0u64;
-        while let Ok(frame) = server_rx.recv() {
+        while let Ok(incoming) = server_rx.recv() {
+            let (client, frame) = match incoming {
+                // Control plane: register a reply route. No frame count,
+                // no clock tick.
+                ToServer::Connect(id, tx) => {
+                    replies.insert(id, tx);
+                    continue;
+                }
+                ToServer::Frame(id, frame) => (id, frame),
+            };
             let idx = received;
             received += 1;
             if faults.crash_after_frames.is_some_and(|n| received > n) {
                 // Simulated crash: exit without replying; dropping the
                 // channel ends the session abruptly on the client side.
                 return served;
+            }
+            if faults.panic_after_frames.is_some_and(|n| received > n) {
+                panic!("scripted server panic after {idx} frames");
             }
             if let Some(m) = &metrics {
                 m.frames.incr(1);
@@ -215,7 +354,7 @@ pub fn spawn_server_instrumented(
                     continue; // drop bad frames
                 }
             };
-            match msg {
+            let reply = match msg {
                 Message::OffloadRequest {
                     request_id,
                     partition_point,
@@ -226,60 +365,82 @@ pub fn spawn_server_instrumented(
                     let _ = cache
                         .get_or_partition(&graph, p.min(graph.len()))
                         .expect("p in range");
-                    // Execute the suffix: predicted time scaled by the
-                    // environment's load factor.
+                    // Predicted suffix time scaled by the environment's
+                    // load factor: the signal admission control budgets.
                     let predicted = predicted_suffix(&edge_models, &graph, p);
-                    let observed = predicted.scale(k_factor);
-                    now += observed;
-                    tracker
-                        .lock()
-                        .expect("lock poisoned")
-                        .record(now, observed, predicted);
-                    served += 1;
-                    if let Some(m) = &metrics {
-                        m.offloads.incr(1);
-                    }
-                    let resp = Message::OffloadResponse {
-                        request_id,
-                        server_time_us: observed.as_micros_f64().round() as u64,
-                        payload: Bytes::from(vec![0u8; graph.output().size_bytes() as usize]),
-                    };
-                    if server_tx.send(resp.encode()).is_err() {
-                        break;
+                    let scaled = predicted.scale(env.k());
+                    match admission.assess(now, scaled) {
+                        AdmissionDecision::Reject { retry_after } => {
+                            if let Some(m) = &metrics {
+                                m.rejected.incr(1);
+                            }
+                            // Piggyback the measured load factor so the
+                            // shed client can pre-seed its profile.
+                            let k = tracker.lock().unwrap_or_else(|e| e.into_inner()).k_at(now);
+                            Message::Rejected {
+                                request_id,
+                                retry_after_us: retry_after.as_micros_f64().round() as u64,
+                                k_micro: Message::k_to_micro(k),
+                            }
+                        }
+                        AdmissionDecision::Admit { completion, .. } => {
+                            tracker
+                                .lock()
+                                .unwrap_or_else(|e| e.into_inner())
+                                .record(completion, scaled, predicted);
+                            served += 1;
+                            if let Some(m) = &metrics {
+                                m.offloads.incr(1);
+                            }
+                            Message::OffloadResponse {
+                                request_id,
+                                server_time_us: completion.since(now).as_micros_f64().round()
+                                    as u64,
+                                payload: Bytes::from(vec![
+                                    0u8;
+                                    graph.output().size_bytes() as usize
+                                ]),
+                            }
+                        }
                     }
                 }
                 Message::LoadQuery => {
-                    let k = tracker.lock().expect("lock poisoned").k_at(now);
+                    let k = tracker.lock().unwrap_or_else(|e| e.into_inner()).k_at(now);
                     if let Some(m) = &metrics {
                         m.load_queries.incr(1);
                         m.k.set(k);
                     }
-                    let reply = Message::LoadReply {
+                    Message::LoadReply {
                         k_micro: Message::k_to_micro(k),
-                    };
-                    if server_tx.send(reply.encode()).is_err() {
-                        break;
                     }
                 }
                 Message::Probe { .. } => {
                     if let Some(m) = &metrics {
                         m.probe_acks.incr(1);
                     }
-                    if server_tx.send(Message::ProbeAck.encode()).is_err() {
-                        break;
-                    }
+                    Message::ProbeAck
                 }
                 Message::Shutdown => break,
-                // Server never receives responses/replies/acks.
-                Message::OffloadResponse { .. } | Message::LoadReply { .. } | Message::ProbeAck => {
+                // Server never receives responses/replies/acks/rejections.
+                Message::OffloadResponse { .. }
+                | Message::LoadReply { .. }
+                | Message::ProbeAck
+                | Message::Rejected { .. } => continue,
+            };
+            // One dead client must not take the server down: drop its
+            // route and keep serving the others.
+            if let Some(tx) = replies.get(&client) {
+                if tx.send(reply.encode()).is_err() {
+                    replies.remove(&client);
                 }
             }
         }
         served
     });
     ServerHandle {
-        tx: client_tx,
+        tx: mux_tx,
         rx: client_rx,
+        next_client: AtomicUsize::new(1),
         join: Some(join),
     }
 }
@@ -293,14 +454,35 @@ fn predicted_suffix(models: &PredictionModels, graph: &ComputationGraph, p: usiz
 }
 
 impl ServerHandle {
-    /// Sends a raw frame to the server (used by the client and by
-    /// fault-injection tests).
+    /// Sends a raw frame to the server as session 0 (used by the client
+    /// and by fault-injection tests).
     ///
     /// # Errors
     ///
     /// Fails if the server thread has exited.
     pub fn send_frame(&self, frame: Bytes) -> Result<(), SendError<Bytes>> {
-        self.tx.send(frame)
+        self.tx.send(ToServer::Frame(0, frame)).map_err(|e| {
+            let ToServer::Frame(_, frame) = e.0 else {
+                unreachable!("send_frame only wraps frames");
+            };
+            SendError(frame)
+        })
+    }
+
+    /// Opens an additional client session with its own reply channel.
+    /// Frames sent over the returned [`ClientConn`] are answered on that
+    /// session's channel only, so concurrent clients never steal each
+    /// other's responses.
+    #[must_use]
+    pub fn connect(&self) -> ClientConn {
+        let id = self.next_client.fetch_add(1, Ordering::Relaxed);
+        let (reply_tx, reply_rx) = channel::<Bytes>();
+        let _ = self.tx.send(ToServer::Connect(id, reply_tx));
+        ClientConn {
+            id,
+            tx: self.tx.clone(),
+            rx: reply_rx,
+        }
     }
 
     /// Receives the next frame from the server, blocking indefinitely.
@@ -331,18 +513,20 @@ impl ServerHandle {
     }
 
     /// Shuts the server down and returns how many offload requests it
-    /// served.
+    /// served. A panicked server thread is reported as
+    /// [`ProtocolError::ServerPanicked`] instead of propagating the panic
+    /// into the caller.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the server thread panicked.
-    pub fn shutdown(mut self) -> u64 {
-        let _ = self.tx.send(Message::Shutdown.encode());
+    /// [`ProtocolError::ServerPanicked`] when the server thread panicked.
+    pub fn shutdown(mut self) -> Result<u64, ProtocolError> {
+        let _ = self.send_frame(Message::Shutdown.encode());
         self.join
             .take()
             .expect("not yet joined")
             .join()
-            .expect("server thread healthy")
+            .map_err(|_| ProtocolError::ServerPanicked)
     }
 }
 
@@ -359,7 +543,7 @@ impl FrameChannel for ServerHandle {
 
 impl Drop for ServerHandle {
     fn drop(&mut self) {
-        let _ = self.tx.send(Message::Shutdown.encode());
+        let _ = self.tx.send(ToServer::Frame(0, Message::Shutdown.encode()));
         if let Some(j) = self.join.take() {
             let _ = j.join();
         }
@@ -500,7 +684,7 @@ mod tests {
         assert!(r.server > SimDuration::ZERO);
         assert!(!r.fallback_local);
         assert_eq!(r.retries, 0);
-        assert_eq!(server.shutdown(), 1);
+        assert_eq!(server.shutdown().expect("clean shutdown"), 1);
     }
 
     #[test]
@@ -522,7 +706,7 @@ mod tests {
         // And the next decision moves device-ward (or stays).
         let p_after = client.infer(&server, 8.0).expect("ok").p;
         assert!(p_after >= p_before, "{p_before} -> {p_after}");
-        server.shutdown();
+        server.shutdown().expect("clean shutdown");
     }
 
     #[test]
@@ -534,7 +718,11 @@ mod tests {
         let r = client.infer(&server, 0.05).expect("ok");
         assert_eq!(r.p, 27);
         assert_eq!(r.uploaded_bytes, 0);
-        assert_eq!(server.shutdown(), 0, "no offload requests should arrive");
+        assert_eq!(
+            server.shutdown().expect("clean shutdown"),
+            0,
+            "no offload requests should arrive"
+        );
     }
 
     #[test]
@@ -553,7 +741,7 @@ mod tests {
         let mut client = ThreadedClient::new(graph, user, edge);
         let r = client.infer(&server, 8.0).expect("still serving");
         assert!(r.server > SimDuration::ZERO);
-        assert_eq!(server.shutdown(), 1);
+        assert_eq!(server.shutdown().expect("clean shutdown"), 1);
     }
 
     #[test]
@@ -571,7 +759,7 @@ mod tests {
             .expect("alive");
         let ack = Message::decode(server.recv_frame().expect("alive")).expect("valid");
         assert_eq!(ack, Message::ProbeAck);
-        server.shutdown();
+        server.shutdown().expect("clean shutdown");
     }
 
     #[test]
@@ -592,7 +780,7 @@ mod tests {
             let r = client.infer(&server, 8.0).expect("ok");
             assert_eq!(r.request_id, expect);
         }
-        server.shutdown();
+        server.shutdown().expect("clean shutdown");
     }
 
     #[test]
@@ -647,7 +835,7 @@ mod tests {
             }
         }
         assert_eq!(last_k, 1.0, "stale samples must age out while idle");
-        server.shutdown();
+        server.shutdown().expect("clean shutdown");
     }
 
     #[test]
@@ -660,7 +848,7 @@ mod tests {
             1.0,
             ServerFaultSpec {
                 crash_after_frames: Some(1),
-                stall: None,
+                ..ServerFaultSpec::default()
             },
         );
         // Frame 1 is served; frame 2 crosses the threshold and kills the
@@ -695,11 +883,11 @@ mod tests {
             edge.clone(),
             1.0,
             ServerFaultSpec {
-                crash_after_frames: None,
                 stall: Some(StallWindow {
                     after_frames: 0,
                     frames: 2,
                 }),
+                ..ServerFaultSpec::default()
             },
         );
         // Frames 0 and 1 go unanswered; frame 2 is served again.
@@ -722,6 +910,135 @@ mod tests {
         )
         .expect("valid");
         assert!(matches!(reply, Message::LoadReply { .. }));
-        server.shutdown();
+        server.shutdown().expect("clean shutdown");
+    }
+
+    #[test]
+    fn scripted_panic_is_reported_not_propagated() {
+        let (_, edge) = models();
+        let graph = lp_models::alexnet(1);
+        let server = spawn_server_with_faults(
+            graph,
+            edge.clone(),
+            1.0,
+            ServerFaultSpec {
+                panic_after_frames: Some(1),
+                ..ServerFaultSpec::default()
+            },
+        );
+        // Frame 1 is served; frame 2 (the shutdown itself) crosses the
+        // threshold and panics the thread. The teardown path must surface
+        // that as an error, not a propagated panic.
+        server
+            .send_frame(
+                Message::Probe {
+                    payload: Bytes::new(),
+                }
+                .encode(),
+            )
+            .expect("alive");
+        assert_eq!(
+            Message::decode(server.recv_frame().expect("alive")).expect("valid"),
+            Message::ProbeAck
+        );
+        assert_eq!(server.shutdown(), Err(ProtocolError::ServerPanicked));
+    }
+
+    #[test]
+    fn connected_sessions_get_their_own_replies() {
+        let (_, edge) = models();
+        let graph = lp_models::alexnet(1);
+        let server = spawn_server(graph, edge.clone(), 1.0);
+        let a = server.connect();
+        let b = server.connect();
+        assert_ne!(a.id(), b.id());
+        // Interleave queries from both sessions plus the handle itself;
+        // every reply must land on the channel that asked.
+        for conn in [&a, &b] {
+            conn.send(Message::LoadQuery.encode()).expect("alive");
+        }
+        server
+            .send_frame(Message::LoadQuery.encode())
+            .expect("alive");
+        let deadline = Instant::now() + Duration::from_secs(1);
+        for conn in [&a, &b] {
+            let reply = Message::decode(conn.recv_deadline(deadline).expect("routed")).expect("ok");
+            assert!(matches!(reply, Message::LoadReply { .. }));
+        }
+        let reply = Message::decode(
+            server
+                .recv_frame_timeout(Duration::from_secs(1))
+                .expect("routed"),
+        )
+        .expect("ok");
+        assert!(matches!(reply, Message::LoadReply { .. }));
+        server.shutdown().expect("clean shutdown");
+    }
+
+    #[test]
+    fn admission_rejects_over_the_wire() {
+        let (_, edge) = models();
+        let graph = lp_models::alexnet(1);
+        let server = spawn_server_full(
+            graph,
+            edge.clone(),
+            LoadEnv::new(1.0),
+            ServerFaultSpec::default(),
+            Some(AdmissionConfig {
+                max_inflight: 0,
+                max_queue_delay: SimDuration::from_secs(1000),
+            }),
+            &Telemetry::disabled(),
+        );
+        server
+            .send_frame(
+                Message::OffloadRequest {
+                    request_id: 7,
+                    partition_point: 5,
+                    payload: Bytes::from(vec![0u8; 64]),
+                }
+                .encode(),
+            )
+            .expect("alive");
+        let reply = Message::decode(
+            server
+                .recv_frame_timeout(Duration::from_secs(1))
+                .expect("answered"),
+        )
+        .expect("valid");
+        match reply {
+            Message::Rejected { request_id, .. } => assert_eq!(request_id, 7),
+            other => panic!("expected rejection, got {other:?}"),
+        }
+        assert_eq!(
+            server.shutdown().expect("clean shutdown"),
+            0,
+            "a shed request is not served"
+        );
+    }
+
+    #[test]
+    fn load_env_can_respike_mid_run() {
+        let (user, edge) = models();
+        let graph = lp_models::alexnet(1);
+        let env = LoadEnv::new(1.0);
+        let server = spawn_server_full(
+            graph.clone(),
+            edge.clone(),
+            env.clone(),
+            ServerFaultSpec::default(),
+            None,
+            &Telemetry::disabled(),
+        );
+        let mut client = ThreadedClient::new(graph, user, edge);
+        client.infer(&server, 8.0).expect("ok");
+        assert!(client.refresh_k(&server).expect("ok") < 1.5);
+        // Spike the environment mid-session: measured k must follow.
+        env.set_k(6.0);
+        for _ in 0..4 {
+            client.infer(&server, 8.0).expect("ok");
+        }
+        assert!(client.refresh_k(&server).expect("ok") > 4.0);
+        server.shutdown().expect("clean shutdown");
     }
 }

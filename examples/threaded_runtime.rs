@@ -37,7 +37,7 @@ fn main() {
         );
     }
 
-    let served = server.shutdown();
+    let served = server.shutdown().expect("server exits cleanly");
     println!("\nserver thread exited cleanly after serving {served} offload requests");
     println!(
         "note how the first request runs with k = 1, the profiler's load\n\

@@ -54,7 +54,7 @@ fn cosim_and_threaded_pick_the_same_partition() {
         "same bandwidth + same k must give the same partition point"
     );
     assert_eq!(t.k_used, r.k_used);
-    server.shutdown();
+    server.shutdown().expect("clean shutdown");
 }
 
 /// Under load, the threaded client's fetched `k` matches what its server's
@@ -84,7 +84,7 @@ fn threaded_k_is_consistent_with_the_solver() {
         r.p, expected_p,
         "decision must match the solver at (8.0, {k})"
     );
-    server.shutdown();
+    server.shutdown().expect("clean shutdown");
 }
 
 /// Both drivers run the same engine, so an offloaded request must produce
@@ -121,7 +121,7 @@ fn cosim_and_threaded_emit_the_same_span_sequence() {
         .infer(&server, r.bandwidth_est_mbps)
         .expect("protocol ok");
     assert!(t.offloaded());
-    server.shutdown();
+    server.shutdown().expect("clean shutdown");
 
     let cosim_kinds = cosim_sink.kinds_for(r.request_id);
     let wire_kinds = wire_sink.kinds_for(t.request_id);
@@ -181,9 +181,112 @@ fn local_decisions_emit_the_same_abbreviated_span_sequence() {
     client.set_telemetry(Telemetry::enabled().with_sink(wire_sink.clone()));
     let t = client.infer(&server, 0.05).expect("protocol ok");
     assert!(!t.offloaded(), "0.05 Mbps must decide local");
-    server.shutdown();
+    server.shutdown().expect("clean shutdown");
 
     let expected = vec![SpanKind::Decide, SpanKind::DevicePrefix, SpanKind::Finish];
     assert_eq!(cosim_sink.kinds_for(r.request_id), expected);
     assert_eq!(wire_sink.kinds_for(t.request_id), expected);
+}
+
+/// A request shed by server-side admission control emits the *same* span
+/// schema from both drivers: decide, device_prefix, upload, rejected,
+/// finish. The rejection happens after the upload (the server assesses the
+/// request it received), completes locally, and is never labelled a
+/// fallback.
+#[test]
+fn shed_requests_emit_the_same_span_sequence() {
+    use loadpart::{spawn_server_full, AdmissionConfig, EngineConfig, LoadEnv, ServerFaultSpec};
+
+    let (user, edge) = models();
+    let graph = lp_models::alexnet(1);
+    // A zero in-flight budget sheds every offload — deterministically.
+    let admission = AdmissionConfig {
+        max_inflight: 0,
+        ..AdmissionConfig::default()
+    };
+
+    let cosim_sink = RingSink::new(64);
+    let mut sys = OffloadingSystem::new(
+        graph.clone(),
+        Policy::LoadPart,
+        Testbed::with_constant_bandwidth(8.0, 5),
+        user,
+        edge.clone(),
+        SystemConfig {
+            seed: 5,
+            ..SystemConfig::default()
+        },
+    );
+    sys.set_admission(admission);
+    sys.set_telemetry(Telemetry::enabled().with_sink(cosim_sink.clone()));
+    let r = sys.infer(SimTime::ZERO + SimDuration::from_secs(1));
+    assert!(r.rejected && !r.fallback_local, "{r:?}");
+    assert_eq!(r.server, SimDuration::ZERO, "no suffix ran on the server");
+
+    let wire_sink = RingSink::new(64);
+    let server = spawn_server_full(
+        graph.clone(),
+        edge.clone(),
+        LoadEnv::new(1.0),
+        ServerFaultSpec::default(),
+        Some(admission),
+        &Telemetry::disabled(),
+    );
+    let mut client = ThreadedClient::new(graph.clone(), user, edge);
+    client.set_telemetry(Telemetry::enabled().with_sink(wire_sink.clone()));
+    let t = client
+        .infer(&server, r.bandwidth_est_mbps)
+        .expect("shed, not an error");
+    assert!(t.rejected && !t.fallback_local, "{t:?}");
+    assert_eq!(t.server, SimDuration::ZERO, "no suffix ran on the server");
+    server.shutdown().expect("clean shutdown");
+
+    let expected = vec![
+        SpanKind::Decide,
+        SpanKind::DevicePrefix,
+        SpanKind::Upload,
+        SpanKind::Rejected,
+        SpanKind::Finish,
+    ];
+    assert_eq!(cosim_sink.kinds_for(r.request_id), expected);
+    assert_eq!(wire_sink.kinds_for(t.request_id), expected);
+
+    // A hair-trigger breaker adds its transition span between the
+    // rejection and the finish — the only schema difference breakers make.
+    let breaker_sink = RingSink::new(64);
+    let server = spawn_server_full(
+        graph.clone(),
+        edge.clone(),
+        LoadEnv::new(1.0),
+        ServerFaultSpec::default(),
+        Some(admission),
+        &Telemetry::disabled(),
+    );
+    let mut client = ThreadedClient::with_config(
+        graph,
+        user,
+        edge,
+        EngineConfig {
+            breaker_failure_threshold: 1,
+            ..EngineConfig::default()
+        },
+    )
+    .expect("valid config");
+    client.set_telemetry(Telemetry::enabled().with_sink(breaker_sink.clone()));
+    let b = client
+        .infer(&server, r.bandwidth_est_mbps)
+        .expect("shed, not an error");
+    assert!(b.rejected, "{b:?}");
+    server.shutdown().expect("clean shutdown");
+    assert_eq!(
+        breaker_sink.kinds_for(b.request_id),
+        vec![
+            SpanKind::Decide,
+            SpanKind::DevicePrefix,
+            SpanKind::Upload,
+            SpanKind::Rejected,
+            SpanKind::Breaker,
+            SpanKind::Finish,
+        ]
+    );
 }

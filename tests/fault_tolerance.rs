@@ -59,7 +59,7 @@ fn dropped_offload_request_is_absorbed_by_a_retry() {
     assert!(!r.fallback_local);
     assert_eq!(r.retries, 1, "exactly one resend");
     assert_eq!(inj.faults_injected(), 1);
-    assert_eq!(server.shutdown(), 1);
+    assert_eq!(server.shutdown(), Ok(1));
 }
 
 #[test]
@@ -92,7 +92,11 @@ fn persistent_drops_degrade_locally_then_recover() {
     // resumes on the same channel.
     let r2 = client.infer(&inj, 8.0).expect("no panic");
     assert!(r2.offloaded() && !r2.fallback_local, "{r2:?}");
-    assert_eq!(server.shutdown(), 1, "only the recovered request arrived");
+    assert_eq!(
+        server.shutdown(),
+        Ok(1),
+        "only the recovered request arrived"
+    );
 }
 
 #[test]
@@ -113,7 +117,11 @@ fn reply_delayed_past_the_deadline_is_recovered_as_stale() {
     let r1 = client.infer(&inj, 8.0).expect("stale frame skipped");
     assert!(r1.offloaded() && !r1.fallback_local);
     assert_eq!(r1.retries, 0);
-    assert_eq!(server.shutdown(), 3, "request 0 twice (retry) + request 1");
+    assert_eq!(
+        server.shutdown(),
+        Ok(3),
+        "request 0 twice (retry) + request 1"
+    );
 }
 
 #[test]
@@ -134,7 +142,7 @@ fn corrupt_frames_in_both_directions_are_retried() {
     assert!(r.offloaded() && !r.fallback_local, "{r:?}");
     assert_eq!(r.retries, 2, "one refresh retry + one offload retry");
     assert_eq!(inj.faults_injected(), 2);
-    assert_eq!(server.shutdown(), 2, "original + retried offload");
+    assert_eq!(server.shutdown(), Ok(2), "original + retried offload");
 }
 
 #[test]
@@ -155,7 +163,7 @@ fn duplicated_reply_is_drained_not_misattributed() {
             "{r:?}"
         );
     }
-    assert_eq!(server.shutdown(), 2);
+    assert_eq!(server.shutdown(), Ok(2));
 }
 
 #[test]
@@ -170,7 +178,7 @@ fn server_crash_mid_session_falls_back_then_fresh_server_recovers() {
         1.0,
         ServerFaultSpec {
             crash_after_frames: Some(5),
-            stall: None,
+            ..ServerFaultSpec::default()
         },
     );
     let mut client = fast_client(graph.clone());
@@ -195,7 +203,7 @@ fn server_crash_mid_session_falls_back_then_fresh_server_recovers() {
     let r3 = client.infer(&server, 8.0).expect("recovered");
     assert!(r3.offloaded() && !r3.fallback_local, "{r3:?}");
     assert_eq!(r3.retries, 0);
-    assert_eq!(server.shutdown(), 1);
+    assert_eq!(server.shutdown(), Ok(1));
 }
 
 #[test]
@@ -210,11 +218,11 @@ fn server_stall_window_degrades_then_same_server_recovers() {
         edge.clone(),
         1.0,
         ServerFaultSpec {
-            crash_after_frames: None,
             stall: Some(StallWindow {
                 after_frames: 3,
                 frames: 3,
             }),
+            ..ServerFaultSpec::default()
         },
     );
     let mut client = fast_client(graph);
@@ -231,5 +239,111 @@ fn server_stall_window_degrades_then_same_server_recovers() {
 
     let r3 = client.infer(&server, 8.0).expect("recovered");
     assert!(r3.offloaded() && !r3.fallback_local, "{r3:?}");
-    assert_eq!(server.shutdown(), 2, "requests 0 and 3 were served");
+    assert_eq!(server.shutdown(), Ok(2), "requests 0 and 3 were served");
+}
+
+/// A middlebox that rewrites the tag byte of one scripted reply to a value
+/// this protocol version has never assigned — the frame a *newer* server
+/// would send to an old client.
+struct FutureTagRewriter<'a, C: loadpart::FrameChannel> {
+    inner: &'a C,
+    recvs: std::sync::Mutex<u64>,
+    target: u64,
+}
+
+impl<C: loadpart::FrameChannel> loadpart::FrameChannel for FutureTagRewriter<'_, C> {
+    fn send(&self, frame: bytes::Bytes) -> Result<(), loadpart::ProtocolError> {
+        self.inner.send(frame)
+    }
+
+    fn recv_deadline(
+        &self,
+        deadline: std::time::Instant,
+    ) -> Result<bytes::Bytes, loadpart::ProtocolError> {
+        let frame = self.inner.recv_deadline(deadline)?;
+        let mut recvs = self.recvs.lock().expect("test lock");
+        let idx = *recvs;
+        *recvs += 1;
+        if idx == self.target && frame.len() >= 2 {
+            // Keep the version byte; claim a tag from the future.
+            let mut b = bytes::BytesMut::with_capacity(frame.len());
+            use bytes::BufMut;
+            b.put_u8(frame[0]);
+            b.put_u8(0xEE);
+            b.put_slice(&frame[2..]);
+            return Ok(b.freeze());
+        }
+        Ok(frame)
+    }
+}
+
+/// Wire compatibility: a frame carrying a tag this decoder does not know
+/// (e.g. `Rejected` arriving at a pre-`Rejected` client) maps to
+/// [`ProtocolError::Unexpected`] — never a panic — and the bounded retry
+/// absorbs it like any other malformed reply.
+#[test]
+fn future_tag_reply_degrades_gracefully_on_an_old_decoder() {
+    use loadpart::{Message, ProtocolError};
+
+    // The decoder itself: unknown tag is an error value, not a panic.
+    let mut raw = bytes::BytesMut::new();
+    {
+        use bytes::BufMut;
+        raw.put_u8(1); // current protocol version
+        raw.put_u8(0xEE); // a tag from the future
+        raw.put_u8(0); // payload the old decoder cannot know
+    }
+    assert_eq!(
+        Message::decode(raw.freeze()),
+        Err(ProtocolError::UnknownTag(0xEE))
+    );
+
+    // End to end: the offload response (recv frame 2) arrives with a
+    // future tag; the client treats it as an unexpected reply and retries.
+    let (_, edge) = models();
+    let graph = lp_models::alexnet(1);
+    let server = spawn_server(graph.clone(), edge.clone(), 1.0);
+    let mut client = fast_client(graph);
+    let rewriter = FutureTagRewriter {
+        inner: &server,
+        recvs: std::sync::Mutex::new(0),
+        target: 2,
+    };
+    let r = client.infer(&rewriter, 8.0).expect("no panic");
+    assert!(r.offloaded() && !r.fallback_local, "{r:?}");
+    assert_eq!(r.retries, 1, "the unknown-tag reply costs one retry");
+    assert_eq!(server.shutdown(), Ok(2), "original + retried offload");
+}
+
+/// A server thread that panics mid-session degrades the in-flight request
+/// to local and surfaces the panic as `Err(ServerPanicked)` at shutdown —
+/// the panic never crosses into the client.
+#[test]
+fn server_panic_mid_session_is_reported_at_shutdown() {
+    use loadpart::ProtocolError;
+
+    let (_, edge) = models();
+    let graph = lp_models::alexnet(1);
+    // Frames 0-2 serve request 0; frame 3 (request 1's probe) crosses the
+    // threshold and panics the server thread.
+    let server = spawn_server_with_faults(
+        graph.clone(),
+        edge.clone(),
+        1.0,
+        ServerFaultSpec {
+            panic_after_frames: Some(3),
+            ..ServerFaultSpec::default()
+        },
+    );
+    let mut client = fast_client(graph);
+
+    let r0 = client.infer(&server, 8.0).expect("healthy");
+    assert!(r0.offloaded() && !r0.fallback_local);
+
+    let r1 = client
+        .infer(&server, 8.0)
+        .expect("no panic crosses the wire");
+    assert!(r1.fallback_local, "{r1:?}");
+
+    assert_eq!(server.shutdown(), Err(ProtocolError::ServerPanicked));
 }

@@ -5,7 +5,10 @@
 //! failures reproduce exactly (no external property-testing framework in
 //! this offline build — the invariants are unchanged).
 
-use loadpart::PartitionSolver;
+use loadpart::{
+    AdmissionConfig, AdmissionController, AdmissionDecision, BreakerState, CircuitBreaker,
+    PartitionSolver, WireGate,
+};
 use lp_graph::cut::cut_at;
 use lp_graph::partition::{extract_segment, partition_at, Segment};
 use lp_graph::{
@@ -13,6 +16,7 @@ use lp_graph::{
     PoolAttrs, ValueId,
 };
 use lp_linalg::{nnls, Matrix};
+use lp_sim::{SimDuration, SimTime};
 use lp_tensor::{Shape, TensorDesc};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -177,6 +181,155 @@ fn optimal_p_monotone_in_k() {
             let p = solver.decide(8.0, k10 as f64 / 10.0).p;
             assert!(p >= prev, "p went from {prev} back to {p} at k={k10}");
             prev = p;
+        }
+    }
+}
+
+/// Drives a breaker through a random schedule of gates, successes and
+/// failures at monotonically advancing times. Every individual breaker
+/// call appends one observation `(time, gate verdict if any, state right
+/// after the call)`, so the state sequence has no hidden intermediate
+/// steps.
+fn random_breaker_trace(rng: &mut StdRng) -> Vec<(SimTime, Option<WireGate>, BreakerState)> {
+    let threshold = rng.gen_range(1u32..4);
+    let open_ms = rng.gen_range(50u64..500);
+    let probe_ms = rng.gen_range(20u64..200);
+    let mut b = CircuitBreaker::new(
+        threshold,
+        SimDuration::from_millis(open_ms),
+        SimDuration::from_millis(probe_ms),
+    );
+    let mut now = SimTime::ZERO;
+    let steps = rng.gen_range(20usize..120);
+    let mut trace = Vec::with_capacity(steps);
+    for _ in 0..steps {
+        now += SimDuration::from_millis(rng.gen_range(1u64..150));
+        match rng.gen_range(0u8..4) {
+            0 => {
+                let g = b.gate(now);
+                trace.push((now, Some(g), b.state()));
+            }
+            1 => {
+                b.record_success(now);
+                trace.push((now, None, b.state()));
+            }
+            2 => {
+                b.record_failure(now);
+                trace.push((now, None, b.state()));
+            }
+            _ => {
+                // A full request: gate, then an outcome consistent with it.
+                let g = b.gate(now);
+                trace.push((now, Some(g), b.state()));
+                if g != WireGate::Block {
+                    if rng.gen_range(0u8..2) == 0 {
+                        b.record_failure(now);
+                    } else {
+                        b.record_success(now);
+                    }
+                    trace.push((now, None, b.state()));
+                }
+            }
+        }
+    }
+    trace
+}
+
+/// The breaker state machine never skips half-open on the way back to
+/// closed: a recovering client always probes before resuming full traffic.
+#[test]
+fn breaker_recovery_never_skips_half_open() {
+    let mut rng = StdRng::seed_from_u64(0x0A11_CE07);
+    for _ in 0..CASES {
+        let mut prev = BreakerState::Closed;
+        for (now, _, state) in random_breaker_trace(&mut rng) {
+            assert!(
+                !(prev == BreakerState::Open && state == BreakerState::Closed),
+                "open -> closed without a half-open probe at {now:?}"
+            );
+            if state == BreakerState::Closed && prev != BreakerState::Closed {
+                assert_eq!(
+                    prev,
+                    BreakerState::HalfOpen,
+                    "closed is only entered from half-open"
+                );
+            }
+            prev = state;
+        }
+    }
+}
+
+/// An open breaker emits no wire traffic at all, a half-open breaker at
+/// most one probe per probe period, and full traffic only flows closed.
+#[test]
+fn breaker_open_state_blocks_all_wire_traffic_except_the_probe() {
+    let mut rng = StdRng::seed_from_u64(0x0A11_CE08);
+    for _ in 0..CASES {
+        let mut last_probe: Option<SimTime> = None;
+        for (now, gate, state) in random_breaker_trace(&mut rng) {
+            let Some(gate) = gate else { continue };
+            match gate {
+                WireGate::Pass => assert_eq!(
+                    state,
+                    BreakerState::Closed,
+                    "full wire traffic only while closed"
+                ),
+                WireGate::Probe => {
+                    assert_eq!(state, BreakerState::HalfOpen, "probes only half-open");
+                    if let Some(last) = last_probe {
+                        assert!(
+                            now.since(last) >= SimDuration::from_millis(20),
+                            "probes paced at least a probe period apart"
+                        );
+                    }
+                    last_probe = Some(now);
+                }
+                WireGate::Block => {
+                    assert_ne!(state, BreakerState::Closed, "a closed breaker never blocks")
+                }
+            }
+        }
+    }
+}
+
+/// Admission control never lets pending work exceed its budget, under any
+/// interleaving of arrivals: in-flight suffixes stay within `max_inflight`
+/// and an admitted request never waits longer than `max_queue_delay`.
+#[test]
+fn admission_pending_work_never_exceeds_budget() {
+    let mut rng = StdRng::seed_from_u64(0x0A11_CE09);
+    for _ in 0..CASES {
+        let config = AdmissionConfig {
+            max_inflight: rng.gen_range(1usize..6),
+            max_queue_delay: SimDuration::from_millis(rng.gen_range(10u64..300)),
+        };
+        let mut ctl = AdmissionController::new(config);
+        let mut now = SimTime::ZERO;
+        let mut assessed = 0u64;
+        for _ in 0..rng.gen_range(20usize..200) {
+            now += SimDuration::from_millis(rng.gen_range(0u64..80));
+            let scaled = SimDuration::from_millis(rng.gen_range(1u64..400));
+            match ctl.assess(now, scaled) {
+                AdmissionDecision::Admit { start, completion } => {
+                    assert!(start >= now, "work never starts in the past");
+                    assert_eq!(completion, start + scaled);
+                    assert!(
+                        start.since(now) <= config.max_queue_delay,
+                        "admitted work never waits past the delay budget"
+                    );
+                }
+                AdmissionDecision::Reject { retry_after } => {
+                    // The hint reflects the actual backlog: waiting that
+                    // long (plus any in-flight cap pressure) drains it.
+                    assert!(retry_after <= config.max_queue_delay + SimDuration::from_millis(400));
+                }
+            }
+            assessed += 1;
+            assert!(
+                ctl.inflight(now) <= config.max_inflight,
+                "pending suffixes exceed the in-flight budget"
+            );
+            assert_eq!(ctl.admitted() + ctl.rejected(), assessed);
         }
     }
 }
