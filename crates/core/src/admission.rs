@@ -41,7 +41,9 @@ impl AdmissionConfig {
     pub fn unbounded() -> Self {
         AdmissionConfig {
             max_inflight: usize::MAX,
-            max_queue_delay: SimDuration::from_secs(u64::MAX / 4),
+            // The largest representable duration: `from_secs` here would
+            // overflow the nanosecond representation (a debug-build panic).
+            max_queue_delay: SimDuration::from_nanos(u64::MAX),
         }
     }
 }

@@ -8,6 +8,7 @@
 //! loadpart faults    [--model alexnet] [--crash-after 5] [--bandwidth 8]
 //! loadpart report    [--model squeezenet] [--clients 4] [--duration 30] [--trace spans.jsonl]
 //! loadpart chaos     [--model alexnet] [--clients 8] [--rounds 13] [--spike-k 40]
+//! loadpart bench     [--quick] [--out BENCH_serving.json] [--requests 40] [--suffix-cost-ms 2]
 //! ```
 //!
 //! `decide` runs the offline profiler (training the NNLS prediction models
@@ -20,12 +21,15 @@
 //! and prints the metrics registry (optionally exporting per-request trace
 //! spans as JSONL); `chaos` runs the overload-protection soak — N threaded
 //! clients through a scripted GPU load spike against an admission-controlled
-//! server, with per-client shed/breaker outcomes and the metrics registry.
+//! server, with per-client shed/breaker outcomes and the metrics registry;
+//! `bench` runs the serving-throughput benchmark — the pre-PR
+//! single-threaded copying server versus the sharded zero-copy worker pool
+//! at 1/4/8/16 concurrent wire clients — and writes `BENCH_serving.json`.
 
 use loadpart::{
-    chaos_run, multi_client_run_with_telemetry, spawn_server, spawn_server_with_faults,
-    ChaosConfig, EngineConfig, InferenceRecord, JsonlSink, MultiClientConfig, PartitionSolver,
-    ServerFaultSpec, Telemetry, ThreadedClient,
+    chaos_run, multi_client_run_with_telemetry, serving_bench, spawn_server,
+    spawn_server_with_faults, BenchConfig, ChaosConfig, EngineConfig, InferenceRecord, JsonlSink,
+    MultiClientConfig, PartitionSolver, ServerFaultSpec, Telemetry, ThreadedClient,
 };
 use lp_sim::SimDuration;
 use std::collections::HashMap;
@@ -57,7 +61,8 @@ const USAGE: &str = "usage:
   loadpart partition --model <name> --p <point> [--dot]
   loadpart faults    [--model <name>] [--crash-after <frames>] [--bandwidth <Mbps>] [--samples <n>] [--seed <n>]
   loadpart report    [--model <name>] [--clients <n>] [--duration <secs>] [--bandwidth <Mbps>] [--samples <n>] [--seed <n>] [--trace <file.jsonl>]
-  loadpart chaos     [--model <name>] [--clients <n>] [--rounds <n>] [--spike-k <factor>] [--bandwidth <Mbps>] [--samples <n>] [--seed <n>]";
+  loadpart chaos     [--model <name>] [--clients <n>] [--rounds <n>] [--spike-k <factor>] [--bandwidth <Mbps>] [--samples <n>] [--seed <n>]
+  loadpart bench     [--quick] [--out <file.json>] [--requests <n>] [--suffix-cost-ms <ms>] [--seed <n>]";
 
 /// Parses `--key value` pairs (and bare `--flag`s) after the subcommand.
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -112,6 +117,7 @@ fn run(args: &[String]) -> Result<String, String> {
         "faults" => cmd_faults(&flags),
         "report" => cmd_report(&flags),
         "chaos" => cmd_chaos(&flags),
+        "bench" => cmd_bench(&flags),
         other => Err(format!("unknown subcommand {other:?}")),
     }
 }
@@ -420,6 +426,41 @@ fn cmd_chaos(flags: &HashMap<String, String>) -> Result<String, String> {
     Ok(out)
 }
 
+fn cmd_bench(flags: &HashMap<String, String>) -> Result<String, String> {
+    let mut config = if flags.contains_key("quick") {
+        BenchConfig::quick()
+    } else {
+        BenchConfig::default()
+    };
+    config.requests_per_client = get_parsed(flags, "requests", Some(config.requests_per_client))?;
+    let suffix_ms: f64 = get_parsed(
+        flags,
+        "suffix-cost-ms",
+        Some(config.suffix_cost.as_secs_f64() * 1e3),
+    )?;
+    if suffix_ms < 0.0 {
+        return Err("--suffix-cost-ms must be non-negative".to_string());
+    }
+    if config.requests_per_client == 0 {
+        return Err("--requests must be positive".to_string());
+    }
+    config.suffix_cost = Duration::from_secs_f64(suffix_ms / 1e3);
+    config.seed = get_parsed(flags, "seed", Some(config.seed))?;
+    let out_path = flags
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "BENCH_serving.json".to_string());
+    if out_path.is_empty() {
+        return Err("--out needs a file path".to_string());
+    }
+    let report = serving_bench(&config);
+    std::fs::write(&out_path, report.to_json().to_string_pretty())
+        .map_err(|e| format!("cannot write {out_path:?}: {e}"))?;
+    let mut out = report.render_table();
+    out.push_str(&format!("report written to {out_path}"));
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -501,6 +542,27 @@ mod tests {
         assert!(out.contains("server.rejected_total"), "{out}");
         assert!(out.contains("breaker.transitions_total"), "{out}");
         assert!(out.contains("all closed again"), "{out}");
+    }
+
+    #[test]
+    fn bench_writes_a_parseable_report() {
+        let dir = std::env::temp_dir().join("loadpart-bench-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("BENCH_serving.json");
+        let path = path.to_str().expect("utf-8 temp path");
+        let out = run(&argv(&format!(
+            "bench --quick --requests 3 --suffix-cost-ms 0.2 --out {path}"
+        )))
+        .expect("ok");
+        assert!(out.contains("req/s"), "{out}");
+        assert!(out.contains("speedup at"), "{out}");
+        let text = std::fs::read_to_string(path).expect("report file");
+        let json = lp_json::Json::parse(&text).expect("valid json");
+        assert_eq!(
+            json.get("benchmark").and_then(lp_json::Json::as_str),
+            Some("serving")
+        );
+        assert!(json.get("points").and_then(lp_json::Json::as_arr).is_some());
     }
 
     #[test]

@@ -225,8 +225,11 @@ pub fn chaos_run(
 ) -> Result<ChaosReport, ConfigError> {
     config.validate()?;
     let env = LoadEnv::new(config.base_k);
+    // One shared graph: the server and every client engine hold `Arc`
+    // bumps of a single copy.
+    let shared_graph = std::sync::Arc::new(graph.clone());
     let server = spawn_server_full(
-        graph.clone(),
+        std::sync::Arc::clone(&shared_graph),
         edge_models.clone(),
         env.clone(),
         ServerFaultSpec::default(),
@@ -245,7 +248,7 @@ pub fn chaos_run(
     let mut engines = Vec::with_capacity(config.n_clients);
     for i in 0..config.n_clients {
         let mut engine = OffloadEngine::new(
-            graph.clone(),
+            std::sync::Arc::clone(&shared_graph),
             Policy::LoadPart,
             user_models,
             edge_models,

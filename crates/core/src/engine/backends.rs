@@ -20,9 +20,9 @@
 use crate::admission::{AdmissionController, AdmissionDecision};
 use crate::cache::PartitionCache;
 use crate::engine::{DeviceExecutor, ServerBackend, SuffixOutcome, SuffixRequest, Transport};
-use crate::protocol::{Message, ProtocolError};
+use crate::pool::zero_payload;
+use crate::protocol::{Frame, Message, ProtocolError};
 use crate::threaded::{FrameChannel, ServerHandle};
-use bytes::Bytes;
 use lp_graph::ComputationGraph;
 use lp_hardware::{DeviceModel, GpuModel, GpuSim, TaskId};
 use lp_net::{Link, ProbeProfiler};
@@ -213,8 +213,8 @@ impl ServerBackend for GpuBackend<'_> {
 /// [`ProtocolError::Unexpected`] — an old client talking to a new server
 /// fails safe exactly like an out-of-order frame (retry, then local
 /// fallback), instead of treating the peer's valid frame as corruption.
-fn decode_reply(frame: Bytes) -> Result<Message, ProtocolError> {
-    Message::decode(frame).map_err(|e| match e {
+fn decode_reply(frame: Frame) -> Result<Message, ProtocolError> {
+    Message::decode_frame(frame).map_err(|e| match e {
         ProtocolError::UnknownTag(tag) => ProtocolError::Unexpected(tag),
         other => other,
     })
@@ -233,10 +233,10 @@ pub struct WireBackend<'a, C: FrameChannel + ?Sized = ServerHandle> {
 
 impl<C: FrameChannel + ?Sized> ServerBackend for WireBackend<'_, C> {
     fn query_k(&mut self, _now: SimTime) -> Result<f64, ProtocolError> {
-        self.server.send(Message::LoadQuery.encode())?;
+        self.server.send_split(Message::LoadQuery.to_frame())?;
         let deadline = Instant::now() + self.deadline;
         loop {
-            match decode_reply(self.server.recv_deadline(deadline)?)? {
+            match decode_reply(self.server.recv_split_deadline(deadline)?)? {
                 Message::LoadReply { k_micro } => return Ok(Message::micro_to_k(k_micro)),
                 // Stale survivors of a timed-out earlier exchange: skip.
                 Message::OffloadResponse { .. } | Message::ProbeAck | Message::Rejected { .. } => {
@@ -253,16 +253,19 @@ impl<C: FrameChannel + ?Sized> ServerBackend for WireBackend<'_, C> {
         req: &SuffixRequest,
         _rng: &mut StdRng,
     ) -> Result<SuffixOutcome, ProtocolError> {
+        // The simulated tensor payload comes from the shared zero pool and
+        // rides the frame as an `Arc` reference — no per-request
+        // allocation, no memcpy on the in-process channel path.
         let frame = Message::OffloadRequest {
             request_id: req.request_id,
             partition_point: req.p as u32,
-            payload: Bytes::from(vec![0u8; req.upload_bytes as usize]),
+            payload: zero_payload(req.upload_bytes as usize),
         }
-        .encode();
-        self.server.send(frame)?;
+        .to_frame();
+        self.server.send_split(frame)?;
         let deadline = Instant::now() + self.deadline;
         loop {
-            match decode_reply(self.server.recv_deadline(deadline)?)? {
+            match decode_reply(self.server.recv_split_deadline(deadline)?)? {
                 Message::OffloadResponse {
                     request_id,
                     server_time_us,
@@ -323,13 +326,13 @@ impl<C: FrameChannel + ?Sized> Transport for WireTransport<'_, C> {
     ) -> Result<(), ProtocolError> {
         let bytes = profiler.next_probe_bytes();
         let frame = Message::Probe {
-            payload: Bytes::from(vec![0u8; bytes as usize]),
+            payload: zero_payload(bytes as usize),
         }
-        .encode();
-        self.server.send(frame)?;
+        .to_frame();
+        self.server.send_split(frame)?;
         let deadline = Instant::now() + self.deadline;
         loop {
-            match decode_reply(self.server.recv_deadline(deadline)?)? {
+            match decode_reply(self.server.recv_split_deadline(deadline)?)? {
                 Message::ProbeAck => return Ok(()),
                 // Stale survivors of a timed-out earlier exchange: skip.
                 Message::OffloadResponse { .. }

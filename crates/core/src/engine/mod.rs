@@ -47,7 +47,7 @@ pub use config::{ConfigError, EngineConfig};
 pub use profile::RuntimeProfile;
 pub use record::InferenceRecord;
 
-use crate::algorithm::PartitionSolver;
+use crate::algorithm::{Decision, PartitionSolver};
 use crate::baselines::Policy;
 use crate::cache::PartitionCache;
 use crate::protocol::ProtocolError;
@@ -58,6 +58,7 @@ use lp_profiler::PredictionModels;
 use lp_sim::{SimDuration, SimTime};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 /// How a driver executes device-side layers.
 pub trait DeviceExecutor {
@@ -239,7 +240,7 @@ pub enum Outcome {
 /// server backends the driver supplies.
 #[derive(Debug)]
 pub struct OffloadEngine {
-    graph: ComputationGraph,
+    graph: Arc<ComputationGraph>,
     solver: PartitionSolver,
     policy: Policy,
     config: EngineConfig,
@@ -254,6 +255,20 @@ pub struct OffloadEngine {
     /// Transition count already surfaced through telemetry, so each
     /// finish span reports only the delta since the previous request.
     breaker_reported: u64,
+    /// The last healthy Algorithm-1 decision, keyed by micro-quantized
+    /// `(bandwidth, k)`. Between profiler refreshes both inputs repeat
+    /// exactly, so back-to-back requests skip the O(n) scan. Only the
+    /// healthy (no cooldown, breaker closed) branch reads or writes it —
+    /// degraded requests take the O(1) `latency_at(n, ..)` path anyway.
+    decision_memo: Option<((u64, u64), Decision)>,
+    /// Requests answered from `decision_memo`.
+    memo_hits: u64,
+}
+
+/// Quantizes a memo-key input to micro-units, the same precision the wire
+/// carries `k` at ([`Message::k_to_micro`](crate::Message::k_to_micro)).
+fn memo_quantize(x: f64) -> u64 {
+    (x * 1e6).round() as u64
 }
 
 impl OffloadEngine {
@@ -263,7 +278,7 @@ impl OffloadEngine {
     ///
     /// Rejects invalid configurations with [`ConfigError`].
     pub fn new(
-        graph: ComputationGraph,
+        graph: impl Into<Arc<ComputationGraph>>,
         policy: Policy,
         user_models: &PredictionModels,
         edge_models: &PredictionModels,
@@ -271,6 +286,7 @@ impl OffloadEngine {
         config: EngineConfig,
     ) -> Result<Self, ConfigError> {
         config.validate()?;
+        let graph: Arc<ComputationGraph> = graph.into();
         let solver = PartitionSolver::new(&graph, user_models, edge_models);
         let profile = RuntimeProfile::new(config.bandwidth_window, config.profiler_period);
         let rng = StdRng::seed_from_u64(config.seed);
@@ -295,7 +311,16 @@ impl OffloadEngine {
             metrics: None,
             breaker,
             breaker_reported: 0,
+            decision_memo: None,
+            memo_hits: 0,
         })
+    }
+
+    /// How many requests were answered from the decision memo instead of
+    /// re-running the Algorithm-1 scan.
+    #[must_use]
+    pub fn decision_memo_hits(&self) -> u64 {
+        self.memo_hits
     }
 
     /// Installs an observability handle. Instrument handles are registered
@@ -566,16 +591,44 @@ impl OffloadEngine {
         let n = self.graph.len();
         let bandwidth = self.profile.bandwidth_mbps(at);
         let k = self.profile.k();
-        let decide_started = self.metrics.as_ref().map(|_| std::time::Instant::now());
+        // Wall-clock spent actually deciding; memo hits skip both the O(n)
+        // scan and its timer setup.
+        let mut decide_secs: Option<f64> = None;
+        let mut memo_hit = false;
         let decision = match bandwidth {
-            Some(bw) if !faulted && !blocked => self.policy.decide(&self.solver, bw, k),
+            Some(bw) if !faulted && !blocked => {
+                let key = (memo_quantize(bw), memo_quantize(k));
+                match self.decision_memo {
+                    Some((cached_key, cached))
+                        if self.config.decision_memo && cached_key == key =>
+                    {
+                        memo_hit = true;
+                        self.memo_hits += 1;
+                        cached
+                    }
+                    _ => {
+                        let started = self.metrics.as_ref().map(|_| std::time::Instant::now());
+                        let d = self.policy.decide(&self.solver, bw, k);
+                        decide_secs = started.map(|s| s.elapsed().as_secs_f64());
+                        if self.config.decision_memo {
+                            self.decision_memo = Some((key, d));
+                        }
+                        d
+                    }
+                }
+            }
             // Degraded: everything runs on the device. `latency_at(n, ..)`
             // ignores the wire terms, so a placeholder bandwidth is fine
             // even when the very first refresh failed and no estimate
             // exists yet.
-            _ => self
-                .solver
-                .latency_at(n, bandwidth.unwrap_or(1.0), k.max(1.0)),
+            _ => {
+                let started = self.metrics.as_ref().map(|_| std::time::Instant::now());
+                let d = self
+                    .solver
+                    .latency_at(n, bandwidth.unwrap_or(1.0), k.max(1.0));
+                decide_secs = started.map(|s| s.elapsed().as_secs_f64());
+                d
+            }
         };
         let p = decision.p;
 
@@ -586,8 +639,11 @@ impl OffloadEngine {
 
         if let Some(m) = &self.metrics {
             m.requests.incr(1);
-            if let Some(started) = decide_started {
-                m.decision_seconds.observe(started.elapsed().as_secs_f64());
+            if let Some(secs) = decide_secs {
+                m.decision_seconds.observe(secs);
+            }
+            if memo_hit {
+                m.decision_memo_hits.incr(1);
             }
             if cache_hit {
                 m.cache_hits.incr(1);

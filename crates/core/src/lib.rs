@@ -35,6 +35,10 @@
 //! * [`telemetry`] — the observability layer shared by every driver:
 //!   metrics registry (counters/gauges/histograms) and per-request trace
 //!   spans through pluggable sinks, zero-cost when disabled.
+//! * [`pool`] — the shared zero-payload buffer pool backing the wire
+//!   runtime's zero-copy framing.
+//! * [`serving_bench`] — the reproducible serving throughput benchmark
+//!   behind `loadpart bench` (baseline vs. parallel hot path).
 //! * [`scenario`] — drivers that reproduce the paper's experiments
 //!   (bandwidth sweeps for Figures 6–8, load timelines for Figures 2/9).
 //!
@@ -62,8 +66,10 @@ pub mod energy;
 pub mod engine;
 pub mod fault;
 pub mod multi_client;
+pub mod pool;
 pub mod protocol;
 pub mod scenario;
+pub mod serving_bench;
 pub mod system;
 pub mod telemetry;
 pub mod threaded;
@@ -84,17 +90,19 @@ pub use multi_client::{
     multi_client_run, multi_client_run_with_telemetry, ClientOutcomes, MultiClientConfig,
     MultiClientReport,
 };
-pub use protocol::{Message, ProtocolError};
+pub use protocol::{framing_bytes_copied, Frame, Message, ProtocolError};
 pub use scenario::{
     bandwidth_sweep, load_timeline, load_timeline_with_telemetry, LoadPhase, SweepPoint,
     TimelinePoint,
 };
+pub use serving_bench::{serving_bench, BenchConfig, BenchMode, BenchPoint, BenchReport};
 pub use system::{OffloadingSystem, SystemConfig, Testbed};
 pub use telemetry::{
     JsonlSink, MetricsRegistry, MetricsSnapshot, RingSink, SpanEvent, SpanKind, Telemetry,
     TraceSink,
 };
 pub use threaded::{
-    spawn_server, spawn_server_full, spawn_server_instrumented, spawn_server_with_faults,
-    ClientConn, FrameChannel, LoadEnv, ServerFaultSpec, ServerHandle, StallWindow, ThreadedClient,
+    spawn_server, spawn_server_full, spawn_server_instrumented, spawn_server_tuned,
+    spawn_server_with_faults, ClientConn, FrameChannel, LoadEnv, ServerFaultSpec, ServerHandle,
+    ServerTuning, StallWindow, ThreadedClient,
 };

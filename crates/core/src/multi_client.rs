@@ -256,10 +256,13 @@ pub fn multi_client_run_with_telemetry(
     // same pending-work budget.
     let mut admission = config.admission.map(AdmissionController::new);
 
+    // One shared graph for the whole fleet: each engine holds an `Arc`
+    // bump, not its own multi-node deep copy.
+    let shared_graph = std::sync::Arc::new(graph.clone());
     let mut clients = Vec::with_capacity(config.n_clients);
     for i in 0..config.n_clients {
         let mut engine = OffloadEngine::new(
-            graph.clone(),
+            std::sync::Arc::clone(&shared_graph),
             config.policy,
             user_models,
             edge_models,

@@ -13,9 +13,81 @@
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Protocol version carried in every frame.
 pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Process-wide count of payload bytes memcpy'd by the framing layer
+/// (contiguous [`Message::encode`] and [`Frame::flatten`]). The zero-copy
+/// [`Frame`] path never touches it; the serving benchmark reads the delta
+/// across a run to report "bytes copied" per mode.
+static FRAMING_BYTES_COPIED: AtomicU64 = AtomicU64::new(0);
+
+/// Total payload bytes the framing layer has copied so far in this process.
+#[must_use]
+pub fn framing_bytes_copied() -> u64 {
+    FRAMING_BYTES_COPIED.load(Ordering::Relaxed)
+}
+
+fn count_copied(n: usize) {
+    FRAMING_BYTES_COPIED.fetch_add(n as u64, Ordering::Relaxed);
+}
+
+/// A wire frame as a header/payload chain.
+///
+/// The on-the-wire bytes are `header ++ payload`; keeping the two segments
+/// separate lets a multi-MB tensor payload ride through the transport as an
+/// `Arc` reference-count bump instead of a memcpy. [`Frame::flatten`]
+/// recovers the contiguous encoding (and is the compatibility bridge for
+/// [`FrameChannel`](crate::FrameChannel) implementations that only speak
+/// contiguous [`Bytes`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Version byte, tag byte and the fixed-width fields, including the
+    /// payload length prefix.
+    pub header: Bytes,
+    /// The payload blob (empty for integer-only messages).
+    pub payload: Bytes,
+}
+
+impl Frame {
+    /// Wraps an already-contiguous encoded frame (empty payload segment).
+    #[must_use]
+    pub fn from_contiguous(bytes: Bytes) -> Self {
+        Frame {
+            header: bytes,
+            payload: Bytes::new(),
+        }
+    }
+
+    /// Total wire length of the frame.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.header.len() + self.payload.len()
+    }
+
+    /// Whether the frame carries no bytes at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.header.is_empty() && self.payload.is_empty()
+    }
+
+    /// Recovers the contiguous wire encoding. Free when the payload segment
+    /// is empty; otherwise both segments are memcpy'd into one buffer (and
+    /// counted in [`framing_bytes_copied`]).
+    #[must_use]
+    pub fn flatten(self) -> Bytes {
+        if self.payload.is_empty() {
+            return self.header;
+        }
+        count_copied(self.header.len() + self.payload.len());
+        let mut b = BytesMut::with_capacity(self.len());
+        b.put_slice(&self.header);
+        b.put_slice(&self.payload);
+        b.freeze()
+    }
+}
 
 const TAG_OFFLOAD_REQUEST: u8 = 1;
 const TAG_OFFLOAD_RESPONSE: u8 = 2;
@@ -81,10 +153,34 @@ pub enum Message {
 }
 
 impl Message {
-    /// Encodes the message into a self-delimiting frame.
+    /// The exact wire length of the fixed-width part of this message:
+    /// version, tag and integer fields, including any payload length
+    /// prefix — everything except the payload blob itself.
     #[must_use]
-    pub fn encode(&self) -> Bytes {
-        let mut b = BytesMut::with_capacity(16);
+    fn header_len(&self) -> usize {
+        2 + match self {
+            Message::OffloadRequest { .. } => 8 + 4 + 4,
+            Message::OffloadResponse { .. } => 8 + 8 + 4,
+            Message::LoadQuery | Message::ProbeAck | Message::Shutdown => 0,
+            Message::LoadReply { .. } => 8,
+            Message::Probe { .. } => 4,
+            Message::Rejected { .. } => 8 + 8 + 8,
+        }
+    }
+
+    /// The payload blob this message carries, if any.
+    fn payload(&self) -> Option<&Bytes> {
+        match self {
+            Message::OffloadRequest { payload, .. }
+            | Message::OffloadResponse { payload, .. }
+            | Message::Probe { payload } => Some(payload),
+            _ => None,
+        }
+    }
+
+    /// Encodes the fixed-width part of the message (everything except the
+    /// payload blob) into `b`.
+    fn encode_header(&self, b: &mut BytesMut) {
         b.put_u8(PROTOCOL_VERSION);
         match self {
             Message::OffloadRequest {
@@ -96,7 +192,6 @@ impl Message {
                 b.put_u64_le(*request_id);
                 b.put_u32_le(*partition_point);
                 b.put_u32_le(payload.len() as u32);
-                b.put_slice(payload);
             }
             Message::OffloadResponse {
                 request_id,
@@ -107,7 +202,6 @@ impl Message {
                 b.put_u64_le(*request_id);
                 b.put_u64_le(*server_time_us);
                 b.put_u32_le(payload.len() as u32);
-                b.put_slice(payload);
             }
             Message::LoadQuery => b.put_u8(TAG_LOAD_QUERY),
             Message::LoadReply { k_micro } => {
@@ -117,7 +211,6 @@ impl Message {
             Message::Probe { payload } => {
                 b.put_u8(TAG_PROBE);
                 b.put_u32_le(payload.len() as u32);
-                b.put_slice(payload);
             }
             Message::ProbeAck => b.put_u8(TAG_PROBE_ACK),
             Message::Shutdown => b.put_u8(TAG_SHUTDOWN),
@@ -132,7 +225,90 @@ impl Message {
                 b.put_u64_le(*k_micro);
             }
         }
+    }
+
+    /// Encodes the message into one contiguous self-delimiting frame.
+    ///
+    /// The payload blob is memcpy'd into the buffer (counted in
+    /// [`framing_bytes_copied`]); the hot serving path uses
+    /// [`Message::to_frame`] instead, which shares it by reference.
+    #[must_use]
+    pub fn encode(&self) -> Bytes {
+        let payload_len = self.payload().map_or(0, Bytes::len);
+        let mut b = BytesMut::with_capacity(self.header_len() + payload_len);
+        self.encode_header(&mut b);
+        if let Some(payload) = self.payload() {
+            count_copied(payload.len());
+            b.put_slice(payload);
+        }
         b.freeze()
+    }
+
+    /// Encodes the message as a header/payload [`Frame`]: the fixed-width
+    /// fields are serialized into a fresh (small) header buffer and the
+    /// payload blob is shared by `Arc` reference — zero copies of tensor
+    /// bytes. `frame.flatten()` equals [`Message::encode`] byte-for-byte.
+    #[must_use]
+    pub fn to_frame(&self) -> Frame {
+        let mut b = BytesMut::with_capacity(self.header_len());
+        self.encode_header(&mut b);
+        Frame {
+            header: b.freeze(),
+            payload: self.payload().cloned().unwrap_or_default(),
+        }
+    }
+
+    /// Decodes a header/payload [`Frame`], keeping the payload segment
+    /// zero-copy when the header's declared length matches it exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError`] exactly as [`Message::decode`] would for
+    /// the flattened frame.
+    pub fn decode_frame(frame: Frame) -> Result<Message, ProtocolError> {
+        if frame.payload.is_empty() {
+            return Message::decode(frame.header);
+        }
+        let mut buf = frame.header.clone();
+        if buf.remaining() >= 2 && buf[0] == PROTOCOL_VERSION {
+            buf.advance(1);
+            let tag = buf.get_u8();
+            match tag {
+                TAG_OFFLOAD_REQUEST if buf.remaining() == 16 => {
+                    let request_id = buf.get_u64_le();
+                    let partition_point = buf.get_u32_le();
+                    if buf.get_u32_le() as usize == frame.payload.len() {
+                        return Ok(Message::OffloadRequest {
+                            request_id,
+                            partition_point,
+                            payload: frame.payload,
+                        });
+                    }
+                }
+                TAG_OFFLOAD_RESPONSE if buf.remaining() == 20 => {
+                    let request_id = buf.get_u64_le();
+                    let server_time_us = buf.get_u64_le();
+                    if buf.get_u32_le() as usize == frame.payload.len() {
+                        return Ok(Message::OffloadResponse {
+                            request_id,
+                            server_time_us,
+                            payload: frame.payload,
+                        });
+                    }
+                }
+                TAG_PROBE
+                    if buf.remaining() == 4 && buf.get_u32_le() as usize == frame.payload.len() =>
+                {
+                    return Ok(Message::Probe {
+                        payload: frame.payload,
+                    });
+                }
+                _ => {}
+            }
+        }
+        // Malformed or split at an unexpected boundary: fall back to the
+        // contiguous decoder so every error class matches it exactly.
+        Message::decode(frame.flatten())
     }
 
     /// Decodes one frame.
@@ -455,6 +631,111 @@ mod tests {
             let err = Message::decode(full.slice(0..cut)).unwrap_err();
             assert_eq!(err, ProtocolError::Truncated, "cut at {cut}");
         }
+    }
+
+    /// The header/payload frame must flatten to exactly the bytes the
+    /// contiguous encoder produces, for every message kind.
+    #[test]
+    fn frames_flatten_to_the_contiguous_encoding() {
+        let msgs = [
+            Message::OffloadRequest {
+                request_id: 42,
+                partition_point: 8,
+                payload: Bytes::from(vec![7u8; 129_792]),
+            },
+            Message::OffloadResponse {
+                request_id: 42,
+                server_time_us: 1_234,
+                payload: Bytes::from(vec![1u8; 4_000]),
+            },
+            Message::LoadQuery,
+            Message::LoadReply { k_micro: 2_500_000 },
+            Message::Probe {
+                payload: Bytes::from(vec![0u8; 8_192]),
+            },
+            Message::ProbeAck,
+            Message::Shutdown,
+            Message::Rejected {
+                request_id: 42,
+                retry_after_us: 180_000,
+                k_micro: 31_500_000,
+            },
+        ];
+        for m in msgs {
+            let frame = m.to_frame();
+            assert_eq!(frame.len(), m.encode().len());
+            assert_eq!(frame.clone().flatten(), m.encode(), "{m:?}");
+            assert_eq!(Message::decode_frame(frame).expect("round trip"), m);
+        }
+    }
+
+    /// `to_frame` and `decode_frame` move the payload by reference: the
+    /// decoded payload aliases the very allocation the sender handed in.
+    #[test]
+    fn frame_payloads_are_zero_copy() {
+        let payload = Bytes::from(vec![9u8; 65_536]);
+        let m = Message::OffloadRequest {
+            request_id: 7,
+            partition_point: 3,
+            payload: payload.clone(),
+        };
+        let frame = m.to_frame();
+        assert!(
+            std::ptr::eq(frame.payload.as_ref(), payload.as_ref()),
+            "to_frame must share the payload allocation"
+        );
+        let decoded = Message::decode_frame(frame).expect("round trip");
+        let Message::OffloadRequest { payload: out, .. } = decoded else {
+            panic!("wrong variant");
+        };
+        assert!(
+            std::ptr::eq(out.as_ref(), payload.as_ref()),
+            "decode_frame must keep sharing the payload allocation"
+        );
+    }
+
+    /// The contiguous encoder memcpys payload bytes and says so. (Other
+    /// tests share the process-wide counter, so assert a lower bound.)
+    #[test]
+    fn contiguous_encode_counts_copied_payload_bytes() {
+        let before = framing_bytes_copied();
+        let _ = Message::Probe {
+            payload: Bytes::from(vec![0u8; 10_000]),
+        }
+        .encode();
+        assert!(framing_bytes_copied() - before >= 10_000);
+    }
+
+    /// A frame whose header declares a different payload length than the
+    /// payload segment carries falls back to the contiguous decoder, which
+    /// reports the same truncation error it always has.
+    #[test]
+    fn mismatched_frame_lengths_fall_back_to_the_contiguous_decoder() {
+        let mut frame = Message::OffloadRequest {
+            request_id: 1,
+            partition_point: 2,
+            payload: Bytes::from(vec![0u8; 64]),
+        }
+        .to_frame();
+        frame.payload = frame.payload.slice(0..32); // lose half the payload
+        assert_eq!(
+            Message::decode_frame(frame).unwrap_err(),
+            ProtocolError::Truncated
+        );
+    }
+
+    /// Wrapping a contiguous frame loses nothing: decode_frame on a
+    /// flattened-then-wrapped frame equals decode.
+    #[test]
+    fn contiguous_frames_wrap_and_decode() {
+        let m = Message::OffloadResponse {
+            request_id: 3,
+            server_time_us: 17,
+            payload: Bytes::from(vec![5u8; 256]),
+        };
+        let wrapped = Frame::from_contiguous(m.encode());
+        assert!(!wrapped.is_empty());
+        assert_eq!(Message::decode_frame(wrapped).expect("round trip"), m);
     }
 
     /// Wire compatibility: a decoder that predates [`Message::Rejected`]

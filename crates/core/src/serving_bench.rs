@@ -1,0 +1,473 @@
+//! The reproducible serving-throughput benchmark behind `loadpart bench`.
+//!
+//! Two server configurations face identical traffic from N concurrent
+//! threaded clients over the real wire [`protocol`](crate::protocol):
+//!
+//! * **baseline** — the pre-worker-pool serving path:
+//!   [`ServerTuning::single_threaded_legacy`] (suffixes execute inline on
+//!   the mux thread, replies use the contiguous copying encoder), clients
+//!   flatten every frame to one contiguous buffer, and the engine's
+//!   Algorithm-1 decision memo is disabled.
+//! * **parallel** — this PR's hot path: the sharded suffix worker pool,
+//!   zero-copy header/payload framing with the shared payload pool, one
+//!   `Arc`'d graph across all engines, and the decision memo on.
+//!
+//! Both modes charge the same per-suffix execution cost
+//! ([`BenchConfig::suffix_cost`]) so the measured difference is purely how
+//! the serving architecture schedules that work: the baseline serializes
+//! suffixes on the mux, the pool overlaps them across sessions.
+//!
+//! Wall-clock throughput and latency come from [`Instant`]; the copied-byte
+//! counts come from [`framing_bytes_copied`]. Results serialize to the
+//! `BENCH_serving.json` document consumed by CI's bench smoke job.
+
+use crate::engine::EngineConfig;
+use crate::protocol::{framing_bytes_copied, ProtocolError};
+use crate::telemetry::Telemetry;
+use crate::threaded::{
+    spawn_server_tuned, FrameChannel, LoadEnv, ServerFaultSpec, ServerTuning, ThreadedClient,
+};
+use bytes::Bytes;
+use lp_graph::ComputationGraph;
+use lp_json::Json;
+use lp_profiler::PredictionModels;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+/// Which serving path a measurement exercised.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BenchMode {
+    /// The pre-worker-pool path: inline suffix execution, copying framing,
+    /// no decision memo.
+    Baseline,
+    /// The tuned path: sharded workers, zero-copy framing, decision memo.
+    Parallel,
+}
+
+impl BenchMode {
+    /// Stable name used in the JSON document.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            BenchMode::Baseline => "baseline",
+            BenchMode::Parallel => "parallel",
+        }
+    }
+}
+
+/// Configuration of one benchmark run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchConfig {
+    /// Concurrency levels to measure, in order.
+    pub client_counts: Vec<usize>,
+    /// Requests each client issues per measurement point.
+    pub requests_per_client: usize,
+    /// Wall-clock cost charged per admitted suffix on the executing server
+    /// thread — identical in both modes; see [`ServerTuning::suffix_cost`].
+    pub suffix_cost: Duration,
+    /// Client-side bandwidth estimate injected per request (Mbps). 8 Mbps
+    /// sits in the partial-offload regime, so requests actually cross the
+    /// wire.
+    pub bandwidth_mbps: f64,
+    /// Training-set size for the prediction models (shared, memoized).
+    pub samples_per_kind: usize,
+    /// RNG seed (models and per-client engine seeds derive from it).
+    pub seed: u64,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        Self {
+            client_counts: vec![1, 4, 8, 16],
+            requests_per_client: 40,
+            suffix_cost: Duration::from_millis(2),
+            bandwidth_mbps: 8.0,
+            samples_per_kind: 150,
+            seed: 42,
+        }
+    }
+}
+
+impl BenchConfig {
+    /// The CI smoke configuration: small counts, short run.
+    #[must_use]
+    pub fn quick() -> Self {
+        Self {
+            client_counts: vec![1, 2, 4],
+            requests_per_client: 12,
+            suffix_cost: Duration::from_millis(1),
+            samples_per_kind: 64,
+            ..Self::default()
+        }
+    }
+}
+
+/// One measured (mode, concurrency) point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchPoint {
+    /// Serving path measured.
+    pub mode: BenchMode,
+    /// Concurrent clients.
+    pub clients: usize,
+    /// Requests completed (all of them — the engine absorbs faults).
+    pub requests: u64,
+    /// Wall-clock span from barrier release to the last client finishing.
+    pub elapsed: Duration,
+    /// `requests / elapsed` in requests per second.
+    pub throughput_rps: f64,
+    /// Median per-request wall latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile per-request wall latency, milliseconds.
+    pub p99_ms: f64,
+    /// Bytes memcpy'd by framing during this point
+    /// (delta of [`framing_bytes_copied`]).
+    pub bytes_copied: u64,
+    /// Requests whose suffix ran on the server.
+    pub offloaded: u64,
+    /// Requests shed by admission control.
+    pub shed: u64,
+}
+
+impl BenchPoint {
+    /// Fraction of requests the server shed.
+    #[must_use]
+    pub fn shed_ratio(&self) -> f64 {
+        if self.requests == 0 {
+            return 0.0;
+        }
+        self.shed as f64 / self.requests as f64
+    }
+}
+
+/// The full benchmark result: every point, plus the tuning facts needed to
+/// interpret them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// All measured points, baseline first, client counts ascending within
+    /// each mode.
+    pub points: Vec<BenchPoint>,
+    /// Worker-pool size the parallel mode ran with.
+    pub workers: usize,
+    /// Per-suffix execution cost charged in both modes.
+    pub suffix_cost: Duration,
+}
+
+impl BenchReport {
+    /// The point for `(mode, clients)`, if measured.
+    #[must_use]
+    pub fn point(&self, mode: BenchMode, clients: usize) -> Option<&BenchPoint> {
+        self.points
+            .iter()
+            .find(|p| p.mode == mode && p.clients == clients)
+    }
+
+    /// Parallel-over-baseline throughput ratio at `clients`, when both
+    /// modes measured that concurrency.
+    #[must_use]
+    pub fn speedup_at(&self, clients: usize) -> Option<f64> {
+        let base = self.point(BenchMode::Baseline, clients)?;
+        let par = self.point(BenchMode::Parallel, clients)?;
+        (base.throughput_rps > 0.0).then(|| par.throughput_rps / base.throughput_rps)
+    }
+
+    /// Serializes to the `BENCH_serving.json` document.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let points = self
+            .points
+            .iter()
+            .map(|p| {
+                Json::Obj(vec![
+                    ("mode".into(), Json::Str(p.mode.name().into())),
+                    ("clients".into(), Json::Num(p.clients as f64)),
+                    ("requests".into(), Json::Num(p.requests as f64)),
+                    ("elapsed_secs".into(), Json::Num(p.elapsed.as_secs_f64())),
+                    ("throughput_rps".into(), Json::Num(p.throughput_rps)),
+                    ("p50_ms".into(), Json::Num(p.p50_ms)),
+                    ("p99_ms".into(), Json::Num(p.p99_ms)),
+                    ("bytes_copied".into(), Json::Num(p.bytes_copied as f64)),
+                    ("offloaded".into(), Json::Num(p.offloaded as f64)),
+                    ("shed_ratio".into(), Json::Num(p.shed_ratio())),
+                ])
+            })
+            .collect();
+        let speedup = self
+            .points
+            .iter()
+            .filter(|p| p.mode == BenchMode::Parallel)
+            .filter_map(|p| {
+                self.speedup_at(p.clients)
+                    .map(|s| (p.clients.to_string(), Json::Num(s)))
+            })
+            .collect();
+        Json::Obj(vec![
+            ("benchmark".into(), Json::Str("serving".into())),
+            ("workers".into(), Json::Num(self.workers as f64)),
+            (
+                "suffix_cost_ms".into(),
+                Json::Num(self.suffix_cost.as_secs_f64() * 1e3),
+            ),
+            ("points".into(), Json::Arr(points)),
+            ("speedup".into(), Json::Obj(speedup)),
+        ])
+    }
+
+    /// Renders a fixed-width summary table for the terminal.
+    #[must_use]
+    pub fn render_table(&self) -> String {
+        let mut out = format!(
+            "serving benchmark — {} workers, {:.1} ms/suffix\n{:>8}  {:>7}  {:>10}  {:>8}  {:>8}  {:>12}  {:>6}\n",
+            self.workers,
+            self.suffix_cost.as_secs_f64() * 1e3,
+            "mode",
+            "clients",
+            "req/s",
+            "p50 ms",
+            "p99 ms",
+            "copied bytes",
+            "shed"
+        );
+        for p in &self.points {
+            out.push_str(&format!(
+                "{:>8}  {:>7}  {:>10.1}  {:>8.2}  {:>8.2}  {:>12}  {:>5.1}%\n",
+                p.mode.name(),
+                p.clients,
+                p.throughput_rps,
+                p.p50_ms,
+                p.p99_ms,
+                p.bytes_copied,
+                p.shed_ratio() * 100.0
+            ));
+        }
+        for p in &self.points {
+            if p.mode == BenchMode::Parallel {
+                if let Some(s) = self.speedup_at(p.clients) {
+                    out.push_str(&format!("speedup at {:>2} clients: {s:.2}x\n", p.clients));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Forces the pre-PR client framing: delegates only the contiguous
+/// [`FrameChannel::send`]/[`FrameChannel::recv_deadline`], so the default
+/// split methods flatten every outgoing frame into one freshly copied
+/// buffer — exactly what the wire did before zero-copy framing.
+struct LegacyChannel<'a, C: FrameChannel>(&'a C);
+
+impl<C: FrameChannel> FrameChannel for LegacyChannel<'_, C> {
+    fn send(&self, frame: Bytes) -> Result<(), ProtocolError> {
+        self.0.send(frame)
+    }
+
+    fn recv_deadline(&self, deadline: Instant) -> Result<Bytes, ProtocolError> {
+        self.0.recv_deadline(deadline)
+    }
+}
+
+/// Runs the full benchmark: both modes at every configured concurrency.
+///
+/// # Panics
+///
+/// Panics if a client thread or the server panics mid-measurement — a
+/// benchmark over a broken runtime has no meaningful result.
+#[must_use]
+pub fn serving_bench(config: &BenchConfig) -> BenchReport {
+    let graph = Arc::new(lp_models::alexnet(1));
+    let (user, edge) = crate::system::trained_models(config.samples_per_kind, config.seed);
+    let workers = ServerTuning::default().workers;
+    let mut points = Vec::new();
+    for mode in [BenchMode::Baseline, BenchMode::Parallel] {
+        for &clients in &config.client_counts {
+            points.push(run_point(mode, clients, &graph, &user, &edge, config));
+        }
+    }
+    BenchReport {
+        points,
+        workers,
+        suffix_cost: config.suffix_cost,
+    }
+}
+
+fn run_point(
+    mode: BenchMode,
+    clients: usize,
+    graph: &Arc<ComputationGraph>,
+    user: &PredictionModels,
+    edge: &PredictionModels,
+    config: &BenchConfig,
+) -> BenchPoint {
+    let tuning = match mode {
+        BenchMode::Baseline => ServerTuning {
+            suffix_cost: config.suffix_cost,
+            ..ServerTuning::single_threaded_legacy()
+        },
+        BenchMode::Parallel => ServerTuning {
+            suffix_cost: config.suffix_cost,
+            ..ServerTuning::default()
+        },
+    };
+    let server = spawn_server_tuned(
+        Arc::clone(graph),
+        edge.clone(),
+        LoadEnv::new(1.0),
+        ServerFaultSpec::default(),
+        None,
+        &Telemetry::disabled(),
+        tuning,
+    );
+    let copied_before = framing_bytes_copied();
+    let barrier = Arc::new(Barrier::new(clients + 1));
+    let mut handles = Vec::with_capacity(clients);
+    for i in 0..clients {
+        let conn = server.connect();
+        let mut client = ThreadedClient::with_config(
+            Arc::clone(graph),
+            user,
+            edge,
+            EngineConfig {
+                decision_memo: mode == BenchMode::Parallel,
+                seed: config.seed ^ (i as u64).wrapping_mul(0x9E37_79B9),
+                ..EngineConfig::default()
+            },
+        )
+        .expect("bench engine config is valid");
+        let start = Arc::clone(&barrier);
+        let rounds = config.requests_per_client;
+        let bandwidth = config.bandwidth_mbps;
+        handles.push(std::thread::spawn(move || {
+            start.wait();
+            let mut latencies = Vec::with_capacity(rounds);
+            let mut offloaded = 0u64;
+            let mut shed = 0u64;
+            for _ in 0..rounds {
+                let t0 = Instant::now();
+                let record = match mode {
+                    BenchMode::Baseline => client.infer(&LegacyChannel(&conn), bandwidth),
+                    BenchMode::Parallel => client.infer(&conn, bandwidth),
+                }
+                .expect("engine degradation absorbs wire faults");
+                latencies.push(t0.elapsed());
+                if record.rejected {
+                    shed += 1;
+                } else if record.offloaded() {
+                    offloaded += 1;
+                }
+            }
+            (latencies, offloaded, shed)
+        }));
+    }
+    barrier.wait();
+    let t0 = Instant::now();
+    let mut latencies = Vec::with_capacity(clients * config.requests_per_client);
+    let mut offloaded = 0u64;
+    let mut shed = 0u64;
+    for handle in handles {
+        let (lat, off, sh) = handle.join().expect("bench client thread panicked");
+        latencies.extend(lat);
+        offloaded += off;
+        shed += sh;
+    }
+    let elapsed = t0.elapsed();
+    server.shutdown().expect("clean server shutdown");
+    let bytes_copied = framing_bytes_copied().saturating_sub(copied_before);
+    latencies.sort_unstable();
+    let requests = latencies.len() as u64;
+    let throughput_rps = if elapsed.is_zero() {
+        0.0
+    } else {
+        requests as f64 / elapsed.as_secs_f64()
+    };
+    BenchPoint {
+        mode,
+        clients,
+        requests,
+        elapsed,
+        throughput_rps,
+        p50_ms: percentile_ms(&latencies, 0.50),
+        p99_ms: percentile_ms(&latencies, 0.99),
+        bytes_copied,
+        offloaded,
+        shed,
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted latency sample, in
+/// milliseconds.
+fn percentile_ms(sorted: &[Duration], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)].as_secs_f64() * 1e3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> BenchConfig {
+        BenchConfig {
+            client_counts: vec![1, 2],
+            requests_per_client: 3,
+            suffix_cost: Duration::from_micros(200),
+            samples_per_kind: 64,
+            ..BenchConfig::default()
+        }
+    }
+
+    #[test]
+    fn bench_measures_every_mode_and_count() {
+        let report = serving_bench(&tiny_config());
+        assert_eq!(report.points.len(), 4, "2 modes x 2 counts");
+        for p in &report.points {
+            assert_eq!(p.requests, p.clients as u64 * 3);
+            assert!(p.throughput_rps > 0.0, "{p:?}");
+            assert!(p.p99_ms >= p.p50_ms, "{p:?}");
+            assert!(p.offloaded > 0, "8 Mbps must offload: {p:?}");
+            assert_eq!(p.shed, 0, "unbounded admission never sheds");
+        }
+        assert!(report.speedup_at(2).is_some());
+        // The baseline's copying framing must show up in the copied-byte
+        // accounting; AlexNet's conv1 output tensor alone is hundreds of
+        // kilobytes per offload.
+        let base = report.point(BenchMode::Baseline, 2).expect("measured");
+        assert!(base.bytes_copied > 100_000, "{}", base.bytes_copied);
+    }
+
+    #[test]
+    fn report_serializes_to_parseable_json() {
+        let report = serving_bench(&BenchConfig {
+            client_counts: vec![1],
+            requests_per_client: 2,
+            suffix_cost: Duration::ZERO,
+            samples_per_kind: 64,
+            ..BenchConfig::default()
+        });
+        let text = report.to_json().to_string_pretty();
+        let parsed = lp_json::Json::parse(&text).expect("round-trips");
+        assert_eq!(
+            parsed.get("benchmark").and_then(Json::as_str),
+            Some("serving")
+        );
+        let points = parsed
+            .get("points")
+            .and_then(Json::as_arr)
+            .expect("points array");
+        assert_eq!(points.len(), 2);
+        for p in points {
+            assert!(p.get("throughput_rps").and_then(Json::as_f64).is_some());
+            assert!(p.get("clients").and_then(Json::as_f64).is_some());
+        }
+        assert!(report.render_table().contains("req/s"));
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let ms: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
+        assert!((percentile_ms(&ms, 0.50) - 50.0).abs() < 2.0);
+        assert!((percentile_ms(&ms, 0.99) - 99.0).abs() < 2.0);
+        assert_eq!(percentile_ms(&[], 0.5), 0.0);
+    }
+}

@@ -157,7 +157,11 @@ pub struct EngineMetrics {
     pub cache_hits: Counter,
     /// `engine.cache_misses_total` — partition cache misses.
     pub cache_misses: Counter,
-    /// `engine.decision_seconds` — wall-clock decision latency.
+    /// `engine.decision_memo_hits_total` — requests whose Algorithm-1
+    /// decision was answered from the engine's memo instead of a scan.
+    pub decision_memo_hits: Counter,
+    /// `engine.decision_seconds` — wall-clock decision latency (memo hits
+    /// skip the scan and are not observed here).
     pub decision_seconds: Histogram,
     /// `engine.device_seconds` — simulated device prefix time.
     pub device_seconds: Histogram,
@@ -189,6 +193,7 @@ impl EngineMetrics {
             retries: registry.counter("engine.retries_total"),
             cache_hits: registry.counter("engine.cache_hits_total"),
             cache_misses: registry.counter("engine.cache_misses_total"),
+            decision_memo_hits: registry.counter("engine.decision_memo_hits_total"),
             decision_seconds: registry.histogram("engine.decision_seconds", &DECISION_BUCKETS_SECS),
             device_seconds: registry.histogram("engine.device_seconds", &LATENCY_BUCKETS_SECS),
             upload_seconds: registry.histogram("engine.upload_seconds", &LATENCY_BUCKETS_SECS),

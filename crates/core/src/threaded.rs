@@ -34,7 +34,8 @@ use crate::baselines::Policy;
 use crate::cache::PartitionCache;
 use crate::engine::backends::{NullDevice, WireBackend, WireTransport};
 use crate::engine::{ConfigError, EngineConfig, InferenceRecord, OffloadEngine};
-use crate::protocol::{Message, ProtocolError};
+use crate::pool::zero_payload;
+use crate::protocol::{Frame, Message, ProtocolError};
 use crate::telemetry::{Counter, Gauge, Telemetry};
 use bytes::Bytes;
 use lp_graph::ComputationGraph;
@@ -45,7 +46,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvError, RecvTimeoutError, SendError, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// The logical time the server charges for receiving any frame (the
 /// inter-request spacing the runtime has always modelled).
@@ -71,6 +72,32 @@ pub trait FrameChannel {
     /// [`ProtocolError::Timeout`] when the deadline passes with no frame,
     /// [`ProtocolError::Disconnected`] when the peer is gone.
     fn recv_deadline(&self, deadline: Instant) -> Result<Bytes, ProtocolError>;
+
+    /// Sends one header/payload [`Frame`] toward the server.
+    ///
+    /// The default flattens to the contiguous encoding and uses
+    /// [`FrameChannel::send`], so existing implementations (fault
+    /// injectors, test middleboxes) keep working unchanged; the in-process
+    /// channel endpoints override this to pass both segments through
+    /// zero-copy.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::Disconnected`] if the peer is gone.
+    fn send_split(&self, frame: Frame) -> Result<(), ProtocolError> {
+        self.send(frame.flatten())
+    }
+
+    /// Receives the next frame as a header/payload [`Frame`], waiting no
+    /// later than `deadline`. Defaults to wrapping
+    /// [`FrameChannel::recv_deadline`]'s contiguous bytes.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FrameChannel::recv_deadline`].
+    fn recv_split_deadline(&self, deadline: Instant) -> Result<Frame, ProtocolError> {
+        self.recv_deadline(deadline).map(Frame::from_contiguous)
+    }
 }
 
 /// What flows into the server thread: control-plane client registrations
@@ -79,9 +106,11 @@ pub trait FrameChannel {
 #[derive(Debug)]
 enum ToServer {
     /// A new client session: route replies for `client` to the sender.
-    Connect(usize, Sender<Bytes>),
-    /// A frame from `client`.
-    Frame(usize, Bytes),
+    Connect(usize, Sender<Frame>),
+    /// A frame from `client`. Carried as a header/payload [`Frame`] so a
+    /// multi-MB tensor payload crosses the channel as a reference-count
+    /// bump, never a memcpy.
+    Frame(usize, Frame),
 }
 
 /// Handle to a running offloading server thread. The handle itself is
@@ -90,7 +119,7 @@ enum ToServer {
 #[derive(Debug)]
 pub struct ServerHandle {
     tx: Sender<ToServer>,
-    rx: Receiver<Bytes>,
+    rx: Receiver<Frame>,
     next_client: AtomicUsize,
     join: Option<JoinHandle<u64>>,
 }
@@ -102,7 +131,7 @@ pub struct ServerHandle {
 pub struct ClientConn {
     id: usize,
     tx: Sender<ToServer>,
-    rx: Receiver<Bytes>,
+    rx: Receiver<Frame>,
 }
 
 impl ClientConn {
@@ -115,12 +144,20 @@ impl ClientConn {
 
 impl FrameChannel for ClientConn {
     fn send(&self, frame: Bytes) -> Result<(), ProtocolError> {
+        self.send_split(Frame::from_contiguous(frame))
+    }
+
+    fn recv_deadline(&self, deadline: Instant) -> Result<Bytes, ProtocolError> {
+        self.recv_split_deadline(deadline).map(Frame::flatten)
+    }
+
+    fn send_split(&self, frame: Frame) -> Result<(), ProtocolError> {
         self.tx
             .send(ToServer::Frame(self.id, frame))
             .map_err(|_| ProtocolError::Disconnected)
     }
 
-    fn recv_deadline(&self, deadline: Instant) -> Result<Bytes, ProtocolError> {
+    fn recv_split_deadline(&self, deadline: Instant) -> Result<Frame, ProtocolError> {
         match self
             .rx
             .recv_timeout(deadline.saturating_duration_since(Instant::now()))
@@ -207,9 +244,13 @@ pub struct ServerFaultSpec {
 /// it is injected so threaded tests are deterministic) — the server's
 /// tracker still *measures* it from the observed/predicted ratio, which is
 /// the §III-C mechanism.
+///
+/// All spawn entry points accept the graph as either an owned
+/// [`ComputationGraph`] or an `Arc<ComputationGraph>`; pass an `Arc` clone
+/// to share one model between the server and every client engine.
 #[must_use]
 pub fn spawn_server(
-    graph: ComputationGraph,
+    graph: impl Into<Arc<ComputationGraph>>,
     edge_models: PredictionModels,
     k_factor: f64,
 ) -> ServerHandle {
@@ -219,7 +260,7 @@ pub fn spawn_server(
 /// [`spawn_server`] plus a deterministic fault script ([`ServerFaultSpec`]).
 #[must_use]
 pub fn spawn_server_with_faults(
-    graph: ComputationGraph,
+    graph: impl Into<Arc<ComputationGraph>>,
     edge_models: PredictionModels,
     k_factor: f64,
     faults: ServerFaultSpec,
@@ -262,7 +303,7 @@ impl ServerMetrics {
 /// run).
 #[must_use]
 pub fn spawn_server_instrumented(
-    graph: ComputationGraph,
+    graph: impl Into<Arc<ComputationGraph>>,
     edge_models: PredictionModels,
     k_factor: f64,
     faults: ServerFaultSpec,
@@ -278,6 +319,55 @@ pub fn spawn_server_instrumented(
     )
 }
 
+/// Tuning knobs for the serving hot path, consumed by
+/// [`spawn_server_tuned`]. [`spawn_server_full`] uses the default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerTuning {
+    /// Size of the sharded suffix-execution worker pool. `0` runs every
+    /// suffix inline on the mux thread — the pre-worker-pool serving path,
+    /// kept as the benchmark baseline.
+    pub workers: usize,
+    /// Encode replies with the contiguous [`Message::encode`] (one memcpy
+    /// of the payload per reply, plus a fresh payload allocation) instead
+    /// of the zero-copy [`Message::to_frame`] path. Benchmark baseline.
+    pub legacy_framing: bool,
+    /// Wall-clock cost charged per admitted suffix execution, modelling
+    /// the real GPU/CPU occupancy of the suffix on the serving thread.
+    /// [`Duration::ZERO`] (the default everywhere outside the benchmark)
+    /// keeps execution purely simulated, exactly the historical behaviour.
+    pub suffix_cost: Duration,
+}
+
+impl Default for ServerTuning {
+    fn default() -> Self {
+        Self {
+            workers: default_workers(),
+            legacy_framing: false,
+            suffix_cost: Duration::ZERO,
+        }
+    }
+}
+
+impl ServerTuning {
+    /// The pre-PR serving path: inline execution on the mux thread with
+    /// contiguous (copying) framing.
+    #[must_use]
+    pub fn single_threaded_legacy() -> Self {
+        Self {
+            workers: 0,
+            legacy_framing: true,
+            suffix_cost: Duration::ZERO,
+        }
+    }
+}
+
+/// Default worker-pool size: one worker per core, clamped to `2..=8` so
+/// small runners still overlap sessions and large ones don't oversubscribe
+/// a workload that is mostly per-session FIFO anyway.
+fn default_workers() -> usize {
+    std::thread::available_parallelism().map_or(4, |n| n.get().clamp(2, 8))
+}
+
 /// The fully-general server spawn: a scriptable [`LoadEnv`], a
 /// deterministic fault script, optional [admission control](crate::admission)
 /// and telemetry. `None` for `admission` means the unbounded budget — the
@@ -290,24 +380,198 @@ pub fn spawn_server_instrumented(
 /// shedding) is computed from.
 #[must_use]
 pub fn spawn_server_full(
-    graph: ComputationGraph,
+    graph: impl Into<Arc<ComputationGraph>>,
     edge_models: PredictionModels,
     env: LoadEnv,
     faults: ServerFaultSpec,
     admission: Option<AdmissionConfig>,
     telemetry: &Telemetry,
 ) -> ServerHandle {
+    spawn_server_tuned(
+        graph,
+        edge_models,
+        env,
+        faults,
+        admission,
+        telemetry,
+        ServerTuning::default(),
+    )
+}
+
+/// What a shard worker does for one request. Either way the reply is
+/// delivered from the worker, so a session's replies stay FIFO even when a
+/// control reply chases an offload response still being built.
+enum Job {
+    /// Forward a reply the mux already built (control plane, rejections).
+    Forward(Frame),
+    /// Execute an admitted suffix: fetch/build the partition from the
+    /// shared cache, charge the configured execution cost, frame the
+    /// result tensor.
+    Suffix {
+        request_id: u64,
+        server_time_us: u64,
+        p: usize,
+    },
+}
+
+/// The sharded suffix-execution pool behind the frame mux. Sessions map to
+/// workers by `session_id % workers`, so one session's jobs — and therefore
+/// its replies — are handled by one worker in arrival order, preserving the
+/// per-session FIFO the single-threaded server provided. All stateful
+/// accounting (clock, admission, tracker, fault script, metrics) stays on
+/// the mux; workers only execute and reply.
+struct WorkerPool {
+    txs: Vec<Sender<(Sender<Frame>, Job)>>,
+    joins: Vec<JoinHandle<()>>,
+    ctx: ExecContext,
+}
+
+/// Everything a worker (or the inline path) needs to execute a job.
+#[derive(Clone)]
+struct ExecContext {
+    graph: Arc<ComputationGraph>,
+    cache: Arc<PartitionCache>,
+    legacy_framing: bool,
+    suffix_cost: Duration,
+}
+
+impl ExecContext {
+    /// Executes one job to a wire-ready reply frame.
+    fn execute(&self, job: Job) -> Frame {
+        match job {
+            Job::Forward(frame) => frame,
+            Job::Suffix {
+                request_id,
+                server_time_us,
+                p,
+            } => {
+                // Build or fetch the suffix graph (Figure 5).
+                let _ = self
+                    .cache
+                    .get_or_partition(&self.graph, p.min(self.graph.len()))
+                    .expect("p in range");
+                if !self.suffix_cost.is_zero() {
+                    // Model the suffix occupying this serving thread for
+                    // its execution time (what the worker pool overlaps
+                    // across sessions).
+                    std::thread::sleep(self.suffix_cost);
+                }
+                let out_bytes = self.graph.output().size_bytes() as usize;
+                let reply = Message::OffloadResponse {
+                    request_id,
+                    server_time_us,
+                    payload: if self.legacy_framing {
+                        Bytes::from(vec![0u8; out_bytes])
+                    } else {
+                        zero_payload(out_bytes)
+                    },
+                };
+                self.frame(&reply)
+            }
+        }
+    }
+
+    /// Frames a reply message per the configured framing mode.
+    fn frame(&self, reply: &Message) -> Frame {
+        if self.legacy_framing {
+            Frame::from_contiguous(reply.encode())
+        } else {
+            reply.to_frame()
+        }
+    }
+}
+
+impl WorkerPool {
+    fn spawn(workers: usize, ctx: ExecContext) -> Self {
+        let mut txs = Vec::with_capacity(workers);
+        let mut joins = Vec::with_capacity(workers);
+        for shard in 0..workers {
+            let (tx, rx) = channel::<(Sender<Frame>, Job)>();
+            let worker_ctx = ctx.clone();
+            let join = std::thread::Builder::new()
+                .name(format!("loadpart-suffix-{shard}"))
+                .spawn(move || {
+                    while let Ok((reply_tx, job)) = rx.recv() {
+                        // A dead client only loses its own reply.
+                        let _ = reply_tx.send(worker_ctx.execute(job));
+                    }
+                })
+                .expect("spawn suffix worker");
+            txs.push(tx);
+            joins.push(join);
+        }
+        Self { txs, joins, ctx }
+    }
+
+    /// Routes a job to `session`'s shard, or executes it inline when the
+    /// pool is empty (the single-threaded baseline). Returns `false` when
+    /// the session's reply channel is known dead (inline mode only; a
+    /// sharded worker discovers that on its own).
+    fn dispatch(&self, session: usize, reply_tx: &Sender<Frame>, job: Job) -> bool {
+        if self.txs.is_empty() {
+            reply_tx.send(self.ctx.execute(job)).is_ok()
+        } else {
+            let shard = session % self.txs.len();
+            // A worker that died mid-run (panicked job) drops its channel;
+            // its sessions then time out client-side, which the engine
+            // degrades on — and shutdown reports the panic.
+            let _ = self.txs[shard].send((reply_tx.clone(), job));
+            true
+        }
+    }
+
+    /// Drains and joins the pool.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a worker panic on the caller (the mux thread), so
+    /// [`ServerHandle::shutdown`] reports [`ProtocolError::ServerPanicked`]
+    /// exactly as it does for a mux panic.
+    fn join(self) {
+        drop(self.txs);
+        for join in self.joins {
+            if join.join().is_err() {
+                panic!("suffix worker panicked");
+            }
+        }
+    }
+}
+
+/// [`spawn_server_full`] with explicit [`ServerTuning`] — the entry point
+/// the serving benchmark uses to pit the legacy single-threaded path
+/// against the worker pool under identical traffic.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn spawn_server_tuned(
+    graph: impl Into<Arc<ComputationGraph>>,
+    edge_models: PredictionModels,
+    env: LoadEnv,
+    faults: ServerFaultSpec,
+    admission: Option<AdmissionConfig>,
+    telemetry: &Telemetry,
+    tuning: ServerTuning,
+) -> ServerHandle {
+    let graph: Arc<ComputationGraph> = graph.into();
     let metrics = ServerMetrics::register(telemetry);
     let (mux_tx, server_rx) = channel::<ToServer>();
-    let (server_tx, client_rx) = channel::<Bytes>();
+    let (server_tx, client_rx) = channel::<Frame>();
     let cache = Arc::new(PartitionCache::new());
     let tracker = Arc::new(Mutex::new(LoadFactorTracker::new(SimDuration::from_secs(
         5,
     ))));
     let admission_cfg = admission.unwrap_or_else(AdmissionConfig::unbounded);
     let join = std::thread::spawn(move || {
+        let pool = WorkerPool::spawn(
+            tuning.workers,
+            ExecContext {
+                graph: Arc::clone(&graph),
+                cache,
+                legacy_framing: tuning.legacy_framing,
+                suffix_cost: tuning.suffix_cost,
+            },
+        );
         let mut admission = AdmissionController::new(admission_cfg);
-        let mut replies: HashMap<usize, Sender<Bytes>> = HashMap::new();
+        let mut replies: HashMap<usize, Sender<Frame>> = HashMap::new();
         replies.insert(0, server_tx);
         let mut served = 0u64;
         let mut now = SimTime::ZERO;
@@ -326,7 +590,8 @@ pub fn spawn_server_full(
             received += 1;
             if faults.crash_after_frames.is_some_and(|n| received > n) {
                 // Simulated crash: exit without replying; dropping the
-                // channel ends the session abruptly on the client side.
+                // routes (and draining the pool) ends the session abruptly
+                // on the client side.
                 return served;
             }
             if faults.panic_after_frames.is_some_and(|n| received > n) {
@@ -345,7 +610,7 @@ pub fn spawn_server_full(
                 }
                 continue; // unresponsive: swallow the frame
             }
-            let msg = match Message::decode(frame) {
+            let msg = match Message::decode_frame(frame) {
                 Ok(m) => m,
                 Err(_) => {
                     if let Some(m) = &metrics {
@@ -354,17 +619,16 @@ pub fn spawn_server_full(
                     continue; // drop bad frames
                 }
             };
-            let reply = match msg {
+            // Admission, tracker accounting and the serve counter happen
+            // here at demux time — one budget, in frame-arrival order —
+            // regardless of which worker executes the suffix.
+            let job = match msg {
                 Message::OffloadRequest {
                     request_id,
                     partition_point,
                     payload: _payload,
                 } => {
                     let p = partition_point as usize;
-                    // Build or fetch the suffix graph (Figure 5).
-                    let _ = cache
-                        .get_or_partition(&graph, p.min(graph.len()))
-                        .expect("p in range");
                     // Predicted suffix time scaled by the environment's
                     // load factor: the signal admission control budgets.
                     let predicted = predicted_suffix(&edge_models, &graph, p);
@@ -377,11 +641,11 @@ pub fn spawn_server_full(
                             // Piggyback the measured load factor so the
                             // shed client can pre-seed its profile.
                             let k = tracker.lock().unwrap_or_else(|e| e.into_inner()).k_at(now);
-                            Message::Rejected {
+                            Job::Forward(pool.ctx.frame(&Message::Rejected {
                                 request_id,
                                 retry_after_us: retry_after.as_micros_f64().round() as u64,
                                 k_micro: Message::k_to_micro(k),
-                            }
+                            }))
                         }
                         AdmissionDecision::Admit { completion, .. } => {
                             tracker
@@ -392,14 +656,11 @@ pub fn spawn_server_full(
                             if let Some(m) = &metrics {
                                 m.offloads.incr(1);
                             }
-                            Message::OffloadResponse {
+                            Job::Suffix {
                                 request_id,
                                 server_time_us: completion.since(now).as_micros_f64().round()
                                     as u64,
-                                payload: Bytes::from(vec![
-                                    0u8;
-                                    graph.output().size_bytes() as usize
-                                ]),
+                                p,
                             }
                         }
                     }
@@ -410,15 +671,15 @@ pub fn spawn_server_full(
                         m.load_queries.incr(1);
                         m.k.set(k);
                     }
-                    Message::LoadReply {
+                    Job::Forward(pool.ctx.frame(&Message::LoadReply {
                         k_micro: Message::k_to_micro(k),
-                    }
+                    }))
                 }
                 Message::Probe { .. } => {
                     if let Some(m) = &metrics {
                         m.probe_acks.incr(1);
                     }
-                    Message::ProbeAck
+                    Job::Forward(pool.ctx.frame(&Message::ProbeAck))
                 }
                 Message::Shutdown => break,
                 // Server never receives responses/replies/acks/rejections.
@@ -430,11 +691,14 @@ pub fn spawn_server_full(
             // One dead client must not take the server down: drop its
             // route and keep serving the others.
             if let Some(tx) = replies.get(&client) {
-                if tx.send(reply.encode()).is_err() {
+                if !pool.dispatch(client, tx, job) {
                     replies.remove(&client);
                 }
             }
         }
+        // Drain in-flight suffixes before releasing the reply routes, so
+        // every frame received before the shutdown is still answered.
+        pool.join();
         served
     });
     ServerHandle {
@@ -461,12 +725,14 @@ impl ServerHandle {
     ///
     /// Fails if the server thread has exited.
     pub fn send_frame(&self, frame: Bytes) -> Result<(), SendError<Bytes>> {
-        self.tx.send(ToServer::Frame(0, frame)).map_err(|e| {
-            let ToServer::Frame(_, frame) = e.0 else {
-                unreachable!("send_frame only wraps frames");
-            };
-            SendError(frame)
-        })
+        self.tx
+            .send(ToServer::Frame(0, Frame::from_contiguous(frame)))
+            .map_err(|e| {
+                let ToServer::Frame(_, frame) = e.0 else {
+                    unreachable!("send_frame only wraps frames");
+                };
+                SendError(frame.flatten())
+            })
     }
 
     /// Opens an additional client session with its own reply channel.
@@ -476,7 +742,7 @@ impl ServerHandle {
     #[must_use]
     pub fn connect(&self) -> ClientConn {
         let id = self.next_client.fetch_add(1, Ordering::Relaxed);
-        let (reply_tx, reply_rx) = channel::<Bytes>();
+        let (reply_tx, reply_rx) = channel::<Frame>();
         let _ = self.tx.send(ToServer::Connect(id, reply_tx));
         ClientConn {
             id,
@@ -494,7 +760,7 @@ impl ServerHandle {
     ///
     /// Fails if the server thread has exited and drained.
     pub fn recv_frame(&self) -> Result<Bytes, RecvError> {
-        self.rx.recv()
+        self.rx.recv().map(Frame::flatten)
     }
 
     /// Receives the next frame from the server, waiting at most `timeout`.
@@ -504,9 +770,9 @@ impl ServerHandle {
     /// [`ProtocolError::Timeout`] when nothing arrives in time,
     /// [`ProtocolError::Disconnected`] when the server thread has exited
     /// and the channel drained.
-    pub fn recv_frame_timeout(&self, timeout: std::time::Duration) -> Result<Bytes, ProtocolError> {
+    pub fn recv_frame_timeout(&self, timeout: Duration) -> Result<Bytes, ProtocolError> {
         match self.rx.recv_timeout(timeout) {
-            Ok(frame) => Ok(frame),
+            Ok(frame) => Ok(frame.flatten()),
             Err(RecvTimeoutError::Timeout) => Err(ProtocolError::Timeout),
             Err(RecvTimeoutError::Disconnected) => Err(ProtocolError::Disconnected),
         }
@@ -539,11 +805,31 @@ impl FrameChannel for ServerHandle {
     fn recv_deadline(&self, deadline: Instant) -> Result<Bytes, ProtocolError> {
         self.recv_frame_timeout(deadline.saturating_duration_since(Instant::now()))
     }
+
+    fn send_split(&self, frame: Frame) -> Result<(), ProtocolError> {
+        self.tx
+            .send(ToServer::Frame(0, frame))
+            .map_err(|_| ProtocolError::Disconnected)
+    }
+
+    fn recv_split_deadline(&self, deadline: Instant) -> Result<Frame, ProtocolError> {
+        match self
+            .rx
+            .recv_timeout(deadline.saturating_duration_since(Instant::now()))
+        {
+            Ok(frame) => Ok(frame),
+            Err(RecvTimeoutError::Timeout) => Err(ProtocolError::Timeout),
+            Err(RecvTimeoutError::Disconnected) => Err(ProtocolError::Disconnected),
+        }
+    }
 }
 
 impl Drop for ServerHandle {
     fn drop(&mut self) {
-        let _ = self.tx.send(ToServer::Frame(0, Message::Shutdown.encode()));
+        let _ = self.tx.send(ToServer::Frame(
+            0,
+            Frame::from_contiguous(Message::Shutdown.encode()),
+        ));
         if let Some(j) = self.join.take() {
             let _ = j.join();
         }
@@ -567,7 +853,7 @@ impl ThreadedClient {
     /// Panics if the default engine configuration is invalid (it is not).
     #[must_use]
     pub fn new(
-        graph: ComputationGraph,
+        graph: impl Into<Arc<ComputationGraph>>,
         user_models: &PredictionModels,
         edge_models: &PredictionModels,
     ) -> Self {
@@ -582,7 +868,7 @@ impl ThreadedClient {
     ///
     /// Rejects invalid configurations with [`ConfigError`].
     pub fn with_config(
-        graph: ComputationGraph,
+        graph: impl Into<Arc<ComputationGraph>>,
         user_models: &PredictionModels,
         edge_models: &PredictionModels,
         config: EngineConfig,
@@ -1040,5 +1326,95 @@ mod tests {
         }
         assert!(client.refresh_k(&server).expect("ok") > 4.0);
         server.shutdown().expect("clean shutdown");
+    }
+
+    /// Stress the shared partition cache from the real worker pool: every
+    /// lookup must be classified (hits + misses == lookups), distinct
+    /// partition points miss at most once, and each session's replies
+    /// arrive in dispatch order (the sharding invariant).
+    #[test]
+    fn worker_pool_hammers_the_shared_partition_cache_consistently() {
+        let graph = Arc::new(lp_models::alexnet(1));
+        let cache = Arc::new(PartitionCache::new());
+        let pool = WorkerPool::spawn(
+            4,
+            ExecContext {
+                graph: Arc::clone(&graph),
+                cache: Arc::clone(&cache),
+                legacy_framing: false,
+                suffix_cost: Duration::ZERO,
+            },
+        );
+        let sessions = 16usize;
+        let per_session = 25usize;
+        let mut rxs = Vec::new();
+        for s in 0..sessions {
+            let (tx, rx) = channel::<Frame>();
+            for j in 0..per_session {
+                let job = Job::Suffix {
+                    request_id: j as u64,
+                    server_time_us: 0,
+                    p: (s + j) % (graph.len() + 1),
+                };
+                assert!(pool.dispatch(s, &tx, job));
+            }
+            rxs.push(rx);
+        }
+        for rx in &rxs {
+            for j in 0..per_session {
+                let frame = rx
+                    .recv_timeout(Duration::from_secs(5))
+                    .expect("every job is answered");
+                match Message::decode_frame(frame).expect("valid reply") {
+                    Message::OffloadResponse { request_id, .. } => {
+                        assert_eq!(request_id, j as u64, "per-session FIFO");
+                    }
+                    other => panic!("expected offload response, got {other:?}"),
+                }
+            }
+        }
+        pool.join();
+        let stats = cache.stats();
+        let lookups = (sessions * per_session) as u64;
+        assert_eq!(stats.hits + stats.misses, lookups, "every lookup counted");
+        assert!(
+            stats.misses <= (graph.len() + 1) as u64,
+            "at most one miss per distinct point: {stats:?}"
+        );
+        assert_eq!(cache.len() as u64, stats.misses);
+    }
+
+    /// The tuning knobs change scheduling and framing, not behaviour: a
+    /// session against the worker pool produces the same records as one
+    /// against the inline (workers = 0) server.
+    #[test]
+    fn tuned_server_with_suffix_cost_still_serves_identically() {
+        let (user, edge) = models();
+        let graph = Arc::new(lp_models::alexnet(1));
+        let mut runs = Vec::new();
+        for tuning in [
+            ServerTuning::single_threaded_legacy(),
+            ServerTuning {
+                suffix_cost: Duration::from_micros(100),
+                ..ServerTuning::default()
+            },
+        ] {
+            let server = spawn_server_tuned(
+                Arc::clone(&graph),
+                edge.clone(),
+                LoadEnv::new(1.0),
+                ServerFaultSpec::default(),
+                None,
+                &Telemetry::disabled(),
+                tuning,
+            );
+            let mut client = ThreadedClient::new(Arc::clone(&graph), user, edge);
+            let records: Vec<InferenceRecord> = (0..4)
+                .map(|_| client.infer(&server, 8.0).expect("ok"))
+                .collect();
+            assert_eq!(server.shutdown().expect("clean shutdown"), 4);
+            runs.push(records);
+        }
+        assert_eq!(runs[0], runs[1], "tuning must not change records");
     }
 }

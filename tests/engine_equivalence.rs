@@ -5,11 +5,12 @@
 
 use loadpart::system::trained_models;
 use loadpart::{
-    spawn_server, OffloadingSystem, Policy, RingSink, SpanKind, SystemConfig, Telemetry, Testbed,
+    spawn_server, spawn_server_tuned, EngineConfig, InferenceRecord, LoadEnv, OffloadingSystem,
+    Policy, RingSink, ServerFaultSpec, ServerTuning, SpanKind, SystemConfig, Telemetry, Testbed,
     ThreadedClient,
 };
 use lp_sim::{SimDuration, SimTime};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 fn models() -> &'static (lp_profiler::PredictionModels, lp_profiler::PredictionModels) {
     static MODELS: OnceLock<(lp_profiler::PredictionModels, lp_profiler::PredictionModels)> =
@@ -186,6 +187,85 @@ fn local_decisions_emit_the_same_abbreviated_span_sequence() {
     let expected = vec![SpanKind::Decide, SpanKind::DevicePrefix, SpanKind::Finish];
     assert_eq!(cosim_sink.kinds_for(r.request_id), expected);
     assert_eq!(wire_sink.kinds_for(t.request_id), expected);
+}
+
+/// Runs `clients` engine sessions against one server with the given
+/// tuning, strict round-robin turns, and returns each session's records in
+/// the order that session received them.
+fn run_tuned_session(
+    tuning: ServerTuning,
+    clients: usize,
+    rounds: usize,
+) -> Vec<Vec<InferenceRecord>> {
+    let (user, edge) = models();
+    let graph = Arc::new(lp_models::alexnet(1));
+    let server = spawn_server_tuned(
+        Arc::clone(&graph),
+        edge.clone(),
+        LoadEnv::new(1.0),
+        ServerFaultSpec::default(),
+        None,
+        &Telemetry::disabled(),
+        tuning,
+    );
+    let conns: Vec<_> = (0..clients).map(|_| server.connect()).collect();
+    let mut engines: Vec<ThreadedClient> = (0..clients)
+        .map(|i| {
+            ThreadedClient::with_config(
+                Arc::clone(&graph),
+                user,
+                edge,
+                EngineConfig {
+                    seed: 42 ^ (i as u64).wrapping_mul(0x9E37_79B9),
+                    ..EngineConfig::default()
+                },
+            )
+            .expect("valid config")
+        })
+        .collect();
+    let mut records = vec![Vec::with_capacity(rounds); clients];
+    for _ in 0..rounds {
+        for (i, engine) in engines.iter_mut().enumerate() {
+            records[i].push(engine.infer(&conns[i], 8.0).expect("protocol ok"));
+        }
+    }
+    server.shutdown().expect("clean shutdown");
+    records
+}
+
+/// The worker-pool server is an equivalence-preserving refactor of the
+/// single-threaded server: same decisions, same per-session record order,
+/// down to every simulated timing field — the pool changes *where* suffixes
+/// execute, never *what* the client observes.
+#[test]
+fn worker_pool_server_matches_the_single_threaded_server() {
+    let sequential = run_tuned_session(ServerTuning::single_threaded_legacy(), 3, 5);
+    let parallel = run_tuned_session(ServerTuning::default(), 3, 5);
+    assert_eq!(
+        sequential, parallel,
+        "worker pool + zero-copy framing must be record-for-record identical"
+    );
+    // Zero-copy framing alone (workers = 0) is equivalent too: flattened
+    // split frames are byte-identical to the contiguous encoding.
+    let zero_copy_inline = run_tuned_session(
+        ServerTuning {
+            workers: 0,
+            ..ServerTuning::default()
+        },
+        3,
+        5,
+    );
+    assert_eq!(sequential, zero_copy_inline);
+}
+
+/// Replay determinism under the pool: two identically-seeded runs against
+/// the parallel server produce bit-identical records, even though suffixes
+/// execute on whichever worker threads the OS schedules.
+#[test]
+fn parallel_server_replays_bit_identically_under_a_fixed_seed() {
+    let a = run_tuned_session(ServerTuning::default(), 4, 4);
+    let b = run_tuned_session(ServerTuning::default(), 4, 4);
+    assert_eq!(a, b, "fixed seed must replay bit-identically");
 }
 
 /// A request shed by server-side admission control emits the *same* span
