@@ -11,6 +11,7 @@
 //!   the decision-latency bench.
 
 use crate::algorithm::{Decision, PartitionSolver};
+use crate::policy::PartitionPolicy;
 use lp_graph::{ComputationGraph, ValueId};
 
 /// A partition-decision strategy.
@@ -43,6 +44,22 @@ impl Policy {
             Policy::Local => solver.latency_at(solver.len(), bandwidth_mbps, k),
             Policy::Full => solver.latency_at(0, bandwidth_mbps, k),
             Policy::Fixed(p) => solver.latency_at(*p, bandwidth_mbps, k),
+        }
+    }
+
+    /// The trait-object form of this policy — what the engine actually
+    /// dispatches through. Each variant maps to its thin
+    /// [`PartitionPolicy`] impl in [`crate::policy`]; the equivalence
+    /// tests pin the trait impls decision-identical to [`Policy::decide`].
+    #[must_use]
+    pub fn build(self) -> Box<dyn PartitionPolicy> {
+        use crate::policy::{FixedPolicy, FullOffloadPolicy, LoadPartPolicy, LocalPolicy};
+        match self {
+            Policy::LoadPart => Box::new(LoadPartPolicy),
+            Policy::Neurosurgeon => Box::new(crate::policy::NeurosurgeonPolicy),
+            Policy::Local => Box::new(LocalPolicy),
+            Policy::Full => Box::new(FullOffloadPolicy),
+            Policy::Fixed(p) => Box::new(FixedPolicy::new(p)),
         }
     }
 }

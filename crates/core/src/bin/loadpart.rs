@@ -9,6 +9,7 @@
 //! loadpart report    [--model squeezenet] [--clients 4] [--duration 30] [--trace spans.jsonl]
 //! loadpart chaos     [--model alexnet] [--clients 8] [--rounds 13] [--spike-k 40]
 //! loadpart bench     [--quick] [--out BENCH_serving.json] [--requests 40] [--suffix-cost-ms 2]
+//! loadpart compare   [--quick] [--out BENCH_policies.json] [--requests 320] [--windows 8]
 //! ```
 //!
 //! `decide` runs the offline profiler (training the NNLS prediction models
@@ -24,14 +25,21 @@
 //! server, with per-client shed/breaker outcomes and the metrics registry;
 //! `bench` runs the serving-throughput benchmark — the pre-PR
 //! single-threaded copying server versus the sharded zero-copy worker pool
-//! at 1/4/8/16 concurrent wire clients — and writes `BENCH_serving.json`.
+//! at 1/4/8/16 concurrent wire clients — and writes `BENCH_serving.json`;
+//! `compare` races every registered partition policy (plus the bandit
+//! online learner and the oracle) through the nonstationary-load,
+//! miscalibrated-device-model and drifting-bandwidth scenarios, reporting
+//! per-policy latency and regret-vs-oracle, and writes
+//! `BENCH_policies.json`.
 
+use loadpart::policy::build_named;
 use loadpart::{
-    chaos_run, multi_client_run_with_telemetry, serving_bench, spawn_server,
-    spawn_server_with_faults, BenchConfig, ChaosConfig, EngineConfig, InferenceRecord, JsonlSink,
-    MultiClientConfig, PartitionSolver, ServerFaultSpec, Telemetry, ThreadedClient,
+    chaos_run, compare_policies, multi_client_run_with_telemetry, serving_bench, spawn_server,
+    spawn_server_with_faults, BenchConfig, ChaosConfig, CompareConfig, EngineConfig,
+    InferenceRecord, JsonlSink, MultiClientConfig, PartitionSolver, PolicyContext, ServerFaultSpec,
+    Telemetry, ThreadedClient,
 };
-use lp_sim::SimDuration;
+use lp_sim::{SimDuration, SimTime};
 use std::collections::HashMap;
 use std::io::Write;
 use std::process::ExitCode;
@@ -56,13 +64,14 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   loadpart models
-  loadpart decide    --model <name> --bandwidth <Mbps> [--k <factor>] [--samples <n>] [--seed <n>]
+  loadpart decide    --model <name> --bandwidth <Mbps> [--k <factor>] [--policy <name>] [--samples <n>] [--seed <n>]
   loadpart curve     --model <name> --bandwidth <Mbps> [--k <factor>] [--samples <n>] [--seed <n>]
   loadpart partition --model <name> --p <point> [--dot]
   loadpart faults    [--model <name>] [--crash-after <frames>] [--bandwidth <Mbps>] [--samples <n>] [--seed <n>]
   loadpart report    [--model <name>] [--clients <n>] [--duration <secs>] [--bandwidth <Mbps>] [--samples <n>] [--seed <n>] [--trace <file.jsonl>]
   loadpart chaos     [--model <name>] [--clients <n>] [--rounds <n>] [--spike-k <factor>] [--bandwidth <Mbps>] [--samples <n>] [--seed <n>]
-  loadpart bench     [--quick] [--out <file.json>] [--requests <n>] [--suffix-cost-ms <ms>] [--seed <n>]";
+  loadpart bench     [--quick] [--out <file.json>] [--requests <n>] [--suffix-cost-ms <ms>] [--seed <n>]
+  loadpart compare   [--quick] [--out <file.json>] [--requests <n>] [--windows <n>] [--samples <n>] [--seed <n>]";
 
 /// Parses `--key value` pairs (and bare `--flag`s) after the subcommand.
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -118,6 +127,7 @@ fn run(args: &[String]) -> Result<String, String> {
         "report" => cmd_report(&flags),
         "chaos" => cmd_chaos(&flags),
         "bench" => cmd_bench(&flags),
+        "compare" => cmd_compare(&flags),
         other => Err(format!("unknown subcommand {other:?}")),
     }
 }
@@ -149,6 +159,8 @@ fn cmd_decide(flags: &HashMap<String, String>, full_curve: bool) -> Result<Strin
     if k < 1.0 {
         return Err("--k must be >= 1 (constraint (1c))".to_string());
     }
+    let policy_name = flags.get("policy").map_or("loadpart", String::as_str);
+    let mut policy = build_named(policy_name)?;
     let (user, edge) = loadpart::system::trained_models(samples, seed);
     let solver = PartitionSolver::new(&graph, &user, &edge);
     let mut out = String::new();
@@ -172,10 +184,15 @@ fn cmd_decide(flags: &HashMap<String, String>, full_curve: bool) -> Result<Strin
             ));
         }
     }
-    let d = solver.decide(bandwidth, k);
+    let d = policy.decide(&PolicyContext {
+        solver: &solver,
+        bandwidth_mbps: bandwidth,
+        k,
+        now: SimTime::ZERO,
+    });
     out.push_str(&format!(
-        "{} @ {bandwidth} Mbps, k = {k}: partition after L_{} of {} -> predicted {:.1} ms \
-         (device {:.1} + upload {:.1} + server {:.1})",
+        "{} @ {bandwidth} Mbps, k = {k} [{policy_name}]: partition after L_{} of {} -> \
+         predicted {:.1} ms (device {:.1} + upload {:.1} + server {:.1})",
         graph.name(),
         d.p,
         graph.len(),
@@ -461,6 +478,37 @@ fn cmd_bench(flags: &HashMap<String, String>) -> Result<String, String> {
     Ok(out)
 }
 
+fn cmd_compare(flags: &HashMap<String, String>) -> Result<String, String> {
+    let mut config = if flags.contains_key("quick") {
+        CompareConfig::quick()
+    } else {
+        CompareConfig::default()
+    };
+    config.requests = get_parsed(flags, "requests", Some(config.requests))?;
+    config.windows = get_parsed(flags, "windows", Some(config.windows))?;
+    config.samples_per_kind = get_parsed(flags, "samples", Some(config.samples_per_kind))?;
+    config.seed = get_parsed(flags, "seed", Some(config.seed))?;
+    if config.requests == 0 {
+        return Err("--requests must be positive".to_string());
+    }
+    if config.windows == 0 || config.windows > config.requests {
+        return Err("--windows must be in 1..=requests".to_string());
+    }
+    let out_path = flags
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "BENCH_policies.json".to_string());
+    if out_path.is_empty() {
+        return Err("--out needs a file path".to_string());
+    }
+    let report = compare_policies(&config);
+    std::fs::write(&out_path, report.to_json().to_string_pretty())
+        .map_err(|e| format!("cannot write {out_path:?}: {e}"))?;
+    let mut out = report.render_table();
+    out.push_str(&format!("report written to {out_path}"));
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -563,6 +611,58 @@ mod tests {
             Some("serving")
         );
         assert!(json.get("points").and_then(lp_json::Json::as_arr).is_some());
+    }
+
+    #[test]
+    fn decide_accepts_registered_policies() {
+        for policy in ["local", "full", "bandit", "fixed:3"] {
+            let out = run(&argv(&format!(
+                "decide --model alexnet --bandwidth 8 --samples 60 --seed 1 --policy {policy}"
+            )))
+            .expect("ok");
+            assert!(out.contains(&format!("[{policy}]")), "{out}");
+        }
+        let out = run(&argv(
+            "decide --model alexnet --bandwidth 8 --samples 60 --seed 1 --policy local",
+        ))
+        .expect("ok");
+        assert!(out.contains("partition after L_27"), "{out}");
+    }
+
+    #[test]
+    fn decide_unknown_policy_lists_the_registry() {
+        let err = run(&argv(
+            "decide --model alexnet --bandwidth 8 --policy frobnicate",
+        ))
+        .unwrap_err();
+        assert!(err.contains("unknown policy"), "{err}");
+        for name in ["loadpart", "neurosurgeon", "local", "full", "bandit"] {
+            assert!(err.contains(name), "registry listing missing {name}: {err}");
+        }
+    }
+
+    #[test]
+    fn compare_writes_a_parseable_report() {
+        let dir = std::env::temp_dir().join("loadpart-compare-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("BENCH_policies.json");
+        let path = path.to_str().expect("utf-8 temp path");
+        let out = run(&argv(&format!(
+            "compare --quick --requests 12 --windows 2 --samples 60 --out {path}"
+        )))
+        .expect("ok");
+        assert!(out.contains("drifting-bandwidth"), "{out}");
+        assert!(out.contains("oracle"), "{out}");
+        let text = std::fs::read_to_string(path).expect("report file");
+        let json = lp_json::Json::parse(&text).expect("valid json");
+        assert_eq!(
+            json.get("benchmark").and_then(lp_json::Json::as_str),
+            Some("policies")
+        );
+        assert!(json
+            .get("scenarios")
+            .and_then(lp_json::Json::as_arr)
+            .is_some_and(|s| s.len() == 3));
     }
 
     #[test]

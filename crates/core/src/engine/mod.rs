@@ -7,8 +7,8 @@
 //!
 //! 1. run the periodic runtime-profiler action if due ([`RuntimeProfile`]:
 //!    bandwidth probe + `k` fetch, §IV);
-//! 2. pick the partition point with the [`Policy`] (Algorithm 1 for
-//!    LoADPart);
+//! 2. pick the partition point with the installed
+//!    [`PartitionPolicy`] (Algorithm 1 for LoADPart);
 //! 3. fetch the partitioned graph from the device-side partition cache
 //!    (§III-A);
 //! 4. execute `L_1..L_p` on the device, upload the crossing tensors, hand
@@ -33,6 +33,15 @@
 //! call [`OffloadEngine::finish`] when the completion arrives. Drivers
 //! that block per request just call [`OffloadEngine::run`].
 //!
+//! The decision step itself is pluggable: [`OffloadEngine::new`] takes
+//! the classic [`Policy`] enum spec (wrapped in a
+//! [`MemoPolicy`] when
+//! [`EngineConfig::decision_memo`] is set), while
+//! [`OffloadEngine::with_policy`] installs any [`PartitionPolicy`]
+//! trait object — including stateful online learners, which the engine
+//! feeds completed records through [`PartitionPolicy::observe`] (guarded:
+//! fallback-local and admission-shed records never reach the learner).
+//!
 //! [`OffloadingSystem`]: crate::system::OffloadingSystem
 //! [`Policy`]: crate::baselines::Policy
 
@@ -47,9 +56,10 @@ pub use config::{ConfigError, EngineConfig};
 pub use profile::RuntimeProfile;
 pub use record::InferenceRecord;
 
-use crate::algorithm::{Decision, PartitionSolver};
+use crate::algorithm::PartitionSolver;
 use crate::baselines::Policy;
 use crate::cache::PartitionCache;
+use crate::policy::{MemoPolicy, PartitionPolicy, PolicyContext};
 use crate::protocol::ProtocolError;
 use crate::telemetry::{EngineMetrics, SpanEvent, SpanKind, Telemetry};
 use lp_graph::ComputationGraph;
@@ -216,6 +226,9 @@ pub struct PendingRequest {
     pub task: TaskId,
     arrive: SimTime,
     record: InferenceRecord,
+    /// Whether the installed policy made this decision (as opposed to
+    /// the degraded local path) — gates the feedback hook at settle time.
+    policy_decided: bool,
 }
 
 impl PendingRequest {
@@ -242,7 +255,7 @@ pub enum Outcome {
 pub struct OffloadEngine {
     graph: Arc<ComputationGraph>,
     solver: PartitionSolver,
-    policy: Policy,
+    policy: Box<dyn PartitionPolicy>,
     config: EngineConfig,
     profile: RuntimeProfile,
     device_cache: PartitionCache,
@@ -255,24 +268,14 @@ pub struct OffloadEngine {
     /// Transition count already surfaced through telemetry, so each
     /// finish span reports only the delta since the previous request.
     breaker_reported: u64,
-    /// The last healthy Algorithm-1 decision, keyed by micro-quantized
-    /// `(bandwidth, k)`. Between profiler refreshes both inputs repeat
-    /// exactly, so back-to-back requests skip the O(n) scan. Only the
-    /// healthy (no cooldown, breaker closed) branch reads or writes it —
-    /// degraded requests take the O(1) `latency_at(n, ..)` path anyway.
-    decision_memo: Option<((u64, u64), Decision)>,
-    /// Requests answered from `decision_memo`.
-    memo_hits: u64,
-}
-
-/// Quantizes a memo-key input to micro-units, the same precision the wire
-/// carries `k` at ([`Message::k_to_micro`](crate::Message::k_to_micro)).
-fn memo_quantize(x: f64) -> u64 {
-    (x * 1e6).round() as u64
 }
 
 impl OffloadEngine {
-    /// Assembles an engine for one DNN on one client.
+    /// Assembles an engine for one DNN on one client, from a [`Policy`]
+    /// enum spec. When [`EngineConfig::decision_memo`] is set the policy
+    /// is wrapped in a [`MemoPolicy`], so back-to-back requests with an
+    /// unchanged quantized `(bandwidth, k)` skip the decision scan — safe
+    /// because every enum variant is a pure function of that key.
     ///
     /// # Errors
     ///
@@ -280,6 +283,33 @@ impl OffloadEngine {
     pub fn new(
         graph: impl Into<Arc<ComputationGraph>>,
         policy: Policy,
+        user_models: &PredictionModels,
+        edge_models: &PredictionModels,
+        client: usize,
+        config: EngineConfig,
+    ) -> Result<Self, ConfigError> {
+        let built = if config.decision_memo {
+            Box::new(MemoPolicy::new(policy.build()))
+        } else {
+            policy.build()
+        };
+        Self::with_policy(graph, built, user_models, edge_models, client, config)
+    }
+
+    /// Assembles an engine around an externally supplied
+    /// [`PartitionPolicy`] — the entry point for stateful policies such as
+    /// the online-learning bandit. No memo wrapper is applied here
+    /// ([`EngineConfig::decision_memo`] only affects [`OffloadEngine::new`]):
+    /// a learning policy's decision may change between identical
+    /// `(bandwidth, k)` keys, so memoizing it would freeze learning. Wrap
+    /// in [`MemoPolicy`] yourself if the policy is pure.
+    ///
+    /// # Errors
+    ///
+    /// Rejects invalid configurations with [`ConfigError`].
+    pub fn with_policy(
+        graph: impl Into<Arc<ComputationGraph>>,
+        policy: Box<dyn PartitionPolicy>,
         user_models: &PredictionModels,
         edge_models: &PredictionModels,
         client: usize,
@@ -311,16 +341,34 @@ impl OffloadEngine {
             metrics: None,
             breaker,
             breaker_reported: 0,
-            decision_memo: None,
-            memo_hits: 0,
         })
     }
 
     /// How many requests were answered from the decision memo instead of
-    /// re-running the Algorithm-1 scan.
+    /// re-running the decision scan (0 unless the installed policy carries
+    /// a [`MemoPolicy`] layer).
     #[must_use]
     pub fn decision_memo_hits(&self) -> u64 {
-        self.memo_hits
+        self.policy.memo_hits()
+    }
+
+    /// The installed decision policy (for introspecting learner state in
+    /// drivers and tests).
+    #[must_use]
+    pub fn policy(&self) -> &dyn PartitionPolicy {
+        self.policy.as_ref()
+    }
+
+    /// Runs the policy feedback hook for a settled record. Guarded: the
+    /// hook only fires when the installed policy actually made the
+    /// decision (not the degraded local path) and the record is a real
+    /// end-to-end measurement — fallback-local and admission-shed records
+    /// carry synthetic local-completion timings that would poison an
+    /// online learner's wire-timing estimates.
+    fn feedback(&mut self, policy_decided: bool, record: &InferenceRecord) {
+        if policy_decided && !record.fallback_local && !record.rejected {
+            self.policy.observe(record);
+        }
     }
 
     /// Installs an observability handle. Instrument handles are registered
@@ -591,31 +639,30 @@ impl OffloadEngine {
         let n = self.graph.len();
         let bandwidth = self.profile.bandwidth_mbps(at);
         let k = self.profile.k();
-        // Wall-clock spent actually deciding; memo hits skip both the O(n)
-        // scan and its timer setup.
+        // Wall-clock spent actually deciding; memo hits (detected via the
+        // policy's hit counter) skip the timer observation.
         let mut decide_secs: Option<f64> = None;
         let mut memo_hit = false;
+        // True only on the healthy arm, where the installed policy made
+        // the call — the degraded path below bypasses it entirely.
+        let mut policy_decided = false;
         let decision = match bandwidth {
             Some(bw) if !faulted && !blocked => {
-                let key = (memo_quantize(bw), memo_quantize(k));
-                match self.decision_memo {
-                    Some((cached_key, cached))
-                        if self.config.decision_memo && cached_key == key =>
-                    {
-                        memo_hit = true;
-                        self.memo_hits += 1;
-                        cached
-                    }
-                    _ => {
-                        let started = self.metrics.as_ref().map(|_| std::time::Instant::now());
-                        let d = self.policy.decide(&self.solver, bw, k);
-                        decide_secs = started.map(|s| s.elapsed().as_secs_f64());
-                        if self.config.decision_memo {
-                            self.decision_memo = Some((key, d));
-                        }
-                        d
-                    }
+                policy_decided = true;
+                let hits_before = self.policy.memo_hits();
+                let started = self.metrics.as_ref().map(|_| std::time::Instant::now());
+                let ctx = PolicyContext {
+                    solver: &self.solver,
+                    bandwidth_mbps: bw,
+                    k,
+                    now: at,
+                };
+                let d = self.policy.decide(&ctx);
+                memo_hit = self.policy.memo_hits() > hits_before;
+                if !memo_hit {
+                    decide_secs = started.map(|s| s.elapsed().as_secs_f64());
                 }
+                d
             }
             // Degraded: everything runs on the device. `latency_at(n, ..)`
             // ignores the wire terms, so a placeholder bandwidth is fine
@@ -684,6 +731,7 @@ impl OffloadEngine {
         self.emit_span(&record, SpanKind::DevicePrefix, at, device_time, 0);
         if p == n {
             // Local inference: nothing leaves the device.
+            self.feedback(policy_decided, &record);
             self.observe_finish(&record);
             return Ok(Outcome::Complete(record));
         }
@@ -765,14 +813,22 @@ impl OffloadEngine {
                     self.complete_locally(record, upload_end, device),
                 ))
             }
-            Disposition::Ran(SuffixOutcome::Done { completion }) => Ok(Outcome::Complete(
-                self.settle(record, upload_end, completion, backend, transport),
-            )),
+            Disposition::Ran(SuffixOutcome::Done { completion }) => {
+                Ok(Outcome::Complete(self.settle(
+                    record,
+                    upload_end,
+                    completion,
+                    policy_decided,
+                    backend,
+                    transport,
+                )))
+            }
             Disposition::Ran(SuffixOutcome::Pending { task }) => {
                 Ok(Outcome::Deferred(PendingRequest {
                     task,
                     arrive: upload_end,
                     record,
+                    policy_decided,
                 }))
             }
             Disposition::Ran(SuffixOutcome::Rejected { .. }) => {
@@ -818,6 +874,7 @@ impl OffloadEngine {
             pending.record,
             pending.arrive,
             completion,
+            pending.policy_decided,
             backend,
             transport,
         )
@@ -857,6 +914,7 @@ impl OffloadEngine {
         mut record: InferenceRecord,
         arrive: SimTime,
         completion: SimTime,
+        policy_decided: bool,
         backend: &mut S,
         transport: &mut T,
     ) -> InferenceRecord
@@ -881,6 +939,7 @@ impl OffloadEngine {
             end = dl_end;
         }
         record.total = end.since(record.start);
+        self.feedback(policy_decided, &record);
         self.observe_finish(&record);
         record
     }

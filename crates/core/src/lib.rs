@@ -29,6 +29,10 @@
 //! * [`fault`] — deterministic fault injection for the wire runtime
 //!   (scripted per-frame drop/delay/corrupt/duplicate).
 //! * [`multi_client`] — N engines sharing one GPU simulator.
+//! * [`policy`] — the pluggable decision layer: the
+//!   [`policy::PartitionPolicy`] trait every decision site dispatches
+//!   through, the memoization wrapper, the online-learning bandit and the
+//!   oracle reference policy.
 //! * [`chaos`] — the chaos soak harness: N threaded clients, a scripted
 //!   load spike and injected frame faults, asserting overload protection
 //!   end to end (shedding, breakers, recovery).
@@ -37,10 +41,14 @@
 //!   spans through pluggable sinks, zero-cost when disabled.
 //! * [`pool`] — the shared zero-payload buffer pool backing the wire
 //!   runtime's zero-copy framing.
-//! * [`serving_bench`] — the reproducible serving throughput benchmark
+//! * [`mod@serving_bench`] — the reproducible serving throughput benchmark
 //!   behind `loadpart bench` (baseline vs. parallel hot path).
 //! * [`scenario`] — drivers that reproduce the paper's experiments
 //!   (bandwidth sweeps for Figures 6–8, load timelines for Figures 2/9).
+//! * [`compare`] — the policy-comparison subsystem behind
+//!   `loadpart compare`: adversarial scenarios (nonstationary load,
+//!   miscalibrated device model, drifting bandwidth) reporting per-policy
+//!   latency and regret against the oracle.
 //!
 //! # Quickstart
 //!
@@ -62,10 +70,12 @@ pub mod algorithm;
 pub mod baselines;
 pub mod cache;
 pub mod chaos;
+pub mod compare;
 pub mod energy;
 pub mod engine;
 pub mod fault;
 pub mod multi_client;
+pub mod policy;
 pub mod pool;
 pub mod protocol;
 pub mod scenario;
@@ -79,6 +89,10 @@ pub use algorithm::{Decision, PartitionSolver};
 pub use baselines::{min_cut_partition, MinCutResult, Policy};
 pub use cache::PartitionCache;
 pub use chaos::{chaos_run, ChaosConfig, ChaosReport, ClientSummary};
+pub use compare::{
+    compare_policies, run_scenario, CompareConfig, CompareReport, PolicyResult, ScenarioKind,
+    ScenarioResult,
+};
 pub use energy::{decide_energy, EnergyDecision, PowerModel};
 pub use engine::{
     BreakerState, CircuitBreaker, ConfigError, DeviceExecutor, EngineConfig, InferenceRecord,
@@ -89,6 +103,10 @@ pub use fault::{FaultAction, FaultInjector, FaultPlan};
 pub use multi_client::{
     multi_client_run, multi_client_run_with_telemetry, ClientOutcomes, MultiClientConfig,
     MultiClientReport,
+};
+pub use policy::{
+    BanditConfig, BanditPolicy, MemoPolicy, OracleCell, OraclePolicy, PartitionPolicy,
+    PolicyContext,
 };
 pub use protocol::{framing_bytes_copied, Frame, Message, ProtocolError};
 pub use scenario::{

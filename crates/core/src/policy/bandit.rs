@@ -1,0 +1,367 @@
+//! The online-learning partition policy: a contextual bandit over
+//! partition points.
+//!
+//! Autodidactic Neurosurgeon (arXiv 2102.02638) observes that an
+//! offloading system does not need offline-profiled latency models: every
+//! completed request *is* a latency measurement of the partition point it
+//! used, so an online learner can estimate the per-point cost directly and
+//! keep adapting when the offline models are miscalibrated or the
+//! environment drifts. [`BanditPolicy`] is that idea on this repo's
+//! substrate:
+//!
+//! * **Arms** — the solver's DeepWear-pruned
+//!   [`candidate_points`](crate::PartitionSolver::candidate_points)
+//!   (initialized lazily on the first decision).
+//! * **Context** — the bandwidth estimate, discretized into log-scale
+//!   buckets ([`BanditConfig::bucket_log2_width`]): the cost landscape is
+//!   roughly stationary within an octave of bandwidth but not across
+//!   octaves, so each bucket learns its own per-arm estimates.
+//! * **Estimate** — per (bucket, arm): an incremental mean of observed
+//!   end-to-end latencies with the sample weight capped at
+//!   [`BanditConfig::max_weight`], so the update step never shrinks below
+//!   `1/max_weight` and the estimate tracks nonstationary environments
+//!   instead of freezing on ancient history.
+//! * **Prior** — a fresh bucket seeds each arm's mean from the solver's
+//!   model prediction with pseudo-weight [`BanditConfig::prior_weight`]:
+//!   before any feedback the bandit behaves like Algorithm 1, and the
+//!   prior washes out after a few real observations.
+//! * **Selection** — deterministic optimism (UCB-style): pick the arm
+//!   minimizing `mean · (1 − explore · √(ln(1+t)/w))` where `t` is the
+//!   bucket's decision count and `w` the arm's weight. Under-sampled arms
+//!   get a growing bonus, so every arm is revisited logarithmically often;
+//!   ties resolve to the larger `p` like Algorithm 1. No RNG is involved —
+//!   runs are bit-reproducible given the same request sequence.
+//!
+//! The engine's feedback guard (skip `fallback_local` / admission-shed
+//! records) matters here: a fallback's "latency" is the device re-running
+//! the suffix after a wire timeout, which says nothing about the wire cost
+//! of the arm that was pulled.
+
+use super::{PartitionPolicy, PolicyContext};
+use crate::algorithm::Decision;
+use crate::engine::InferenceRecord;
+use std::collections::BTreeMap;
+
+/// Tuning knobs of the [`BanditPolicy`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BanditConfig {
+    /// Seed recorded for reproducibility bookkeeping. Selection is
+    /// deterministic optimism (no RNG), so the seed does not perturb
+    /// decisions; it is kept so configs carrying a seed stay
+    /// self-describing.
+    pub seed: u64,
+    /// Exploration strength: the fraction of an arm's mean the optimism
+    /// bonus may reach at `ln(1+t)/w = 1`.
+    pub explore: f64,
+    /// Pseudo-weight of the model prior a fresh bucket starts each arm
+    /// with.
+    pub prior_weight: f64,
+    /// Cap on an arm's sample weight — bounds the smallest update step at
+    /// `1/max_weight` for nonstationarity.
+    pub max_weight: f64,
+    /// Bandwidth-bucket width in log2 units (1.0 = one octave per
+    /// context).
+    pub bucket_log2_width: f64,
+}
+
+impl Default for BanditConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            explore: 0.35,
+            prior_weight: 1.0,
+            max_weight: 32.0,
+            bucket_log2_width: 1.0,
+        }
+    }
+}
+
+/// Per-(bucket, arm) running estimate.
+#[derive(Debug, Clone, Copy)]
+struct ArmStat {
+    /// Estimated end-to-end latency at this arm (seconds).
+    mean: f64,
+    /// Effective sample count (prior pseudo-weight + capped observations).
+    weight: f64,
+}
+
+/// One bandwidth context: per-arm stats plus the decision count the
+/// optimism bonus grows with.
+#[derive(Debug, Clone)]
+struct Bucket {
+    decisions: u64,
+    stats: Vec<ArmStat>,
+}
+
+/// The discretized-bandwidth contextual bandit (see module docs).
+#[derive(Debug)]
+pub struct BanditPolicy {
+    config: BanditConfig,
+    /// Candidate partition points, ascending; initialized from the solver
+    /// on the first decision.
+    arms: Vec<usize>,
+    buckets: BTreeMap<i32, Bucket>,
+    /// Count of (unguarded) records folded into the estimates.
+    observed: u64,
+}
+
+impl BanditPolicy {
+    /// A fresh learner with no observations.
+    #[must_use]
+    pub fn new(config: BanditConfig) -> Self {
+        Self {
+            config,
+            arms: Vec::new(),
+            buckets: BTreeMap::new(),
+            observed: 0,
+        }
+    }
+
+    /// The bandwidth bucket `mbps` falls into.
+    fn bucket_id(&self, mbps: f64) -> i32 {
+        (mbps.max(1e-9).log2() / self.config.bucket_log2_width).floor() as i32
+    }
+
+    /// Total observations folded in so far (across all buckets). Priors do
+    /// not count; the fault-injection tests assert this stays put while
+    /// guarded records are dropped.
+    #[must_use]
+    pub fn observations(&self) -> u64 {
+        self.observed
+    }
+
+    /// The current latency estimate for (`mbps` bucket, arm `p`), if that
+    /// context has been created (tests and introspection).
+    #[must_use]
+    pub fn estimate_secs(&self, mbps: f64, p: usize) -> Option<f64> {
+        let arm = self.arms.iter().position(|&a| a == p)?;
+        self.buckets
+            .get(&self.bucket_id(mbps))
+            .map(|b| b.stats[arm].mean)
+    }
+}
+
+impl PartitionPolicy for BanditPolicy {
+    fn name(&self) -> &str {
+        "bandit"
+    }
+
+    fn decide(&mut self, ctx: &PolicyContext<'_>) -> Decision {
+        if self.arms.is_empty() {
+            self.arms = ctx.solver.candidate_points();
+        }
+        let id = self.bucket_id(ctx.bandwidth_mbps);
+        let arms = &self.arms;
+        let config = &self.config;
+        let bucket = self.buckets.entry(id).or_insert_with(|| Bucket {
+            decisions: 0,
+            // Seed from the model's prediction at the current conditions:
+            // an untrained bucket decides like Algorithm 1.
+            stats: arms
+                .iter()
+                .map(|&p| ArmStat {
+                    mean: ctx
+                        .solver
+                        .latency_at(p, ctx.bandwidth_mbps, ctx.k)
+                        .predicted
+                        .as_secs_f64(),
+                    weight: config.prior_weight,
+                })
+                .collect(),
+        });
+        bucket.decisions += 1;
+        let horizon = (1.0 + bucket.decisions as f64).ln();
+        let mut best_arm = 0usize;
+        let mut best_score = f64::INFINITY;
+        for (i, stat) in bucket.stats.iter().enumerate() {
+            let bonus = config.explore * (horizon / stat.weight.max(1e-9)).sqrt();
+            let score = stat.mean * (1.0 - bonus);
+            // `<=` so ties resolve to the larger p (arms are ascending),
+            // matching Algorithm 1's bias towards keeping work on-device.
+            if score <= best_score {
+                best_score = score;
+                best_arm = i;
+            }
+        }
+        let p = self.arms[best_arm];
+        // The record's `predicted` field carries the model's view of the
+        // chosen point, as for every other policy.
+        ctx.solver.latency_at(p, ctx.bandwidth_mbps, ctx.k)
+    }
+
+    fn observe(&mut self, record: &InferenceRecord) {
+        // Defensive re-check of the engine's guard: fallback or shed
+        // records carry synthetic local-completion timings.
+        if record.fallback_local || record.rejected || record.bandwidth_est_mbps <= 0.0 {
+            return;
+        }
+        let Some(arm) = self.arms.iter().position(|&a| a == record.p) else {
+            return; // degraded-path decision outside the arm set
+        };
+        let id = self.bucket_id(record.bandwidth_est_mbps);
+        let Some(bucket) = self.buckets.get_mut(&id) else {
+            return;
+        };
+        let stat = &mut bucket.stats[arm];
+        stat.weight = (stat.weight + 1.0).min(self.config.max_weight);
+        stat.mean += (record.total.as_secs_f64() - stat.mean) / stat.weight;
+        self.observed += 1;
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::PartitionSolver;
+    use lp_sim::{SimDuration, SimTime};
+
+    fn toy() -> PartitionSolver {
+        PartitionSolver::from_times(
+            &[0.010; 4],
+            &[0.001; 4],
+            vec![1_000_000, 500_000, 250_000, 125_000, 4_000],
+            4_000,
+        )
+    }
+
+    fn ctx<'a>(solver: &'a PartitionSolver, bw: f64, k: f64) -> PolicyContext<'a> {
+        PolicyContext {
+            solver,
+            bandwidth_mbps: bw,
+            k,
+            now: SimTime::ZERO,
+        }
+    }
+
+    fn record(p: usize, bw: f64, total_secs: f64) -> InferenceRecord {
+        InferenceRecord {
+            request_id: 0,
+            client: 0,
+            start: SimTime::ZERO,
+            p,
+            k_used: 1.0,
+            bandwidth_est_mbps: bw,
+            predicted: SimDuration::from_secs_f64(total_secs),
+            device: SimDuration::ZERO,
+            upload: SimDuration::ZERO,
+            uploaded_bytes: if p < 4 { 1 } else { 0 },
+            server: SimDuration::ZERO,
+            download: SimDuration::ZERO,
+            total: SimDuration::from_secs_f64(total_secs),
+            cache_hit: false,
+            fallback_local: false,
+            rejected: false,
+            retries: 0,
+        }
+    }
+
+    #[test]
+    fn untrained_bandit_decides_like_the_model_prior() {
+        let s = toy();
+        let mut bandit = BanditPolicy::new(BanditConfig::default());
+        let d = bandit.decide(&ctx(&s, 160.0, 1.0));
+        // First pull: optimism is uniform over the prior, so the model's
+        // argmin wins exactly as Algorithm 1 would pick it.
+        assert_eq!(d.p, s.decide(160.0, 1.0).p);
+    }
+
+    #[test]
+    fn feedback_moves_the_decision_away_from_a_bad_prior() {
+        let s = toy();
+        let mut bandit = BanditPolicy::new(BanditConfig {
+            explore: 0.25,
+            ..BanditConfig::default()
+        });
+        let model_p = s.decide(160.0, 1.0).p;
+        // Reality disagrees with the model: the model's favorite is slow
+        // (100 ms), p = 0 is fast (5 ms). Feed alternating observations as
+        // the bandit explores.
+        for _ in 0..120 {
+            let d = bandit.decide(&ctx(&s, 160.0, 1.0));
+            let true_secs = if d.p == 0 { 0.005 } else { 0.100 };
+            bandit.observe(&record(d.p, 160.0, true_secs));
+        }
+        let settled = bandit.decide(&ctx(&s, 160.0, 1.0));
+        assert_eq!(settled.p, 0, "bandit must learn the true best arm");
+        assert_ne!(settled.p, model_p, "the prior's favorite was wrong");
+        let est = bandit.estimate_secs(160.0, 0).expect("trained");
+        assert!((est - 0.005).abs() < 0.01, "estimate {est}");
+    }
+
+    #[test]
+    fn buckets_learn_independently() {
+        let s = toy();
+        let mut bandit = BanditPolicy::new(BanditConfig::default());
+        bandit.decide(&ctx(&s, 160.0, 1.0));
+        bandit.decide(&ctx(&s, 1.0, 1.0));
+        // Feedback at 1 Mbps must not touch the 160 Mbps bucket.
+        let before = bandit.estimate_secs(160.0, 4).expect("bucket exists");
+        bandit.observe(&record(4, 1.0, 9.0));
+        let after = bandit.estimate_secs(160.0, 4).expect("bucket exists");
+        assert_eq!(before, after);
+        assert_eq!(bandit.observations(), 1);
+    }
+
+    #[test]
+    fn guarded_records_never_train() {
+        let s = toy();
+        let mut bandit = BanditPolicy::new(BanditConfig::default());
+        bandit.decide(&ctx(&s, 160.0, 1.0));
+        let snapshot: Vec<f64> = (0..=4)
+            .filter_map(|p| bandit.estimate_secs(160.0, p))
+            .collect();
+        let mut poison = record(2, 160.0, 99.0);
+        poison.fallback_local = true;
+        bandit.observe(&poison);
+        let mut shed = record(2, 160.0, 99.0);
+        shed.rejected = true;
+        bandit.observe(&shed);
+        let after: Vec<f64> = (0..=4)
+            .filter_map(|p| bandit.estimate_secs(160.0, p))
+            .collect();
+        assert_eq!(snapshot, after, "guarded records must not move estimates");
+        assert_eq!(bandit.observations(), 0);
+    }
+
+    #[test]
+    fn capped_weight_keeps_tracking_a_shifted_environment() {
+        let s = toy();
+        let mut bandit = BanditPolicy::new(BanditConfig {
+            max_weight: 8.0,
+            ..BanditConfig::default()
+        });
+        bandit.decide(&ctx(&s, 160.0, 1.0));
+        for _ in 0..50 {
+            bandit.observe(&record(2, 160.0, 0.010));
+        }
+        // The environment shifts: arm 2 becomes 10x slower. With the
+        // weight capped at 8 the estimate crosses the midpoint within a
+        // handful of observations instead of ~50.
+        for _ in 0..8 {
+            bandit.observe(&record(2, 160.0, 0.100));
+        }
+        let est = bandit.estimate_secs(160.0, 2).expect("trained");
+        assert!(est > 0.055, "estimate {est} must track the shift");
+    }
+
+    #[test]
+    fn decisions_are_deterministic() {
+        let run = || {
+            let s = toy();
+            let mut bandit = BanditPolicy::new(BanditConfig::default());
+            let mut ps = Vec::new();
+            for i in 0..40 {
+                let bw = if i % 3 == 0 { 8.0 } else { 160.0 };
+                let d = bandit.decide(&ctx(&s, bw, 1.0));
+                ps.push(d.p);
+                bandit.observe(&record(d.p, bw, 0.01 + d.p as f64 * 0.001));
+            }
+            ps
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,136 @@
+//! The oracle reference policy for regret measurement.
+//!
+//! The compare harness knows the *true* per-partition-point cost of the
+//! request it is about to issue (it owns the simulated link, GPU load and
+//! any injected device-model miscalibration). It publishes that cost
+//! vector into an [`OracleCell`] before each request; [`OraclePolicy`]
+//! simply picks the argmin. The oracle therefore has zero regret by
+//! construction and serves as the baseline every other policy's regret is
+//! measured against — it is not implementable outside simulation.
+
+use super::{PartitionPolicy, PolicyContext};
+use crate::algorithm::Decision;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+/// Shared slot the harness writes true per-point costs into.
+///
+/// Index `p` holds the true end-to-end latency (seconds) of partitioning
+/// at `p` under the conditions of the *next* request. Cloning shares the
+/// underlying slot.
+#[derive(Clone, Default)]
+pub struct OracleCell {
+    costs: Arc<Mutex<Vec<f64>>>,
+}
+
+impl fmt::Debug for OracleCell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let n = self.costs.lock().map(|c| c.len()).unwrap_or(0);
+        write!(f, "OracleCell({n} points)")
+    }
+}
+
+impl OracleCell {
+    /// An empty cell; the oracle falls back to the model until costs are
+    /// published.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Publish the true cost vector for the upcoming request.
+    pub fn publish(&self, costs: Vec<f64>) {
+        *self.costs.lock().expect("oracle cell poisoned") = costs;
+    }
+
+    /// The argmin of the published costs (ties to the larger `p`), if any
+    /// costs have been published.
+    #[must_use]
+    pub fn best(&self) -> Option<(usize, f64)> {
+        let costs = self.costs.lock().expect("oracle cell poisoned");
+        let mut best: Option<(usize, f64)> = None;
+        for (p, &c) in costs.iter().enumerate() {
+            match best {
+                Some((_, b)) if c > b => {}
+                _ => best = Some((p, c)),
+            }
+        }
+        best
+    }
+}
+
+/// Picks the true-cost argmin published in its [`OracleCell`] (see module
+/// docs).
+#[derive(Debug)]
+pub struct OraclePolicy {
+    cell: OracleCell,
+}
+
+impl OraclePolicy {
+    /// An oracle reading from `cell`.
+    #[must_use]
+    pub fn new(cell: OracleCell) -> Self {
+        Self { cell }
+    }
+}
+
+impl PartitionPolicy for OraclePolicy {
+    fn name(&self) -> &str {
+        "oracle"
+    }
+
+    fn decide(&mut self, ctx: &PolicyContext<'_>) -> Decision {
+        match self.cell.best() {
+            // The record keeps the model's phase breakdown for the chosen
+            // point; only the choice of `p` is oracular.
+            Some((p, _)) => ctx.solver.latency_at(p, ctx.bandwidth_mbps, ctx.k),
+            None => ctx.solver.decide(ctx.bandwidth_mbps, ctx.k),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::PartitionSolver;
+    use lp_sim::SimTime;
+
+    fn toy() -> PartitionSolver {
+        PartitionSolver::from_times(
+            &[0.010; 4],
+            &[0.001; 4],
+            vec![1_000_000, 500_000, 250_000, 125_000, 4_000],
+            4_000,
+        )
+    }
+
+    #[test]
+    fn oracle_follows_published_costs_with_larger_p_ties() {
+        let cell = OracleCell::new();
+        let mut oracle = OraclePolicy::new(cell.clone());
+        let s = toy();
+        let ctx = PolicyContext {
+            solver: &s,
+            bandwidth_mbps: 8.0,
+            k: 1.0,
+            now: SimTime::ZERO,
+        };
+        cell.publish(vec![5.0, 1.0, 9.0, 9.0, 9.0]);
+        assert_eq!(oracle.decide(&ctx).p, 1);
+        cell.publish(vec![2.0, 2.0, 2.0, 2.0, 2.0]);
+        assert_eq!(oracle.decide(&ctx).p, 4, "ties resolve to larger p");
+    }
+
+    #[test]
+    fn empty_cell_falls_back_to_the_model() {
+        let mut oracle = OraclePolicy::new(OracleCell::new());
+        let s = toy();
+        let ctx = PolicyContext {
+            solver: &s,
+            bandwidth_mbps: 160.0,
+            k: 1.0,
+            now: SimTime::ZERO,
+        };
+        assert_eq!(oracle.decide(&ctx).p, s.decide(160.0, 1.0).p);
+    }
+}

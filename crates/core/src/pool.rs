@@ -14,7 +14,7 @@
 //! no per-connection object to hang a pool off without breaking their
 //! (frozen) shapes. The number of distinct sizes in a process is bounded by
 //! the models in play (cut-point tensor sizes, probe sizes, output sizes),
-//! and [`MAX_POOLED_SIZES`] caps the map against pathological callers.
+//! and `MAX_POOLED_SIZES` caps the map against pathological callers.
 
 use bytes::Bytes;
 use std::collections::HashMap;

@@ -135,9 +135,36 @@ impl OffloadingSystem {
         edge_models: PredictionModels,
         config: SystemConfig,
     ) -> Self {
-        let tracker = LoadFactorTracker::new(config.tracker_period);
         let engine = OffloadEngine::new(graph, policy, user_models, &edge_models, 0, config)
             .expect("valid system config");
+        Self::from_engine(engine, testbed)
+    }
+
+    /// Assembles a system around an externally supplied
+    /// [`PartitionPolicy`](crate::policy::PartitionPolicy) — stateful
+    /// learners included (the engine feeds them completed records through
+    /// the guarded feedback hook).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    #[must_use]
+    pub fn with_policy(
+        graph: ComputationGraph,
+        policy: Box<dyn crate::policy::PartitionPolicy>,
+        testbed: Testbed,
+        user_models: &PredictionModels,
+        edge_models: PredictionModels,
+        config: SystemConfig,
+    ) -> Self {
+        let engine =
+            OffloadEngine::with_policy(graph, policy, user_models, &edge_models, 0, config)
+                .expect("valid system config");
+        Self::from_engine(engine, testbed)
+    }
+
+    fn from_engine(engine: OffloadEngine, testbed: Testbed) -> Self {
+        let tracker = LoadFactorTracker::new(engine.config().tracker_period);
         Self {
             engine,
             testbed,

@@ -881,6 +881,30 @@ impl ThreadedClient {
         })
     }
 
+    /// Builds the client around an externally supplied
+    /// [`PartitionPolicy`](crate::policy::PartitionPolicy) — stateful
+    /// learners included. The engine feeds the policy completed records
+    /// through the guarded feedback hook, so wire faults that degrade a
+    /// request to local execution never train the learner.
+    ///
+    /// # Errors
+    ///
+    /// Rejects invalid configurations with [`ConfigError`].
+    pub fn with_policy(
+        graph: impl Into<Arc<ComputationGraph>>,
+        policy: Box<dyn crate::policy::PartitionPolicy>,
+        user_models: &PredictionModels,
+        edge_models: &PredictionModels,
+        config: EngineConfig,
+    ) -> Result<Self, ConfigError> {
+        let engine =
+            OffloadEngine::with_policy(graph, policy, user_models, edge_models, 0, config)?;
+        Ok(Self {
+            engine,
+            now: SimTime::ZERO,
+        })
+    }
+
     /// The underlying engine (solver, profile, caches).
     #[must_use]
     pub fn engine(&self) -> &OffloadEngine {

@@ -5,9 +5,9 @@
 
 use loadpart::system::trained_models;
 use loadpart::{
-    spawn_server, spawn_server_tuned, EngineConfig, InferenceRecord, LoadEnv, OffloadingSystem,
-    Policy, RingSink, ServerFaultSpec, ServerTuning, SpanKind, SystemConfig, Telemetry, Testbed,
-    ThreadedClient,
+    spawn_server, spawn_server_tuned, EngineConfig, InferenceRecord, LoadEnv, MemoPolicy,
+    OffloadingSystem, PartitionPolicy, PartitionSolver, Policy, PolicyContext, RingSink,
+    ServerFaultSpec, ServerTuning, SpanKind, SystemConfig, Telemetry, Testbed, ThreadedClient,
 };
 use lp_sim::{SimDuration, SimTime};
 use std::sync::{Arc, OnceLock};
@@ -187,6 +187,198 @@ fn local_decisions_emit_the_same_abbreviated_span_sequence() {
     let expected = vec![SpanKind::Decide, SpanKind::DevicePrefix, SpanKind::Finish];
     assert_eq!(cosim_sink.kinds_for(r.request_id), expected);
     assert_eq!(wire_sink.kinds_for(t.request_id), expected);
+}
+
+/// Property-style sweep: every [`Policy`] enum variant's trait impl (what
+/// the engine now dispatches through) is decision-identical to the legacy
+/// `Policy::decide`, at every `(bandwidth, k)` grid point — and stays so
+/// through a [`MemoPolicy`] wrapper whose key changes every cell.
+#[test]
+fn trait_policies_reproduce_legacy_enum_decisions_across_the_sweep() {
+    let (user, edge) = models();
+    let graph = lp_models::alexnet(1);
+    let solver = PartitionSolver::new(&graph, user, edge);
+    let bandwidths = [0.05, 0.1, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 24.0, 50.0, 160.0];
+    let ks = [1.0, 1.5, 2.0, 3.0, 6.0, 12.0];
+    for policy in [
+        Policy::LoadPart,
+        Policy::Neurosurgeon,
+        Policy::Local,
+        Policy::Full,
+        Policy::Fixed(0),
+        Policy::Fixed(13),
+    ] {
+        let mut via_trait = policy.build();
+        let mut via_memo = MemoPolicy::new(policy.build());
+        for bw in bandwidths {
+            for k in ks {
+                let legacy = policy.decide(&solver, bw, k);
+                let ctx = PolicyContext {
+                    solver: &solver,
+                    bandwidth_mbps: bw,
+                    k,
+                    now: SimTime::ZERO,
+                };
+                assert_eq!(
+                    via_trait.decide(&ctx),
+                    legacy,
+                    "{policy:?} trait impl diverged at ({bw}, {k})"
+                );
+                assert_eq!(
+                    via_memo.decide(&ctx),
+                    legacy,
+                    "{policy:?} memoized impl diverged at ({bw}, {k})"
+                );
+                // Same key again: the memo must serve the identical value.
+                assert_eq!(via_memo.decide(&ctx), legacy);
+            }
+        }
+        assert!(
+            via_memo.memo_hits() >= (bandwidths.len() * ks.len()) as u64,
+            "every repeated cell must be a memo hit"
+        );
+    }
+}
+
+/// The decision memo is an equivalence-preserving fast path end to end:
+/// two identically-seeded co-simulations, one with the memo and one
+/// without, produce bit-identical record sequences — while the memoized
+/// run actually answers repeats from the memo.
+#[test]
+fn memo_enabled_cosim_replays_identically_to_memoless() {
+    let (user, edge) = models();
+    let graph = lp_models::alexnet(1);
+    let run = |mbps: f64, memo: bool| {
+        let mut sys = OffloadingSystem::new(
+            graph.clone(),
+            Policy::LoadPart,
+            Testbed::with_constant_bandwidth(mbps, 5),
+            user,
+            edge.clone(),
+            SystemConfig {
+                seed: 5,
+                decision_memo: memo,
+                ..SystemConfig::default()
+            },
+        );
+        let records: Vec<InferenceRecord> = (1..=8)
+            .map(|s| sys.infer(SimTime::ZERO + SimDuration::from_secs(s)))
+            .collect();
+        (records, sys.engine().decision_memo_hits())
+    };
+    // Offloading regime: every upload feeds the estimator a passive
+    // sample, so the quantized bandwidth key churns — the memo must stay
+    // invisible either way.
+    let (with_memo, _) = run(8.0, true);
+    let (without_memo, no_hits) = run(8.0, false);
+    assert_eq!(
+        with_memo, without_memo,
+        "the memo must never change what any request observes"
+    );
+    assert_eq!(no_hits, 0);
+    // Local regime: no uploads, so between profiler refreshes the
+    // (bandwidth, k) key repeats exactly and the memo actually serves.
+    let (with_memo, hits) = run(0.05, true);
+    let (without_memo, no_hits) = run(0.05, false);
+    assert_eq!(with_memo, without_memo);
+    assert_eq!(no_hits, 0);
+    assert!(hits > 0, "repeated (bandwidth, k) keys must hit the memo");
+}
+
+/// Engine-level memo regression: with the bandwidth pinned and `k` set
+/// explicitly, hits and invalidations follow the quantized `(bandwidth,
+/// k)` key exactly, the decision always equals the solver's at the pinned
+/// inputs, and `engine.decision_memo_hits_total` counts every hit.
+#[test]
+fn engine_memo_invalidates_on_quantized_key_change_and_telemetry_counts_hits() {
+    use loadpart::engine::backends::{GpuBackend, LinkTransport, SimulatedDevice};
+    use lp_profiler::{GpuUtilWatchdog, LoadFactorTracker};
+
+    let (user, edge) = models();
+    let graph = lp_models::alexnet(1);
+    let telemetry = Telemetry::enabled();
+    let mut engine = loadpart::OffloadEngine::new(
+        graph,
+        Policy::LoadPart,
+        user,
+        edge,
+        0,
+        EngineConfig::default(), // decision_memo on by default
+    )
+    .expect("valid config");
+    engine.set_telemetry(telemetry.clone());
+    let mut testbed = Testbed::with_constant_bandwidth(8.0, 7);
+    let mut tracker = LoadFactorTracker::new(engine.config().tracker_period);
+    let mut watchdog = GpuUtilWatchdog::new();
+    let server_cache = loadpart::PartitionCache::new();
+
+    // (k override, injected bandwidth, expected memo hit). The whole
+    // script fits inside one profiler period, so nothing but these two
+    // inputs can move the quantized key.
+    let script: [(Option<f64>, f64, bool); 7] = [
+        (None, 8.0, false),      // cold memo: miss + fill
+        (None, 8.0, true),       // identical key: hit
+        (None, 8.0, true),       // identical key: hit
+        (Some(2.0), 8.0, false), // k changed: quantized key invalidates
+        (Some(2.0), 8.0, true),  // new key cached: hit
+        (None, 9.0, false),      // bandwidth changed: key invalidates
+        (None, 9.0, true),       // hit on the refilled entry
+    ];
+    let mut t = SimTime::ZERO + SimDuration::from_secs(1);
+    let mut k_now = 1.0;
+    let mut hits_expected = 0u64;
+    for (i, (set_k, bw, expect_hit)) in script.into_iter().enumerate() {
+        if let Some(k) = set_k {
+            engine.profile_mut().set_k(k);
+            k_now = k;
+        }
+        engine.profile_mut().inject_bandwidth(bw);
+        let before = engine.decision_memo_hits();
+        let record = {
+            let Testbed {
+                link,
+                gpu,
+                gpu_model,
+                device_model,
+                fg_ctx,
+                ..
+            } = &mut testbed;
+            let mut device = SimulatedDevice {
+                model: device_model,
+            };
+            let mut transport = LinkTransport { link };
+            let mut backend = GpuBackend {
+                gpu,
+                gpu_model,
+                ctx: *fg_ctx,
+                tracker: &mut tracker,
+                watchdog: Some(&mut watchdog),
+                server_cache: &server_cache,
+                admission: None,
+            };
+            engine
+                .run(t, &mut device, &mut backend, &mut transport)
+                .expect("co-simulated backends are infallible")
+        };
+        let was_hit = engine.decision_memo_hits() > before;
+        assert_eq!(was_hit, expect_hit, "request {i}: {record:?}");
+        hits_expected += u64::from(expect_hit);
+        // Memo transparency through the whole engine: hit or miss, the
+        // decision is the solver's at the pinned inputs.
+        assert_eq!(
+            record.p,
+            engine.solver().decide(bw, k_now).p,
+            "request {i} diverged from Algorithm 1 at ({bw}, {k_now})"
+        );
+        t = t + record.total + SimDuration::from_millis(200);
+    }
+    assert_eq!(engine.decision_memo_hits(), hits_expected);
+    let snapshot = telemetry.snapshot().expect("metrics enabled");
+    assert_eq!(
+        snapshot.counter("engine.decision_memo_hits_total"),
+        hits_expected,
+        "telemetry must count exactly the memo hits"
+    );
 }
 
 /// Runs `clients` engine sessions against one server with the given

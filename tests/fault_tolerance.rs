@@ -347,3 +347,97 @@ fn server_panic_mid_session_is_reported_at_shutdown() {
 
     assert_eq!(server.shutdown(), Err(ProtocolError::ServerPanicked));
 }
+
+/// The engine's feedback guard end to end: a crash/retry episode that
+/// degrades a request to local fallback, and the cooldown request after it
+/// (local on the degraded path, without consulting the policy), must leave
+/// an online learner's estimates bit-identical to its untouched priors —
+/// only the healthy offload after recovery trains it.
+#[test]
+fn a_crash_retry_episode_never_trains_the_online_learner() {
+    use loadpart::{
+        BanditConfig, BanditPolicy, EngineConfig, PartitionPolicy, PolicyContext, ThreadedClient,
+    };
+    use lp_sim::SimTime;
+
+    fn bandit(client: &ThreadedClient) -> &BanditPolicy {
+        client
+            .engine()
+            .policy()
+            .as_any()
+            .expect("the bandit exposes its state")
+            .downcast_ref()
+            .expect("the engine policy is the bandit")
+    }
+
+    let (user, edge) = models();
+    let graph = lp_models::alexnet(1);
+    let server = spawn_server(graph.clone(), edge.clone(), 1.0);
+    let mut client = ThreadedClient::with_policy(
+        graph,
+        Box::new(BanditPolicy::new(BanditConfig::default())),
+        user,
+        edge,
+        EngineConfig {
+            io_timeout: Duration::from_millis(100),
+            retry_backoff: Duration::ZERO,
+            ..EngineConfig::default()
+        },
+    )
+    .expect("valid config");
+
+    // All three offload attempts of request 0 (sends 2, 3, 4) vanish.
+    let plan = FaultPlan::new()
+        .on_send(2, FaultAction::Drop)
+        .on_send(3, FaultAction::Drop)
+        .on_send(4, FaultAction::Drop);
+    let inj = FaultInjector::new(&server, plan);
+
+    let r0 = client.infer(&inj, 8.0).expect("no panic");
+    assert!(r0.fallback_local, "{r0:?}");
+    assert_eq!(r0.retries, 2, "default budget exhausted");
+    assert_eq!(
+        bandit(&client).observations(),
+        0,
+        "a fallback record must not train the learner"
+    );
+    // The bandit decided r0 (healthy path), so its bandwidth bucket exists
+    // — and every arm's estimate must still equal the pure model prior,
+    // reproduced here on a fresh learner given the same decision context.
+    let mut fresh = BanditPolicy::new(BanditConfig::default());
+    fresh.decide(&PolicyContext {
+        solver: client.engine().solver(),
+        bandwidth_mbps: r0.bandwidth_est_mbps,
+        k: r0.k_used,
+        now: SimTime::ZERO,
+    });
+    for p in client.engine().solver().candidate_points() {
+        assert_eq!(
+            bandit(&client).estimate_secs(r0.bandwidth_est_mbps, p),
+            fresh.estimate_secs(r0.bandwidth_est_mbps, p),
+            "arm {p}: estimate poisoned by the crash/retry episode"
+        );
+    }
+
+    // Cooldown request: local on the degraded path, the policy was never
+    // consulted — its record (neither fallback nor shed) must not train
+    // the learner either.
+    let r1 = client.infer(&inj, 8.0).expect("no panic");
+    assert_eq!((r1.p, r1.fallback_local, r1.rejected), (N, false, false));
+    assert_eq!(
+        bandit(&client).observations(),
+        0,
+        "a cooldown record the policy never decided must not train it"
+    );
+
+    // Cooldown expired: the healthy offload is real feedback and trains.
+    let r2 = client.infer(&inj, 8.0).expect("no panic");
+    assert!(r2.offloaded() && !r2.fallback_local, "{r2:?}");
+    assert_eq!(bandit(&client).observations(), 1);
+    assert_ne!(
+        bandit(&client).estimate_secs(r2.bandwidth_est_mbps, r2.p),
+        fresh.estimate_secs(r2.bandwidth_est_mbps, r2.p),
+        "healthy feedback must move the pulled arm's estimate"
+    );
+    server.shutdown().expect("clean shutdown");
+}

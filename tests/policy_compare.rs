@@ -1,0 +1,101 @@
+//! The policy-comparison harness's headline claims, pinned as tests:
+//!
+//! * The oracle's regret is zero by construction and no policy beats it.
+//! * Under a miscalibrated device model, the online learner's window
+//!   regret *decreases* over the run (it learns the true costs from its
+//!   own feedback) while LoADPart's stays flat (its offline model is wrong
+//!   in the same way on every request) — the acceptance criterion behind
+//!   the committed `BENCH_policies.json`.
+//!
+//! The runs are deterministic (seeded models, simulated testbed, no-RNG
+//! bandit), so the assertions are on real margins, not statistics.
+
+use loadpart::{run_scenario, CompareConfig, ScenarioKind};
+
+/// Window-regret series of `policy` in `result`, with basic sanity checks.
+fn windows(result: &loadpart::ScenarioResult, policy: &str) -> Vec<f64> {
+    let row = result.policy(policy).expect("policy ran");
+    assert!(row.total_regret_secs.is_finite());
+    assert!(row.total_regret_secs >= -1e-9, "{policy}: negative regret");
+    row.window_regret_secs.clone()
+}
+
+#[test]
+fn bandit_regret_decreases_under_miscalibration_while_loadpart_stays_flat() {
+    let config = CompareConfig::default();
+    let result = run_scenario(ScenarioKind::MiscalibratedDevice, &config);
+
+    // The oracle yardstick: zero regret, dominated by nobody.
+    let oracle = result.policy("oracle").expect("oracle ran");
+    assert!(oracle.total_regret_secs.abs() < 1e-9, "{oracle:?}");
+    for p in &result.policies {
+        assert!(p.total_regret_secs >= -1e-9, "{}", p.policy);
+    }
+
+    // LoADPart's offline device model is wrong by the same factor on every
+    // request, so its regret is substantial and *flat*: no window deviates
+    // from the first by more than 20%.
+    let loadpart = windows(&result, "loadpart");
+    let first = loadpart[0];
+    assert!(
+        first > 1.0,
+        "miscalibration must actually cost the model-driven policy, got {first}"
+    );
+    for (i, w) in loadpart.iter().enumerate() {
+        assert!(
+            (w - first).abs() <= 0.2 * first,
+            "loadpart window {i} ({w}) is not flat against the first ({first})"
+        );
+    }
+
+    // The bandit starts from the same wrong prior (so its early windows
+    // pay for exploration) but learns the truth from its own latency
+    // feedback: the last quarter of the run's regret collapses to under
+    // 30% of the first quarter's.
+    let bandit = windows(&result, "bandit");
+    let quarter = bandit.len() / 4;
+    assert!(
+        quarter >= 1,
+        "need at least 4 windows, got {}",
+        bandit.len()
+    );
+    let early: f64 = bandit[..quarter].iter().sum();
+    let late: f64 = bandit[bandit.len() - quarter..].iter().sum();
+    assert!(
+        late <= 0.3 * early,
+        "bandit regret must converge: early {early} -> late {late}"
+    );
+
+    // And having converged, the learner ends up far ahead of the
+    // miscalibrated model overall.
+    let bandit_total: f64 = bandit.iter().sum();
+    let loadpart_total: f64 = loadpart.iter().sum();
+    assert!(
+        bandit_total < 0.7 * loadpart_total,
+        "bandit total {bandit_total} vs loadpart total {loadpart_total}"
+    );
+}
+
+/// In the drifting-bandwidth scenario nothing is miscalibrated, so the
+/// model-driven policies are already near-optimal — the bandit must at
+/// least stay in the same league (no catastrophic exploration cost) and
+/// everyone stays dominated by the oracle.
+#[test]
+fn drifting_bandwidth_keeps_every_policy_finite_and_oracle_dominant() {
+    let config = CompareConfig::default();
+    let result = run_scenario(ScenarioKind::DriftingBandwidth, &config);
+    let oracle = result.policy("oracle").expect("oracle ran");
+    assert!(oracle.total_regret_secs.abs() < 1e-9);
+    let full = result.policy("full").expect("full ran");
+    let bandit = result.policy("bandit").expect("bandit ran");
+    for p in &result.policies {
+        assert!(p.total_regret_secs.is_finite() && p.total_regret_secs >= -1e-9);
+        assert!(p.mean_latency_ms > 0.0);
+    }
+    assert!(
+        bandit.total_regret_secs < full.total_regret_secs,
+        "the learner must beat the static full-offload baseline: {} vs {}",
+        bandit.total_regret_secs,
+        full.total_regret_secs
+    );
+}
