@@ -7,9 +7,11 @@
 //! loadpart partition --model alexnet --p 8 [--dot]
 //! loadpart faults    [--model alexnet] [--crash-after 5] [--bandwidth 8]
 //! loadpart report    [--model squeezenet] [--clients 4] [--duration 30] [--trace spans.jsonl]
-//! loadpart chaos     [--model alexnet] [--clients 8] [--rounds 13] [--spike-k 40]
-//! loadpart bench     [--quick] [--out BENCH_serving.json] [--requests 40] [--suffix-cost-ms 2]
+//! loadpart chaos     [--model alexnet] [--clients 8] [--rounds 13] [--spike-k 40] [--transport tcp]
+//! loadpart bench     [--quick] [--out BENCH_serving.json] [--requests 40] [--suffix-cost-ms 2] [--transport tcp | --connect HOST:PORT]
 //! loadpart compare   [--quick] [--out BENCH_policies.json] [--requests 320] [--windows 8]
+//! loadpart serve     [--model alexnet] [--listen 127.0.0.1:0 | --uds /tmp/lp.sock] [--k 1.0] [--workers 4] [--no-admission]
+//! loadpart smoke     --connect HOST:PORT | --uds PATH [--requests 5] [--latency-ms 20] [--rate-mbps 8] [--shutdown-server]
 //! ```
 //!
 //! `decide` runs the offline profiler (training the NNLS prediction models
@@ -30,13 +32,22 @@
 //! online learner and the oracle) through the nonstationary-load,
 //! miscalibrated-device-model and drifting-bandwidth scenarios, reporting
 //! per-policy latency and regret-vs-oracle, and writes
-//! `BENCH_policies.json`.
+//! `BENCH_policies.json`; `serve` exposes the threaded server over a real
+//! TCP (or Unix-domain) socket and blocks until a client shuts it down over
+//! the wire; `smoke` connects to a running `serve` from a separate process,
+//! measures wall-clock bandwidth, runs a handful of inferences — optionally
+//! through the deterministic link emulator (latency / jitter / rate limit /
+//! stalls / connection reset) — and can send the shutdown frame.
 
 use loadpart::policy::build_named;
+#[cfg(unix)]
+use loadpart::UdsFrameChannel;
 use loadpart::{
-    chaos_run, compare_policies, multi_client_run_with_telemetry, serving_bench, spawn_server,
-    spawn_server_with_faults, BenchConfig, ChaosConfig, CompareConfig, EngineConfig,
-    InferenceRecord, JsonlSink, MultiClientConfig, PartitionSolver, PolicyContext, ServerFaultSpec,
+    chaos_run, compare_policies, measure_bandwidth, multi_client_run_with_telemetry, serving_bench,
+    spawn_server, spawn_server_tuned, spawn_server_with_faults, AdmissionConfig, BenchConfig,
+    BenchTransport, ChaosConfig, ChaosTransport, CompareConfig, EmulatedLink, EngineConfig,
+    FrameChannel, InferenceRecord, JsonlSink, LinkSpec, LoadEnv, Message, MultiClientConfig,
+    PartitionSolver, PolicyContext, ServerFaultSpec, ServerTuning, SocketServer, TcpFrameChannel,
     Telemetry, ThreadedClient,
 };
 use lp_sim::{SimDuration, SimTime};
@@ -69,9 +80,13 @@ const USAGE: &str = "usage:
   loadpart partition --model <name> --p <point> [--dot]
   loadpart faults    [--model <name>] [--crash-after <frames>] [--bandwidth <Mbps>] [--samples <n>] [--seed <n>]
   loadpart report    [--model <name>] [--clients <n>] [--duration <secs>] [--bandwidth <Mbps>] [--samples <n>] [--seed <n>] [--trace <file.jsonl>]
-  loadpart chaos     [--model <name>] [--clients <n>] [--rounds <n>] [--spike-k <factor>] [--bandwidth <Mbps>] [--samples <n>] [--seed <n>]
-  loadpart bench     [--quick] [--out <file.json>] [--requests <n>] [--suffix-cost-ms <ms>] [--seed <n>]
-  loadpart compare   [--quick] [--out <file.json>] [--requests <n>] [--windows <n>] [--samples <n>] [--seed <n>]";
+  loadpart chaos     [--model <name>] [--clients <n>] [--rounds <n>] [--spike-k <factor>] [--bandwidth <Mbps>] [--samples <n>] [--seed <n>] [--transport channel|tcp]
+  loadpart bench     [--quick] [--out <file.json>] [--requests <n>] [--suffix-cost-ms <ms>] [--seed <n>] [--transport channel|tcp | --connect <host:port>]
+  loadpart compare   [--quick] [--out <file.json>] [--requests <n>] [--windows <n>] [--samples <n>] [--seed <n>]
+  loadpart serve     [--model <name>] [--listen <host:port> | --uds <path>] [--k <factor>] [--workers <n>] [--no-admission] [--samples <n>] [--seed <n>]
+  loadpart smoke     --connect <host:port> | --uds <path> [--model <name>] [--requests <n>] [--samples <n>] [--seed <n>]
+                     [--latency-ms <ms>] [--jitter-ms <ms>] [--rate-mbps <Mbps>] [--stall-every <n>] [--stall-ms <ms>] [--reset-after <frames>] [--link-seed <n>]
+                     [--shutdown-server]";
 
 /// Parses `--key value` pairs (and bare `--flag`s) after the subcommand.
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -128,6 +143,8 @@ fn run(args: &[String]) -> Result<String, String> {
         "chaos" => cmd_chaos(&flags),
         "bench" => cmd_bench(&flags),
         "compare" => cmd_compare(&flags),
+        "serve" => cmd_serve(&flags),
+        "smoke" => cmd_smoke(&flags),
         other => Err(format!("unknown subcommand {other:?}")),
     }
 }
@@ -386,6 +403,11 @@ fn cmd_chaos(flags: &HashMap<String, String>) -> Result<String, String> {
     let samples: usize = get_parsed(flags, "samples", Some(120))?;
     let seed: u64 = get_parsed(flags, "seed", Some(42))?;
     let (user, edge) = loadpart::system::trained_models(samples, seed);
+    let transport = match flags.get("transport").map(String::as_str) {
+        None | Some("channel") => ChaosTransport::Channel,
+        Some("tcp") => ChaosTransport::Tcp,
+        Some(other) => return Err(format!("unknown transport {other:?} (channel|tcp)")),
+    };
     let config = ChaosConfig {
         n_clients: clients,
         rounds,
@@ -395,6 +417,7 @@ fn cmd_chaos(flags: &HashMap<String, String>) -> Result<String, String> {
             seed,
             ..defaults.engine
         },
+        transport,
         ..defaults
     };
     let telemetry = Telemetry::enabled();
@@ -463,6 +486,18 @@ fn cmd_bench(flags: &HashMap<String, String>) -> Result<String, String> {
     }
     config.suffix_cost = Duration::from_secs_f64(suffix_ms / 1e3);
     config.seed = get_parsed(flags, "seed", Some(config.seed))?;
+    config.transport = if let Some(addr) = flags.get("connect") {
+        if addr.is_empty() {
+            return Err("--connect needs host:port".to_string());
+        }
+        BenchTransport::Remote(addr.clone())
+    } else {
+        match flags.get("transport").map(String::as_str) {
+            None | Some("channel") => BenchTransport::Channel,
+            Some("tcp") => BenchTransport::Tcp,
+            Some(other) => return Err(format!("unknown transport {other:?} (channel|tcp)")),
+        }
+    };
     let out_path = flags
         .get("out")
         .cloned()
@@ -506,6 +541,216 @@ fn cmd_compare(flags: &HashMap<String, String>) -> Result<String, String> {
         .map_err(|e| format!("cannot write {out_path:?}: {e}"))?;
     let mut out = report.render_table();
     out.push_str(&format!("report written to {out_path}"));
+    Ok(out)
+}
+
+fn cmd_serve(flags: &HashMap<String, String>) -> Result<String, String> {
+    let name = flags.get("model").map_or("alexnet", String::as_str);
+    let graph = lp_models::by_name(name, 1)
+        .ok_or_else(|| format!("unknown model {name:?}; run `loadpart models` for the zoo"))?;
+    let samples: usize = get_parsed(flags, "samples", Some(120))?;
+    let seed: u64 = get_parsed(flags, "seed", Some(42))?;
+    let k: f64 = get_parsed(flags, "k", Some(1.0))?;
+    if k < 1.0 {
+        return Err("--k must be >= 1 (constraint (1c))".to_string());
+    }
+    let workers: usize = get_parsed(flags, "workers", Some(ServerTuning::default().workers))?;
+    if workers == 0 {
+        return Err("--workers must be positive".to_string());
+    }
+    let admission = if flags.contains_key("no-admission") {
+        None
+    } else {
+        Some(AdmissionConfig::default())
+    };
+    let (_, edge) = loadpart::system::trained_models(samples, seed);
+    let server = spawn_server_tuned(
+        std::sync::Arc::new(graph.clone()),
+        edge,
+        LoadEnv::new(k),
+        ServerFaultSpec::default(),
+        admission,
+        &Telemetry::disabled(),
+        ServerTuning {
+            workers,
+            ..ServerTuning::default()
+        },
+    );
+    let sock = if let Some(path) = flags.get("uds") {
+        if path.is_empty() {
+            return Err("--uds needs a socket path".to_string());
+        }
+        #[cfg(unix)]
+        {
+            SocketServer::bind_uds(path, server)
+                .map_err(|e| format!("cannot bind {path:?}: {e}"))?
+        }
+        #[cfg(not(unix))]
+        {
+            drop(server);
+            return Err("--uds is only available on Unix platforms".to_string());
+        }
+    } else {
+        let listen = flags.get("listen").map_or("127.0.0.1:0", String::as_str);
+        SocketServer::bind_tcp(listen, server)
+            .map_err(|e| format!("cannot bind {listen:?}: {e}"))?
+    };
+    // The clients are separate processes polling for this line: it must
+    // reach them before we block in wait().
+    println!(
+        "{} listening on {} (k = {k}, {workers} worker(s), admission {})",
+        graph.name(),
+        sock.local_addr(),
+        if admission.is_some() { "on" } else { "off" },
+    );
+    let _ = std::io::stdout().flush();
+    let served = sock.wait().map_err(|e| e.to_string())?;
+    Ok(format!(
+        "server shut down cleanly after serving {served} offload(s)"
+    ))
+}
+
+fn cmd_smoke(flags: &HashMap<String, String>) -> Result<String, String> {
+    let name = flags.get("model").map_or("alexnet", String::as_str);
+    let graph = lp_models::by_name(name, 1)
+        .ok_or_else(|| format!("unknown model {name:?}; run `loadpart models` for the zoo"))?;
+    let samples: usize = get_parsed(flags, "samples", Some(120))?;
+    let seed: u64 = get_parsed(flags, "seed", Some(42))?;
+    let requests: usize = get_parsed(flags, "requests", Some(5))?;
+    if requests == 0 {
+        return Err("--requests must be positive".to_string());
+    }
+    let chan: Box<dyn FrameChannel> = if let Some(path) = flags.get("uds") {
+        if path.is_empty() {
+            return Err("--uds needs a socket path".to_string());
+        }
+        #[cfg(unix)]
+        {
+            Box::new(
+                UdsFrameChannel::connect_path(path)
+                    .map_err(|e| format!("cannot connect to {path:?}: {e}"))?,
+            )
+        }
+        #[cfg(not(unix))]
+        {
+            return Err("--uds is only available on Unix platforms".to_string());
+        }
+    } else {
+        let addr = flags
+            .get("connect")
+            .ok_or_else(|| "missing required flag --connect (or --uds)".to_string())?;
+        Box::new(
+            TcpFrameChannel::connect(addr.as_str())
+                .map_err(|e| format!("cannot connect to {addr:?}: {e}"))?,
+        )
+    };
+    let latency_ms: f64 = get_parsed(flags, "latency-ms", Some(0.0))?;
+    let jitter_ms: f64 = get_parsed(flags, "jitter-ms", Some(0.0))?;
+    let rate_mbps: f64 = get_parsed(flags, "rate-mbps", Some(0.0))?;
+    let stall_every: u64 = get_parsed(flags, "stall-every", Some(0))?;
+    let stall_ms: f64 = get_parsed(flags, "stall-ms", Some(0.0))?;
+    let link_seed: u64 = get_parsed(flags, "link-seed", Some(0))?;
+    let reset_after: Option<u64> = match flags.get("reset-after") {
+        Some(v) => Some(
+            v.parse()
+                .map_err(|_| format!("invalid value for --reset-after: {v:?}"))?,
+        ),
+        None => None,
+    };
+    if latency_ms < 0.0 || jitter_ms < 0.0 || rate_mbps < 0.0 || stall_ms < 0.0 {
+        return Err("link parameters must be non-negative".to_string());
+    }
+    let spec = LinkSpec {
+        latency: Duration::from_secs_f64(latency_ms / 1e3),
+        jitter: Duration::from_secs_f64(jitter_ms / 1e3),
+        rate_mbps,
+        stall_every,
+        stall: Duration::from_secs_f64(stall_ms / 1e3),
+        reset_after_frames: reset_after,
+        seed: link_seed,
+        ..LinkSpec::default()
+    };
+    let emulated = spec != LinkSpec::default();
+    let (user, edge) = loadpart::system::trained_models(samples, seed);
+    let mut client = ThreadedClient::with_config(
+        graph.clone(),
+        &user,
+        &edge,
+        EngineConfig {
+            io_timeout: Duration::from_millis(500),
+            retry_backoff: Duration::from_millis(1),
+            seed,
+            ..EngineConfig::default()
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    let mut out;
+    if emulated {
+        let link = EmulatedLink::new(&*chan, spec);
+        out = smoke_requests(&link, &mut client, &graph, requests)?;
+        let stats = link.stats();
+        out.push_str(&format!(
+            "link: {} frame(s) sent / {} received, {} stall(s), {} held past deadline, {} reset(s)\n",
+            stats.frames_sent,
+            stats.frames_received,
+            stats.stalls,
+            stats.held_past_deadline,
+            stats.resets,
+        ));
+    } else {
+        out = smoke_requests(&*chan, &mut client, &graph, requests)?;
+    }
+    if flags.contains_key("shutdown-server") {
+        // Over the raw channel: the emulator may have scripted itself dead
+        // (connection reset), but the socket underneath is still fine.
+        chan.send(Message::Shutdown.encode().expect("no payload"))
+            .map_err(|e| format!("cannot shut the server down: {e}"))?;
+        out.push_str("shutdown frame sent\n");
+    }
+    Ok(out)
+}
+
+/// Measures bandwidth through the estimator guard, then runs `requests`
+/// inferences over `channel`, returning one row per request.
+fn smoke_requests(
+    channel: &dyn FrameChannel,
+    client: &mut ThreadedClient,
+    graph: &lp_graph::ComputationGraph,
+    requests: usize,
+) -> Result<String, String> {
+    // Wall-clock probes can measure absurd loopback rates; the estimator
+    // rejects non-finite and non-positive samples at the door.
+    let mut estimator = lp_net::BandwidthEstimator::new(4);
+    for _ in 0..2 {
+        let mbps = measure_bandwidth(channel, 64 * 1024, Duration::from_secs(5))
+            .map_err(|e| format!("bandwidth probe failed: {e}"))?;
+        estimator.record(SimTime::ZERO, mbps);
+    }
+    let bandwidth = estimator.estimate_mbps().unwrap_or(8.0);
+    let n = graph.len();
+    let mut out = format!("measured {bandwidth:.1} Mbps over the wire\n");
+    for _ in 0..requests {
+        let r = client
+            .infer(channel, bandwidth)
+            .map_err(|e| e.to_string())?;
+        let mode = if r.fallback_local {
+            "FALLBACK-LOCAL"
+        } else if r.rejected {
+            "SHED"
+        } else if r.offloaded() {
+            "offloaded"
+        } else {
+            "local"
+        };
+        out.push_str(&format!(
+            "req {}: p = {:2}/{n}  {:14}  retries = {}  total = {:.1} ms\n",
+            r.request_id,
+            r.p,
+            mode,
+            r.retries,
+            r.total.as_millis_f64()
+        ));
+    }
     Ok(out)
 }
 
@@ -613,6 +858,65 @@ mod tests {
         assert!(json.get("points").and_then(lp_json::Json::as_arr).is_some());
     }
 
+    /// Spawns a socket-fronted server in-process; `smoke` connects to it
+    /// the same way a separate OS process would.
+    fn socket_server() -> SocketServer {
+        let (_, edge) = loadpart::system::trained_models(60, 1);
+        let server = spawn_server(lp_models::alexnet(1), edge, 1.0);
+        SocketServer::bind_tcp("127.0.0.1:0", server).expect("bind loopback")
+    }
+
+    #[test]
+    fn smoke_runs_against_a_socket_server_and_shuts_it_down() {
+        let sock = socket_server();
+        let addr = sock.local_addr().to_string();
+        let out = run(&argv(&format!(
+            "smoke --connect {addr} --requests 3 --samples 60 --seed 1 --shutdown-server"
+        )))
+        .expect("ok");
+        assert!(out.contains("measured"), "{out}");
+        assert!(out.contains("req "), "{out}");
+        assert!(out.contains("shutdown frame sent"), "{out}");
+        // The wire shutdown must actually take the server down.
+        sock.wait().expect("clean shutdown");
+    }
+
+    #[test]
+    fn smoke_survives_an_emulated_bad_link() {
+        let sock = socket_server();
+        let addr = sock.local_addr().to_string();
+        let out = run(&argv(&format!(
+            "smoke --connect {addr} --requests 2 --samples 60 --seed 1 \
+             --latency-ms 1 --jitter-ms 1 --rate-mbps 200 --link-seed 7"
+        )))
+        .expect("ok");
+        assert!(out.contains("link:"), "{out}");
+        sock.shutdown().expect("clean");
+    }
+
+    #[test]
+    fn bench_connects_to_a_remote_server() {
+        let sock = socket_server();
+        let addr = sock.local_addr().to_string();
+        let dir = std::env::temp_dir().join("loadpart-bench-remote-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("BENCH_tcp.json");
+        let path = path.to_str().expect("utf-8 temp path");
+        let out = run(&argv(&format!(
+            "bench --quick --requests 2 --connect {addr} --out {path}"
+        )))
+        .expect("ok");
+        assert!(out.contains("req/s"), "{out}");
+        let text = std::fs::read_to_string(path).expect("report file");
+        let json = lp_json::Json::parse(&text).expect("valid json");
+        assert_eq!(
+            json.get("transport").and_then(lp_json::Json::as_str),
+            Some("tcp-remote")
+        );
+        // Remote mode leaves the server running: it still answers.
+        sock.shutdown().expect("still alive");
+    }
+
     #[test]
     fn decide_accepts_registered_policies() {
         for policy in ["local", "full", "bandit", "fixed:3"] {
@@ -689,5 +993,14 @@ mod tests {
             .unwrap_err()
             .contains("unknown subcommand"));
         assert!(run(&[]).unwrap_err().contains("no subcommand"));
+        assert!(run(&argv("smoke --requests 2"))
+            .unwrap_err()
+            .contains("--connect"));
+        assert!(run(&argv("chaos --transport carrier-pigeon"))
+            .unwrap_err()
+            .contains("unknown transport"));
+        assert!(run(&argv("bench --quick --transport carrier-pigeon"))
+            .unwrap_err()
+            .contains("unknown transport"));
     }
 }

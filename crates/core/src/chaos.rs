@@ -25,11 +25,44 @@ use crate::baselines::Policy;
 use crate::engine::backends::{NullDevice, WireBackend, WireTransport};
 use crate::engine::{BreakerState, ConfigError, EngineConfig, InferenceRecord, OffloadEngine};
 use crate::fault::{FaultAction, FaultInjector, FaultPlan};
+use crate::protocol::ProtocolError;
 use crate::telemetry::Telemetry;
-use crate::threaded::{spawn_server_full, LoadEnv, ServerFaultSpec};
+use crate::threaded::{spawn_server_full, FrameChannel, LoadEnv, ServerFaultSpec, ServerHandle};
+use crate::transport::{SocketServer, TcpFrameChannel};
 use lp_graph::ComputationGraph;
 use lp_profiler::PredictionModels;
 use lp_sim::{SimDuration, SimTime};
+
+/// Which transport the soak's clients reach the server over.
+///
+/// The soak itself is transport-agnostic: clients take strict turns (one
+/// in-flight exchange at a time), so the server observes the same frame
+/// order either way and the report's logical-time contents replay
+/// identically — asserted by `tests/tcp_transport.rs`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ChaosTransport {
+    /// In-process mux channels (the original harness).
+    #[default]
+    Channel,
+    /// Real loopback TCP sockets through a [`SocketServer`].
+    Tcp,
+}
+
+/// The server end of a soak: the bare mux handle or its socket front-end.
+#[derive(Debug)]
+enum ChaosServer {
+    Handle(ServerHandle),
+    Socket(SocketServer),
+}
+
+impl ChaosServer {
+    fn shutdown(self) -> Result<u64, ProtocolError> {
+        match self {
+            Self::Handle(handle) => handle.shutdown(),
+            Self::Socket(sock) => sock.shutdown(),
+        }
+    }
+}
 
 /// The scripted chaos timeline: population, spike window and budgets.
 ///
@@ -65,6 +98,8 @@ pub struct ChaosConfig {
     /// Client-side fault plans, indexed by client; clients past the end of
     /// the vector run clean.
     pub fault_plans: Vec<FaultPlan>,
+    /// How clients reach the server: in-process channels or loopback TCP.
+    pub transport: ChaosTransport,
 }
 
 impl Default for ChaosConfig {
@@ -93,6 +128,7 @@ impl Default for ChaosConfig {
                 FaultPlan::new().on_send(2, FaultAction::Drop),
                 FaultPlan::new().on_recv(5, FaultAction::Corrupt),
             ],
+            transport: ChaosTransport::Channel,
         }
     }
 }
@@ -236,13 +272,32 @@ pub fn chaos_run(
         Some(config.admission),
         telemetry,
     );
-    let conns: Vec<_> = (0..config.n_clients).map(|_| server.connect()).collect();
+    let (server, conns): (ChaosServer, Vec<Box<dyn FrameChannel>>) = match config.transport {
+        ChaosTransport::Channel => {
+            let conns = (0..config.n_clients)
+                .map(|_| Box::new(server.connect()) as Box<dyn FrameChannel>)
+                .collect();
+            (ChaosServer::Handle(server), conns)
+        }
+        ChaosTransport::Tcp => {
+            let sock = SocketServer::bind_tcp("127.0.0.1:0", server)
+                .expect("bind chaos server to loopback TCP");
+            let conns = (0..config.n_clients)
+                .map(|_| {
+                    let chan = TcpFrameChannel::connect(sock.local_addr())
+                        .expect("connect chaos client over loopback TCP");
+                    Box::new(chan) as Box<dyn FrameChannel>
+                })
+                .collect();
+            (ChaosServer::Socket(sock), conns)
+        }
+    };
     let injectors: Vec<_> = conns
         .iter()
         .enumerate()
         .map(|(i, conn)| {
             let plan = config.fault_plans.get(i).cloned().unwrap_or_default();
-            FaultInjector::new(conn, plan)
+            FaultInjector::new(&**conn, plan)
         })
         .collect();
     let mut engines = Vec::with_capacity(config.n_clients);
@@ -414,5 +469,34 @@ mod tests {
         let b = chaos_run(&graph, user, edge, &cfg, &Telemetry::disabled()).expect("valid");
         assert_eq!(a, b, "same config, same soak");
         assert_eq!(a.total_completed(), 2 * 6, "every request completes");
+    }
+
+    /// The same tiny soak over loopback TCP: live, and logically identical
+    /// to the in-process run (the full-size comparison lives in
+    /// `tests/tcp_transport.rs`).
+    #[test]
+    fn tiny_soak_runs_over_tcp() {
+        let (user, edge) = models();
+        let graph = lp_models::alexnet(1);
+        let cfg = ChaosConfig {
+            n_clients: 2,
+            rounds: 6,
+            spike_start: 1,
+            spike_rounds: 2,
+            fault_plans: Vec::new(),
+            ..ChaosConfig::default()
+        };
+        let channel = chaos_run(&graph, user, edge, &cfg, &Telemetry::disabled()).expect("valid");
+        let tcp_cfg = ChaosConfig {
+            transport: ChaosTransport::Tcp,
+            ..cfg
+        };
+        let tcp = chaos_run(&graph, user, edge, &tcp_cfg, &Telemetry::disabled()).expect("valid");
+        assert_eq!(tcp.total_completed(), 2 * 6, "every request completes");
+        assert_eq!(
+            tcp.records, channel.records,
+            "logical-time records replay identically over TCP"
+        );
+        assert_eq!(tcp.server_served, channel.server_served);
     }
 }

@@ -1,0 +1,437 @@
+//! A deterministic in-process link emulator for any
+//! [`FrameChannel`].
+//!
+//! [`EmulatedLink`] generalizes the frame-indexed [`FaultInjector`]: where
+//! the injector scripts *discrete* faults (drop / delay / corrupt /
+//! duplicate, keyed by frame index), the emulator models the *continuous*
+//! properties of a real access link — propagation latency, bounded jitter,
+//! a serialization rate limit, periodic stalls and a scripted connection
+//! reset — while still being fully deterministic: jitter comes from a
+//! seeded hash of the frame index, never from wall-clock randomness, and
+//! every stall/reset lands at an exact frame count.
+//!
+//! The emulator composes with the rest of the fault surface: a
+//! [`FaultPlan`] embedded in the [`LinkSpec`] rides the same wrapper, so
+//! one middlebox can model "an 8 Mbps link with 20 ms RTT that also drops
+//! frame 2". Time here is *wall-clock* (`std::thread::sleep`), because the
+//! point is exercising the real deadline machinery of the socket transport
+//! — delivery that would cross the caller's deadline is held back and
+//! surfaced as [`ProtocolError::Timeout`], exactly like a reply that lost
+//! the race on a real link, and the held frame lands (stale) on the next
+//! receive.
+
+use crate::fault::{FaultInjector, FaultPlan};
+use crate::protocol::ProtocolError;
+use crate::threaded::FrameChannel;
+use bytes::Bytes;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Per-frame overhead the rate limiter charges on top of the frame bytes
+/// (the length prefix the socket transport writes).
+const FRAME_OVERHEAD_BYTES: usize = 4;
+
+/// The emulated link's parameters. The default is a perfect link: zero
+/// latency and jitter, unlimited rate, no stalls, no reset, no faults.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LinkSpec {
+    /// One-way propagation delay added to every delivery.
+    pub latency: Duration,
+    /// Upper bound on the per-frame jitter added on top of `latency`; the
+    /// actual value is a deterministic function of `seed` and the frame
+    /// index.
+    pub jitter: Duration,
+    /// Serialization rate limit in Mbps; `0.0` means unlimited. Modelled
+    /// as a busy-until virtual clock: back-to-back frames queue behind
+    /// each other's serialization time, like a token bucket with burst 1.
+    pub rate_mbps: f64,
+    /// Every `stall_every`-th received frame (1-based) is stalled by
+    /// [`LinkSpec::stall`] on top of everything else; `0` disables stalls.
+    pub stall_every: u64,
+    /// Duration of one periodic stall.
+    pub stall: Duration,
+    /// Hard connection reset once this many frames (sends + receives)
+    /// have crossed the link: every operation from then on reports
+    /// [`ProtocolError::Disconnected`], like a peer's RST.
+    pub reset_after_frames: Option<u64>,
+    /// Seed for the deterministic jitter sequence.
+    pub seed: u64,
+    /// Discrete frame faults to inject underneath the link model.
+    pub faults: FaultPlan,
+}
+
+/// Counters the emulator accumulates across a session.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Frames that entered the link client → server.
+    pub frames_sent: u64,
+    /// Frames delivered server → client (including late ones).
+    pub frames_received: u64,
+    /// Bytes (incl. framing overhead) sent client → server.
+    pub bytes_sent: u64,
+    /// Bytes (incl. framing overhead) received server → client.
+    pub bytes_received: u64,
+    /// Periodic stalls that fired.
+    pub stalls: u64,
+    /// Deliveries that crossed the caller's deadline and were held.
+    pub held_past_deadline: u64,
+    /// Whether the scripted connection reset has fired (0 or 1).
+    pub resets: u64,
+}
+
+#[derive(Debug, Default)]
+struct LinkState {
+    sent: u64,
+    received: u64,
+    total: u64,
+    /// Virtual serialization clock: the instant the link is next free.
+    busy_until: Option<Instant>,
+    /// Frames whose delivery crossed the caller's deadline.
+    held: VecDeque<Bytes>,
+    reset: bool,
+    stats: LinkStats,
+}
+
+/// SplitMix64: a tiny, well-distributed deterministic hash for the jitter
+/// sequence (no `rand` dependency needed on this path).
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The deterministic jitter for frame `idx` under `seed`: a fraction of
+/// `max` derived from `splitmix64(seed ^ idx)`.
+fn jitter_for(seed: u64, idx: u64, max: Duration) -> Duration {
+    if max.is_zero() {
+        return Duration::ZERO;
+    }
+    // Top 53 bits → uniform fraction in [0, 1).
+    let fraction = (splitmix64(seed ^ idx) >> 11) as f64 / (1u64 << 53) as f64;
+    max.mul_f64(fraction)
+}
+
+/// A [`FrameChannel`] middlebox emulating a lossy, slow, resettable link
+/// around any inner channel (in-process or socket).
+#[derive(Debug)]
+pub struct EmulatedLink<'a, C: FrameChannel + ?Sized> {
+    inner: FaultInjector<'a, C>,
+    spec: LinkSpec,
+    state: Mutex<LinkState>,
+}
+
+impl<'a, C: FrameChannel + ?Sized> EmulatedLink<'a, C> {
+    /// Wraps `inner` with the link model described by `spec`.
+    pub fn new(inner: &'a C, spec: LinkSpec) -> Self {
+        let faults = spec.faults.clone();
+        Self {
+            inner: FaultInjector::new(inner, faults),
+            spec,
+            state: Mutex::new(LinkState::default()),
+        }
+    }
+
+    /// The counters accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> LinkStats {
+        self.lock().stats
+    }
+
+    /// How many discrete [`FaultPlan`] faults have fired underneath the
+    /// link model.
+    #[must_use]
+    pub fn faults_injected(&self) -> u64 {
+        self.inner.faults_injected()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, LinkState> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Serialization time of `bytes` at the configured rate.
+    fn serialization(&self, bytes: usize) -> Duration {
+        if self.spec.rate_mbps <= 0.0 {
+            return Duration::ZERO;
+        }
+        Duration::from_secs_f64(bytes as f64 * 8.0 / (self.spec.rate_mbps * 1e6))
+    }
+
+    /// Counts one frame against the reset budget; `Err` once the link has
+    /// reset.
+    fn check_reset(state: &mut LinkState, spec: &LinkSpec) -> Result<(), ProtocolError> {
+        if state.reset {
+            return Err(ProtocolError::Disconnected);
+        }
+        if spec.reset_after_frames.is_some_and(|n| state.total >= n) {
+            state.reset = true;
+            state.stats.resets = 1;
+            return Err(ProtocolError::Disconnected);
+        }
+        state.total += 1;
+        Ok(())
+    }
+}
+
+impl<C: FrameChannel + ?Sized> FrameChannel for EmulatedLink<'_, C> {
+    fn send(&self, frame: Bytes) -> Result<(), ProtocolError> {
+        let wire_bytes = frame.len() + FRAME_OVERHEAD_BYTES;
+        let pace_until = {
+            let mut state = self.lock();
+            Self::check_reset(&mut state, &self.spec)?;
+            state.sent += 1;
+            state.stats.frames_sent += 1;
+            state.stats.bytes_sent += wire_bytes as u64;
+            // Claim the link's serialization slot: back-to-back senders
+            // queue behind each other (token bucket, burst of one frame).
+            let now = Instant::now();
+            let start = state.busy_until.map_or(now, |b| b.max(now));
+            let done = start + self.serialization(wire_bytes);
+            state.busy_until = Some(done);
+            done
+        };
+        let now = Instant::now();
+        if pace_until > now {
+            std::thread::sleep(pace_until - now);
+        }
+        self.inner.send(frame)
+    }
+
+    fn recv_deadline(&self, deadline: Instant) -> Result<Bytes, ProtocolError> {
+        {
+            let mut state = self.lock();
+            Self::check_reset(&mut state, &self.spec)?;
+            if let Some(held) = state.held.pop_front() {
+                // A delivery that crossed an earlier deadline lands now,
+                // as a stale frame — like FaultAction::Delay, but caused
+                // by the link's timing rather than a scripted index.
+                state.received += 1;
+                state.stats.frames_received += 1;
+                state.stats.bytes_received += (held.len() + FRAME_OVERHEAD_BYTES) as u64;
+                return Ok(held);
+            }
+        }
+        let frame = self.inner.recv_deadline(deadline)?;
+        let mut state = self.lock();
+        let idx = state.received;
+        state.received += 1;
+        state.stats.frames_received += 1;
+        state.stats.bytes_received += (frame.len() + FRAME_OVERHEAD_BYTES) as u64;
+        let mut delay = self.spec.latency
+            + jitter_for(self.spec.seed, idx, self.spec.jitter)
+            + self.serialization(frame.len() + FRAME_OVERHEAD_BYTES);
+        if self.spec.stall_every != 0 && (idx + 1).is_multiple_of(self.spec.stall_every) {
+            state.stats.stalls += 1;
+            delay += self.spec.stall;
+        }
+        let now = Instant::now();
+        if now + delay > deadline {
+            // Delivery would cross the caller's deadline: hold the frame
+            // and burn the remaining budget, like a real late reply.
+            state.stats.held_past_deadline += 1;
+            state.received -= 1; // it has not been delivered yet
+            state.stats.frames_received -= 1;
+            state.stats.bytes_received -= (frame.len() + FRAME_OVERHEAD_BYTES) as u64;
+            state.held.push_back(frame);
+            drop(state);
+            std::thread::sleep(deadline.saturating_duration_since(now));
+            return Err(ProtocolError::Timeout);
+        }
+        drop(state);
+        std::thread::sleep(delay);
+        Ok(frame)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultAction;
+    use crate::protocol::Message;
+    use std::sync::mpsc::{channel, Receiver, Sender};
+
+    /// A loopback channel: everything sent is received back verbatim.
+    struct Loopback {
+        tx: Sender<Bytes>,
+        rx: Mutex<Receiver<Bytes>>,
+    }
+
+    impl Loopback {
+        fn new() -> Self {
+            let (tx, rx) = channel();
+            Self {
+                tx,
+                rx: Mutex::new(rx),
+            }
+        }
+    }
+
+    impl FrameChannel for Loopback {
+        fn send(&self, frame: Bytes) -> Result<(), ProtocolError> {
+            self.tx.send(frame).map_err(|_| ProtocolError::Disconnected)
+        }
+
+        fn recv_deadline(&self, deadline: Instant) -> Result<Bytes, ProtocolError> {
+            let timeout = deadline.saturating_duration_since(Instant::now());
+            self.rx
+                .lock()
+                .expect("lock poisoned")
+                .recv_timeout(timeout)
+                .map_err(|_| ProtocolError::Timeout)
+        }
+    }
+
+    fn soon() -> Instant {
+        Instant::now() + Duration::from_millis(250)
+    }
+
+    #[test]
+    fn perfect_link_passes_frames_through() {
+        let loopback = Loopback::new();
+        let link = EmulatedLink::new(&loopback, LinkSpec::default());
+        link.send(Bytes::from_static(b"hello")).unwrap();
+        assert_eq!(
+            link.recv_deadline(soon()).unwrap(),
+            Bytes::from_static(b"hello")
+        );
+        let stats = link.stats();
+        assert_eq!(stats.frames_sent, 1);
+        assert_eq!(stats.frames_received, 1);
+        assert_eq!(stats.stalls, 0);
+        assert_eq!(stats.resets, 0);
+    }
+
+    #[test]
+    fn jitter_sequence_is_deterministic_and_bounded() {
+        let max = Duration::from_millis(20);
+        for idx in 0..256 {
+            let a = jitter_for(7, idx, max);
+            let b = jitter_for(7, idx, max);
+            assert_eq!(a, b, "same seed and index must agree");
+            assert!(a < max, "jitter {a:?} must stay under the bound");
+        }
+        // Different seeds decorrelate the sequence.
+        assert_ne!(jitter_for(1, 3, max), jitter_for(2, 3, max));
+        // Zero bound means zero jitter, always.
+        assert_eq!(jitter_for(9, 4, Duration::ZERO), Duration::ZERO);
+    }
+
+    #[test]
+    fn rate_limit_paces_sends() {
+        let loopback = Loopback::new();
+        // 8 Mbps: 10 kB ≈ 10 ms of serialization per frame.
+        let link = EmulatedLink::new(
+            &loopback,
+            LinkSpec {
+                rate_mbps: 8.0,
+                ..LinkSpec::default()
+            },
+        );
+        let start = Instant::now();
+        for _ in 0..3 {
+            link.send(Bytes::from(vec![0u8; 10_000])).unwrap();
+        }
+        let elapsed = start.elapsed();
+        // 3 frames × ~10 ms each, minus scheduling slop.
+        assert!(
+            elapsed >= Duration::from_millis(25),
+            "paced only {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn delivery_past_the_deadline_times_out_then_lands_late() {
+        let loopback = Loopback::new();
+        let link = EmulatedLink::new(
+            &loopback,
+            LinkSpec {
+                latency: Duration::from_millis(50),
+                ..LinkSpec::default()
+            },
+        );
+        link.send(Bytes::from_static(b"late")).unwrap();
+        // 10 ms budget < 50 ms latency: the reply crosses the deadline.
+        let tight = Instant::now() + Duration::from_millis(10);
+        assert_eq!(link.recv_deadline(tight), Err(ProtocolError::Timeout));
+        assert_eq!(link.stats().held_past_deadline, 1);
+        // The held frame lands on the next (patient) receive.
+        let patient = Instant::now() + Duration::from_secs(1);
+        assert_eq!(
+            link.recv_deadline(patient).unwrap(),
+            Bytes::from_static(b"late")
+        );
+        assert_eq!(link.stats().frames_received, 1);
+    }
+
+    #[test]
+    fn periodic_stalls_fire_on_schedule() {
+        let loopback = Loopback::new();
+        let link = EmulatedLink::new(
+            &loopback,
+            LinkSpec {
+                stall_every: 2,
+                stall: Duration::from_millis(30),
+                ..LinkSpec::default()
+            },
+        );
+        // Frames 1 and 3 (1-based: the 2nd and 4th) stall.
+        for _ in 0..4 {
+            link.send(Bytes::from_static(b"x")).unwrap();
+        }
+        for _ in 0..4 {
+            link.recv_deadline(soon()).unwrap();
+        }
+        assert_eq!(link.stats().stalls, 2);
+    }
+
+    #[test]
+    fn scripted_reset_disconnects_permanently() {
+        let loopback = Loopback::new();
+        let link = EmulatedLink::new(
+            &loopback,
+            LinkSpec {
+                reset_after_frames: Some(2),
+                ..LinkSpec::default()
+            },
+        );
+        link.send(Bytes::from_static(b"a")).unwrap();
+        link.recv_deadline(soon()).unwrap();
+        // Frame 3 crosses the threshold: hard reset, from now on the link
+        // is dead in both directions — and the error is not transient, so
+        // the engine falls back instead of burning retries.
+        let err = link.send(Bytes::from_static(b"b")).unwrap_err();
+        assert_eq!(err, ProtocolError::Disconnected);
+        assert!(!err.is_transient());
+        assert_eq!(link.recv_deadline(soon()), Err(ProtocolError::Disconnected));
+        assert_eq!(link.stats().resets, 1);
+    }
+
+    #[test]
+    fn embedded_fault_plan_rides_the_link() {
+        let loopback = Loopback::new();
+        let link = EmulatedLink::new(
+            &loopback,
+            LinkSpec {
+                faults: FaultPlan::new().on_send(0, FaultAction::Drop),
+                ..LinkSpec::default()
+            },
+        );
+        link.send(Message::LoadQuery.encode().expect("encodes"))
+            .unwrap();
+        // The scripted drop swallowed it underneath the link model.
+        assert_eq!(
+            link.recv_deadline(Instant::now() + Duration::from_millis(20)),
+            Err(ProtocolError::Timeout)
+        );
+        assert_eq!(link.faults_injected(), 1);
+        // Later frames pass.
+        link.send(Bytes::from_static(b"ok")).unwrap();
+        assert_eq!(
+            link.recv_deadline(soon()).unwrap(),
+            Bytes::from_static(b"ok")
+        );
+    }
+}

@@ -233,7 +233,7 @@ pub struct WireBackend<'a, C: FrameChannel + ?Sized = ServerHandle> {
 
 impl<C: FrameChannel + ?Sized> ServerBackend for WireBackend<'_, C> {
     fn query_k(&mut self, _now: SimTime) -> Result<f64, ProtocolError> {
-        self.server.send_split(Message::LoadQuery.to_frame())?;
+        self.server.send_split(Message::LoadQuery.to_frame()?)?;
         let deadline = Instant::now() + self.deadline;
         loop {
             match decode_reply(self.server.recv_split_deadline(deadline)?)? {
@@ -261,7 +261,7 @@ impl<C: FrameChannel + ?Sized> ServerBackend for WireBackend<'_, C> {
             partition_point: req.p as u32,
             payload: zero_payload(req.upload_bytes as usize),
         }
-        .to_frame();
+        .to_frame()?;
         self.server.send_split(frame)?;
         let deadline = Instant::now() + self.deadline;
         loop {
@@ -328,7 +328,7 @@ impl<C: FrameChannel + ?Sized> Transport for WireTransport<'_, C> {
         let frame = Message::Probe {
             payload: zero_payload(bytes as usize),
         }
-        .to_frame();
+        .to_frame()?;
         self.server.send_split(frame)?;
         let deadline = Instant::now() + self.deadline;
         loop {

@@ -301,7 +301,9 @@ mod tests {
         assert_eq!(got[0], 1 ^ 0xAA);
         assert_eq!(got[1], 3);
         // An actual protocol frame now fails to decode.
-        let frame = crate::protocol::Message::LoadQuery.encode();
+        let frame = crate::protocol::Message::LoadQuery
+            .encode()
+            .expect("encodes");
         assert!(crate::protocol::Message::decode(corrupt(&frame)).is_err());
     }
 

@@ -28,6 +28,13 @@
 //!   fallback when the server misbehaves.
 //! * [`fault`] — deterministic fault injection for the wire runtime
 //!   (scripted per-frame drop/delay/corrupt/duplicate).
+//! * [`transport`] — the real-socket transport: TCP / Unix-domain-socket
+//!   implementations of [`threaded::FrameChannel`] with length-prefixed
+//!   framing, and the [`transport::SocketServer`] behind `loadpart serve`
+//!   so server and clients run as separate OS processes.
+//! * [`emulator`] — the deterministic link emulator that generalizes
+//!   fault injection: latency, jitter, token-bucket rate limiting,
+//!   periodic stalls and connection resets over any frame channel.
 //! * [`multi_client`] — N engines sharing one GPU simulator.
 //! * [`policy`] — the pluggable decision layer: the
 //!   [`policy::PartitionPolicy`] trait every decision site dispatches
@@ -71,6 +78,7 @@ pub mod baselines;
 pub mod cache;
 pub mod chaos;
 pub mod compare;
+pub mod emulator;
 pub mod energy;
 pub mod engine;
 pub mod fault;
@@ -83,16 +91,18 @@ pub mod serving_bench;
 pub mod system;
 pub mod telemetry;
 pub mod threaded;
+pub mod transport;
 
 pub use admission::{AdmissionConfig, AdmissionController, AdmissionDecision};
 pub use algorithm::{Decision, PartitionSolver};
 pub use baselines::{min_cut_partition, MinCutResult, Policy};
 pub use cache::PartitionCache;
-pub use chaos::{chaos_run, ChaosConfig, ChaosReport, ClientSummary};
+pub use chaos::{chaos_run, ChaosConfig, ChaosReport, ChaosTransport, ClientSummary};
 pub use compare::{
     compare_policies, run_scenario, CompareConfig, CompareReport, PolicyResult, ScenarioKind,
     ScenarioResult,
 };
+pub use emulator::{EmulatedLink, LinkSpec, LinkStats};
 pub use energy::{decide_energy, EnergyDecision, PowerModel};
 pub use engine::{
     BreakerState, CircuitBreaker, ConfigError, DeviceExecutor, EngineConfig, InferenceRecord,
@@ -113,7 +123,9 @@ pub use scenario::{
     bandwidth_sweep, load_timeline, load_timeline_with_telemetry, LoadPhase, SweepPoint,
     TimelinePoint,
 };
-pub use serving_bench::{serving_bench, BenchConfig, BenchMode, BenchPoint, BenchReport};
+pub use serving_bench::{
+    serving_bench, BenchConfig, BenchMode, BenchPoint, BenchReport, BenchTransport,
+};
 pub use system::{OffloadingSystem, SystemConfig, Testbed};
 pub use telemetry::{
     JsonlSink, MetricsRegistry, MetricsSnapshot, RingSink, SpanEvent, SpanKind, Telemetry,
@@ -122,5 +134,8 @@ pub use telemetry::{
 pub use threaded::{
     spawn_server, spawn_server_full, spawn_server_instrumented, spawn_server_tuned,
     spawn_server_with_faults, ClientConn, FrameChannel, LoadEnv, ServerFaultSpec, ServerHandle,
-    ServerTuning, StallWindow, ThreadedClient,
+    ServerTuning, SessionConnector, SessionReceiver, SessionSender, StallWindow, ThreadedClient,
 };
+#[cfg(unix)]
+pub use transport::UdsFrameChannel;
+pub use transport::{measure_bandwidth, SocketChannel, SocketServer, TcpFrameChannel};

@@ -18,6 +18,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// Protocol version carried in every frame.
 pub const PROTOCOL_VERSION: u8 = 1;
 
+/// Hard cap on one message's payload blob. Anything larger is refused at
+/// encode time with [`ProtocolError::Oversized`] — well before the
+/// historical `len as u32` cast could silently truncate the declared
+/// length on the wire — and the socket transport refuses declared frame
+/// lengths beyond it instead of allocating attacker-controlled buffers.
+pub const MAX_PAYLOAD_BYTES: usize = 64 * 1024 * 1024;
+
 /// Process-wide count of payload bytes memcpy'd by the framing layer
 /// (contiguous [`Message::encode`] and [`Frame::flatten`]). The zero-copy
 /// [`Frame`] path never touches it; the serving benchmark reads the delta
@@ -178,9 +185,19 @@ impl Message {
         }
     }
 
+    /// The payload's wire length as the `u32` length prefix, refusing
+    /// anything past [`MAX_PAYLOAD_BYTES`] — which also makes the `u32`
+    /// conversion checked instead of a silently-truncating `as` cast.
+    fn payload_len_prefix(payload: &Bytes) -> Result<u32, ProtocolError> {
+        if payload.len() > MAX_PAYLOAD_BYTES {
+            return Err(ProtocolError::Oversized(payload.len()));
+        }
+        u32::try_from(payload.len()).map_err(|_| ProtocolError::Oversized(payload.len()))
+    }
+
     /// Encodes the fixed-width part of the message (everything except the
     /// payload blob) into `b`.
-    fn encode_header(&self, b: &mut BytesMut) {
+    fn encode_header(&self, b: &mut BytesMut) -> Result<(), ProtocolError> {
         b.put_u8(PROTOCOL_VERSION);
         match self {
             Message::OffloadRequest {
@@ -188,20 +205,22 @@ impl Message {
                 partition_point,
                 payload,
             } => {
+                let len = Self::payload_len_prefix(payload)?;
                 b.put_u8(TAG_OFFLOAD_REQUEST);
                 b.put_u64_le(*request_id);
                 b.put_u32_le(*partition_point);
-                b.put_u32_le(payload.len() as u32);
+                b.put_u32_le(len);
             }
             Message::OffloadResponse {
                 request_id,
                 server_time_us,
                 payload,
             } => {
+                let len = Self::payload_len_prefix(payload)?;
                 b.put_u8(TAG_OFFLOAD_RESPONSE);
                 b.put_u64_le(*request_id);
                 b.put_u64_le(*server_time_us);
-                b.put_u32_le(payload.len() as u32);
+                b.put_u32_le(len);
             }
             Message::LoadQuery => b.put_u8(TAG_LOAD_QUERY),
             Message::LoadReply { k_micro } => {
@@ -209,8 +228,9 @@ impl Message {
                 b.put_u64_le(*k_micro);
             }
             Message::Probe { payload } => {
+                let len = Self::payload_len_prefix(payload)?;
                 b.put_u8(TAG_PROBE);
-                b.put_u32_le(payload.len() as u32);
+                b.put_u32_le(len);
             }
             Message::ProbeAck => b.put_u8(TAG_PROBE_ACK),
             Message::Shutdown => b.put_u8(TAG_SHUTDOWN),
@@ -225,6 +245,7 @@ impl Message {
                 b.put_u64_le(*k_micro);
             }
         }
+        Ok(())
     }
 
     /// Encodes the message into one contiguous self-delimiting frame.
@@ -232,30 +253,38 @@ impl Message {
     /// The payload blob is memcpy'd into the buffer (counted in
     /// [`framing_bytes_copied`]); the hot serving path uses
     /// [`Message::to_frame`] instead, which shares it by reference.
-    #[must_use]
-    pub fn encode(&self) -> Bytes {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::Oversized`] when the payload blob exceeds
+    /// [`MAX_PAYLOAD_BYTES`] and its length cannot be declared honestly.
+    pub fn encode(&self) -> Result<Bytes, ProtocolError> {
         let payload_len = self.payload().map_or(0, Bytes::len);
         let mut b = BytesMut::with_capacity(self.header_len() + payload_len);
-        self.encode_header(&mut b);
+        self.encode_header(&mut b)?;
         if let Some(payload) = self.payload() {
             count_copied(payload.len());
             b.put_slice(payload);
         }
-        b.freeze()
+        Ok(b.freeze())
     }
 
     /// Encodes the message as a header/payload [`Frame`]: the fixed-width
     /// fields are serialized into a fresh (small) header buffer and the
     /// payload blob is shared by `Arc` reference — zero copies of tensor
     /// bytes. `frame.flatten()` equals [`Message::encode`] byte-for-byte.
-    #[must_use]
-    pub fn to_frame(&self) -> Frame {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::Oversized`] when the payload blob exceeds
+    /// [`MAX_PAYLOAD_BYTES`] and its length cannot be declared honestly.
+    pub fn to_frame(&self) -> Result<Frame, ProtocolError> {
         let mut b = BytesMut::with_capacity(self.header_len());
-        self.encode_header(&mut b);
-        Frame {
+        self.encode_header(&mut b)?;
+        Ok(Frame {
             header: b.freeze(),
             payload: self.payload().cloned().unwrap_or_default(),
-        }
+        })
     }
 
     /// Decodes a header/payload [`Frame`], keeping the payload segment
@@ -315,8 +344,11 @@ impl Message {
     ///
     /// # Errors
     ///
-    /// Returns [`ProtocolError`] on truncated frames, unknown versions or
-    /// unknown tags.
+    /// Returns [`ProtocolError`] on truncated frames, unknown versions,
+    /// unknown tags, or bytes left over after a well-formed message
+    /// ([`ProtocolError::TrailingBytes`] — on a real byte stream leftover
+    /// bytes mean the framing layer has desynced, so they must never be
+    /// silently discarded).
     pub fn decode(mut buf: Bytes) -> Result<Message, ProtocolError> {
         if buf.remaining() < 2 {
             return Err(ProtocolError::Truncated);
@@ -333,7 +365,7 @@ impl Message {
                 Ok(())
             }
         };
-        match tag {
+        let msg = match tag {
             TAG_OFFLOAD_REQUEST => {
                 need(&buf, 16)?;
                 let request_id = buf.get_u64_le();
@@ -386,7 +418,11 @@ impl Message {
                 })
             }
             other => Err(ProtocolError::UnknownTag(other)),
+        }?;
+        if buf.remaining() != 0 {
+            return Err(ProtocolError::TrailingBytes(buf.remaining()));
         }
+        Ok(msg)
     }
 
     /// The wire tag of this message kind (used to report out-of-order
@@ -429,6 +465,13 @@ pub enum ProtocolError {
     BadVersion(u8),
     /// Unknown message tag.
     UnknownTag(u8),
+    /// Bytes were left over after a well-formed message — the framing has
+    /// desynced (carries the leftover byte count).
+    TrailingBytes(usize),
+    /// A payload exceeded [`MAX_PAYLOAD_BYTES`] (carries the offending
+    /// length): refused at encode time, and by the socket transport when a
+    /// peer declares such a frame length.
+    Oversized(usize),
     /// The peer is gone (channel disconnected / server thread exited).
     Disconnected,
     /// No frame arrived within the operation's deadline.
@@ -443,14 +486,18 @@ pub enum ProtocolError {
 
 impl ProtocolError {
     /// Whether retrying the whole exchange may succeed. Everything except
-    /// a dead peer is worth retrying: timeouts and unexpected frames are
-    /// transient, and a corrupt frame (truncated / bad version / unknown
-    /// tag) may decode fine on a resend.
+    /// a dead peer or an oversized payload is worth retrying: timeouts and
+    /// unexpected frames are transient, and a corrupt frame (truncated /
+    /// bad version / unknown tag / trailing bytes) may decode fine on a
+    /// resend. An oversized payload is deterministic — resending the same
+    /// message fails the same way — so it is not transient.
     #[must_use]
     pub fn is_transient(&self) -> bool {
         !matches!(
             self,
-            ProtocolError::Disconnected | ProtocolError::ServerPanicked
+            ProtocolError::Disconnected
+                | ProtocolError::ServerPanicked
+                | ProtocolError::Oversized(_)
         )
     }
 }
@@ -461,6 +508,12 @@ impl fmt::Display for ProtocolError {
             ProtocolError::Truncated => write!(f, "frame truncated"),
             ProtocolError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
             ProtocolError::UnknownTag(t) => write!(f, "unknown message tag {t}"),
+            ProtocolError::TrailingBytes(n) => {
+                write!(f, "{n} trailing byte(s) after a well-formed message")
+            }
+            ProtocolError::Oversized(n) => {
+                write!(f, "payload of {n} bytes exceeds the frame size cap")
+            }
             ProtocolError::Disconnected => write!(f, "peer disconnected"),
             ProtocolError::Timeout => write!(f, "deadline expired waiting for a frame"),
             ProtocolError::Unexpected(t) => write!(f, "unexpected message tag {t} mid-exchange"),
@@ -476,9 +529,36 @@ mod tests {
     use super::*;
 
     fn round_trip(m: Message) {
-        let encoded = m.encode();
+        let encoded = m.encode().expect("encodes");
         let decoded = Message::decode(encoded).expect("round trip");
         assert_eq!(decoded, m);
+    }
+
+    fn every_variant() -> Vec<Message> {
+        vec![
+            Message::OffloadRequest {
+                request_id: 42,
+                partition_point: 8,
+                payload: Bytes::from(vec![7u8; 48]),
+            },
+            Message::OffloadResponse {
+                request_id: 42,
+                server_time_us: 1_234,
+                payload: Bytes::from(vec![1u8; 32]),
+            },
+            Message::LoadQuery,
+            Message::LoadReply { k_micro: 2_500_000 },
+            Message::Probe {
+                payload: Bytes::from(vec![0u8; 16]),
+            },
+            Message::ProbeAck,
+            Message::Shutdown,
+            Message::Rejected {
+                request_id: 42,
+                retry_after_us: 180_000,
+                k_micro: 31_500_000,
+            },
+        ]
     }
 
     #[test]
@@ -526,7 +606,8 @@ mod tests {
             partition_point: 2,
             payload: Bytes::from(vec![0u8; 64]),
         }
-        .encode();
+        .encode()
+        .expect("encodes");
         for cut in [0, 1, 2, 10, full.len() - 1] {
             let err = Message::decode(full.slice(0..cut)).unwrap_err();
             assert_eq!(err, ProtocolError::Truncated, "cut at {cut}");
@@ -600,10 +681,10 @@ mod tests {
         ];
         for m in msgs {
             let tag = m.tag();
-            let decoded = Message::decode(m.encode()).expect("round trip");
+            let decoded = Message::decode(m.encode().expect("encodes")).expect("round trip");
             assert_eq!(decoded.tag(), tag);
             // The tag is the second byte of every frame.
-            assert_eq!(m.encode()[1], tag);
+            assert_eq!(m.encode().expect("encodes")[1], tag);
         }
     }
 
@@ -625,7 +706,8 @@ mod tests {
             retry_after_us: 9,
             k_micro: 2_000_000,
         }
-        .encode();
+        .encode()
+        .expect("encodes");
         assert_eq!(full.len(), 2 + 24);
         for cut in [2, 9, 17, full.len() - 1] {
             let err = Message::decode(full.slice(0..cut)).unwrap_err();
@@ -662,9 +744,10 @@ mod tests {
             },
         ];
         for m in msgs {
-            let frame = m.to_frame();
-            assert_eq!(frame.len(), m.encode().len());
-            assert_eq!(frame.clone().flatten(), m.encode(), "{m:?}");
+            let frame = m.to_frame().expect("encodes");
+            let contiguous = m.encode().expect("encodes");
+            assert_eq!(frame.len(), contiguous.len());
+            assert_eq!(frame.clone().flatten(), contiguous, "{m:?}");
             assert_eq!(Message::decode_frame(frame).expect("round trip"), m);
         }
     }
@@ -679,7 +762,7 @@ mod tests {
             partition_point: 3,
             payload: payload.clone(),
         };
-        let frame = m.to_frame();
+        let frame = m.to_frame().expect("encodes");
         assert!(
             std::ptr::eq(frame.payload.as_ref(), payload.as_ref()),
             "to_frame must share the payload allocation"
@@ -702,7 +785,8 @@ mod tests {
         let _ = Message::Probe {
             payload: Bytes::from(vec![0u8; 10_000]),
         }
-        .encode();
+        .encode()
+        .expect("encodes");
         assert!(framing_bytes_copied() - before >= 10_000);
     }
 
@@ -716,7 +800,8 @@ mod tests {
             partition_point: 2,
             payload: Bytes::from(vec![0u8; 64]),
         }
-        .to_frame();
+        .to_frame()
+        .expect("encodes");
         frame.payload = frame.payload.slice(0..32); // lose half the payload
         assert_eq!(
             Message::decode_frame(frame).unwrap_err(),
@@ -733,7 +818,7 @@ mod tests {
             server_time_us: 17,
             payload: Bytes::from(vec![5u8; 256]),
         };
-        let wrapped = Frame::from_contiguous(m.encode());
+        let wrapped = Frame::from_contiguous(m.encode().expect("encodes"));
         assert!(!wrapped.is_empty());
         assert_eq!(Message::decode_frame(wrapped).expect("round trip"), m);
     }
@@ -755,5 +840,89 @@ mod tests {
         assert_eq!(err, ProtocolError::UnknownTag(TAG_REJECTED + 1));
         // Unknown tags stay transient: the peer may resend something valid.
         assert!(err.is_transient());
+    }
+
+    /// Regression: `decode` used to silently accept (and drop) bytes left
+    /// over after a well-formed message — which on a TCP stream masks
+    /// framing desync. Every tag must now reject them.
+    #[test]
+    fn trailing_bytes_are_rejected_for_every_tag() {
+        for m in every_variant() {
+            for extra in [1usize, 3, 17] {
+                let mut v = m.encode().expect("encodes").to_vec();
+                v.resize(v.len() + extra, 0xAB);
+                let err = Message::decode(Bytes::from(v)).unwrap_err();
+                assert_eq!(
+                    err,
+                    ProtocolError::TrailingBytes(extra),
+                    "tag {} with {extra} trailing byte(s)",
+                    m.tag()
+                );
+                // Desync is worth a resync attempt, like corruption.
+                assert!(err.is_transient());
+            }
+        }
+    }
+
+    /// Trailing bytes after the *declared payload* of a frame are caught
+    /// through the split decoder too (via its contiguous fallback).
+    #[test]
+    fn trailing_bytes_are_rejected_through_decode_frame() {
+        let m = Message::Probe {
+            payload: Bytes::from(vec![4u8; 8]),
+        };
+        let mut frame = m.to_frame().expect("encodes");
+        let mut grown = frame.payload.to_vec();
+        grown.push(0xCD);
+        frame.payload = Bytes::from(grown);
+        assert_eq!(
+            Message::decode_frame(frame).unwrap_err(),
+            ProtocolError::TrailingBytes(1)
+        );
+    }
+
+    /// Regression: `encode_header` used to cast `payload.len() as u32`
+    /// unchecked, so giant payloads silently truncated their declared
+    /// length on the wire. Both encoders must refuse them now.
+    #[test]
+    fn oversized_payloads_are_refused_at_encode_time() {
+        let payload = crate::pool::zero_payload(MAX_PAYLOAD_BYTES + 1);
+        for m in [
+            Message::Probe {
+                payload: payload.clone(),
+            },
+            Message::OffloadRequest {
+                request_id: 1,
+                partition_point: 2,
+                payload: payload.clone(),
+            },
+            Message::OffloadResponse {
+                request_id: 1,
+                server_time_us: 3,
+                payload: payload.clone(),
+            },
+        ] {
+            let err = m.encode().unwrap_err();
+            assert_eq!(err, ProtocolError::Oversized(MAX_PAYLOAD_BYTES + 1));
+            assert_eq!(
+                m.to_frame().unwrap_err(),
+                ProtocolError::Oversized(MAX_PAYLOAD_BYTES + 1)
+            );
+            // Deterministic failure: retrying the same send cannot help.
+            assert!(!err.is_transient());
+        }
+        // A payload exactly at the cap still encodes.
+        let at_cap = Message::Probe {
+            payload: crate::pool::zero_payload(MAX_PAYLOAD_BYTES),
+        };
+        assert!(at_cap.to_frame().is_ok());
+    }
+
+    #[test]
+    fn new_error_variants_display() {
+        assert!(ProtocolError::TrailingBytes(3).to_string().contains('3'));
+        assert!(ProtocolError::Oversized(70_000_000)
+            .to_string()
+            .contains("70000000"));
     }
 }

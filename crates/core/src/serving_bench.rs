@@ -25,8 +25,10 @@ use crate::engine::EngineConfig;
 use crate::protocol::{framing_bytes_copied, ProtocolError};
 use crate::telemetry::Telemetry;
 use crate::threaded::{
-    spawn_server_tuned, FrameChannel, LoadEnv, ServerFaultSpec, ServerTuning, ThreadedClient,
+    spawn_server_tuned, FrameChannel, LoadEnv, ServerFaultSpec, ServerHandle, ServerTuning,
+    ThreadedClient,
 };
+use crate::transport::{SocketServer, TcpFrameChannel};
 use bytes::Bytes;
 use lp_graph::ComputationGraph;
 use lp_json::Json;
@@ -55,6 +57,33 @@ impl BenchMode {
     }
 }
 
+/// Which wire the benchmark's clients run over.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum BenchTransport {
+    /// In-process mux channels (the original benchmark).
+    #[default]
+    Channel,
+    /// Loopback TCP through a locally spawned [`SocketServer`]: both modes
+    /// still run, since the harness controls the server tuning.
+    Tcp,
+    /// TCP to an already-running `loadpart serve` at this address. Only
+    /// the parallel mode runs (a remote server cannot be re-tuned into the
+    /// legacy baseline), and the server is left running afterwards.
+    Remote(String),
+}
+
+impl BenchTransport {
+    /// Stable name used in the JSON document.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            BenchTransport::Channel => "channel",
+            BenchTransport::Tcp => "tcp",
+            BenchTransport::Remote(_) => "tcp-remote",
+        }
+    }
+}
+
 /// Configuration of one benchmark run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchConfig {
@@ -73,6 +102,8 @@ pub struct BenchConfig {
     pub samples_per_kind: usize,
     /// RNG seed (models and per-client engine seeds derive from it).
     pub seed: u64,
+    /// The wire the clients run over.
+    pub transport: BenchTransport,
 }
 
 impl Default for BenchConfig {
@@ -84,6 +115,7 @@ impl Default for BenchConfig {
             bandwidth_mbps: 8.0,
             samples_per_kind: 150,
             seed: 42,
+            transport: BenchTransport::Channel,
         }
     }
 }
@@ -150,6 +182,9 @@ pub struct BenchReport {
     pub workers: usize,
     /// Per-suffix execution cost charged in both modes.
     pub suffix_cost: Duration,
+    /// Stable name of the transport the clients ran over
+    /// (`"channel"` / `"tcp"` / `"tcp-remote"`).
+    pub transport: String,
 }
 
 impl BenchReport {
@@ -202,6 +237,7 @@ impl BenchReport {
             .collect();
         Json::Obj(vec![
             ("benchmark".into(), Json::Str("serving".into())),
+            ("transport".into(), Json::Str(self.transport.clone())),
             ("workers".into(), Json::Num(self.workers as f64)),
             (
                 "suffix_cost_ms".into(),
@@ -254,9 +290,9 @@ impl BenchReport {
 /// [`FrameChannel::send`]/[`FrameChannel::recv_deadline`], so the default
 /// split methods flatten every outgoing frame into one freshly copied
 /// buffer — exactly what the wire did before zero-copy framing.
-struct LegacyChannel<'a, C: FrameChannel>(&'a C);
+struct LegacyChannel<'a, C: FrameChannel + ?Sized>(&'a C);
 
-impl<C: FrameChannel> FrameChannel for LegacyChannel<'_, C> {
+impl<C: FrameChannel + ?Sized> FrameChannel for LegacyChannel<'_, C> {
     fn send(&self, frame: Bytes) -> Result<(), ProtocolError> {
         self.0.send(frame)
     }
@@ -277,8 +313,15 @@ pub fn serving_bench(config: &BenchConfig) -> BenchReport {
     let graph = Arc::new(lp_models::alexnet(1));
     let (user, edge) = crate::system::trained_models(config.samples_per_kind, config.seed);
     let workers = ServerTuning::default().workers;
+    // A remote server cannot be re-tuned into the legacy baseline: measure
+    // only the tuned serving path against it.
+    let modes: &[BenchMode] = if matches!(config.transport, BenchTransport::Remote(_)) {
+        &[BenchMode::Parallel]
+    } else {
+        &[BenchMode::Baseline, BenchMode::Parallel]
+    };
     let mut points = Vec::new();
-    for mode in [BenchMode::Baseline, BenchMode::Parallel] {
+    for &mode in modes {
         for &clients in &config.client_counts {
             points.push(run_point(mode, clients, &graph, &user, &edge, config));
         }
@@ -287,6 +330,47 @@ pub fn serving_bench(config: &BenchConfig) -> BenchReport {
         points,
         workers,
         suffix_cost: config.suffix_cost,
+        transport: config.transport.name().to_string(),
+    }
+}
+
+/// The server end of one measurement point: a locally spawned handle, its
+/// socket front-end, or an externally managed `loadpart serve` process.
+enum ServerEnd {
+    Handle(ServerHandle),
+    Socket(SocketServer),
+    Remote,
+}
+
+impl ServerEnd {
+    fn connect(&self, config: &BenchConfig) -> Box<dyn FrameChannel + Send> {
+        match self {
+            ServerEnd::Handle(handle) => Box::new(handle.connect()),
+            ServerEnd::Socket(sock) => {
+                Box::new(TcpFrameChannel::connect(sock.local_addr()).expect("connect bench client"))
+            }
+            ServerEnd::Remote => {
+                let BenchTransport::Remote(addr) = &config.transport else {
+                    unreachable!("ServerEnd::Remote only under BenchTransport::Remote");
+                };
+                Box::new(
+                    TcpFrameChannel::connect(addr.as_str()).expect("connect remote bench server"),
+                )
+            }
+        }
+    }
+
+    /// Stops a locally spawned server; a remote one is left running.
+    fn finish(self) {
+        match self {
+            ServerEnd::Handle(handle) => {
+                handle.shutdown().expect("clean server shutdown");
+            }
+            ServerEnd::Socket(sock) => {
+                sock.shutdown().expect("clean server shutdown");
+            }
+            ServerEnd::Remote => {}
+        }
     }
 }
 
@@ -308,20 +392,29 @@ fn run_point(
             ..ServerTuning::default()
         },
     };
-    let server = spawn_server_tuned(
-        Arc::clone(graph),
-        edge.clone(),
-        LoadEnv::new(1.0),
-        ServerFaultSpec::default(),
-        None,
-        &Telemetry::disabled(),
-        tuning,
-    );
+    let spawn = || {
+        spawn_server_tuned(
+            Arc::clone(graph),
+            edge.clone(),
+            LoadEnv::new(1.0),
+            ServerFaultSpec::default(),
+            None,
+            &Telemetry::disabled(),
+            tuning,
+        )
+    };
+    let server = match &config.transport {
+        BenchTransport::Channel => ServerEnd::Handle(spawn()),
+        BenchTransport::Tcp => ServerEnd::Socket(
+            SocketServer::bind_tcp("127.0.0.1:0", spawn()).expect("bind bench server"),
+        ),
+        BenchTransport::Remote(_) => ServerEnd::Remote,
+    };
     let copied_before = framing_bytes_copied();
     let barrier = Arc::new(Barrier::new(clients + 1));
     let mut handles = Vec::with_capacity(clients);
     for i in 0..clients {
-        let conn = server.connect();
+        let conn = server.connect(config);
         let mut client = ThreadedClient::with_config(
             Arc::clone(graph),
             user,
@@ -344,8 +437,8 @@ fn run_point(
             for _ in 0..rounds {
                 let t0 = Instant::now();
                 let record = match mode {
-                    BenchMode::Baseline => client.infer(&LegacyChannel(&conn), bandwidth),
-                    BenchMode::Parallel => client.infer(&conn, bandwidth),
+                    BenchMode::Baseline => client.infer(&LegacyChannel(&*conn), bandwidth),
+                    BenchMode::Parallel => client.infer(&*conn, bandwidth),
                 }
                 .expect("engine degradation absorbs wire faults");
                 latencies.push(t0.elapsed());
@@ -370,7 +463,7 @@ fn run_point(
         shed += sh;
     }
     let elapsed = t0.elapsed();
-    server.shutdown().expect("clean server shutdown");
+    server.finish();
     let bytes_copied = framing_bytes_copied().saturating_sub(copied_before);
     latencies.sort_unstable();
     let requests = latencies.len() as u64;
@@ -461,6 +554,29 @@ mod tests {
             assert!(p.get("clients").and_then(Json::as_f64).is_some());
         }
         assert!(report.render_table().contains("req/s"));
+    }
+
+    /// A tiny measurement over loopback TCP: both modes still run (the
+    /// harness spawns and tunes the server itself) and the JSON names the
+    /// transport.
+    #[test]
+    fn bench_runs_over_loopback_tcp() {
+        let report = serving_bench(&BenchConfig {
+            client_counts: vec![1, 2],
+            requests_per_client: 2,
+            suffix_cost: Duration::ZERO,
+            samples_per_kind: 64,
+            transport: BenchTransport::Tcp,
+            ..BenchConfig::default()
+        });
+        assert_eq!(report.points.len(), 4, "2 modes x 2 counts");
+        for p in &report.points {
+            assert_eq!(p.requests, p.clients as u64 * 2);
+            assert!(p.throughput_rps > 0.0, "{p:?}");
+            assert!(p.offloaded > 0, "8 Mbps must offload over TCP: {p:?}");
+        }
+        let json = report.to_json();
+        assert_eq!(json.get("transport").and_then(Json::as_str), Some("tcp"));
     }
 
     #[test]

@@ -120,8 +120,73 @@ enum ToServer {
 pub struct ServerHandle {
     tx: Sender<ToServer>,
     rx: Receiver<Frame>,
-    next_client: AtomicUsize,
+    next_client: Arc<AtomicUsize>,
     join: Option<JoinHandle<u64>>,
+}
+
+/// A cloneable handle that opens new sessions on a running server without
+/// borrowing its [`ServerHandle`] — the socket acceptor thread holds one
+/// and mints a [`ClientConn`] per accepted connection.
+#[derive(Debug, Clone)]
+pub struct SessionConnector {
+    tx: Sender<ToServer>,
+    next_client: Arc<AtomicUsize>,
+}
+
+impl SessionConnector {
+    /// Opens an additional client session with its own reply channel,
+    /// exactly like [`ServerHandle::connect`].
+    #[must_use]
+    pub fn connect(&self) -> ClientConn {
+        let id = self.next_client.fetch_add(1, Ordering::Relaxed);
+        let (reply_tx, reply_rx) = channel::<Frame>();
+        let _ = self.tx.send(ToServer::Connect(id, reply_tx));
+        ClientConn {
+            id,
+            tx: self.tx.clone(),
+            rx: reply_rx,
+        }
+    }
+}
+
+/// The send half of a split [`ClientConn`]: frames pushed here enter the
+/// server mux under the session's id.
+#[derive(Debug, Clone)]
+pub struct SessionSender {
+    id: usize,
+    tx: Sender<ToServer>,
+}
+
+impl SessionSender {
+    /// Forwards one frame into the server mux.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::Disconnected`] once the server thread has exited.
+    pub fn send(&self, frame: Frame) -> Result<(), ProtocolError> {
+        self.tx
+            .send(ToServer::Frame(self.id, frame))
+            .map_err(|_| ProtocolError::Disconnected)
+    }
+}
+
+/// The receive half of a split [`ClientConn`]: the session's replies, in
+/// server dispatch order.
+#[derive(Debug)]
+pub struct SessionReceiver {
+    rx: Receiver<Frame>,
+}
+
+impl SessionReceiver {
+    /// Blocks for the session's next reply frame.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::Disconnected`] once the server side has dropped the
+    /// session's reply channel (server exit).
+    pub fn recv(&self) -> Result<Frame, ProtocolError> {
+        self.rx.recv().map_err(|_| ProtocolError::Disconnected)
+    }
 }
 
 /// One additional client session on a threaded server: frames sent here
@@ -139,6 +204,19 @@ impl ClientConn {
     #[must_use]
     pub fn id(&self) -> usize {
         self.id
+    }
+
+    /// Splits the session into independently owned send/receive halves, so
+    /// the socket bridge can pump each direction from its own thread.
+    #[must_use]
+    pub fn split(self) -> (SessionSender, SessionReceiver) {
+        (
+            SessionSender {
+                id: self.id,
+                tx: self.tx,
+            },
+            SessionReceiver { rx: self.rx },
+        )
     }
 }
 
@@ -471,12 +549,14 @@ impl ExecContext {
         }
     }
 
-    /// Frames a reply message per the configured framing mode.
+    /// Frames a reply message per the configured framing mode. Server
+    /// replies carry at most one model-output tensor, far under the
+    /// protocol's payload cap, so encoding cannot fail here.
     fn frame(&self, reply: &Message) -> Frame {
         if self.legacy_framing {
-            Frame::from_contiguous(reply.encode())
+            Frame::from_contiguous(reply.encode().expect("server reply fits a frame"))
         } else {
-            reply.to_frame()
+            reply.to_frame().expect("server reply fits a frame")
         }
     }
 }
@@ -704,7 +784,7 @@ pub fn spawn_server_tuned(
     ServerHandle {
         tx: mux_tx,
         rx: client_rx,
-        next_client: AtomicUsize::new(1),
+        next_client: Arc::new(AtomicUsize::new(1)),
         join: Some(join),
     }
 }
@@ -741,14 +821,33 @@ impl ServerHandle {
     /// other's responses.
     #[must_use]
     pub fn connect(&self) -> ClientConn {
-        let id = self.next_client.fetch_add(1, Ordering::Relaxed);
-        let (reply_tx, reply_rx) = channel::<Frame>();
-        let _ = self.tx.send(ToServer::Connect(id, reply_tx));
-        ClientConn {
-            id,
+        self.connector().connect()
+    }
+
+    /// A cloneable [`SessionConnector`] that keeps opening sessions after
+    /// the handle itself has moved elsewhere (the socket acceptor thread).
+    #[must_use]
+    pub fn connector(&self) -> SessionConnector {
+        SessionConnector {
             tx: self.tx.clone(),
-            rx: reply_rx,
+            next_client: Arc::clone(&self.next_client),
         }
+    }
+
+    /// Waits for the server thread to exit on its own — that is, until some
+    /// client sends [`Message::Shutdown`] — and returns how many offload
+    /// requests it served. `loadpart serve` blocks here; unlike
+    /// [`ServerHandle::shutdown`] no shutdown frame is injected locally.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::ServerPanicked`] when the server thread panicked.
+    pub fn wait(mut self) -> Result<u64, ProtocolError> {
+        self.join
+            .take()
+            .expect("not yet joined")
+            .join()
+            .map_err(|_| ProtocolError::ServerPanicked)
     }
 
     /// Receives the next frame from the server, blocking indefinitely.
@@ -787,7 +886,7 @@ impl ServerHandle {
     ///
     /// [`ProtocolError::ServerPanicked`] when the server thread panicked.
     pub fn shutdown(mut self) -> Result<u64, ProtocolError> {
-        let _ = self.send_frame(Message::Shutdown.encode());
+        let _ = self.send_frame(Message::Shutdown.encode().expect("no payload"));
         self.join
             .take()
             .expect("not yet joined")
@@ -826,10 +925,10 @@ impl FrameChannel for ServerHandle {
 
 impl Drop for ServerHandle {
     fn drop(&mut self) {
-        let _ = self.tx.send(ToServer::Frame(
-            0,
-            Frame::from_contiguous(Message::Shutdown.encode()),
-        ));
+        let shutdown = Message::Shutdown.encode().expect("no payload");
+        let _ = self
+            .tx
+            .send(ToServer::Frame(0, Frame::from_contiguous(shutdown)));
         if let Some(j) = self.join.take() {
             let _ = j.join();
         }
@@ -1064,7 +1163,8 @@ mod tests {
                 Message::Probe {
                     payload: Bytes::from(vec![0u8; 1024]),
                 }
-                .encode(),
+                .encode()
+                .expect("encodes"),
             )
             .expect("alive");
         let ack = Message::decode(server.recv_frame().expect("alive")).expect("valid");
@@ -1105,7 +1205,7 @@ mod tests {
         );
         // Kill the server thread; the channel now reports Disconnected.
         server
-            .send_frame(Message::Shutdown.encode())
+            .send_frame(Message::Shutdown.encode().expect("encodes"))
             .expect("alive");
         // Wait for the thread to exit by joining via a fresh handle scope.
         std::thread::sleep(Duration::from_millis(20));
@@ -1137,7 +1237,7 @@ mod tests {
         let mut last_k = f64::NAN;
         for _ in 0..60 {
             server
-                .send_frame(Message::LoadQuery.encode())
+                .send_frame(Message::LoadQuery.encode().expect("encodes"))
                 .expect("alive");
             match Message::decode(server.recv_frame().expect("alive")).expect("valid") {
                 Message::LoadReply { k_micro } => last_k = Message::micro_to_k(k_micro),
@@ -1168,7 +1268,8 @@ mod tests {
                 Message::Probe {
                     payload: Bytes::new(),
                 }
-                .encode(),
+                .encode()
+                .expect("encodes"),
             )
             .expect("alive");
         assert_eq!(
@@ -1176,7 +1277,7 @@ mod tests {
             Message::ProbeAck
         );
         server
-            .send_frame(Message::LoadQuery.encode())
+            .send_frame(Message::LoadQuery.encode().expect("encodes"))
             .expect("queued");
         assert_eq!(
             server.recv_frame_timeout(Duration::from_secs(1)),
@@ -1203,7 +1304,7 @@ mod tests {
         // Frames 0 and 1 go unanswered; frame 2 is served again.
         for _ in 0..2 {
             server
-                .send_frame(Message::LoadQuery.encode())
+                .send_frame(Message::LoadQuery.encode().expect("encodes"))
                 .expect("alive");
             assert_eq!(
                 server.recv_frame_timeout(Duration::from_millis(50)),
@@ -1211,7 +1312,7 @@ mod tests {
             );
         }
         server
-            .send_frame(Message::LoadQuery.encode())
+            .send_frame(Message::LoadQuery.encode().expect("encodes"))
             .expect("alive");
         let reply = Message::decode(
             server
@@ -1244,7 +1345,8 @@ mod tests {
                 Message::Probe {
                     payload: Bytes::new(),
                 }
-                .encode(),
+                .encode()
+                .expect("encodes"),
             )
             .expect("alive");
         assert_eq!(
@@ -1265,10 +1367,11 @@ mod tests {
         // Interleave queries from both sessions plus the handle itself;
         // every reply must land on the channel that asked.
         for conn in [&a, &b] {
-            conn.send(Message::LoadQuery.encode()).expect("alive");
+            conn.send(Message::LoadQuery.encode().expect("encodes"))
+                .expect("alive");
         }
         server
-            .send_frame(Message::LoadQuery.encode())
+            .send_frame(Message::LoadQuery.encode().expect("encodes"))
             .expect("alive");
         let deadline = Instant::now() + Duration::from_secs(1);
         for conn in [&a, &b] {
@@ -1307,7 +1410,8 @@ mod tests {
                     partition_point: 5,
                     payload: Bytes::from(vec![0u8; 64]),
                 }
-                .encode(),
+                .encode()
+                .expect("encodes"),
             )
             .expect("alive");
         let reply = Message::decode(

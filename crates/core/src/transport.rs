@@ -1,0 +1,739 @@
+//! The real-socket transport: the wire [`protocol`](crate::protocol) over
+//! TCP and Unix-domain sockets, so server and clients run as separate OS
+//! processes (`loadpart serve` / `loadpart smoke`).
+//!
+//! # Stream framing
+//!
+//! A [`Frame`]'s channel encoding is not self-delimiting on a byte stream,
+//! so every frame is prefixed with its little-endian `u32` wire length:
+//!
+//! ```text
+//! u32-le total_len ++ header bytes ++ payload bytes
+//! ```
+//!
+//! [`SocketChannel::send_split`] writes the prefix, header and payload as
+//! three sequential writes — the multi-MB tensor payload is never
+//! flattened into a fresh contiguous buffer. Declared lengths above
+//! [`MAX_FRAME_BYTES`] are refused with [`ProtocolError::Oversized`]
+//! before any allocation, on both the send and receive side.
+//!
+//! # Deadline semantics
+//!
+//! [`FrameChannel::recv_deadline`] is implemented over `SO_RCVTIMEO`: each
+//! read sets the socket read timeout to the remaining deadline budget. A
+//! timeout mid-frame leaves the incremental `FrameReader` positioned
+//! exactly where it stopped — the next `recv_deadline` resumes the same
+//! frame, so a deadline never desyncs the stream. Only a genuinely broken
+//! stream (EOF, I/O error, oversized declared length) poisons the reader,
+//! after which every operation reports [`ProtocolError::Disconnected`].
+//!
+//! # Server side
+//!
+//! [`SocketServer`] owns a [`ServerHandle`] plus an acceptor thread; each
+//! accepted connection becomes one mux session ([`SessionConnector`])
+//! bridged by an ingress thread (socket → mux) and an egress thread
+//! (session replies → socket). The mux loop, admission control, fault
+//! scripts and telemetry are exactly the in-process server's — the socket
+//! layer is a pure transport.
+
+use crate::pool::zero_payload;
+use crate::protocol::{Frame, Message, ProtocolError, MAX_PAYLOAD_BYTES};
+use crate::threaded::{ClientConn, FrameChannel, ServerHandle, SessionConnector};
+use bytes::Bytes;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Hard cap on one frame's declared wire length: the protocol's payload
+/// cap plus generous room for the largest fixed-width header. A peer
+/// declaring more is corrupt or hostile; the reader refuses to allocate.
+pub const MAX_FRAME_BYTES: u32 = MAX_PAYLOAD_BYTES as u32 + 256;
+
+/// The byte-stream sockets the framed channel can run over: `Read`/`Write`
+/// plus the clone/timeout/shutdown surface `std::net` sockets share.
+pub trait NetStream: Read + Write + Send + Sized + 'static {
+    /// A second handle to the same socket (independent read/write halves).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS error when the descriptor cannot be duplicated.
+    fn try_clone_stream(&self) -> io::Result<Self>;
+
+    /// Sets (or clears, with `None`) the socket read timeout.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS error.
+    fn set_read_timeout_stream(&self, timeout: Option<Duration>) -> io::Result<()>;
+
+    /// Shuts down both directions, unblocking any reader.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS error.
+    fn shutdown_both(&self) -> io::Result<()>;
+}
+
+impl NetStream for TcpStream {
+    fn try_clone_stream(&self) -> io::Result<Self> {
+        self.try_clone()
+    }
+
+    fn set_read_timeout_stream(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.set_read_timeout(timeout)
+    }
+
+    fn shutdown_both(&self) -> io::Result<()> {
+        self.shutdown(std::net::Shutdown::Both)
+    }
+}
+
+#[cfg(unix)]
+impl NetStream for UnixStream {
+    fn try_clone_stream(&self) -> io::Result<Self> {
+        self.try_clone()
+    }
+
+    fn set_read_timeout_stream(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.set_read_timeout(timeout)
+    }
+
+    fn shutdown_both(&self) -> io::Result<()> {
+        self.shutdown(std::net::Shutdown::Both)
+    }
+}
+
+/// Incremental length-prefixed frame reader over a [`NetStream`].
+///
+/// Holds partial state across reads, so a deadline expiring mid-frame
+/// (prefix half-read, body half-read) resumes cleanly on the next call
+/// instead of desyncing the stream.
+struct FrameReader<S> {
+    stream: S,
+    /// The four length-prefix bytes being assembled.
+    prefix: [u8; 4],
+    prefix_got: usize,
+    /// The frame body being assembled (sized once the prefix completes).
+    body: Vec<u8>,
+    body_got: usize,
+    /// Set on EOF, I/O error or an oversized declared length: the stream
+    /// position is no longer trustworthy, every later call disconnects.
+    poisoned: bool,
+}
+
+impl<S: NetStream> FrameReader<S> {
+    fn new(stream: S) -> Self {
+        Self {
+            stream,
+            prefix: [0u8; 4],
+            prefix_got: 0,
+            body: Vec::new(),
+            body_got: 0,
+            poisoned: false,
+        }
+    }
+
+    /// Reads one whole frame. `deadline: None` blocks until a frame, EOF
+    /// or error; `Some` enforces it via the socket read timeout and
+    /// returns [`ProtocolError::Timeout`] with the partial state kept.
+    fn read_frame(&mut self, deadline: Option<Instant>) -> Result<Bytes, ProtocolError> {
+        if self.poisoned {
+            return Err(ProtocolError::Disconnected);
+        }
+        loop {
+            match deadline {
+                Some(d) => {
+                    let remaining = d.saturating_duration_since(Instant::now());
+                    if remaining.is_zero() {
+                        return Err(ProtocolError::Timeout);
+                    }
+                    // A zero Duration means "no timeout" to the OS; clamp
+                    // up so the deadline stays a deadline.
+                    self.stream
+                        .set_read_timeout_stream(Some(remaining.max(Duration::from_millis(1))))
+                        .map_err(|_| self.poison())?;
+                }
+                None => self
+                    .stream
+                    .set_read_timeout_stream(None)
+                    .map_err(|_| self.poison())?,
+            }
+            if self.prefix_got < 4 {
+                let got = self.prefix_got;
+                match self.stream.read(&mut self.prefix[got..]) {
+                    Ok(0) => return Err(self.poison()),
+                    Ok(n) => {
+                        self.prefix_got += n;
+                        if self.prefix_got == 4 {
+                            let len = u32::from_le_bytes(self.prefix);
+                            if len > MAX_FRAME_BYTES {
+                                self.poisoned = true;
+                                return Err(ProtocolError::Oversized(len as usize));
+                            }
+                            self.body = vec![0u8; len as usize];
+                            self.body_got = 0;
+                        }
+                    }
+                    Err(e) => match self.classify(e) {
+                        Some(err) => return Err(err),
+                        None => continue,
+                    },
+                }
+                continue;
+            }
+            if self.body_got < self.body.len() {
+                let got = self.body_got;
+                match self.stream.read(&mut self.body[got..]) {
+                    Ok(0) => return Err(self.poison()),
+                    Ok(n) => self.body_got += n,
+                    Err(e) => match self.classify(e) {
+                        Some(err) => return Err(err),
+                        None => continue,
+                    },
+                }
+                continue;
+            }
+            // Frame complete: hand it off and reset for the next one.
+            self.prefix_got = 0;
+            self.body_got = 0;
+            return Ok(Bytes::from(std::mem::take(&mut self.body)));
+        }
+    }
+
+    /// Marks the stream broken and returns the error to report.
+    fn poison(&mut self) -> ProtocolError {
+        self.poisoned = true;
+        ProtocolError::Disconnected
+    }
+
+    /// Maps a read error: timeouts surface (state kept), interrupts retry
+    /// (`None`), everything else poisons the stream.
+    fn classify(&mut self, e: io::Error) -> Option<ProtocolError> {
+        match e.kind() {
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => Some(ProtocolError::Timeout),
+            io::ErrorKind::Interrupted => None,
+            _ => Some(self.poison()),
+        }
+    }
+}
+
+/// Writes one length-prefixed frame: prefix, header, payload — three
+/// sequential writes, no flattening.
+fn write_frame<S: NetStream>(stream: &mut S, frame: &Frame) -> Result<(), ProtocolError> {
+    let total = frame.len();
+    let len = u32::try_from(total)
+        .ok()
+        .filter(|&l| l <= MAX_FRAME_BYTES)
+        .ok_or(ProtocolError::Oversized(total))?;
+    let io = |_: io::Error| ProtocolError::Disconnected;
+    stream.write_all(&len.to_le_bytes()).map_err(io)?;
+    stream.write_all(&frame.header).map_err(io)?;
+    if !frame.payload.is_empty() {
+        stream.write_all(&frame.payload).map_err(io)?;
+    }
+    stream.flush().map_err(io)
+}
+
+/// A [`FrameChannel`] over any [`NetStream`]: the client side of the
+/// socket transport. Internally two halves of one socket — a locked
+/// incremental reader and a locked writer — so the channel is `Sync` like
+/// the in-process endpoints.
+pub struct SocketChannel<S: NetStream> {
+    reader: Mutex<FrameReader<S>>,
+    writer: Mutex<S>,
+}
+
+/// The TCP incarnation of [`SocketChannel`].
+pub type TcpFrameChannel = SocketChannel<TcpStream>;
+
+/// The Unix-domain-socket incarnation of [`SocketChannel`].
+#[cfg(unix)]
+pub type UdsFrameChannel = SocketChannel<UnixStream>;
+
+impl<S: NetStream> SocketChannel<S> {
+    /// Wraps an already-connected stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS error when the socket cannot be duplicated into
+    /// read/write halves.
+    pub fn from_stream(stream: S) -> io::Result<Self> {
+        let writer = stream.try_clone_stream()?;
+        Ok(Self {
+            reader: Mutex::new(FrameReader::new(stream)),
+            writer: Mutex::new(writer),
+        })
+    }
+}
+
+impl TcpFrameChannel {
+    /// Connects to a `loadpart serve` (or [`SocketServer`]) TCP endpoint.
+    /// Nagle's algorithm is disabled: the protocol is request/response and
+    /// a 40 ms delayed-ACK stall would dwarf every deadline in the suite.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Self::from_stream(stream)
+    }
+}
+
+#[cfg(unix)]
+impl UdsFrameChannel {
+    /// Connects to a Unix-domain-socket endpoint.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect_path<P: AsRef<std::path::Path>>(path: P) -> io::Result<Self> {
+        Self::from_stream(UnixStream::connect(path)?)
+    }
+}
+
+impl<S: NetStream> FrameChannel for SocketChannel<S> {
+    fn send(&self, frame: Bytes) -> Result<(), ProtocolError> {
+        self.send_split(Frame::from_contiguous(frame))
+    }
+
+    fn recv_deadline(&self, deadline: Instant) -> Result<Bytes, ProtocolError> {
+        self.reader
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .read_frame(Some(deadline))
+    }
+
+    fn send_split(&self, frame: Frame) -> Result<(), ProtocolError> {
+        let mut writer = self
+            .writer
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        write_frame(&mut *writer, &frame)
+    }
+}
+
+/// Measures round-trip goodput over any [`FrameChannel`] by wall-clock
+/// timing one probe exchange of `probe_bytes`, in Mbps.
+///
+/// Unlike the simulated-link profiler this measures *real* elapsed time,
+/// which can collapse to ~zero on a loopback socket — yielding absurd or
+/// even infinite rates. Feed the result to
+/// `BandwidthEstimator::record`, which rejects non-finite and
+/// non-positive samples at the door.
+///
+/// # Errors
+///
+/// Propagates [`ProtocolError`] from the exchange; a reply that is not a
+/// probe acknowledgement surfaces as [`ProtocolError::Unexpected`].
+pub fn measure_bandwidth<C: FrameChannel + ?Sized>(
+    channel: &C,
+    probe_bytes: usize,
+    timeout: Duration,
+) -> Result<f64, ProtocolError> {
+    let frame = Message::Probe {
+        payload: zero_payload(probe_bytes),
+    }
+    .to_frame()?;
+    let start = Instant::now();
+    channel.send_split(frame)?;
+    let deadline = start + timeout;
+    loop {
+        match Message::decode_frame(channel.recv_split_deadline(deadline)?)? {
+            Message::ProbeAck => break,
+            // Stale survivors of an earlier timed-out exchange: skip.
+            Message::OffloadResponse { .. }
+            | Message::LoadReply { .. }
+            | Message::Rejected { .. } => continue,
+            other => return Err(ProtocolError::Unexpected(other.tag())),
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    if elapsed <= 0.0 {
+        return Ok(f64::INFINITY); // the estimator guard rejects this
+    }
+    Ok(probe_bytes as f64 * 8.0 / (elapsed * 1e6))
+}
+
+/// Anything the acceptor can listen on.
+trait FrameListener: Send + 'static {
+    type Stream: NetStream;
+
+    /// One non-blocking accept attempt.
+    fn accept_stream(&self) -> io::Result<Self::Stream>;
+}
+
+impl FrameListener for TcpListener {
+    type Stream = TcpStream;
+
+    fn accept_stream(&self) -> io::Result<TcpStream> {
+        let (stream, _) = self.accept()?;
+        stream.set_nodelay(true)?;
+        // Accepted from a non-blocking listener: the stream inherits
+        // non-blocking on some platforms; bridge threads want blocking.
+        stream.set_nonblocking(false)?;
+        Ok(stream)
+    }
+}
+
+#[cfg(unix)]
+impl FrameListener for UnixListener {
+    type Stream = UnixStream;
+
+    fn accept_stream(&self) -> io::Result<UnixStream> {
+        let (stream, _) = self.accept()?;
+        stream.set_nonblocking(false)?;
+        Ok(stream)
+    }
+}
+
+/// Exposes a running threaded server over a real socket: owns the
+/// [`ServerHandle`] and an acceptor thread that bridges each accepted
+/// connection to its own mux session.
+///
+/// Dropping the server (without [`SocketServer::wait`] /
+/// [`SocketServer::shutdown`]) stops the acceptor and shuts the mux down,
+/// like dropping a bare [`ServerHandle`].
+pub struct SocketServer {
+    server: Option<ServerHandle>,
+    addr: String,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for SocketServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SocketServer")
+            .field("addr", &self.addr)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SocketServer {
+    /// Binds `server` to a TCP address (`"127.0.0.1:0"` picks a free
+    /// port; read it back from [`SocketServer::local_addr`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn bind_tcp<A: ToSocketAddrs>(addr: A, server: ServerHandle) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?.to_string();
+        listener.set_nonblocking(true)?;
+        Ok(Self::start(listener, local, server))
+    }
+
+    /// Binds `server` to a Unix-domain socket path, replacing any stale
+    /// socket file left by a previous run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    #[cfg(unix)]
+    pub fn bind_uds<P: AsRef<std::path::Path>>(path: P, server: ServerHandle) -> io::Result<Self> {
+        let path = path.as_ref();
+        let _ = std::fs::remove_file(path);
+        let listener = UnixListener::bind(path)?;
+        let local = path.display().to_string();
+        listener.set_nonblocking(true)?;
+        Ok(Self::start(listener, local, server))
+    }
+
+    fn start<L: FrameListener>(listener: L, addr: String, server: ServerHandle) -> Self {
+        let connector = server.connector();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let acceptor = std::thread::Builder::new()
+            .name("loadpart-accept".into())
+            .spawn(move || accept_loop(&listener, &connector, &stop_flag))
+            .expect("spawn acceptor thread");
+        Self {
+            server: Some(server),
+            addr,
+            stop,
+            acceptor: Some(acceptor),
+        }
+    }
+
+    /// The bound address: `host:port` for TCP, the socket path for UDS.
+    #[must_use]
+    pub fn local_addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Blocks until a client shuts the server down over the wire
+    /// ([`Message::Shutdown`]), then returns the served-offload count.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::ServerPanicked`] when the server thread panicked.
+    pub fn wait(mut self) -> Result<u64, ProtocolError> {
+        let served = self.server.take().expect("not yet joined").wait();
+        self.stop_acceptor();
+        served
+    }
+
+    /// Shuts the server down from this process and returns the
+    /// served-offload count, like [`ServerHandle::shutdown`].
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::ServerPanicked`] when the server thread panicked.
+    pub fn shutdown(mut self) -> Result<u64, ProtocolError> {
+        let served = self.server.take().expect("not yet joined").shutdown();
+        self.stop_acceptor();
+        served
+    }
+
+    fn stop_acceptor(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(join) = self.acceptor.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for SocketServer {
+    fn drop(&mut self) {
+        self.stop_acceptor();
+        // A remaining ServerHandle shuts the mux down on its own drop.
+    }
+}
+
+/// How long the acceptor sleeps between non-blocking accept attempts.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+fn accept_loop<L: FrameListener>(listener: &L, connector: &SessionConnector, stop: &AtomicBool) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept_stream() {
+            Ok(stream) => spawn_bridge(stream, connector.connect()),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+    }
+}
+
+/// Bridges one accepted socket to one mux session with two detached
+/// threads. Lifecycle is self-cleaning in both directions: when the mux
+/// exits, the session's reply channel disconnects, egress shuts the socket
+/// down, and ingress unblocks on EOF; when the client closes the socket,
+/// ingress exits and drops its mux sender, egress keeps serving until the
+/// reply channel drains or its write fails.
+fn spawn_bridge<S: NetStream>(stream: S, conn: ClientConn) {
+    let Ok(mut egress_stream) = stream.try_clone_stream() else {
+        return; // client is gone already
+    };
+    let (to_mux, from_mux) = conn.split();
+    let _ = std::thread::Builder::new()
+        .name("loadpart-egress".into())
+        .spawn(move || {
+            while let Ok(frame) = from_mux.recv() {
+                if write_frame(&mut egress_stream, &frame).is_err() {
+                    break;
+                }
+            }
+            // Mux gone or client unwritable: unblock the ingress reader.
+            let _ = egress_stream.shutdown_both();
+        });
+    let _ = std::thread::Builder::new()
+        .name("loadpart-ingress".into())
+        .spawn(move || {
+            let mut reader = FrameReader::new(stream);
+            loop {
+                match reader.read_frame(None) {
+                    Ok(bytes) => {
+                        if to_mux.send(Frame::from_contiguous(bytes)).is_err() {
+                            break;
+                        }
+                    }
+                    Err(ProtocolError::Timeout) => {} // spurious; keep reading
+                    Err(_) => break,
+                }
+            }
+        });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::threaded::spawn_server;
+    use lp_profiler::PredictionModels;
+    use std::sync::OnceLock;
+
+    fn models() -> &'static (PredictionModels, PredictionModels) {
+        static MODELS: OnceLock<(PredictionModels, PredictionModels)> = OnceLock::new();
+        MODELS.get_or_init(|| crate::system::trained_models(150, 42))
+    }
+
+    fn tcp_server(k: f64) -> (SocketServer, TcpFrameChannel) {
+        let (_, edge) = models();
+        let graph = lp_models::alexnet(1);
+        let server = spawn_server(graph, edge.clone(), k);
+        let sock = SocketServer::bind_tcp("127.0.0.1:0", server).expect("bind loopback");
+        let chan = TcpFrameChannel::connect(sock.local_addr()).expect("connect");
+        (sock, chan)
+    }
+
+    fn exchange<C: FrameChannel>(chan: &C, msg: &Message) -> Message {
+        chan.send_split(msg.to_frame().expect("encodes"))
+            .expect("send");
+        let deadline = Instant::now() + Duration::from_secs(5);
+        Message::decode_frame(chan.recv_split_deadline(deadline).expect("reply")).expect("decodes")
+    }
+
+    #[test]
+    fn tcp_round_trip_load_query_and_probe() {
+        let (sock, chan) = tcp_server(1.0);
+        assert!(matches!(
+            exchange(&chan, &Message::LoadQuery),
+            Message::LoadReply { .. }
+        ));
+        assert_eq!(
+            exchange(
+                &chan,
+                &Message::Probe {
+                    payload: zero_payload(64 * 1024),
+                }
+            ),
+            Message::ProbeAck
+        );
+        assert_eq!(sock.shutdown().expect("clean"), 0);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn uds_round_trip_load_query() {
+        let (_, edge) = models();
+        let graph = lp_models::alexnet(1);
+        let server = spawn_server(graph, edge.clone(), 1.0);
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("loadpart-uds-test-{}.sock", std::process::id()));
+        let sock = SocketServer::bind_uds(&path, server).expect("bind uds");
+        let chan = UdsFrameChannel::connect_path(&path).expect("connect");
+        assert!(matches!(
+            exchange(&chan, &Message::LoadQuery),
+            Message::LoadReply { .. }
+        ));
+        assert_eq!(sock.shutdown().expect("clean"), 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn recv_deadline_times_out_without_desync() {
+        let (sock, chan) = tcp_server(1.0);
+        // Nothing in flight: a short deadline must report Timeout...
+        let early = Instant::now() + Duration::from_millis(30);
+        assert_eq!(
+            chan.recv_split_deadline(early).unwrap_err(),
+            ProtocolError::Timeout
+        );
+        // ...and the stream must still be usable for a real exchange.
+        assert!(matches!(
+            exchange(&chan, &Message::LoadQuery),
+            Message::LoadReply { .. }
+        ));
+        sock.shutdown().expect("clean");
+    }
+
+    #[test]
+    fn oversized_declared_length_is_refused_and_poisons() {
+        let (sock, chan) = tcp_server(1.0);
+        // Open a raw socket and declare an absurd frame length.
+        let raw = TcpStream::connect(sock.local_addr()).expect("connect");
+        let mut writer = raw.try_clone().expect("clone");
+        writer
+            .write_all(&(MAX_FRAME_BYTES + 1).to_le_bytes())
+            .expect("write");
+        writer.flush().expect("flush");
+        // The server-side reader drops the connection instead of
+        // allocating; the well-behaved channel keeps working.
+        assert!(matches!(
+            exchange(&chan, &Message::LoadQuery),
+            Message::LoadReply { .. }
+        ));
+        drop(raw);
+        // Client-side: an oversized *send* is refused before any bytes hit
+        // the wire.
+        let over = Frame {
+            header: Bytes::from(vec![0u8; 8]),
+            payload: zero_payload(MAX_FRAME_BYTES as usize),
+        };
+        assert_eq!(
+            chan.send_split(over).unwrap_err(),
+            ProtocolError::Oversized(MAX_FRAME_BYTES as usize + 8)
+        );
+        // The refused send wrote nothing: the channel still round-trips.
+        assert!(matches!(
+            exchange(&chan, &Message::LoadQuery),
+            Message::LoadReply { .. }
+        ));
+        sock.shutdown().expect("clean");
+    }
+
+    #[test]
+    fn server_disconnect_is_reported() {
+        let (sock, chan) = tcp_server(1.0);
+        assert_eq!(sock.shutdown().expect("clean"), 0);
+        // The egress bridge shuts the socket down once the mux is gone.
+        let deadline = Instant::now() + Duration::from_secs(2);
+        let mut saw_disconnect = false;
+        for _ in 0..50 {
+            match chan.recv_split_deadline(deadline) {
+                Err(ProtocolError::Disconnected) => {
+                    saw_disconnect = true;
+                    break;
+                }
+                Err(ProtocolError::Timeout) => continue,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(saw_disconnect, "a dead server must surface as Disconnected");
+        // Poisoned: every further receive disconnects immediately.
+        assert_eq!(
+            chan.recv_split_deadline(Instant::now() + Duration::from_secs(1))
+                .unwrap_err(),
+            ProtocolError::Disconnected
+        );
+    }
+
+    #[test]
+    fn wall_clock_bandwidth_measurement_is_positive_and_finite() {
+        let (sock, chan) = tcp_server(1.0);
+        let mbps = measure_bandwidth(&chan, 256 * 1024, Duration::from_secs(5)).expect("measured");
+        assert!(mbps.is_finite() && mbps > 0.0, "loopback measured {mbps}");
+        sock.shutdown().expect("clean");
+    }
+
+    /// `send_split` writes `u32-le length ++ header ++ payload` without
+    /// flattening: the exact wire bytes arrive at a raw peer.
+    #[test]
+    fn send_split_wire_format_is_length_prefixed_header_then_payload() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let chan = TcpFrameChannel::connect(addr).expect("connect");
+        let (mut peer, _) = listener.accept().expect("accept");
+        let frame = Message::Probe {
+            payload: Bytes::from(vec![0xEE; 4096]),
+        }
+        .to_frame()
+        .expect("encodes");
+        let expected_len = frame.len();
+        chan.send_split(frame.clone()).expect("send");
+        let mut prefix = [0u8; 4];
+        peer.read_exact(&mut prefix).expect("prefix");
+        assert_eq!(u32::from_le_bytes(prefix) as usize, expected_len);
+        let mut wire = vec![0u8; expected_len];
+        peer.read_exact(&mut wire).expect("body");
+        assert_eq!(&wire[..frame.header.len()], frame.header.as_ref());
+        assert_eq!(&wire[frame.header.len()..], frame.payload.as_ref());
+        // The bytes on the wire are exactly the contiguous encoding.
+        assert_eq!(Bytes::from(wire), frame.flatten());
+    }
+}

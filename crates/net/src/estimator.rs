@@ -64,7 +64,15 @@ impl BandwidthEstimator {
 
     /// Records one bandwidth sample (Mbps) observed at `t`, evicting
     /// anything older than `max_age` relative to `t`.
+    ///
+    /// Non-finite or non-positive samples are rejected at the door: real
+    /// wall-clock timing can produce zero-duration (→ ∞ Mbps) or
+    /// clock-skewed (negative) measurements, and a single such sample
+    /// would poison the window mean for `window` rounds.
     pub fn record(&mut self, t: SimTime, mbps: f64) {
+        if !mbps.is_finite() || mbps <= 0.0 {
+            return;
+        }
         self.evict_older_than(t);
         if self.samples.len() == self.window {
             self.samples.pop_front();
@@ -313,6 +321,25 @@ mod tests {
         // Jitter bound from the acceptance criterion: never above the true
         // link bandwidth by more than the 2% jitter.
         assert!(after <= 8.0 * 1.02 + 1e-9, "estimate {after}");
+    }
+
+    /// Regression: `record` used to accept any `f64`, so a wall-clock
+    /// measurement of a zero-duration transfer (∞ Mbps), a NaN from 0/0,
+    /// or a negative rate from clock skew poisoned the window mean.
+    #[test]
+    fn non_finite_and_non_positive_samples_are_rejected() {
+        let mut e = BandwidthEstimator::new(4);
+        e.record(SimTime::ZERO, 8.0);
+        let before = e.estimate_mbps();
+        for bad in [f64::INFINITY, f64::NEG_INFINITY, f64::NAN, 0.0, -3.0] {
+            e.record(at(1.0), bad);
+        }
+        assert_eq!(e.len(), 1, "bad samples must not be held");
+        assert_eq!(e.estimate_mbps(), before, "estimate unchanged");
+        // A good sample after the poison attempt still records normally.
+        e.record(at(2.0), 4.0);
+        assert_eq!(e.len(), 2);
+        assert!((e.estimate_mbps().unwrap() - 6.0).abs() < 1e-12);
     }
 
     #[test]

@@ -20,7 +20,7 @@
 //!   local-plus-retry budget;
 //! * **determinism** — an identical config replays bit-identically.
 
-use loadpart::{chaos_run, BreakerState, ChaosConfig, Telemetry};
+use loadpart::{chaos_run, BreakerState, ChaosConfig, ChaosTransport, Telemetry};
 use lp_profiler::PredictionModels;
 use lp_sim::SimDuration;
 use std::sync::OnceLock;
@@ -30,13 +30,15 @@ fn models() -> &'static (PredictionModels, PredictionModels) {
     MODELS.get_or_init(|| loadpart::system::trained_models(150, 42))
 }
 
-#[test]
-fn chaos_soak_survives_a_load_spike() {
+/// The full spike-survival assertion set, shared by every transport: the
+/// soak's guarantees are about the protection machinery, not about how
+/// frames move, so the same config must pass the same checks whether the
+/// clients talk over in-process channels or loopback TCP sockets.
+fn assert_spike_survival(cfg: &ChaosConfig) {
     let (user, edge) = models();
     let graph = lp_models::alexnet(1);
-    let cfg = ChaosConfig::default();
     let telemetry = Telemetry::enabled();
-    let report = chaos_run(&graph, user, edge, &cfg, &telemetry).expect("valid config");
+    let report = chaos_run(&graph, user, edge, cfg, &telemetry).expect("valid config");
 
     // Liveness: every client completed every round.
     assert_eq!(report.total_completed(), cfg.n_clients * cfg.rounds);
@@ -113,6 +115,22 @@ fn chaos_soak_survives_a_load_spike() {
     );
     assert!(snapshot.counter("breaker.transitions_total") > 0);
     assert_eq!(snapshot.gauge("chaos.breakers_closed"), Some(1.0));
+}
+
+#[test]
+fn chaos_soak_survives_a_load_spike() {
+    assert_spike_survival(&ChaosConfig::default());
+}
+
+/// The same soak, the same assertions, but every frame crosses a real
+/// loopback TCP socket: the server sits behind a [`SocketServer`] acceptor
+/// and each client holds its own `TcpFrameChannel` connection.
+#[test]
+fn chaos_soak_survives_a_load_spike_over_tcp() {
+    assert_spike_survival(&ChaosConfig {
+        transport: ChaosTransport::Tcp,
+        ..ChaosConfig::default()
+    });
 }
 
 #[test]

@@ -1,0 +1,259 @@
+//! The wire runtime end to end over real loopback TCP sockets.
+//!
+//! Every scenario here has an in-process-channel twin (in
+//! `tests/fault_tolerance.rs` / `tests/chaos_soak.rs`); the point of this
+//! suite is that the socket transport is a *pure* transport — the engine's
+//! retry budget, local fallback, cooldown and recovery behave identically
+//! when frames cross a real socket, and the transport's own failure mode
+//! (a dead peer surfacing as `Disconnected`) slots into the same
+//! degradation paths. The deterministic link emulator rides the TCP
+//! channel like any other, turning a loopback socket into a slow, jittery,
+//! resettable access link.
+
+use loadpart::fault::{FaultAction, FaultInjector, FaultPlan};
+use loadpart::{
+    chaos_run, spawn_server, ChaosConfig, ChaosTransport, EmulatedLink, EngineConfig, LinkSpec,
+    SocketServer, TcpFrameChannel, Telemetry, ThreadedClient,
+};
+use lp_profiler::PredictionModels;
+use std::sync::OnceLock;
+use std::time::Duration;
+
+fn models() -> &'static (PredictionModels, PredictionModels) {
+    static MODELS: OnceLock<(PredictionModels, PredictionModels)> = OnceLock::new();
+    MODELS.get_or_init(|| loadpart::system::trained_models(150, 42))
+}
+
+/// Short deadlines and no backoff sleeps — the same tuning as the
+/// fault-tolerance suite, so the scenarios mirror frame for frame.
+fn fast_client(graph: lp_graph::ComputationGraph) -> ThreadedClient {
+    let (user, edge) = models();
+    ThreadedClient::with_config(
+        graph,
+        user,
+        edge,
+        EngineConfig {
+            io_timeout: Duration::from_millis(100),
+            retry_backoff: Duration::ZERO,
+            ..EngineConfig::default()
+        },
+    )
+    .expect("valid config")
+}
+
+const N: usize = 27; // alexnet node count: p == N means fully local
+
+/// An alexnet server behind a loopback TCP socket, plus one connected
+/// client channel.
+fn tcp_server(k: f64) -> (SocketServer, TcpFrameChannel) {
+    let (_, edge) = models();
+    let graph = lp_models::alexnet(1);
+    let server = spawn_server(graph, edge.clone(), k);
+    let sock = SocketServer::bind_tcp("127.0.0.1:0", server).expect("bind loopback");
+    let chan = TcpFrameChannel::connect(sock.local_addr()).expect("connect");
+    (sock, chan)
+}
+
+#[test]
+fn offloads_end_to_end_over_tcp() {
+    let (sock, chan) = tcp_server(1.0);
+    let mut client = fast_client(lp_models::alexnet(1));
+    for _ in 0..3 {
+        let r = client.infer(&chan, 8.0).expect("clean run");
+        assert!(r.offloaded() && !r.fallback_local, "{r:?}");
+        assert_eq!(r.retries, 0);
+    }
+    assert_eq!(sock.shutdown(), Ok(3), "all three suffixes ran remotely");
+}
+
+/// Mirror of `dropped_offload_request_is_absorbed_by_a_retry`, with the
+/// injector wrapping the TCP channel instead of the in-process one.
+#[test]
+fn dropped_offload_request_is_absorbed_by_a_retry_over_tcp() {
+    let (sock, chan) = tcp_server(1.0);
+    let mut client = fast_client(lp_models::alexnet(1));
+    let plan = FaultPlan::new().on_send(2, FaultAction::Drop);
+    let inj = FaultInjector::new(&chan, plan);
+    let r = client.infer(&inj, 8.0).expect("absorbed");
+    assert!(r.offloaded(), "retry must complete the offload");
+    assert!(!r.fallback_local);
+    assert_eq!(r.retries, 1, "exactly one resend");
+    assert_eq!(inj.faults_injected(), 1);
+    assert_eq!(sock.shutdown(), Ok(1));
+}
+
+/// Mirror of `persistent_drops_degrade_locally_then_recover`: the same
+/// fallback, cooldown and recovery sequence over a real socket.
+#[test]
+fn persistent_drops_degrade_locally_then_recover_over_tcp() {
+    let (sock, chan) = tcp_server(1.0);
+    let mut client = fast_client(lp_models::alexnet(1));
+    let plan = FaultPlan::new()
+        .on_send(2, FaultAction::Drop)
+        .on_send(3, FaultAction::Drop)
+        .on_send(4, FaultAction::Drop);
+    let inj = FaultInjector::new(&chan, plan);
+
+    let r0 = client.infer(&inj, 8.0).expect("no panic");
+    assert!(
+        r0.fallback_local,
+        "exhausted retries must fall back locally"
+    );
+    assert!(r0.p < N && r0.uploaded_bytes > 0, "fault hit mid-offload");
+    assert_eq!(r0.retries, 2, "default budget: 2 retries, 3 attempts");
+
+    let r1 = client.infer(&inj, 8.0).expect("no panic");
+    assert_eq!((r1.p, r1.fallback_local, r1.retries), (N, false, 0));
+
+    let r2 = client.infer(&inj, 8.0).expect("no panic");
+    assert!(r2.offloaded() && !r2.fallback_local, "{r2:?}");
+    assert_eq!(sock.shutdown(), Ok(1), "only the recovered request arrived");
+}
+
+/// Mirror of `reply_delayed_past_the_deadline_is_recovered_as_stale`.
+#[test]
+fn delayed_reply_is_recovered_as_stale_over_tcp() {
+    let (sock, chan) = tcp_server(1.0);
+    let mut client = fast_client(lp_models::alexnet(1));
+    let plan = FaultPlan::new().on_recv(2, FaultAction::Delay);
+    let inj = FaultInjector::new(&chan, plan);
+    let r0 = client.infer(&inj, 8.0).expect("no panic");
+    assert!(r0.offloaded() && !r0.fallback_local);
+    assert_eq!(r0.retries, 1, "one timed-out exchange");
+    let r1 = client.infer(&inj, 8.0).expect("stale frame skipped");
+    assert!(r1.offloaded() && !r1.fallback_local);
+    assert_eq!(r1.retries, 0);
+    assert_eq!(
+        sock.shutdown(),
+        Ok(3),
+        "request 0 twice (retry) + request 1"
+    );
+}
+
+/// Mirror of `corrupt_frames_in_both_directions_are_retried`: corruption
+/// now actually crosses the socket and is rejected by the peer's decoder.
+#[test]
+fn corrupt_frames_in_both_directions_are_retried_over_tcp() {
+    let (sock, chan) = tcp_server(1.0);
+    let mut client = fast_client(lp_models::alexnet(1));
+    let plan = FaultPlan::new()
+        .on_send(1, FaultAction::Corrupt)
+        .on_recv(3, FaultAction::Corrupt);
+    let inj = FaultInjector::new(&chan, plan);
+    let r = client.infer(&inj, 8.0).expect("no panic");
+    assert!(r.offloaded() && !r.fallback_local, "{r:?}");
+    assert_eq!(r.retries, 2, "one refresh retry + one offload retry");
+    assert_eq!(inj.faults_injected(), 2);
+    assert_eq!(sock.shutdown(), Ok(2), "original + retried offload");
+}
+
+/// The transport's own failure mode: a dead server surfaces as
+/// `Disconnected` on the socket, the engine degrades to local fallback and
+/// cooldown exactly like a crashed in-process server, and a fresh server
+/// on a fresh channel resumes offloading.
+#[test]
+fn dead_server_degrades_locally_then_a_fresh_one_recovers() {
+    let (sock, chan) = tcp_server(1.0);
+    let mut client = fast_client(lp_models::alexnet(1));
+
+    let r0 = client.infer(&chan, 8.0).expect("healthy");
+    assert!(r0.offloaded() && !r0.fallback_local);
+    assert_eq!(sock.shutdown(), Ok(1));
+
+    // The peer is gone: the next request must complete on the device —
+    // no panic, no hang, nothing offloaded.
+    let r1 = client.infer(&chan, 8.0).expect("no panic on a dead peer");
+    assert!(!r1.offloaded(), "{r1:?}");
+
+    // Cooldown request, still on the dead channel.
+    let r2 = client.infer(&chan, 8.0).expect("no panic");
+    assert_eq!((r2.p, r2.fallback_local), (N, false));
+
+    // Operator restarts the server; the client reconnects and resumes.
+    let (sock, chan) = tcp_server(1.0);
+    let r3 = client.infer(&chan, 8.0).expect("recovered");
+    assert!(r3.offloaded() && !r3.fallback_local, "{r3:?}");
+    assert_eq!(r3.retries, 0);
+    assert_eq!(sock.shutdown(), Ok(1));
+}
+
+/// The link emulator rides the TCP channel: a slow, jittery (but
+/// deterministic) link still offloads within the engine's deadline budget.
+#[test]
+fn emulated_slow_link_over_tcp_still_offloads() {
+    let (sock, chan) = tcp_server(1.0);
+    let mut client = fast_client(lp_models::alexnet(1));
+    let link = EmulatedLink::new(
+        &chan,
+        LinkSpec {
+            latency: Duration::from_millis(3),
+            jitter: Duration::from_millis(2),
+            rate_mbps: 200.0,
+            seed: 7,
+            ..LinkSpec::default()
+        },
+    );
+    for _ in 0..2 {
+        let r = client.infer(&link, 8.0).expect("slow but alive");
+        assert!(r.offloaded() && !r.fallback_local, "{r:?}");
+    }
+    let stats = link.stats();
+    assert!(stats.frames_sent >= 4, "{stats:?}");
+    assert_eq!(stats.frames_sent, stats.frames_received, "{stats:?}");
+    assert_eq!(sock.shutdown(), Ok(2));
+}
+
+/// A scripted connection reset mid-session: the link dies permanently,
+/// the engine falls back locally, and the raw channel underneath is still
+/// healthy enough to shut the server down.
+#[test]
+fn emulated_connection_reset_forces_local_fallback() {
+    let (sock, chan) = tcp_server(1.0);
+    let mut client = fast_client(lp_models::alexnet(1));
+    // Request 0 uses exactly six link frames (probe, ack, query, reply,
+    // offload, response); the reset lands on request 1's first frame.
+    let link = EmulatedLink::new(
+        &chan,
+        LinkSpec {
+            reset_after_frames: Some(6),
+            ..LinkSpec::default()
+        },
+    );
+    let r0 = client.infer(&link, 8.0).expect("healthy until the reset");
+    assert!(r0.offloaded() && !r0.fallback_local, "{r0:?}");
+    let r1 = client.infer(&link, 8.0).expect("no panic on reset");
+    assert!(!r1.offloaded(), "{r1:?}");
+    assert_eq!(link.stats().resets, 1);
+    // The socket under the emulator never actually broke.
+    assert_eq!(sock.shutdown(), Ok(1));
+}
+
+/// The soak's logical-time story is transport-invariant: a spike-and-
+/// recover run over TCP produces record-for-record the same report as the
+/// in-process channel run (same sheds, same breaker transitions, same
+/// worst latency).
+#[test]
+fn chaos_soak_report_is_identical_over_tcp_and_channels() {
+    let (user, edge) = models();
+    let graph = lp_models::alexnet(1);
+    let cfg = ChaosConfig {
+        n_clients: 4,
+        rounds: 20,
+        spike_start: 5,
+        spike_rounds: 5,
+        ..ChaosConfig::default()
+    };
+    let channel = chaos_run(&graph, user, edge, &cfg, &Telemetry::disabled()).expect("valid");
+    let tcp_cfg = ChaosConfig {
+        transport: ChaosTransport::Tcp,
+        ..cfg
+    };
+    let tcp = chaos_run(&graph, user, edge, &tcp_cfg, &Telemetry::disabled()).expect("valid");
+    assert_eq!(
+        tcp.records, channel.records,
+        "logical-time records must replay identically over TCP"
+    );
+    assert_eq!(tcp.clients, channel.clients);
+    assert_eq!(tcp.spike_sheds, channel.spike_sheds);
+    assert_eq!(tcp.server_served, channel.server_served);
+}
