@@ -9,8 +9,9 @@
 //! loadpart report    [--model squeezenet] [--clients 4] [--duration 30] [--trace spans.jsonl]
 //! loadpart chaos     [--model alexnet] [--clients 8] [--rounds 13] [--spike-k 40] [--transport tcp]
 //! loadpart bench     [--quick] [--out BENCH_serving.json] [--requests 40] [--suffix-cost-ms 2] [--transport tcp | --connect HOST:PORT]
+//! loadpart bench     --sessions-sweep [--quick] [--sessions 64,128,256] [--threads 0] [--batch 16] [--shards 2] [--out BENCH_fleet.json]
 //! loadpart compare   [--quick] [--out BENCH_policies.json] [--requests 320] [--windows 8]
-//! loadpart serve     [--model alexnet] [--listen 127.0.0.1:0 | --uds /tmp/lp.sock] [--k 1.0] [--workers 4] [--no-admission]
+//! loadpart serve     [--model alexnet] [--listen 127.0.0.1:0 | --uds /tmp/lp.sock] [--k 1.0] [--workers 4] [--shards 2] [--batch 16] [--no-admission]
 //! loadpart smoke     --connect HOST:PORT | --uds PATH [--requests 5] [--latency-ms 20] [--rate-mbps 8] [--shutdown-server]
 //! ```
 //!
@@ -28,6 +29,10 @@
 //! `bench` runs the serving-throughput benchmark — the pre-PR
 //! single-threaded copying server versus the sharded zero-copy worker pool
 //! at 1/4/8/16 concurrent wire clients — and writes `BENCH_serving.json`;
+//! with `--sessions-sweep` it instead runs the fleet benchmark — 64→1024
+//! persistent sessions over loopback TCP against the event-driven sharded
+//! mux with continuous suffix batching, driven by a bounded client-thread
+//! pool — and writes `BENCH_fleet.json`;
 //! `compare` races every registered partition policy (plus the bandit
 //! online learner and the oracle) through the nonstationary-load,
 //! miscalibrated-device-model and drifting-bandwidth scenarios, reporting
@@ -43,12 +48,12 @@ use loadpart::policy::build_named;
 #[cfg(unix)]
 use loadpart::UdsFrameChannel;
 use loadpart::{
-    chaos_run, compare_policies, measure_bandwidth, multi_client_run_with_telemetry, serving_bench,
-    spawn_server, spawn_server_tuned, spawn_server_with_faults, AdmissionConfig, BenchConfig,
-    BenchTransport, ChaosConfig, ChaosTransport, CompareConfig, EmulatedLink, EngineConfig,
-    FrameChannel, InferenceRecord, JsonlSink, LinkSpec, LoadEnv, Message, MultiClientConfig,
-    PartitionSolver, PolicyContext, ServerFaultSpec, ServerTuning, SocketServer, TcpFrameChannel,
-    Telemetry, ThreadedClient,
+    chaos_run, compare_policies, fleet_bench, measure_bandwidth, multi_client_run_with_telemetry,
+    serving_bench, spawn_server, spawn_server_tuned, spawn_server_with_faults, AdmissionConfig,
+    BenchConfig, BenchTransport, ChaosConfig, ChaosTransport, CompareConfig, EmulatedLink,
+    EngineConfig, FleetConfig, FrameChannel, InferenceRecord, JsonlSink, LinkSpec, LoadEnv,
+    Message, MultiClientConfig, PartitionSolver, PolicyContext, ServerFaultSpec, ServerTuning,
+    SocketServer, TcpFrameChannel, Telemetry, ThreadedClient,
 };
 use lp_sim::{SimDuration, SimTime};
 use std::collections::HashMap;
@@ -82,8 +87,10 @@ const USAGE: &str = "usage:
   loadpart report    [--model <name>] [--clients <n>] [--duration <secs>] [--bandwidth <Mbps>] [--samples <n>] [--seed <n>] [--trace <file.jsonl>]
   loadpart chaos     [--model <name>] [--clients <n>] [--rounds <n>] [--spike-k <factor>] [--bandwidth <Mbps>] [--samples <n>] [--seed <n>] [--transport channel|tcp]
   loadpart bench     [--quick] [--out <file.json>] [--requests <n>] [--suffix-cost-ms <ms>] [--seed <n>] [--transport channel|tcp | --connect <host:port>]
+  loadpart bench     --sessions-sweep [--quick] [--sessions <a,b,c>] [--threads <n|0=auto>] [--batch <n>] [--shards <n>]
+                     [--requests <n>] [--suffix-cost-ms <ms>] [--seed <n>] [--out <file.json>]
   loadpart compare   [--quick] [--out <file.json>] [--requests <n>] [--windows <n>] [--samples <n>] [--seed <n>]
-  loadpart serve     [--model <name>] [--listen <host:port> | --uds <path>] [--k <factor>] [--workers <n>] [--no-admission] [--samples <n>] [--seed <n>]
+  loadpart serve     [--model <name>] [--listen <host:port> | --uds <path>] [--k <factor>] [--workers <n>] [--shards <n>] [--batch <n>] [--no-admission] [--samples <n>] [--seed <n>]
   loadpart smoke     --connect <host:port> | --uds <path> [--model <name>] [--requests <n>] [--samples <n>] [--seed <n>]
                      [--latency-ms <ms>] [--jitter-ms <ms>] [--rate-mbps <Mbps>] [--stall-every <n>] [--stall-ms <ms>] [--reset-after <frames>] [--link-seed <n>]
                      [--shutdown-server]";
@@ -467,6 +474,9 @@ fn cmd_chaos(flags: &HashMap<String, String>) -> Result<String, String> {
 }
 
 fn cmd_bench(flags: &HashMap<String, String>) -> Result<String, String> {
+    if flags.contains_key("sessions-sweep") {
+        return cmd_bench_fleet(flags);
+    }
     let mut config = if flags.contains_key("quick") {
         BenchConfig::quick()
     } else {
@@ -506,6 +516,54 @@ fn cmd_bench(flags: &HashMap<String, String>) -> Result<String, String> {
         return Err("--out needs a file path".to_string());
     }
     let report = serving_bench(&config);
+    std::fs::write(&out_path, report.to_json().to_string_pretty())
+        .map_err(|e| format!("cannot write {out_path:?}: {e}"))?;
+    let mut out = report.render_table();
+    out.push_str(&format!("report written to {out_path}"));
+    Ok(out)
+}
+
+/// `bench --sessions-sweep`: the fleet benchmark over loopback TCP.
+fn cmd_bench_fleet(flags: &HashMap<String, String>) -> Result<String, String> {
+    let mut config = if flags.contains_key("quick") {
+        FleetConfig::quick()
+    } else {
+        FleetConfig::default()
+    };
+    if let Some(list) = flags.get("sessions") {
+        let counts: Result<Vec<usize>, _> =
+            list.split(',').map(|s| s.trim().parse::<usize>()).collect();
+        config.session_counts =
+            counts.map_err(|_| format!("invalid value for --sessions: {list:?}"))?;
+        if config.session_counts.is_empty() || config.session_counts.contains(&0) {
+            return Err("--sessions needs positive counts like 64,128,256".to_string());
+        }
+    }
+    config.driver_threads = get_parsed(flags, "threads", Some(config.driver_threads))?;
+    config.max_batch = get_parsed(flags, "batch", Some(config.max_batch))?;
+    config.shards = get_parsed(flags, "shards", Some(config.shards))?;
+    config.requests_per_session = get_parsed(flags, "requests", Some(config.requests_per_session))?;
+    config.seed = get_parsed(flags, "seed", Some(config.seed))?;
+    if config.max_batch == 0 || config.shards == 0 || config.requests_per_session == 0 {
+        return Err("--batch, --shards and --requests must be positive".to_string());
+    }
+    let suffix_ms: f64 = get_parsed(
+        flags,
+        "suffix-cost-ms",
+        Some(config.suffix_cost.as_secs_f64() * 1e3),
+    )?;
+    if suffix_ms < 0.0 {
+        return Err("--suffix-cost-ms must be non-negative".to_string());
+    }
+    config.suffix_cost = Duration::from_secs_f64(suffix_ms / 1e3);
+    let out_path = flags
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "BENCH_fleet.json".to_string());
+    if out_path.is_empty() {
+        return Err("--out needs a file path".to_string());
+    }
+    let report = fleet_bench(&config);
     std::fs::write(&out_path, report.to_json().to_string_pretty())
         .map_err(|e| format!("cannot write {out_path:?}: {e}"))?;
     let mut out = report.render_table();
@@ -555,8 +613,10 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<String, String> {
         return Err("--k must be >= 1 (constraint (1c))".to_string());
     }
     let workers: usize = get_parsed(flags, "workers", Some(ServerTuning::default().workers))?;
-    if workers == 0 {
-        return Err("--workers must be positive".to_string());
+    let batch: usize = get_parsed(flags, "batch", Some(ServerTuning::default().max_batch))?;
+    let shards: usize = get_parsed(flags, "shards", Some(loadpart::default_shards()))?;
+    if workers == 0 || batch == 0 || shards == 0 {
+        return Err("--workers, --batch and --shards must be positive".to_string());
     }
     let admission = if flags.contains_key("no-admission") {
         None
@@ -573,6 +633,7 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<String, String> {
         &Telemetry::disabled(),
         ServerTuning {
             workers,
+            max_batch: batch,
             ..ServerTuning::default()
         },
     );
@@ -582,7 +643,7 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<String, String> {
         }
         #[cfg(unix)]
         {
-            SocketServer::bind_uds(path, server)
+            SocketServer::bind_uds_sharded(path, server, shards)
                 .map_err(|e| format!("cannot bind {path:?}: {e}"))?
         }
         #[cfg(not(unix))]
@@ -592,13 +653,14 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<String, String> {
         }
     } else {
         let listen = flags.get("listen").map_or("127.0.0.1:0", String::as_str);
-        SocketServer::bind_tcp(listen, server)
+        SocketServer::bind_tcp_sharded(listen, server, shards)
             .map_err(|e| format!("cannot bind {listen:?}: {e}"))?
     };
     // The clients are separate processes polling for this line: it must
     // reach them before we block in wait().
     println!(
-        "{} listening on {} (k = {k}, {workers} worker(s), admission {})",
+        "{} listening on {} (k = {k}, {workers} worker(s), {shards} shard(s), batch {batch}, \
+         admission {})",
         graph.name(),
         sock.local_addr(),
         if admission.is_some() { "on" } else { "off" },
@@ -858,6 +920,31 @@ mod tests {
         assert!(json.get("points").and_then(lp_json::Json::as_arr).is_some());
     }
 
+    #[test]
+    fn bench_sessions_sweep_writes_a_parseable_fleet_report() {
+        let dir = std::env::temp_dir().join("loadpart-fleet-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("BENCH_fleet.json");
+        let path = path.to_str().expect("utf-8 temp path");
+        let out = run(&argv(&format!(
+            "bench --sessions-sweep --sessions 4,8 --threads 2 --requests 2 \
+             --suffix-cost-ms 0.5 --out {path}"
+        )))
+        .expect("ok");
+        assert!(out.contains("sessions"), "{out}");
+        assert!(out.contains("req/s"), "{out}");
+        let text = std::fs::read_to_string(path).expect("report file");
+        let json = lp_json::Json::parse(&text).expect("valid json");
+        assert_eq!(
+            json.get("benchmark").and_then(lp_json::Json::as_str),
+            Some("fleet")
+        );
+        assert!(json
+            .get("points")
+            .and_then(lp_json::Json::as_arr)
+            .is_some_and(|p| p.len() == 2));
+    }
+
     /// Spawns a socket-fronted server in-process; `smoke` connects to it
     /// the same way a separate OS process would.
     fn socket_server() -> SocketServer {
@@ -1002,5 +1089,14 @@ mod tests {
         assert!(run(&argv("bench --quick --transport carrier-pigeon"))
             .unwrap_err()
             .contains("unknown transport"));
+        assert!(run(&argv("bench --sessions-sweep --sessions 0,8"))
+            .unwrap_err()
+            .contains("positive counts"));
+        assert!(run(&argv("bench --sessions-sweep --sessions eleventy"))
+            .unwrap_err()
+            .contains("--sessions"));
+        assert!(run(&argv("serve --shards 0"))
+            .unwrap_err()
+            .contains("positive"));
     }
 }

@@ -669,6 +669,7 @@ mod tests {
                 admission: Some(AdmissionConfig {
                     max_inflight: 1,
                     max_queue_delay: SimDuration::from_millis(5),
+                    max_batch: 1,
                 }),
                 ..MultiClientConfig::default()
             },
@@ -709,6 +710,7 @@ mod tests {
                 admission: Some(AdmissionConfig {
                     max_inflight: 1,
                     max_queue_delay: SimDuration::from_millis(5),
+                    max_batch: 1,
                 }),
                 ..MultiClientConfig::default()
             },

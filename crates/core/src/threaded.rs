@@ -100,17 +100,58 @@ pub trait FrameChannel {
     }
 }
 
+/// Called after a reply frame lands on a session's channel, so a sleeping
+/// transport (the socket mux shard parked in `poll(2)`) learns there is
+/// egress work without polling its reply queues. In-process sessions pass
+/// `None` — their receivers block on the channel directly.
+pub type ReplyWaker = Arc<dyn Fn() + Send + Sync>;
+
+/// Where one session's replies go: the reply channel plus the optional
+/// wake callback fired after every delivery.
+#[derive(Clone)]
+struct ReplyRoute {
+    tx: Sender<Frame>,
+    waker: Option<ReplyWaker>,
+}
+
+impl ReplyRoute {
+    fn new(tx: Sender<Frame>, waker: Option<ReplyWaker>) -> Self {
+        Self { tx, waker }
+    }
+
+    /// Queues one reply and wakes the transport; `false` once the session's
+    /// receive half is gone.
+    fn deliver(&self, frame: Frame) -> bool {
+        let delivered = self.tx.send(frame).is_ok();
+        if let Some(waker) = &self.waker {
+            waker();
+        }
+        delivered
+    }
+}
+
+impl std::fmt::Debug for ReplyRoute {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplyRoute")
+            .field("waker", &self.waker.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
 /// What flows into the server thread: control-plane client registrations
 /// and data-plane frames, multiplexed over one channel so the frame loop
 /// stays single-threaded and deterministic.
 #[derive(Debug)]
 enum ToServer {
-    /// A new client session: route replies for `client` to the sender.
-    Connect(usize, Sender<Frame>),
+    /// A new client session: route replies for `client` along this route.
+    Connect(usize, ReplyRoute),
     /// A frame from `client`. Carried as a header/payload [`Frame`] so a
     /// multi-MB tensor payload crosses the channel as a reference-count
     /// bump, never a memcpy.
     Frame(usize, Frame),
+    /// The transport observed `client` hang up: drop its reply route so
+    /// the mux stops holding a dead channel (and its memory) forever.
+    Disconnect(usize),
 }
 
 /// Handle to a running offloading server thread. The handle itself is
@@ -138,9 +179,19 @@ impl SessionConnector {
     /// exactly like [`ServerHandle::connect`].
     #[must_use]
     pub fn connect(&self) -> ClientConn {
+        self.connect_with_waker(None)
+    }
+
+    /// Opens a session whose reply deliveries also fire `waker`, so an
+    /// event-driven transport parked in `poll(2)` learns about egress work
+    /// the moment the mux (or a suffix worker) queues a reply.
+    #[must_use]
+    pub fn connect_with_waker(&self, waker: Option<ReplyWaker>) -> ClientConn {
         let id = self.next_client.fetch_add(1, Ordering::Relaxed);
         let (reply_tx, reply_rx) = channel::<Frame>();
-        let _ = self.tx.send(ToServer::Connect(id, reply_tx));
+        let _ = self
+            .tx
+            .send(ToServer::Connect(id, ReplyRoute::new(reply_tx, waker)));
         ClientConn {
             id,
             tx: self.tx.clone(),
@@ -168,6 +219,12 @@ impl SessionSender {
             .send(ToServer::Frame(self.id, frame))
             .map_err(|_| ProtocolError::Disconnected)
     }
+
+    /// Tells the mux this session's peer hung up, so it drops the reply
+    /// route instead of holding a dead channel for the server's lifetime.
+    pub fn close(&self) {
+        let _ = self.tx.send(ToServer::Disconnect(self.id));
+    }
 }
 
 /// The receive half of a split [`ClientConn`]: the session's replies, in
@@ -186,6 +243,21 @@ impl SessionReceiver {
     /// session's reply channel (server exit).
     pub fn recv(&self) -> Result<Frame, ProtocolError> {
         self.rx.recv().map_err(|_| ProtocolError::Disconnected)
+    }
+
+    /// Non-blocking receive for event-driven transports: `Ok(None)` when no
+    /// reply is queued right now.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::Disconnected`] once the server side has dropped the
+    /// session's reply channel (server exit).
+    pub fn try_recv(&self) -> Result<Option<Frame>, ProtocolError> {
+        match self.rx.try_recv() {
+            Ok(frame) => Ok(Some(frame)),
+            Err(std::sync::mpsc::TryRecvError::Empty) => Ok(None),
+            Err(std::sync::mpsc::TryRecvError::Disconnected) => Err(ProtocolError::Disconnected),
+        }
     }
 }
 
@@ -357,6 +429,11 @@ struct ServerMetrics {
     bad_frames: Counter,
     stalled: Counter,
     rejected: Counter,
+    /// Suffixes that executed as part of a coalesced batch of ≥ 2
+    /// (incremented by the batch size, from the executing worker).
+    batched_suffixes: Counter,
+    /// Coalesced batch executions of ≥ 2 suffixes.
+    suffix_batches: Counter,
     k: Gauge,
 }
 
@@ -370,6 +447,8 @@ impl ServerMetrics {
             bad_frames: reg.counter("server.bad_frames_total"),
             stalled: reg.counter("server.stalled_frames_total"),
             rejected: reg.counter("server.rejected_total"),
+            batched_suffixes: reg.counter("server.batched_suffixes_total"),
+            suffix_batches: reg.counter("server.suffix_batches_total"),
             k: reg.gauge("server.k"),
         })
     }
@@ -414,6 +493,20 @@ pub struct ServerTuning {
     /// [`Duration::ZERO`] (the default everywhere outside the benchmark)
     /// keeps execution purely simulated, exactly the historical behaviour.
     pub suffix_cost: Duration,
+    /// Maximum suffix jobs a worker coalesces into one batched GPU-sim
+    /// execution (continuous batching): queued suffixes whose partition
+    /// points fall in the same [`ServerTuning::batch_bucket`]-wide bucket
+    /// share a single `suffix_cost` charge. `1` (or `0`) disables
+    /// coalescing — one execution per request, the historical behaviour.
+    /// Batching never reorders a session's replies; see the worker loop.
+    pub max_batch: usize,
+    /// Width of the partition-point bucket for batch compatibility: jobs
+    /// batch together when `p / batch_bucket` matches (a real GPU batches
+    /// suffixes starting at near-identical layers; an exact-`p` rule would
+    /// fragment batches whenever clients' bandwidth estimates wobble by a
+    /// layer). Also the bucket the batch-aware admission controller keys
+    /// its open batch on.
+    pub batch_bucket: usize,
 }
 
 impl Default for ServerTuning {
@@ -422,6 +515,8 @@ impl Default for ServerTuning {
             workers: default_workers(),
             legacy_framing: false,
             suffix_cost: Duration::ZERO,
+            max_batch: 16,
+            batch_bucket: 4,
         }
     }
 }
@@ -435,7 +530,16 @@ impl ServerTuning {
             workers: 0,
             legacy_framing: true,
             suffix_cost: Duration::ZERO,
+            max_batch: 1,
+            batch_bucket: 1,
         }
+    }
+
+    /// The bucket a partition point batches under (shared by the worker
+    /// coalescing loop and batch-aware admission).
+    #[must_use]
+    fn bucket(&self, p: usize) -> u64 {
+        (p / self.batch_bucket.max(1)) as u64
     }
 }
 
@@ -498,8 +602,21 @@ enum Job {
 /// per-session FIFO the single-threaded server provided. All stateful
 /// accounting (clock, admission, tracker, fault script, metrics) stays on
 /// the mux; workers only execute and reply.
+///
+/// # Continuous batching
+///
+/// When `max_batch > 1`, a worker that dequeues a suffix keeps draining its
+/// queue (non-blocking) and coalesces further suffixes of the same
+/// partition-point bucket into one batch, which then charges a single
+/// `suffix_cost` — the GPU running the near-identical suffixes as one
+/// batched launch. Replies are delivered in batch order. Per-session FIFO
+/// survives because a control [`Job::Forward`] encountered mid-scan is
+/// forwarded immediately *only* when its session has no suffix in the
+/// batch being built (jobs of distinct sessions commute); a Forward whose
+/// session is already batched — or any bucket-incompatible suffix — stops
+/// the scan and is carried into the next iteration unreordered.
 struct WorkerPool {
-    txs: Vec<Sender<(Sender<Frame>, Job)>>,
+    txs: Vec<Sender<(usize, ReplyRoute, Job)>>,
     joins: Vec<JoinHandle<()>>,
     ctx: ExecContext,
 }
@@ -509,8 +626,12 @@ struct WorkerPool {
 struct ExecContext {
     graph: Arc<ComputationGraph>,
     cache: Arc<PartitionCache>,
-    legacy_framing: bool,
-    suffix_cost: Duration,
+    tuning: ServerTuning,
+    /// `server.batched_suffixes_total` / `server.suffix_batches_total`
+    /// handles, incremented from the executing worker (`None` when
+    /// telemetry is disabled).
+    batched_suffixes: Option<Counter>,
+    suffix_batches: Option<Counter>,
 }
 
 impl ExecContext {
@@ -518,34 +639,68 @@ impl ExecContext {
     fn execute(&self, job: Job) -> Frame {
         match job {
             Job::Forward(frame) => frame,
-            Job::Suffix {
-                request_id,
-                server_time_us,
-                p,
-            } => {
-                // Build or fetch the suffix graph (Figure 5).
-                let _ = self
-                    .cache
-                    .get_or_partition(&self.graph, p.min(self.graph.len()))
-                    .expect("p in range");
-                if !self.suffix_cost.is_zero() {
-                    // Model the suffix occupying this serving thread for
-                    // its execution time (what the worker pool overlaps
-                    // across sessions).
-                    std::thread::sleep(self.suffix_cost);
-                }
-                let out_bytes = self.graph.output().size_bytes() as usize;
-                let reply = Message::OffloadResponse {
-                    request_id,
-                    server_time_us,
-                    payload: if self.legacy_framing {
-                        Bytes::from(vec![0u8; out_bytes])
-                    } else {
-                        zero_payload(out_bytes)
-                    },
-                };
-                self.frame(&reply)
+            Job::Suffix { .. } => {
+                self.charge_suffix_cost();
+                self.suffix_reply(job)
             }
+        }
+    }
+
+    /// Models the suffix (or a coalesced batch of suffixes) occupying this
+    /// serving thread for its execution time — what the worker pool
+    /// overlaps across sessions, and what batching amortises.
+    fn charge_suffix_cost(&self) {
+        if !self.tuning.suffix_cost.is_zero() {
+            std::thread::sleep(self.tuning.suffix_cost);
+        }
+    }
+
+    /// Builds the reply frame for one admitted suffix, *without* charging
+    /// the execution cost (the caller charges once per batch). Each job
+    /// still fetches its own partition from the shared cache — bucketed
+    /// batchmates may differ by a few layers.
+    fn suffix_reply(&self, job: Job) -> Frame {
+        let Job::Suffix {
+            request_id,
+            server_time_us,
+            p,
+        } = job
+        else {
+            unreachable!("suffix_reply only takes suffix jobs");
+        };
+        // Build or fetch the suffix graph (Figure 5).
+        let _ = self
+            .cache
+            .get_or_partition(&self.graph, p.min(self.graph.len()))
+            .expect("p in range");
+        let out_bytes = self.graph.output().size_bytes() as usize;
+        let reply = Message::OffloadResponse {
+            request_id,
+            server_time_us,
+            payload: if self.tuning.legacy_framing {
+                Bytes::from(vec![0u8; out_bytes])
+            } else {
+                zero_payload(out_bytes)
+            },
+        };
+        self.frame(&reply)
+    }
+
+    /// Executes a coalesced batch of suffix jobs: one execution-cost
+    /// charge, then every reply delivered in batch (= arrival) order.
+    fn execute_suffix_batch(&self, batch: Vec<(usize, ReplyRoute, Job)>) {
+        if batch.len() >= 2 {
+            if let Some(c) = &self.suffix_batches {
+                c.incr(1);
+            }
+            if let Some(c) = &self.batched_suffixes {
+                c.incr(batch.len() as u64);
+            }
+        }
+        self.charge_suffix_cost();
+        for (_, route, job) in batch {
+            // A dead client only loses its own reply.
+            let _ = route.deliver(self.suffix_reply(job));
         }
     }
 
@@ -553,7 +708,7 @@ impl ExecContext {
     /// replies carry at most one model-output tensor, far under the
     /// protocol's payload cap, so encoding cannot fail here.
     fn frame(&self, reply: &Message) -> Frame {
-        if self.legacy_framing {
+        if self.tuning.legacy_framing {
             Frame::from_contiguous(reply.encode().expect("server reply fits a frame"))
         } else {
             reply.to_frame().expect("server reply fits a frame")
@@ -566,16 +721,11 @@ impl WorkerPool {
         let mut txs = Vec::with_capacity(workers);
         let mut joins = Vec::with_capacity(workers);
         for shard in 0..workers {
-            let (tx, rx) = channel::<(Sender<Frame>, Job)>();
+            let (tx, rx) = channel::<(usize, ReplyRoute, Job)>();
             let worker_ctx = ctx.clone();
             let join = std::thread::Builder::new()
                 .name(format!("loadpart-suffix-{shard}"))
-                .spawn(move || {
-                    while let Ok((reply_tx, job)) = rx.recv() {
-                        // A dead client only loses its own reply.
-                        let _ = reply_tx.send(worker_ctx.execute(job));
-                    }
-                })
+                .spawn(move || Self::worker_loop(&worker_ctx, &rx))
                 .expect("spawn suffix worker");
             txs.push(tx);
             joins.push(join);
@@ -583,19 +733,79 @@ impl WorkerPool {
         Self { txs, joins, ctx }
     }
 
+    /// One worker's continuous-batching loop; see the [`WorkerPool`] doc
+    /// for the reordering argument.
+    fn worker_loop(ctx: &ExecContext, rx: &Receiver<(usize, ReplyRoute, Job)>) {
+        let max_batch = ctx.tuning.max_batch.max(1);
+        // A job pulled off the queue that could not join the current batch;
+        // it leads the next iteration so queue order is preserved.
+        let mut carry: Option<(usize, ReplyRoute, Job)> = None;
+        loop {
+            let head = match carry.take() {
+                Some(head) => head,
+                None => match rx.recv() {
+                    Ok(head) => head,
+                    Err(_) => break,
+                },
+            };
+            let (session, route, job) = head;
+            let bucket = match &job {
+                Job::Forward(_) => {
+                    // Control-plane reply: deliver and move on. A dead
+                    // client only loses its own reply.
+                    let _ = route.deliver(ctx.execute(job));
+                    continue;
+                }
+                Job::Suffix { p, .. } => ctx.tuning.bucket(*p),
+            };
+            let mut batch = vec![(session, route, job)];
+            // Coalesce compatible queued suffixes, non-blocking: the batch
+            // closes as soon as the queue runs dry, so a lone request never
+            // waits for company (continuous, not time-windowed, batching).
+            while batch.len() < max_batch {
+                match rx.try_recv() {
+                    Ok((s, r, j @ Job::Suffix { .. })) => {
+                        let Job::Suffix { p, .. } = &j else {
+                            unreachable!("matched suffix above");
+                        };
+                        if ctx.tuning.bucket(*p) == bucket {
+                            batch.push((s, r, j));
+                        } else {
+                            carry = Some((s, r, j));
+                            break;
+                        }
+                    }
+                    Ok((s, r, j @ Job::Forward(_))) => {
+                        if batch.iter().any(|(bs, _, _)| *bs == s) {
+                            // This session already has a suffix in the
+                            // batch; replying now would reorder it.
+                            carry = Some((s, r, j));
+                            break;
+                        }
+                        // Distinct sessions commute: answer the control
+                        // frame immediately instead of behind the batch.
+                        let _ = r.deliver(ctx.execute(j));
+                    }
+                    Err(_) => break,
+                }
+            }
+            ctx.execute_suffix_batch(batch);
+        }
+    }
+
     /// Routes a job to `session`'s shard, or executes it inline when the
     /// pool is empty (the single-threaded baseline). Returns `false` when
     /// the session's reply channel is known dead (inline mode only; a
     /// sharded worker discovers that on its own).
-    fn dispatch(&self, session: usize, reply_tx: &Sender<Frame>, job: Job) -> bool {
+    fn dispatch(&self, session: usize, route: &ReplyRoute, job: Job) -> bool {
         if self.txs.is_empty() {
-            reply_tx.send(self.ctx.execute(job)).is_ok()
+            route.deliver(self.ctx.execute(job))
         } else {
             let shard = session % self.txs.len();
             // A worker that died mid-run (panicked job) drops its channel;
             // its sessions then time out client-side, which the engine
             // degrades on — and shutdown reports the panic.
-            let _ = self.txs[shard].send((reply_tx.clone(), job));
+            let _ = self.txs[shard].send((session, route.clone(), job));
             true
         }
     }
@@ -640,19 +850,22 @@ pub fn spawn_server_tuned(
         5,
     ))));
     let admission_cfg = admission.unwrap_or_else(AdmissionConfig::unbounded);
+    let batched_suffixes = metrics.as_ref().map(|m| m.batched_suffixes.clone());
+    let suffix_batches = metrics.as_ref().map(|m| m.suffix_batches.clone());
     let join = std::thread::spawn(move || {
         let pool = WorkerPool::spawn(
             tuning.workers,
             ExecContext {
                 graph: Arc::clone(&graph),
                 cache,
-                legacy_framing: tuning.legacy_framing,
-                suffix_cost: tuning.suffix_cost,
+                tuning,
+                batched_suffixes,
+                suffix_batches,
             },
         );
         let mut admission = AdmissionController::new(admission_cfg);
-        let mut replies: HashMap<usize, Sender<Frame>> = HashMap::new();
-        replies.insert(0, server_tx);
+        let mut replies: HashMap<usize, ReplyRoute> = HashMap::new();
+        replies.insert(0, ReplyRoute::new(server_tx, None));
         let mut served = 0u64;
         let mut now = SimTime::ZERO;
         let mut received = 0u64;
@@ -660,8 +873,15 @@ pub fn spawn_server_tuned(
             let (client, frame) = match incoming {
                 // Control plane: register a reply route. No frame count,
                 // no clock tick.
-                ToServer::Connect(id, tx) => {
-                    replies.insert(id, tx);
+                ToServer::Connect(id, route) => {
+                    replies.insert(id, route);
+                    continue;
+                }
+                // Control plane: the transport saw the peer hang up.
+                ToServer::Disconnect(id) => {
+                    if id != 0 {
+                        replies.remove(&id);
+                    }
                     continue;
                 }
                 ToServer::Frame(id, frame) => (id, frame),
@@ -713,7 +933,12 @@ pub fn spawn_server_tuned(
                     // load factor: the signal admission control budgets.
                     let predicted = predicted_suffix(&edge_models, &graph, p);
                     let scaled = predicted.scale(env.k());
-                    match admission.assess(now, scaled) {
+                    // Batch-aware admission: a request falling into the
+                    // open batch's partition bucket rides its completion
+                    // slot instead of growing the backlog (with the
+                    // caller's `AdmissionConfig::max_batch` — default 1 —
+                    // this is exactly the per-request budget).
+                    match admission.assess_batched(now, scaled, tuning.bucket(p)) {
                         AdmissionDecision::Reject { retry_after } => {
                             if let Some(m) = &metrics {
                                 m.rejected.incr(1);
@@ -770,8 +995,8 @@ pub fn spawn_server_tuned(
             };
             // One dead client must not take the server down: drop its
             // route and keep serving the others.
-            if let Some(tx) = replies.get(&client) {
-                if !pool.dispatch(client, tx, job) {
+            if let Some(route) = replies.get(&client) {
+                if !pool.dispatch(client, route, job) {
                     replies.remove(&client);
                 }
             }
@@ -1400,6 +1625,7 @@ mod tests {
             Some(AdmissionConfig {
                 max_inflight: 0,
                 max_queue_delay: SimDuration::from_secs(1000),
+                max_batch: 1,
             }),
             &Telemetry::disabled(),
         );
@@ -1469,8 +1695,11 @@ mod tests {
             ExecContext {
                 graph: Arc::clone(&graph),
                 cache: Arc::clone(&cache),
-                legacy_framing: false,
-                suffix_cost: Duration::ZERO,
+                // Default tuning: continuous batching on (max_batch 16,
+                // bucket 4) — the invariants below must hold under it.
+                tuning: ServerTuning::default(),
+                batched_suffixes: None,
+                suffix_batches: None,
             },
         );
         let sessions = 16usize;
@@ -1478,13 +1707,14 @@ mod tests {
         let mut rxs = Vec::new();
         for s in 0..sessions {
             let (tx, rx) = channel::<Frame>();
+            let route = ReplyRoute::new(tx, None);
             for j in 0..per_session {
                 let job = Job::Suffix {
                     request_id: j as u64,
                     server_time_us: 0,
                     p: (s + j) % (graph.len() + 1),
                 };
-                assert!(pool.dispatch(s, &tx, job));
+                assert!(pool.dispatch(s, &route, job));
             }
             rxs.push(rx);
         }
@@ -1510,6 +1740,94 @@ mod tests {
             "at most one miss per distinct point: {stats:?}"
         );
         assert_eq!(cache.len() as u64, stats.misses);
+    }
+
+    /// Continuous batching coalesces queued same-bucket suffixes into one
+    /// charged execution (visible through the batching counters) without
+    /// reordering any session's replies — even with control forwards
+    /// interleaved into the same worker queue.
+    #[test]
+    fn worker_batching_coalesces_without_reordering() {
+        let graph = Arc::new(lp_models::alexnet(1));
+        let batched = Counter::default();
+        let batches = Counter::default();
+        let pool = WorkerPool::spawn(
+            1,
+            ExecContext {
+                graph: Arc::clone(&graph),
+                cache: Arc::new(PartitionCache::new()),
+                tuning: ServerTuning {
+                    workers: 1,
+                    legacy_framing: false,
+                    // Each execution holds the worker long enough for the
+                    // remaining dispatches below to queue up behind it, so
+                    // at most the first batch is a singleton.
+                    suffix_cost: Duration::from_millis(5),
+                    max_batch: 8,
+                    batch_bucket: 4,
+                },
+                batched_suffixes: Some(batched.clone()),
+                suffix_batches: Some(batches.clone()),
+            },
+        );
+        let sessions = 4usize;
+        let rounds = 6usize;
+        let mut rxs = Vec::new();
+        let mut routes = Vec::new();
+        for _ in 0..sessions {
+            let (tx, rx) = channel::<Frame>();
+            routes.push(ReplyRoute::new(tx, None));
+            rxs.push(rx);
+        }
+        // Per round: one same-bucket suffix for every session, then a
+        // control forward for session 0 — which at that point has a suffix
+        // queued or batched ahead of it, the exact reordering hazard.
+        for round in 0..rounds {
+            for (s, route) in routes.iter().enumerate() {
+                let job = Job::Suffix {
+                    request_id: round as u64,
+                    server_time_us: 0,
+                    p: 8,
+                };
+                assert!(pool.dispatch(s, route, job));
+            }
+            let ack = pool.ctx.frame(&Message::ProbeAck);
+            assert!(pool.dispatch(0, &routes[0], Job::Forward(ack)));
+        }
+        // Session 0 must see each round's offload response strictly before
+        // the probe ack dispatched after it.
+        for round in 0..rounds {
+            for expect_ack in [false, true] {
+                let frame = rxs[0]
+                    .recv_timeout(Duration::from_secs(5))
+                    .expect("session 0 reply");
+                match (expect_ack, Message::decode_frame(frame).expect("valid")) {
+                    (false, Message::OffloadResponse { request_id, .. }) => {
+                        assert_eq!(request_id, round as u64, "suffix FIFO");
+                    }
+                    (true, Message::ProbeAck) => {}
+                    (_, other) => panic!("round {round}: unexpected reply {other:?}"),
+                }
+            }
+        }
+        for rx in rxs.iter().skip(1) {
+            for round in 0..rounds {
+                let frame = rx.recv_timeout(Duration::from_secs(5)).expect("reply");
+                match Message::decode_frame(frame).expect("valid") {
+                    Message::OffloadResponse { request_id, .. } => {
+                        assert_eq!(request_id, round as u64, "per-session FIFO");
+                    }
+                    other => panic!("expected offload response, got {other:?}"),
+                }
+            }
+        }
+        pool.join();
+        assert!(batches.get() >= 1, "at least one coalesced batch executed");
+        assert!(
+            batched.get() >= 2,
+            "batched suffixes counted: {}",
+            batched.get()
+        );
     }
 
     /// The tuning knobs change scheduling and framing, not behaviour: a

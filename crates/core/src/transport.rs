@@ -29,22 +29,36 @@
 //!
 //! # Server side
 //!
-//! [`SocketServer`] owns a [`ServerHandle`] plus an acceptor thread; each
-//! accepted connection becomes one mux session ([`SessionConnector`])
-//! bridged by an ingress thread (socket → mux) and an egress thread
-//! (session replies → socket). The mux loop, admission control, fault
-//! scripts and telemetry are exactly the in-process server's — the socket
-//! layer is a pure transport.
+//! [`SocketServer`] owns a [`ServerHandle`] plus a small set of
+//! *event-driven mux shards*. Each shard thread owns N accepted
+//! connections end to end — their nonblocking sockets, the resumable
+//! `FrameReader` per connection (so a partial frame survives
+//! `WOULD_BLOCK` exactly as it survives a deadline), and a zero-copy
+//! egress outbox — and parks in one `poll(2)` call over all of them plus
+//! a wake pipe. Replies queued by the in-process mux (or its suffix
+//! workers) fire the session's [`ReplyWaker`], which writes one byte to
+//! the owning shard's wake pipe; the listener itself lives in shard 0's
+//! poll set, so accepting costs no dedicated thread and no busy-poll
+//! sleep. There are no per-connection threads to leak: shutdown joins
+//! every shard. The mux loop, admission control, fault scripts and
+//! telemetry are exactly the in-process server's — the socket layer is a
+//! pure transport.
 
 use crate::pool::zero_payload;
 use crate::protocol::{Frame, Message, ProtocolError, MAX_PAYLOAD_BYTES};
-use crate::threaded::{ClientConn, FrameChannel, ServerHandle, SessionConnector};
+use crate::threaded::{
+    FrameChannel, ReplyWaker, ServerHandle, SessionConnector, SessionReceiver, SessionSender,
+};
 use bytes::Bytes;
+use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 #[cfg(unix)]
+use std::os::unix::io::{AsRawFd, RawFd};
+#[cfg(unix)]
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -77,6 +91,18 @@ pub trait NetStream: Read + Write + Send + Sized + 'static {
     ///
     /// Propagates the OS error.
     fn shutdown_both(&self) -> io::Result<()>;
+
+    /// Switches the socket between blocking and nonblocking mode (the mux
+    /// shards run every connection nonblocking).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS error.
+    fn set_nonblocking_stream(&self, nonblocking: bool) -> io::Result<()>;
+
+    /// The raw descriptor, for the shard's readiness set.
+    #[cfg(unix)]
+    fn raw_fd_stream(&self) -> RawFd;
 }
 
 impl NetStream for TcpStream {
@@ -90,6 +116,15 @@ impl NetStream for TcpStream {
 
     fn shutdown_both(&self) -> io::Result<()> {
         self.shutdown(std::net::Shutdown::Both)
+    }
+
+    fn set_nonblocking_stream(&self, nonblocking: bool) -> io::Result<()> {
+        self.set_nonblocking(nonblocking)
+    }
+
+    #[cfg(unix)]
+    fn raw_fd_stream(&self) -> RawFd {
+        self.as_raw_fd()
     }
 }
 
@@ -106,13 +141,35 @@ impl NetStream for UnixStream {
     fn shutdown_both(&self) -> io::Result<()> {
         self.shutdown(std::net::Shutdown::Both)
     }
+
+    fn set_nonblocking_stream(&self, nonblocking: bool) -> io::Result<()> {
+        self.set_nonblocking(nonblocking)
+    }
+
+    #[cfg(unix)]
+    fn raw_fd_stream(&self) -> RawFd {
+        self.as_raw_fd()
+    }
+}
+
+/// Outcome of one [`FrameReader::step`] read attempt.
+enum ReadStep {
+    /// Bytes moved (or a spurious interrupt): call `step` again.
+    Progress,
+    /// A whole frame completed; reader reset for the next one.
+    Complete(Bytes),
+    /// The socket would block / timed out; partial state kept.
+    Blocked,
+    /// The stream is broken (reader poisoned) or the peer oversized.
+    Failed(ProtocolError),
 }
 
 /// Incremental length-prefixed frame reader over a [`NetStream`].
 ///
 /// Holds partial state across reads, so a deadline expiring mid-frame
 /// (prefix half-read, body half-read) resumes cleanly on the next call
-/// instead of desyncing the stream.
+/// instead of desyncing the stream — and equally across `WOULD_BLOCK` on
+/// the mux shards' nonblocking sockets ([`FrameReader::poll_frame`]).
 struct FrameReader<S> {
     stream: S,
     /// The four length-prefix bytes being assembled.
@@ -163,45 +220,79 @@ impl<S: NetStream> FrameReader<S> {
                     .set_read_timeout_stream(None)
                     .map_err(|_| self.poison())?,
             }
-            if self.prefix_got < 4 {
-                let got = self.prefix_got;
-                match self.stream.read(&mut self.prefix[got..]) {
-                    Ok(0) => return Err(self.poison()),
-                    Ok(n) => {
-                        self.prefix_got += n;
-                        if self.prefix_got == 4 {
-                            let len = u32::from_le_bytes(self.prefix);
-                            if len > MAX_FRAME_BYTES {
-                                self.poisoned = true;
-                                return Err(ProtocolError::Oversized(len as usize));
-                            }
-                            self.body = vec![0u8; len as usize];
-                            self.body_got = 0;
+            match self.step() {
+                ReadStep::Progress => {}
+                ReadStep::Complete(bytes) => return Ok(bytes),
+                ReadStep::Blocked => return Err(ProtocolError::Timeout),
+                ReadStep::Failed(err) => return Err(err),
+            }
+        }
+    }
+
+    /// Nonblocking read attempt for the event-driven mux: the stream must
+    /// be in nonblocking mode. `Ok(Some(frame))` per completed frame,
+    /// `Ok(None)` once the socket has no more bytes right now (partial
+    /// prefix/body state kept for the next readiness event); EOF, I/O
+    /// errors and oversized declared lengths poison exactly like
+    /// [`FrameReader::read_frame`].
+    fn poll_frame(&mut self) -> Result<Option<Bytes>, ProtocolError> {
+        if self.poisoned {
+            return Err(ProtocolError::Disconnected);
+        }
+        loop {
+            match self.step() {
+                ReadStep::Progress => {}
+                ReadStep::Complete(bytes) => return Ok(Some(bytes)),
+                ReadStep::Blocked => return Ok(None),
+                ReadStep::Failed(err) => return Err(err),
+            }
+        }
+    }
+
+    /// One read attempt against the current prefix/body position.
+    fn step(&mut self) -> ReadStep {
+        if self.prefix_got < 4 {
+            let got = self.prefix_got;
+            return match self.stream.read(&mut self.prefix[got..]) {
+                Ok(0) => ReadStep::Failed(self.poison()),
+                Ok(n) => {
+                    self.prefix_got += n;
+                    if self.prefix_got == 4 {
+                        let len = u32::from_le_bytes(self.prefix);
+                        if len > MAX_FRAME_BYTES {
+                            self.poisoned = true;
+                            return ReadStep::Failed(ProtocolError::Oversized(len as usize));
                         }
+                        self.body = vec![0u8; len as usize];
+                        self.body_got = 0;
                     }
-                    Err(e) => match self.classify(e) {
-                        Some(err) => return Err(err),
-                        None => continue,
-                    },
+                    ReadStep::Progress
                 }
-                continue;
-            }
-            if self.body_got < self.body.len() {
-                let got = self.body_got;
-                match self.stream.read(&mut self.body[got..]) {
-                    Ok(0) => return Err(self.poison()),
-                    Ok(n) => self.body_got += n,
-                    Err(e) => match self.classify(e) {
-                        Some(err) => return Err(err),
-                        None => continue,
-                    },
+                Err(e) => self.classify_step(e),
+            };
+        }
+        if self.body_got < self.body.len() {
+            let got = self.body_got;
+            return match self.stream.read(&mut self.body[got..]) {
+                Ok(0) => ReadStep::Failed(self.poison()),
+                Ok(n) => {
+                    self.body_got += n;
+                    ReadStep::Progress
                 }
-                continue;
-            }
-            // Frame complete: hand it off and reset for the next one.
-            self.prefix_got = 0;
-            self.body_got = 0;
-            return Ok(Bytes::from(std::mem::take(&mut self.body)));
+                Err(e) => self.classify_step(e),
+            };
+        }
+        // Frame complete: hand it off and reset for the next one.
+        self.prefix_got = 0;
+        self.body_got = 0;
+        ReadStep::Complete(Bytes::from(std::mem::take(&mut self.body)))
+    }
+
+    fn classify_step(&mut self, e: io::Error) -> ReadStep {
+        match self.classify(e) {
+            Some(ProtocolError::Timeout) => ReadStep::Blocked,
+            Some(err) => ReadStep::Failed(err),
+            None => ReadStep::Progress,
         }
     }
 
@@ -361,12 +452,17 @@ pub fn measure_bandwidth<C: FrameChannel + ?Sized>(
     Ok(probe_bytes as f64 * 8.0 / (elapsed * 1e6))
 }
 
-/// Anything the acceptor can listen on.
+/// Anything the mux's accepting shard can listen on.
 trait FrameListener: Send + 'static {
     type Stream: NetStream;
 
-    /// One non-blocking accept attempt.
+    /// One non-blocking accept attempt. The returned stream is left in
+    /// nonblocking mode — the mux shards are event-driven.
     fn accept_stream(&self) -> io::Result<Self::Stream>;
+
+    /// The raw descriptor, so the listener joins shard 0's readiness set.
+    #[cfg(unix)]
+    fn raw_fd_listener(&self) -> RawFd;
 }
 
 impl FrameListener for TcpListener {
@@ -375,10 +471,13 @@ impl FrameListener for TcpListener {
     fn accept_stream(&self) -> io::Result<TcpStream> {
         let (stream, _) = self.accept()?;
         stream.set_nodelay(true)?;
-        // Accepted from a non-blocking listener: the stream inherits
-        // non-blocking on some platforms; bridge threads want blocking.
-        stream.set_nonblocking(false)?;
+        stream.set_nonblocking(true)?;
         Ok(stream)
+    }
+
+    #[cfg(unix)]
+    fn raw_fd_listener(&self) -> RawFd {
+        self.as_raw_fd()
     }
 }
 
@@ -388,23 +487,446 @@ impl FrameListener for UnixListener {
 
     fn accept_stream(&self) -> io::Result<UnixStream> {
         let (stream, _) = self.accept()?;
-        stream.set_nonblocking(false)?;
+        stream.set_nonblocking(true)?;
         Ok(stream)
+    }
+
+    #[cfg(unix)]
+    fn raw_fd_listener(&self) -> RawFd {
+        self.as_raw_fd()
+    }
+}
+
+/// Minimal hand-declared `poll(2)` binding for the shard readiness loop.
+/// The crate is otherwise `deny(unsafe_code)`; this module is the single,
+/// narrowly scoped exception — std exposes no readiness API and the
+/// workspace links no external crates.
+#[cfg(target_os = "linux")]
+#[allow(unsafe_code)]
+mod sys {
+    use std::io;
+    use std::os::raw::{c_int, c_ulong};
+    use std::os::unix::io::RawFd;
+
+    /// Layout-identical to the C library's `struct pollfd` on Linux
+    /// (glibc and musl agree).
+    #[repr(C)]
+    pub struct PollFd {
+        pub fd: c_int,
+        pub events: i16,
+        pub revents: i16,
+    }
+
+    pub const POLLIN: i16 = 0x001;
+    pub const POLLOUT: i16 = 0x004;
+
+    impl PollFd {
+        pub fn readable(fd: RawFd) -> Self {
+            Self {
+                fd,
+                events: POLLIN,
+                revents: 0,
+            }
+        }
+    }
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+    }
+
+    /// Blocks until some descriptor is ready or `timeout_ms` passes.
+    ///
+    /// # Errors
+    ///
+    /// The OS error (including `EINTR`) when the call fails.
+    pub fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+        // SAFETY: `fds` is a valid, exclusively borrowed slice of
+        // `PollFd` — `#[repr(C)]` and layout-identical to `struct
+        // pollfd` — `nfds` is its exact length, and the kernel writes
+        // only the `revents` fields within the slice.
+        let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as c_ulong, timeout_ms) };
+        if rc < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(rc as usize)
+        }
+    }
+}
+
+/// Upper bound on one readiness wait: the backstop under which a shard
+/// re-checks its stop flag and mux liveness even with no socket events.
+#[cfg(target_os = "linux")]
+const POLL_BACKSTOP_MS: i32 = 200;
+
+/// Nap between scans on platforms without the `poll(2)` binding: the
+/// portable fallback trades a little latency and idle CPU for zero FFI.
+#[cfg(not(target_os = "linux"))]
+const FALLBACK_NAP: Duration = Duration::from_millis(2);
+
+/// The shard wake signal: a nonblocking socketpair whose read end sits in
+/// the shard's readiness set. Writers — session [`ReplyWaker`]s, the
+/// accepting shard announcing a dealt connection, shutdown — push one
+/// byte each; a full pipe means a wake is already pending, which is just
+/// as good.
+#[cfg(unix)]
+struct WakePipe {
+    rx: UnixStream,
+    tx: WakeHandle,
+}
+
+#[cfg(unix)]
+impl WakePipe {
+    fn new() -> io::Result<Self> {
+        let (rx, tx) = UnixStream::pair()?;
+        rx.set_nonblocking(true)?;
+        tx.set_nonblocking(true)?;
+        Ok(Self {
+            rx,
+            tx: WakeHandle(Arc::new(tx)),
+        })
+    }
+
+    fn handle(&self) -> WakeHandle {
+        self.tx.clone()
+    }
+
+    /// Swallows every pending wake byte (level-triggered reset).
+    fn drain(&self) {
+        let mut buf = [0u8; 64];
+        while matches!((&self.rx).read(&mut buf), Ok(n) if n > 0) {}
+    }
+
+    #[cfg(target_os = "linux")]
+    fn fd(&self) -> RawFd {
+        self.rx.as_raw_fd()
+    }
+}
+
+/// Clonable writer half of a [`WakePipe`].
+#[cfg(unix)]
+#[derive(Clone)]
+struct WakeHandle(Arc<UnixStream>);
+
+#[cfg(unix)]
+impl WakeHandle {
+    fn wake(&self) {
+        let _ = (&*self.0).write(&[1u8]);
+    }
+}
+
+/// Portable stand-in where no socketpair exists: the fallback readiness
+/// loop naps instead of blocking, so a flag suffices.
+#[cfg(not(unix))]
+#[derive(Clone)]
+struct WakeHandle(Arc<AtomicBool>);
+
+#[cfg(not(unix))]
+struct WakePipe(WakeHandle);
+
+#[cfg(not(unix))]
+impl WakePipe {
+    fn new() -> io::Result<Self> {
+        Ok(Self(WakeHandle(Arc::new(AtomicBool::new(false)))))
+    }
+
+    fn handle(&self) -> WakeHandle {
+        self.0.clone()
+    }
+
+    fn drain(&self) {
+        self.0 .0.store(false, Ordering::SeqCst);
+    }
+}
+
+#[cfg(not(unix))]
+impl WakeHandle {
+    fn wake(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+}
+
+/// One connection owned by a mux shard: the nonblocking socket behind a
+/// resumable [`FrameReader`], its mux session halves, and the zero-copy
+/// egress outbox.
+struct ShardConn<S: NetStream> {
+    reader: FrameReader<S>,
+    writer: S,
+    to_mux: SessionSender,
+    from_mux: SessionReceiver,
+    /// Egress queue: per reply, `u32-le len ++ header` as one small owned
+    /// segment and the payload as a refcount bump — a multi-MB tensor is
+    /// never flattened. `offset` tracks how much of the front segment a
+    /// partial write already pushed out.
+    outbox: VecDeque<Bytes>,
+    offset: usize,
+    #[cfg(unix)]
+    fd: RawFd,
+    /// The readiness wait saw (or presumes) ingress bytes pending.
+    readable: bool,
+    /// The session's reply channel disconnected: the server mux exited.
+    mux_gone: bool,
+    /// The socket is broken (EOF, I/O error, oversized declaration).
+    dead: bool,
+}
+
+impl<S: NetStream> ShardConn<S> {
+    fn new(stream: S, connector: &SessionConnector, wake: WakeHandle) -> io::Result<Self> {
+        let writer = stream.try_clone_stream()?;
+        #[cfg(unix)]
+        let fd = stream.raw_fd_stream();
+        let waker: ReplyWaker = Arc::new(move || wake.wake());
+        let (to_mux, from_mux) = connector.connect_with_waker(Some(waker)).split();
+        Ok(Self {
+            reader: FrameReader::new(stream),
+            writer,
+            to_mux,
+            from_mux,
+            outbox: VecDeque::new(),
+            offset: 0,
+            #[cfg(unix)]
+            fd,
+            readable: true,
+            mux_gone: false,
+            dead: false,
+        })
+    }
+
+    /// One service round: move queued replies into the outbox, push the
+    /// outbox at the socket, then pump ingress frames into the mux if the
+    /// readiness wait flagged this connection.
+    fn pump(&mut self) {
+        if !self.mux_gone {
+            loop {
+                match self.from_mux.try_recv() {
+                    Ok(Some(frame)) => self.enqueue(&frame),
+                    Ok(None) => break,
+                    Err(_) => {
+                        self.mux_gone = true;
+                        break;
+                    }
+                }
+            }
+        }
+        self.flush();
+        if self.readable {
+            self.readable = false;
+            while !self.dead && !self.mux_gone {
+                match self.reader.poll_frame() {
+                    Ok(Some(bytes)) => {
+                        if self.to_mux.send(Frame::from_contiguous(bytes)).is_err() {
+                            self.mux_gone = true;
+                        }
+                    }
+                    Ok(None) => break,
+                    Err(_) => self.dead = true,
+                }
+            }
+        }
+    }
+
+    /// Splits one reply frame into outbox segments. Server replies stay
+    /// far under the frame cap; one that somehow overflowed is dropped
+    /// rather than desyncing the stream mid-frame.
+    fn enqueue(&mut self, frame: &Frame) {
+        let total = frame.len();
+        let Some(len) = u32::try_from(total).ok().filter(|&l| l <= MAX_FRAME_BYTES) else {
+            return;
+        };
+        let mut head = Vec::with_capacity(4 + frame.header.len());
+        head.extend_from_slice(&len.to_le_bytes());
+        head.extend_from_slice(&frame.header);
+        self.outbox.push_back(Bytes::from(head));
+        if !frame.payload.is_empty() {
+            self.outbox.push_back(frame.payload.clone());
+        }
+    }
+
+    /// Writes outbox segments until done or the socket would block.
+    fn flush(&mut self) {
+        while let Some(front) = self.outbox.front() {
+            if self.offset >= front.len() {
+                self.outbox.pop_front();
+                self.offset = 0;
+                continue;
+            }
+            match self.writer.write(&front[self.offset..]) {
+                Ok(0) => {
+                    self.dead = true;
+                    return;
+                }
+                Ok(n) => self.offset += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.dead = true;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Whether the shard should reap this connection: broken socket, or
+    /// server gone with nothing left to deliver.
+    fn finished(&self) -> bool {
+        self.dead || (self.mux_gone && self.outbox.is_empty())
+    }
+
+    /// Closes the socket (clients see EOF, not a hang) and tells the mux
+    /// to drop the session's reply route.
+    fn close(&mut self) {
+        let _ = self.writer.shutdown_both();
+        self.to_mux.close();
+    }
+}
+
+/// Shard 0's extra duty: the listener plus the deal-out table that
+/// round-robins accepted connections across every shard.
+struct AcceptRole<L: FrameListener> {
+    listener: L,
+    connector: SessionConnector,
+    routes: Vec<(Sender<ShardConn<L::Stream>>, WakeHandle)>,
+    next: usize,
+}
+
+impl<L: FrameListener> AcceptRole<L> {
+    /// Accepts every pending connection (the listener is level-triggered
+    /// in the shard's readiness set, so a burst costs one loop pass).
+    fn accept_burst(&mut self) {
+        loop {
+            match self.listener.accept_stream() {
+                Ok(stream) => {
+                    let (tx, wake) = &self.routes[self.next % self.routes.len()];
+                    self.next = self.next.wrapping_add(1);
+                    let Ok(conn) = ShardConn::new(stream, &self.connector, wake.clone()) else {
+                        continue; // the peer is already gone
+                    };
+                    if tx.send(conn).is_ok() {
+                        wake.wake();
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => break, // listener broken: nothing more to accept
+            }
+        }
+    }
+}
+
+/// One event-driven mux shard: the readiness loop over its connections,
+/// its wake pipe, and (shard 0 only) the listener.
+struct MuxShard<L: FrameListener> {
+    stop: Arc<AtomicBool>,
+    wake: WakePipe,
+    intake: Receiver<ShardConn<L::Stream>>,
+    conns: Vec<ShardConn<L::Stream>>,
+    acceptor: Option<AcceptRole<L>>,
+}
+
+impl<L: FrameListener> MuxShard<L> {
+    fn run(mut self) {
+        loop {
+            let stopping = self.stop.load(Ordering::SeqCst);
+            self.wake.drain();
+            while let Ok(conn) = self.intake.try_recv() {
+                self.conns.push(conn);
+            }
+            if !stopping {
+                if let Some(role) = self.acceptor.as_mut() {
+                    role.accept_burst();
+                }
+            }
+            for conn in &mut self.conns {
+                conn.pump();
+            }
+            self.conns.retain_mut(|conn| {
+                if conn.finished() {
+                    conn.close();
+                    false
+                } else {
+                    true
+                }
+            });
+            if stopping {
+                break;
+            }
+            self.wait_ready();
+        }
+        // Final drain (best effort): replies the server mux queued before
+        // exiting still reach the wire, then every socket closes so
+        // clients observe EOF instead of a dangling half-open stream.
+        for conn in &mut self.conns {
+            conn.pump();
+            conn.close();
+        }
+    }
+
+    /// Parks in `poll(2)` over the wake pipe, the listener (shard 0) and
+    /// every connection — `POLLOUT` only where an outbox has backlog —
+    /// then flags the connections whose sockets fired.
+    #[cfg(target_os = "linux")]
+    fn wait_ready(&mut self) {
+        let mut fds = Vec::with_capacity(self.conns.len() + 2);
+        fds.push(sys::PollFd::readable(self.wake.fd()));
+        if let Some(role) = &self.acceptor {
+            fds.push(sys::PollFd::readable(role.listener.raw_fd_listener()));
+        }
+        let base = fds.len();
+        for conn in &self.conns {
+            let mut slot = sys::PollFd::readable(conn.fd);
+            if !conn.outbox.is_empty() {
+                slot.events |= sys::POLLOUT;
+            }
+            fds.push(slot);
+        }
+        match sys::poll_fds(&mut fds, POLL_BACKSTOP_MS) {
+            Ok(_) => {
+                for (conn, slot) in self.conns.iter_mut().zip(&fds[base..]) {
+                    if slot.revents != 0 {
+                        conn.readable = true;
+                    }
+                }
+            }
+            Err(_) => {
+                // EINTR or a poll failure: presume everything is ready —
+                // nonblocking reads make a wrong guess cheap.
+                for conn in &mut self.conns {
+                    conn.readable = true;
+                }
+            }
+        }
+    }
+
+    /// Portable fallback: nap briefly and try every connection.
+    #[cfg(not(target_os = "linux"))]
+    fn wait_ready(&mut self) {
+        for conn in &mut self.conns {
+            conn.readable = true;
+        }
+        std::thread::sleep(FALLBACK_NAP);
     }
 }
 
 /// Exposes a running threaded server over a real socket: owns the
-/// [`ServerHandle`] and an acceptor thread that bridges each accepted
-/// connection to its own mux session.
+/// [`ServerHandle`] and the event-driven mux shards that service every
+/// accepted connection (no per-connection threads).
 ///
 /// Dropping the server (without [`SocketServer::wait`] /
-/// [`SocketServer::shutdown`]) stops the acceptor and shuts the mux down,
+/// [`SocketServer::shutdown`]) joins the shards and shuts the mux down,
 /// like dropping a bare [`ServerHandle`].
 pub struct SocketServer {
     server: Option<ServerHandle>,
     addr: String,
     stop: Arc<AtomicBool>,
-    acceptor: Option<JoinHandle<()>>,
+    wakers: Vec<WakeHandle>,
+    shards: Vec<JoinHandle<()>>,
+}
+
+/// Default mux shard count: spread connection I/O across a few cores
+/// without a thread per core — per-connection work is cheap next to
+/// suffix execution, which has its own worker pool.
+#[must_use]
+pub fn default_shards() -> usize {
+    std::thread::available_parallelism().map_or(2, |n| n.get().clamp(1, 4))
 }
 
 impl std::fmt::Debug for SocketServer {
@@ -417,48 +939,127 @@ impl std::fmt::Debug for SocketServer {
 
 impl SocketServer {
     /// Binds `server` to a TCP address (`"127.0.0.1:0"` picks a free
-    /// port; read it back from [`SocketServer::local_addr`]).
+    /// port; read it back from [`SocketServer::local_addr`]) with
+    /// [`default_shards`] mux shards.
     ///
     /// # Errors
     ///
-    /// Propagates bind failures.
+    /// Propagates bind and shard-spawn failures.
     pub fn bind_tcp<A: ToSocketAddrs>(addr: A, server: ServerHandle) -> io::Result<Self> {
+        Self::bind_tcp_sharded(addr, server, default_shards())
+    }
+
+    /// [`SocketServer::bind_tcp`] with an explicit mux shard count
+    /// (clamped to at least 1).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind and shard-spawn failures.
+    pub fn bind_tcp_sharded<A: ToSocketAddrs>(
+        addr: A,
+        server: ServerHandle,
+        shards: usize,
+    ) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?.to_string();
         listener.set_nonblocking(true)?;
-        Ok(Self::start(listener, local, server))
+        Self::start(listener, local, server, shards)
     }
 
     /// Binds `server` to a Unix-domain socket path, replacing any stale
-    /// socket file left by a previous run.
+    /// socket file left by a previous run, with [`default_shards`] mux
+    /// shards.
     ///
     /// # Errors
     ///
-    /// Propagates bind failures.
+    /// Propagates bind and shard-spawn failures.
     #[cfg(unix)]
     pub fn bind_uds<P: AsRef<std::path::Path>>(path: P, server: ServerHandle) -> io::Result<Self> {
+        Self::bind_uds_sharded(path, server, default_shards())
+    }
+
+    /// [`SocketServer::bind_uds`] with an explicit mux shard count
+    /// (clamped to at least 1).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind and shard-spawn failures.
+    #[cfg(unix)]
+    pub fn bind_uds_sharded<P: AsRef<std::path::Path>>(
+        path: P,
+        server: ServerHandle,
+        shards: usize,
+    ) -> io::Result<Self> {
         let path = path.as_ref();
         let _ = std::fs::remove_file(path);
         let listener = UnixListener::bind(path)?;
         let local = path.display().to_string();
         listener.set_nonblocking(true)?;
-        Ok(Self::start(listener, local, server))
+        Self::start(listener, local, server, shards)
     }
 
-    fn start<L: FrameListener>(listener: L, addr: String, server: ServerHandle) -> Self {
+    /// Spawns the mux shards. Unlike the old acceptor this *returns* a
+    /// spawn failure instead of panicking — and rolls already-started
+    /// shards back down first, so no thread outlives a failed
+    /// constructor.
+    fn start<L: FrameListener>(
+        listener: L,
+        addr: String,
+        server: ServerHandle,
+        shards: usize,
+    ) -> io::Result<Self> {
+        let shards = shards.max(1);
         let connector = server.connector();
         let stop = Arc::new(AtomicBool::new(false));
-        let stop_flag = Arc::clone(&stop);
-        let acceptor = std::thread::Builder::new()
-            .name("loadpart-accept".into())
-            .spawn(move || accept_loop(&listener, &connector, &stop_flag))
-            .expect("spawn acceptor thread");
-        Self {
+        let mut routes = Vec::with_capacity(shards);
+        let mut parts = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let pipe = WakePipe::new()?;
+            let (tx, rx) = channel::<ShardConn<L::Stream>>();
+            routes.push((tx, pipe.handle()));
+            parts.push((pipe, rx));
+        }
+        let wakers: Vec<WakeHandle> = routes.iter().map(|(_, wake)| wake.clone()).collect();
+        let mut listener = Some(listener);
+        let mut joins: Vec<JoinHandle<()>> = Vec::with_capacity(shards);
+        for (index, (wake, intake)) in parts.into_iter().enumerate() {
+            let acceptor = listener.take().map(|listener| AcceptRole {
+                listener,
+                connector: connector.clone(),
+                routes: routes.clone(),
+                next: 0,
+            });
+            let shard = MuxShard {
+                stop: Arc::clone(&stop),
+                wake,
+                intake,
+                conns: Vec::new(),
+                acceptor,
+            };
+            match std::thread::Builder::new()
+                .name(format!("loadpart-mux-{index}"))
+                .spawn(move || shard.run())
+            {
+                Ok(join) => joins.push(join),
+                Err(e) => {
+                    stop.store(true, Ordering::SeqCst);
+                    for waker in &wakers {
+                        waker.wake();
+                    }
+                    for join in joins {
+                        let _ = join.join();
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(Self {
             server: Some(server),
             addr,
             stop,
-            acceptor: Some(acceptor),
-        }
+            wakers,
+            shards: joins,
+        })
     }
 
     /// The bound address: `host:port` for TCP, the socket path for UDS.
@@ -469,31 +1070,38 @@ impl SocketServer {
 
     /// Blocks until a client shuts the server down over the wire
     /// ([`Message::Shutdown`]), then returns the served-offload count.
+    /// The mux shards are stopped and joined afterwards — their final
+    /// drain pushes any replies queued before the shutdown, then closes
+    /// every client socket.
     ///
     /// # Errors
     ///
     /// [`ProtocolError::ServerPanicked`] when the server thread panicked.
     pub fn wait(mut self) -> Result<u64, ProtocolError> {
         let served = self.server.take().expect("not yet joined").wait();
-        self.stop_acceptor();
+        self.stop_shards();
         served
     }
 
     /// Shuts the server down from this process and returns the
-    /// served-offload count, like [`ServerHandle::shutdown`].
+    /// served-offload count, like [`ServerHandle::shutdown`]. Stops and
+    /// joins every mux shard.
     ///
     /// # Errors
     ///
     /// [`ProtocolError::ServerPanicked`] when the server thread panicked.
     pub fn shutdown(mut self) -> Result<u64, ProtocolError> {
         let served = self.server.take().expect("not yet joined").shutdown();
-        self.stop_acceptor();
+        self.stop_shards();
         served
     }
 
-    fn stop_acceptor(&mut self) {
+    fn stop_shards(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
-        if let Some(join) = self.acceptor.take() {
+        for waker in &self.wakers {
+            waker.wake();
+        }
+        for join in self.shards.drain(..) {
             let _ = join.join();
         }
     }
@@ -501,63 +1109,9 @@ impl SocketServer {
 
 impl Drop for SocketServer {
     fn drop(&mut self) {
-        self.stop_acceptor();
+        self.stop_shards();
         // A remaining ServerHandle shuts the mux down on its own drop.
     }
-}
-
-/// How long the acceptor sleeps between non-blocking accept attempts.
-const ACCEPT_POLL: Duration = Duration::from_millis(5);
-
-fn accept_loop<L: FrameListener>(listener: &L, connector: &SessionConnector, stop: &AtomicBool) {
-    while !stop.load(Ordering::SeqCst) {
-        match listener.accept_stream() {
-            Ok(stream) => spawn_bridge(stream, connector.connect()),
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(_) => break,
-        }
-    }
-}
-
-/// Bridges one accepted socket to one mux session with two detached
-/// threads. Lifecycle is self-cleaning in both directions: when the mux
-/// exits, the session's reply channel disconnects, egress shuts the socket
-/// down, and ingress unblocks on EOF; when the client closes the socket,
-/// ingress exits and drops its mux sender, egress keeps serving until the
-/// reply channel drains or its write fails.
-fn spawn_bridge<S: NetStream>(stream: S, conn: ClientConn) {
-    let Ok(mut egress_stream) = stream.try_clone_stream() else {
-        return; // client is gone already
-    };
-    let (to_mux, from_mux) = conn.split();
-    let _ = std::thread::Builder::new()
-        .name("loadpart-egress".into())
-        .spawn(move || {
-            while let Ok(frame) = from_mux.recv() {
-                if write_frame(&mut egress_stream, &frame).is_err() {
-                    break;
-                }
-            }
-            // Mux gone or client unwritable: unblock the ingress reader.
-            let _ = egress_stream.shutdown_both();
-        });
-    let _ = std::thread::Builder::new()
-        .name("loadpart-ingress".into())
-        .spawn(move || {
-            let mut reader = FrameReader::new(stream);
-            loop {
-                match reader.read_frame(None) {
-                    Ok(bytes) => {
-                        if to_mux.send(Frame::from_contiguous(bytes)).is_err() {
-                            break;
-                        }
-                    }
-                    Err(ProtocolError::Timeout) => {} // spurious; keep reading
-                    Err(_) => break,
-                }
-            }
-        });
 }
 
 #[cfg(test)]

@@ -302,6 +302,7 @@ fn admission_pending_work_never_exceeds_budget() {
         let config = AdmissionConfig {
             max_inflight: rng.gen_range(1usize..6),
             max_queue_delay: SimDuration::from_millis(rng.gen_range(10u64..300)),
+            max_batch: 1,
         };
         let mut ctl = AdmissionController::new(config);
         let mut now = SimTime::ZERO;

@@ -12,12 +12,12 @@
 
 use loadpart::fault::{FaultAction, FaultInjector, FaultPlan};
 use loadpart::{
-    chaos_run, spawn_server, ChaosConfig, ChaosTransport, EmulatedLink, EngineConfig, LinkSpec,
-    SocketServer, TcpFrameChannel, Telemetry, ThreadedClient,
+    chaos_run, spawn_server, ChaosConfig, ChaosTransport, EmulatedLink, EngineConfig, FrameChannel,
+    LinkSpec, Message, SocketServer, TcpFrameChannel, Telemetry, ThreadedClient,
 };
 use lp_profiler::PredictionModels;
 use std::sync::OnceLock;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 fn models() -> &'static (PredictionModels, PredictionModels) {
     static MODELS: OnceLock<(PredictionModels, PredictionModels)> = OnceLock::new();
@@ -225,6 +225,120 @@ fn emulated_connection_reset_forces_local_fallback() {
     assert!(!r1.offloaded(), "{r1:?}");
     assert_eq!(link.stats().resets, 1);
     // The socket under the emulator never actually broke.
+    assert_eq!(sock.shutdown(), Ok(1));
+}
+
+/// This process's live thread count, from the `Threads:` line of
+/// `/proc/self/status`.
+#[cfg(target_os = "linux")]
+fn thread_count() -> usize {
+    let status = std::fs::read_to_string("/proc/self/status").expect("procfs");
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+        .expect("Threads: line")
+}
+
+/// The per-connection bridge threads are gone and the sharded mux joins
+/// everything it spawned: after `shutdown()` the process thread count is
+/// back to what it was before the server existed. (This was the PR's
+/// headline leak — `spawn_bridge` detached two threads per connection that
+/// `shutdown` never joined.)
+#[cfg(target_os = "linux")]
+#[test]
+fn shutdown_returns_the_thread_count_to_baseline() {
+    let baseline = thread_count();
+    let (sock, chan) = tcp_server(1.0);
+    // Extra live connections beyond the helper's one, each actively served,
+    // so the leak (if any) scales with connections and can't hide in noise.
+    let extra: Vec<TcpFrameChannel> = (0..4)
+        .map(|_| TcpFrameChannel::connect(sock.local_addr()).expect("connect"))
+        .collect();
+    let mut client = fast_client(lp_models::alexnet(1));
+    let r = client.infer(&chan, 8.0).expect("served");
+    assert!(r.offloaded(), "{r:?}");
+    for c in &extra {
+        c.send(Message::LoadQuery.encode().expect("no payload"))
+            .expect("live connection");
+        let reply = c
+            .recv_deadline(Instant::now() + Duration::from_secs(2))
+            .expect("reply");
+        assert!(matches!(
+            Message::decode(reply).expect("decodes"),
+            Message::LoadReply { .. }
+        ));
+    }
+    assert!(
+        thread_count() > baseline,
+        "server must actually run on its own threads"
+    );
+    drop(extra);
+    sock.shutdown().expect("clean shutdown");
+    // Joined threads disappear from procfs immediately after join returns;
+    // the deadline only covers scheduler lag on a loaded CI box.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let now = thread_count();
+        if now <= baseline {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "leaked {} thread(s) past shutdown (baseline {baseline}, now {now})",
+            now - baseline
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// The listener lives inside a shard's readiness set, not behind a fixed
+/// 5 ms accept nap: a fresh connection gets its first reply promptly. The
+/// bound is deliberately lenient — it catches an accept path that has
+/// regressed to sleeping, not scheduler noise.
+#[test]
+fn sequential_accepts_are_prompt() {
+    let (sock, _chan) = tcp_server(1.0);
+    let mut latencies: Vec<Duration> = (0..12)
+        .map(|_| {
+            let t0 = Instant::now();
+            let chan = TcpFrameChannel::connect(sock.local_addr()).expect("connect");
+            chan.send(Message::LoadQuery.encode().expect("no payload"))
+                .expect("send");
+            let reply = chan
+                .recv_deadline(Instant::now() + Duration::from_secs(2))
+                .expect("reply");
+            assert!(matches!(
+                Message::decode(reply).expect("decodes"),
+                Message::LoadReply { .. }
+            ));
+            t0.elapsed()
+        })
+        .collect();
+    latencies.sort_unstable();
+    let median = latencies[latencies.len() / 2];
+    assert!(
+        median < Duration::from_millis(20),
+        "median connect-to-reply {median:?} (all: {latencies:?})"
+    );
+    sock.shutdown().expect("clean");
+}
+
+/// A bind failure is an `io::Error` the caller can report, not a panic in
+/// an acceptor thread: binding the same loopback port twice must surface
+/// `AddrInUse` and leave the first server fully operational.
+#[test]
+fn bind_conflict_is_an_error_not_a_panic() {
+    let (_, edge) = models();
+    let (sock, chan) = tcp_server(1.0);
+    let second = spawn_server(lp_models::alexnet(1), edge.clone(), 1.0);
+    let err = SocketServer::bind_tcp(sock.local_addr(), second).expect_err("port is taken");
+    assert_eq!(err.kind(), std::io::ErrorKind::AddrInUse, "{err:?}");
+    // The failed bind took its ServerHandle down with it; the original
+    // server is untouched.
+    let mut client = fast_client(lp_models::alexnet(1));
+    let r = client.infer(&chan, 8.0).expect("first server still serves");
+    assert!(r.offloaded(), "{r:?}");
     assert_eq!(sock.shutdown(), Ok(1));
 }
 
