@@ -8,8 +8,10 @@
 //! loadpart faults    [--model alexnet] [--crash-after 5] [--bandwidth 8]
 //! loadpart report    [--model squeezenet] [--clients 4] [--duration 30] [--trace spans.jsonl]
 //! loadpart chaos     [--model alexnet] [--clients 8] [--rounds 13] [--spike-k 40] [--transport tcp]
+//! loadpart chaos     --cluster [--clients 4] [--rounds 65] [--transport tcp | --connect A,B,C] [--no-failover] [--policy loadpart]
 //! loadpart bench     [--quick] [--out BENCH_serving.json] [--requests 40] [--suffix-cost-ms 2] [--transport tcp | --connect HOST:PORT]
 //! loadpart bench     --sessions-sweep [--quick] [--sessions 64,128,256] [--threads 0] [--batch 16] [--shards 2] [--out BENCH_fleet.json]
+//! loadpart bench     --cluster [--quick] [--clients 4] [--rounds 65] [--connect A,B,C] [--out BENCH_cluster.json]
 //! loadpart compare   [--quick] [--out BENCH_policies.json] [--requests 320] [--windows 8]
 //! loadpart serve     [--model alexnet] [--listen 127.0.0.1:0 | --uds /tmp/lp.sock] [--k 1.0] [--workers 4] [--shards 2] [--batch 16] [--no-admission]
 //! loadpart smoke     --connect HOST:PORT | --uds PATH [--requests 5] [--latency-ms 20] [--rate-mbps 8] [--shutdown-server]
@@ -26,6 +28,12 @@
 //! spans as JSONL); `chaos` runs the overload-protection soak — N threaded
 //! clients through a scripted GPU load spike against an admission-controlled
 //! server, with per-client shed/breaker outcomes and the metrics registry;
+//! with `--cluster` it instead drives the multi-server cluster soak — a
+//! heterogeneous fleet, a scripted mid-soak outage on the preferred server
+//! and a later load spike on it, asserting that traffic migrates to the
+//! other servers, nothing is lost, the run replays bit-identically and the
+//! recovered server is readmitted (`bench --cluster` runs the same outage
+//! with failover on and off and writes `BENCH_cluster.json`);
 //! `bench` runs the serving-throughput benchmark — the pre-PR
 //! single-threaded copying server versus the sharded zero-copy worker pool
 //! at 1/4/8/16 concurrent wire clients — and writes `BENCH_serving.json`;
@@ -48,9 +56,10 @@ use loadpart::policy::build_named;
 #[cfg(unix)]
 use loadpart::UdsFrameChannel;
 use loadpart::{
-    chaos_run, compare_policies, fleet_bench, measure_bandwidth, multi_client_run_with_telemetry,
-    serving_bench, spawn_server, spawn_server_tuned, spawn_server_with_faults, AdmissionConfig,
-    BenchConfig, BenchTransport, ChaosConfig, ChaosTransport, CompareConfig, EmulatedLink,
+    chaos_run, cluster_bench, cluster_chaos_run, compare_policies, fleet_bench, measure_bandwidth,
+    multi_client_run_with_telemetry, serving_bench, spawn_server, spawn_server_tuned,
+    spawn_server_with_faults, AdmissionConfig, BenchConfig, BenchTransport, ChaosConfig,
+    ChaosTransport, ClusterChaosConfig, ClusterTransport, CompareConfig, EmulatedLink,
     EngineConfig, FleetConfig, FrameChannel, InferenceRecord, JsonlSink, LinkSpec, LoadEnv,
     Message, MultiClientConfig, PartitionSolver, PolicyContext, ServerFaultSpec, ServerTuning,
     SocketServer, TcpFrameChannel, Telemetry, ThreadedClient,
@@ -86,9 +95,13 @@ const USAGE: &str = "usage:
   loadpart faults    [--model <name>] [--crash-after <frames>] [--bandwidth <Mbps>] [--samples <n>] [--seed <n>]
   loadpart report    [--model <name>] [--clients <n>] [--duration <secs>] [--bandwidth <Mbps>] [--samples <n>] [--seed <n>] [--trace <file.jsonl>]
   loadpart chaos     [--model <name>] [--clients <n>] [--rounds <n>] [--spike-k <factor>] [--bandwidth <Mbps>] [--samples <n>] [--seed <n>] [--transport channel|tcp]
+  loadpart chaos     --cluster [--model <name>] [--clients <n>] [--rounds <n>] [--outage-start <round>] [--outage-rounds <n>]
+                     [--samples <n>] [--seed <n>] [--policy <name>] [--no-failover] [--transport channel|tcp | --connect <a:p1,b:p2,c:p3>]
   loadpart bench     [--quick] [--out <file.json>] [--requests <n>] [--suffix-cost-ms <ms>] [--seed <n>] [--transport channel|tcp | --connect <host:port>]
   loadpart bench     --sessions-sweep [--quick] [--sessions <a,b,c>] [--threads <n|0=auto>] [--batch <n>] [--shards <n>]
                      [--requests <n>] [--suffix-cost-ms <ms>] [--seed <n>] [--out <file.json>]
+  loadpart bench     --cluster [--quick] [--model <name>] [--clients <n>] [--rounds <n>] [--samples <n>] [--seed <n>]
+                     [--connect <a:p1,b:p2,c:p3>] [--out <file.json>]
   loadpart compare   [--quick] [--out <file.json>] [--requests <n>] [--windows <n>] [--samples <n>] [--seed <n>]
   loadpart serve     [--model <name>] [--listen <host:port> | --uds <path>] [--k <factor>] [--workers <n>] [--shards <n>] [--batch <n>] [--no-admission] [--samples <n>] [--seed <n>]
   loadpart smoke     --connect <host:port> | --uds <path> [--model <name>] [--requests <n>] [--samples <n>] [--seed <n>]
@@ -399,6 +412,9 @@ fn cmd_report(flags: &HashMap<String, String>) -> Result<String, String> {
 }
 
 fn cmd_chaos(flags: &HashMap<String, String>) -> Result<String, String> {
+    if flags.contains_key("cluster") {
+        return cmd_chaos_cluster(flags);
+    }
     let name = flags.get("model").map_or("alexnet", String::as_str);
     let graph = lp_models::by_name(name, 1)
         .ok_or_else(|| format!("unknown model {name:?}; run `loadpart models` for the zoo"))?;
@@ -473,9 +489,196 @@ fn cmd_chaos(flags: &HashMap<String, String>) -> Result<String, String> {
     Ok(out)
 }
 
+/// Builds the shared cluster config from `chaos --cluster` / `bench
+/// --cluster` flags.
+fn cluster_config(flags: &HashMap<String, String>) -> Result<ClusterChaosConfig, String> {
+    let defaults = ClusterChaosConfig::default();
+    let clients: usize = get_parsed(flags, "clients", Some(defaults.n_clients))?;
+    let rounds: usize = get_parsed(flags, "rounds", Some(defaults.rounds))?;
+    let seed: u64 = get_parsed(flags, "seed", Some(42))?;
+    let policy = flags
+        .get("policy")
+        .cloned()
+        .unwrap_or_else(|| defaults.policy.clone());
+    let transport = if let Some(list) = flags.get("connect") {
+        let addrs: Vec<String> = list
+            .split(',')
+            .map(|a| a.trim().to_string())
+            .filter(|a| !a.is_empty())
+            .collect();
+        if addrs.len() != defaults.servers.len() {
+            return Err(format!(
+                "--connect needs {} comma-separated addresses (one per server), got {}",
+                defaults.servers.len(),
+                addrs.len()
+            ));
+        }
+        ClusterTransport::Remote(addrs)
+    } else {
+        match flags.get("transport").map(String::as_str) {
+            None | Some("channel") => ClusterTransport::Channel,
+            Some("tcp") => ClusterTransport::Tcp,
+            Some(other) => return Err(format!("unknown transport {other:?} (channel|tcp)")),
+        }
+    };
+    let outage_start: usize = get_parsed(flags, "outage-start", Some(defaults.outage_start))?;
+    let outage_rounds: usize = get_parsed(flags, "outage-rounds", Some(defaults.outage_rounds))?;
+    let config = ClusterChaosConfig {
+        n_clients: clients,
+        rounds,
+        outage_start,
+        outage_rounds,
+        policy,
+        failover: !flags.contains_key("no-failover"),
+        engine: EngineConfig {
+            seed,
+            ..defaults.engine
+        },
+        transport,
+        ..defaults
+    };
+    config.validate().map_err(|e| e.to_string())?;
+    Ok(config)
+}
+
+/// `chaos --cluster`: the multi-server failover soak.
+fn cmd_chaos_cluster(flags: &HashMap<String, String>) -> Result<String, String> {
+    let name = flags.get("model").map_or("alexnet", String::as_str);
+    let graph = lp_models::by_name(name, 1)
+        .ok_or_else(|| format!("unknown model {name:?}; run `loadpart models` for the zoo"))?;
+    let samples: usize = get_parsed(flags, "samples", Some(120))?;
+    let seed: u64 = get_parsed(flags, "seed", Some(42))?;
+    let config = cluster_config(flags)?;
+    let (user, edge) = loadpart::system::trained_models(samples, seed);
+    let telemetry = Telemetry::enabled();
+    let report =
+        cluster_chaos_run(&graph, &user, &edge, &config, &telemetry).map_err(|e| e.to_string())?;
+    let replayed = if matches!(config.transport, ClusterTransport::Remote(_)) {
+        // Remote servers outlive the soak and keep state between runs; the
+        // replay assertion only holds for freshly spawned fleets.
+        false
+    } else {
+        let again = cluster_chaos_run(&graph, &user, &edge, &config, &Telemetry::disabled())
+            .map_err(|e| e.to_string())?;
+        if again != report {
+            return Err("cluster soak is not deterministic: replay diverged".to_string());
+        }
+        true
+    };
+    let mut out = format!(
+        "{} cluster soak: {} server(s) over {}, {} client(s), {} round(s); outage on #{} \
+         rounds {}..{}, spike k = {} on #{} rounds {}..{}\n\n",
+        graph.name(),
+        config.servers.len(),
+        config.transport.name(),
+        config.n_clients,
+        config.rounds,
+        config.outage_server,
+        config.outage_start,
+        config.outage_end(),
+        config.spike_k,
+        config.spike_server,
+        config.spike_start,
+        config.spike_start + config.spike_rounds,
+    );
+    out.push_str("server   attempts  served  failed  served@outage  served@spike  server-side\n");
+    for (s, srv) in report.servers.iter().enumerate() {
+        out.push_str(&format!(
+            "{:8} {:8}  {:6}  {:6}  {:13}  {:12}  {}\n",
+            srv.name,
+            srv.attempts,
+            srv.served,
+            srv.failed,
+            report.served_during(config.outage_start..config.outage_end(), s),
+            report.served_during(
+                config.spike_start..config.spike_start + config.spike_rounds,
+                s
+            ),
+            srv.server_served
+                .map_or_else(|| "-".to_string(), |n| n.to_string()),
+        ));
+    }
+    out.push_str(&format!(
+        "\ncompleted {}/{} request(s), failovers: {}, locals: {}, sheds: {}, lost: {}\n",
+        report.completed,
+        report.expected,
+        report.failovers,
+        report.locals,
+        report.sheds,
+        report.lost(),
+    ));
+    match report.readmission_round {
+        Some(r) => out.push_str(&format!(
+            "outage server readmitted in round {r} ({} round(s) after the outage lifted)\n",
+            r - report.outage_start - report.outage_rounds,
+        )),
+        None if config.outage_rounds > 0 && config.failover => {
+            out.push_str("outage server was NOT readmitted\n");
+        }
+        None => {}
+    }
+    out.push_str(if replayed {
+        "replay: bit-identical\n"
+    } else {
+        "replay: skipped (remote servers keep state between runs)\n"
+    });
+    if report.lost() > 0 {
+        return Err(format!("{} request(s) lost", report.lost()));
+    }
+    out.push('\n');
+    out.push_str(
+        &telemetry
+            .snapshot()
+            .expect("telemetry is enabled")
+            .render_table(),
+    );
+    Ok(out)
+}
+
+/// `bench --cluster`: the failover-on vs failover-off availability bench.
+fn cmd_bench_cluster(flags: &HashMap<String, String>) -> Result<String, String> {
+    let name = flags.get("model").map_or("alexnet", String::as_str);
+    let graph = lp_models::by_name(name, 1)
+        .ok_or_else(|| format!("unknown model {name:?}; run `loadpart models` for the zoo"))?;
+    let samples: usize = get_parsed(flags, "samples", Some(120))?;
+    let seed: u64 = get_parsed(flags, "seed", Some(42))?;
+    let mut config = cluster_config(flags)?;
+    if flags.contains_key("quick") && !flags.contains_key("rounds") {
+        config.rounds = 30;
+        config.outage_start = 8;
+        config.outage_rounds = 8;
+    }
+    config.validate().map_err(|e| e.to_string())?;
+    let (user, edge) = loadpart::system::trained_models(samples, seed);
+    let report = cluster_bench(&graph, &user, &edge, &config, &Telemetry::disabled())
+        .map_err(|e| e.to_string())?;
+    let out_path = flags
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "BENCH_cluster.json".to_string());
+    if out_path.is_empty() {
+        return Err("--out needs a file path".to_string());
+    }
+    std::fs::write(&out_path, report.to_json().to_string_pretty())
+        .map_err(|e| format!("cannot write {out_path:?}: {e}"))?;
+    if let Some(lossy) = report.modes.iter().find(|m| m.lost > 0) {
+        return Err(format!(
+            "failover-{} lost {} request(s)",
+            if lossy.failover { "on" } else { "off" },
+            lossy.lost
+        ));
+    }
+    let mut out = report.render_table();
+    out.push_str(&format!("report written to {out_path}"));
+    Ok(out)
+}
+
 fn cmd_bench(flags: &HashMap<String, String>) -> Result<String, String> {
     if flags.contains_key("sessions-sweep") {
         return cmd_bench_fleet(flags);
+    }
+    if flags.contains_key("cluster") {
+        return cmd_bench_cluster(flags);
     }
     let mut config = if flags.contains_key("quick") {
         BenchConfig::quick()
@@ -943,6 +1146,44 @@ mod tests {
             .get("points")
             .and_then(lp_json::Json::as_arr)
             .is_some_and(|p| p.len() == 2));
+    }
+
+    #[test]
+    fn chaos_cluster_migrates_and_loses_nothing() {
+        let out = run(&argv(
+            "chaos --cluster --clients 2 --rounds 12 --outage-start 2 --outage-rounds 4 \
+             --samples 60 --seed 1",
+        ))
+        .expect("no panic, no hang");
+        assert!(out.contains("edge-a"), "{out}");
+        assert!(out.contains("lost: 0"), "{out}");
+        assert!(out.contains("replay: bit-identical"), "{out}");
+        assert!(!out.contains("failovers: 0,"), "{out}");
+    }
+
+    #[test]
+    fn bench_cluster_writes_a_parseable_report() {
+        let dir = std::env::temp_dir().join("loadpart-bench-cluster-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("BENCH_cluster.json");
+        let path = path.to_str().expect("utf-8 temp path");
+        let out = run(&argv(&format!(
+            "bench --cluster --clients 2 --rounds 14 --outage-start 3 --outage-rounds 5 \
+             --samples 60 --seed 1 --out {path}"
+        )))
+        .expect("ok");
+        assert!(out.contains("failover-on"), "{out}");
+        assert!(out.contains("failover-off"), "{out}");
+        let text = std::fs::read_to_string(path).expect("report file");
+        let json = lp_json::Json::parse(&text).expect("valid json");
+        assert_eq!(
+            json.get("benchmark").and_then(lp_json::Json::as_str),
+            Some("cluster")
+        );
+        assert!(json
+            .get("modes")
+            .and_then(lp_json::Json::as_arr)
+            .is_some_and(|m| m.len() == 2));
     }
 
     /// Spawns a socket-fronted server in-process; `smoke` connects to it

@@ -103,6 +103,35 @@ impl CircuitBreaker {
         }
     }
 
+    /// What [`CircuitBreaker::gate`] *would* return for a request starting
+    /// at `now`, without advancing the state machine or consuming the
+    /// half-open probe slot. Cluster server selection uses this to rank
+    /// endpoints; only the endpoint actually routed to pays the `gate`
+    /// call, so an unselected half-open server keeps its probe slot.
+    #[must_use]
+    pub fn peek(&self, now: SimTime) -> WireGate {
+        if self.threshold == 0 {
+            return WireGate::Pass;
+        }
+        match self.state {
+            State::Closed => WireGate::Pass,
+            // `gate` would flip to half-open with a cleared probe slot, so
+            // the first request after the open period is always the probe.
+            State::Open { until } if now >= until => WireGate::Probe,
+            State::Open { .. } => WireGate::Block,
+            State::HalfOpen => {
+                let due = self
+                    .last_probe
+                    .is_none_or(|last| now.since(last) >= self.probe_period);
+                if due {
+                    WireGate::Probe
+                } else {
+                    WireGate::Block
+                }
+            }
+        }
+    }
+
     /// Records a successful wire exchange. Closes a half-open breaker and
     /// clears the consecutive-failure count.
     pub fn record_success(&mut self, _now: SimTime) {
@@ -260,6 +289,31 @@ mod tests {
         assert_eq!(b.state(), BreakerState::Closed);
         assert_eq!(b.gate(at(200)), WireGate::Pass);
         assert_eq!(b.transitions(), 0);
+    }
+
+    #[test]
+    fn peek_predicts_gate_without_consuming_the_probe_slot() {
+        let mut b = breaker();
+        for i in 0..3 {
+            b.record_failure(at(i));
+        }
+        // While open: peek agrees with gate and mutates nothing.
+        assert_eq!(b.peek(at(100)), WireGate::Block);
+        assert_eq!(b.state(), BreakerState::Open);
+        // Past the open period: peek predicts the probe grant, repeatedly —
+        // the slot is only consumed by the real gate call.
+        assert_eq!(b.peek(at(502)), WireGate::Probe);
+        assert_eq!(b.peek(at(502)), WireGate::Probe);
+        assert_eq!(b.gate(at(502)), WireGate::Probe);
+        // Probe slot now consumed: both agree on Block until the next period.
+        assert_eq!(b.peek(at(550)), WireGate::Block);
+        assert_eq!(b.gate(at(550)), WireGate::Block);
+        assert_eq!(b.peek(at(602)), WireGate::Probe);
+        // Closed and disabled breakers always pass.
+        b.record_success(at(602));
+        assert_eq!(b.peek(at(603)), WireGate::Pass);
+        let disabled = CircuitBreaker::new(0, SimDuration::from_secs(1), SimDuration::from_secs(1));
+        assert_eq!(disabled.peek(at(0)), WireGate::Pass);
     }
 
     #[test]

@@ -32,6 +32,18 @@ pub struct EngineConfig {
     /// Base of the exponential retry backoff: attempt `i` sleeps
     /// `retry_backoff * 2^(i-1)`. Zero disables sleeping (tests).
     pub retry_backoff: Duration,
+    /// Hard cap on the *cumulative* backoff sleeping one request may do
+    /// across all of its retries (profiler probes and suffix exchanges
+    /// combined). When the next sleep would exceed the remaining budget
+    /// the retry is abandoned and the engine degrades immediately, so a
+    /// sustained outage cannot turn `max_retries` into a retry storm.
+    /// Only sleeps count against the budget — `io_timeout` waits do not.
+    pub retry_budget: Duration,
+    /// Jitter each backoff sleep to `[0.5, 1.5)x` its base using a
+    /// deterministic seeded generator (decorrelates clients hammering a
+    /// recovering server). The jitter stream is separate from the
+    /// measurement RNG, so enabling it never changes logical records.
+    pub retry_jitter: bool,
     /// After the offload path exhausts its retries, decisions are biased
     /// local for this long (logical time) before the wire is probed again.
     pub fault_cooldown: SimDuration,
@@ -60,6 +72,8 @@ impl Default for EngineConfig {
             io_timeout: Duration::from_millis(500),
             max_retries: 2,
             retry_backoff: Duration::from_millis(5),
+            retry_budget: Duration::from_millis(250),
+            retry_jitter: true,
             fault_cooldown: SimDuration::from_secs(10),
             breaker_failure_threshold: 3,
             breaker_open_period: SimDuration::from_secs(5),
@@ -106,6 +120,33 @@ impl EngineConfig {
     }
 }
 
+/// One step of the splitmix64 sequence — the engine's side stream for
+/// backoff jitter. Kept apart from the measurement RNG so jitter draws
+/// never perturb device/bandwidth sampling (and therefore never change
+/// logical records).
+#[must_use]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Jitters a backoff `base` to `[0.5, 1.5)x` using one [`splitmix64`]
+/// draw. Deterministic: the same state sequence yields the same sleeps,
+/// which keeps retry counts (and thus records) replayable even when the
+/// retry budget truncates a retry loop.
+#[must_use]
+pub fn seeded_jitter(base: Duration, state: &mut u64) -> Duration {
+    if base.is_zero() {
+        return base;
+    }
+    // 53 uniform bits -> u in [0, 1); scale to [0.5, 1.5).
+    let u = (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64;
+    base.mul_f64(0.5 + u)
+}
+
 /// A configuration value the runtime cannot work with.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ConfigError {
@@ -130,6 +171,10 @@ pub enum ConfigError {
     /// opening the breaker would be a no-op and every request would still
     /// hit the overloaded server).
     ZeroBreakerOpenPeriod,
+    /// A cluster needs at least one server endpoint.
+    NoServers,
+    /// A named policy was not found in the policy registry.
+    UnknownPolicy,
 }
 
 impl fmt::Display for ConfigError {
@@ -147,6 +192,10 @@ impl fmt::Display for ConfigError {
             ConfigError::ZeroFaultCooldown => write!(f, "fault cooldown must be positive"),
             ConfigError::ZeroBreakerOpenPeriod => {
                 write!(f, "breaker open period must be positive when enabled")
+            }
+            ConfigError::NoServers => write!(f, "a cluster needs at least one server"),
+            ConfigError::UnknownPolicy => {
+                write!(f, "policy name not found in the policy registry")
             }
         }
     }
@@ -219,6 +268,27 @@ mod tests {
         assert_eq!(cfg.backoff_for(3), Duration::from_millis(40));
         // Capped at 16x so a dead server cannot stall a request unboundedly.
         assert_eq!(cfg.backoff_for(40), Duration::from_millis(160));
+    }
+
+    #[test]
+    fn seeded_jitter_is_deterministic_and_bounded() {
+        let base = Duration::from_millis(10);
+        let mut a = 42u64;
+        let mut b = 42u64;
+        for _ in 0..64 {
+            let ja = seeded_jitter(base, &mut a);
+            let jb = seeded_jitter(base, &mut b);
+            // Same seed, same draw index -> identical sleep.
+            assert_eq!(ja, jb);
+            // Always within [0.5, 1.5)x the base.
+            assert!(ja >= base / 2 && ja < base + base / 2, "{ja:?}");
+        }
+        // Distinct seeds decorrelate (at least one draw differs).
+        let (mut c, mut d) = (43u64, 44u64);
+        let diverges = (0..64).any(|_| seeded_jitter(base, &mut c) != seeded_jitter(base, &mut d));
+        assert!(diverges);
+        // Zero base stays zero regardless of the stream.
+        assert_eq!(seeded_jitter(Duration::ZERO, &mut a), Duration::ZERO);
     }
 
     #[test]

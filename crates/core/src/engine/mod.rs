@@ -52,7 +52,7 @@ mod profile;
 mod record;
 
 pub use breaker::{BreakerState, CircuitBreaker, WireGate};
-pub use config::{ConfigError, EngineConfig};
+pub use config::{seeded_jitter, splitmix64, ConfigError, EngineConfig};
 pub use profile::RuntimeProfile;
 pub use record::InferenceRecord;
 
@@ -69,6 +69,7 @@ use lp_sim::{SimDuration, SimTime};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// How a driver executes device-side layers.
 pub trait DeviceExecutor {
@@ -229,6 +230,9 @@ pub struct PendingRequest {
     /// Whether the installed policy made this decision (as opposed to
     /// the degraded local path) — gates the feedback hook at settle time.
     policy_decided: bool,
+    /// Which endpoint the suffix was handed to (0 for single-server
+    /// drivers) — settle-time telemetry reads that endpoint's breaker.
+    endpoint: usize,
 }
 
 impl PendingRequest {
@@ -248,26 +252,141 @@ pub enum Outcome {
     Deferred(PendingRequest),
 }
 
-/// The per-client LoADPart runtime: solver + policy + profile + partition
-/// cache, driving one request at a time over whatever device/transport/
-/// server backends the driver supplies.
+/// An offload attempt whose suffix exchange failed *after* the prefix ran
+/// and the crossing tensors were produced. The partition point is fixed —
+/// `L_1..L_p` already executed on the device — so a cluster driver can
+/// re-issue exactly this suffix on another endpoint
+/// ([`OffloadEngine::failover_on`]) or give up and finish locally
+/// ([`OffloadEngine::complete_failed`]).
+#[derive(Debug)]
+pub struct FailedAttempt {
+    /// The in-flight record; `fallback_local` / `rejected` reflect the
+    /// *last* failed attempt and are cleared by the next failover.
+    record: InferenceRecord,
+    /// When the engine gave up on the wire — the next attempt (or the
+    /// local completion) resumes from here.
+    resume_at: SimTime,
+    /// The endpoint the failed attempt used.
+    endpoint: usize,
+    /// The server's drain estimate when the failure was an admission shed.
+    retry_after: Option<SimDuration>,
+    /// Cumulative backoff sleeping already charged to this request.
+    spent: Duration,
+}
+
+impl FailedAttempt {
+    /// The partially filled record of the failed attempt.
+    #[must_use]
+    pub fn record(&self) -> &InferenceRecord {
+        &self.record
+    }
+
+    /// Whether the failure was an admission shed (vs a wire fault).
+    #[must_use]
+    pub fn rejected(&self) -> bool {
+        self.record.rejected
+    }
+
+    /// The server's backlog-drain estimate, when it shed the request.
+    #[must_use]
+    pub fn retry_after(&self) -> Option<SimDuration> {
+        self.retry_after
+    }
+
+    /// The endpoint the failed attempt used.
+    #[must_use]
+    pub fn endpoint(&self) -> usize {
+        self.endpoint
+    }
+}
+
+/// How a suffix hand-off ended: accepted, shed by admission control, or
+/// lost to wire faults.
+enum Disposition {
+    Ran(SuffixOutcome),
+    Shed { retry_after: SimDuration, k: f64 },
+    Faulted,
+}
+
+/// Result of [`OffloadEngine::start_attempt_on`] — [`Outcome`] plus the
+/// two failure shapes a cluster driver reroutes instead of degrading.
+#[derive(Debug)]
+pub enum AttemptOutcome {
+    /// The request ran to completion on the attempted endpoint.
+    Complete(InferenceRecord),
+    /// The suffix is queued on a shared backend.
+    Deferred(PendingRequest),
+    /// The endpoint was unusable before anything ran — breaker/cooldown
+    /// blocked it, or the profiler refresh failed. Nothing executed and no
+    /// request id was consumed: restart the whole attempt on another
+    /// endpoint, or fall back to [`OffloadEngine::start_on`] (whose gate
+    /// will short-circuit to a plain local decision).
+    NoService,
+    /// The suffix exchange failed after the prefix ran: fail the suffix
+    /// over with [`OffloadEngine::failover_on`] or finish locally with
+    /// [`OffloadEngine::complete_failed`].
+    Failed(FailedAttempt),
+}
+
+/// Everything the engine tracks *per server*: the runtime profile
+/// (bandwidth estimate + cached `k` + fault cooldown), the circuit
+/// breaker, and the last `retry_after` hint the server's admission
+/// control sent. Endpoint 0 always exists and is what the single-server
+/// API (`start`, `profile()`, `breaker()`) operates on; cluster drivers
+/// add more with [`OffloadEngine::add_endpoint`]. Keeping the state
+/// per-endpoint is what makes one sick server unable to blind the client
+/// to healthy ones: a probe failure on server A trips only A's breaker
+/// and only A's cooldown.
+#[derive(Debug)]
+struct Endpoint {
+    profile: RuntimeProfile,
+    breaker: CircuitBreaker,
+    /// Transition count already surfaced through telemetry, so each
+    /// finish span reports only the delta since the previous request.
+    breaker_reported: u64,
+    /// The drain estimate from this server's last admission shed; the
+    /// next retry backoff against this endpoint uses it (once) instead of
+    /// the exponential schedule.
+    retry_after_hint: Option<Duration>,
+}
+
+impl Endpoint {
+    fn new(config: &EngineConfig) -> Self {
+        // Half-open probes are paced to the runtime profiler: one wire
+        // attempt per profiler period while recovering.
+        Endpoint {
+            profile: RuntimeProfile::new(config.bandwidth_window, config.profiler_period),
+            breaker: CircuitBreaker::new(
+                config.breaker_failure_threshold,
+                config.breaker_open_period,
+                config.profiler_period,
+            ),
+            breaker_reported: 0,
+            retry_after_hint: None,
+        }
+    }
+}
+
+/// The per-client LoADPart runtime: solver + policy + per-endpoint
+/// profiles/breakers + partition cache, driving one request at a time over
+/// whatever device/transport/server backends the driver supplies.
 #[derive(Debug)]
 pub struct OffloadEngine {
     graph: Arc<ComputationGraph>,
     solver: PartitionSolver,
     policy: Box<dyn PartitionPolicy>,
     config: EngineConfig,
-    profile: RuntimeProfile,
+    endpoints: Vec<Endpoint>,
     device_cache: PartitionCache,
     rng: StdRng,
     next_id: u64,
     client: usize,
     telemetry: Telemetry,
     metrics: Option<EngineMetrics>,
-    breaker: CircuitBreaker,
-    /// Transition count already surfaced through telemetry, so each
-    /// finish span reports only the delta since the previous request.
-    breaker_reported: u64,
+    /// splitmix64 state for backoff jitter — deliberately separate from
+    /// `rng` so jitter draws never perturb measurement sampling (and thus
+    /// never change logical records).
+    backoff_state: u64,
 }
 
 impl OffloadEngine {
@@ -318,30 +437,38 @@ impl OffloadEngine {
         config.validate()?;
         let graph: Arc<ComputationGraph> = graph.into();
         let solver = PartitionSolver::new(&graph, user_models, edge_models);
-        let profile = RuntimeProfile::new(config.bandwidth_window, config.profiler_period);
         let rng = StdRng::seed_from_u64(config.seed);
-        // Half-open probes are paced to the runtime profiler: one wire
-        // attempt per profiler period while recovering.
-        let breaker = CircuitBreaker::new(
-            config.breaker_failure_threshold,
-            config.breaker_open_period,
-            config.profiler_period,
-        );
+        let endpoints = vec![Endpoint::new(&config)];
+        let backoff_state = config.seed ^ 0xB0FF_B0FF_B0FF_B0FF;
         Ok(Self {
             graph,
             solver,
             policy,
             config,
-            profile,
+            endpoints,
             device_cache: PartitionCache::new(),
             rng,
             next_id: 0,
             client,
             telemetry: Telemetry::disabled(),
             metrics: None,
-            breaker,
-            breaker_reported: 0,
+            backoff_state,
         })
+    }
+
+    /// Registers one more server endpoint (its own [`RuntimeProfile`] and
+    /// [`CircuitBreaker`], both fresh) and returns its id. Endpoint 0 is
+    /// created by the constructor; cluster drivers call this once per
+    /// extra server and pass the id to the `*_on` request entry points.
+    pub fn add_endpoint(&mut self) -> usize {
+        self.endpoints.push(Endpoint::new(&self.config));
+        self.endpoints.len() - 1
+    }
+
+    /// How many server endpoints this engine tracks (≥ 1).
+    #[must_use]
+    pub fn endpoint_count(&self) -> usize {
+        self.endpoints.len()
     }
 
     /// How many requests were answered from the decision memo instead of
@@ -414,9 +541,9 @@ impl OffloadEngine {
     }
 
     /// Telemetry tail shared by every way a request can settle: bumps the
-    /// outcome counters, surfaces breaker activity, and emits the `Finish`
-    /// span.
-    fn observe_finish(&mut self, record: &InferenceRecord) {
+    /// outcome counters, surfaces the finishing endpoint's breaker
+    /// activity, and emits the `Finish` span.
+    fn observe_finish(&mut self, endpoint: usize, record: &InferenceRecord) {
         if let Some(m) = &self.metrics {
             if record.fallback_local {
                 m.fallbacks.incr(1);
@@ -430,16 +557,17 @@ impl OffloadEngine {
             if record.retries > 0 {
                 m.retries.incr(u64::from(record.retries));
             }
-            m.breaker_state.set(match self.breaker.state() {
-                BreakerState::Closed => 0.0,
-                BreakerState::HalfOpen => 1.0,
-                BreakerState::Open => 2.0,
-            });
+            m.breaker_state
+                .set(match self.endpoints[endpoint].breaker.state() {
+                    BreakerState::Closed => 0.0,
+                    BreakerState::HalfOpen => 1.0,
+                    BreakerState::Open => 2.0,
+                });
         }
-        let transitions = self.breaker.transitions();
-        let delta = transitions - self.breaker_reported;
+        let transitions = self.endpoints[endpoint].breaker.transitions();
+        let delta = transitions - self.endpoints[endpoint].breaker_reported;
         if delta > 0 {
-            self.breaker_reported = transitions;
+            self.endpoints[endpoint].breaker_reported = transitions;
             if let Some(m) = &self.metrics {
                 m.breaker_transitions.incr(delta);
             }
@@ -463,11 +591,32 @@ impl OffloadEngine {
         );
     }
 
-    /// The client-side circuit breaker (for inspecting state in drivers
-    /// and tests).
+    /// The client-side circuit breaker of endpoint 0 (the single-server
+    /// path; for inspecting state in drivers and tests).
     #[must_use]
     pub fn breaker(&self) -> &CircuitBreaker {
-        &self.breaker
+        &self.endpoints[0].breaker
+    }
+
+    /// The circuit breaker guarding `endpoint`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `endpoint` was never registered.
+    #[must_use]
+    pub fn breaker_of(&self, endpoint: usize) -> &CircuitBreaker {
+        &self.endpoints[endpoint].breaker
+    }
+
+    /// Mutable access to the breaker guarding `endpoint` (cluster drivers
+    /// and tests scripting breaker states directly).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `endpoint` was never registered.
+    #[must_use]
+    pub fn breaker_of_mut(&mut self, endpoint: usize) -> &mut CircuitBreaker {
+        &mut self.endpoints[endpoint].breaker
     }
 
     /// The solver (for inspecting predictions).
@@ -494,16 +643,38 @@ impl OffloadEngine {
         &self.config
     }
 
-    /// The runtime profile (bandwidth estimate + cached `k`).
+    /// The runtime profile of endpoint 0 (bandwidth estimate + cached `k`;
+    /// the single-server path).
     #[must_use]
     pub fn profile(&self) -> &RuntimeProfile {
-        &self.profile
+        &self.endpoints[0].profile
     }
 
-    /// Mutable profile access (drivers that inject bandwidth).
+    /// Mutable endpoint-0 profile access (drivers that inject bandwidth).
     #[must_use]
     pub fn profile_mut(&mut self) -> &mut RuntimeProfile {
-        &mut self.profile
+        &mut self.endpoints[0].profile
+    }
+
+    /// The runtime profile tracking `endpoint`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `endpoint` was never registered.
+    #[must_use]
+    pub fn profile_of(&self, endpoint: usize) -> &RuntimeProfile {
+        &self.endpoints[endpoint].profile
+    }
+
+    /// Mutable access to the profile tracking `endpoint` (cluster drivers
+    /// injecting per-link bandwidth).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `endpoint` was never registered.
+    #[must_use]
+    pub fn profile_of_mut(&mut self, endpoint: usize) -> &mut RuntimeProfile {
+        &mut self.endpoints[endpoint].profile
     }
 
     /// Fetches `k` from the server out of cadence and caches it — the
@@ -522,29 +693,72 @@ impl OffloadEngine {
         backend: &mut S,
     ) -> Result<f64, ProtocolError> {
         let mut attempt = 0u32;
+        let mut spent = Duration::ZERO;
         loop {
             match backend.query_k(now) {
                 Ok(k) => {
-                    self.profile.set_k(k);
+                    self.endpoints[0].profile.set_k(k);
                     return Ok(k);
                 }
                 Err(e) if e.is_transient() && attempt < self.config.max_retries => {
                     attempt += 1;
-                    self.backoff(attempt);
+                    if !self.backoff_sleep(0, attempt, &mut spent) {
+                        return Err(e);
+                    }
                 }
                 Err(e) => return Err(e),
             }
         }
     }
 
-    /// Sleeps the configured exponential backoff before retry `attempt`
-    /// (1-based). Wall-clock, not logical time: the wire the retries go
-    /// over is real.
-    fn backoff(&self, attempt: u32) {
-        let wait = self.config.backoff_for(attempt);
-        if wait > std::time::Duration::ZERO {
+    /// Sleeps before retry `attempt` (1-based) against `endpoint` and
+    /// charges the sleep to the request's retry budget. Wall-clock, not
+    /// logical time: the wire the retries go over is real.
+    ///
+    /// The base wait is the endpoint's last `Rejected{retry_after}` hint
+    /// when one is pending (consumed here), otherwise the exponential
+    /// schedule; [`EngineConfig::retry_jitter`] spreads it over
+    /// `[0.5, 1.5)x` from the deterministic side stream. Returns `false` —
+    /// without sleeping — when the jittered wait would push the request
+    /// past [`EngineConfig::retry_budget`]; the caller must then stop
+    /// retrying. The budget check uses the *planned* wait, so replays with
+    /// the same seed truncate retry loops at exactly the same attempt.
+    fn backoff_sleep(&mut self, endpoint: usize, attempt: u32, spent: &mut Duration) -> bool {
+        let base = self.endpoints[endpoint]
+            .retry_after_hint
+            .take()
+            .unwrap_or_else(|| self.config.backoff_for(attempt));
+        let wait = if self.config.retry_jitter {
+            seeded_jitter(base, &mut self.backoff_state)
+        } else {
+            base
+        };
+        let budget = self.config.retry_budget;
+        if !budget.is_zero() && *spent + wait > budget {
+            return false;
+        }
+        *spent += wait;
+        if wait > Duration::ZERO {
             std::thread::sleep(wait);
         }
+        true
+    }
+
+    /// Marks `endpoint` faulted at `at`: cooldown keeps decisions local
+    /// and the wire quiet, and the failure counts toward its breaker.
+    fn fault_endpoint(&mut self, endpoint: usize, at: SimTime) {
+        let ep = &mut self.endpoints[endpoint];
+        ep.profile.enter_cooldown(at, self.config.fault_cooldown);
+        ep.breaker.record_failure(at);
+    }
+
+    /// Remembers the drain estimate an admission shed carried, so the next
+    /// backoff against this endpoint waits what the server asked for
+    /// instead of the blind exponential schedule. Capped at one second —
+    /// a confused server must not be able to stall a client arbitrarily.
+    fn remember_retry_after(&mut self, endpoint: usize, retry_after: SimDuration) {
+        let hint = Duration::from_secs_f64(retry_after.as_secs_f64().min(1.0));
+        self.endpoints[endpoint].retry_after_hint = Some(hint);
     }
 
     /// Starts one inference request at `at`: profiler refresh, decision,
@@ -582,19 +796,111 @@ impl OffloadEngine {
         S: ServerBackend + ?Sized,
         T: Transport + ?Sized,
     {
+        self.start_on(0, at, device, backend, transport)
+    }
+
+    /// [`OffloadEngine::start`] against a specific endpoint's profile,
+    /// breaker and cooldown. Single-server semantics: any wire failure
+    /// degrades this request to local completion on the device.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures from the upload leg.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `endpoint` was never registered or `at` is before the
+    /// backend's current simulated time.
+    pub fn start_on<D, S, T>(
+        &mut self,
+        endpoint: usize,
+        at: SimTime,
+        device: &mut D,
+        backend: &mut S,
+        transport: &mut T,
+    ) -> Result<Outcome, ProtocolError>
+    where
+        D: DeviceExecutor + ?Sized,
+        S: ServerBackend + ?Sized,
+        T: Transport + ?Sized,
+    {
+        match self.start_inner(endpoint, at, false, device, backend, transport)? {
+            AttemptOutcome::Complete(record) => Ok(Outcome::Complete(record)),
+            AttemptOutcome::Deferred(pending) => Ok(Outcome::Deferred(pending)),
+            AttemptOutcome::NoService | AttemptOutcome::Failed(_) => {
+                unreachable!("single-server mode degrades locally instead of failing the attempt")
+            }
+        }
+    }
+
+    /// Starts one inference attempt against `endpoint` with *cluster*
+    /// semantics: instead of degrading to local completion, wire failures
+    /// surface as [`AttemptOutcome::NoService`] (nothing ran — retry the
+    /// whole attempt elsewhere) or [`AttemptOutcome::Failed`] (the prefix
+    /// ran at a fixed `p` — fail the suffix over with
+    /// [`OffloadEngine::failover_on`]). The failing endpoint's breaker and
+    /// cooldown are recorded exactly as in single-server mode.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures from the upload leg.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `endpoint` was never registered or `at` is before the
+    /// backend's current simulated time.
+    pub fn start_attempt_on<D, S, T>(
+        &mut self,
+        endpoint: usize,
+        at: SimTime,
+        device: &mut D,
+        backend: &mut S,
+        transport: &mut T,
+    ) -> Result<AttemptOutcome, ProtocolError>
+    where
+        D: DeviceExecutor + ?Sized,
+        S: ServerBackend + ?Sized,
+        T: Transport + ?Sized,
+    {
+        self.start_inner(endpoint, at, true, device, backend, transport)
+    }
+
+    /// The shared request pipeline. `failfast` selects cluster semantics
+    /// (surface failures for rerouting) over single-server semantics
+    /// (degrade to local completion in place).
+    fn start_inner<D, S, T>(
+        &mut self,
+        endpoint: usize,
+        at: SimTime,
+        failfast: bool,
+        device: &mut D,
+        backend: &mut S,
+        transport: &mut T,
+    ) -> Result<AttemptOutcome, ProtocolError>
+    where
+        D: DeviceExecutor + ?Sized,
+        S: ServerBackend + ?Sized,
+        T: Transport + ?Sized,
+    {
         backend.advance(at);
-        let cooling = self.profile.in_cooldown(at);
+        let cooling = self.endpoints[endpoint].profile.in_cooldown(at);
         // The breaker gates all wire traffic. A fault cooldown already
         // keeps the wire quiet, so it does not consume the half-open
         // probe slot.
         let gate = if cooling {
             WireGate::Block
         } else {
-            self.breaker.gate(at)
+            self.endpoints[endpoint].breaker.gate(at)
         };
         let blocked = gate == WireGate::Block;
         let probing = gate == WireGate::Probe;
+        if failfast && blocked {
+            // Cluster mode never burns a blocked endpoint's request on a
+            // guaranteed-local decision; the driver reroutes it.
+            return Ok(AttemptOutcome::NoService);
+        }
         let mut retries = 0u32;
+        let mut spent = Duration::ZERO;
         // True only when the wire failed *during this request* — requests
         // that stay local because an earlier request tripped the cooldown
         // are ordinary local decisions, not fallbacks.
@@ -602,13 +908,14 @@ impl OffloadEngine {
         if !blocked {
             let mut attempt = 0u32;
             loop {
+                let ep = &mut self.endpoints[endpoint];
                 // The half-open probe must actually touch the wire, so it
                 // bypasses the profiler cadence.
                 let refreshed = if probing {
-                    self.profile
+                    ep.profile
                         .refresh_now(at, transport, backend, &mut self.rng, &self.telemetry)
                 } else {
-                    self.profile
+                    ep.profile
                         .refresh(at, transport, backend, &mut self.rng, &self.telemetry)
                 };
                 match refreshed {
@@ -617,28 +924,38 @@ impl OffloadEngine {
                             // The half-open probe succeeded: close the
                             // breaker (the refreshed `k` keeps Algorithm 1
                             // load-aware, so re-entry is safe).
-                            self.breaker.record_success(at);
+                            self.endpoints[endpoint].breaker.record_success(at);
                         }
                         break;
                     }
                     Err(e) if e.is_transient() && attempt < self.config.max_retries => {
                         attempt += 1;
                         retries += 1;
-                        self.backoff(attempt);
+                        if !self.backoff_sleep(endpoint, attempt, &mut spent) {
+                            // Retry budget exhausted: same degradation as
+                            // a non-transient failure.
+                            self.fault_endpoint(endpoint, at);
+                            faulted = true;
+                            break;
+                        }
                     }
                     Err(_) => {
-                        self.profile.enter_cooldown(at, self.config.fault_cooldown);
-                        self.breaker.record_failure(at);
+                        self.fault_endpoint(endpoint, at);
                         faulted = true;
                         break;
                     }
                 }
             }
         }
+        if failfast && faulted {
+            // Nothing ran and no request id was consumed; the driver
+            // restarts the attempt on the next-best endpoint.
+            return Ok(AttemptOutcome::NoService);
+        }
         backend.monitor(at);
         let n = self.graph.len();
-        let bandwidth = self.profile.bandwidth_mbps(at);
-        let k = self.profile.k();
+        let bandwidth = self.endpoints[endpoint].profile.bandwidth_mbps(at);
+        let k = self.endpoints[endpoint].profile.k();
         // Wall-clock spent actually deciding; memo hits (detected via the
         // policy's hit counter) skip the timer observation.
         let mut decide_secs: Option<f64> = None;
@@ -732,14 +1049,14 @@ impl OffloadEngine {
         if p == n {
             // Local inference: nothing leaves the device.
             self.feedback(policy_decided, &record);
-            self.observe_finish(&record);
-            return Ok(Outcome::Complete(record));
+            self.observe_finish(endpoint, &record);
+            return Ok(AttemptOutcome::Complete(record));
         }
 
         let upload_bytes = partition.upload_bytes(&self.graph);
         let upload_start = at + device_time;
         let upload_end = transport.upload(
-            self.profile.probe_profiler_mut(),
+            self.endpoints[endpoint].profile.probe_profiler_mut(),
             upload_bytes,
             upload_start,
             &mut self.rng,
@@ -763,58 +1080,51 @@ impl OffloadEngine {
             upload_bytes,
             arrive: upload_end,
         };
-        // How the suffix hand-off ended: accepted, shed by admission
-        // control, or lost to wire faults.
-        enum Disposition {
-            Ran(SuffixOutcome),
-            Shed { retry_after: SimDuration, k: f64 },
-            Faulted,
-        }
-        let mut attempt = 0u32;
-        let disposition = loop {
-            match backend.execute_suffix(&self.graph, &req, &mut self.rng) {
-                // A rejection is the server telling us it is overloaded:
-                // never retried, counted toward the breaker.
-                Ok(SuffixOutcome::Rejected { retry_after, k }) => {
-                    break Disposition::Shed { retry_after, k };
-                }
-                Ok(outcome) => {
-                    self.breaker.record_success(at);
-                    break Disposition::Ran(outcome);
-                }
-                Err(e) if e.is_transient() && attempt < self.config.max_retries => {
-                    attempt += 1;
-                    retries += 1;
-                    self.backoff(attempt);
-                }
-                Err(_) => {
-                    self.profile.enter_cooldown(at, self.config.fault_cooldown);
-                    self.breaker.record_failure(at);
-                    break Disposition::Faulted;
-                }
-            }
-        };
+        let disposition =
+            self.suffix_disposition(endpoint, at, &req, backend, &mut retries, &mut spent);
         record.retries = retries;
         match disposition {
             Disposition::Faulted => {
                 record.fallback_local = true;
-                Ok(Outcome::Complete(
-                    self.complete_locally(record, upload_end, device),
-                ))
+                if failfast {
+                    Ok(AttemptOutcome::Failed(FailedAttempt {
+                        record,
+                        resume_at: upload_end,
+                        endpoint,
+                        retry_after: None,
+                        spent,
+                    }))
+                } else {
+                    Ok(AttemptOutcome::Complete(
+                        self.complete_locally(endpoint, record, upload_end, device),
+                    ))
+                }
             }
             Disposition::Shed { retry_after, k } => {
                 // Pre-seed the profile with the server's own load factor
                 // so re-entry decisions are load-aware immediately.
-                self.profile.set_k(k);
-                self.breaker.record_failure(at);
+                self.endpoints[endpoint].profile.set_k(k);
+                self.endpoints[endpoint].breaker.record_failure(at);
+                self.remember_retry_after(endpoint, retry_after);
                 record.rejected = true;
                 self.emit_span(&record, SpanKind::Rejected, upload_end, retry_after, 0);
-                Ok(Outcome::Complete(
-                    self.complete_locally(record, upload_end, device),
-                ))
+                if failfast {
+                    Ok(AttemptOutcome::Failed(FailedAttempt {
+                        record,
+                        resume_at: upload_end,
+                        endpoint,
+                        retry_after: Some(retry_after),
+                        spent,
+                    }))
+                } else {
+                    Ok(AttemptOutcome::Complete(
+                        self.complete_locally(endpoint, record, upload_end, device),
+                    ))
+                }
             }
             Disposition::Ran(SuffixOutcome::Done { completion }) => {
-                Ok(Outcome::Complete(self.settle(
+                Ok(AttemptOutcome::Complete(self.settle(
+                    endpoint,
                     record,
                     upload_end,
                     completion,
@@ -824,17 +1134,199 @@ impl OffloadEngine {
                 )))
             }
             Disposition::Ran(SuffixOutcome::Pending { task }) => {
-                Ok(Outcome::Deferred(PendingRequest {
+                Ok(AttemptOutcome::Deferred(PendingRequest {
                     task,
                     arrive: upload_end,
                     record,
                     policy_decided,
+                    endpoint,
                 }))
             }
             Disposition::Ran(SuffixOutcome::Rejected { .. }) => {
                 unreachable!("rejections are routed to Disposition::Shed")
             }
         }
+    }
+
+    /// Runs the suffix exchange loop for `req` against `endpoint`,
+    /// classifying how the hand-off ended: accepted, shed by admission
+    /// control, or lost to wire faults (breaker/cooldown updated).
+    fn suffix_disposition<S>(
+        &mut self,
+        endpoint: usize,
+        at: SimTime,
+        req: &SuffixRequest,
+        backend: &mut S,
+        retries: &mut u32,
+        spent: &mut Duration,
+    ) -> Disposition
+    where
+        S: ServerBackend + ?Sized,
+    {
+        let mut attempt = 0u32;
+        loop {
+            match backend.execute_suffix(&self.graph, req, &mut self.rng) {
+                // A rejection is the server telling us it is overloaded:
+                // never retried, counted toward the breaker.
+                Ok(SuffixOutcome::Rejected { retry_after, k }) => {
+                    break Disposition::Shed { retry_after, k };
+                }
+                Ok(outcome) => {
+                    self.endpoints[endpoint].breaker.record_success(at);
+                    break Disposition::Ran(outcome);
+                }
+                Err(e) if e.is_transient() && attempt < self.config.max_retries => {
+                    attempt += 1;
+                    *retries += 1;
+                    if !self.backoff_sleep(endpoint, attempt, spent) {
+                        // Retry budget exhausted: same degradation as a
+                        // non-transient failure.
+                        self.fault_endpoint(endpoint, at);
+                        break Disposition::Faulted;
+                    }
+                }
+                Err(_) => {
+                    self.fault_endpoint(endpoint, at);
+                    break Disposition::Faulted;
+                }
+            }
+        }
+    }
+
+    /// Re-issues the suffix of a failed attempt on another endpoint: the
+    /// partition point is fixed (the prefix already ran), so the crossing
+    /// tensors are re-uploaded over the new endpoint's link and exactly
+    /// the same `SuffixRequest` (same request id, same `p`) is handed to
+    /// the new server — the request is neither duplicated nor dropped.
+    /// On success the record settles as a genuine end-to-end measurement
+    /// (the policy feedback hook is skipped: the decision context belonged
+    /// to the original endpoint). On failure another [`FailedAttempt`]
+    /// comes back for the driver to route further or complete locally.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures from the re-upload leg.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `endpoint` was never registered.
+    pub fn failover_on<S, T>(
+        &mut self,
+        endpoint: usize,
+        failed: FailedAttempt,
+        backend: &mut S,
+        transport: &mut T,
+    ) -> Result<AttemptOutcome, ProtocolError>
+    where
+        S: ServerBackend + ?Sized,
+        T: Transport + ?Sized,
+    {
+        let FailedAttempt {
+            mut record,
+            resume_at,
+            mut spent,
+            ..
+        } = failed;
+        backend.advance(resume_at);
+        let cooling = self.endpoints[endpoint].profile.in_cooldown(resume_at);
+        let gate = if cooling {
+            WireGate::Block
+        } else {
+            self.endpoints[endpoint].breaker.gate(resume_at)
+        };
+        if gate == WireGate::Block {
+            // Target unusable; hand the attempt back unchanged (flags
+            // still describe the previous failure) for further routing.
+            return Ok(AttemptOutcome::Failed(FailedAttempt {
+                retry_after: None,
+                record,
+                resume_at,
+                endpoint,
+                spent,
+            }));
+        }
+        // This attempt decides the record's fate anew.
+        record.fallback_local = false;
+        record.rejected = false;
+        let upload_end = transport.upload(
+            self.endpoints[endpoint].profile.probe_profiler_mut(),
+            record.uploaded_bytes,
+            resume_at,
+            &mut self.rng,
+        )?;
+        record.upload += upload_end.since(resume_at);
+        self.emit_span(
+            &record,
+            SpanKind::Upload,
+            resume_at,
+            upload_end.since(resume_at),
+            record.uploaded_bytes,
+        );
+        let req = SuffixRequest {
+            request_id: record.request_id,
+            p: record.p,
+            upload_bytes: record.uploaded_bytes,
+            arrive: upload_end,
+        };
+        let mut retries = record.retries;
+        let disposition =
+            self.suffix_disposition(endpoint, resume_at, &req, backend, &mut retries, &mut spent);
+        record.retries = retries;
+        match disposition {
+            Disposition::Faulted => {
+                record.fallback_local = true;
+                Ok(AttemptOutcome::Failed(FailedAttempt {
+                    record,
+                    resume_at: upload_end,
+                    endpoint,
+                    retry_after: None,
+                    spent,
+                }))
+            }
+            Disposition::Shed { retry_after, k } => {
+                self.endpoints[endpoint].profile.set_k(k);
+                self.endpoints[endpoint].breaker.record_failure(resume_at);
+                self.remember_retry_after(endpoint, retry_after);
+                record.rejected = true;
+                self.emit_span(&record, SpanKind::Rejected, upload_end, retry_after, 0);
+                Ok(AttemptOutcome::Failed(FailedAttempt {
+                    record,
+                    resume_at: upload_end,
+                    endpoint,
+                    retry_after: Some(retry_after),
+                    spent,
+                }))
+            }
+            Disposition::Ran(SuffixOutcome::Done { completion }) => {
+                Ok(AttemptOutcome::Complete(self.settle(
+                    endpoint, record, upload_end, completion, false, backend, transport,
+                )))
+            }
+            Disposition::Ran(SuffixOutcome::Pending { task }) => {
+                Ok(AttemptOutcome::Deferred(PendingRequest {
+                    task,
+                    arrive: upload_end,
+                    record,
+                    policy_decided: false,
+                    endpoint,
+                }))
+            }
+            Disposition::Ran(SuffixOutcome::Rejected { .. }) => {
+                unreachable!("rejections are routed to Disposition::Shed")
+            }
+        }
+    }
+
+    /// Gives up on the wire for a failed attempt: the device re-executes
+    /// the remaining layers itself. The record keeps the failure flags of
+    /// the last attempt (`fallback_local` for wire faults, `rejected` for
+    /// admission sheds).
+    pub fn complete_failed<D: DeviceExecutor + ?Sized>(
+        &mut self,
+        failed: FailedAttempt,
+        device: &mut D,
+    ) -> InferenceRecord {
+        self.complete_locally(failed.endpoint, failed.record, failed.resume_at, device)
     }
 
     /// Graceful degradation: the suffix exchange is lost (wire fault) or
@@ -844,6 +1336,7 @@ impl OffloadEngine {
     /// (`fallback_local` vs `rejected`) before handing it in.
     fn complete_locally<D: DeviceExecutor + ?Sized>(
         &mut self,
+        endpoint: usize,
         mut record: InferenceRecord,
         resume_at: SimTime,
         device: &mut D,
@@ -853,7 +1346,7 @@ impl OffloadEngine {
         record.server = SimDuration::ZERO;
         record.download = SimDuration::ZERO;
         record.total = (resume_at + local).since(record.start);
-        self.observe_finish(&record);
+        self.observe_finish(endpoint, &record);
         record
     }
 
@@ -871,6 +1364,7 @@ impl OffloadEngine {
         T: Transport + ?Sized,
     {
         self.settle(
+            pending.endpoint,
             pending.record,
             pending.arrive,
             completion,
@@ -909,8 +1403,10 @@ impl OffloadEngine {
 
     /// Shared tail of every offloaded request: measure server time, feed
     /// the load tracker, optionally download the result.
+    #[allow(clippy::too_many_arguments)]
     fn settle<S, T>(
         &mut self,
+        endpoint: usize,
         mut record: InferenceRecord,
         arrive: SimTime,
         completion: SimTime,
@@ -940,7 +1436,33 @@ impl OffloadEngine {
         }
         record.total = end.since(record.start);
         self.feedback(policy_decided, &record);
-        self.observe_finish(&record);
+        self.observe_finish(endpoint, &record);
         record
+    }
+
+    /// Runs the installed policy against `endpoint`'s current profile
+    /// (its bandwidth estimate and cached `k`) without touching the wire.
+    /// Cluster drivers call this once per candidate endpoint to rank the
+    /// joint (server, p) decision; `None` until the endpoint has a
+    /// bandwidth estimate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `endpoint` was never registered.
+    pub fn decide_on(
+        &mut self,
+        endpoint: usize,
+        now: SimTime,
+    ) -> Option<crate::algorithm::Decision> {
+        let profile = &self.endpoints[endpoint].profile;
+        let bandwidth = profile.bandwidth_mbps(now)?;
+        let k = profile.k();
+        let ctx = PolicyContext {
+            solver: &self.solver,
+            bandwidth_mbps: bandwidth,
+            k,
+            now,
+        };
+        Some(self.policy.decide(&ctx))
     }
 }

@@ -43,6 +43,10 @@
 //! * [`chaos`] — the chaos soak harness: N threaded clients, a scripted
 //!   load spike and injected frame faults, asserting overload protection
 //!   end to end (shedding, breakers, recovery).
+//! * [`cluster`] — the multi-server edge cluster: per-server profiles
+//!   and breakers behind a joint (server, p) decision with failover,
+//!   plus the scripted-outage cluster chaos/bench harnesses behind
+//!   `loadpart chaos --cluster` and `loadpart bench --cluster`.
 //! * [`telemetry`] — the observability layer shared by every driver:
 //!   metrics registry (counters/gauges/histograms) and per-request trace
 //!   spans through pluggable sinks, zero-cost when disabled.
@@ -81,6 +85,7 @@ pub mod algorithm;
 pub mod baselines;
 pub mod cache;
 pub mod chaos;
+pub mod cluster;
 pub mod compare;
 pub mod emulator;
 pub mod energy;
@@ -102,6 +107,11 @@ pub use algorithm::{Decision, PartitionSolver};
 pub use baselines::{min_cut_partition, MinCutResult, Policy};
 pub use cache::PartitionCache;
 pub use chaos::{chaos_run, ChaosConfig, ChaosReport, ChaosTransport, ClientSummary};
+pub use cluster::{
+    cluster_bench, cluster_chaos_run, ClusterBenchReport, ClusterChaosConfig, ClusterChaosReport,
+    ClusterEngine, ClusterLink, ClusterModeStats, ClusterProfile, ClusterServerSummary,
+    ClusterTransport, GatedChannel, OutageSwitch, RouteInfo, ServerSpec, ServerStatus,
+};
 pub use compare::{
     compare_policies, run_scenario, CompareConfig, CompareReport, PolicyResult, ScenarioKind,
     ScenarioResult,

@@ -5,9 +5,11 @@
 //! failures reproduce exactly (no external property-testing framework in
 //! this offline build — the invariants are unchanged).
 
+use loadpart::policy::build_named;
 use loadpart::{
-    AdmissionConfig, AdmissionController, AdmissionDecision, BreakerState, CircuitBreaker,
-    PartitionSolver, WireGate,
+    spawn_server_tuned, AdmissionConfig, AdmissionController, AdmissionDecision, BreakerState,
+    CircuitBreaker, ClusterEngine, ClusterLink, EngineConfig, FrameChannel, LoadEnv,
+    PartitionSolver, ServerFaultSpec, ServerTuning, Telemetry, WireGate,
 };
 use lp_graph::cut::cut_at;
 use lp_graph::partition::{extract_segment, partition_at, Segment};
@@ -15,6 +17,7 @@ use lp_graph::{
     transmission_series, Activation, ComputationGraph, ConvAttrs, GraphBuilder, NodeKind,
     PoolAttrs, ValueId,
 };
+use lp_hardware::DeviceModel;
 use lp_linalg::{nnls, Matrix};
 use lp_sim::{SimDuration, SimTime};
 use lp_tensor::{Shape, TensorDesc};
@@ -332,6 +335,112 @@ fn admission_pending_work_never_exceeds_budget() {
             );
             assert_eq!(ctl.admitted() + ctl.rejected(), assessed);
         }
+    }
+}
+
+/// The cluster's joint (server, p) routing honors per-server breaker and
+/// cooldown state under arbitrary state combinations: a breaker-open
+/// server never appears in the route plan, and every clean server always
+/// does — so an open breaker can never be selected while any breaker is
+/// still closed. Scripted directly against the breaker/profile state
+/// machines; `route_plan` itself never touches the wire.
+#[test]
+fn route_plan_never_selects_a_blocked_server_while_a_clean_one_exists() {
+    let mut rng = StdRng::seed_from_u64(0x0A11_CE0A);
+    let (user, edge) = loadpart::system::trained_models(150, 42);
+    let graph = std::sync::Arc::new(lp_models::alexnet(1));
+    let n = 4usize;
+    let handles: Vec<_> = (0..n)
+        .map(|_| {
+            spawn_server_tuned(
+                std::sync::Arc::clone(&graph),
+                edge.clone(),
+                LoadEnv::new(1.0),
+                ServerFaultSpec::default(),
+                None,
+                &Telemetry::disabled(),
+                ServerTuning::default(),
+            )
+        })
+        .collect();
+    let links = handles
+        .iter()
+        .enumerate()
+        .map(|(i, h)| ClusterLink {
+            name: format!("srv-{i}"),
+            bandwidth_mbps: 8.0,
+            conn: Box::new(h.connect()) as Box<dyn FrameChannel>,
+        })
+        .collect();
+    let config = EngineConfig {
+        seed: 5,
+        breaker_failure_threshold: 1, // one scripted failure opens a breaker
+        ..EngineConfig::default()
+    };
+    let mut cluster = ClusterEngine::new(
+        graph,
+        build_named("loadpart").expect("registered"),
+        &user,
+        &edge,
+        DeviceModel::default(),
+        0,
+        config,
+        links,
+    )
+    .expect("valid cluster");
+
+    let mut base = SimTime::ZERO;
+    for _ in 0..CASES {
+        // Jump far past every open period and cooldown from the previous
+        // case, then reset each breaker to clean closed.
+        base += SimDuration::from_secs(120);
+        for s in 0..n {
+            let b = cluster.engine_mut().breaker_of_mut(s);
+            let _ = b.gate(base); // elapsed open -> half-open
+            b.record_success(base); // half-open -> closed, failures cleared
+        }
+        // Script a random state per endpoint, evaluated 30 s later (past
+        // the 5 s open period, inside a fresh one).
+        let eval = base + SimDuration::from_secs(30);
+        let mut clean = Vec::new();
+        for s in 0..n {
+            match rng.gen_range(0u8..4) {
+                0 => clean.push(s),
+                // Opened at eval: blocked for the whole open period.
+                1 => cluster.engine_mut().breaker_of_mut(s).record_failure(eval),
+                // Opened at base: the open period has elapsed, probe-due.
+                2 => cluster.engine_mut().breaker_of_mut(s).record_failure(base),
+                // Profiler fault cooldown, still running at eval.
+                _ => cluster
+                    .engine_mut()
+                    .profile_of_mut(s)
+                    .enter_cooldown(eval, SimDuration::from_millis(rng.gen_range(1u64..5_000))),
+            }
+        }
+
+        let plan = cluster.route_plan(eval);
+        for &s in &plan {
+            assert_ne!(
+                cluster.engine().breaker_of(s).peek(eval),
+                WireGate::Block,
+                "a breaker-open server must never be routable"
+            );
+            assert!(
+                !cluster.engine().profile_of(s).in_cooldown(eval),
+                "a cooling-down server must never be routable"
+            );
+        }
+        for &s in &clean {
+            assert!(
+                plan.contains(&s),
+                "server {s} is clean (closed breaker, no cooldown) but was \
+                 excluded — an open breaker would steal its traffic"
+            );
+        }
+    }
+    drop(cluster);
+    for h in handles {
+        h.shutdown().expect("clean");
     }
 }
 
