@@ -16,7 +16,7 @@
 //! tensor is tiny); [`decide_with_download`](PartitionSolver::decide_with_download)
 //! keeps it for completeness.
 
-use lp_graph::{transmission_series, ComputationGraph};
+use lp_graph::{transmission_series, ComputationGraph, Precision};
 use lp_profiler::PredictionModels;
 use lp_sim::SimDuration;
 
@@ -25,6 +25,9 @@ use lp_sim::SimDuration;
 pub struct Decision {
     /// The optimal partition point (0 = full offloading, n = local).
     pub p: usize,
+    /// Upload-tensor precision negotiated for the cut (fp32 unless a
+    /// quantization-aware policy picked a narrower width).
+    pub precision: Precision,
     /// Predicted end-to-end latency at `p`.
     pub predicted: SimDuration,
     /// Predicted device-side compute time.
@@ -157,6 +160,7 @@ impl PartitionSolver {
         };
         Decision {
             p,
+            precision: Precision::Fp32,
             predicted: SimDuration::from_secs_f64(device + upload + server + download),
             device: SimDuration::from_secs_f64(device),
             upload: SimDuration::from_secs_f64(upload),

@@ -12,6 +12,7 @@
 //! loadpart bench     [--quick] [--out BENCH_serving.json] [--requests 40] [--suffix-cost-ms 2] [--transport tcp | --connect HOST:PORT]
 //! loadpart bench     --sessions-sweep [--quick] [--sessions 64,128,256] [--threads 0] [--batch 16] [--shards 2] [--out BENCH_fleet.json]
 //! loadpart bench     --cluster [--quick] [--clients 4] [--rounds 65] [--connect A,B,C] [--out BENCH_cluster.json]
+//! loadpart bench     --quant [--quick] [--bandwidths 16,8,4,2,1] [--budget 0.02] [--time-scale 1.0] [--connect HOST:PORT] [--out BENCH_quant.json]
 //! loadpart compare   [--quick] [--out BENCH_policies.json] [--requests 320] [--windows 8]
 //! loadpart serve     [--model alexnet] [--listen 127.0.0.1:0 | --uds /tmp/lp.sock] [--k 1.0] [--workers 4] [--shards 2] [--batch 16] [--no-admission]
 //! loadpart smoke     --connect HOST:PORT | --uds PATH [--requests 5] [--latency-ms 20] [--rate-mbps 8] [--shutdown-server]
@@ -40,7 +41,13 @@
 //! with `--sessions-sweep` it instead runs the fleet benchmark — 64→1024
 //! persistent sessions over loopback TCP against the event-driven sharded
 //! mux with continuous suffix batching, driven by a bounded client-thread
-//! pool — and writes `BENCH_fleet.json`;
+//! pool — and writes `BENCH_fleet.json`; with `--quant` it runs the
+//! figure-6-style quantization bandwidth sweep — pure-local, fp32
+//! Algorithm 1, forced fp32 offload and the joint (p, precision)
+//! `QuantPolicy` against a real loopback-TCP server behind the
+//! rate-limited link emulator, down into the starved band where fp32 goes
+//! pure-local but quantized offload still wins — and writes
+//! `BENCH_quant.json`;
 //! `compare` races every registered partition policy (plus the bandit
 //! online learner and the oracle) through the nonstationary-load,
 //! miscalibrated-device-model and drifting-bandwidth scenarios, reporting
@@ -57,12 +64,12 @@ use loadpart::policy::build_named;
 use loadpart::UdsFrameChannel;
 use loadpart::{
     chaos_run, cluster_bench, cluster_chaos_run, compare_policies, fleet_bench, measure_bandwidth,
-    multi_client_run_with_telemetry, serving_bench, spawn_server, spawn_server_tuned,
+    multi_client_run_with_telemetry, quant_bench, serving_bench, spawn_server, spawn_server_tuned,
     spawn_server_with_faults, AdmissionConfig, BenchConfig, BenchTransport, ChaosConfig,
     ChaosTransport, ClusterChaosConfig, ClusterTransport, CompareConfig, EmulatedLink,
     EngineConfig, FleetConfig, FrameChannel, InferenceRecord, JsonlSink, LinkSpec, LoadEnv,
-    Message, MultiClientConfig, PartitionSolver, PolicyContext, ServerFaultSpec, ServerTuning,
-    SocketServer, TcpFrameChannel, Telemetry, ThreadedClient,
+    Message, MultiClientConfig, PartitionSolver, PolicyContext, QuantBenchConfig, ServerFaultSpec,
+    ServerTuning, SocketServer, TcpFrameChannel, Telemetry, ThreadedClient,
 };
 use lp_sim::{SimDuration, SimTime};
 use std::collections::HashMap;
@@ -102,6 +109,8 @@ const USAGE: &str = "usage:
                      [--requests <n>] [--suffix-cost-ms <ms>] [--seed <n>] [--out <file.json>]
   loadpart bench     --cluster [--quick] [--model <name>] [--clients <n>] [--rounds <n>] [--samples <n>] [--seed <n>]
                      [--connect <a:p1,b:p2,c:p3>] [--out <file.json>]
+  loadpart bench     --quant [--quick] [--bandwidths <a,b,c>] [--budget <top1-frac>] [--requests <n>] [--time-scale <f>]
+                     [--suffix-cost-ms <ms>] [--samples <n>] [--seed <n>] [--connect <host:port>] [--out <file.json>]
   loadpart compare   [--quick] [--out <file.json>] [--requests <n>] [--windows <n>] [--samples <n>] [--seed <n>]
   loadpart serve     [--model <name>] [--listen <host:port> | --uds <path>] [--k <factor>] [--workers <n>] [--shards <n>] [--batch <n>] [--no-admission] [--samples <n>] [--seed <n>]
   loadpart smoke     --connect <host:port> | --uds <path> [--model <name>] [--requests <n>] [--samples <n>] [--seed <n>]
@@ -395,13 +404,28 @@ fn cmd_report(flags: &HashMap<String, String>) -> Result<String, String> {
     let report = multi_client_run_with_telemetry(&graph, &user, &edge, &config, &telemetry)
         .map_err(|e| e.to_string())?;
     let snapshot = telemetry.snapshot().expect("telemetry is enabled");
+    let raw: u64 = report.records.iter().map(|r| r.raw_bytes).sum();
+    let sent: u64 = report.records.iter().map(|r| r.uploaded_bytes).sum();
+    let mut precision_counts = [0u64; 4];
+    for r in &report.records {
+        precision_counts[r.precision.wire() as usize] += 1;
+    }
+    let precisions: Vec<String> = lp_graph::Precision::ALL
+        .iter()
+        .map(|&q| format!("{}:{}", q.as_str(), precision_counts[q.wire() as usize]))
+        .collect();
     let mut out = format!(
         "{} x {clients} client(s) @ {bandwidth} Mbps for {duration} s: {} inference(s), \
-         mean latency {:.1} ms\n\n",
+         mean latency {:.1} ms\n",
         graph.name(),
         report.records.len(),
         report.mean_latency_secs() * 1e3,
     );
+    out.push_str(&format!(
+        "upload bytes: {raw} raw -> {sent} sent ({} saved); precision decisions [{}]\n\n",
+        raw.saturating_sub(sent),
+        precisions.join(" ")
+    ));
     out.push_str(&snapshot.render_table());
     if let Some((path, sink)) = jsonl {
         sink.flush()
@@ -680,6 +704,9 @@ fn cmd_bench(flags: &HashMap<String, String>) -> Result<String, String> {
     if flags.contains_key("cluster") {
         return cmd_bench_cluster(flags);
     }
+    if flags.contains_key("quant") {
+        return cmd_bench_quant(flags);
+    }
     let mut config = if flags.contains_key("quick") {
         BenchConfig::quick()
     } else {
@@ -767,6 +794,66 @@ fn cmd_bench_fleet(flags: &HashMap<String, String>) -> Result<String, String> {
         return Err("--out needs a file path".to_string());
     }
     let report = fleet_bench(&config);
+    std::fs::write(&out_path, report.to_json().to_string_pretty())
+        .map_err(|e| format!("cannot write {out_path:?}: {e}"))?;
+    let mut out = report.render_table();
+    out.push_str(&format!("report written to {out_path}"));
+    Ok(out)
+}
+
+/// `bench --quant`: the quantization bandwidth sweep over loopback TCP
+/// (or a `--connect`ed `loadpart serve`).
+fn cmd_bench_quant(flags: &HashMap<String, String>) -> Result<String, String> {
+    let mut config = if flags.contains_key("quick") {
+        QuantBenchConfig::quick()
+    } else {
+        QuantBenchConfig::default()
+    };
+    if let Some(list) = flags.get("bandwidths") {
+        let bws: Result<Vec<f64>, _> = list.split(',').map(|s| s.trim().parse::<f64>()).collect();
+        config.bandwidths_mbps =
+            bws.map_err(|_| format!("invalid value for --bandwidths: {list:?}"))?;
+        if config.bandwidths_mbps.is_empty() || config.bandwidths_mbps.iter().any(|&b| b <= 0.0) {
+            return Err("--bandwidths needs positive Mbps values like 16,8,4,2,1".to_string());
+        }
+    }
+    config.requests = get_parsed(flags, "requests", Some(config.requests))?;
+    config.accuracy_budget = get_parsed(flags, "budget", Some(config.accuracy_budget))?;
+    config.time_scale = get_parsed(flags, "time-scale", Some(config.time_scale))?;
+    config.samples_per_kind = get_parsed(flags, "samples", Some(config.samples_per_kind))?;
+    config.seed = get_parsed(flags, "seed", Some(config.seed))?;
+    if config.requests == 0 {
+        return Err("--requests must be positive".to_string());
+    }
+    if config.accuracy_budget < 0.0 || !config.accuracy_budget.is_finite() {
+        return Err("--budget must be a finite non-negative top-1 fraction".to_string());
+    }
+    if config.time_scale <= 0.0 || !config.time_scale.is_finite() {
+        return Err("--time-scale must be positive".to_string());
+    }
+    let suffix_ms: f64 = get_parsed(
+        flags,
+        "suffix-cost-ms",
+        Some(config.suffix_cost.as_secs_f64() * 1e3),
+    )?;
+    if suffix_ms < 0.0 {
+        return Err("--suffix-cost-ms must be non-negative".to_string());
+    }
+    config.suffix_cost = Duration::from_secs_f64(suffix_ms / 1e3);
+    if let Some(addr) = flags.get("connect") {
+        if addr.is_empty() {
+            return Err("--connect needs host:port".to_string());
+        }
+        config.connect = Some(addr.clone());
+    }
+    let out_path = flags
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "BENCH_quant.json".to_string());
+    if out_path.is_empty() {
+        return Err("--out needs a file path".to_string());
+    }
+    let report = quant_bench(&config);
     std::fs::write(&out_path, report.to_json().to_string_pretty())
         .map_err(|e| format!("cannot write {out_path:?}: {e}"))?;
     let mut out = report.render_table();

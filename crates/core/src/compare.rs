@@ -172,21 +172,30 @@ impl ScenarioKind {
 }
 
 /// The policies every scenario runs (plus the oracle yardstick).
+///
+/// The quant contender's regret is still measured against the **fp32**
+/// true-cost vector: a narrow upload makes its real cost lower than the
+/// fp32 cost at the same cut, so the number *overstates* quant's regret.
+/// That keeps the oracle's zero-regret invariant intact — quant's actual
+/// advantage shows up in the latency columns, most visibly on the
+/// drifting-bandwidth scenario's 1-2 Mbps steps.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Contender {
     Spec(Policy),
     Bandit,
+    Quant,
     Oracle,
 }
 
 impl Contender {
-    fn all() -> [Contender; 6] {
+    fn all() -> [Contender; 7] {
         [
             Contender::Spec(Policy::LoadPart),
             Contender::Spec(Policy::Neurosurgeon),
             Contender::Spec(Policy::Local),
             Contender::Spec(Policy::Full),
             Contender::Bandit,
+            Contender::Quant,
             Contender::Oracle,
         ]
     }
@@ -199,6 +208,7 @@ impl Contender {
             Contender::Spec(Policy::Full) => "full",
             Contender::Spec(Policy::Fixed(_)) => "fixed",
             Contender::Bandit => "bandit",
+            Contender::Quant => "quant",
             Contender::Oracle => "oracle",
         }
     }
@@ -418,6 +428,18 @@ fn run_contender(kind: ScenarioKind, config: &CompareConfig, contender: Contende
             0,
             engine_config.clone(),
         ),
+        Contender::Quant => {
+            let policy =
+                crate::quant::QuantPolicy::for_graph(&graph, crate::quant::DEFAULT_ACCURACY_BUDGET);
+            OffloadEngine::with_policy(
+                graph,
+                Box::new(policy),
+                &user,
+                &edge,
+                0,
+                engine_config.clone(),
+            )
+        }
         Contender::Oracle => OffloadEngine::with_policy(
             graph,
             Box::new(OraclePolicy::new(cell.clone())),
@@ -584,7 +606,7 @@ mod tests {
         let report = compare_policies(&config);
         assert_eq!(report.scenarios.len(), 3);
         for s in &report.scenarios {
-            assert_eq!(s.policies.len(), 6);
+            assert_eq!(s.policies.len(), 7);
         }
         let text = report.to_json().to_string_pretty();
         let parsed = Json::parse(&text).expect("round-trips");
@@ -597,6 +619,7 @@ mod tests {
         let table = report.render_table();
         assert!(table.contains("miscalibrated-device-model"));
         assert!(table.contains("oracle"));
+        assert!(table.contains("quant"));
     }
 
     #[test]

@@ -259,6 +259,7 @@ impl<C: FrameChannel + ?Sized> ServerBackend for WireBackend<'_, C> {
         let frame = Message::OffloadRequest {
             request_id: req.request_id,
             partition_point: req.p as u32,
+            precision: req.precision,
             payload: zero_payload(req.upload_bytes as usize),
         }
         .to_frame()?;

@@ -62,7 +62,7 @@ use crate::cache::PartitionCache;
 use crate::policy::{MemoPolicy, PartitionPolicy, PolicyContext};
 use crate::protocol::ProtocolError;
 use crate::telemetry::{EngineMetrics, SpanEvent, SpanKind, Telemetry};
-use lp_graph::ComputationGraph;
+use lp_graph::{quantized_transmission_series, ComputationGraph, Precision};
 use lp_hardware::TaskId;
 use lp_profiler::PredictionModels;
 use lp_sim::{SimDuration, SimTime};
@@ -103,7 +103,11 @@ pub struct SuffixRequest {
     pub request_id: u64,
     /// Partition point: the server runs `L_{p+1}..L_n`.
     pub p: usize,
-    /// Bytes of crossing tensors shipped with the request.
+    /// Negotiated upload-tensor precision; the server dequantizes at this
+    /// width (fp32 = the identity path).
+    pub precision: Precision,
+    /// Bytes of crossing tensors shipped with the request (already
+    /// quantized: at a narrow precision this is the packed size).
     pub upload_bytes: u64,
     /// When the upload finished — the suffix cannot start earlier, and
     /// server time is measured from here.
@@ -383,6 +387,11 @@ pub struct OffloadEngine {
     client: usize,
     telemetry: Telemetry,
     metrics: Option<EngineMetrics>,
+    /// Quantized transmission series per narrow precision, built lazily
+    /// the first time a policy negotiates that width (indexed in
+    /// [`Precision::NARROW`] order). Fp32 stays on the partition's raw
+    /// byte count, so fp32-only runs never touch this.
+    quant_tx: [Option<Vec<u64>>; 3],
     /// splitmix64 state for backoff jitter — deliberately separate from
     /// `rng` so jitter draws never perturb measurement sampling (and thus
     /// never change logical records).
@@ -452,6 +461,7 @@ impl OffloadEngine {
             client,
             telemetry: Telemetry::disabled(),
             metrics: None,
+            quant_tx: [None, None, None],
             backoff_state,
         })
     }
@@ -511,6 +521,18 @@ impl OffloadEngine {
     #[must_use]
     pub fn telemetry(&self) -> &Telemetry {
         &self.telemetry
+    }
+
+    /// Wire bytes for the cut at `p` at `precision`: the partition's raw
+    /// fp32 bytes, or the packed size from the lazily built quantized
+    /// series (scale headers included).
+    fn wire_upload_bytes(&mut self, p: usize, precision: Precision, raw: u64) -> u64 {
+        let Some(idx) = Precision::NARROW.iter().position(|&q| q == precision) else {
+            return raw;
+        };
+        let series = self.quant_tx[idx]
+            .get_or_insert_with(|| quantized_transmission_series(&self.graph, precision));
+        series[p]
     }
 
     /// Builds and emits one span event for `record`. The event is all
@@ -995,6 +1017,7 @@ impl OffloadEngine {
             }
         };
         let p = decision.p;
+        let precision = decision.precision;
 
         let (partition, cache_hit) = self
             .device_cache
@@ -1017,6 +1040,7 @@ impl OffloadEngine {
             m.k.set(k);
             m.bandwidth_mbps.set(bandwidth.unwrap_or(0.0));
             m.partition_point.set(p as f64);
+            m.precision_decisions[precision.wire() as usize].incr(1);
         }
 
         let device_time = device.execute_prefix(&self.graph, p, &mut self.rng);
@@ -1035,7 +1059,9 @@ impl OffloadEngine {
             predicted: decision.predicted,
             device: device_time,
             upload: SimDuration::ZERO,
+            precision,
             uploaded_bytes: 0,
+            raw_bytes: 0,
             server: SimDuration::ZERO,
             download: SimDuration::ZERO,
             total: device_time,
@@ -1053,8 +1079,21 @@ impl OffloadEngine {
             return Ok(AttemptOutcome::Complete(record));
         }
 
-        let upload_bytes = partition.upload_bytes(&self.graph);
+        let raw_bytes = partition.upload_bytes(&self.graph);
+        let upload_bytes = self.wire_upload_bytes(p, precision, raw_bytes);
         let upload_start = at + device_time;
+        if precision != Precision::Fp32 {
+            // Quantization happens on-device between the prefix and the
+            // upload; its cost is folded into the measured prefix time, so
+            // the span is instantaneous and carries the bytes saved.
+            self.emit_span(
+                &record,
+                SpanKind::Quantize,
+                upload_start,
+                SimDuration::ZERO,
+                raw_bytes.saturating_sub(upload_bytes),
+            );
+        }
         let upload_end = transport.upload(
             self.endpoints[endpoint].profile.probe_profiler_mut(),
             upload_bytes,
@@ -1063,8 +1102,11 @@ impl OffloadEngine {
         )?;
         record.upload = upload_end.since(upload_start);
         record.uploaded_bytes = upload_bytes;
+        record.raw_bytes = raw_bytes;
         if let Some(m) = &self.metrics {
             m.upload_seconds.observe(record.upload.as_secs_f64());
+            m.upload_bytes_raw.incr(raw_bytes);
+            m.upload_bytes_sent.incr(upload_bytes);
         }
         self.emit_span(
             &record,
@@ -1077,6 +1119,7 @@ impl OffloadEngine {
         let req = SuffixRequest {
             request_id,
             p,
+            precision,
             upload_bytes,
             arrive: upload_end,
         };
@@ -1265,6 +1308,7 @@ impl OffloadEngine {
         let req = SuffixRequest {
             request_id: record.request_id,
             p: record.p,
+            precision: record.precision,
             upload_bytes: record.uploaded_bytes,
             arrive: upload_end,
         };

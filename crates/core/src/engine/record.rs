@@ -1,5 +1,6 @@
 //! The unified per-request telemetry record.
 
+use lp_graph::Precision;
 use lp_sim::{SimDuration, SimTime};
 
 /// Everything measured about one inference request, regardless of which
@@ -30,8 +31,15 @@ pub struct InferenceRecord {
     pub device: SimDuration,
     /// Measured upload time (including link latency).
     pub upload: SimDuration,
-    /// Bytes shipped to the server (0 for local inference).
+    /// Upload-tensor precision the decision negotiated (fp32 unless a
+    /// quantization-aware policy picked a narrower width).
+    pub precision: Precision,
+    /// Bytes shipped to the server (0 for local inference; at a narrow
+    /// precision this is the *packed* size).
     pub uploaded_bytes: u64,
+    /// Fp32 bytes of the crossing tensors before quantization (equals
+    /// `uploaded_bytes` on the fp32 path, 0 for local inference).
+    pub raw_bytes: u64,
     /// Measured server time (queueing + execution).
     pub server: SimDuration,
     /// Measured download time (zero unless the config enables the
@@ -58,5 +66,11 @@ impl InferenceRecord {
     #[must_use]
     pub fn offloaded(&self) -> bool {
         self.uploaded_bytes > 0
+    }
+
+    /// Upload bytes saved by quantization (0 on the fp32 path).
+    #[must_use]
+    pub fn bytes_saved(&self) -> u64 {
+        self.raw_bytes.saturating_sub(self.uploaded_bytes)
     }
 }

@@ -95,6 +95,8 @@ pub mod multi_client;
 pub mod policy;
 pub mod pool;
 pub mod protocol;
+pub mod quant;
+pub mod quant_bench;
 pub mod scenario;
 pub mod serving_bench;
 pub mod system;
@@ -124,6 +126,9 @@ pub use engine::{
     SuffixRequest, Transport, WireGate,
 };
 pub use fault::{FaultAction, FaultInjector, FaultPlan};
+pub use lp_graph::{
+    quantized_tensor_bytes, quantized_transmission_series, AccuracyModel, Precision,
+};
 pub use multi_client::{
     multi_client_run, multi_client_run_with_telemetry, ClientOutcomes, MultiClientConfig,
     MultiClientReport,
@@ -132,7 +137,12 @@ pub use policy::{
     BanditConfig, BanditPolicy, MemoPolicy, OracleCell, OraclePolicy, PartitionPolicy,
     PolicyContext,
 };
-pub use protocol::{framing_bytes_copied, Frame, Message, ProtocolError};
+pub use protocol::{framing_bytes_copied, Frame, Message, ProtocolError, PROTOCOL_VERSION};
+pub use quant::{
+    dequantize_into, payload_len, quantize_into, round_trip_bound, QuantError, QuantPolicy,
+    QuantStage, DEFAULT_ACCURACY_BUDGET,
+};
+pub use quant_bench::{quant_bench, QuantBenchConfig, QuantBenchReport, QuantModeStats};
 pub use scenario::{
     bandwidth_sweep, load_timeline, load_timeline_with_telemetry, LoadPhase, SweepPoint,
     TimelinePoint,

@@ -248,7 +248,9 @@ mod tests {
             predicted: SimDuration::from_secs_f64(total_secs),
             device: SimDuration::ZERO,
             upload: SimDuration::ZERO,
+            precision: lp_graph::Precision::Fp32,
             uploaded_bytes: if p < 4 { 1 } else { 0 },
+            raw_bytes: if p < 4 { 1 } else { 0 },
             server: SimDuration::ZERO,
             download: SimDuration::ZERO,
             total: SimDuration::from_secs_f64(total_secs),

@@ -275,6 +275,7 @@ pub fn policy_names() -> &'static [&'static str] {
         "local",
         "full",
         "bandit",
+        "quant[:<budget>]",
         "fixed:<p>",
     ]
 }
@@ -294,12 +295,25 @@ pub fn build_named(name: &str) -> Result<Box<dyn PartitionPolicy>, String> {
         "local" => Ok(Box::new(LocalPolicy)),
         "full" => Ok(Box::new(FullOffloadPolicy)),
         "bandit" => Ok(Box::new(BanditPolicy::new(BanditConfig::default()))),
+        "quant" => Ok(Box::new(crate::quant::QuantPolicy::new(
+            crate::quant::DEFAULT_ACCURACY_BUDGET,
+        ))),
         other => {
             if let Some(p) = other.strip_prefix("fixed:") {
                 let p: usize = p
                     .parse()
                     .map_err(|_| format!("invalid fixed partition point {p:?}"))?;
                 return Ok(Box::new(FixedPolicy::new(p)));
+            }
+            if let Some(b) = other.strip_prefix("quant:") {
+                let budget: f64 = b
+                    .parse()
+                    .ok()
+                    .filter(|b: &f64| *b >= 0.0 && b.is_finite())
+                    .ok_or_else(|| format!("invalid accuracy budget {b:?}"))?;
+                return Ok(Box::new(
+                    crate::quant::QuantPolicy::new(budget).named(other),
+                ));
             }
             Err(format!(
                 "unknown policy {other:?}; available: {}",

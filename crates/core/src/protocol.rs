@@ -12,11 +12,15 @@
 //! round-trips byte-exactly).
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use lp_graph::Precision;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Protocol version carried in every frame.
-pub const PROTOCOL_VERSION: u8 = 1;
+/// Protocol version carried in every frame. Version 2 added the
+/// upload-tensor precision byte to [`Message::OffloadRequest`] (the frame
+/// layout changed, so version-1 peers fail safe with
+/// [`ProtocolError::BadVersion`] instead of misparsing).
+pub const PROTOCOL_VERSION: u8 = 2;
 
 /// Hard cap on one message's payload blob. Anything larger is refused at
 /// encode time with [`ProtocolError::Oversized`] — well before the
@@ -114,6 +118,9 @@ pub enum Message {
         request_id: u64,
         /// The partition point `p`, so the server can partition/cache.
         partition_point: u32,
+        /// Upload-tensor precision, so the server dequantizes at the
+        /// negotiated width (one byte on the wire, [`Precision::wire`]).
+        precision: Precision,
         /// The packed intermediate tensors (MakeTuple output).
         payload: Bytes,
     },
@@ -166,7 +173,7 @@ impl Message {
     #[must_use]
     fn header_len(&self) -> usize {
         2 + match self {
-            Message::OffloadRequest { .. } => 8 + 4 + 4,
+            Message::OffloadRequest { .. } => 8 + 4 + 1 + 4,
             Message::OffloadResponse { .. } => 8 + 8 + 4,
             Message::LoadQuery | Message::ProbeAck | Message::Shutdown => 0,
             Message::LoadReply { .. } => 8,
@@ -203,12 +210,14 @@ impl Message {
             Message::OffloadRequest {
                 request_id,
                 partition_point,
+                precision,
                 payload,
             } => {
                 let len = Self::payload_len_prefix(payload)?;
                 b.put_u8(TAG_OFFLOAD_REQUEST);
                 b.put_u64_le(*request_id);
                 b.put_u32_le(*partition_point);
+                b.put_u8(precision.wire());
                 b.put_u32_le(len);
             }
             Message::OffloadResponse {
@@ -303,15 +312,19 @@ impl Message {
             buf.advance(1);
             let tag = buf.get_u8();
             match tag {
-                TAG_OFFLOAD_REQUEST if buf.remaining() == 16 => {
+                TAG_OFFLOAD_REQUEST if buf.remaining() == 17 => {
                     let request_id = buf.get_u64_le();
                     let partition_point = buf.get_u32_le();
-                    if buf.get_u32_le() as usize == frame.payload.len() {
-                        return Ok(Message::OffloadRequest {
-                            request_id,
-                            partition_point,
-                            payload: frame.payload,
-                        });
+                    let precision = Precision::from_wire(buf.get_u8());
+                    if let Some(precision) = precision {
+                        if buf.get_u32_le() as usize == frame.payload.len() {
+                            return Ok(Message::OffloadRequest {
+                                request_id,
+                                partition_point,
+                                precision,
+                                payload: frame.payload,
+                            });
+                        }
                     }
                 }
                 TAG_OFFLOAD_RESPONSE if buf.remaining() == 20 => {
@@ -367,15 +380,19 @@ impl Message {
         };
         let msg = match tag {
             TAG_OFFLOAD_REQUEST => {
-                need(&buf, 16)?;
+                need(&buf, 17)?;
                 let request_id = buf.get_u64_le();
                 let partition_point = buf.get_u32_le();
+                let precision_byte = buf.get_u8();
+                let precision = Precision::from_wire(precision_byte)
+                    .ok_or(ProtocolError::BadPrecision(precision_byte))?;
                 let len = buf.get_u32_le() as usize;
                 need(&buf, len)?;
                 let payload = buf.copy_to_bytes(len);
                 Ok(Message::OffloadRequest {
                     request_id,
                     partition_point,
+                    precision,
                     payload,
                 })
             }
@@ -465,6 +482,11 @@ pub enum ProtocolError {
     BadVersion(u8),
     /// Unknown message tag.
     UnknownTag(u8),
+    /// Unknown upload-tensor precision byte on an offload request. Unlike
+    /// an unknown *tag* (a message kind this decoder can skip), an unknown
+    /// precision means the payload cannot be interpreted at all, and a
+    /// resend of the same frame fails identically — so it is not transient.
+    BadPrecision(u8),
     /// Bytes were left over after a well-formed message — the framing has
     /// desynced (carries the leftover byte count).
     TrailingBytes(usize),
@@ -486,11 +508,12 @@ pub enum ProtocolError {
 
 impl ProtocolError {
     /// Whether retrying the whole exchange may succeed. Everything except
-    /// a dead peer or an oversized payload is worth retrying: timeouts and
-    /// unexpected frames are transient, and a corrupt frame (truncated /
-    /// bad version / unknown tag / trailing bytes) may decode fine on a
-    /// resend. An oversized payload is deterministic — resending the same
-    /// message fails the same way — so it is not transient.
+    /// a dead peer, an oversized payload or an unknown precision is worth
+    /// retrying: timeouts and unexpected frames are transient, and a
+    /// corrupt frame (truncated / bad version / unknown tag / trailing
+    /// bytes) may decode fine on a resend. Oversized payloads and unknown
+    /// precisions are deterministic — resending the same message fails the
+    /// same way — so they are not transient.
     #[must_use]
     pub fn is_transient(&self) -> bool {
         !matches!(
@@ -498,6 +521,7 @@ impl ProtocolError {
             ProtocolError::Disconnected
                 | ProtocolError::ServerPanicked
                 | ProtocolError::Oversized(_)
+                | ProtocolError::BadPrecision(_)
         )
     }
 }
@@ -508,6 +532,9 @@ impl fmt::Display for ProtocolError {
             ProtocolError::Truncated => write!(f, "frame truncated"),
             ProtocolError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
             ProtocolError::UnknownTag(t) => write!(f, "unknown message tag {t}"),
+            ProtocolError::BadPrecision(p) => {
+                write!(f, "unknown upload-tensor precision {p}")
+            }
             ProtocolError::TrailingBytes(n) => {
                 write!(f, "{n} trailing byte(s) after a well-formed message")
             }
@@ -539,6 +566,7 @@ mod tests {
             Message::OffloadRequest {
                 request_id: 42,
                 partition_point: 8,
+                precision: Precision::Int8,
                 payload: Bytes::from(vec![7u8; 48]),
             },
             Message::OffloadResponse {
@@ -563,11 +591,14 @@ mod tests {
 
     #[test]
     fn all_variants_round_trip() {
-        round_trip(Message::OffloadRequest {
-            request_id: 42,
-            partition_point: 8,
-            payload: Bytes::from(vec![7u8; 129_792]),
-        });
+        for precision in Precision::ALL {
+            round_trip(Message::OffloadRequest {
+                request_id: 42,
+                partition_point: 8,
+                precision,
+                payload: Bytes::from(vec![7u8; 129_792]),
+            });
+        }
         round_trip(Message::OffloadResponse {
             request_id: 42,
             server_time_us: 1_234,
@@ -595,6 +626,7 @@ mod tests {
         round_trip(Message::OffloadRequest {
             request_id: 0,
             partition_point: 0,
+            precision: Precision::Fp32,
             payload: Bytes::new(),
         });
     }
@@ -604,6 +636,7 @@ mod tests {
         let full = Message::OffloadRequest {
             request_id: 1,
             partition_point: 2,
+            precision: Precision::Int4,
             payload: Bytes::from(vec![0u8; 64]),
         }
         .encode()
@@ -659,6 +692,7 @@ mod tests {
             Message::OffloadRequest {
                 request_id: 1,
                 partition_point: 2,
+                precision: Precision::Fp16,
                 payload: Bytes::new(),
             },
             Message::OffloadResponse {
@@ -697,6 +731,7 @@ mod tests {
         assert!(ProtocolError::Unexpected(2).is_transient());
         assert!(!ProtocolError::Disconnected.is_transient());
         assert!(!ProtocolError::ServerPanicked.is_transient());
+        assert!(!ProtocolError::BadPrecision(4).is_transient());
     }
 
     #[test]
@@ -723,6 +758,7 @@ mod tests {
             Message::OffloadRequest {
                 request_id: 42,
                 partition_point: 8,
+                precision: Precision::Int4,
                 payload: Bytes::from(vec![7u8; 129_792]),
             },
             Message::OffloadResponse {
@@ -760,6 +796,7 @@ mod tests {
         let m = Message::OffloadRequest {
             request_id: 7,
             partition_point: 3,
+            precision: Precision::Int8,
             payload: payload.clone(),
         };
         let frame = m.to_frame().expect("encodes");
@@ -798,6 +835,7 @@ mod tests {
         let mut frame = Message::OffloadRequest {
             request_id: 1,
             partition_point: 2,
+            precision: Precision::Fp32,
             payload: Bytes::from(vec![0u8; 64]),
         }
         .to_frame()
@@ -894,6 +932,7 @@ mod tests {
             Message::OffloadRequest {
                 request_id: 1,
                 partition_point: 2,
+                precision: Precision::Fp32,
                 payload: payload.clone(),
             },
             Message::OffloadResponse {
@@ -924,5 +963,64 @@ mod tests {
         assert!(ProtocolError::Oversized(70_000_000)
             .to_string()
             .contains("70000000"));
+        assert!(ProtocolError::BadPrecision(9)
+            .to_string()
+            .contains("precision 9"));
+    }
+
+    /// Forward compatibility, precision edition (the TAG-8 story one field
+    /// deeper): a frame declaring a precision this decoder doesn't know
+    /// must decode to [`ProtocolError::BadPrecision`] — never panic, never
+    /// misparse the payload at a guessed width — and the error must be
+    /// non-transient, because resending the identical frame fails the same
+    /// way.
+    #[test]
+    fn unknown_precisions_fail_safe_and_deterministic() {
+        let good = Message::OffloadRequest {
+            request_id: 11,
+            partition_point: 4,
+            precision: Precision::Int8,
+            payload: Bytes::from(vec![3u8; 24]),
+        };
+        let encoded = good.encode().expect("encodes");
+        // The precision byte sits after version(1) + tag(1) + id(8) + p(4).
+        const PRECISION_OFFSET: usize = 14;
+        for bad in [4u8, 5, 17, 255] {
+            let mut v = encoded.to_vec();
+            v[PRECISION_OFFSET] = bad;
+            let err = Message::decode(Bytes::from(v)).unwrap_err();
+            assert_eq!(err, ProtocolError::BadPrecision(bad));
+            assert!(!err.is_transient(), "precision {bad} must not be retried");
+        }
+        // Same through the split-frame decoder (fast path falls back to
+        // the contiguous one, so the error class is identical).
+        for bad in [4u8, 200] {
+            let mut frame = good.to_frame().expect("encodes");
+            let mut header = frame.header.to_vec();
+            header[PRECISION_OFFSET] = bad;
+            frame.header = Bytes::from(header);
+            assert_eq!(
+                Message::decode_frame(frame).unwrap_err(),
+                ProtocolError::BadPrecision(bad)
+            );
+        }
+    }
+
+    /// Every precision survives the zero-copy frame path, and the wire
+    /// byte is where the layout says it is.
+    #[test]
+    fn precisions_survive_the_frame_round_trip() {
+        for precision in Precision::ALL {
+            let m = Message::OffloadRequest {
+                request_id: 5,
+                partition_point: 2,
+                precision,
+                payload: Bytes::from(vec![8u8; 96]),
+            };
+            let frame = m.to_frame().expect("encodes");
+            assert_eq!(frame.header[14], precision.wire());
+            let decoded = Message::decode_frame(frame).expect("round trip");
+            assert_eq!(decoded, m);
+        }
     }
 }

@@ -1,0 +1,729 @@
+//! The quantization bandwidth-sweep benchmark behind
+//! `loadpart bench --quant`.
+//!
+//! The figure-6-style experiment: four client configurations face the same
+//! server over a real loopback-TCP wire whose uplink is squeezed by the
+//! deterministic [`EmulatedLink`] rate limiter, at every bandwidth in a
+//! sweep that runs down into link starvation:
+//!
+//! * **local** — pure on-device inference ([`Policy::Local`]); costs the
+//!   full device prefix on the sleeping device executor's wall clock.
+//! * **fp32** — plain Algorithm 1 at fp32 ([`Policy::LoadPart`]); on a
+//!   starved link it correctly degenerates to `p = n` and matches local.
+//! * **fp32-offload** — the best fp32 *offloading* point (`p < n`
+//!   forced): what partial offload costs without quantization.
+//! * **quant** — the joint (p, precision) policy ([`QuantPolicy`]): the
+//!   upload shrinks 2-8x, so offload stays profitable on links where fp32
+//!   gave up.
+//!
+//! Wall time is real everywhere: the device sleeps its trained prefix
+//! prediction, the link serializes frames at the swept rate, and the
+//! server charges [`QuantBenchConfig::suffix_cost`] per suffix. The
+//! [`QuantBenchConfig::time_scale`] knob shrinks *all three* proportionally
+//! (sleep x scale, rate / scale, suffix x scale), so quick runs preserve
+//! every latency ratio the report asserts on.
+//!
+//! Results serialize to the `BENCH_quant.json` document consumed by CI's
+//! quant smoke job, including the two claims that gate it: the starved
+//! point's quant-over-fp32-offload speedup and the bandwidth band where
+//! quant beats pure-local while fp32 picks `p = n`.
+
+use crate::algorithm::Decision;
+use crate::baselines::Policy;
+use crate::emulator::{EmulatedLink, LinkSpec};
+use crate::engine::backends::{WireBackend, WireTransport};
+use crate::engine::{DeviceExecutor, EngineConfig, OffloadEngine};
+use crate::policy::{PartitionPolicy, PolicyContext};
+use crate::quant::QuantPolicy;
+use crate::telemetry::Telemetry;
+use crate::threaded::{spawn_server_tuned, LoadEnv, ServerFaultSpec, ServerTuning};
+use crate::transport::{SocketServer, TcpFrameChannel};
+use lp_graph::{ComputationGraph, Precision};
+use lp_profiler::PredictionModels;
+use lp_sim::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The four client configurations of the sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuantBenchMode {
+    /// Pure on-device inference.
+    Local,
+    /// Plain fp32 Algorithm 1 (may itself pick `p = n`).
+    Fp32,
+    /// The best fp32 offloading point, `p < n` forced.
+    Fp32Offload,
+    /// The joint (p, precision) quantization policy.
+    Quant,
+}
+
+impl QuantBenchMode {
+    /// All modes, report order.
+    #[must_use]
+    pub fn all() -> [QuantBenchMode; 4] {
+        [
+            QuantBenchMode::Local,
+            QuantBenchMode::Fp32,
+            QuantBenchMode::Fp32Offload,
+            QuantBenchMode::Quant,
+        ]
+    }
+
+    /// Stable name used in the JSON document.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            QuantBenchMode::Local => "local",
+            QuantBenchMode::Fp32 => "fp32",
+            QuantBenchMode::Fp32Offload => "fp32-offload",
+            QuantBenchMode::Quant => "quant",
+        }
+    }
+}
+
+/// Configuration of one quantization sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantBenchConfig {
+    /// Uplink bandwidths to sweep (Mbps), generous to starved.
+    pub bandwidths_mbps: Vec<f64>,
+    /// Requests per (mode, bandwidth) point.
+    pub requests: usize,
+    /// Accuracy budget handed to the quant policy (top-1 fraction).
+    pub accuracy_budget: f64,
+    /// Per-suffix wall cost charged on the server (before `time_scale`).
+    pub suffix_cost: Duration,
+    /// One-way link propagation delay (before `time_scale`).
+    pub link_latency: Duration,
+    /// Proportional wall-time compression: device sleeps and the suffix
+    /// cost multiply by it, the link rate divides by it. `1.0` = real
+    /// time; CI's quick sweep uses a fraction. Latency *ratios* between
+    /// modes are invariant under it.
+    pub time_scale: f64,
+    /// Training-set size for the prediction models (shared, memoized).
+    pub samples_per_kind: usize,
+    /// RNG seed (models and engine seeds derive from it).
+    pub seed: u64,
+    /// Connect to an already-running `loadpart serve` here instead of
+    /// spawning a loopback server (the two-process run; the server's own
+    /// `--suffix-cost-ms` then applies and is NOT rescaled).
+    pub connect: Option<String>,
+}
+
+impl Default for QuantBenchConfig {
+    fn default() -> Self {
+        Self {
+            bandwidths_mbps: vec![16.0, 8.0, 4.0, 2.0, 1.0],
+            requests: 10,
+            // Two top-1 points: admits int4 on alexnet's shallow cuts
+            // (modeled drop ~0.018), the 8x compression the starved-band
+            // claims are measured at. The policy registry's bare `quant`
+            // default stays the stricter
+            // [`crate::quant::DEFAULT_ACCURACY_BUDGET`].
+            accuracy_budget: 0.02,
+            suffix_cost: Duration::from_millis(2),
+            link_latency: Duration::from_millis(2),
+            time_scale: 1.0,
+            samples_per_kind: 150,
+            seed: 42,
+            connect: None,
+        }
+    }
+}
+
+impl QuantBenchConfig {
+    /// The CI smoke configuration: fewer points, compressed wall time.
+    #[must_use]
+    pub fn quick() -> Self {
+        Self {
+            bandwidths_mbps: vec![8.0, 2.0, 1.0],
+            requests: 4,
+            time_scale: 0.25,
+            samples_per_kind: 64,
+            ..Self::default()
+        }
+    }
+}
+
+/// One measured (bandwidth, mode) point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantModeStats {
+    /// Client configuration measured.
+    pub mode: QuantBenchMode,
+    /// Swept uplink bandwidth (Mbps) — both the engine's estimate and the
+    /// emulated link's rate.
+    pub bandwidth_mbps: f64,
+    /// Requests completed.
+    pub requests: u64,
+    /// Mean end-to-end wall latency, milliseconds.
+    pub mean_ms: f64,
+    /// Median wall latency, milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile wall latency, milliseconds.
+    pub p95_ms: f64,
+    /// Requests whose suffix ran on the server.
+    pub offloaded: u64,
+    /// Mean chosen partition point.
+    pub mean_p: f64,
+    /// Fp32 bytes of the crossing tensors, summed (0 when local).
+    pub raw_bytes: u64,
+    /// Bytes actually shipped after quantization, summed.
+    pub sent_bytes: u64,
+    /// Decisions per precision, [`Precision::wire`] order.
+    pub precision_counts: [u64; 4],
+}
+
+impl QuantModeStats {
+    /// Upload bytes the mode saved versus fp32 at the same cuts.
+    #[must_use]
+    pub fn bytes_saved(&self) -> u64 {
+        self.raw_bytes.saturating_sub(self.sent_bytes)
+    }
+}
+
+/// The full sweep result, serializable to `BENCH_quant.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantBenchReport {
+    /// Every measured point: bandwidths in config order, modes in
+    /// [`QuantBenchMode::all`] order within each bandwidth.
+    pub points: Vec<QuantModeStats>,
+    /// Accuracy budget the quant policy ran under.
+    pub accuracy_budget: f64,
+    /// Wall-time compression factor the run used.
+    pub time_scale: f64,
+    /// Per-suffix cost charged (after `time_scale`).
+    pub suffix_cost: Duration,
+    /// `"tcp"` for a spawned loopback server, `"tcp-remote"` for
+    /// `--connect`.
+    pub transport: String,
+    /// Payload-pool hits gained across the sweep (steady-state uploads
+    /// are refcount bumps, not allocations).
+    pub pool_hits: u64,
+    /// Payload-pool misses gained across the sweep (one per distinct
+    /// payload size, warmup only).
+    pub pool_misses: u64,
+}
+
+impl QuantBenchReport {
+    /// The point for `(mode, bandwidth)`, if measured.
+    #[must_use]
+    pub fn point(&self, mode: QuantBenchMode, bandwidth_mbps: f64) -> Option<&QuantModeStats> {
+        self.points
+            .iter()
+            .find(|p| p.mode == mode && (p.bandwidth_mbps - bandwidth_mbps).abs() < 1e-9)
+    }
+
+    /// Quant-over-fp32-offload mean-latency speedup at `bandwidth`.
+    #[must_use]
+    pub fn speedup_at(&self, bandwidth_mbps: f64) -> Option<f64> {
+        let fp32 = self.point(QuantBenchMode::Fp32Offload, bandwidth_mbps)?;
+        let quant = self.point(QuantBenchMode::Quant, bandwidth_mbps)?;
+        (quant.mean_ms > 0.0).then(|| fp32.mean_ms / quant.mean_ms)
+    }
+
+    /// Bandwidths (Mbps) where fp32 Algorithm 1 went pure-local on every
+    /// request while the quant policy offloaded and finished faster than
+    /// local — the starved band the paper's mechanism cannot reach.
+    #[must_use]
+    pub fn quant_beats_local_band(&self) -> Vec<f64> {
+        self.points
+            .iter()
+            .filter(|p| p.mode == QuantBenchMode::Quant)
+            .map(|p| p.bandwidth_mbps)
+            .filter(|&bw| {
+                let (Some(fp32), Some(local), Some(quant)) = (
+                    self.point(QuantBenchMode::Fp32, bw),
+                    self.point(QuantBenchMode::Local, bw),
+                    self.point(QuantBenchMode::Quant, bw),
+                ) else {
+                    return false;
+                };
+                fp32.offloaded == 0 && quant.offloaded > 0 && quant.mean_ms < local.mean_ms
+            })
+            .collect()
+    }
+
+    /// The starved-link point: the highest swept bandwidth at which fp32
+    /// Algorithm 1 abandoned offload entirely — the entry of the starved
+    /// band — with its quant-over-fp32-offload speedup. Falls back to the
+    /// lowest swept bandwidth when the band is empty.
+    #[must_use]
+    pub fn starved_speedup(&self) -> Option<(f64, f64)> {
+        let band_entry = self
+            .quant_beats_local_band()
+            .into_iter()
+            .fold(f64::NEG_INFINITY, f64::max);
+        let bw = if band_entry.is_finite() {
+            band_entry
+        } else {
+            self.points
+                .iter()
+                .map(|p| p.bandwidth_mbps)
+                .fold(f64::INFINITY, f64::min)
+        };
+        if !bw.is_finite() {
+            return None;
+        }
+        self.speedup_at(bw).map(|s| (bw, s))
+    }
+
+    /// Serializes to the `BENCH_quant.json` document.
+    #[must_use]
+    pub fn to_json(&self) -> lp_json::Json {
+        use lp_json::Json;
+        let points = self
+            .points
+            .iter()
+            .map(|p| {
+                Json::Obj(vec![
+                    ("mode".into(), Json::Str(p.mode.name().into())),
+                    ("bandwidth_mbps".into(), Json::Num(p.bandwidth_mbps)),
+                    ("requests".into(), Json::Num(p.requests as f64)),
+                    ("mean_ms".into(), Json::Num(p.mean_ms)),
+                    ("p50_ms".into(), Json::Num(p.p50_ms)),
+                    ("p95_ms".into(), Json::Num(p.p95_ms)),
+                    ("offloaded".into(), Json::Num(p.offloaded as f64)),
+                    ("mean_p".into(), Json::Num(p.mean_p)),
+                    ("raw_bytes".into(), Json::Num(p.raw_bytes as f64)),
+                    ("sent_bytes".into(), Json::Num(p.sent_bytes as f64)),
+                    ("bytes_saved".into(), Json::Num(p.bytes_saved() as f64)),
+                    (
+                        "precision_counts".into(),
+                        Json::Obj(
+                            Precision::ALL
+                                .iter()
+                                .map(|&q| {
+                                    (
+                                        q.as_str().to_string(),
+                                        Json::Num(p.precision_counts[q.wire() as usize] as f64),
+                                    )
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        let starved = self.starved_speedup();
+        Json::Obj(vec![
+            ("benchmark".into(), Json::Str("quant".into())),
+            ("transport".into(), Json::Str(self.transport.clone())),
+            ("accuracy_budget".into(), Json::Num(self.accuracy_budget)),
+            ("time_scale".into(), Json::Num(self.time_scale)),
+            (
+                "suffix_cost_ms".into(),
+                Json::Num(self.suffix_cost.as_secs_f64() * 1e3),
+            ),
+            ("points".into(), Json::Arr(points)),
+            (
+                "quant_beats_local_band_mbps".into(),
+                Json::Arr(
+                    self.quant_beats_local_band()
+                        .into_iter()
+                        .map(Json::Num)
+                        .collect(),
+                ),
+            ),
+            (
+                "starved_bandwidth_mbps".into(),
+                Json::Num(starved.map_or(0.0, |(bw, _)| bw)),
+            ),
+            (
+                "starved_speedup_vs_fp32_offload".into(),
+                Json::Num(starved.map_or(0.0, |(_, s)| s)),
+            ),
+            ("pool_hits".into(), Json::Num(self.pool_hits as f64)),
+            ("pool_misses".into(), Json::Num(self.pool_misses as f64)),
+        ])
+    }
+
+    /// Renders a fixed-width summary table for the terminal.
+    #[must_use]
+    pub fn render_table(&self) -> String {
+        let mut out = format!(
+            "quant sweep — budget {:.3}, time scale {:.2}\n{:>8}  {:>12}  {:>9}  {:>9}  {:>5}  {:>12}  {:>12}  precisions\n",
+            self.accuracy_budget,
+            self.time_scale,
+            "bw Mbps",
+            "mode",
+            "mean ms",
+            "p95 ms",
+            "off",
+            "raw bytes",
+            "sent bytes"
+        );
+        for p in &self.points {
+            let precisions: Vec<String> = Precision::ALL
+                .iter()
+                .filter(|&&q| p.precision_counts[q.wire() as usize] > 0)
+                .map(|&q| format!("{}:{}", q.as_str(), p.precision_counts[q.wire() as usize]))
+                .collect();
+            out.push_str(&format!(
+                "{:>8.2}  {:>12}  {:>9.1}  {:>9.1}  {:>5}  {:>12}  {:>12}  [{}]\n",
+                p.bandwidth_mbps,
+                p.mode.name(),
+                p.mean_ms,
+                p.p95_ms,
+                p.offloaded,
+                p.raw_bytes,
+                p.sent_bytes,
+                precisions.join(" ")
+            ));
+        }
+        if let Some((bw, s)) = self.starved_speedup() {
+            out.push_str(&format!(
+                "starved point {bw:.2} Mbps: quant {s:.2}x faster than fp32 offload\n"
+            ));
+        }
+        let band = self.quant_beats_local_band();
+        if band.is_empty() {
+            out.push_str("no quant-beats-local band measured\n");
+        } else {
+            let list: Vec<String> = band.iter().map(|b| format!("{b:.2}")).collect();
+            out.push_str(&format!(
+                "quant beats pure-local (fp32 all-local) at: {} Mbps\n",
+                list.join(", ")
+            ));
+        }
+        out
+    }
+}
+
+/// A device that *sleeps* its trained per-range prediction (scaled by
+/// [`QuantBenchConfig::time_scale`]), so pure-local inference costs real
+/// wall time — the cost the starved-link claims weigh offloading against.
+#[derive(Debug)]
+struct SleepDevice<'a> {
+    models: &'a PredictionModels,
+    scale: f64,
+}
+
+impl DeviceExecutor for SleepDevice<'_> {
+    fn execute_range(
+        &mut self,
+        graph: &ComputationGraph,
+        from: usize,
+        to: usize,
+        _rng: &mut StdRng,
+    ) -> SimDuration {
+        // `execute_range` is `from`-exclusive, `predict_range` 1-based
+        // inclusive.
+        let t = self.models.predict_range(graph, from + 1, to);
+        let wall = t.as_secs_f64() * self.scale;
+        if wall > 0.0 {
+            std::thread::sleep(Duration::from_secs_f64(wall));
+        }
+        t
+    }
+}
+
+/// The best fp32 *offloading* point: Algorithm 1's scan restricted to
+/// `p < n` — what partial offload costs when quantization is off the
+/// table. Same `<=` update as the solver, so ties go to the larger `p`.
+#[derive(Debug)]
+struct ForcedOffloadPolicy;
+
+impl PartitionPolicy for ForcedOffloadPolicy {
+    fn name(&self) -> &str {
+        "fp32-offload"
+    }
+
+    fn decide(&mut self, ctx: &PolicyContext<'_>) -> Decision {
+        let solver = ctx.solver;
+        let n = solver.len();
+        let mut best = solver.latency_at(0, ctx.bandwidth_mbps, ctx.k);
+        for p in 1..n {
+            let cand = solver.latency_at(p, ctx.bandwidth_mbps, ctx.k);
+            if cand.predicted <= best.predicted {
+                best = cand;
+            }
+        }
+        best
+    }
+}
+
+/// The server end of one sweep: a locally spawned loopback socket server
+/// or an externally managed `loadpart serve`.
+enum QuantServer {
+    Socket(SocketServer),
+    Remote(String),
+}
+
+impl QuantServer {
+    fn connect(&self) -> TcpFrameChannel {
+        match self {
+            QuantServer::Socket(sock) => {
+                TcpFrameChannel::connect(sock.local_addr()).expect("connect quant bench client")
+            }
+            QuantServer::Remote(addr) => {
+                TcpFrameChannel::connect(addr.as_str()).expect("connect remote quant server")
+            }
+        }
+    }
+
+    fn finish(self) {
+        if let QuantServer::Socket(sock) = self {
+            sock.shutdown().expect("clean quant server shutdown");
+        }
+    }
+}
+
+/// Runs the full sweep: every mode at every bandwidth, one shared server.
+///
+/// # Panics
+///
+/// Panics if the server or a wire exchange breaks mid-measurement — a
+/// benchmark over a broken runtime has no meaningful result.
+#[must_use]
+pub fn quant_bench(config: &QuantBenchConfig) -> QuantBenchReport {
+    assert!(config.time_scale > 0.0, "time_scale must be positive");
+    let graph = Arc::new(lp_models::alexnet(1));
+    let (user, edge) = crate::system::trained_models(config.samples_per_kind, config.seed);
+    let suffix_cost = config.suffix_cost.mul_f64(config.time_scale);
+    let server = match &config.connect {
+        Some(addr) => QuantServer::Remote(addr.clone()),
+        None => {
+            let handle = spawn_server_tuned(
+                Arc::clone(&graph),
+                edge.clone(),
+                LoadEnv::new(1.0),
+                ServerFaultSpec::default(),
+                None,
+                &Telemetry::disabled(),
+                ServerTuning {
+                    suffix_cost,
+                    ..ServerTuning::default()
+                },
+            );
+            QuantServer::Socket(
+                SocketServer::bind_tcp("127.0.0.1:0", handle).expect("bind quant bench server"),
+            )
+        }
+    };
+    let (hits0, misses0) = crate::pool::stats();
+    let mut points = Vec::new();
+    for &bw in &config.bandwidths_mbps {
+        assert!(bw > 0.0, "bandwidths must be positive");
+        for mode in QuantBenchMode::all() {
+            points.push(run_mode(mode, bw, &graph, &user, &edge, config, &server));
+        }
+    }
+    let (hits1, misses1) = crate::pool::stats();
+    server.finish();
+    QuantBenchReport {
+        points,
+        accuracy_budget: config.accuracy_budget,
+        time_scale: config.time_scale,
+        suffix_cost,
+        transport: if config.connect.is_some() {
+            "tcp-remote".to_string()
+        } else {
+            "tcp".to_string()
+        },
+        pool_hits: hits1.saturating_sub(hits0),
+        pool_misses: misses1.saturating_sub(misses0),
+    }
+}
+
+fn run_mode(
+    mode: QuantBenchMode,
+    bandwidth_mbps: f64,
+    graph: &Arc<ComputationGraph>,
+    user: &PredictionModels,
+    edge: &PredictionModels,
+    config: &QuantBenchConfig,
+    server: &QuantServer,
+) -> QuantModeStats {
+    let engine_config = EngineConfig {
+        seed: config.seed,
+        ..EngineConfig::default()
+    };
+    let mut engine = match mode {
+        QuantBenchMode::Local => OffloadEngine::new(
+            Arc::clone(graph),
+            Policy::Local,
+            user,
+            edge,
+            0,
+            engine_config,
+        ),
+        QuantBenchMode::Fp32 => OffloadEngine::new(
+            Arc::clone(graph),
+            Policy::LoadPart,
+            user,
+            edge,
+            0,
+            engine_config,
+        ),
+        QuantBenchMode::Fp32Offload => OffloadEngine::with_policy(
+            Arc::clone(graph),
+            Box::new(ForcedOffloadPolicy),
+            user,
+            edge,
+            0,
+            engine_config,
+        ),
+        QuantBenchMode::Quant => OffloadEngine::with_policy(
+            Arc::clone(graph),
+            Box::new(QuantPolicy::for_graph(graph, config.accuracy_budget)),
+            user,
+            edge,
+            0,
+            engine_config,
+        ),
+    }
+    .expect("quant bench engine config is valid");
+    let conn = server.connect();
+    // The swept rate squeezes the wire for real; `time_scale` compresses
+    // wall time without moving the decision layer's bandwidth estimate.
+    let link = EmulatedLink::new(
+        &conn,
+        LinkSpec {
+            latency: config.link_latency.mul_f64(config.time_scale),
+            rate_mbps: bandwidth_mbps / config.time_scale,
+            ..LinkSpec::default()
+        },
+    );
+    let mut device = SleepDevice {
+        models: user,
+        scale: config.time_scale,
+    };
+    let deadline = engine.config().io_timeout;
+    let period = engine.config().profiler_period;
+    let mut now = SimTime::ZERO;
+    let mut latencies = Vec::with_capacity(config.requests);
+    let mut offloaded = 0u64;
+    let mut p_sum = 0usize;
+    let mut raw_bytes = 0u64;
+    let mut sent_bytes = 0u64;
+    let mut precision_counts = [0u64; 4];
+    for _ in 0..config.requests {
+        now += period;
+        engine.profile_mut().inject_bandwidth(bandwidth_mbps);
+        let mut backend = WireBackend {
+            server: &link,
+            deadline,
+        };
+        let mut transport = WireTransport {
+            server: &link,
+            deadline,
+        };
+        let t0 = Instant::now();
+        let record = engine
+            .run(now, &mut device, &mut backend, &mut transport)
+            .expect("engine degradation absorbs wire faults");
+        latencies.push(t0.elapsed());
+        assert!(
+            !record.fallback_local && !record.rejected,
+            "quant bench runs must stay on the healthy path: {record:?}"
+        );
+        if record.offloaded() {
+            offloaded += 1;
+        }
+        p_sum += record.p;
+        raw_bytes += record.raw_bytes;
+        sent_bytes += record.uploaded_bytes;
+        precision_counts[record.precision.wire() as usize] += 1;
+    }
+    latencies.sort_unstable();
+    let requests = latencies.len() as u64;
+    let mean_ms = latencies.iter().map(Duration::as_secs_f64).sum::<f64>()
+        / latencies.len().max(1) as f64
+        * 1e3;
+    QuantModeStats {
+        mode,
+        bandwidth_mbps,
+        requests,
+        mean_ms,
+        p50_ms: percentile_ms(&latencies, 0.50),
+        p95_ms: percentile_ms(&latencies, 0.95),
+        offloaded,
+        mean_p: p_sum as f64 / requests.max(1) as f64,
+        raw_bytes,
+        sent_bytes,
+        precision_counts,
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted latency sample, in
+/// milliseconds.
+fn percentile_ms(sorted: &[Duration], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)].as_secs_f64() * 1e3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lp_json::Json;
+
+    /// A two-point sweep with heavy wall-time compression: shape of the
+    /// report, mode coverage, and the starved-band claims end to end.
+    #[test]
+    fn quick_sweep_shows_the_starved_band() {
+        let report = quant_bench(&QuantBenchConfig {
+            bandwidths_mbps: vec![8.0, 2.0],
+            requests: 3,
+            time_scale: 0.05,
+            samples_per_kind: 64,
+            ..QuantBenchConfig::default()
+        });
+        assert_eq!(report.points.len(), 8, "4 modes x 2 bandwidths");
+        for p in &report.points {
+            assert_eq!(p.requests, 3);
+            assert!(p.mean_ms > 0.0, "{p:?}");
+            assert!(p.p95_ms >= p.p50_ms, "{p:?}");
+        }
+        let local = report.point(QuantBenchMode::Local, 2.0).expect("measured");
+        assert_eq!(local.offloaded, 0);
+        assert_eq!(local.sent_bytes, 0);
+        let fp32 = report.point(QuantBenchMode::Fp32, 2.0).expect("measured");
+        assert_eq!(fp32.offloaded, 0, "2 Mbps starves fp32 into p = n");
+        let quant = report.point(QuantBenchMode::Quant, 2.0).expect("measured");
+        assert_eq!(quant.offloaded, 3, "quant keeps offloading when starved");
+        assert!(quant.sent_bytes < quant.raw_bytes, "{quant:?}");
+        assert!(
+            quant.precision_counts[Precision::Fp32.wire() as usize] == 0,
+            "starved decisions must be narrow: {quant:?}"
+        );
+        assert!(quant.mean_ms < local.mean_ms, "{quant:?} vs {local:?}");
+        assert!(report.quant_beats_local_band().contains(&2.0));
+        let (bw, speedup) = report.starved_speedup().expect("both modes measured");
+        assert!((bw - 2.0).abs() < 1e-9);
+        assert!(speedup > 1.0, "quant must beat fp32 offload: {speedup}");
+    }
+
+    #[test]
+    fn report_serializes_to_parseable_json() {
+        let report = quant_bench(&QuantBenchConfig {
+            bandwidths_mbps: vec![4.0],
+            requests: 2,
+            time_scale: 0.05,
+            samples_per_kind: 64,
+            ..QuantBenchConfig::default()
+        });
+        let text = report.to_json().to_string_pretty();
+        let parsed = Json::parse(&text).expect("round-trips");
+        assert_eq!(
+            parsed.get("benchmark").and_then(Json::as_str),
+            Some("quant")
+        );
+        assert_eq!(parsed.get("transport").and_then(Json::as_str), Some("tcp"));
+        let points = parsed
+            .get("points")
+            .and_then(Json::as_arr)
+            .expect("points array");
+        assert_eq!(points.len(), 4);
+        for p in points {
+            for key in ["mean_ms", "raw_bytes", "sent_bytes", "offloaded"] {
+                assert!(p.get(key).and_then(Json::as_f64).is_some(), "missing {key}");
+            }
+            assert!(p.get("precision_counts").is_some());
+        }
+        assert!(parsed.get("starved_speedup_vs_fp32_offload").is_some());
+        assert!(report.render_table().contains("quant"));
+    }
+}

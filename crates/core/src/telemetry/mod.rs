@@ -176,6 +176,17 @@ pub struct EngineMetrics {
     pub bandwidth_mbps: Gauge,
     /// `engine.partition_point` — the latest chosen `p`.
     pub partition_point: Gauge,
+    /// `engine.upload_bytes_raw_total` — fp32 bytes of crossing tensors
+    /// before quantization, summed over offloaded requests.
+    pub upload_bytes_raw: Counter,
+    /// `engine.upload_bytes_sent_total` — bytes actually shipped on the
+    /// wire after quantization (equals raw on the fp32 path); the gap to
+    /// `_raw_total` is the bytes-saved figure.
+    pub upload_bytes_sent: Counter,
+    /// `engine.precision_{fp32,fp16,int8,int4}_total` — decisions per
+    /// negotiated upload precision, indexed by [`lp_graph::Precision::wire`]
+    /// order.
+    pub precision_decisions: [Counter; 4],
 }
 
 impl EngineMetrics {
@@ -201,6 +212,14 @@ impl EngineMetrics {
             k: registry.gauge("engine.k"),
             bandwidth_mbps: registry.gauge("engine.bandwidth_mbps"),
             partition_point: registry.gauge("engine.partition_point"),
+            upload_bytes_raw: registry.counter("engine.upload_bytes_raw_total"),
+            upload_bytes_sent: registry.counter("engine.upload_bytes_sent_total"),
+            precision_decisions: [
+                registry.counter("engine.precision_fp32_total"),
+                registry.counter("engine.precision_fp16_total"),
+                registry.counter("engine.precision_int8_total"),
+                registry.counter("engine.precision_int4_total"),
+            ],
         }
     }
 }

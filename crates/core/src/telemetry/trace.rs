@@ -4,7 +4,9 @@
 //! Every driver emits the same span sequence per request, stamped with
 //! **sim time** so traces are deterministic for a given seed:
 //!
-//! * offloaded: `Decide → DevicePrefix → Upload → ServerSuffix → Finish`
+//! * offloaded: `Decide → DevicePrefix [→ Quantize] → Upload →
+//!   ServerSuffix → Finish` (`Quantize` only when a narrow upload
+//!   precision was negotiated, so fp32 sequences are unchanged)
 //! * local (p == n): `Decide → DevicePrefix → Finish`
 //! * fallback after a failed upload/suffix: `Decide → DevicePrefix
 //!   [→ Upload] → Finish` with [`SpanEvent::fallback_local`] set.
@@ -31,6 +33,10 @@ pub enum SpanKind {
     Decide,
     /// Executing layers `0..p` on the device.
     DevicePrefix,
+    /// Quantizing the cut tensor before upload (emitted only when a
+    /// narrow precision was negotiated; `bytes` carries the bytes saved
+    /// versus fp32, so the fp32 span sequence is untouched).
+    Quantize,
     /// Shipping the cut tensor to the server.
     Upload,
     /// Executing layers `p..n` on the server.
@@ -52,6 +58,7 @@ impl SpanKind {
         match self {
             SpanKind::Decide => "decide",
             SpanKind::DevicePrefix => "device_prefix",
+            SpanKind::Quantize => "quantize",
             SpanKind::Upload => "upload",
             SpanKind::ServerSuffix => "server_suffix",
             SpanKind::Rejected => "rejected",
@@ -319,6 +326,7 @@ mod tests {
     fn span_kind_names_are_stable() {
         assert_eq!(SpanKind::Decide.as_str(), "decide");
         assert_eq!(SpanKind::DevicePrefix.as_str(), "device_prefix");
+        assert_eq!(SpanKind::Quantize.as_str(), "quantize");
         assert_eq!(SpanKind::Upload.as_str(), "upload");
         assert_eq!(SpanKind::ServerSuffix.as_str(), "server_suffix");
         assert_eq!(SpanKind::Rejected.as_str(), "rejected");

@@ -38,7 +38,7 @@ use crate::pool::zero_payload;
 use crate::protocol::{Frame, Message, ProtocolError};
 use crate::telemetry::{Counter, Gauge, Telemetry};
 use bytes::Bytes;
-use lp_graph::ComputationGraph;
+use lp_graph::{ComputationGraph, Precision};
 use lp_profiler::{LoadFactorTracker, PredictionModels};
 use lp_sim::{SimDuration, SimTime};
 use std::collections::HashMap;
@@ -434,6 +434,9 @@ struct ServerMetrics {
     batched_suffixes: Counter,
     /// Coalesced batch executions of ≥ 2 suffixes.
     suffix_batches: Counter,
+    /// Offload requests whose upload tensor arrived at a narrow
+    /// (non-fp32) precision and was dequantized server-side.
+    quantized_offloads: Counter,
     k: Gauge,
 }
 
@@ -449,6 +452,7 @@ impl ServerMetrics {
             rejected: reg.counter("server.rejected_total"),
             batched_suffixes: reg.counter("server.batched_suffixes_total"),
             suffix_batches: reg.counter("server.suffix_batches_total"),
+            quantized_offloads: reg.counter("server.quantized_offloads_total"),
             k: reg.gauge("server.k"),
         })
     }
@@ -926,9 +930,18 @@ pub fn spawn_server_tuned(
                 Message::OffloadRequest {
                     request_id,
                     partition_point,
+                    precision,
                     payload: _payload,
                 } => {
                     let p = partition_point as usize;
+                    if precision != Precision::Fp32 {
+                        // The server dequantizes narrow uploads before the
+                        // suffix runs; the emulated suffix cost is
+                        // unchanged, so only the count is recorded.
+                        if let Some(m) = &metrics {
+                            m.quantized_offloads.incr(1);
+                        }
+                    }
                     // Predicted suffix time scaled by the environment's
                     // load factor: the signal admission control budgets.
                     let predicted = predicted_suffix(&edge_models, &graph, p);
@@ -1634,6 +1647,7 @@ mod tests {
                 Message::OffloadRequest {
                     request_id: 7,
                     partition_point: 5,
+                    precision: Precision::Fp32,
                     payload: Bytes::from(vec![0u8; 64]),
                 }
                 .encode()

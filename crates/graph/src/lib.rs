@@ -45,6 +45,7 @@ pub mod flops;
 pub mod graph;
 pub mod node;
 pub mod partition;
+pub mod quant;
 
 pub use blocks::{Block, BlockAnalysis};
 pub use cut::{transmission_series, CutInfo};
@@ -56,3 +57,7 @@ pub use node::{
     ShapeInferenceError,
 };
 pub use partition::{PartitionedGraph, Segment, SegmentGraph};
+pub use quant::{
+    base_degradation, quantized_tensor_bytes, quantized_transmission_series, AccuracyModel,
+    Precision, SCALE_HEADER_BYTES,
+};

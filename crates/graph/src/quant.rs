@@ -1,0 +1,427 @@
+//! Quantized transmission sizes and the accuracy-degradation model.
+//!
+//! The paper's upload term `s_p / B` assumes the crossing tensors ship at
+//! full fp32 width. QPART-style joint (p, precision) partitioning shrinks
+//! `s_p` by quantizing the upload tensor to a narrower width at a modeled
+//! accuracy cost. This module provides the graph-side half of that story:
+//!
+//! * [`Precision`] — the wire-negotiable precision vocabulary
+//!   (fp32/fp16/int8/int4);
+//! * [`quantized_tensor_bytes`] — the wire size of one tensor at a given
+//!   precision (symmetric scalar quantization: a 4-byte f32 scale header
+//!   per tensor plus the packed integer payload);
+//! * [`quantized_transmission_series`] — the full `s_0..s_n` series at a
+//!   given precision, the quantized analogue of
+//!   [`transmission_series`](crate::cut::transmission_series);
+//! * [`AccuracyModel`] — a per-(cut, precision) top-1 accuracy-degradation
+//!   estimate the joint decision trades off against latency under an
+//!   accuracy budget.
+
+use crate::cut::cut_at;
+use crate::graph::{ComputationGraph, ValueId};
+use crate::node::NodeKind;
+use lp_tensor::TensorDesc;
+
+/// Bytes of per-tensor header carried by every non-fp32 payload: the f32
+/// symmetric-quantization scale, little-endian.
+pub const SCALE_HEADER_BYTES: u64 = 4;
+
+/// Precision of the upload tensor on the wire.
+///
+/// `Fp32` is the identity: raw little-endian f32 bytes with no header, so a
+/// zero accuracy budget reduces the joint decision bit-for-bit to the
+/// paper's fp32 Algorithm 1. The narrower widths use uniform *symmetric*
+/// scalar quantization (`q = round(x / scale)`, `scale = max|x| / qmax`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Precision {
+    /// Full-width IEEE-754 f32 (the paper's setting): identity transform.
+    #[default]
+    Fp32,
+    /// 16-bit: f32 quantized to int16 range (qmax 32767), 2 bytes/element.
+    Fp16,
+    /// 8-bit signed integers (qmax 127), 1 byte/element.
+    Int8,
+    /// 4-bit signed integers (qmax 7), two elements packed per byte.
+    Int4,
+}
+
+impl Precision {
+    /// Every precision, widest first.
+    pub const ALL: [Precision; 4] = [
+        Precision::Fp32,
+        Precision::Fp16,
+        Precision::Int8,
+        Precision::Int4,
+    ];
+
+    /// The narrow (lossy) precisions, widest first — the candidates the
+    /// joint decision considers beyond the fp32 baseline.
+    pub const NARROW: [Precision; 3] = [Precision::Fp16, Precision::Int8, Precision::Int4];
+
+    /// Stable lower-case name (`"fp32"`, `"fp16"`, `"int8"`, `"int4"`).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Precision::Fp32 => "fp32",
+            Precision::Fp16 => "fp16",
+            Precision::Int8 => "int8",
+            Precision::Int4 => "int4",
+        }
+    }
+
+    /// Bits per quantized element.
+    #[must_use]
+    pub fn bits(self) -> u32 {
+        match self {
+            Precision::Fp32 => 32,
+            Precision::Fp16 => 16,
+            Precision::Int8 => 8,
+            Precision::Int4 => 4,
+        }
+    }
+
+    /// Largest representable magnitude of the integer grid, or `None` for
+    /// the identity fp32 path.
+    #[must_use]
+    pub fn qmax(self) -> Option<u32> {
+        match self {
+            Precision::Fp32 => None,
+            Precision::Fp16 => Some(32767),
+            Precision::Int8 => Some(127),
+            Precision::Int4 => Some(7),
+        }
+    }
+
+    /// The byte carried on the wire frame.
+    #[must_use]
+    pub fn wire(self) -> u8 {
+        match self {
+            Precision::Fp32 => 0,
+            Precision::Fp16 => 1,
+            Precision::Int8 => 2,
+            Precision::Int4 => 3,
+        }
+    }
+
+    /// Decodes a wire byte; unknown values are a protocol error at the
+    /// caller (future widths must not be silently mapped onto a known one).
+    #[must_use]
+    pub fn from_wire(b: u8) -> Option<Precision> {
+        match b {
+            0 => Some(Precision::Fp32),
+            1 => Some(Precision::Fp16),
+            2 => Some(Precision::Int8),
+            3 => Some(Precision::Int4),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Precision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Wire size of one tensor quantized to `precision`.
+///
+/// Fp32 is exactly [`TensorDesc::size_bytes`] — no header, raw bytes — so
+/// the fp32 series is bit-identical to the unquantized one. Narrow widths
+/// pay [`SCALE_HEADER_BYTES`] per tensor plus the packed payload (int4
+/// packs two elements per byte, odd element counts round up).
+#[must_use]
+pub fn quantized_tensor_bytes(desc: &TensorDesc, precision: Precision) -> u64 {
+    let numel = desc.numel();
+    match precision {
+        Precision::Fp32 => desc.size_bytes(),
+        Precision::Fp16 => SCALE_HEADER_BYTES + numel * 2,
+        Precision::Int8 => SCALE_HEADER_BYTES + numel,
+        Precision::Int4 => SCALE_HEADER_BYTES + numel.div_ceil(2),
+    }
+}
+
+/// The transmission series `s_0..s_n` with every crossing tensor quantized
+/// to `precision` — the quantized analogue of
+/// [`transmission_series`](crate::cut::transmission_series).
+///
+/// Each crossing tensor carries its own scale header, so for cuts where
+/// multiple tensors cross (residual blocks) the series is *not* a simple
+/// rescaling of the fp32 one. The sweep is the same O(V + E) difference
+/// array as the fp32 series, keyed on each producer's last consumer.
+#[must_use]
+#[allow(clippy::needless_range_loop)]
+pub fn quantized_transmission_series(graph: &ComputationGraph, precision: Precision) -> Vec<u64> {
+    let n = graph.len();
+    let mut diff = vec![0i64; n + 2];
+    let consumers = graph.consumer_table();
+    for (pos, users) in consumers.iter().enumerate() {
+        let last_use = users.iter().map(|id| id.position()).max();
+        if let Some(last) = last_use {
+            let v = if pos == 0 {
+                ValueId::Input
+            } else {
+                ValueId::Node(crate::graph::NodeId(pos))
+            };
+            let sz = quantized_tensor_bytes(graph.value_desc(v), precision) as i64;
+            // The value crosses cuts p in [pos, last - 1].
+            diff[pos] += sz;
+            diff[last] -= sz;
+        }
+    }
+    let mut out = Vec::with_capacity(n + 1);
+    let mut acc = 0i64;
+    for p in 0..=n {
+        acc += diff[p];
+        debug_assert!(acc >= 0);
+        out.push(acc as u64);
+    }
+    out
+}
+
+/// Per-(cut, precision) top-1 accuracy-degradation estimates.
+///
+/// The model is multiplicative: a per-precision base drop (zero for fp32)
+/// scaled by a per-cut sensitivity derived from *what* crosses the cut and
+/// *where*. Producer kinds differ in how well their activations tolerate a
+/// uniform grid (residual sums have wide dynamic range, ReLU outputs are
+/// one-sided and forgiving, the raw input is already 8-bit imagery), and
+/// early cuts hurt more because the quantization error propagates through
+/// every remaining layer. The estimates are deterministic and strictly
+/// positive for every narrow precision at `p < n`, which is what makes a
+/// zero accuracy budget collapse the joint decision to the fp32 baseline.
+#[derive(Debug, Clone)]
+pub struct AccuracyModel {
+    /// Per-cut sensitivity, indexed by `p` in `0..=n`; `sensitivity[n] = 0`
+    /// (nothing crosses, nothing is quantized).
+    sensitivity: Vec<f64>,
+}
+
+/// Base top-1 drop per precision at unit cut sensitivity — the
+/// per-precision half of the multiplicative [`AccuracyModel`]. Exposed so
+/// graph-free callers (a policy deriving its tables from a solver's
+/// transmission series alone) can price precisions consistently.
+#[must_use]
+pub fn base_degradation(precision: Precision) -> f64 {
+    match precision {
+        Precision::Fp32 => 0.0,
+        Precision::Fp16 => 1e-4,
+        Precision::Int8 => 3e-3,
+        Precision::Int4 => 1.8e-2,
+    }
+}
+
+/// How tolerant a producer's activations are of a uniform symmetric grid.
+fn kind_sensitivity(graph: &ComputationGraph, v: ValueId) -> f64 {
+    let ValueId::Node(id) = v else {
+        // The raw input is typically 8-bit imagery rescaled to f32.
+        return 0.5;
+    };
+    match graph.node(id).kind {
+        NodeKind::Conv(_) | NodeKind::DwConv(_) | NodeKind::MatMul { .. } => 1.0,
+        NodeKind::Add => 1.3,
+        NodeKind::BatchNorm => 0.8,
+        NodeKind::Activation(_) => 0.7,
+        NodeKind::Pool(_) | NodeKind::GlobalAvgPool => 0.6,
+        NodeKind::BiasAdd | NodeKind::Concat => 1.0,
+        NodeKind::Flatten => 0.9,
+    }
+}
+
+impl AccuracyModel {
+    /// Builds the model for a graph: one sensitivity per cut, the worst
+    /// crossing tensor's kind factor times a depth factor in `[1, 1.8]`
+    /// (cuts near the input leave more layers to amplify the error).
+    #[must_use]
+    pub fn for_graph(graph: &ComputationGraph) -> Self {
+        let n = graph.len();
+        let mut sensitivity = Vec::with_capacity(n + 1);
+        for p in 0..=n {
+            let cut = cut_at(graph, p);
+            if cut.crossing.is_empty() {
+                sensitivity.push(0.0);
+                continue;
+            }
+            let kind = cut
+                .crossing
+                .iter()
+                .map(|&v| kind_sensitivity(graph, v))
+                .fold(0.0f64, f64::max);
+            let depth = 1.0 + 0.8 * (n - p) as f64 / n.max(1) as f64;
+            sensitivity.push(kind * depth);
+        }
+        AccuracyModel { sensitivity }
+    }
+
+    /// Number of partition points covered (`n + 1`).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sensitivity.len()
+    }
+
+    /// Whether the model is empty (never true for a finished graph).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sensitivity.is_empty()
+    }
+
+    /// Estimated top-1 accuracy drop (fraction, e.g. `0.01` = 1 point) when
+    /// the cut after `p` ships at `precision`.
+    ///
+    /// Zero for fp32 at every `p` and for every precision at `p = n`;
+    /// strictly positive otherwise.
+    #[must_use]
+    pub fn degradation(&self, p: usize, precision: Precision) -> f64 {
+        base_degradation(precision) * self.sensitivity[p]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+    use crate::node::{Activation, ConvAttrs, NodeKind, PoolAttrs};
+    use lp_tensor::{Shape, TensorDesc};
+
+    fn chain_graph() -> ComputationGraph {
+        let mut b = GraphBuilder::new("chain", TensorDesc::f32(Shape::nchw(1, 3, 8, 8)));
+        let c = b
+            .node("conv", NodeKind::Conv(ConvAttrs::same(16, 3)), [b.input()])
+            .unwrap();
+        let r = b
+            .node("relu", NodeKind::Activation(Activation::Relu), [c])
+            .unwrap();
+        let p = b
+            .node("pool", NodeKind::Pool(PoolAttrs::max(2, 2)), [r])
+            .unwrap();
+        b.finish(p).unwrap()
+    }
+
+    fn residual_graph() -> ComputationGraph {
+        let mut b = GraphBuilder::new("res", TensorDesc::f32(Shape::nchw(1, 8, 8, 8)));
+        let c1 = b
+            .node("c1", NodeKind::Conv(ConvAttrs::same(8, 3)), [b.input()])
+            .unwrap();
+        let r1 = b
+            .node("r1", NodeKind::Activation(Activation::Relu), [c1])
+            .unwrap();
+        let c2 = b
+            .node("c2", NodeKind::Conv(ConvAttrs::same(8, 3)), [r1])
+            .unwrap();
+        let add = b.node("add", NodeKind::Add, [r1, c2]).unwrap();
+        b.finish(add).unwrap()
+    }
+
+    #[test]
+    fn wire_bytes_round_trip() {
+        for p in Precision::ALL {
+            assert_eq!(Precision::from_wire(p.wire()), Some(p));
+        }
+        for b in 4..=u8::MAX {
+            assert_eq!(Precision::from_wire(b), None);
+        }
+    }
+
+    #[test]
+    fn fp32_series_is_bit_identical_to_unquantized() {
+        for g in [chain_graph(), residual_graph()] {
+            assert_eq!(
+                quantized_transmission_series(&g, Precision::Fp32),
+                crate::cut::transmission_series(&g),
+            );
+        }
+    }
+
+    #[test]
+    fn tensor_bytes_shrink_monotonically() {
+        let d = TensorDesc::f32(Shape::nchw(1, 16, 8, 8));
+        let sizes: Vec<u64> = Precision::ALL
+            .iter()
+            .map(|&p| quantized_tensor_bytes(&d, p))
+            .collect();
+        assert_eq!(sizes[0], 16 * 8 * 8 * 4);
+        assert_eq!(sizes[1], 4 + 16 * 8 * 8 * 2);
+        assert_eq!(sizes[2], 4 + 16 * 8 * 8);
+        assert_eq!(sizes[3], 4 + 16 * 8 * 8 / 2);
+        assert!(sizes.windows(2).all(|w| w[1] < w[0]));
+    }
+
+    #[test]
+    fn int4_rounds_odd_element_counts_up() {
+        let d = TensorDesc::f32(Shape::nchw(1, 1, 1, 3));
+        assert_eq!(quantized_tensor_bytes(&d, Precision::Int4), 4 + 2);
+    }
+
+    #[test]
+    fn quantized_series_agrees_with_per_cut_sums() {
+        for g in [chain_graph(), residual_graph()] {
+            for prec in Precision::ALL {
+                let series = quantized_transmission_series(&g, prec);
+                for (p, &got) in series.iter().enumerate() {
+                    let cut = cut_at(&g, p);
+                    let expect: u64 = cut
+                        .crossing
+                        .iter()
+                        .map(|&v| quantized_tensor_bytes(g.value_desc(v), prec))
+                        .sum();
+                    assert_eq!(got, expect, "{} {prec} p={p}", g.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn residual_cut_pays_one_header_per_tensor() {
+        let g = residual_graph();
+        // p=3: two tensors cross -> two scale headers at int8.
+        let series = quantized_transmission_series(&g, Precision::Int8);
+        let cut = cut_at(&g, 3);
+        assert_eq!(cut.tensor_count(), 2);
+        assert_eq!(series[3], 2 * (4 + 8 * 8 * 8));
+    }
+
+    #[test]
+    fn accuracy_model_shape() {
+        for g in [chain_graph(), residual_graph()] {
+            let m = AccuracyModel::for_graph(&g);
+            assert_eq!(m.len(), g.len() + 1);
+            assert!(!m.is_empty());
+            for p in 0..=g.len() {
+                // fp32 is always free.
+                assert_eq!(m.degradation(p, Precision::Fp32), 0.0);
+                for prec in Precision::NARROW {
+                    let d = m.degradation(p, prec);
+                    if p == g.len() {
+                        assert_eq!(d, 0.0, "local inference quantizes nothing");
+                    } else {
+                        assert!(d > 0.0, "narrow precision must cost accuracy at p={p}");
+                        assert!(d < 0.1, "degradation should stay small, got {d}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn narrower_precisions_cost_more_accuracy() {
+        let g = chain_graph();
+        let m = AccuracyModel::for_graph(&g);
+        for p in 0..g.len() {
+            let d16 = m.degradation(p, Precision::Fp16);
+            let d8 = m.degradation(p, Precision::Int8);
+            let d4 = m.degradation(p, Precision::Int4);
+            assert!(d16 < d8 && d8 < d4);
+        }
+    }
+
+    #[test]
+    fn earlier_cuts_are_more_sensitive() {
+        let g = chain_graph();
+        let m = AccuracyModel::for_graph(&g);
+        // Same producer-kind class would be needed for a strict comparison;
+        // here the depth factor dominates input (0.5 kind) vs pool (0.6).
+        assert!(m.degradation(0, Precision::Int8) > 0.0 && m.degradation(2, Precision::Int8) > 0.0);
+        // Depth factor is monotone decreasing in p for a fixed kind: compare
+        // conv (p=1) vs relu (p=2) — kinds 1.0 vs 0.7, depths 1.53 vs 1.27.
+        assert!(m.degradation(1, Precision::Int8) > m.degradation(2, Precision::Int8));
+    }
+}

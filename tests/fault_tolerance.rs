@@ -289,7 +289,7 @@ fn future_tag_reply_degrades_gracefully_on_an_old_decoder() {
     let mut raw = bytes::BytesMut::new();
     {
         use bytes::BufMut;
-        raw.put_u8(1); // current protocol version
+        raw.put_u8(loadpart::PROTOCOL_VERSION);
         raw.put_u8(0xEE); // a tag from the future
         raw.put_u8(0); // payload the old decoder cannot know
     }

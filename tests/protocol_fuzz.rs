@@ -15,16 +15,22 @@
 //! randomness, so a failure replays bit-identically.
 
 use bytes::Bytes;
-use loadpart::{Frame, Message};
+use loadpart::{Frame, Message, Precision};
 
 /// Every message shape with a small but non-empty payload where one fits.
+/// The offload request appears once per upload precision, so the
+/// precision byte sits under every truncation/mutation/split sweep below.
 fn corpus() -> Vec<Message> {
-    vec![
-        Message::OffloadRequest {
+    let mut msgs: Vec<Message> = Precision::ALL
+        .iter()
+        .map(|&precision| Message::OffloadRequest {
             request_id: 0x0123_4567_89AB_CDEF,
             partition_point: 11,
+            precision,
             payload: Bytes::from(vec![0x5A; 48]),
-        },
+        })
+        .collect();
+    msgs.extend([
         Message::OffloadResponse {
             request_id: 7,
             server_time_us: 1_234,
@@ -42,7 +48,8 @@ fn corpus() -> Vec<Message> {
             retry_after_us: 777,
             k_micro: 3_000_000,
         },
-    ]
+    ]);
+    msgs
 }
 
 /// Interesting split points of `bytes` into a `Frame`'s header/payload
@@ -134,6 +141,35 @@ fn trailing_garbage_is_rejected_identically_by_both_decoders() {
                 "{msg:?} with {extra} trailing byte(s)"
             );
         }
+    }
+}
+
+#[test]
+fn unknown_precision_bytes_are_clean_nontransient_errors_at_every_split() {
+    // The precision byte sits after version(1) + tag(1) + id(8) + p(4).
+    const PRECISION_OFFSET: usize = 14;
+    let clean = Message::OffloadRequest {
+        request_id: 3,
+        partition_point: 6,
+        precision: Precision::Int8,
+        payload: Bytes::from(vec![0x42; 24]),
+    }
+    .encode()
+    .expect("encodes");
+    for bad in 4u8..=255 {
+        let mut bytes = clean.to_vec();
+        bytes[PRECISION_OFFSET] = bad;
+        let verdict = decoders_agree(&Bytes::from(bytes));
+        assert_eq!(
+            verdict,
+            Err(loadpart::ProtocolError::BadPrecision(bad)),
+            "precision byte {bad}"
+        );
+        let err = verdict.unwrap_err();
+        assert!(
+            !err.is_transient(),
+            "unknown precision must not be retried: {err:?}"
+        );
     }
 }
 
